@@ -1,0 +1,30 @@
+//! # fv-baseline — the paper's CPU comparison points
+//!
+//! §6.1 defines three baselines:
+//!
+//! * **LCPU** — "a buffer cache implemented in local (client) memory,
+//!   where the processing is done on the local CPU" (Xeon Gold 6248).
+//! * **RCPU** — "a remote buffer cache implemented on the memory of a
+//!   different machine and reachable through a commercial NIC via
+//!   two-sided RDMA operations" (Xeon Gold 6154 + ConnectX-5).
+//! * **RNIC** — one-sided RDMA reads of remote host memory over PCIe
+//!   (the Figure 6 microbenchmark comparator).
+//!
+//! [`CpuEngine`] executes the same queries as the Farview pipeline over
+//! the identical byte images (results are byte-compatible — the
+//! cross-validation tests in `tests/` rely on that) and charges a
+//! calibrated CPU cost model: DRAM streaming bandwidth, per-tuple
+//! predicate/hash costs, RE2-like per-byte regex cost, Crypto++-like AES
+//! throughput, and multi-process cache/bandwidth interference for the
+//! Figure 12 experiment.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+mod cost;
+mod engine;
+mod rnic;
+
+pub use cost::{CostBreakdown, CpuCostModel};
+pub use engine::{BaselineKind, BaselineOutcome, CpuEngine};
+pub use rnic::rnic_read_response_time;

@@ -1,0 +1,50 @@
+//! The RNIC comparator of Figure 6: one-sided RDMA reads of remote host
+//! DRAM through a commercial NIC over PCIe.
+
+use fv_sim::calib::{
+    self, CLIENT_COMPLETE, CLIENT_POST, PACKET_BYTES, RNIC_PCIE_LATENCY, RNIC_PCIE_PEAK,
+    RNIC_PER_PACKET, RNIC_REQ_PROC, WIRE_ONE_WAY,
+};
+use fv_sim::SimDuration;
+
+/// Host-DRAM first-access latency on the remote side (the RNIC DMAs from
+/// ordinary DIMMs; much lower than the FPGA's softcore-controller path).
+const HOST_DRAM_ACCESS: SimDuration = SimDuration::from_nanos(90);
+
+/// Response time of a single one-sided RDMA read of `bytes` over the
+/// commercial NIC: post + wire + NIC processing + PCIe DMA + per-packet
+/// handling + serialization + wire + completion (§6.2, Figure 6(b)).
+pub fn rnic_read_response_time(bytes: u64) -> SimDuration {
+    let pkts = bytes.div_ceil(PACKET_BYTES).max(1);
+    CLIENT_POST
+        + WIRE_ONE_WAY
+        + RNIC_REQ_PROC
+        + RNIC_PCIE_LATENCY
+        + HOST_DRAM_ACCESS
+        + RNIC_PER_PACKET * pkts
+        + calib::transfer(bytes, RNIC_PCIE_PEAK)
+        + WIRE_ONE_WAY
+        + CLIENT_COMPLETE
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_reads_land_in_figure6b_band() {
+        // Figure 6(b): small-transfer response times sit in the 2–3 µs
+        // band.
+        let t = rnic_read_response_time(512).as_micros_f64();
+        assert!((1.5..3.5).contains(&t), "got {t} µs");
+    }
+
+    #[test]
+    fn grows_with_size_and_packets() {
+        let t1 = rnic_read_response_time(1024);
+        let t8 = rnic_read_response_time(8 * 1024);
+        let t32 = rnic_read_response_time(32 * 1024);
+        assert!(t8 > t1);
+        assert!(t32 > t8 + (t8 - t1), "super-linear past 8 kB (paper: 'substantial increase')");
+    }
+}

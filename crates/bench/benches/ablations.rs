@@ -1,0 +1,180 @@
+//! Ablation benches for the design decisions called out in DESIGN.md §2.
+//!
+//! Each group sweeps one knob and reports the *simulated* response time
+//! (nanoseconds of simulated time per iteration are folded into the
+//! bench name; criterion measures host time, which tracks event count).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use farview_core::{FarviewCluster, FarviewConfig, PipelineSpec, PredicateExpr};
+use fv_pipeline::cuckoo::{CuckooTable, ShiftRegisterLru};
+use fv_workload::{TableGen, SELECTIVITY_PIVOT};
+
+const SIZE: u64 = 256 << 10;
+
+/// Striping: 1 vs 2 vs 4 DRAM channels (§4.4 "maximizing the available
+/// bandwidth to each dynamic region").
+fn ablation_striping(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_striping");
+    for channels in [1usize, 2, 4] {
+        g.bench_with_input(BenchmarkId::from_parameter(channels), &channels, |b, &ch| {
+            let cfg = FarviewConfig {
+                channels: ch,
+                vector_lanes: ch,
+                ..FarviewConfig::default()
+            };
+            let cluster = FarviewCluster::new(cfg);
+            let qp = cluster.connect().unwrap();
+            let table = TableGen::paper_default(SIZE)
+                .selectivity_column(0, 0.25)
+                .build();
+            let (ft, _) = qp.load_table(&table).unwrap();
+            let spec = PipelineSpec::passthrough()
+                .filter(PredicateExpr::lt(0, SELECTIVITY_PIVOT))
+                .vectorized();
+            b.iter(|| black_box(qp.far_view(&ft, &spec).unwrap().stats.response_time));
+        });
+    }
+    g.finish();
+}
+
+/// Vector lanes at fixed channel count (§5.3 vectorization).
+fn ablation_vector(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_vector");
+    for lanes in [1usize, 2, 4] {
+        g.bench_with_input(BenchmarkId::from_parameter(lanes), &lanes, |b, &l| {
+            let cfg = FarviewConfig {
+                vector_lanes: l,
+                ..FarviewConfig::default()
+            };
+            let cluster = FarviewCluster::new(cfg);
+            let qp = cluster.connect().unwrap();
+            let table = TableGen::paper_default(SIZE)
+                .selectivity_column(0, 0.25)
+                .build();
+            let (ft, _) = qp.load_table(&table).unwrap();
+            let spec = PipelineSpec::passthrough()
+                .filter(PredicateExpr::lt(0, SELECTIVITY_PIVOT))
+                .vectorized();
+            b.iter(|| black_box(qp.far_view(&ft, &spec).unwrap().stats.response_time));
+        });
+    }
+    g.finish();
+}
+
+/// TLB capacity: full coverage vs thrashing (§4.4 "greatly reduces the
+/// coverage problem").
+fn ablation_tlb(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_tlb");
+    for entries in [1usize, 4, 4096] {
+        g.bench_with_input(BenchmarkId::from_parameter(entries), &entries, |b, &e| {
+            let cfg = FarviewConfig {
+                tlb_entries: e,
+                ..FarviewConfig::default()
+            };
+            let cluster = FarviewCluster::new(cfg);
+            let qp = cluster.connect().unwrap();
+            // 8 MB spans 4 pages so a 1-entry TLB actually misses.
+            let table = TableGen::paper_default(8 << 20).build();
+            let (ft, _) = qp.load_table(&table).unwrap();
+            b.iter(|| black_box(qp.table_read(&ft).unwrap().stats.response_time));
+        });
+    }
+    g.finish();
+}
+
+/// LRU shift-register depth vs the §5.4 data hazard: measures the
+/// duplicate-emit rate at each depth (0 disables the cache).
+fn ablation_lru(c: &mut Criterion) {
+    use fv_data::{Row, Schema, Value};
+    use fv_pipeline::distinct::DistinctOp;
+    use fv_pipeline::project::ProjectionPlan;
+    use fv_pipeline::StreamOperator;
+
+    let schema = Schema::uniform_u64(2);
+    let rows: Vec<Vec<u8>> = (0..4096u64)
+        .map(|i| Row(vec![Value::U64(i / 4), Value::U64(i)]).encode(&schema))
+        .collect();
+    let mut g = c.benchmark_group("ablation_lru");
+    for depth in [0usize, 2, 8] {
+        g.bench_with_input(BenchmarkId::from_parameter(depth), &depth, |b, &d| {
+            b.iter(|| {
+                let keys = ProjectionPlan::new(&schema, Some(&[0])).unwrap();
+                let mut op =
+                    DistinctOp::with_geometry(keys, CuckooTable::new(4, 4096), d);
+                let mut emitted = 0u64;
+                for r in &rows {
+                    op.push(r, &mut |_| emitted += 1);
+                }
+                black_box((emitted, op.hazard_leaks()))
+            })
+        });
+    }
+    g.finish();
+}
+
+/// Cuckoo geometry: overflow rate vs ways at fixed total capacity.
+fn ablation_cuckoo(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_cuckoo");
+    for ways in [2usize, 4, 8] {
+        g.bench_with_input(BenchmarkId::from_parameter(ways), &ways, |b, &w| {
+            let buckets = 16_384 / w; // constant total slots
+            b.iter(|| {
+                let mut t: CuckooTable<()> = CuckooTable::new(w, buckets.next_power_of_two());
+                let mut overflow = 0u64;
+                for i in 0..12_000u64 {
+                    if t.insert(i.to_le_bytes().into(), ()).is_err() {
+                        overflow += 1;
+                    }
+                }
+                black_box(overflow)
+            })
+        });
+    }
+    g.finish();
+}
+
+/// Credit budget: does a tiny window throttle the wire?
+fn ablation_credits(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_credits");
+    for credits in [1u32, 4, 32] {
+        g.bench_with_input(BenchmarkId::from_parameter(credits), &credits, |b, &cr| {
+            let cfg = FarviewConfig {
+                credit_budget: cr,
+                ..FarviewConfig::default()
+            };
+            let cluster = FarviewCluster::new(cfg);
+            let qp = cluster.connect().unwrap();
+            let table = TableGen::paper_default(SIZE).build();
+            let (ft, _) = qp.load_table(&table).unwrap();
+            b.iter(|| black_box(qp.table_read(&ft).unwrap().stats.response_time));
+        });
+    }
+    g.finish();
+}
+
+/// Sanity-check the LRU structure itself.
+fn lru_structure(c: &mut Criterion) {
+    c.bench_function("lru/touch_contains_depth8", |b| {
+        let mut lru = ShiftRegisterLru::new(8);
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            lru.touch(&i.to_le_bytes());
+            black_box(lru.contains(&(i - 1).to_le_bytes()))
+        })
+    });
+}
+
+fn config() -> Criterion {
+    Criterion::default().sample_size(10)
+}
+
+criterion_group! {
+    name = ablations;
+    config = config();
+    targets = ablation_striping, ablation_vector, ablation_tlb, ablation_lru,
+              ablation_cuckoo, ablation_credits, lru_structure
+}
+criterion_main!(ablations);

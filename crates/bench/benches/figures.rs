@@ -1,0 +1,207 @@
+//! One criterion bench per table/figure: each iteration runs a
+//! representative slice of the experiment end to end (cluster bring-up,
+//! table load, simulated query, result verification is in the lib tests).
+//!
+//! `cargo bench` therefore exercises every experiment in the paper's
+//! evaluation; the `figures` binary prints the full sweeps.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use farview_core::{
+    AggFunc, AggSpec, CryptoSpec, FarviewCluster, FarviewConfig, PipelineSpec, PredicateExpr,
+};
+use fv_baseline::{BaselineKind, CpuEngine};
+use fv_net::NicKind;
+use fv_workload::{encrypt_table, StringTableGen, TableGen, REGEX_PATTERN, SELECTIVITY_PIVOT};
+
+/// Representative table size for the per-figure benches (256 kB keeps an
+/// iteration in the low milliseconds).
+const SIZE: u64 = 256 << 10;
+
+fn bench_resources(c: &mut Criterion) {
+    c.bench_function("table1/resource_model", |b| {
+        b.iter(|| black_box(fv_bench::table1()))
+    });
+}
+
+fn bench_fig6(c: &mut Criterion) {
+    c.bench_function("fig6a/throughput_model", |b| {
+        b.iter(|| {
+            for size in [512u64, 4096, 32768] {
+                black_box(farview_core::microbench::read_throughput(
+                    NicKind::FarviewFpga,
+                    size,
+                ));
+                black_box(farview_core::microbench::read_throughput(
+                    NicKind::CommercialRnic,
+                    size,
+                ));
+            }
+        })
+    });
+    let cluster = FarviewCluster::new(FarviewConfig::default());
+    let qp = cluster.connect().unwrap();
+    let table = TableGen::paper_default(8192).build();
+    let (ft, _) = qp.load_table(&table).unwrap();
+    c.bench_function("fig6b/fv_read_episode_8k", |b| {
+        b.iter(|| black_box(qp.table_read(&ft).unwrap().stats.response_time))
+    });
+}
+
+fn bench_fig7(c: &mut Criterion) {
+    let cluster = FarviewCluster::new(FarviewConfig::default());
+    let qp = cluster.connect().unwrap();
+    let table = TableGen::new(64, 2048).build(); // 512 B tuples, 1 MB
+    let (ft, _) = qp.load_table(&table).unwrap();
+    let standard = PipelineSpec::passthrough().project(vec![8, 9, 10]);
+    let smart = standard.clone().with_smart_addressing();
+    c.bench_function("fig7/standard_projection", |b| {
+        b.iter(|| black_box(qp.far_view(&ft, &standard).unwrap().stats.response_time))
+    });
+    c.bench_function("fig7/smart_addressing", |b| {
+        b.iter(|| black_box(qp.far_view(&ft, &smart).unwrap().stats.response_time))
+    });
+}
+
+fn bench_fig8(c: &mut Criterion) {
+    let cluster = FarviewCluster::new(FarviewConfig::default());
+    let qp = cluster.connect().unwrap();
+    let table = TableGen::paper_default(SIZE)
+        .selectivity_column(0, 0.5)
+        .selectivity_column(1, 0.5)
+        .build();
+    let (ft, _) = qp.load_table(&table).unwrap();
+    let pred =
+        PredicateExpr::lt(0, SELECTIVITY_PIVOT).and(PredicateExpr::lt(1, SELECTIVITY_PIVOT));
+    let spec = PipelineSpec::passthrough().filter(pred.clone());
+    c.bench_function("fig8/fv_selection_25pct", |b| {
+        b.iter(|| black_box(qp.far_view(&ft, &spec).unwrap().stats.response_time))
+    });
+    c.bench_function("fig8/fv_vectorized_25pct", |b| {
+        let v = spec.clone().vectorized();
+        b.iter(|| black_box(qp.far_view(&ft, &v).unwrap().stats.response_time))
+    });
+    c.bench_function("fig8/lcpu_selection_25pct", |b| {
+        let e = CpuEngine::new(BaselineKind::Lcpu);
+        b.iter(|| black_box(e.select(&table, &pred, None).time))
+    });
+}
+
+fn bench_fig9(c: &mut Criterion) {
+    let cluster = FarviewCluster::new(FarviewConfig::default());
+    let qp = cluster.connect().unwrap();
+    let distinct_table = TableGen::paper_default(SIZE).sequential_column(0).build();
+    let (ft_d, _) = qp.load_table(&distinct_table).unwrap();
+    c.bench_function("fig9a/fv_distinct", |b| {
+        b.iter(|| black_box(qp.distinct(&ft_d, vec![0]).unwrap().stats.response_time))
+    });
+    c.bench_function("fig9a/lcpu_distinct", |b| {
+        let e = CpuEngine::new(BaselineKind::Lcpu);
+        b.iter(|| black_box(e.distinct(&distinct_table, &[0]).time))
+    });
+
+    let group_table = TableGen::paper_default(SIZE).distinct_column(0, 512).build();
+    let (ft_g, _) = qp.load_table(&group_table).unwrap();
+    let aggs = vec![AggSpec {
+        col: 1,
+        func: AggFunc::Sum,
+    }];
+    c.bench_function("fig9bc/fv_group_by_sum", |b| {
+        b.iter(|| {
+            black_box(
+                qp.group_by(&ft_g, vec![0], aggs.clone())
+                    .unwrap()
+                    .stats
+                    .response_time,
+            )
+        })
+    });
+}
+
+fn bench_fig10(c: &mut Criterion) {
+    let cluster = FarviewCluster::new(FarviewConfig::default());
+    let qp = cluster.connect().unwrap();
+    let table = StringTableGen::new(64, 1024).build(); // 64 strings of 1 kB
+    let (ft, _) = qp.load_table(&table).unwrap();
+    c.bench_function("fig10/fv_regex", |b| {
+        b.iter(|| {
+            black_box(
+                qp.regex_match(&ft, 1, REGEX_PATTERN)
+                    .unwrap()
+                    .stats
+                    .response_time,
+            )
+        })
+    });
+    c.bench_function("fig10/lcpu_regex", |b| {
+        let e = CpuEngine::new(BaselineKind::Lcpu);
+        b.iter(|| black_box(e.regex_match(&table, 1, REGEX_PATTERN).time))
+    });
+}
+
+fn bench_fig11(c: &mut Criterion) {
+    let cluster = FarviewCluster::new(FarviewConfig::default());
+    let qp = cluster.connect().unwrap();
+    let key = [0x2b; 16];
+    let iv = [0xf0; 16];
+    let plain = TableGen::paper_default(SIZE).build();
+    let encrypted = encrypt_table(&plain, &key, &iv);
+    let (ft, _) = qp.load_table(&encrypted).unwrap();
+    let spec = CryptoSpec { key, iv };
+    c.bench_function("fig11/fv_decrypt_read", |b| {
+        b.iter(|| {
+            black_box(
+                qp.read_decrypt(&ft, spec.clone())
+                    .unwrap()
+                    .stats
+                    .response_time,
+            )
+        })
+    });
+    c.bench_function("fig11/lcpu_decrypt_read", |b| {
+        let e = CpuEngine::new(BaselineKind::Lcpu);
+        b.iter(|| black_box(e.decrypt_read(&encrypted, &key, &iv).time))
+    });
+}
+
+fn bench_fig12(c: &mut Criterion) {
+    let cluster = FarviewCluster::new(FarviewConfig::default());
+    let qps: Vec<_> = (0..6).map(|_| cluster.connect().unwrap()).collect();
+    let tables: Vec<_> = (0..6)
+        .map(|i| {
+            TableGen::paper_default(SIZE)
+                .seed(100 + i)
+                .distinct_column(0, 32)
+                .build()
+        })
+        .collect();
+    let fts: Vec<_> = qps
+        .iter()
+        .zip(&tables)
+        .map(|(qp, t)| qp.load_table(t).unwrap().0)
+        .collect();
+    let spec = PipelineSpec::passthrough().distinct(vec![0]);
+    c.bench_function("fig12/six_concurrent_clients", |b| {
+        b.iter(|| {
+            let reqs = qps
+                .iter()
+                .zip(&fts)
+                .map(|(qp, ft)| (qp, ft, spec.clone()))
+                .collect();
+            black_box(cluster.run_concurrent(reqs).unwrap().len())
+        })
+    });
+}
+
+fn config() -> Criterion {
+    Criterion::default().sample_size(10)
+}
+
+criterion_group! {
+    name = figures;
+    config = config();
+    targets = bench_resources, bench_fig6, bench_fig7, bench_fig8, bench_fig9,
+              bench_fig10, bench_fig11, bench_fig12
+}
+criterion_main!(figures);

@@ -1,0 +1,183 @@
+//! Substrate micro-benchmarks: the host-side throughput of the
+//! functional building blocks (these measure *our code*, not the
+//! simulated hardware — useful to keep the simulator fast and honest).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+use fv_crypto::{Aes128, AesCtr};
+use fv_data::Schema;
+use fv_pipeline::{CompiledPipeline, PipelineSpec, PredicateExpr};
+use fv_regex::Regex;
+use fv_sim::{SimDuration, Simulation};
+
+const MB: u64 = 1 << 20;
+
+fn pipeline_throughput(c: &mut Criterion) {
+    let schema = Schema::uniform_u64(8);
+    let table = fv_workload::TableGen::paper_default(MB).build();
+    let mut g = c.benchmark_group("pipeline");
+    g.throughput(Throughput::Bytes(MB));
+
+    g.bench_function("passthrough_1MB", |b| {
+        b.iter(|| {
+            let mut p =
+                CompiledPipeline::compile(PipelineSpec::passthrough(), &schema).unwrap();
+            p.push_bytes(table.bytes());
+            p.finish();
+            black_box(p.drain_output().len())
+        })
+    });
+    g.bench_function("selection_1MB", |b| {
+        let spec = PipelineSpec::passthrough().filter(PredicateExpr::lt(0, 1u64 << 40));
+        b.iter(|| {
+            let mut p = CompiledPipeline::compile(spec.clone(), &schema).unwrap();
+            p.push_bytes(table.bytes());
+            p.finish();
+            black_box(p.drain_output().len())
+        })
+    });
+    g.bench_function("distinct_1MB", |b| {
+        let spec = PipelineSpec::passthrough().distinct(vec![0]);
+        b.iter(|| {
+            let mut p = CompiledPipeline::compile(spec.clone(), &schema).unwrap();
+            p.push_bytes(table.bytes());
+            p.finish();
+            black_box(p.drain_output().len())
+        })
+    });
+    g.finish();
+}
+
+fn cuckoo_ops(c: &mut Criterion) {
+    use fv_pipeline::cuckoo::CuckooTable;
+    c.bench_function("cuckoo/insert_16k", |b| {
+        b.iter(|| {
+            let mut t: CuckooTable<u64> = CuckooTable::new(4, 32 * 1024);
+            for i in 0..16_384u64 {
+                let _ = t.insert(i.to_le_bytes().into(), i);
+            }
+            black_box(t.len())
+        })
+    });
+    let mut t: CuckooTable<u64> = CuckooTable::new(4, 32 * 1024);
+    for i in 0..16_384u64 {
+        let _ = t.insert(i.to_le_bytes().into(), i);
+    }
+    c.bench_function("cuckoo/lookup_hit", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i = (i + 1) % 16_384;
+            black_box(t.get(&i.to_le_bytes()))
+        })
+    });
+}
+
+fn regex_engine(c: &mut Criterion) {
+    let re = Regex::compile("smartmem[0-9]+").unwrap();
+    let hay: Vec<u8> = std::iter::repeat_n(b"the quick brown fox ", 800)
+        .flatten()
+        .copied()
+        .collect();
+    let mut g = c.benchmark_group("regex");
+    g.throughput(Throughput::Bytes(hay.len() as u64));
+    g.bench_function("scan_16kB_no_match", |b| {
+        b.iter(|| black_box(re.is_match(&hay)))
+    });
+    g.finish();
+    c.bench_function("regex/compile", |b| {
+        b.iter(|| black_box(Regex::compile("a(b|c)*d[0-9]{2,4}$").unwrap().state_count()))
+    });
+}
+
+fn aes_throughput(c: &mut Criterion) {
+    let cipher = Aes128::new(&[7u8; 16]);
+    let mut data = vec![0u8; 64 * 1024];
+    let mut g = c.benchmark_group("aes");
+    g.throughput(Throughput::Bytes(data.len() as u64));
+    g.bench_function("ctr_64kB", |b| {
+        b.iter(|| {
+            let mut ctr = AesCtr::new(cipher.clone(), [9u8; 16]);
+            ctr.apply(&mut data);
+            black_box(data[0])
+        })
+    });
+    g.finish();
+}
+
+fn des_engine(c: &mut Criterion) {
+    // Raw event-engine throughput: a chain of self-messages.
+    struct Chain {
+        left: u32,
+    }
+    impl fv_sim::Actor<u32> for Chain {
+        fn on_message(&mut self, _msg: u32, ctx: &mut fv_sim::Context<'_, u32>) {
+            if self.left > 0 {
+                self.left -= 1;
+                ctx.send_self(SimDuration::from_nanos(1), 0);
+            }
+        }
+    }
+    c.bench_function("sim/100k_events", |b| {
+        b.iter(|| {
+            let mut sim: Simulation<u32> = Simulation::new();
+            let id = sim.add_actor(Box::new(Chain { left: 100_000 }));
+            sim.inject(id, SimDuration::ZERO, 0);
+            sim.run_to_quiescence(1_000_000);
+            black_box(sim.events_delivered())
+        })
+    });
+}
+
+fn join_and_compress(c: &mut Criterion) {
+    use fv_pipeline::compress;
+    use fv_pipeline::join::JoinSmallSpec;
+
+    // Join probe throughput: 1 MB fact stream against a 1k-row build.
+    let probe_schema = Schema::uniform_u64(8);
+    let facts = fv_workload::TableGen::paper_default(MB)
+        .mode(0, fv_workload::ColMode::Distinct(1024))
+        .build();
+    let build = fv_workload::TableGen::new(2, 1024)
+        .sequential_column(0)
+        .build();
+    let spec = PipelineSpec::passthrough().join_small(JoinSmallSpec::new(0, &build, 0));
+    let mut g = c.benchmark_group("join");
+    g.throughput(Throughput::Bytes(MB));
+    g.bench_function("probe_1MB_1k_build", |b| {
+        b.iter(|| {
+            let mut p = CompiledPipeline::compile(spec.clone(), &probe_schema).unwrap();
+            p.push_bytes(facts.bytes());
+            p.finish();
+            black_box(p.drain_output().len())
+        })
+    });
+    g.finish();
+
+    // Compression codec throughput on a low-cardinality table image.
+    let image: Vec<u8> = (0..MB / 8)
+        .flat_map(|i| (i % 64).to_le_bytes())
+        .collect();
+    let compressed = compress::compress(&image);
+    let mut g = c.benchmark_group("compress");
+    g.throughput(Throughput::Bytes(MB));
+    g.bench_function("compress_1MB", |b| {
+        b.iter(|| black_box(compress::compress(&image).len()))
+    });
+    g.bench_function("decompress_1MB", |b| {
+        b.iter(|| black_box(compress::decompress(&compressed).unwrap().len()))
+    });
+    g.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default().sample_size(10)
+}
+
+criterion_group! {
+    name = operators;
+    config = config();
+    targets = pipeline_throughput, cuckoo_ops, regex_engine, aes_throughput, des_engine,
+              join_and_compress
+}
+criterion_main!(operators);

@@ -1,0 +1,76 @@
+//! Regenerate the paper's tables and figures.
+//!
+//! ```text
+//! figures all            # every experiment, markdown tables
+//! figures fig8c          # one experiment
+//! figures fig9a --csv    # long-format CSV instead of markdown
+//! figures table1         # the resource table
+//! ```
+
+use std::env;
+use std::process::ExitCode;
+
+use fv_bench::{
+    all_figures, fig10, fig11a, fig11b, fig12, fig6a, fig6b, fig7, fig8, fig9a, fig9b, fig9c,
+    table1, Figure,
+};
+
+const USAGE: &str = "usage: figures <table1|fig6a|fig6b|fig7|fig8a|fig8b|fig8c|fig9a|fig9b|fig9c|fig10|fig11a|fig11b|fig12|all> [--csv]";
+
+fn one(id: &str) -> Option<Figure> {
+    Some(match id {
+        "fig6a" => fig6a(),
+        "fig6b" => fig6b(),
+        "fig7" => fig7(),
+        "fig8a" => fig8(1.0),
+        "fig8b" => fig8(0.5),
+        "fig8c" => fig8(0.25),
+        "fig9a" => fig9a(),
+        "fig9b" => fig9b(),
+        "fig9c" => fig9c(),
+        "fig10" => fig10(),
+        "fig11a" => fig11a(),
+        "fig11b" => fig11b(),
+        "fig12" => fig12(),
+        _ => return None,
+    })
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = env::args().skip(1).collect();
+    let csv = args.iter().any(|a| a == "--csv");
+    let target = match args.iter().find(|a| !a.starts_with("--")) {
+        Some(t) => t.clone(),
+        None => {
+            eprintln!("{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let render = |f: &Figure| {
+        if csv {
+            print!("{}", f.to_csv());
+        } else {
+            println!("{}", f.to_markdown());
+        }
+    };
+
+    match target.as_str() {
+        "table1" => print!("{}", table1()),
+        "all" => {
+            print!("{}", table1());
+            println!();
+            for f in all_figures() {
+                render(&f);
+            }
+        }
+        id => match one(id) {
+            Some(f) => render(&f),
+            None => {
+                eprintln!("unknown experiment {id:?}\n{USAGE}");
+                return ExitCode::FAILURE;
+            }
+        },
+    }
+    ExitCode::SUCCESS
+}

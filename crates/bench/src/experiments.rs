@@ -1,0 +1,612 @@
+//! The experiment implementations, one per table/figure.
+
+use farview_core::{
+    microbench, resources, AggFunc, AggSpec, CryptoSpec, FarviewCluster, FarviewConfig,
+    PipelineSpec, PredicateExpr, QPair, FTable,
+};
+use fv_baseline::{rnic_read_response_time, BaselineKind, CpuEngine};
+use fv_data::Table;
+use fv_net::NicKind;
+use fv_workload::{encrypt_table, StringTableGen, TableGen, REGEX_PATTERN, SELECTIVITY_PIVOT};
+
+use crate::figure::Figure;
+
+/// Table sizes used by Figures 8, 9 and 11 (bytes).
+pub const TABLE_SIZES: [u64; 5] = [64 << 10, 128 << 10, 256 << 10, 512 << 10, 1 << 20];
+
+const AES_KEY: [u8; 16] = [0x2b; 16];
+const AES_IV: [u8; 16] = [0xf0; 16];
+
+fn cluster() -> FarviewCluster {
+    FarviewCluster::new(FarviewConfig::default())
+}
+
+fn load(qp: &QPair, table: &Table) -> FTable {
+    let (ft, _) = qp.load_table(table).expect("buffer pool space");
+    ft
+}
+
+fn us(d: fv_sim::SimDuration) -> f64 {
+    d.as_micros_f64()
+}
+
+// ---------------------------------------------------------------------------
+// Table 1
+// ---------------------------------------------------------------------------
+
+/// Table 1: FPGA resource overhead, rendered like the paper.
+pub fn table1() -> String {
+    let mut out = String::new();
+    out.push_str("Table 1: Resource overhead of Farview\n\n");
+    out.push_str(&format!(
+        "{:<38} {}\n",
+        "Configuration", "CLB LUTs   Regs  BRAM   DSPs"
+    ));
+    out.push_str(&format!(
+        "{:<38}{}\n",
+        "6 regions",
+        resources::system_usage(6).paper_row()
+    ));
+    out.push('\n');
+    out.push_str(&format!(
+        "{:<38} {}\n",
+        "Operators (per dynamic region)", "CLB LUTs   Regs  BRAM   DSPs"
+    ));
+    for (name, usage) in [
+        ("Projection/Selection/Aggregation", resources::operators::PROJ_SEL_AGG),
+        ("Regular expression", resources::operators::REGEX),
+        ("Distinct/Group by", resources::operators::DISTINCT_GROUP_BY),
+        ("En(de)cryption", resources::operators::CRYPTO),
+        ("Packing/Sending", resources::operators::PACK_SEND),
+    ] {
+        out.push_str(&format!("{name:<38}{}\n", usage.paper_row()));
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Figure 6: RDMA throughput and response time
+// ---------------------------------------------------------------------------
+
+/// Figure 6(a): RDMA read throughput vs transfer size, FV vs RNIC.
+pub fn fig6a() -> Figure {
+    let mut f = Figure::new(
+        "fig6a",
+        "RDMA read throughput (pipelined)",
+        "transfer size [bytes]",
+        "throughput [GBps]",
+    );
+    let sizes = [128u64, 256, 512, 1024, 2048, 4096, 8192, 16384, 32768];
+    for (name, nic) in [("FV", NicKind::FarviewFpga), ("RNIC", NicKind::CommercialRnic)] {
+        let pts = sizes
+            .iter()
+            .map(|&s| (s as f64, microbench::read_throughput_gbps(nic, s)))
+            .collect();
+        f.push_series(name, pts);
+    }
+    f
+}
+
+/// Figure 6(b): RDMA read response time vs transfer size, FV vs RNIC.
+pub fn fig6b() -> Figure {
+    let mut f = Figure::new(
+        "fig6b",
+        "RDMA read response time",
+        "transfer size [bytes]",
+        "response time [us]",
+    );
+    let sizes = [512u64, 1024, 2048, 4096, 8192, 16384, 32768];
+    let c = cluster();
+    let qp = c.connect().expect("region");
+    let mut fv = Vec::new();
+    for &s in &sizes {
+        let table = TableGen::paper_default(s).build();
+        let ft = load(&qp, &table);
+        let out = qp.table_read(&ft).expect("read");
+        fv.push((s as f64, us(out.stats.response_time)));
+        qp.free_table(ft).expect("free");
+    }
+    f.push_series("FV", fv);
+    let rnic = sizes
+        .iter()
+        .map(|&s| (s as f64, us(rnic_read_response_time(s))))
+        .collect();
+    f.push_series("RNIC", rnic);
+    f
+}
+
+// ---------------------------------------------------------------------------
+// Figure 7: standard projection vs smart addressing
+// ---------------------------------------------------------------------------
+
+/// Figure 7: project three contiguous 8-byte columns; smart addressing on
+/// 512 B tuples vs whole-row reads of 256 B / 512 B tuples.
+pub fn fig7() -> Figure {
+    let mut f = Figure::new(
+        "fig7",
+        "Standard projection vs smart addressing",
+        "number of tuples",
+        "response time [us]",
+    );
+    let tuple_counts = [256usize, 512, 1024, 2048, 4096, 8192, 16384];
+    let c = cluster();
+    let qp = c.connect().expect("region");
+
+    let run = |cols_per_row: usize, smart: bool| -> Vec<(f64, f64)> {
+        let mut pts = Vec::new();
+        for &n in &tuple_counts {
+            let table = TableGen::new(cols_per_row, n).build();
+            let ft = load(&qp, &table);
+            let mut spec = PipelineSpec::passthrough().project(vec![8, 9, 10]);
+            if smart {
+                spec = spec.with_smart_addressing();
+            }
+            let out = qp.far_view(&ft, &spec).expect("projection query");
+            assert_eq!(out.stats.tuples_out, n as u64);
+            pts.push((n as f64, us(out.stats.response_time)));
+            qp.free_table(ft).expect("free");
+        }
+        pts
+    };
+
+    f.push_series("FV-SA", run(64, true)); // 512 B tuples, smart addressing
+    f.push_series("FV-t256B", run(32, false)); // 256 B tuples, whole rows
+    f.push_series("FV-t512B", run(64, false)); // 512 B tuples, whole rows
+    f
+}
+
+// ---------------------------------------------------------------------------
+// Figure 8: selection
+// ---------------------------------------------------------------------------
+
+/// Figure 8: `SELECT * FROM S WHERE S.a < X AND S.b < Y` at the given
+/// overall selectivity (1.0, 0.5 or 0.25), FV / FV-V / LCPU / RCPU.
+pub fn fig8(selectivity: f64) -> Figure {
+    let sub = if selectivity == 1.0 {
+        "a"
+    } else if selectivity == 0.5 {
+        "b"
+    } else {
+        "c"
+    };
+    let mut f = Figure::new(
+        &format!("fig8{sub}"),
+        &format!("Selection, {:.0}% selectivity", selectivity * 100.0),
+        "table size [bytes]",
+        "response time [us]",
+    );
+    let per_col = selectivity.sqrt();
+    let c = cluster();
+    let qp = c.connect().expect("region");
+    let pred = PredicateExpr::lt(0, SELECTIVITY_PIVOT).and(PredicateExpr::lt(1, SELECTIVITY_PIVOT));
+
+    let mut fv = Vec::new();
+    let mut fv_v = Vec::new();
+    let mut lcpu = Vec::new();
+    let mut rcpu = Vec::new();
+    for &size in &TABLE_SIZES {
+        let table = TableGen::paper_default(size)
+            .selectivity_column(0, per_col)
+            .selectivity_column(1, per_col)
+            .build();
+        let ft = load(&qp, &table);
+
+        let spec = PipelineSpec::passthrough().filter(pred.clone());
+        let out = qp.far_view(&ft, &spec).expect("FV select");
+        fv.push((size as f64, us(out.stats.response_time)));
+
+        let out_v = qp.far_view(&ft, &spec.clone().vectorized()).expect("FV-V select");
+        assert_eq!(out.payload, out_v.payload, "vectorization must not change results");
+        fv_v.push((size as f64, us(out_v.stats.response_time)));
+
+        let l = CpuEngine::new(BaselineKind::Lcpu).select(&table, &pred, None);
+        assert_eq!(l.payload, out.payload, "engines must agree");
+        lcpu.push((size as f64, us(l.time)));
+        let r = CpuEngine::new(BaselineKind::Rcpu).select(&table, &pred, None);
+        rcpu.push((size as f64, us(r.time)));
+
+        qp.free_table(ft).expect("free");
+    }
+    f.push_series("FV", fv);
+    f.push_series("FV-V", fv_v);
+    f.push_series("LCPU", lcpu);
+    f.push_series("RCPU", rcpu);
+    f
+}
+
+// ---------------------------------------------------------------------------
+// Figure 9: grouping
+// ---------------------------------------------------------------------------
+
+/// Figure 9(a): `SELECT DISTINCT(S.a)` with all-distinct keys vs table
+/// size, FV / LCPU / RCPU.
+pub fn fig9a() -> Figure {
+    let mut f = Figure::new(
+        "fig9a",
+        "DISTINCT, all keys distinct",
+        "table size [bytes]",
+        "response time [us]",
+    );
+    let c = cluster();
+    let qp = c.connect().expect("region");
+    let mut fv = Vec::new();
+    let mut lcpu = Vec::new();
+    let mut rcpu = Vec::new();
+    for &size in &TABLE_SIZES {
+        let table = TableGen::paper_default(size).sequential_column(0).build();
+        let ft = load(&qp, &table);
+        let out = qp.distinct(&ft, vec![0]).expect("FV distinct");
+        fv.push((size as f64, us(out.stats.response_time)));
+        let l = CpuEngine::new(BaselineKind::Lcpu).distinct(&table, &[0]);
+        lcpu.push((size as f64, us(l.time)));
+        let r = CpuEngine::new(BaselineKind::Rcpu).distinct(&table, &[0]);
+        rcpu.push((size as f64, us(r.time)));
+        // Cross-validate: FV output (minus overflow dups) equals LCPU's.
+        assert_eq!(dedup_u64(&out.payload).len(), dedup_u64(&l.payload).len());
+        qp.free_table(ft).expect("free");
+    }
+    f.push_series("FV", fv);
+    f.push_series("LCPU", lcpu);
+    f.push_series("RCPU", rcpu);
+    f
+}
+
+fn dedup_u64(payload: &[u8]) -> std::collections::HashSet<u64> {
+    payload
+        .chunks_exact(8)
+        .map(|c| u64::from_le_bytes(c.try_into().expect("8 bytes")))
+        .collect()
+}
+
+/// Figure 9(b): `SELECT S.a, SUM(S.b) GROUP BY S.a` vs table size, group
+/// count growing with the table (rows/16 groups).
+pub fn fig9b() -> Figure {
+    let mut f = Figure::new(
+        "fig9b",
+        "GROUP BY + SUM, groups grow with table",
+        "table size [bytes]",
+        "response time [us]",
+    );
+    let c = cluster();
+    let qp = c.connect().expect("region");
+    let agg = vec![AggSpec {
+        col: 1,
+        func: AggFunc::Sum,
+    }];
+    let mut fv = Vec::new();
+    let mut lcpu = Vec::new();
+    let mut rcpu = Vec::new();
+    for &size in &TABLE_SIZES {
+        let rows = size / 64;
+        let table = TableGen::paper_default(size)
+            .distinct_column(0, rows / 16)
+            .build();
+        let ft = load(&qp, &table);
+        let out = qp.group_by(&ft, vec![0], agg.clone()).expect("FV group by");
+        fv.push((size as f64, us(out.stats.response_time)));
+        let l = CpuEngine::new(BaselineKind::Lcpu).group_by(&table, &[0], &agg);
+        lcpu.push((size as f64, us(l.time)));
+        let r = CpuEngine::new(BaselineKind::Rcpu).group_by(&table, &[0], &agg);
+        rcpu.push((size as f64, us(r.time)));
+        qp.free_table(ft).expect("free");
+    }
+    f.push_series("FV", fv);
+    f.push_series("LCPU", lcpu);
+    f.push_series("RCPU", rcpu);
+    f
+}
+
+/// Figure 9(c): same query at a fixed 512 kB table, sweeping the number
+/// of groups.
+pub fn fig9c() -> Figure {
+    let mut f = Figure::new(
+        "fig9c",
+        "GROUP BY + SUM, fixed table, group sweep",
+        "number of groups",
+        "response time [us]",
+    );
+    let size = 512u64 << 10;
+    let groups = [256u64, 512, 1024, 2048, 4096];
+    let c = cluster();
+    let qp = c.connect().expect("region");
+    let agg = vec![AggSpec {
+        col: 1,
+        func: AggFunc::Sum,
+    }];
+    let mut fv = Vec::new();
+    let mut lcpu = Vec::new();
+    let mut rcpu = Vec::new();
+    for &g in &groups {
+        let table = TableGen::paper_default(size).distinct_column(0, g).build();
+        let ft = load(&qp, &table);
+        let out = qp.group_by(&ft, vec![0], agg.clone()).expect("FV group by");
+        fv.push((g as f64, us(out.stats.response_time)));
+        let l = CpuEngine::new(BaselineKind::Lcpu).group_by(&table, &[0], &agg);
+        lcpu.push((g as f64, us(l.time)));
+        let r = CpuEngine::new(BaselineKind::Rcpu).group_by(&table, &[0], &agg);
+        rcpu.push((g as f64, us(r.time)));
+        qp.free_table(ft).expect("free");
+    }
+    f.push_series("FV", fv);
+    f.push_series("LCPU", lcpu);
+    f.push_series("RCPU", rcpu);
+    f
+}
+
+// ---------------------------------------------------------------------------
+// Figure 10: regular expression matching
+// ---------------------------------------------------------------------------
+
+/// Figure 10: regex matching vs string size, 50 % match rate.
+pub fn fig10() -> Figure {
+    let mut f = Figure::new(
+        "fig10",
+        "Regular expression matching, 50% match rate",
+        "string size [bytes]",
+        "response time [us]",
+    );
+    let sizes = [256usize, 1024, 4096, 16384];
+    let c = cluster();
+    let qp = c.connect().expect("region");
+    let mut fv = Vec::new();
+    let mut lcpu = Vec::new();
+    let mut rcpu = Vec::new();
+    for &s in &sizes {
+        let table = StringTableGen::new(1, s).match_fraction(0.5).build();
+        let ft = load(&qp, &table);
+        let out = qp.regex_match(&ft, 1, REGEX_PATTERN).expect("FV regex");
+        fv.push((s as f64, us(out.stats.response_time)));
+        let l = CpuEngine::new(BaselineKind::Lcpu).regex_match(&table, 1, REGEX_PATTERN);
+        assert_eq!(l.row_count(), out.row_count(), "engines must agree");
+        lcpu.push((s as f64, us(l.time)));
+        let r = CpuEngine::new(BaselineKind::Rcpu).regex_match(&table, 1, REGEX_PATTERN);
+        rcpu.push((s as f64, us(r.time)));
+        qp.free_table(ft).expect("free");
+    }
+    f.push_series("FV", fv);
+    f.push_series("LCPU", lcpu);
+    f.push_series("RCPU", rcpu);
+    f
+}
+
+// ---------------------------------------------------------------------------
+// Figure 11: encryption
+// ---------------------------------------------------------------------------
+
+/// Figure 11(a): read + decrypt response time vs table size.
+pub fn fig11a() -> Figure {
+    let mut f = Figure::new(
+        "fig11a",
+        "Decrypting read of an encrypted table",
+        "table size [bytes]",
+        "response time [us]",
+    );
+    let c = cluster();
+    let qp = c.connect().expect("region");
+    let key = CryptoSpec {
+        key: AES_KEY,
+        iv: AES_IV,
+    };
+    let mut fv = Vec::new();
+    let mut lcpu = Vec::new();
+    let mut rcpu = Vec::new();
+    for &size in &TABLE_SIZES {
+        let plain = TableGen::paper_default(size).build();
+        let encrypted = encrypt_table(&plain, &AES_KEY, &AES_IV);
+        let ft = load(&qp, &encrypted);
+        let out = qp.read_decrypt(&ft, key.clone()).expect("FV decrypt read");
+        assert_eq!(out.payload, plain.bytes(), "FV must recover plaintext");
+        fv.push((size as f64, us(out.stats.response_time)));
+        let l = CpuEngine::new(BaselineKind::Lcpu).decrypt_read(&encrypted, &AES_KEY, &AES_IV);
+        assert_eq!(l.payload, plain.bytes());
+        lcpu.push((size as f64, us(l.time)));
+        let r = CpuEngine::new(BaselineKind::Rcpu).decrypt_read(&encrypted, &AES_KEY, &AES_IV);
+        rcpu.push((size as f64, us(r.time)));
+        qp.free_table(ft).expect("free");
+    }
+    f.push_series("FV", fv);
+    f.push_series("LCPU", lcpu);
+    f.push_series("RCPU", rcpu);
+    f
+}
+
+/// Figure 11(b): throughput of a raw read (FV-RD) vs read+decrypt
+/// (FV-RD+Dec) — the curves must coincide ("no noticeable performance
+/// penalty", §6.7).
+pub fn fig11b() -> Figure {
+    let mut f = Figure::new(
+        "fig11b",
+        "Read vs read+decrypt throughput",
+        "transfer size [bytes]",
+        "throughput [GBps]",
+    );
+    let sizes = [256u64, 512, 1024, 2048, 4096];
+    let c = cluster();
+    let qp = c.connect().expect("region");
+    let key = CryptoSpec {
+        key: AES_KEY,
+        iv: AES_IV,
+    };
+    let mut rd = Vec::new();
+    let mut rd_dec = Vec::new();
+    for &size in &sizes {
+        let plain = TableGen::paper_default(size).build();
+        let encrypted = encrypt_table(&plain, &AES_KEY, &AES_IV);
+        let ft = load(&qp, &encrypted);
+        let raw = qp.table_read(&ft).expect("read");
+        let dec = qp.read_decrypt(&ft, key.clone()).expect("decrypt read");
+        // Effective throughput including fixed costs; both series share
+        // them, so coincidence demonstrates the zero-cost decrypt.
+        rd.push((size as f64, size as f64 / raw.stats.response_time.as_nanos() as f64));
+        rd_dec.push((size as f64, size as f64 / dec.stats.response_time.as_nanos() as f64));
+        qp.free_table(ft).expect("free");
+    }
+    f.push_series("FV-RD", rd);
+    f.push_series("FV-RD+Dec", rd_dec);
+    f
+}
+
+// ---------------------------------------------------------------------------
+// Figure 12: multiple clients
+// ---------------------------------------------------------------------------
+
+/// Figure 12: six concurrent clients all running a small-cardinality
+/// DISTINCT; y is the time until *all* clients have finished.
+pub fn fig12() -> Figure {
+    let mut f = Figure::new(
+        "fig12",
+        "Six concurrent clients, DISTINCT",
+        "table size [bytes]",
+        "response time (all clients done) [us]",
+    );
+    let sizes = [64u64 << 10, 128 << 10, 256 << 10, 512 << 10, 1 << 20, 2 << 20];
+    let clients = 6usize;
+    let c = cluster();
+    let qps: Vec<_> = (0..clients).map(|_| c.connect().expect("region")).collect();
+
+    let mut fv = Vec::new();
+    let mut lcpu = Vec::new();
+    let mut rcpu = Vec::new();
+    for &size in &sizes {
+        // Small distinct cardinality "to prevent the network from
+        // becoming the main bottleneck" (§6.8).
+        let tables: Vec<Table> = (0..clients)
+            .map(|i| {
+                TableGen::paper_default(size)
+                    .seed(100 + i as u64)
+                    .distinct_column(0, 32)
+                    .build()
+            })
+            .collect();
+        let fts: Vec<FTable> = qps
+            .iter()
+            .zip(&tables)
+            .map(|(qp, t)| load(qp, t))
+            .collect();
+        let spec = PipelineSpec::passthrough().distinct(vec![0]);
+        let requests = qps
+            .iter()
+            .zip(&fts)
+            .map(|(qp, ft)| (qp, ft, spec.clone()))
+            .collect();
+        let outs = c.run_concurrent(requests).expect("six clients");
+        let t_all = outs
+            .iter()
+            .map(|o| o.stats.response_time)
+            .fold(fv_sim::SimDuration::ZERO, fv_sim::SimDuration::max);
+        fv.push((size as f64, us(t_all)));
+
+        // CPU baselines: six processes contending (max = each, they are
+        // symmetric).
+        let l = CpuEngine::with_processes(BaselineKind::Lcpu, clients)
+            .distinct(&tables[0], &[0]);
+        lcpu.push((size as f64, us(l.time)));
+        let r = CpuEngine::with_processes(BaselineKind::Rcpu, clients)
+            .distinct(&tables[0], &[0]);
+        rcpu.push((size as f64, us(r.time)));
+
+        for (qp, ft) in qps.iter().zip(fts) {
+            qp.free_table(ft).expect("free");
+        }
+    }
+    f.push_series("FV", fv);
+    f.push_series("LCPU", lcpu);
+    f.push_series("RCPU", rcpu);
+    f
+}
+
+/// Every figure in evaluation order (the `figures all` command).
+pub fn all_figures() -> Vec<Figure> {
+    vec![
+        fig6a(),
+        fig6b(),
+        fig7(),
+        fig8(1.0),
+        fig8(0.5),
+        fig8(0.25),
+        fig9a(),
+        fig9b(),
+        fig9c(),
+        fig10(),
+        fig11a(),
+        fig11b(),
+        fig12(),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The headline claims of each figure, asserted on the reproduced
+    /// data. These are the "shape" checks DESIGN.md promises.
+    #[test]
+    fn fig6_shapes() {
+        let a = fig6a();
+        let fv = &a.series("FV").unwrap().points;
+        let rnic = &a.series("RNIC").unwrap().points;
+        // RNIC better below 4 kB; FV better at 32 kB.
+        assert!(rnic[2].1 > fv[2].1, "RNIC must win at 512 B");
+        assert!(fv.last().unwrap().1 > rnic.last().unwrap().1, "FV wins at 32 kB");
+        let b = fig6b();
+        let fv = &b.series("FV").unwrap().points;
+        let rnic = &b.series("RNIC").unwrap().points;
+        assert!(rnic[0].1 < fv[0].1, "RNIC lower response at 512 B");
+        assert!(fv.last().unwrap().1 < rnic.last().unwrap().1, "FV lower at 32 kB");
+    }
+
+    #[test]
+    fn fig7_ordering() {
+        // §6.3: whole-row reads win for 256 B tuples; smart addressing
+        // wins for 512 B tuples. So at every point:
+        //   FV-t256B < FV-SA < FV-t512B.
+        let f = fig7();
+        let sa = &f.series("FV-SA").unwrap().points;
+        let t256 = &f.series("FV-t256B").unwrap().points;
+        let t512 = &f.series("FV-t512B").unwrap().points;
+        for i in 2..sa.len() {
+            assert!(
+                t256[i].1 < sa[i].1,
+                "t256 must beat SA at {} tuples",
+                sa[i].0
+            );
+            assert!(sa[i].1 < t512[i].1, "SA must beat t512 at {} tuples", sa[i].0);
+        }
+    }
+
+    #[test]
+    fn fig8c_ordering() {
+        let f = fig8(0.25);
+        let last = |name: &str| f.series(name).unwrap().points.last().unwrap().1;
+        // At 1 MB / 25%: FV-V < FV < LCPU < RCPU (Figure 8(c)).
+        assert!(last("FV-V") < last("FV"));
+        assert!(last("FV") < last("LCPU"));
+        assert!(last("LCPU") < last("RCPU"));
+    }
+
+    #[test]
+    fn fig9a_baselines_blow_up() {
+        let f = fig9a();
+        let last = |name: &str| f.series(name).unwrap().points.last().unwrap().1;
+        assert!(last("LCPU") > 3.0 * last("FV"), "baselines must climb steeply");
+        assert!(last("RCPU") > last("LCPU"));
+    }
+
+    #[test]
+    fn fig11b_no_decrypt_penalty() {
+        let f = fig11b();
+        let rd = &f.series("FV-RD").unwrap().points;
+        let dec = &f.series("FV-RD+Dec").unwrap().points;
+        for (a, b) in rd.iter().zip(dec) {
+            let ratio = a.1 / b.1;
+            assert!((0.95..1.05).contains(&ratio), "decrypt must be free: {ratio}");
+        }
+    }
+
+    #[test]
+    fn table1_renders() {
+        let t = table1();
+        assert!(t.contains("6 regions"));
+        assert!(t.contains("Distinct/Group by"));
+    }
+}

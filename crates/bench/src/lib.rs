@@ -1,0 +1,30 @@
+//! # fv-bench — the experiment harness
+//!
+//! One function per table/figure of the paper's evaluation (§6). Each
+//! returns a [`Figure`] (labelled series of points) that the `figures`
+//! binary renders; the criterion benches under `benches/` run the same
+//! functions so `cargo bench` exercises every experiment end to end.
+//!
+//! | paper | function | what it shows |
+//! |---|---|---|
+//! | Table 1 | [`table1`] | FPGA resource overhead |
+//! | Fig 6(a) | [`fig6a`] | RDMA read throughput, FV vs RNIC |
+//! | Fig 6(b) | [`fig6b`] | RDMA read response time, FV vs RNIC |
+//! | Fig 7 | [`fig7`] | standard projection vs smart addressing |
+//! | Fig 8(a–c) | [`fig8`] | selection at 100/50/25 % selectivity |
+//! | Fig 9(a) | [`fig9a`] | DISTINCT vs table size |
+//! | Fig 9(b) | [`fig9b`] | GROUP BY+SUM vs table size |
+//! | Fig 9(c) | [`fig9c`] | GROUP BY+SUM vs group count |
+//! | Fig 10 | [`fig10`] | regex matching vs string size |
+//! | Fig 11(a) | [`fig11a`] | decrypt-read response time |
+//! | Fig 11(b) | [`fig11b`] | read vs read+decrypt throughput |
+//! | Fig 12 | [`fig12`] | six concurrent clients |
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod experiments;
+pub mod figure;
+
+pub use experiments::*;
+pub use figure::{Figure, Series};

@@ -1,0 +1,945 @@
+//! The client-facing API: connections, tables, queries.
+//!
+//! Maps the paper's C interface (§4.2) onto Rust:
+//!
+//! ```text
+//! bool openConnection(QPair*, FView*)        -> FarviewCluster::connect()
+//! bool allocTableMem(QPair*, FTable*)        -> QPair::alloc_table()
+//! void freeTableMem(QPair*, FTable*)         -> QPair::free_table()
+//! void tableRead(QPair*, FTable*)            -> QPair::table_read()
+//! void tableWrite(QPair*, FTable*)           -> QPair::table_write()
+//! void farView(QPair*, FTable*, u64* params) -> QPair::far_view()
+//! void select(...)                           -> QPair::select()
+//! ```
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use fv_data::{Catalog, CatalogEntry, Row, Schema, Table, Value};
+use fv_mem::{DomainId, MemoryStack, VirtAddr};
+use fv_pipeline::{
+    AggSpec, CompiledPipeline, PipelineSpec, PredicateExpr, CryptoSpec,
+};
+use fv_sim::calib::CPU_DEDUP_NS;
+use fv_sim::SimDuration;
+
+use crate::config::FarviewConfig;
+use crate::episode::{self, PreparedQuery};
+use crate::error::FvError;
+
+/// Per-query statistics, the unit every figure in `EXPERIMENTS.md` is
+/// built from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct QueryStats {
+    /// Client-observed response time (request post → result in client
+    /// memory), the paper's measurement (§6.2).
+    pub response_time: SimDuration,
+    /// Result payload bytes.
+    pub result_bytes: u64,
+    /// Bytes streamed out of disaggregated DRAM.
+    pub bytes_from_memory: u64,
+    /// Bytes on the wire (payload + packet headers).
+    pub bytes_on_wire: u64,
+    /// Response packets.
+    pub packets: u64,
+    /// Tuples entering the pipeline.
+    pub tuples_in: u64,
+    /// Tuples surviving to the packer.
+    pub tuples_out: u64,
+    /// Cuckoo overflow tuples needing client-side software handling.
+    pub overflow_tuples: u64,
+    /// Duplicates the LRU shift register absorbed.
+    pub hazard_catches: u64,
+    /// Groups flushed by group-by.
+    pub groups_flushed: u64,
+    /// Client CPU time to post-process overflow tuples (software dedup /
+    /// merge, §5.4) — *not* part of `response_time`.
+    pub client_postprocess: SimDuration,
+    /// Whether this query had to partially reconfigure the region
+    /// (swapping pipelines costs milliseconds, §3.2, outside the query).
+    pub reconfigured: bool,
+    /// Discrete events simulated (diagnostics).
+    pub sim_events: u64,
+}
+
+/// Result of a query: real bytes plus stats.
+#[derive(Debug, Clone)]
+pub struct QueryOutcome {
+    /// Raw result payload, packed in the output schema's row format.
+    pub payload: Vec<u8>,
+    /// Schema of the result tuples.
+    pub schema: Schema,
+    /// Statistics.
+    pub stats: QueryStats,
+}
+
+impl QueryOutcome {
+    /// Decode the payload into rows.
+    pub fn rows(&self) -> Vec<Row> {
+        let rb = self.schema.row_bytes();
+        assert_eq!(
+            self.payload.len() % rb,
+            0,
+            "payload is not whole rows (schema mismatch?)"
+        );
+        self.payload
+            .chunks_exact(rb)
+            .map(|raw| fv_data::RowView::new(&self.schema, raw).to_row())
+            .collect()
+    }
+
+    /// Number of result rows.
+    pub fn row_count(&self) -> usize {
+        self.payload.len() / self.schema.row_bytes()
+    }
+}
+
+/// A remote table handle: the client-side catalog entry plus the
+/// allocation in the disaggregated buffer pool.
+#[derive(Debug, Clone)]
+pub struct FTable {
+    qp: u32,
+    vaddr: VirtAddr,
+    schema: Schema,
+    rows: usize,
+}
+
+impl FTable {
+    /// Virtual address of the table in the buffer pool.
+    pub fn vaddr(&self) -> VirtAddr {
+        self.vaddr
+    }
+
+    /// Table schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Row count.
+    pub fn row_count(&self) -> usize {
+        self.rows
+    }
+
+    /// Byte footprint.
+    pub fn byte_len(&self) -> u64 {
+        (self.rows * self.schema.row_bytes()) as u64
+    }
+}
+
+/// A `SELECT`-shaped query for the [`QPair::select`] convenience wrapper
+/// (the paper's `select(qp, ft, projection_flags, selection_flags,
+/// predicate)`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SelectQuery {
+    projection: Option<Vec<usize>>,
+    predicate: PredicateExpr,
+    vectorize: bool,
+}
+
+impl SelectQuery {
+    /// `SELECT * ...` with no predicate yet.
+    pub fn all_columns() -> Self {
+        SelectQuery {
+            projection: None,
+            predicate: PredicateExpr::True,
+            vectorize: false,
+        }
+    }
+
+    /// `SELECT <cols> ...`.
+    pub fn columns(cols: Vec<usize>) -> Self {
+        SelectQuery {
+            projection: Some(cols),
+            predicate: PredicateExpr::True,
+            vectorize: false,
+        }
+    }
+
+    fn add(mut self, p: PredicateExpr) -> Self {
+        self.predicate = match self.predicate {
+            PredicateExpr::True => p,
+            existing => existing.and(p),
+        };
+        self
+    }
+
+    /// `AND col < value`.
+    pub fn and_lt(self, col: usize, value: impl Into<Value>) -> Self {
+        self.add(PredicateExpr::lt(col, value))
+    }
+
+    /// `AND col > value`.
+    pub fn and_gt(self, col: usize, value: impl Into<Value>) -> Self {
+        self.add(PredicateExpr::gt(col, value))
+    }
+
+    /// `AND col = value`.
+    pub fn and_eq(self, col: usize, value: impl Into<Value>) -> Self {
+        self.add(PredicateExpr::eq(col, value))
+    }
+
+    /// `AND col <> value`.
+    pub fn and_ne(self, col: usize, value: impl Into<Value>) -> Self {
+        self.add(PredicateExpr::ne(col, value))
+    }
+
+    /// Use the vectorized execution model (§5.3).
+    pub fn vectorized(mut self) -> Self {
+        self.vectorize = true;
+        self
+    }
+
+    /// Lower into a pipeline spec.
+    pub fn to_spec(&self) -> PipelineSpec {
+        let mut spec = PipelineSpec::passthrough();
+        if let Some(cols) = &self.projection {
+            spec = spec.project(cols.clone());
+        }
+        if self.predicate != PredicateExpr::True {
+            spec = spec.filter(self.predicate.clone());
+        }
+        if self.vectorize {
+            spec = spec.vectorized();
+        }
+        spec
+    }
+}
+
+struct Inner {
+    config: FarviewConfig,
+    mem: MemoryStack,
+    /// Region slot -> queue pair bound to it.
+    slots: Vec<Option<u32>>,
+    /// Fingerprint of the pipeline currently loaded per region.
+    loaded: Vec<Option<u64>>,
+    next_qp: u32,
+    reconfigurations: u64,
+}
+
+impl Inner {
+    fn slot_of(&self, qp: u32) -> Option<usize> {
+        self.slots.iter().position(|s| *s == Some(qp))
+    }
+}
+
+/// A Farview deployment: one smart-memory node plus client connections.
+#[derive(Clone)]
+pub struct FarviewCluster {
+    inner: Arc<Mutex<Inner>>,
+}
+
+impl FarviewCluster {
+    /// Bring up a node with the given configuration.
+    pub fn new(config: FarviewConfig) -> Self {
+        config.validate();
+        let mem = MemoryStack::with_tlb_capacity(
+            config.channels,
+            config.channel_bytes,
+            config.tlb_entries,
+        );
+        let slots = vec![None; config.regions];
+        let loaded = vec![None; config.regions];
+        FarviewCluster {
+            inner: Arc::new(Mutex::new(Inner {
+                config,
+                mem,
+                slots,
+                loaded,
+                next_qp: 1,
+                reconfigurations: 0,
+            })),
+        }
+    }
+
+    /// `openConnection`: bind a new queue pair to a free dynamic region.
+    pub fn connect(&self) -> Result<QPair, FvError> {
+        let mut inner = self.inner.lock();
+        let slot = inner
+            .slots
+            .iter()
+            .position(Option::is_none)
+            .ok_or(FvError::NoFreeRegion {
+                regions: inner.config.regions,
+            })?;
+        let qp = inner.next_qp;
+        inner.next_qp += 1;
+        inner.slots[slot] = Some(qp);
+        let domain = inner.mem.create_domain();
+        Ok(QPair {
+            inner: Arc::clone(&self.inner),
+            qp,
+            slot,
+            domain,
+            connected: true,
+            catalog: Mutex::new(Catalog::new()),
+        })
+    }
+
+    /// Total partial reconfigurations performed so far.
+    pub fn reconfigurations(&self) -> u64 {
+        self.inner.lock().reconfigurations
+    }
+
+    /// Free pages left in the disaggregated buffer pool.
+    pub fn free_pages(&self) -> u64 {
+        self.inner.lock().mem.free_page_count()
+    }
+
+    /// Run several queries *concurrently* in one simulation — the
+    /// multi-client experiment (Figure 12). Results are returned in
+    /// request order.
+    pub fn run_concurrent(
+        &self,
+        requests: Vec<(&QPair, &FTable, PipelineSpec)>,
+    ) -> Result<Vec<QueryOutcome>, FvError> {
+        let mut inner = self.inner.lock();
+        let mut prepared = Vec::with_capacity(requests.len());
+        let mut metas = Vec::with_capacity(requests.len());
+        for (qpair, ft, spec) in requests {
+            if !qpair.connected {
+                return Err(FvError::Disconnected);
+            }
+            if ft.qp != qpair.qp {
+                return Err(FvError::ForeignTable);
+            }
+            let (p, schema, reconf) = prepare(&mut inner, qpair, ft, spec)?;
+            prepared.push(p);
+            metas.push((schema, reconf));
+        }
+        let config = inner.config.clone();
+        let results = episode::run_episode(prepared, &config);
+        Ok(results
+            .into_iter()
+            .zip(metas)
+            .map(|(r, (schema, reconfigured))| finish_outcome(r, schema, reconfigured))
+            .collect())
+    }
+}
+
+/// Build the `PreparedQuery` for one request (pipeline compile, region
+/// reconfiguration bookkeeping, burst planning, functional data gather).
+fn prepare(
+    inner: &mut Inner,
+    qpair: &QPair,
+    ft: &FTable,
+    spec: PipelineSpec,
+) -> Result<(PreparedQuery, Schema, bool), FvError> {
+    let pipeline = CompiledPipeline::compile(spec, &ft.schema)?;
+    let fingerprint = pipeline.spec().fingerprint();
+    let slot = inner.slot_of(qpair.qp).ok_or(FvError::Disconnected)?;
+    let reconfigured = inner.loaded[slot] != Some(fingerprint);
+    if reconfigured {
+        inner.loaded[slot] = Some(fingerprint);
+        inner.reconfigurations += 1;
+    }
+    let bytes = ft.byte_len();
+    let out_schema = pipeline.out_schema().clone();
+    let vector_lanes = if pipeline.spec().vectorize {
+        inner.config.vector_lanes as u64
+    } else {
+        1
+    };
+
+    let (bursts, data, sa_tuples) = if let Some(sa) = pipeline.smart_addressing().cloned() {
+        // Smart addressing: gather only the projected bytes, per tuple.
+        let table = inner.mem.read(qpair.domain, ft.vaddr, bytes)?;
+        let mut gathered = Vec::with_capacity(ft.rows * sa.bytes_per_tuple);
+        for r in 0..ft.rows {
+            sa.gather(&table, r * sa.row_bytes, &mut gathered);
+        }
+        (Vec::new(), gathered, Some(ft.rows as u64))
+    } else if bytes == 0 {
+        (Vec::new(), Vec::new(), None)
+    } else {
+        let bursts = inner.mem.plan_bursts(qpair.domain, ft.vaddr, bytes)?;
+        let data = inner.mem.read(qpair.domain, ft.vaddr, bytes)?;
+        (bursts, data, None)
+    };
+
+    Ok((
+        PreparedQuery {
+            qp: qpair.qp,
+            slot,
+            pipeline,
+            bursts,
+            data,
+            sa_tuples,
+            vector_lanes,
+        },
+        out_schema,
+        reconfigured,
+    ))
+}
+
+fn finish_outcome(
+    r: episode::EpisodeResult,
+    schema: Schema,
+    reconfigured: bool,
+) -> QueryOutcome {
+    let p = r.pipeline;
+    QueryOutcome {
+        stats: QueryStats {
+            response_time: r.response_time,
+            result_bytes: r.payload.len() as u64,
+            bytes_from_memory: p.bytes_in,
+            bytes_on_wire: r.wire_bytes,
+            packets: r.packets,
+            tuples_in: p.tuples_in,
+            tuples_out: p.tuples_out,
+            overflow_tuples: p.overflow_tuples,
+            hazard_catches: p.hazard_catches,
+            groups_flushed: p.groups_flushed,
+            client_postprocess: SimDuration::from_nanos(p.overflow_tuples * CPU_DEDUP_NS),
+            reconfigured,
+            sim_events: r.events,
+        },
+        payload: r.payload,
+        schema,
+    }
+}
+
+/// A client connection bound to one dynamic region.
+pub struct QPair {
+    inner: Arc<Mutex<Inner>>,
+    qp: u32,
+    slot: usize,
+    domain: DomainId,
+    connected: bool,
+    /// The client-side table catalog: "We assume that the clients have
+    /// local catalog information that is used to determine the addresses
+    /// of the tables to be accessed" (§4.1).
+    catalog: Mutex<Catalog>,
+}
+
+impl std::fmt::Debug for QPair {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("QPair")
+            .field("qp", &self.qp)
+            .field("slot", &self.slot)
+            .field("connected", &self.connected)
+            .finish()
+    }
+}
+
+impl QPair {
+    /// The queue-pair id.
+    pub fn id(&self) -> u32 {
+        self.qp
+    }
+
+    /// The dynamic-region slot this connection owns.
+    pub fn region_slot(&self) -> usize {
+        self.slot
+    }
+
+    fn check_table(&self, ft: &FTable) -> Result<(), FvError> {
+        if !self.connected {
+            return Err(FvError::Disconnected);
+        }
+        if ft.qp != self.qp {
+            return Err(FvError::ForeignTable);
+        }
+        Ok(())
+    }
+
+    /// `allocTableMem`: allocate buffer-pool space for a table shape.
+    pub fn alloc_table_spec(&self, schema: &Schema, rows: usize) -> Result<FTable, FvError> {
+        if !self.connected {
+            return Err(FvError::Disconnected);
+        }
+        let bytes = (rows * schema.row_bytes()) as u64;
+        let mut inner = self.inner.lock();
+        let vaddr = inner.mem.alloc(self.domain, bytes.max(1))?;
+        Ok(FTable {
+            qp: self.qp,
+            vaddr,
+            schema: schema.clone(),
+            rows,
+        })
+    }
+
+    /// `allocTableMem` sized for an existing in-memory table.
+    pub fn alloc_table(&self, table: &Table) -> Result<FTable, FvError> {
+        self.alloc_table_spec(table.schema(), table.row_count())
+    }
+
+    /// `tableWrite`: populate the remote table. Returns the simulated
+    /// transfer time.
+    pub fn table_write(&self, ft: &FTable, data: &[u8]) -> Result<SimDuration, FvError> {
+        self.check_table(ft)?;
+        if data.len() as u64 != ft.byte_len() {
+            return Err(FvError::WriteSizeMismatch {
+                provided: data.len() as u64,
+                expected: ft.byte_len(),
+            });
+        }
+        let mut inner = self.inner.lock();
+        if !data.is_empty() {
+            inner.mem.write(self.domain, ft.vaddr, data)?;
+        }
+        Ok(episode::write_time(data.len() as u64, &inner.config))
+    }
+
+    /// Allocate + write in one call.
+    pub fn load_table(&self, table: &Table) -> Result<(FTable, SimDuration), FvError> {
+        let ft = self.alloc_table(table)?;
+        let t = self.table_write(&ft, table.bytes())?;
+        Ok((ft, t))
+    }
+
+    /// Allocate + write + register under a name in the client-side
+    /// catalog (§4.1). Later lookups rebuild the `FTable` handle from
+    /// the catalog entry alone.
+    pub fn load_table_named(
+        &self,
+        name: &str,
+        table: &Table,
+    ) -> Result<(FTable, SimDuration), FvError> {
+        let (ft, time) = self.load_table(table)?;
+        let mut cat = self.catalog.lock();
+        cat.register(
+            name,
+            CatalogEntry {
+                schema: ft.schema.clone(),
+                rows: ft.rows,
+                vaddr: Some(ft.vaddr),
+            },
+        );
+        Ok((ft, time))
+    }
+
+    /// Rebuild a table handle from the catalog — what the paper's query
+    /// threads do: resolve the table name to a buffer-pool address
+    /// locally, without asking the memory node.
+    pub fn table_by_name(&self, name: &str) -> Option<FTable> {
+        let cat = self.catalog.lock();
+        let entry = cat.get(name)?;
+        Some(FTable {
+            qp: self.qp,
+            vaddr: entry.vaddr?,
+            schema: entry.schema.clone(),
+            rows: entry.rows,
+        })
+    }
+
+    /// Drop a table from the catalog *and* free its buffer-pool pages.
+    pub fn drop_named(&self, name: &str) -> Result<(), FvError> {
+        let ft = {
+            let mut cat = self.catalog.lock();
+            match cat.remove(name).and_then(|e| e.vaddr) {
+                Some(vaddr) => FTable {
+                    qp: self.qp,
+                    vaddr,
+                    schema: Schema::uniform_u64(1), // only vaddr matters for free
+                    rows: 0,
+                },
+                None => return Ok(()),
+            }
+        };
+        let mut inner = self.inner.lock();
+        inner.mem.free(self.domain, ft.vaddr)?;
+        Ok(())
+    }
+
+    /// Names registered in this connection's catalog.
+    pub fn catalog_names(&self) -> Vec<String> {
+        self.catalog
+            .lock()
+            .iter()
+            .map(|(n, _)| n.to_string())
+            .collect()
+    }
+
+    /// `freeTableMem`.
+    pub fn free_table(&self, ft: FTable) -> Result<(), FvError> {
+        self.check_table(&ft)?;
+        let mut inner = self.inner.lock();
+        inner.mem.free(self.domain, ft.vaddr)?;
+        Ok(())
+    }
+
+    /// Share a table with another connection (the buffer pool "can be
+    /// shared between different remote computing nodes", §4.2).
+    pub fn share_table(&self, ft: &FTable, with: &QPair) -> Result<FTable, FvError> {
+        self.check_table(ft)?;
+        if !with.connected {
+            return Err(FvError::Disconnected);
+        }
+        let mut inner = self.inner.lock();
+        let vaddr = inner.mem.share(self.domain, ft.vaddr, with.domain)?;
+        Ok(FTable {
+            qp: with.qp,
+            vaddr,
+            schema: ft.schema.clone(),
+            rows: ft.rows,
+        })
+    }
+
+    /// The general `farView` verb: run an operator pipeline over the
+    /// table inside the disaggregated memory.
+    pub fn far_view(&self, ft: &FTable, spec: &PipelineSpec) -> Result<QueryOutcome, FvError> {
+        self.check_table(ft)?;
+        let mut inner = self.inner.lock();
+        let (prepared, schema, reconf) = prepare(&mut inner, self, ft, spec.clone())?;
+        let config = inner.config.clone();
+        let result = episode::run_episode(vec![prepared], &config).remove(0);
+        Ok(finish_outcome(result, schema, reconf))
+    }
+
+    /// `tableRead`: plain RDMA read of the whole table through the
+    /// passthrough path.
+    pub fn table_read(&self, ft: &FTable) -> Result<QueryOutcome, FvError> {
+        self.far_view(ft, &PipelineSpec::passthrough())
+    }
+
+    /// The paper's `select()` wrapper.
+    pub fn select(&self, ft: &FTable, q: &SelectQuery) -> Result<QueryOutcome, FvError> {
+        self.far_view(ft, &q.to_spec())
+    }
+
+    /// `SELECT DISTINCT <cols> FROM ft`.
+    pub fn distinct(&self, ft: &FTable, cols: Vec<usize>) -> Result<QueryOutcome, FvError> {
+        self.far_view(ft, &PipelineSpec::passthrough().distinct(cols))
+    }
+
+    /// `SELECT <keys>, <aggs> FROM ft GROUP BY <keys>`.
+    pub fn group_by(
+        &self,
+        ft: &FTable,
+        keys: Vec<usize>,
+        aggs: Vec<AggSpec>,
+    ) -> Result<QueryOutcome, FvError> {
+        self.far_view(ft, &PipelineSpec::passthrough().group_by(keys, aggs))
+    }
+
+    /// Inner-join the remote table against a small build-side table
+    /// shipped with the request and held in on-chip memory (§7's
+    /// "joins against small tables in the memory"). `probe_col` is the
+    /// key column of the remote table, `build_key` the key column of
+    /// `build`.
+    pub fn join_small(
+        &self,
+        ft: &FTable,
+        probe_col: usize,
+        build: &Table,
+        build_key: usize,
+    ) -> Result<QueryOutcome, FvError> {
+        let join = fv_pipeline::JoinSmallSpec::new(probe_col, build, build_key);
+        self.far_view(ft, &PipelineSpec::passthrough().join_small(join))
+    }
+
+    /// Regex selection over a string column.
+    pub fn regex_match(
+        &self,
+        ft: &FTable,
+        col: usize,
+        pattern: &str,
+    ) -> Result<QueryOutcome, FvError> {
+        self.far_view(ft, &PipelineSpec::passthrough().regex_match(col, pattern))
+    }
+
+    /// Read a table that rests encrypted, decrypting on the data path
+    /// (§5.5 / Figure 11a).
+    pub fn read_decrypt(&self, ft: &FTable, key: CryptoSpec) -> Result<QueryOutcome, FvError> {
+        self.far_view(ft, &PipelineSpec::passthrough().decrypt(key))
+    }
+
+    /// Close the connection, releasing the dynamic region and every
+    /// allocation of this domain.
+    pub fn disconnect(mut self) {
+        self.teardown();
+    }
+
+    fn teardown(&mut self) {
+        if !self.connected {
+            return;
+        }
+        self.connected = false;
+        let mut inner = self.inner.lock();
+        inner.slots[self.slot] = None;
+        inner.loaded[self.slot] = None;
+        let _ = inner.mem.destroy_domain(self.domain);
+    }
+}
+
+impl Drop for QPair {
+    fn drop(&mut self) {
+        self.teardown();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fv_data::{TableBuilder, Value};
+
+    fn make_table(rows: u64) -> Table {
+        let schema = Schema::uniform_u64(8);
+        let mut b = TableBuilder::with_capacity(schema, rows as usize);
+        for i in 0..rows {
+            b.push_values((0..8).map(|c| Value::U64(i * 8 + c)).collect());
+        }
+        b.build()
+    }
+
+    fn cluster() -> FarviewCluster {
+        FarviewCluster::new(FarviewConfig::tiny())
+    }
+
+    #[test]
+    fn connect_assigns_distinct_regions() {
+        let c = cluster();
+        let a = c.connect().unwrap();
+        let b = c.connect().unwrap();
+        assert_ne!(a.region_slot(), b.region_slot());
+        assert!(matches!(c.connect(), Err(FvError::NoFreeRegion { regions: 2 })));
+        drop(a);
+        assert!(c.connect().is_ok(), "dropped QPair frees its region");
+        let _ = b;
+    }
+
+    #[test]
+    fn table_roundtrip_through_buffer_pool() {
+        let c = cluster();
+        let qp = c.connect().unwrap();
+        let t = make_table(128);
+        let (ft, write_time) = qp.load_table(&t).unwrap();
+        assert!(write_time > SimDuration::ZERO);
+        let out = qp.table_read(&ft).unwrap();
+        assert_eq!(out.payload, t.bytes());
+        assert_eq!(out.row_count(), 128);
+        assert_eq!(out.stats.packets, 9); // 8 KiB + FIN
+        qp.free_table(ft).unwrap();
+    }
+
+    #[test]
+    fn select_matches_oracle() {
+        let c = cluster();
+        let qp = c.connect().unwrap();
+        let t = make_table(512);
+        let (ft, _) = qp.load_table(&t).unwrap();
+        // c0 = 8i < 2048 -> i < 256.
+        let q = SelectQuery::all_columns().and_lt(0, 2048u64);
+        let out = qp.select(&ft, &q).unwrap();
+        assert_eq!(out.row_count(), 256);
+        assert_eq!(out.stats.tuples_in, 512);
+        assert_eq!(out.stats.tuples_out, 256);
+        // First surviving row is row 0.
+        assert_eq!(out.rows()[0].value(0), &Value::U64(0));
+    }
+
+    #[test]
+    fn foreign_table_rejected() {
+        let c = cluster();
+        let a = c.connect().unwrap();
+        let b = c.connect().unwrap();
+        let t = make_table(4);
+        let (ft, _) = a.load_table(&t).unwrap();
+        assert!(matches!(b.table_read(&ft), Err(FvError::ForeignTable)));
+        // But sharing makes it legal.
+        let shared = a.share_table(&ft, &b).unwrap();
+        let out = b.table_read(&shared).unwrap();
+        assert_eq!(out.payload, t.bytes());
+    }
+
+    #[test]
+    fn write_size_must_match() {
+        let c = cluster();
+        let qp = c.connect().unwrap();
+        let t = make_table(4);
+        let ft = qp.alloc_table(&t).unwrap();
+        assert!(matches!(
+            qp.table_write(&ft, &t.bytes()[..63]),
+            Err(FvError::WriteSizeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn reconfiguration_tracked_per_region() {
+        let c = cluster();
+        let qp = c.connect().unwrap();
+        let t = make_table(16);
+        let (ft, _) = qp.load_table(&t).unwrap();
+        let out1 = qp.table_read(&ft).unwrap();
+        assert!(out1.stats.reconfigured, "first load configures the region");
+        let out2 = qp.table_read(&ft).unwrap();
+        assert!(!out2.stats.reconfigured, "same pipeline stays loaded");
+        let out3 = qp.distinct(&ft, vec![0]).unwrap();
+        assert!(out3.stats.reconfigured, "new pipeline reconfigures");
+        assert_eq!(c.reconfigurations(), 2);
+    }
+
+    #[test]
+    fn distinct_and_group_by_results() {
+        let c = cluster();
+        let qp = c.connect().unwrap();
+        let schema = Schema::uniform_u64(2);
+        let mut b = TableBuilder::new(schema.clone());
+        for i in 0..100u64 {
+            b.push_values(vec![Value::U64(i % 10), Value::U64(1)]);
+        }
+        let t = b.build();
+        let (ft, _) = qp.load_table(&t).unwrap();
+
+        let d = qp.distinct(&ft, vec![0]).unwrap();
+        assert_eq!(d.row_count(), 10);
+
+        let g = qp
+            .group_by(
+                &ft,
+                vec![0],
+                vec![AggSpec {
+                    col: 1,
+                    func: fv_pipeline::AggFunc::Sum,
+                }],
+            )
+            .unwrap();
+        assert_eq!(g.row_count(), 10);
+        for row in g.rows() {
+            assert_eq!(row.value(1), &Value::U64(10), "each group sums to 10");
+        }
+        assert_eq!(g.stats.groups_flushed, 10);
+    }
+
+    #[test]
+    fn concurrent_clients_via_run_concurrent() {
+        let c = cluster();
+        let a = c.connect().unwrap();
+        let b = c.connect().unwrap();
+        let t = make_table(256);
+        let (fta, _) = a.load_table(&t).unwrap();
+        let (ftb, _) = b.load_table(&t).unwrap();
+        let outs = c
+            .run_concurrent(vec![
+                (&a, &fta, PipelineSpec::passthrough()),
+                (&b, &ftb, PipelineSpec::passthrough()),
+            ])
+            .unwrap();
+        assert_eq!(outs.len(), 2);
+        assert_eq!(outs[0].payload, t.bytes());
+        assert_eq!(outs[1].payload, t.bytes());
+        // Concurrent runs share the wire: slower than solo.
+        let solo = a.table_read(&fta).unwrap();
+        assert!(outs[0].stats.response_time > solo.stats.response_time);
+    }
+
+    #[test]
+    fn join_small_end_to_end() {
+        let c = cluster();
+        let qp = c.connect().unwrap();
+        // Probe: 100 rows, key = i % 10 in column 0.
+        let schema = Schema::uniform_u64(2);
+        let mut b = TableBuilder::new(schema.clone());
+        for i in 0..100u64 {
+            b.push_values(vec![Value::U64(i % 10), Value::U64(i)]);
+        }
+        let probe = b.build();
+        // Build: dimension rows for keys 2 and 7.
+        let mut bb = TableBuilder::new(Schema::uniform_u64(2));
+        bb.push_values(vec![Value::U64(2), Value::U64(222)]);
+        bb.push_values(vec![Value::U64(7), Value::U64(777)]);
+        let build = bb.build();
+
+        let (ft, _) = qp.load_table(&probe).unwrap();
+        let out = qp.join_small(&ft, 0, &build, 0).unwrap();
+        // 10 probe rows per key, 2 build keys.
+        assert_eq!(out.row_count(), 20);
+        assert_eq!(out.schema.column_count(), 3);
+        for row in out.rows() {
+            let key = row.value(0).as_u64();
+            let dim = row.value(2).as_u64();
+            assert_eq!(dim, key * 111);
+        }
+        // Cross-validate against the independent CPU implementation.
+        let cpu = fv_baseline::CpuEngine::new(fv_baseline::BaselineKind::Lcpu)
+            .join_small(&probe, 0, &build, 0);
+        assert_eq!(out.payload, cpu.payload);
+    }
+
+    #[test]
+    fn join_upload_costs_response_time() {
+        let c = cluster();
+        let qp = c.connect().unwrap();
+        let probe = make_table(256);
+        let (ft, _) = qp.load_table(&probe).unwrap();
+        let small = make_table(4);
+        let big = make_table(2048); // 128 KiB build side
+        let t_small = qp.join_small(&ft, 0, &small, 0).unwrap().stats.response_time;
+        let t_big = qp.join_small(&ft, 0, &big, 0).unwrap().stats.response_time;
+        assert!(
+            t_big > t_small + SimDuration::from_micros(8),
+            "shipping a 128 KiB build side must cost wire time: {t_big} vs {t_small}"
+        );
+    }
+
+    #[test]
+    fn compressed_results_shrink_the_wire() {
+        let c = cluster();
+        let qp = c.connect().unwrap();
+        // Low-cardinality columns compress well.
+        let schema = Schema::uniform_u64(8);
+        let mut b = TableBuilder::new(schema.clone());
+        for i in 0..4096u64 {
+            b.push_values((0..8).map(|col| Value::U64((i % 7) + col)).collect());
+        }
+        let t = b.build();
+        let (ft, _) = qp.load_table(&t).unwrap();
+
+        let plain = qp.table_read(&ft).unwrap();
+        let compressed = qp
+            .far_view(&ft, &PipelineSpec::passthrough().compress())
+            .unwrap();
+        assert!(
+            compressed.stats.bytes_on_wire * 2 < plain.stats.bytes_on_wire,
+            "redundant table must compress >2x on the wire: {} vs {}",
+            compressed.stats.bytes_on_wire,
+            plain.stats.bytes_on_wire
+        );
+        assert!(compressed.stats.response_time < plain.stats.response_time);
+        // The client decompresses back to the exact image.
+        let recovered = fv_pipeline::compress::decompress(&compressed.payload).unwrap();
+        assert_eq!(recovered, t.bytes());
+    }
+
+    #[test]
+    fn catalog_names_resolve_to_handles() {
+        let c = cluster();
+        let qp = c.connect().unwrap();
+        let t = make_table(32);
+        qp.load_table_named("lineitem", &t).unwrap();
+        assert_eq!(qp.catalog_names(), vec!["lineitem".to_string()]);
+        let ft = qp.table_by_name("lineitem").expect("catalog hit");
+        let out = qp.table_read(&ft).unwrap();
+        assert_eq!(out.payload, t.bytes());
+        assert!(qp.table_by_name("orders").is_none());
+        let pages_before = c.free_pages();
+        qp.drop_named("lineitem").unwrap();
+        assert!(c.free_pages() > pages_before);
+        assert!(qp.table_by_name("lineitem").is_none());
+    }
+
+    #[test]
+    fn encrypted_table_roundtrip() {
+        let c = cluster();
+        let qp = c.connect().unwrap();
+        let t = make_table(64);
+        let key = CryptoSpec {
+            key: [7; 16],
+            iv: [9; 16],
+        };
+        // Store the table encrypted.
+        let mut cipher_image = t.bytes().to_vec();
+        fv_crypto::ctr_apply_at(&key.key, &key.iv, 0, &mut cipher_image);
+        let cipher_table = Table::from_bytes(t.schema().clone(), cipher_image);
+        let (ft, _) = qp.load_table(&cipher_table).unwrap();
+
+        // A plain read returns ciphertext.
+        let raw = qp.table_read(&ft).unwrap();
+        assert_ne!(raw.payload, t.bytes());
+
+        // A decrypting read returns the plaintext.
+        let dec = qp.read_decrypt(&ft, key).unwrap();
+        assert_eq!(dec.payload, t.bytes());
+    }
+}

@@ -1,0 +1,89 @@
+//! Node configuration.
+
+use fv_sim::calib;
+
+/// Configuration of one Farview node.
+///
+/// Defaults reproduce the evaluated system (§6.1): an Alveo u250 with two
+/// of four 16 GB channels active, six dynamic regions, 1 kB packets.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FarviewConfig {
+    /// Active DRAM channels ("we used two of the four available
+    /// channels", §6.1).
+    pub channels: usize,
+    /// Bytes per channel (16 GB on the u250; default shrunk to 256 MB to
+    /// keep host allocations reasonable — the experiments' footprints are
+    /// ≤ 8 MB).
+    pub channel_bytes: u64,
+    /// Dynamic regions ("We use six dynamic regions", §6.1).
+    pub regions: usize,
+    /// Credit budget per queue pair, in packets (§4.3 flow control).
+    pub credit_budget: u32,
+    /// TLB entries (ablation knob).
+    pub tlb_entries: usize,
+    /// Use vector lanes equal to `channels` when a spec asks for
+    /// vectorized execution.
+    pub vector_lanes: usize,
+}
+
+impl Default for FarviewConfig {
+    fn default() -> Self {
+        FarviewConfig {
+            channels: calib::DEFAULT_CHANNELS,
+            channel_bytes: 256 * 1024 * 1024,
+            regions: calib::DEFAULT_REGIONS,
+            credit_budget: calib::QP_CREDITS,
+            tlb_entries: calib::TLB_ENTRIES,
+            vector_lanes: calib::DEFAULT_CHANNELS,
+        }
+    }
+}
+
+impl FarviewConfig {
+    /// A small configuration for unit tests (fewer pages to allocate).
+    pub fn tiny() -> Self {
+        FarviewConfig {
+            channels: 2,
+            channel_bytes: 16 * 1024 * 1024,
+            regions: 2,
+            ..FarviewConfig::default()
+        }
+    }
+
+    /// Validate invariants.
+    ///
+    /// # Panics
+    /// Panics on nonsensical configurations (zero channels/regions).
+    pub fn validate(&self) {
+        assert!(self.channels > 0, "need at least one DRAM channel");
+        assert!(self.regions > 0, "need at least one dynamic region");
+        assert!(self.credit_budget > 0, "credit budget must be positive");
+        assert!(
+            self.vector_lanes >= 1 && self.vector_lanes <= 8,
+            "vector lanes out of range"
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper_setup() {
+        let c = FarviewConfig::default();
+        c.validate();
+        assert_eq!(c.channels, 2);
+        assert_eq!(c.regions, 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "dynamic region")]
+    fn zero_regions_rejected() {
+        FarviewConfig {
+            regions: 0,
+            ..FarviewConfig::default()
+        }
+        .validate();
+    }
+}

@@ -1,0 +1,75 @@
+//! Unified error type for the client API.
+
+use std::fmt;
+
+use fv_mem::MemError;
+use fv_pipeline::PipelineError;
+
+/// Errors surfaced by the Farview client API.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FvError {
+    /// All dynamic regions are occupied — no connection slot free
+    /// ("Clients access the disaggregated memory by opening a connection
+    /// with Farview, which results in the assignment of a dynamic
+    /// region", §4.1).
+    NoFreeRegion {
+        /// Regions configured on the node.
+        regions: usize,
+    },
+    /// The queue pair was already disconnected.
+    Disconnected,
+    /// Memory-stack failure (allocation, protection, bounds).
+    Mem(MemError),
+    /// Pipeline compilation failure.
+    Pipeline(PipelineError),
+    /// A write's payload does not match the table allocation.
+    WriteSizeMismatch {
+        /// Bytes provided.
+        provided: u64,
+        /// Bytes the table was allocated for.
+        expected: u64,
+    },
+    /// An `FTable` handle was used on a different connection than the one
+    /// that allocated it.
+    ForeignTable,
+    /// A tiered-pool query named an object that was never staged to
+    /// storage.
+    NotInStorage {
+        /// The missing object name.
+        name: String,
+    },
+}
+
+impl fmt::Display for FvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FvError::NoFreeRegion { regions } => {
+                write!(f, "all {regions} dynamic regions are assigned")
+            }
+            FvError::Disconnected => write!(f, "queue pair is disconnected"),
+            FvError::Mem(e) => write!(f, "memory stack: {e}"),
+            FvError::Pipeline(e) => write!(f, "operator pipeline: {e}"),
+            FvError::WriteSizeMismatch { provided, expected } => {
+                write!(f, "table write of {provided} bytes into a {expected}-byte table")
+            }
+            FvError::ForeignTable => write!(f, "FTable belongs to a different queue pair"),
+            FvError::NotInStorage { name } => {
+                write!(f, "object {name:?} is not in the storage tier")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FvError {}
+
+impl From<MemError> for FvError {
+    fn from(e: MemError) -> Self {
+        FvError::Mem(e)
+    }
+}
+
+impl From<PipelineError> for FvError {
+    fn from(e: PipelineError) -> Self {
+        FvError::Pipeline(e)
+    }
+}

@@ -1,0 +1,48 @@
+//! # farview-core — the Farview smart disaggregated memory
+//!
+//! The paper's primary contribution: a network-attached buffer pool with
+//! operator off-loading. This crate wires the substrates together:
+//!
+//! * [`FarviewCluster`] — the deployment: one Farview node (memory stack
+//!   from `fv-mem`, network stack from `fv-net`, operator stack from
+//!   `fv-pipeline`) plus any number of client connections.
+//! * [`QPair`] — a client connection bound to one dynamic region,
+//!   exposing the paper's programmatic interface (§4.2):
+//!   `openConnection` → [`FarviewCluster::connect`], `allocTableMem` →
+//!   [`QPair::alloc_table`], `tableRead`/`tableWrite`, and the `farView`
+//!   verb → [`QPair::far_view`] with convenience wrappers
+//!   ([`QPair::select`], [`QPair::distinct`], [`QPair::group_by`],
+//!   [`QPair::regex_match`], [`QPair::read_decrypt`]).
+//! * [`episode`] — the discrete-event execution of one or more
+//!   concurrent queries against the node (Figure 2's datapath: DRAM
+//!   channels → MMU → dynamic regions → fair-shared egress → wire).
+//! * [`resources`] — the FPGA resource model behind Table 1.
+//! * [`microbench`] — the pipelined-read throughput model of Figure 6(a).
+//!
+//! Every query returns a [`QueryOutcome`]: the real result bytes (the
+//! operators actually executed) plus [`QueryStats`] with the simulated
+//! client-observed response time — measured exactly as the paper does,
+//! "until the final results are written to the memory of the client
+//! machine" (§6.2).
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+mod cluster;
+mod config;
+mod error;
+pub mod episode;
+pub mod microbench;
+pub mod resources;
+pub mod tiered;
+
+pub use cluster::{FTable, FarviewCluster, QPair, QueryOutcome, QueryStats, SelectQuery};
+pub use config::FarviewConfig;
+pub use error::FvError;
+pub use tiered::{BlockStore, StorageParams, TieredPool};
+
+// Re-export the pipeline vocabulary: it is the public query language.
+pub use fv_pipeline::{
+    AggFunc, AggSpec, CmpOp, CryptoSpec, GroupingSpec, JoinSmallSpec, PipelineSpec,
+    PredicateExpr, RegexFilter,
+};

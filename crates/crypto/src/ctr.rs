@@ -1,0 +1,159 @@
+//! NIST SP 800-38A counter mode over [`Aes128`].
+//!
+//! The keystream block for index `i` is `E_K(counter0 + i)` where the
+//! counter block is treated as one 128-bit big-endian integer (SP 800-38A
+//! Appendix B.1 standard incrementing function). Seeking to an arbitrary
+//! byte offset is O(1), which is what lets the FPGA operator decrypt a
+//! table region independently of where the read starts.
+
+use crate::aes::Aes128;
+
+/// A seekable AES-128-CTR keystream applier.
+#[derive(Debug, Clone)]
+pub struct AesCtr {
+    cipher: Aes128,
+    iv: [u8; 16],
+    /// Current absolute byte offset in the stream.
+    offset: u64,
+}
+
+impl AesCtr {
+    /// Create a CTR stream with the given initial counter block.
+    pub fn new(cipher: Aes128, iv: [u8; 16]) -> Self {
+        AesCtr {
+            cipher,
+            iv,
+            offset: 0,
+        }
+    }
+
+    /// Position the stream at an absolute byte offset.
+    pub fn seek(&mut self, byte_offset: u64) {
+        self.offset = byte_offset;
+    }
+
+    /// Current absolute byte offset.
+    pub fn position(&self) -> u64 {
+        self.offset
+    }
+
+    /// Counter block for keystream block index `i` (big-endian add).
+    fn counter_block(&self, block_index: u64) -> [u8; 16] {
+        let mut block = self.iv;
+        let mut carry = block_index;
+        for byte in block.iter_mut().rev() {
+            if carry == 0 {
+                break;
+            }
+            let sum = u64::from(*byte) + (carry & 0xff);
+            *byte = (sum & 0xff) as u8;
+            carry = (carry >> 8) + (sum >> 8);
+        }
+        block
+    }
+
+    /// XOR the keystream into `data`, advancing the stream position.
+    /// Encryption and decryption are the same operation.
+    pub fn apply(&mut self, data: &mut [u8]) {
+        let mut i = 0usize;
+        while i < data.len() {
+            let abs = self.offset + i as u64;
+            let block_index = abs / 16;
+            let in_block = (abs % 16) as usize;
+            let keystream = self.cipher.encrypt(&self.counter_block(block_index));
+            let take = (16 - in_block).min(data.len() - i);
+            for j in 0..take {
+                data[i + j] ^= keystream[in_block + j];
+            }
+            i += take;
+        }
+        self.offset += data.len() as u64;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(s: &str) -> Vec<u8> {
+        (0..s.len())
+            .step_by(2)
+            .map(|i| u8::from_str_radix(&s[i..i + 2], 16).unwrap())
+            .collect()
+    }
+
+    /// NIST SP 800-38A F.5.1 CTR-AES128.Encrypt, all four blocks.
+    #[test]
+    fn sp800_38a_f51() {
+        let key: [u8; 16] = hex("2b7e151628aed2a6abf7158809cf4f3c").try_into().unwrap();
+        let iv: [u8; 16] = hex("f0f1f2f3f4f5f6f7f8f9fafbfcfdfeff").try_into().unwrap();
+        let mut data = hex(concat!(
+            "6bc1bee22e409f96e93d7e117393172a",
+            "ae2d8a571e03ac9c9eb76fac45af8e51",
+            "30c81c46a35ce411e5fbc1191a0a52ef",
+            "f69f2445df4f9b17ad2b417be66c3710",
+        ));
+        let mut ctr = AesCtr::new(Aes128::new(&key), iv);
+        ctr.apply(&mut data);
+        assert_eq!(
+            data,
+            hex(concat!(
+                "874d6191b620e3261bef6864990db6ce",
+                "9806f66b7970fdff8617187bb9fffdff",
+                "5ae4df3edbd5d35e5b4f09020db03eab",
+                "1e031dda2fbe03d1792170a0f3009cee",
+            ))
+        );
+        assert_eq!(ctr.position(), 64);
+    }
+
+    /// Counter increment must carry across bytes (big-endian 128-bit add).
+    #[test]
+    fn counter_carry_propagates() {
+        let iv = [0xffu8; 16];
+        let ctr = AesCtr::new(Aes128::new(&[0u8; 16]), iv);
+        let next = ctr.counter_block(1);
+        assert_eq!(next, [0u8; 16], "all-ones + 1 must wrap to zero");
+        let plus2 = ctr.counter_block(2);
+        let mut expect = [0u8; 16];
+        expect[15] = 1;
+        assert_eq!(plus2, expect);
+    }
+
+    /// Applying in arbitrary chunk sizes must equal one-shot application.
+    #[test]
+    fn chunked_equals_oneshot() {
+        let key = [5u8; 16];
+        let iv = [6u8; 16];
+        let plain: Vec<u8> = (0u16..513).map(|i| (i % 251) as u8).collect();
+
+        let mut oneshot = plain.clone();
+        AesCtr::new(Aes128::new(&key), iv).apply(&mut oneshot);
+
+        let mut chunked = plain.clone();
+        let mut ctr = AesCtr::new(Aes128::new(&key), iv);
+        let mut pos = 0;
+        for size in [1usize, 3, 16, 15, 17, 64, 128, 269] {
+            let end = (pos + size).min(chunked.len());
+            ctr.apply(&mut chunked[pos..end]);
+            pos = end;
+        }
+        ctr.apply(&mut chunked[pos..]);
+        assert_eq!(chunked, oneshot);
+    }
+
+    /// Unaligned seek must produce the same bytes as streaming past them.
+    #[test]
+    fn seek_mid_block() {
+        let key = [9u8; 16];
+        let iv = [1u8; 16];
+        let mut stream = vec![0u8; 100];
+        AesCtr::new(Aes128::new(&key), iv).apply(&mut stream);
+
+        let mut tail = vec![0u8; 37];
+        let mut ctr = AesCtr::new(Aes128::new(&key), iv);
+        ctr.seek(63);
+        ctr.apply(&mut tail);
+        assert_eq!(&tail[..], &stream[63..100]);
+    }
+}

@@ -1,0 +1,128 @@
+//! The client-side catalog.
+//!
+//! "We assume that the clients have local catalog information that is used
+//! to determine the addresses of the tables to be accessed" (§4.1). The
+//! catalog maps table names to their schema and, once allocated in the
+//! disaggregated buffer pool, their virtual address.
+
+use std::collections::BTreeMap;
+
+use crate::schema::Schema;
+
+/// Catalog record for one table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CatalogEntry {
+    /// Schema of the table.
+    pub schema: Schema,
+    /// Number of rows currently stored.
+    pub rows: usize,
+    /// Virtual address inside the disaggregated buffer pool, if allocated.
+    pub vaddr: Option<u64>,
+}
+
+impl CatalogEntry {
+    /// Total byte footprint of the table image.
+    pub fn byte_len(&self) -> usize {
+        self.rows * self.schema.row_bytes()
+    }
+}
+
+/// Name → table metadata. Deterministic iteration order (BTreeMap) so
+/// catalog dumps are stable in tests and docs.
+#[derive(Debug, Clone, Default)]
+pub struct Catalog {
+    entries: BTreeMap<String, CatalogEntry>,
+}
+
+impl Catalog {
+    /// Empty catalog.
+    pub fn new() -> Self {
+        Catalog::default()
+    }
+
+    /// Register (or replace) a table.
+    pub fn register(&mut self, name: impl Into<String>, entry: CatalogEntry) {
+        self.entries.insert(name.into(), entry);
+    }
+
+    /// Look a table up.
+    pub fn get(&self, name: &str) -> Option<&CatalogEntry> {
+        self.entries.get(name)
+    }
+
+    /// Record the buffer-pool address assigned to `name`.
+    ///
+    /// Returns `false` if the table is unknown.
+    pub fn bind_address(&mut self, name: &str, vaddr: u64) -> bool {
+        match self.entries.get_mut(name) {
+            Some(e) => {
+                e.vaddr = Some(vaddr);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Remove a table, returning its entry if present.
+    pub fn remove(&mut self, name: &str) -> Option<CatalogEntry> {
+        self.entries.remove(name)
+    }
+
+    /// Number of registered tables.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no tables are registered.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterate over `(name, entry)` in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &CatalogEntry)> {
+        self.entries.iter().map(|(k, v)| (k.as_str(), v))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_lookup_bind_remove() {
+        let mut cat = Catalog::new();
+        assert!(cat.is_empty());
+        cat.register(
+            "lineitem",
+            CatalogEntry {
+                schema: Schema::uniform_u64(8),
+                rows: 1000,
+                vaddr: None,
+            },
+        );
+        assert_eq!(cat.len(), 1);
+        assert_eq!(cat.get("lineitem").unwrap().byte_len(), 64_000);
+        assert!(cat.bind_address("lineitem", 0x20_0000));
+        assert_eq!(cat.get("lineitem").unwrap().vaddr, Some(0x20_0000));
+        assert!(!cat.bind_address("orders", 0));
+        assert!(cat.remove("lineitem").is_some());
+        assert!(cat.get("lineitem").is_none());
+    }
+
+    #[test]
+    fn iteration_is_name_ordered() {
+        let mut cat = Catalog::new();
+        for name in ["z", "a", "m"] {
+            cat.register(
+                name,
+                CatalogEntry {
+                    schema: Schema::uniform_u64(1),
+                    rows: 0,
+                    vaddr: None,
+                },
+            );
+        }
+        let names: Vec<&str> = cat.iter().map(|(n, _)| n).collect();
+        assert_eq!(names, vec!["a", "m", "z"]);
+    }
+}

@@ -1,0 +1,34 @@
+//! # fv-data — row-format tables, schemas, and the client catalog
+//!
+//! Farview stores base tables in disaggregated memory in **row format**
+//! ("We assume that all data is stored in row format", paper §5 fn. 1)
+//! with fixed-length attributes; the evaluation's default table is "8
+//! attributes, where each attribute is 8 bytes long" (§6.2). This crate
+//! defines that physical layout and is shared by every other crate:
+//!
+//! * [`ColumnType`] / [`Value`] — fixed-width column types and their
+//!   little-endian wire encoding.
+//! * [`Schema`] — ordered, named, fixed-width columns with byte offsets.
+//! * [`Table`] — an owned byte buffer plus its schema; the unit that is
+//!   written into the disaggregated buffer pool.
+//! * [`RowView`] — zero-copy access to one tuple inside a byte slice,
+//!   used by both the FPGA-side operators and the CPU baselines so both
+//!   engines parse the exact same bytes.
+//! * [`Catalog`] — the client-side table catalog ("We assume that the
+//!   clients have local catalog information that is used to determine the
+//!   addresses of the tables to be accessed", §4.1).
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+mod catalog;
+mod row;
+mod schema;
+mod table;
+mod value;
+
+pub use catalog::{Catalog, CatalogEntry};
+pub use row::{Row, RowView};
+pub use schema::{Column, Schema};
+pub use table::{Table, TableBuilder};
+pub use value::{ColumnType, Value};

@@ -1,0 +1,247 @@
+//! Column types and values with their physical (little-endian) encoding.
+
+use std::fmt;
+
+/// The type of one fixed-width column.
+///
+/// Everything in Farview's datapath is fixed-width: the FPGA projection
+/// operator "parses the incoming data stream based on query parameters
+/// describing the tuples and their size" (§5.2), which requires static
+/// offsets. Variable-length data is carried in fixed-size `Bytes(n)`
+/// fields (zero-padded), as in the regex experiments' string columns.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum ColumnType {
+    /// Unsigned 64-bit integer, 8 bytes LE.
+    U64,
+    /// Signed 64-bit integer, 8 bytes LE (two's complement).
+    I64,
+    /// IEEE-754 double, 8 bytes LE. Selection predicates on reals are the
+    /// paper's running example (`SELECT S.a FROM S WHERE S.c > 3.14`).
+    F64,
+    /// Fixed-width byte string of the given length, zero-padded.
+    Bytes(usize),
+}
+
+impl ColumnType {
+    /// Physical width in bytes.
+    pub fn width(self) -> usize {
+        match self {
+            ColumnType::U64 | ColumnType::I64 | ColumnType::F64 => 8,
+            ColumnType::Bytes(n) => n,
+        }
+    }
+
+    /// Decode a value of this type from exactly `width()` bytes.
+    ///
+    /// # Panics
+    /// Panics if `raw.len() != self.width()`.
+    pub fn decode(self, raw: &[u8]) -> Value {
+        assert_eq!(
+            raw.len(),
+            self.width(),
+            "decode: got {} bytes for {:?}",
+            raw.len(),
+            self
+        );
+        match self {
+            ColumnType::U64 => Value::U64(u64::from_le_bytes(raw.try_into().expect("8 bytes"))),
+            ColumnType::I64 => Value::I64(i64::from_le_bytes(raw.try_into().expect("8 bytes"))),
+            ColumnType::F64 => Value::F64(f64::from_le_bytes(raw.try_into().expect("8 bytes"))),
+            ColumnType::Bytes(_) => Value::Bytes(raw.to_vec()),
+        }
+    }
+}
+
+/// One column value.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub enum Value {
+    /// Unsigned integer.
+    U64(u64),
+    /// Signed integer.
+    I64(i64),
+    /// Double-precision float.
+    F64(f64),
+    /// Byte string (length must match the column's declared width when
+    /// encoded; shorter strings are zero-padded by [`Value::encode_into`]).
+    Bytes(Vec<u8>),
+}
+
+impl Value {
+    /// The column type this value naturally encodes as, given a declared
+    /// byte-string width for `Bytes`.
+    pub fn column_type(&self, bytes_width: usize) -> ColumnType {
+        match self {
+            Value::U64(_) => ColumnType::U64,
+            Value::I64(_) => ColumnType::I64,
+            Value::F64(_) => ColumnType::F64,
+            Value::Bytes(_) => ColumnType::Bytes(bytes_width),
+        }
+    }
+
+    /// Append the physical encoding of this value as column type `ty`.
+    ///
+    /// # Panics
+    /// Panics on a type mismatch, or if a byte string is longer than the
+    /// declared column width.
+    pub fn encode_into(&self, ty: ColumnType, out: &mut Vec<u8>) {
+        match (self, ty) {
+            (Value::U64(x), ColumnType::U64) => out.extend_from_slice(&x.to_le_bytes()),
+            (Value::I64(x), ColumnType::I64) => out.extend_from_slice(&x.to_le_bytes()),
+            (Value::F64(x), ColumnType::F64) => out.extend_from_slice(&x.to_le_bytes()),
+            (Value::Bytes(b), ColumnType::Bytes(n)) => {
+                assert!(
+                    b.len() <= n,
+                    "byte string of {} bytes does not fit column of width {n}",
+                    b.len()
+                );
+                out.extend_from_slice(b);
+                out.resize(out.len() + (n - b.len()), 0);
+            }
+            (v, t) => panic!("type mismatch: value {v:?} vs column {t:?}"),
+        }
+    }
+
+    /// Unwrap as `u64`.
+    ///
+    /// # Panics
+    /// Panics if the variant is not `U64`.
+    pub fn as_u64(&self) -> u64 {
+        match self {
+            Value::U64(x) => *x,
+            other => panic!("expected U64, got {other:?}"),
+        }
+    }
+
+    /// Unwrap as `i64`.
+    ///
+    /// # Panics
+    /// Panics if the variant is not `I64`.
+    pub fn as_i64(&self) -> i64 {
+        match self {
+            Value::I64(x) => *x,
+            other => panic!("expected I64, got {other:?}"),
+        }
+    }
+
+    /// Unwrap as `f64`.
+    ///
+    /// # Panics
+    /// Panics if the variant is not `F64`.
+    pub fn as_f64(&self) -> f64 {
+        match self {
+            Value::F64(x) => *x,
+            other => panic!("expected F64, got {other:?}"),
+        }
+    }
+
+    /// Unwrap as bytes.
+    ///
+    /// # Panics
+    /// Panics if the variant is not `Bytes`.
+    pub fn as_bytes(&self) -> &[u8] {
+        match self {
+            Value::Bytes(b) => b,
+            other => panic!("expected Bytes, got {other:?}"),
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::U64(x) => write!(f, "{x}"),
+            Value::I64(x) => write!(f, "{x}"),
+            Value::F64(x) => write!(f, "{x}"),
+            Value::Bytes(b) => write!(f, "{:?}", String::from_utf8_lossy(b)),
+        }
+    }
+}
+
+impl From<u64> for Value {
+    fn from(x: u64) -> Self {
+        Value::U64(x)
+    }
+}
+impl From<i64> for Value {
+    fn from(x: i64) -> Self {
+        Value::I64(x)
+    }
+}
+impl From<f64> for Value {
+    fn from(x: f64) -> Self {
+        Value::F64(x)
+    }
+}
+impl From<&str> for Value {
+    fn from(s: &str) -> Self {
+        Value::Bytes(s.as_bytes().to_vec())
+    }
+}
+impl From<Vec<u8>> for Value {
+    fn from(b: Vec<u8>) -> Self {
+        Value::Bytes(b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn widths() {
+        assert_eq!(ColumnType::U64.width(), 8);
+        assert_eq!(ColumnType::I64.width(), 8);
+        assert_eq!(ColumnType::F64.width(), 8);
+        assert_eq!(ColumnType::Bytes(17).width(), 17);
+    }
+
+    #[test]
+    #[allow(clippy::approx_constant)] // 3.14 is the paper's own example predicate
+    fn roundtrip_numeric() {
+        for v in [
+            Value::U64(0),
+            Value::U64(u64::MAX),
+            Value::I64(-12345),
+            Value::F64(3.14),
+            Value::F64(-0.0),
+        ] {
+            let ty = v.column_type(0);
+            let mut buf = Vec::new();
+            v.encode_into(ty, &mut buf);
+            assert_eq!(buf.len(), ty.width());
+            assert_eq!(ty.decode(&buf), v);
+        }
+    }
+
+    #[test]
+    fn bytes_are_padded_and_roundtrip() {
+        let v = Value::Bytes(b"car".to_vec());
+        let ty = ColumnType::Bytes(8);
+        let mut buf = Vec::new();
+        v.encode_into(ty, &mut buf);
+        assert_eq!(buf, b"car\0\0\0\0\0");
+        assert_eq!(ty.decode(&buf), Value::Bytes(b"car\0\0\0\0\0".to_vec()));
+    }
+
+    #[test]
+    #[should_panic(expected = "does not fit")]
+    fn oversized_bytes_rejected() {
+        let mut buf = Vec::new();
+        Value::Bytes(vec![0; 9]).encode_into(ColumnType::Bytes(8), &mut buf);
+    }
+
+    #[test]
+    #[should_panic(expected = "type mismatch")]
+    fn type_mismatch_rejected() {
+        let mut buf = Vec::new();
+        Value::U64(1).encode_into(ColumnType::F64, &mut buf);
+    }
+
+    #[test]
+    fn conversions() {
+        assert_eq!(Value::from(5u64).as_u64(), 5);
+        assert_eq!(Value::from(-5i64).as_i64(), -5);
+        assert_eq!(Value::from(2.5f64).as_f64(), 2.5);
+        assert_eq!(Value::from("hi").as_bytes(), b"hi");
+    }
+}

@@ -1,0 +1,104 @@
+//! Property tests for the physical row format.
+
+use proptest::prelude::*;
+
+use fv_data::{Column, ColumnType, Row, RowView, Schema, Table, TableBuilder, Value};
+
+/// Arbitrary column type with bounded byte-string widths.
+fn arb_column_type() -> impl Strategy<Value = ColumnType> {
+    prop_oneof![
+        Just(ColumnType::U64),
+        Just(ColumnType::I64),
+        Just(ColumnType::F64),
+        (1usize..16).prop_map(ColumnType::Bytes),
+    ]
+}
+
+fn arb_schema() -> impl Strategy<Value = Schema> {
+    prop::collection::vec(arb_column_type(), 1..6).prop_map(|types| {
+        Schema::new(
+            types
+                .into_iter()
+                .enumerate()
+                .map(|(i, ty)| Column {
+                    name: format!("col{i}"),
+                    ty,
+                })
+                .collect(),
+        )
+    })
+}
+
+fn arb_value(ty: ColumnType) -> BoxedStrategy<Value> {
+    match ty {
+        ColumnType::U64 => any::<u64>().prop_map(Value::U64).boxed(),
+        ColumnType::I64 => any::<i64>().prop_map(Value::I64).boxed(),
+        // Exclude NaN: Value equality on NaN is (deliberately) false.
+        ColumnType::F64 => (-1e300f64..1e300).prop_map(Value::F64).boxed(),
+        ColumnType::Bytes(n) => prop::collection::vec(any::<u8>(), n)
+            .prop_map(Value::Bytes)
+            .boxed(),
+    }
+}
+
+fn arb_row(schema: &Schema) -> impl Strategy<Value = Row> {
+    schema
+        .columns()
+        .iter()
+        .map(|c| arb_value(c.ty))
+        .collect::<Vec<_>>()
+        .prop_map(Row)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// encode ∘ decode is the identity for every schema/row pair.
+    #[test]
+    fn row_roundtrips(schema in arb_schema().prop_flat_map(|s| {
+        let rows = arb_row(&s);
+        (Just(s), rows)
+    })) {
+        let (schema, row) = schema;
+        let bytes = row.encode(&schema);
+        prop_assert_eq!(bytes.len(), schema.row_bytes());
+        let back = RowView::new(&schema, &bytes).to_row();
+        prop_assert_eq!(back, row);
+    }
+
+    /// Tables are stable under byte-image roundtrip, and row views agree
+    /// with the builder inputs.
+    #[test]
+    fn table_roundtrips(rows in prop::collection::vec(
+        prop::collection::vec(any::<u64>(), 3),
+        1..50,
+    )) {
+        let schema = Schema::uniform_u64(3);
+        let mut b = TableBuilder::with_capacity(schema.clone(), rows.len());
+        for r in &rows {
+            b.push_values(r.iter().map(|&v| Value::U64(v)).collect());
+        }
+        let t = b.build();
+        prop_assert_eq!(t.row_count(), rows.len());
+        let t2 = Table::from_bytes(schema, t.bytes().to_vec());
+        prop_assert_eq!(&t, &t2);
+        for (i, r) in rows.iter().enumerate() {
+            for (c, &v) in r.iter().enumerate() {
+                prop_assert_eq!(t.row(i).value(c), Value::U64(v));
+            }
+        }
+    }
+
+    /// Column offsets tile the row exactly: contiguous, non-overlapping,
+    /// covering `row_bytes`.
+    #[test]
+    fn schema_offsets_tile_the_row(schema in arb_schema()) {
+        let mut expected = 0usize;
+        for i in 0..schema.column_count() {
+            let r = schema.column_range(i);
+            prop_assert_eq!(r.start, expected);
+            expected = r.end;
+        }
+        prop_assert_eq!(expected, schema.row_bytes());
+    }
+}

@@ -1,0 +1,78 @@
+//! Memory-stack error type.
+
+use std::fmt;
+
+use crate::stack::{DomainId, VirtAddr};
+
+/// Errors surfaced by the memory stack.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MemError {
+    /// The buffer pool has no free pages left.
+    OutOfMemory {
+        /// Pages requested.
+        requested_pages: u64,
+        /// Pages currently free.
+        free_pages: u64,
+    },
+    /// A domain touched a virtual address it has no mapping for — the
+    /// isolation the paper's MMU enforces between dynamic regions (§4.4).
+    AccessFault {
+        /// Offending domain.
+        domain: DomainId,
+        /// Offending virtual address.
+        vaddr: VirtAddr,
+    },
+    /// Free/share named an address that is not the base of a live
+    /// allocation in that domain.
+    NoSuchAllocation {
+        /// Offending domain.
+        domain: DomainId,
+        /// Offending virtual address.
+        vaddr: VirtAddr,
+    },
+    /// An unknown protection domain id.
+    NoSuchDomain(DomainId),
+    /// A read/write ran past the end of its allocation.
+    OutOfBounds {
+        /// Base of the allocation.
+        vaddr: VirtAddr,
+        /// Allocation length in bytes.
+        alloc_len: u64,
+        /// Byte offset at which the access would end.
+        access_end: u64,
+    },
+    /// Zero-byte allocation request.
+    EmptyAllocation,
+}
+
+impl fmt::Display for MemError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MemError::OutOfMemory {
+                requested_pages,
+                free_pages,
+            } => write!(
+                f,
+                "out of disaggregated memory: need {requested_pages} pages, {free_pages} free"
+            ),
+            MemError::AccessFault { domain, vaddr } => {
+                write!(f, "access fault: domain {domain} has no mapping at {vaddr:#x}")
+            }
+            MemError::NoSuchAllocation { domain, vaddr } => {
+                write!(f, "domain {domain} has no allocation based at {vaddr:#x}")
+            }
+            MemError::NoSuchDomain(d) => write!(f, "unknown protection domain {d}"),
+            MemError::OutOfBounds {
+                vaddr,
+                alloc_len,
+                access_end,
+            } => write!(
+                f,
+                "access to {access_end} bytes past {vaddr:#x} exceeds allocation of {alloc_len}"
+            ),
+            MemError::EmptyAllocation => write!(f, "zero-byte allocation"),
+        }
+    }
+}
+
+impl std::error::Error for MemError {}

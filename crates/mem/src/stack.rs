@@ -1,0 +1,567 @@
+//! The MMU: domains, page tables, allocation, protection, and burst
+//! planning.
+//!
+//! "The central part of this stack is the MMU, which is responsible for
+//! all memory address translations to a shared dynamically allocated
+//! memory ... It provides parallel interfaces, isolation and protection
+//! for the requests stemming from different dynamic regions" (§4.4).
+//!
+//! Each dynamic region / queue pair gets a *protection domain* with its
+//! own virtual address space; pages are naturally aligned 2 MB units
+//! allocated from a shared physical pool. Sharing ("This dynamically
+//! allocated memory can also be shared between different queue pairs",
+//! §4.3) maps the same physical pages into a second domain, with
+//! reference counting so pages return to the pool only after the last
+//! unmap.
+
+use std::collections::HashMap;
+
+use fv_sim::calib::{MEM_BURST_BYTES, PAGE_BYTES, STRIPE_BYTES, TLB_ENTRIES};
+
+use crate::error::MemError;
+use crate::phys::PhysicalMemory;
+use crate::tlb::Tlb;
+
+/// Protection-domain id (one per dynamic region / queue pair).
+pub type DomainId = u32;
+
+/// A virtual address inside a domain's address space.
+pub type VirtAddr = u64;
+
+/// TLB counters snapshot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TlbStats {
+    /// Translations served from the TLB.
+    pub hits: u64,
+    /// Translations requiring a page-table walk.
+    pub misses: u64,
+    /// LRU evictions.
+    pub evictions: u64,
+}
+
+/// One planned memory burst: the unit the simulator charges to a DRAM
+/// channel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BurstReq {
+    /// Which channel serves this burst (stripe interleaving).
+    pub channel: usize,
+    /// Starting physical address.
+    pub paddr: u64,
+    /// Burst length in bytes (≤ [`MEM_BURST_BYTES`]).
+    pub bytes: u64,
+    /// Whether the translation hit the TLB.
+    pub tlb_hit: bool,
+}
+
+#[derive(Debug, Clone)]
+struct Allocation {
+    bytes: u64,
+    /// Physical page numbers backing this allocation, in vpage order.
+    ppages: Vec<u64>,
+}
+
+#[derive(Debug, Clone, Default)]
+struct Domain {
+    /// vpage -> ppage.
+    page_table: HashMap<u64, u64>,
+    /// Base vaddr -> allocation record.
+    allocations: HashMap<VirtAddr, Allocation>,
+    /// Bump pointer for fresh virtual ranges (starts past page 0 so a
+    /// zero vaddr is always invalid, catching uninitialized handles).
+    next_vaddr: u64,
+}
+
+/// The memory stack: physical channels + MMU + TLB.
+#[derive(Debug)]
+pub struct MemoryStack {
+    phys: PhysicalMemory,
+    domains: HashMap<DomainId, Domain>,
+    next_domain: DomainId,
+    /// Free physical page numbers, kept descending so `pop` hands out
+    /// ascending page numbers (deterministic layout).
+    free_pages: Vec<u64>,
+    /// Physical page -> number of domains mapping it.
+    page_refs: HashMap<u64, u32>,
+    tlb: Tlb,
+}
+
+impl MemoryStack {
+    /// A stack over `n_channels` channels of `channel_bytes` each, with
+    /// the default TLB capacity.
+    pub fn new(n_channels: usize, channel_bytes: u64) -> Self {
+        Self::with_tlb_capacity(n_channels, channel_bytes, TLB_ENTRIES)
+    }
+
+    /// As [`MemoryStack::new`] with an explicit TLB capacity (used by the
+    /// TLB ablation bench).
+    pub fn with_tlb_capacity(n_channels: usize, channel_bytes: u64, tlb_entries: usize) -> Self {
+        let phys = PhysicalMemory::new(n_channels, channel_bytes);
+        let total_pages = phys.total_bytes() / PAGE_BYTES;
+        assert!(total_pages > 0, "memory smaller than one 2 MB page");
+        let free_pages: Vec<u64> = (0..total_pages).rev().collect();
+        MemoryStack {
+            phys,
+            domains: HashMap::new(),
+            next_domain: 0,
+            free_pages,
+            page_refs: HashMap::new(),
+            tlb: Tlb::new(tlb_entries),
+        }
+    }
+
+    /// Number of DRAM channels.
+    pub fn channel_count(&self) -> usize {
+        self.phys.channel_count()
+    }
+
+    /// Free pages remaining in the pool.
+    pub fn free_page_count(&self) -> u64 {
+        self.free_pages.len() as u64
+    }
+
+    /// Create a new protection domain (one per connection/region).
+    pub fn create_domain(&mut self) -> DomainId {
+        let id = self.next_domain;
+        self.next_domain += 1;
+        self.domains.insert(
+            id,
+            Domain {
+                next_vaddr: PAGE_BYTES,
+                ..Domain::default()
+            },
+        );
+        id
+    }
+
+    /// Tear a domain down, unmapping everything it still holds.
+    pub fn destroy_domain(&mut self, domain: DomainId) -> Result<(), MemError> {
+        let d = self
+            .domains
+            .remove(&domain)
+            .ok_or(MemError::NoSuchDomain(domain))?;
+        for alloc in d.allocations.values() {
+            for &p in &alloc.ppages {
+                self.release_page(p);
+            }
+        }
+        self.tlb.flush_domain(domain);
+        Ok(())
+    }
+
+    fn release_page(&mut self, ppage: u64) {
+        let refs = self
+            .page_refs
+            .get_mut(&ppage)
+            .expect("released page must be ref-counted");
+        *refs -= 1;
+        if *refs == 0 {
+            self.page_refs.remove(&ppage);
+            self.free_pages.push(ppage);
+            // Keep handing out ascending pages deterministically.
+            self.free_pages.sort_unstable_by(|a, b| b.cmp(a));
+        }
+    }
+
+    fn domain_mut(&mut self, domain: DomainId) -> Result<&mut Domain, MemError> {
+        self.domains
+            .get_mut(&domain)
+            .ok_or(MemError::NoSuchDomain(domain))
+    }
+
+    /// Allocate `bytes` (rounded up to whole pages) in `domain`,
+    /// returning the base virtual address.
+    pub fn alloc(&mut self, domain: DomainId, bytes: u64) -> Result<VirtAddr, MemError> {
+        if bytes == 0 {
+            return Err(MemError::EmptyAllocation);
+        }
+        if !self.domains.contains_key(&domain) {
+            return Err(MemError::NoSuchDomain(domain));
+        }
+        let pages = crate::pages_for(bytes);
+        if pages > self.free_pages.len() as u64 {
+            return Err(MemError::OutOfMemory {
+                requested_pages: pages,
+                free_pages: self.free_pages.len() as u64,
+            });
+        }
+        let ppages: Vec<u64> = (0..pages)
+            .map(|_| self.free_pages.pop().expect("count checked"))
+            .collect();
+        for &p in &ppages {
+            *self.page_refs.entry(p).or_insert(0) += 1;
+        }
+        let d = self.domains.get_mut(&domain).expect("checked above");
+        let vaddr = d.next_vaddr;
+        d.next_vaddr += pages * PAGE_BYTES;
+        for (i, &p) in ppages.iter().enumerate() {
+            d.page_table.insert(vaddr / PAGE_BYTES + i as u64, p);
+        }
+        d.allocations.insert(vaddr, Allocation { bytes, ppages });
+        Ok(vaddr)
+    }
+
+    /// Free the allocation based at `vaddr` in `domain`. Physical pages
+    /// return to the pool once their last mapping (across shares) is
+    /// gone.
+    pub fn free(&mut self, domain: DomainId, vaddr: VirtAddr) -> Result<(), MemError> {
+        let alloc = {
+            let d = self.domain_mut(domain)?;
+            let alloc = d
+                .allocations
+                .remove(&vaddr)
+                .ok_or(MemError::NoSuchAllocation { domain, vaddr })?;
+            for i in 0..alloc.ppages.len() as u64 {
+                d.page_table.remove(&(vaddr / PAGE_BYTES + i));
+            }
+            alloc
+        };
+        for i in 0..alloc.ppages.len() as u64 {
+            self.tlb.flush_page((domain, vaddr / PAGE_BYTES + i));
+        }
+        for &p in &alloc.ppages {
+            self.release_page(p);
+        }
+        Ok(())
+    }
+
+    /// Map the allocation based at `vaddr` in `from` into domain `to`,
+    /// returning the address it appears at in `to`'s address space.
+    pub fn share(
+        &mut self,
+        from: DomainId,
+        vaddr: VirtAddr,
+        to: DomainId,
+    ) -> Result<VirtAddr, MemError> {
+        if !self.domains.contains_key(&to) {
+            return Err(MemError::NoSuchDomain(to));
+        }
+        let alloc = {
+            let d = self
+                .domains
+                .get(&from)
+                .ok_or(MemError::NoSuchDomain(from))?;
+            d.allocations
+                .get(&vaddr)
+                .ok_or(MemError::NoSuchAllocation {
+                    domain: from,
+                    vaddr,
+                })?
+                .clone()
+        };
+        for &p in &alloc.ppages {
+            *self.page_refs.entry(p).or_insert(0) += 1;
+        }
+        let d = self.domains.get_mut(&to).expect("checked above");
+        let new_vaddr = d.next_vaddr;
+        d.next_vaddr += alloc.ppages.len() as u64 * PAGE_BYTES;
+        for (i, &p) in alloc.ppages.iter().enumerate() {
+            d.page_table.insert(new_vaddr / PAGE_BYTES + i as u64, p);
+        }
+        d.allocations.insert(new_vaddr, alloc);
+        Ok(new_vaddr)
+    }
+
+    /// Translate one virtual address; `(paddr, tlb_hit)`.
+    pub fn translate(
+        &mut self,
+        domain: DomainId,
+        vaddr: VirtAddr,
+    ) -> Result<(u64, bool), MemError> {
+        let vpage = vaddr / PAGE_BYTES;
+        if let Some(ppage) = self.tlb.lookup((domain, vpage)) {
+            return Ok((ppage * PAGE_BYTES + vaddr % PAGE_BYTES, true));
+        }
+        let d = self
+            .domains
+            .get(&domain)
+            .ok_or(MemError::NoSuchDomain(domain))?;
+        let &ppage = d
+            .page_table
+            .get(&vpage)
+            .ok_or(MemError::AccessFault { domain, vaddr })?;
+        self.tlb.insert((domain, vpage), ppage);
+        Ok((ppage * PAGE_BYTES + vaddr % PAGE_BYTES, false))
+    }
+
+    /// Bounds-check an access of `len` bytes at `vaddr` against the
+    /// containing allocation.
+    fn check_bounds(
+        &self,
+        domain: DomainId,
+        vaddr: VirtAddr,
+        len: u64,
+    ) -> Result<(), MemError> {
+        let d = self
+            .domains
+            .get(&domain)
+            .ok_or(MemError::NoSuchDomain(domain))?;
+        // Find the allocation containing vaddr (base <= vaddr < base+pages).
+        let containing = d.allocations.iter().find(|(&base, a)| {
+            vaddr >= base && vaddr < base + a.ppages.len() as u64 * PAGE_BYTES
+        });
+        match containing {
+            None => Err(MemError::AccessFault { domain, vaddr }),
+            Some((&base, a)) => {
+                let end = vaddr - base + len;
+                if end > a.bytes {
+                    Err(MemError::OutOfBounds {
+                        vaddr: base,
+                        alloc_len: a.bytes,
+                        access_end: end,
+                    })
+                } else {
+                    Ok(())
+                }
+            }
+        }
+    }
+
+    /// Write `data` at `vaddr` in `domain`.
+    pub fn write(
+        &mut self,
+        domain: DomainId,
+        vaddr: VirtAddr,
+        data: &[u8],
+    ) -> Result<(), MemError> {
+        self.check_bounds(domain, vaddr, data.len() as u64)?;
+        let mut off = 0usize;
+        while off < data.len() {
+            let va = vaddr + off as u64;
+            let (pa, _) = self.translate(domain, va)?;
+            let page_left = (PAGE_BYTES - va % PAGE_BYTES) as usize;
+            let take = page_left.min(data.len() - off);
+            self.phys.write(pa, &data[off..off + take]);
+            off += take;
+        }
+        Ok(())
+    }
+
+    /// Read `len` bytes at `vaddr` in `domain`.
+    pub fn read(
+        &mut self,
+        domain: DomainId,
+        vaddr: VirtAddr,
+        len: u64,
+    ) -> Result<Vec<u8>, MemError> {
+        self.check_bounds(domain, vaddr, len)?;
+        let mut out = vec![0u8; len as usize];
+        let mut off = 0usize;
+        while off < out.len() {
+            let va = vaddr + off as u64;
+            let (pa, _) = self.translate(domain, va)?;
+            let page_left = (PAGE_BYTES - va % PAGE_BYTES) as usize;
+            let take = page_left.min(out.len() - off);
+            let (head, tail) = out.split_at_mut(off + take);
+            let _ = tail;
+            self.phys.read(pa, &mut head[off..off + take]);
+            off += take;
+        }
+        Ok(out)
+    }
+
+    /// Plan the channel bursts for a streaming read of `len` bytes at
+    /// `vaddr`. Bursts never cross a stripe boundary, so each lands on
+    /// exactly one channel — this is the schedule the simulator charges.
+    pub fn plan_bursts(
+        &mut self,
+        domain: DomainId,
+        vaddr: VirtAddr,
+        len: u64,
+    ) -> Result<Vec<BurstReq>, MemError> {
+        self.check_bounds(domain, vaddr, len)?;
+        let mut plan = Vec::with_capacity((len / MEM_BURST_BYTES + 2) as usize);
+        let mut va = vaddr;
+        let mut remaining = len;
+        while remaining > 0 {
+            let (pa, tlb_hit) = self.translate(domain, va)?;
+            let stripe_left = STRIPE_BYTES - pa % STRIPE_BYTES;
+            let page_left = PAGE_BYTES - va % PAGE_BYTES;
+            let bytes = remaining.min(stripe_left).min(page_left).min(MEM_BURST_BYTES);
+            plan.push(BurstReq {
+                channel: self.phys.channel_of(pa),
+                paddr: pa,
+                bytes,
+                tlb_hit,
+            });
+            va += bytes;
+            remaining -= bytes;
+        }
+        Ok(plan)
+    }
+
+    /// Current TLB counters.
+    pub fn tlb_stats(&self) -> TlbStats {
+        let (hits, misses, evictions) = self.tlb.stats();
+        TlbStats {
+            hits,
+            misses,
+            evictions,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stack() -> MemoryStack {
+        // 2 channels x 16 MB = 16 pages.
+        MemoryStack::new(2, 16 * 1024 * 1024)
+    }
+
+    #[test]
+    fn alloc_write_read_roundtrip() {
+        let mut m = stack();
+        let d = m.create_domain();
+        let va = m.alloc(d, 3 * 1024 * 1024).unwrap(); // 2 pages
+        let data: Vec<u8> = (0..300_000).map(|i| (i % 241) as u8).collect();
+        m.write(d, va, &data).unwrap();
+        assert_eq!(m.read(d, va, data.len() as u64).unwrap(), data);
+        // Offsetted access within bounds.
+        let tail = m.read(d, va + 100, 50).unwrap();
+        assert_eq!(&tail[..], &data[100..150]);
+    }
+
+    #[test]
+    fn isolation_between_domains() {
+        let mut m = stack();
+        let d1 = m.create_domain();
+        let d2 = m.create_domain();
+        let va = m.alloc(d1, 1024).unwrap();
+        m.write(d1, va, b"secret").unwrap();
+        // Same numeric address in d2 must fault, not read d1's data.
+        assert!(matches!(
+            m.read(d2, va, 6),
+            Err(MemError::AccessFault { .. })
+        ));
+    }
+
+    #[test]
+    fn sharing_maps_same_bytes() {
+        let mut m = stack();
+        let d1 = m.create_domain();
+        let d2 = m.create_domain();
+        let va1 = m.alloc(d1, 4096).unwrap();
+        m.write(d1, va1, b"shared buffer pool").unwrap();
+        let va2 = m.share(d1, va1, d2).unwrap();
+        assert_eq!(m.read(d2, va2, 18).unwrap(), b"shared buffer pool");
+        // Write through d2 is visible to d1 (same physical page).
+        m.write(d2, va2, b"UPDATE").unwrap();
+        assert_eq!(&m.read(d1, va1, 6).unwrap()[..], b"UPDATE");
+    }
+
+    #[test]
+    fn pages_return_to_pool_after_last_unmap() {
+        let mut m = stack();
+        let before = m.free_page_count();
+        let d1 = m.create_domain();
+        let d2 = m.create_domain();
+        let va1 = m.alloc(d1, 1).unwrap();
+        let va2 = m.share(d1, va1, d2).unwrap();
+        assert_eq!(m.free_page_count(), before - 1);
+        m.free(d1, va1).unwrap();
+        assert_eq!(m.free_page_count(), before - 1, "share still holds the page");
+        m.free(d2, va2).unwrap();
+        assert_eq!(m.free_page_count(), before);
+    }
+
+    #[test]
+    fn out_of_memory_reported() {
+        let mut m = MemoryStack::new(1, 4 * 1024 * 1024); // 2 pages
+        let d = m.create_domain();
+        assert!(m.alloc(d, 2 * PAGE_BYTES).is_ok());
+        assert!(matches!(
+            m.alloc(d, 1),
+            Err(MemError::OutOfMemory { .. })
+        ));
+    }
+
+    #[test]
+    fn bounds_checked_against_byte_length() {
+        let mut m = stack();
+        let d = m.create_domain();
+        let va = m.alloc(d, 100).unwrap();
+        assert!(m.write(d, va, &[0u8; 100]).is_ok());
+        assert!(matches!(
+            m.write(d, va, &[0u8; 101]),
+            Err(MemError::OutOfBounds { .. })
+        ));
+        assert!(matches!(
+            m.read(d, va + 50, 51),
+            Err(MemError::OutOfBounds { .. })
+        ));
+    }
+
+    #[test]
+    fn burst_plan_alternates_channels_and_covers_len() {
+        let mut m = stack();
+        let d = m.create_domain();
+        let va = m.alloc(d, 64 * 1024).unwrap();
+        let plan = m.plan_bursts(d, va, 64 * 1024).unwrap();
+        let total: u64 = plan.iter().map(|b| b.bytes).sum();
+        assert_eq!(total, 64 * 1024);
+        // 16 stripes of 4 KB alternating between 2 channels.
+        assert_eq!(plan.len(), 16);
+        for (i, b) in plan.iter().enumerate() {
+            assert_eq!(b.channel, i % 2, "striping must alternate");
+            assert_eq!(b.bytes, MEM_BURST_BYTES);
+        }
+    }
+
+    #[test]
+    fn burst_plan_handles_unaligned_ranges() {
+        let mut m = stack();
+        let d = m.create_domain();
+        let va = m.alloc(d, 64 * 1024).unwrap();
+        let plan = m.plan_bursts(d, va + 1000, 10_000).unwrap();
+        let total: u64 = plan.iter().map(|b| b.bytes).sum();
+        assert_eq!(total, 10_000);
+        // First burst is the stripe remainder.
+        assert_eq!(plan[0].bytes, STRIPE_BYTES - 1000);
+        assert!(plan.iter().all(|b| b.bytes <= MEM_BURST_BYTES));
+    }
+
+    #[test]
+    fn tlb_warm_after_first_touch() {
+        let mut m = stack();
+        let d = m.create_domain();
+        let va = m.alloc(d, PAGE_BYTES).unwrap();
+        let _ = m.plan_bursts(d, va, PAGE_BYTES).unwrap();
+        let cold = m.tlb_stats();
+        assert_eq!(cold.misses, 1, "one page, one walk");
+        let _ = m.plan_bursts(d, va, PAGE_BYTES).unwrap();
+        let warm = m.tlb_stats();
+        assert_eq!(warm.misses, 1, "second pass must be all hits");
+        assert!(warm.hits > cold.hits);
+    }
+
+    #[test]
+    fn destroy_domain_releases_everything() {
+        let mut m = stack();
+        let before = m.free_page_count();
+        let d = m.create_domain();
+        m.alloc(d, 5 * PAGE_BYTES).unwrap();
+        m.alloc(d, 2 * PAGE_BYTES).unwrap();
+        m.destroy_domain(d).unwrap();
+        assert_eq!(m.free_page_count(), before);
+        assert!(matches!(
+            m.alloc(d, 1),
+            Err(MemError::NoSuchDomain(_))
+        ));
+    }
+
+    #[test]
+    fn deterministic_page_assignment() {
+        let mut a = stack();
+        let mut b = stack();
+        let da = a.create_domain();
+        let db = b.create_domain();
+        let va = a.alloc(da, 3 * PAGE_BYTES).unwrap();
+        let vb = b.alloc(db, 3 * PAGE_BYTES).unwrap();
+        assert_eq!(va, vb);
+        assert_eq!(
+            a.translate(da, va).unwrap().0,
+            b.translate(db, vb).unwrap().0
+        );
+    }
+}

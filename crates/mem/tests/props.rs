@@ -1,0 +1,74 @@
+//! Property tests for the memory stack: burst plans, striping balance,
+//! write/read through arbitrary offsets.
+
+use proptest::prelude::*;
+
+use fv_mem::MemoryStack;
+use fv_sim::calib::{MEM_BURST_BYTES, STRIPE_BYTES};
+
+fn stack(channels: usize) -> MemoryStack {
+    MemoryStack::new(channels, 32 * 1024 * 1024)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// A burst plan covers exactly the requested range, with every burst
+    /// within size bounds and on the channel the striping dictates.
+    #[test]
+    fn burst_plan_covers_range(
+        channels in 1usize..4,
+        offset in 0u64..100_000,
+        len in 1u64..2_000_000,
+    ) {
+        let mut m = stack(channels);
+        let d = m.create_domain();
+        let va = m.alloc(d, offset + len).unwrap();
+        let plan = m.plan_bursts(d, va + offset, len).unwrap();
+        let total: u64 = plan.iter().map(|b| b.bytes).sum();
+        prop_assert_eq!(total, len);
+        for b in &plan {
+            prop_assert!(b.bytes > 0 && b.bytes <= MEM_BURST_BYTES);
+            prop_assert!(b.channel < channels);
+            // A burst never crosses a stripe boundary.
+            prop_assert_eq!(b.paddr / STRIPE_BYTES, (b.paddr + b.bytes - 1) / STRIPE_BYTES);
+        }
+    }
+
+    /// Striping balances a large sequential read across channels.
+    #[test]
+    fn striping_balances_channels(channels in 2usize..4) {
+        let mut m = stack(channels);
+        let d = m.create_domain();
+        let len = 4u64 << 20;
+        let va = m.alloc(d, len).unwrap();
+        let plan = m.plan_bursts(d, va, len).unwrap();
+        let mut per_channel = vec![0u64; channels];
+        for b in &plan {
+            per_channel[b.channel] += b.bytes;
+        }
+        let max = *per_channel.iter().max().unwrap() as f64;
+        let min = *per_channel.iter().min().unwrap() as f64;
+        prop_assert!(max / min < 1.05, "imbalanced striping: {:?}", per_channel);
+    }
+
+    /// Scattered writes followed by reads at arbitrary offsets return
+    /// exactly what was written last.
+    #[test]
+    fn random_offset_rw(
+        writes in prop::collection::vec((0u64..500_000, 1usize..5_000, any::<u8>()), 1..10),
+    ) {
+        let mut m = stack(2);
+        let d = m.create_domain();
+        let va = m.alloc(d, 1 << 20).unwrap();
+        let mut shadow = vec![0u8; 1 << 20];
+        for &(off, len, fill) in &writes {
+            let off = off % ((1 << 20) - len as u64);
+            let data = vec![fill; len];
+            m.write(d, va + off, &data).unwrap();
+            shadow[off as usize..off as usize + len].copy_from_slice(&data);
+        }
+        let back = m.read(d, va, 1 << 20).unwrap();
+        prop_assert_eq!(back, shadow);
+    }
+}

@@ -1,0 +1,149 @@
+//! Fair-share egress arbitration across queue pairs.
+//!
+//! "The queue pairs contain unique identifiers which are used to
+//! differentiate the flows and to provide isolation through a series of
+//! hardware arbiters" (§4.3). The egress arbiter is deficit round robin
+//! with a one-MTU quantum: byte-fair regardless of per-flow packet sizes,
+//! and immune to a single greedy flow monopolizing the wire.
+
+use fv_sim::calib::PACKET_BYTES;
+use fv_sim::DrrScheduler;
+
+use crate::packet::Packet;
+
+/// DRR arbiter over a fixed set of flows (one per dynamic region /
+/// queue pair slot).
+#[derive(Debug, Clone)]
+pub struct EgressArbiter {
+    drr: DrrScheduler<Packet>,
+    /// Map from QP id to DRR flow slot.
+    slots: Vec<Option<u32>>,
+}
+
+impl EgressArbiter {
+    /// An arbiter with `flows` slots (the number of dynamic regions).
+    pub fn new(flows: usize) -> Self {
+        EgressArbiter {
+            // Quantum must cover the largest wire size (payload+header).
+            drr: DrrScheduler::new(flows, PACKET_BYTES + 64),
+            slots: vec![None; flows],
+        }
+    }
+
+    /// Bind a queue pair to a flow slot (at connection establishment).
+    ///
+    /// # Panics
+    /// Panics if the slot is already bound to a different QP.
+    pub fn bind(&mut self, slot: usize, qp: u32) {
+        match self.slots[slot] {
+            None => self.slots[slot] = Some(qp),
+            Some(existing) => assert_eq!(existing, qp, "slot {slot} already bound to {existing}"),
+        }
+    }
+
+    /// Release a slot (at disconnect).
+    pub fn unbind(&mut self, slot: usize) {
+        self.slots[slot] = None;
+    }
+
+    /// The slot a QP is bound to, if any.
+    pub fn slot_of(&self, qp: u32) -> Option<usize> {
+        self.slots.iter().position(|s| *s == Some(qp))
+    }
+
+    /// Enqueue a packet for transmission.
+    ///
+    /// # Panics
+    /// Panics if the packet's QP is not bound — routing unbound flows is
+    /// a wiring bug.
+    pub fn push(&mut self, pkt: Packet) {
+        let slot = self
+            .slot_of(pkt.qp)
+            .unwrap_or_else(|| panic!("qp {} not bound to any egress slot", pkt.qp));
+        self.drr.push(slot, pkt.wire_bytes(), pkt);
+    }
+
+    /// Next packet in fair order.
+    pub fn pop(&mut self) -> Option<Packet> {
+        self.drr.pop().map(|(_, p)| p)
+    }
+
+    /// Queued packet count.
+    pub fn len(&self) -> usize {
+        self.drr.len()
+    }
+
+    /// True when nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.drr.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+
+    fn pkt(qp: u32, seq: u32) -> Packet {
+        Packet::data(qp, seq, Bytes::from(vec![0u8; 1024]), false)
+    }
+
+    #[test]
+    fn fair_interleave_between_two_flows() {
+        let mut arb = EgressArbiter::new(2);
+        arb.bind(0, 10);
+        arb.bind(1, 20);
+        for s in 0..8 {
+            arb.push(pkt(10, s));
+        }
+        for s in 0..8 {
+            arb.push(pkt(20, s));
+        }
+        let order: Vec<u32> = std::iter::from_fn(|| arb.pop()).map(|p| p.qp).collect();
+        assert_eq!(order.len(), 16);
+        // Every adjacent pair must contain both flows (strict alternation
+        // for equal-size packets).
+        for w in order.chunks(2) {
+            assert_ne!(w[0], w[1], "flows must interleave: {order:?}");
+        }
+    }
+
+    #[test]
+    fn greedy_flow_cannot_starve_late_joiner() {
+        let mut arb = EgressArbiter::new(2);
+        arb.bind(0, 1);
+        arb.bind(1, 2);
+        for s in 0..100 {
+            arb.push(pkt(1, s));
+        }
+        // Flow 2 joins with a single packet; it must be served within the
+        // next two pops.
+        arb.push(pkt(2, 0));
+        let first = arb.pop().unwrap();
+        let second = arb.pop().unwrap();
+        assert!(
+            first.qp == 2 || second.qp == 2,
+            "late flow starved: {} then {}",
+            first.qp,
+            second.qp
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "not bound")]
+    fn unbound_qp_is_a_bug() {
+        let mut arb = EgressArbiter::new(1);
+        arb.push(pkt(99, 0));
+    }
+
+    #[test]
+    fn bind_unbind_cycle() {
+        let mut arb = EgressArbiter::new(1);
+        arb.bind(0, 5);
+        assert_eq!(arb.slot_of(5), Some(0));
+        arb.unbind(0);
+        assert_eq!(arb.slot_of(5), None);
+        arb.bind(0, 6);
+        assert_eq!(arb.slot_of(6), Some(0));
+    }
+}

@@ -1,0 +1,62 @@
+//! # fv-net — the Farview network stack
+//!
+//! "Farview's network stack implements a reliable RDMA connection
+//! protocol, building on an existing open source stack that implements
+//! regular one-sided RDMA read and write verbs. We extend the original
+//! stack with support for out-of-order execution at the granularity of
+//! single network packets. The out-of-order execution, along with
+//! credit-based flow control and packet based processing, allows Farview
+//! to provide the fair-sharing" (§4.3).
+//!
+//! This crate implements that protocol machinery functionally, plus the
+//! calibrated timing models for the 100 Gbps wire and the commercial-NIC
+//! (PCIe) baseline:
+//!
+//! * [`Verb`] / [`Packet`] — one-sided RDMA read/write plus the extra
+//!   Farview verb carrying operator parameters ("a Farview one-sided verb
+//!   based on an RDMA write to control the operators", §4.3).
+//! * [`QueuePair`] — per-connection state: sequence numbers, the credit
+//!   gate, and out-of-order [`Reassembly`] of packetised responses.
+//! * [`EgressArbiter`] — DRR fair sharing of the wire across queue pairs.
+//! * [`LinkTiming`] — bandwidth/latency servers for the Farview wire and
+//!   the RNIC/PCIe path of the baselines.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+mod arbiter;
+mod link;
+mod packet;
+mod qp;
+
+pub use arbiter::EgressArbiter;
+pub use link::{LinkTiming, NicKind};
+pub use packet::{Packet, PacketKind, QpId, Verb};
+pub use qp::{CreditGate, NetError, QueuePair, Reassembly};
+
+/// Split `total_bytes` into MTU-sized packet lengths (last one short).
+pub fn packetize(total_bytes: u64, mtu: u64) -> impl Iterator<Item = u64> {
+    assert!(mtu > 0, "mtu must be positive");
+    let full = total_bytes / mtu;
+    let tail = total_bytes % mtu;
+    (0..full)
+        .map(move |_| mtu)
+        .chain(std::iter::once(tail).filter(|&t| t > 0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn packetize_shapes() {
+        let v: Vec<u64> = packetize(3000, 1024).collect();
+        assert_eq!(v, vec![1024, 1024, 952]);
+        let v: Vec<u64> = packetize(2048, 1024).collect();
+        assert_eq!(v, vec![1024, 1024]);
+        let v: Vec<u64> = packetize(0, 1024).collect();
+        assert!(v.is_empty());
+        let v: Vec<u64> = packetize(1, 1024).collect();
+        assert_eq!(v, vec![1]);
+    }
+}

@@ -1,0 +1,330 @@
+//! Queue-pair state: credits, sequencing, out-of-order reassembly.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use bytes::Bytes;
+
+use crate::packet::QpId;
+
+/// Network-stack errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NetError {
+    /// Send attempted with no credits left — the caller must wait for
+    /// credit returns, never drop.
+    NoCredits {
+        /// The starved queue pair.
+        qp: QpId,
+    },
+    /// The same sequence number arrived twice with different contents.
+    DuplicateSeq {
+        /// The queue pair.
+        qp: QpId,
+        /// The duplicated sequence number.
+        seq: u32,
+    },
+    /// A packet arrived after the `last`-marked packet's sequence.
+    BeyondLast {
+        /// The queue pair.
+        qp: QpId,
+        /// The offending sequence number.
+        seq: u32,
+    },
+}
+
+impl fmt::Display for NetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetError::NoCredits { qp } => write!(f, "qp {qp}: out of credits"),
+            NetError::DuplicateSeq { qp, seq } => write!(f, "qp {qp}: duplicate seq {seq}"),
+            NetError::BeyondLast { qp, seq } => {
+                write!(f, "qp {qp}: packet seq {seq} beyond final packet")
+            }
+        }
+    }
+}
+
+impl std::error::Error for NetError {}
+
+/// Credit-based flow control ("credit-based flow control and packet
+/// based processing", §4.3): a sender may have at most `budget` packets
+/// outstanding; the receiver returns credits as it drains.
+#[derive(Debug, Clone)]
+pub struct CreditGate {
+    budget: u32,
+    available: u32,
+}
+
+impl CreditGate {
+    /// A gate with the given packet budget.
+    pub fn new(budget: u32) -> Self {
+        assert!(budget > 0, "credit budget must be positive");
+        CreditGate {
+            budget,
+            available: budget,
+        }
+    }
+
+    /// Try to consume one credit; `false` means the sender must stall.
+    pub fn try_acquire(&mut self) -> bool {
+        if self.available > 0 {
+            self.available -= 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Return `n` credits.
+    ///
+    /// # Panics
+    /// Panics if more credits are returned than were ever taken — a
+    /// protocol bug, not a runtime condition.
+    pub fn release(&mut self, n: u32) {
+        assert!(
+            self.available + n <= self.budget,
+            "credit overflow: {} + {n} > budget {}",
+            self.available,
+            self.budget
+        );
+        self.available += n;
+    }
+
+    /// Credits currently available.
+    pub fn available(&self) -> u32 {
+        self.available
+    }
+
+    /// The configured budget.
+    pub fn budget(&self) -> u32 {
+        self.budget
+    }
+}
+
+/// Out-of-order packet reassembly for one response stream.
+///
+/// The stack executes "out-of-order ... at the granularity of single
+/// network packets" (§4.3); the client side must therefore reassemble by
+/// sequence number. Completion is known once the `last`-marked packet
+/// *and* every sequence before it have arrived.
+#[derive(Debug, Clone, Default)]
+pub struct Reassembly {
+    /// Out-of-order packets waiting for their predecessors.
+    pending: HashMap<u32, Bytes>,
+    /// In-order assembled payload.
+    assembled: Vec<u8>,
+    /// Next sequence number to consume.
+    next_seq: u32,
+    /// Sequence of the `last` packet, once seen.
+    last_seq: Option<u32>,
+    /// Count of packets received (duplicates rejected).
+    received: u64,
+}
+
+impl Reassembly {
+    /// Fresh reassembly state.
+    pub fn new() -> Self {
+        Reassembly::default()
+    }
+
+    /// Accept one data packet. Returns `Ok(true)` when the stream just
+    /// became complete.
+    pub fn accept(
+        &mut self,
+        qp: QpId,
+        seq: u32,
+        payload: Bytes,
+        last: bool,
+    ) -> Result<bool, NetError> {
+        if let Some(ls) = self.last_seq {
+            if seq > ls {
+                return Err(NetError::BeyondLast { qp, seq });
+            }
+        }
+        if seq < self.next_seq || self.pending.contains_key(&seq) {
+            return Err(NetError::DuplicateSeq { qp, seq });
+        }
+        if last {
+            if let Some(prev) = self.last_seq {
+                if prev != seq {
+                    return Err(NetError::DuplicateSeq { qp, seq });
+                }
+            }
+            self.last_seq = Some(seq);
+        }
+        self.received += 1;
+        self.pending.insert(seq, payload);
+        // Drain the in-order prefix.
+        while let Some(chunk) = self.pending.remove(&self.next_seq) {
+            self.assembled.extend_from_slice(&chunk);
+            self.next_seq += 1;
+        }
+        Ok(self.is_complete())
+    }
+
+    /// True once every packet up to and including the last has arrived.
+    pub fn is_complete(&self) -> bool {
+        match self.last_seq {
+            Some(ls) => self.next_seq > ls,
+            None => false,
+        }
+    }
+
+    /// The assembled in-order payload so far.
+    pub fn assembled(&self) -> &[u8] {
+        &self.assembled
+    }
+
+    /// Take the assembled payload (ending the stream).
+    ///
+    /// # Panics
+    /// Panics if the stream is not complete — taking a partial result is
+    /// always a protocol bug.
+    pub fn into_payload(self) -> Vec<u8> {
+        assert!(self.is_complete(), "reassembly not complete");
+        self.assembled
+    }
+
+    /// Packets accepted so far.
+    pub fn packets_received(&self) -> u64 {
+        self.received
+    }
+}
+
+/// Per-connection state: tx sequencing, credits, and rx reassembly.
+///
+/// "Upon connection establishment, each network connection flow and its
+/// corresponding queue pair gets associated with one of the virtual
+/// dynamic regions" (§4.3) — that association lives in `farview-core`;
+/// this struct is the protocol-state half.
+#[derive(Debug, Clone)]
+pub struct QueuePair {
+    id: QpId,
+    next_tx_seq: u32,
+    credits: CreditGate,
+    rx: Reassembly,
+}
+
+impl QueuePair {
+    /// A queue pair with the given credit budget.
+    pub fn new(id: QpId, credit_budget: u32) -> Self {
+        QueuePair {
+            id,
+            next_tx_seq: 0,
+            credits: CreditGate::new(credit_budget),
+            rx: Reassembly::new(),
+        }
+    }
+
+    /// This pair's id.
+    pub fn id(&self) -> QpId {
+        self.id
+    }
+
+    /// Allocate the next tx sequence number.
+    pub fn next_seq(&mut self) -> u32 {
+        let s = self.next_tx_seq;
+        self.next_tx_seq += 1;
+        s
+    }
+
+    /// The credit gate.
+    pub fn credits_mut(&mut self) -> &mut CreditGate {
+        &mut self.credits
+    }
+
+    /// The rx reassembly state.
+    pub fn rx_mut(&mut self) -> &mut Reassembly {
+        &mut self.rx
+    }
+
+    /// Immutable rx view.
+    pub fn rx(&self) -> &Reassembly {
+        &self.rx
+    }
+
+    /// Reset the rx stream for a new request/response exchange.
+    pub fn begin_response(&mut self) {
+        self.rx = Reassembly::new();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn credits_stall_and_release() {
+        let mut g = CreditGate::new(2);
+        assert!(g.try_acquire());
+        assert!(g.try_acquire());
+        assert!(!g.try_acquire(), "third acquire must stall");
+        g.release(1);
+        assert!(g.try_acquire());
+        assert_eq!(g.available(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "credit overflow")]
+    fn credit_overflow_is_a_bug() {
+        let mut g = CreditGate::new(1);
+        g.release(1);
+    }
+
+    #[test]
+    fn in_order_reassembly() {
+        let mut r = Reassembly::new();
+        assert!(!r.accept(0, 0, Bytes::from_static(b"aa"), false).unwrap());
+        assert!(!r.accept(0, 1, Bytes::from_static(b"bb"), false).unwrap());
+        assert!(r.accept(0, 2, Bytes::from_static(b"cc"), true).unwrap());
+        assert_eq!(r.into_payload(), b"aabbcc");
+    }
+
+    #[test]
+    fn out_of_order_reassembly() {
+        let mut r = Reassembly::new();
+        // Last packet arrives first — completion must wait for the rest.
+        assert!(!r.accept(0, 2, Bytes::from_static(b"cc"), true).unwrap());
+        assert!(!r.accept(0, 0, Bytes::from_static(b"aa"), false).unwrap());
+        assert!(!r.is_complete());
+        assert!(r.accept(0, 1, Bytes::from_static(b"bb"), false).unwrap());
+        assert_eq!(r.assembled(), b"aabbcc");
+        assert_eq!(r.packets_received(), 3);
+    }
+
+    #[test]
+    fn empty_result_completes_on_lone_fin() {
+        let mut r = Reassembly::new();
+        assert!(r.accept(0, 0, Bytes::new(), true).unwrap());
+        assert_eq!(r.into_payload(), b"");
+    }
+
+    #[test]
+    fn duplicates_and_stragglers_rejected() {
+        let mut r = Reassembly::new();
+        r.accept(0, 0, Bytes::from_static(b"a"), false).unwrap();
+        assert!(matches!(
+            r.accept(0, 0, Bytes::from_static(b"a"), false),
+            Err(NetError::DuplicateSeq { seq: 0, .. })
+        ));
+        r.accept(0, 1, Bytes::from_static(b"b"), true).unwrap();
+        assert!(matches!(
+            r.accept(0, 5, Bytes::from_static(b"x"), false),
+            Err(NetError::BeyondLast { seq: 5, .. })
+        ));
+    }
+
+    #[test]
+    fn qp_sequencing_and_reset() {
+        let mut qp = QueuePair::new(7, 4);
+        assert_eq!(qp.id(), 7);
+        assert_eq!(qp.next_seq(), 0);
+        assert_eq!(qp.next_seq(), 1);
+        qp.rx_mut()
+            .accept(7, 0, Bytes::from_static(b"x"), true)
+            .unwrap();
+        assert!(qp.rx().is_complete());
+        qp.begin_response();
+        assert!(!qp.rx().is_complete());
+    }
+}

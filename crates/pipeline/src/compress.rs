@@ -1,0 +1,357 @@
+//! Compression system-support operator (§5.5).
+//!
+//! "Similarly one could provide additional system support operators such
+//! as compression, decompression, etc." — this module provides that
+//! operator: a from-scratch LZ77-style codec applied to the packed
+//! result stream before transmission, reducing network usage for
+//! redundant results the same way packing reduces it for sparse ones.
+//!
+//! ## Format
+//!
+//! The stream is a sequence of self-delimiting frames:
+//!
+//! ```text
+//! frame := u32 raw_len (LE) | u32 comp_len (LE) | comp_len bytes
+//! ```
+//!
+//! `comp_len == raw_len` marks a *stored* frame (incompressible data is
+//! passed through, never expanded by more than the 8-byte header). The
+//! token stream inside a compressed frame:
+//!
+//! ```text
+//! token := lit_ctrl  byte{n}      -- lit_ctrl in 0x00..=0x7F: n = ctrl+1 literals
+//!        | match_ctrl u16 dist    -- ctrl in 0x80..=0xFF: len = (ctrl&0x7F)+MIN_MATCH,
+//!                                    copy from `dist` bytes back (may overlap)
+//! ```
+
+use std::collections::HashMap;
+
+/// Minimum match length worth encoding (a match token costs 3 bytes).
+const MIN_MATCH: usize = 4;
+
+/// Maximum match length encodable in one token.
+const MAX_MATCH: usize = 0x7F + MIN_MATCH;
+
+/// Sliding-window size (matches must be within this distance).
+const WINDOW: usize = 65_535;
+
+/// Frame granularity of the streaming compressor.
+pub const FRAME_BYTES: usize = 16 * 1024;
+
+/// Decode errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodecError {
+    /// Stream ended inside a header or token.
+    Truncated,
+    /// A match referenced data before the start of the frame.
+    BadDistance {
+        /// The offending distance.
+        dist: usize,
+        /// Bytes available behind the cursor.
+        have: usize,
+    },
+    /// Frame decoded to a different length than its header declared.
+    LengthMismatch {
+        /// Declared raw length.
+        declared: usize,
+        /// Actually decoded length.
+        got: usize,
+    },
+}
+
+impl std::fmt::Display for CodecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CodecError::Truncated => write!(f, "compressed stream truncated"),
+            CodecError::BadDistance { dist, have } => {
+                write!(f, "match distance {dist} exceeds available history {have}")
+            }
+            CodecError::LengthMismatch { declared, got } => {
+                write!(f, "frame declared {declared} bytes, decoded {got}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+/// Compress one frame body (no header). Returns `None` when the result
+/// would not be smaller than the input (caller stores it raw).
+fn compress_frame(data: &[u8]) -> Option<Vec<u8>> {
+    let mut out = Vec::with_capacity(data.len() / 2);
+    // Hash of the next MIN_MATCH bytes -> most recent position.
+    let mut heads: HashMap<u32, usize> = HashMap::new();
+    let hash_at = |i: usize| -> u32 {
+        let w = u32::from_le_bytes(data[i..i + 4].try_into().expect("4 bytes"));
+        w.wrapping_mul(0x9E37_79B1) >> 12
+    };
+
+    let mut lit_start = 0usize;
+    let mut i = 0usize;
+    let flush_literals = |out: &mut Vec<u8>, from: usize, to: usize| {
+        let mut s = from;
+        while s < to {
+            let n = (to - s).min(128);
+            out.push((n - 1) as u8);
+            out.extend_from_slice(&data[s..s + n]);
+            s += n;
+        }
+    };
+
+    while i + MIN_MATCH <= data.len() {
+        let h = hash_at(i);
+        let candidate = heads.insert(h, i);
+        let m = candidate.and_then(|c| {
+            if i - c > WINDOW {
+                return None;
+            }
+            // Verify and extend the match.
+            let mut len = 0usize;
+            let max = (data.len() - i).min(MAX_MATCH);
+            while len < max && data[c + len] == data[i + len] {
+                len += 1;
+            }
+            (len >= MIN_MATCH).then_some((c, len))
+        });
+        match m {
+            Some((c, len)) => {
+                flush_literals(&mut out, lit_start, i);
+                out.push(0x80 | (len - MIN_MATCH) as u8);
+                out.extend_from_slice(&u16::try_from(i - c).expect("<= WINDOW").to_le_bytes());
+                // Index a few positions inside the match so later matches
+                // can anchor there (cheap approximation of full chaining).
+                let step = (len / 4).max(1);
+                let mut j = i + 1;
+                while j + MIN_MATCH <= data.len() && j < i + len {
+                    heads.insert(hash_at(j), j);
+                    j += step;
+                }
+                i += len;
+                lit_start = i;
+            }
+            None => i += 1,
+        }
+    }
+    flush_literals(&mut out, lit_start, data.len());
+    (out.len() < data.len()).then_some(out)
+}
+
+/// Decompress one frame body into `out`.
+fn decompress_frame(body: &[u8], raw_len: usize, out: &mut Vec<u8>) -> Result<(), CodecError> {
+    let frame_start = out.len();
+    let mut i = 0usize;
+    while i < body.len() {
+        let ctrl = body[i];
+        i += 1;
+        if ctrl < 0x80 {
+            let n = ctrl as usize + 1;
+            let lits = body.get(i..i + n).ok_or(CodecError::Truncated)?;
+            out.extend_from_slice(lits);
+            i += n;
+        } else {
+            let len = (ctrl & 0x7F) as usize + MIN_MATCH;
+            let d = body.get(i..i + 2).ok_or(CodecError::Truncated)?;
+            let dist = u16::from_le_bytes(d.try_into().expect("2 bytes")) as usize;
+            i += 2;
+            let have = out.len() - frame_start;
+            if dist == 0 || dist > have {
+                return Err(CodecError::BadDistance { dist, have });
+            }
+            // Byte-by-byte copy: overlapping matches (RLE) are legal.
+            for _ in 0..len {
+                let b = out[out.len() - dist];
+                out.push(b);
+            }
+        }
+    }
+    let got = out.len() - frame_start;
+    if got != raw_len {
+        return Err(CodecError::LengthMismatch {
+            declared: raw_len,
+            got,
+        });
+    }
+    Ok(())
+}
+
+/// Compress a whole buffer into the framed format.
+pub fn compress(data: &[u8]) -> Vec<u8> {
+    let mut out = Vec::new();
+    for frame in data.chunks(FRAME_BYTES) {
+        emit_frame(frame, &mut out);
+    }
+    out
+}
+
+fn emit_frame(frame: &[u8], out: &mut Vec<u8>) {
+    out.extend_from_slice(&(frame.len() as u32).to_le_bytes());
+    match compress_frame(frame) {
+        Some(body) => {
+            out.extend_from_slice(&(body.len() as u32).to_le_bytes());
+            out.extend_from_slice(&body);
+        }
+        None => {
+            out.extend_from_slice(&(frame.len() as u32).to_le_bytes());
+            out.extend_from_slice(frame);
+        }
+    }
+}
+
+/// Decompress a framed stream.
+pub fn decompress(stream: &[u8]) -> Result<Vec<u8>, CodecError> {
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i < stream.len() {
+        let hdr = stream.get(i..i + 8).ok_or(CodecError::Truncated)?;
+        let raw_len = u32::from_le_bytes(hdr[..4].try_into().expect("4")) as usize;
+        let comp_len = u32::from_le_bytes(hdr[4..].try_into().expect("4")) as usize;
+        i += 8;
+        let body = stream.get(i..i + comp_len).ok_or(CodecError::Truncated)?;
+        i += comp_len;
+        if comp_len == raw_len {
+            out.extend_from_slice(body); // stored frame
+        } else {
+            decompress_frame(body, raw_len, &mut out)?;
+        }
+    }
+    Ok(out)
+}
+
+/// Streaming compressor for the pipeline's output path: buffers packed
+/// bytes, emits whole frames, flushes the tail at end of stream.
+#[derive(Debug, Default)]
+pub struct StreamCompressor {
+    pending: Vec<u8>,
+    raw_in: u64,
+    compressed_out: u64,
+}
+
+impl StreamCompressor {
+    /// Fresh compressor.
+    pub fn new() -> Self {
+        StreamCompressor::default()
+    }
+
+    /// Feed packed output; returns any completed compressed frames.
+    pub fn push(&mut self, data: &[u8]) -> Vec<u8> {
+        self.raw_in += data.len() as u64;
+        self.pending.extend_from_slice(data);
+        let mut out = Vec::new();
+        while self.pending.len() >= FRAME_BYTES {
+            let frame: Vec<u8> = self.pending.drain(..FRAME_BYTES).collect();
+            emit_frame(&frame, &mut out);
+        }
+        self.compressed_out += out.len() as u64;
+        out
+    }
+
+    /// End of stream: compress the remaining tail.
+    pub fn finish(&mut self) -> Vec<u8> {
+        let mut out = Vec::new();
+        if !self.pending.is_empty() {
+            let tail = std::mem::take(&mut self.pending);
+            emit_frame(&tail, &mut out);
+        }
+        self.compressed_out += out.len() as u64;
+        out
+    }
+
+    /// `(raw bytes in, compressed bytes out)`.
+    pub fn totals(&self) -> (u64, u64) {
+        (self.raw_in, self.compressed_out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_repetitive_data() {
+        let data: Vec<u8> = b"farview".iter().copied().cycle().take(10_000).collect();
+        let c = compress(&data);
+        assert!(c.len() < data.len() / 3, "repetitive data must compress well");
+        assert_eq!(decompress(&c).unwrap(), data);
+    }
+
+    #[test]
+    fn incompressible_data_is_stored_with_bounded_overhead() {
+        // A pseudo-random byte stream (xorshift) has no 4-byte repeats to
+        // speak of.
+        let mut x = 0x12345678u32;
+        let data: Vec<u8> = (0..50_000)
+            .map(|_| {
+                x ^= x << 13;
+                x ^= x >> 17;
+                x ^= x << 5;
+                x as u8
+            })
+            .collect();
+        let c = compress(&data);
+        let frames = data.len().div_ceil(FRAME_BYTES);
+        assert!(c.len() <= data.len() + frames * 8, "expansion beyond headers");
+        assert_eq!(decompress(&c).unwrap(), data);
+    }
+
+    #[test]
+    fn rle_via_overlapping_matches() {
+        let data = vec![0xABu8; 5_000];
+        let c = compress(&data);
+        assert!(c.len() < 200, "constant data must collapse: {}", c.len());
+        assert_eq!(decompress(&c).unwrap(), data);
+    }
+
+    #[test]
+    fn empty_and_tiny_inputs() {
+        assert_eq!(decompress(&compress(&[])).unwrap(), Vec::<u8>::new());
+        for n in 1..20 {
+            let data: Vec<u8> = (0..n as u8).collect();
+            assert_eq!(decompress(&compress(&data)).unwrap(), data);
+        }
+    }
+
+    #[test]
+    fn streaming_equals_oneshot() {
+        let data: Vec<u8> = (0..60_000u32).map(|i| (i / 100) as u8).collect();
+        let mut s = StreamCompressor::new();
+        let mut streamed = Vec::new();
+        for chunk in data.chunks(777) {
+            streamed.extend(s.push(chunk));
+        }
+        streamed.extend(s.finish());
+        assert_eq!(decompress(&streamed).unwrap(), data);
+        let (raw, comp) = s.totals();
+        assert_eq!(raw, 60_000);
+        assert_eq!(comp as usize, streamed.len());
+        assert!(comp < raw / 4, "smooth data must compress");
+    }
+
+    #[test]
+    fn corrupt_streams_are_rejected() {
+        let data = vec![7u8; 1000];
+        let mut c = compress(&data);
+        // Truncate mid-frame.
+        c.truncate(c.len() - 3);
+        assert!(matches!(
+            decompress(&c),
+            Err(CodecError::Truncated) | Err(CodecError::LengthMismatch { .. })
+        ));
+        // Header claiming more than available.
+        let bogus = [0xFFu8, 0xFF, 0, 0, 10, 0, 0, 0];
+        assert!(decompress(&bogus).is_err());
+    }
+
+    #[test]
+    fn table_images_compress() {
+        // A row-format table with low-cardinality columns — the realistic
+        // case for result compression.
+        let mut data = Vec::new();
+        for i in 0..4096u64 {
+            data.extend_from_slice(&(i % 16).to_le_bytes());
+            data.extend_from_slice(&(i % 3).to_le_bytes());
+        }
+        let c = compress(&data);
+        assert!(c.len() < data.len() / 2, "got {} of {}", c.len(), data.len());
+        assert_eq!(decompress(&c).unwrap(), data);
+    }
+}

@@ -1,0 +1,283 @@
+//! The DISTINCT operator (§5.4, Figure 5).
+//!
+//! Fully pipelined dedup: cuckoo tables for the seen-set, an LRU shift
+//! register to hide the hash-table write latency, and an overflow path
+//! for homeless cuckoo entries ("collisions are written into a buffer,
+//! which is sent to the client to be deduplicated in software").
+//!
+//! The write-latency data hazard is modelled explicitly: a table insert
+//! only becomes *visible to lookups* after [`WRITE_LATENCY`] further
+//! tuples have passed (the BRAM pipeline depth). Two equal keys closer
+//! together than that would both be emitted — unless the LRU shift
+//! register catches the second one, which is exactly why the hardware
+//! has it. `DistinctOp::with_lru_depth(0)` exposes the hazard for tests
+//! and the `ablation_lru` bench.
+
+use std::collections::VecDeque;
+
+use crate::cuckoo::{CuckooTable, ShiftRegisterLru};
+use crate::pipeline::StreamOperator;
+use crate::project::ProjectionPlan;
+
+/// Hash-table write-to-read visibility latency, in tuples. The BRAM
+/// lookup+update pipeline of the hardware is a handful of cycles deep.
+pub const WRITE_LATENCY: usize = 6;
+
+/// Default LRU shift-register depth — must be ≥ [`WRITE_LATENCY`] to
+/// close the hazard window ("the amount depends on the number of cuckoo
+/// hash tables", §5.4).
+pub const DEFAULT_LRU_DEPTH: usize = 8;
+
+/// Streaming DISTINCT over a set of key columns.
+pub struct DistinctOp {
+    keys: ProjectionPlan,
+    table: CuckooTable<()>,
+    lru: ShiftRegisterLru,
+    /// Inserts not yet visible to table lookups: `(key, commit_tick)` —
+    /// the entry becomes visible once the tuple counter reaches
+    /// `commit_tick` (the hazard window).
+    in_flight: VecDeque<(Box<[u8]>, u64)>,
+    /// Tuples processed (the write-pipeline clock).
+    tick: u64,
+    key_buf: Vec<u8>,
+    emitted: u64,
+    overflow: u64,
+    hazard_catches: u64,
+    hazard_leaks: u64,
+}
+
+impl std::fmt::Debug for DistinctOp {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DistinctOp")
+            .field("emitted", &self.emitted)
+            .field("overflow", &self.overflow)
+            .field("hazard_catches", &self.hazard_catches)
+            .field("hazard_leaks", &self.hazard_leaks)
+            .finish_non_exhaustive()
+    }
+}
+
+impl DistinctOp {
+    /// A distinct operator emitting the key columns of `keys`.
+    pub fn new(keys: ProjectionPlan) -> Self {
+        Self::with_geometry(keys, CuckooTable::with_default_geometry(), DEFAULT_LRU_DEPTH)
+    }
+
+    /// Explicit table geometry / LRU depth (ablations and tests).
+    pub fn with_geometry(keys: ProjectionPlan, table: CuckooTable<()>, lru_depth: usize) -> Self {
+        DistinctOp {
+            keys,
+            table,
+            lru: ShiftRegisterLru::new(lru_depth),
+            in_flight: VecDeque::with_capacity(WRITE_LATENCY),
+            tick: 0,
+            key_buf: Vec::new(),
+            emitted: 0,
+            overflow: 0,
+            hazard_catches: 0,
+            hazard_leaks: 0,
+        }
+    }
+
+    /// Keys emitted (including overflow duplicates).
+    pub fn emitted(&self) -> u64 {
+        self.emitted
+    }
+
+    /// Duplicates that slipped through the hazard window (nonzero only
+    /// when the LRU is too shallow).
+    pub fn hazard_leaks(&self) -> u64 {
+        self.hazard_leaks
+    }
+
+    /// Advance the write pipeline by one tuple: inserts whose commit tick
+    /// has passed become visible (the entry is already physically in the
+    /// table; it merely leaves the "invisible" window).
+    fn tick_write_pipeline(&mut self) {
+        self.tick += 1;
+        while matches!(self.in_flight.front(), Some((_, commit)) if *commit <= self.tick) {
+            self.in_flight.pop_front();
+        }
+    }
+
+    fn visible_in_table(&self, key: &[u8]) -> bool {
+        self.table.contains(key) && !self.in_flight.iter().any(|(k, _)| k.as_ref() == key)
+    }
+}
+
+impl StreamOperator for DistinctOp {
+    fn name(&self) -> &'static str {
+        "distinct"
+    }
+
+    fn push(&mut self, tuple: &[u8], out: &mut dyn FnMut(&[u8])) {
+        self.key_buf.clear();
+        self.keys.write_projected(tuple, &mut self.key_buf);
+
+        self.tick_write_pipeline();
+
+        // LRU first — it exists to catch what the table can't see yet.
+        if self.lru.contains(&self.key_buf) {
+            self.hazard_catches += 1;
+            self.lru.touch(&self.key_buf);
+            return;
+        }
+        if self.visible_in_table(&self.key_buf) {
+            // Ordinary duplicate.
+            self.lru.touch(&self.key_buf);
+            return;
+        }
+        let key: Box<[u8]> = self.key_buf.as_slice().into();
+        if self.table.contains(&key) {
+            // In the table but still inside the invisible window and not
+            // caught by the LRU: the §5.4 data hazard. The hardware would
+            // emit a duplicate here; so do we, and we count it.
+            self.hazard_leaks += 1;
+            self.emitted += 1;
+            out(&self.key_buf);
+            return;
+        }
+        // Genuinely new key: insert (entering the hazard window) and emit.
+        match self.table.insert(key.clone(), ()) {
+            Ok(()) => {
+                self.in_flight
+                    .push_back((key.clone(), self.tick + WRITE_LATENCY as u64));
+            }
+            Err(_homeless) => {
+                // Cuckoo overflow: this key has no table slot. The tuple
+                // still goes to the client (as overflow) and later
+                // duplicates of it will also be emitted for software
+                // dedup.
+                self.overflow += 1;
+            }
+        }
+        self.lru.touch(&key);
+        self.emitted += 1;
+        out(&self.key_buf);
+    }
+
+    fn overflow_tuples(&self) -> u64 {
+        self.overflow
+    }
+
+    fn hazard_catches(&self) -> u64 {
+        self.hazard_catches
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fv_data::{Row, Schema, Value};
+
+    fn encode(schema: &Schema, a: u64, b: u64) -> Vec<u8> {
+        Row(vec![Value::U64(a), Value::U64(b)]).encode(schema)
+    }
+
+    fn op(schema: &Schema, lru_depth: usize) -> DistinctOp {
+        let keys = ProjectionPlan::new(schema, Some(&[0])).unwrap();
+        DistinctOp::with_geometry(keys, CuckooTable::new(4, 1024), lru_depth)
+    }
+
+    #[test]
+    fn emits_each_key_once() {
+        let schema = Schema::uniform_u64(2);
+        let mut d = op(&schema, DEFAULT_LRU_DEPTH);
+        let mut out: Vec<u64> = Vec::new();
+        // Keys 0..20, each three times, far enough apart to dodge the
+        // LRU: 0,1,..,19,0,1,..,19,...
+        for _ in 0..3 {
+            for k in 0..20u64 {
+                let bytes = encode(&schema, k, 999);
+                d.push(&bytes, &mut |t| {
+                    out.push(u64::from_le_bytes(t[..8].try_into().unwrap()));
+                });
+            }
+        }
+        assert_eq!(out.len(), 20, "each key exactly once");
+        assert_eq!(d.hazard_leaks(), 0);
+        let expect: Vec<u64> = (0..20).collect();
+        assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn output_is_key_columns_only() {
+        let schema = Schema::uniform_u64(2);
+        let mut d = op(&schema, DEFAULT_LRU_DEPTH);
+        let mut widths = Vec::new();
+        d.push(&encode(&schema, 7, 8), &mut |t| widths.push(t.len()));
+        assert_eq!(widths, vec![8], "distinct emits the key, not the row");
+    }
+
+    #[test]
+    fn back_to_back_duplicates_caught_by_lru() {
+        let schema = Schema::uniform_u64(2);
+        let mut d = op(&schema, DEFAULT_LRU_DEPTH);
+        let mut count = 0;
+        for _ in 0..10 {
+            d.push(&encode(&schema, 42, 0), &mut |_| count += 1);
+        }
+        assert_eq!(count, 1);
+        assert_eq!(d.hazard_catches(), 9, "LRU must absorb the hazard");
+        assert_eq!(d.hazard_leaks(), 0);
+    }
+
+    #[test]
+    fn disabling_lru_exposes_the_hazard() {
+        // This is the experiment justifying the shift register: without
+        // it, duplicates inside the write-latency window leak.
+        let schema = Schema::uniform_u64(2);
+        let mut d = op(&schema, 0);
+        let mut count = 0;
+        for _ in 0..2 {
+            d.push(&encode(&schema, 42, 0), &mut |_| count += 1);
+        }
+        assert_eq!(count, 2, "hazard must produce a duplicate emit");
+        assert_eq!(d.hazard_leaks(), 1);
+
+        // Far-apart duplicates are still deduplicated by the table.
+        let mut count2 = 0;
+        for k in 0..100u64 {
+            d.push(&encode(&schema, 1000 + k, 0), &mut |_| ());
+            let _ = k;
+        }
+        d.push(&encode(&schema, 1000, 0), &mut |_| count2 += 1);
+        assert_eq!(count2, 0, "table catches out-of-window duplicates");
+    }
+
+    #[test]
+    fn overflow_path_never_loses_keys() {
+        // Tiny table forces homeless entries; every distinct key must
+        // still be emitted at least once (§5.4: overflow is shipped to
+        // the client, nothing is dropped).
+        let schema = Schema::uniform_u64(2);
+        let keys = ProjectionPlan::new(&schema, Some(&[0])).unwrap();
+        let mut d = DistinctOp::with_geometry(keys, CuckooTable::new(2, 8), DEFAULT_LRU_DEPTH);
+        let n = 200u64;
+        let mut seen = std::collections::HashSet::new();
+        for k in 0..n {
+            d.push(&encode(&schema, k, 0), &mut |t| {
+                seen.insert(u64::from_le_bytes(t[..8].try_into().unwrap()));
+            });
+        }
+        assert_eq!(seen.len() as u64, n, "every key must surface");
+        assert!(d.overflow_tuples() > 0, "tiny table must overflow");
+    }
+
+    #[test]
+    fn multi_column_distinct() {
+        let schema = Schema::uniform_u64(3);
+        let keys = ProjectionPlan::new(&schema, Some(&[0, 1])).unwrap();
+        let mut d = DistinctOp::with_geometry(keys, CuckooTable::new(4, 1024), 8);
+        let rows = [(1u64, 1u64), (1, 2), (1, 1), (2, 1), (1, 2)];
+        let mut out = 0;
+        for (a, b) in rows {
+            let bytes = Row(vec![Value::U64(a), Value::U64(b), Value::U64(9)]).encode(&schema);
+            d.push(&bytes, &mut |t| {
+                assert_eq!(t.len(), 16);
+                out += 1;
+            });
+        }
+        assert_eq!(out, 3, "(1,1) (1,2) (2,1)");
+    }
+}

@@ -1,0 +1,317 @@
+//! Small-table (broadcast) hash join — the paper's named extension.
+//!
+//! "We also want to explore, as part of a query optimizer, options such
+//! as performing joins against small tables in the memory by reading the
+//! small table into the FPGA and matching the tuples read from memory
+//! against it." (§7)
+//!
+//! The build side ships with the request and is loaded into on-chip
+//! memory (bounded by the BRAM budget); probe tuples stream from
+//! disaggregated DRAM at line rate, and matches emit `probe ++ build`
+//! rows. Multiple build rows per key are supported (an inner join);
+//! like the grouping operators, the hash structure is the Figure 5
+//! cuckoo unit, with homeless build entries rejected at load time (a
+//! build table that does not fit on chip must not be silently wrong).
+
+use fv_data::{Column, Schema, Table};
+
+use crate::cuckoo::CuckooTable;
+use crate::pipeline::{PipelineError, StreamOperator};
+
+/// On-chip budget for the build side. A dynamic region's BRAM share is
+/// ~8 % of the device (Table 1); 256 KiB of build rows is a conservative
+/// stand-in.
+pub const MAX_BUILD_BYTES: usize = 256 * 1024;
+
+/// Declarative description of the join (lives in `PipelineSpec`).
+#[derive(Clone, PartialEq)]
+pub struct JoinSmallSpec {
+    /// Probe-side (base table) key column.
+    pub probe_col: usize,
+    /// Build-side schema.
+    pub build_schema: Schema,
+    /// Build-side key column.
+    pub build_key: usize,
+    /// Encoded build-side rows (row format of `build_schema`).
+    pub build_rows: Vec<u8>,
+}
+
+impl std::fmt::Debug for JoinSmallSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // The build rows can be hundreds of kilobytes; summarize them by
+        // content hash so `PipelineSpec::fingerprint` (which hashes the
+        // Debug rendering) stays cheap and still distinguishes builds.
+        f.debug_struct("JoinSmallSpec")
+            .field("probe_col", &self.probe_col)
+            .field("build_key", &self.build_key)
+            .field("build_schema", &self.build_schema)
+            .field("build_rows_len", &self.build_rows.len())
+            .field(
+                "build_rows_hash",
+                &crate::cuckoo::hash64(&self.build_rows, 0x0001_01A0),
+            )
+            .finish()
+    }
+}
+
+impl JoinSmallSpec {
+    /// Build from an in-memory table.
+    pub fn new(probe_col: usize, build: &Table, build_key: usize) -> Self {
+        JoinSmallSpec {
+            probe_col,
+            build_schema: build.schema().clone(),
+            build_key,
+            build_rows: build.bytes().to_vec(),
+        }
+    }
+
+    /// Bytes the client must upload with the request.
+    pub fn upload_bytes(&self) -> u64 {
+        self.build_rows.len() as u64
+    }
+}
+
+/// The streaming probe operator.
+pub struct JoinSmallOp {
+    probe_range: std::ops::Range<usize>,
+    /// key -> concatenated non-key build payloads (one entry per match).
+    table: CuckooTable<Vec<Vec<u8>>>,
+    out_schema: Schema,
+    probed: u64,
+    emitted: u64,
+    row_buf: Vec<u8>,
+}
+
+impl std::fmt::Debug for JoinSmallOp {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("JoinSmallOp")
+            .field("probed", &self.probed)
+            .field("emitted", &self.emitted)
+            .finish_non_exhaustive()
+    }
+}
+
+impl JoinSmallOp {
+    /// Validate and load the build side.
+    pub fn build(spec: &JoinSmallSpec, probe_schema: &Schema) -> Result<Self, PipelineError> {
+        if spec.probe_col >= probe_schema.column_count() {
+            return Err(PipelineError::UnknownColumn {
+                col: spec.probe_col,
+                arity: probe_schema.column_count(),
+            });
+        }
+        if spec.build_key >= spec.build_schema.column_count() {
+            return Err(PipelineError::UnknownColumn {
+                col: spec.build_key,
+                arity: spec.build_schema.column_count(),
+            });
+        }
+        let probe_ty = probe_schema.column(spec.probe_col).ty;
+        let build_ty = spec.build_schema.column(spec.build_key).ty;
+        if probe_ty != build_ty {
+            return Err(PipelineError::JoinKeyTypeMismatch {
+                probe: probe_ty,
+                build: build_ty,
+            });
+        }
+        if spec.build_rows.len() > MAX_BUILD_BYTES {
+            return Err(PipelineError::BuildSideTooLarge {
+                bytes: spec.build_rows.len(),
+                limit: MAX_BUILD_BYTES,
+            });
+        }
+        let rb = spec.build_schema.row_bytes();
+        if rb == 0 || !spec.build_rows.len().is_multiple_of(rb) {
+            return Err(PipelineError::RaggedBuildSide);
+        }
+
+        // Output schema: probe columns, then build columns minus the key,
+        // prefixed to dodge name collisions.
+        let mut out_cols: Vec<Column> = probe_schema.columns().to_vec();
+        for (i, c) in spec.build_schema.columns().iter().enumerate() {
+            if i != spec.build_key {
+                out_cols.push(Column {
+                    name: format!("b_{}", c.name),
+                    ty: c.ty,
+                });
+            }
+        }
+        let out_schema = Schema::new(out_cols);
+
+        // Load the build side into the on-chip hash unit.
+        let key_range = spec.build_schema.column_range(spec.build_key);
+        let mut table: CuckooTable<Vec<Vec<u8>>> = CuckooTable::with_default_geometry();
+        for row in spec.build_rows.chunks_exact(rb) {
+            let key = &row[key_range.clone()];
+            let mut payload = Vec::with_capacity(rb - key_range.len());
+            payload.extend_from_slice(&row[..key_range.start]);
+            payload.extend_from_slice(&row[key_range.end..]);
+            if let Some(matches) = table.get_mut(key) {
+                matches.push(payload);
+            } else if table.insert(key.into(), vec![payload]).is_err() {
+                // The build side must fit; a homeless entry would
+                // silently drop join matches.
+                return Err(PipelineError::BuildSideTooLarge {
+                    bytes: spec.build_rows.len(),
+                    limit: MAX_BUILD_BYTES,
+                });
+            }
+        }
+
+        Ok(JoinSmallOp {
+            probe_range: probe_schema.column_range(spec.probe_col),
+            table,
+            out_schema,
+            probed: 0,
+            emitted: 0,
+            row_buf: Vec::new(),
+        })
+    }
+
+    /// Schema of the joined output tuples.
+    pub fn out_schema(&self) -> &Schema {
+        &self.out_schema
+    }
+
+    /// `(probed, emitted)` counters.
+    pub fn counters(&self) -> (u64, u64) {
+        (self.probed, self.emitted)
+    }
+}
+
+impl StreamOperator for JoinSmallOp {
+    fn name(&self) -> &'static str {
+        "join_small"
+    }
+
+    fn push(&mut self, tuple: &[u8], out: &mut dyn FnMut(&[u8])) {
+        self.probed += 1;
+        let key = &tuple[self.probe_range.clone()];
+        if let Some(matches) = self.table.get(key) {
+            for payload in matches {
+                self.row_buf.clear();
+                self.row_buf.extend_from_slice(tuple);
+                self.row_buf.extend_from_slice(payload);
+                self.emitted += 1;
+                out(&self.row_buf);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fv_data::{ColumnType, Row, TableBuilder, Value};
+
+    fn build_table(rows: &[(u64, u64)]) -> Table {
+        let schema = Schema::new(vec![
+            Column {
+                name: "id".into(),
+                ty: ColumnType::U64,
+            },
+            Column {
+                name: "dim".into(),
+                ty: ColumnType::U64,
+            },
+        ]);
+        let mut b = TableBuilder::new(schema);
+        for &(id, dim) in rows {
+            b.push_values(vec![Value::U64(id), Value::U64(dim)]);
+        }
+        b.build()
+    }
+
+    fn probe_schema() -> Schema {
+        Schema::uniform_u64(3)
+    }
+
+    fn push(op: &mut JoinSmallOp, schema: &Schema, vals: [u64; 3]) -> Vec<Vec<u8>> {
+        let bytes = Row(vals.iter().map(|&v| Value::U64(v)).collect()).encode(schema);
+        let mut out = Vec::new();
+        op.push(&bytes, &mut |t| out.push(t.to_vec()));
+        out
+    }
+
+    #[test]
+    fn inner_join_matches_and_drops() {
+        let build = build_table(&[(1, 100), (2, 200)]);
+        let spec = JoinSmallSpec::new(0, &build, 0);
+        let schema = probe_schema();
+        let mut op = JoinSmallOp::build(&spec, &schema).unwrap();
+        assert_eq!(op.out_schema().column_count(), 4);
+        assert_eq!(op.out_schema().column(3).name, "b_dim");
+
+        let hit = push(&mut op, &schema, [1, 10, 11]);
+        assert_eq!(hit.len(), 1);
+        assert_eq!(hit[0].len(), 32);
+        assert_eq!(u64::from_le_bytes(hit[0][24..32].try_into().unwrap()), 100);
+
+        let miss = push(&mut op, &schema, [9, 10, 11]);
+        assert!(miss.is_empty());
+        assert_eq!(op.counters(), (2, 1));
+    }
+
+    #[test]
+    fn duplicate_build_keys_fan_out() {
+        let build = build_table(&[(5, 1), (5, 2), (5, 3)]);
+        let spec = JoinSmallSpec::new(2, &build, 0);
+        let schema = probe_schema();
+        let mut op = JoinSmallOp::build(&spec, &schema).unwrap();
+        let out = push(&mut op, &schema, [0, 0, 5]);
+        assert_eq!(out.len(), 3, "one output row per build match");
+        let dims: Vec<u64> = out
+            .iter()
+            .map(|r| u64::from_le_bytes(r[24..32].try_into().unwrap()))
+            .collect();
+        assert_eq!(dims, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn validation_errors() {
+        let build = build_table(&[(1, 2)]);
+        let schema = probe_schema();
+        assert!(matches!(
+            JoinSmallOp::build(&JoinSmallSpec::new(9, &build, 0), &schema),
+            Err(PipelineError::UnknownColumn { col: 9, .. })
+        ));
+        assert!(matches!(
+            JoinSmallOp::build(&JoinSmallSpec::new(0, &build, 7), &schema),
+            Err(PipelineError::UnknownColumn { col: 7, .. })
+        ));
+        // Type mismatch: build key is Bytes.
+        let sschema = Schema::new(vec![Column {
+            name: "s".into(),
+            ty: ColumnType::Bytes(8),
+        }]);
+        let mut b = TableBuilder::new(sschema);
+        b.push_values(vec![Value::Bytes(b"k".to_vec())]);
+        let sbuild = b.build();
+        assert!(matches!(
+            JoinSmallOp::build(&JoinSmallSpec::new(0, &sbuild, 0), &schema),
+            Err(PipelineError::JoinKeyTypeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn oversized_build_rejected() {
+        let schema = probe_schema();
+        let rows: Vec<(u64, u64)> = (0..(MAX_BUILD_BYTES as u64 / 16 + 1))
+            .map(|i| (i, i))
+            .collect();
+        let build = build_table(&rows);
+        assert!(matches!(
+            JoinSmallOp::build(&JoinSmallSpec::new(0, &build, 0), &schema),
+            Err(PipelineError::BuildSideTooLarge { .. })
+        ));
+    }
+
+    #[test]
+    fn empty_build_side_joins_nothing() {
+        let build = build_table(&[]);
+        let spec = JoinSmallSpec::new(0, &build, 0);
+        let schema = probe_schema();
+        let mut op = JoinSmallOp::build(&spec, &schema).unwrap();
+        assert!(push(&mut op, &schema, [1, 2, 3]).is_empty());
+    }
+}

@@ -1,0 +1,51 @@
+//! # fv-pipeline — the Farview operator stack
+//!
+//! "An operator pipeline contains one or more operators that provide
+//! partial query processing on datapath operations to disaggregated
+//! memory. This processing is effectively a bump-in-the-wire that
+//! operates on data without introducing significant overheads." (§5.1)
+//!
+//! The crate implements every operator class of the paper, functionally
+//! exact (the bytes that come out are the bytes the hardware would
+//! produce) with the cycle-level costs exposed for the simulator:
+//!
+//! | paper §  | operator                         | module        |
+//! |----------|----------------------------------|---------------|
+//! | §5.2     | projection (+ smart addressing)  | [`project`]   |
+//! | §5.3     | predicate selection, vectorized  | [`predicate`], [`filter`] |
+//! | §5.3     | regular-expression matching      | [`regex_op`]  |
+//! | §5.4     | distinct (cuckoo + LRU shiftreg) | [`distinct`], [`cuckoo`] |
+//! | §5.4     | group by + aggregation           | [`group_by`]  |
+//! | §7 (ext) | small-table broadcast hash join  | [`join`]      |
+//! | §5.5     | AES-128-CTR de/encryption        | [`crypto_op`] |
+//! | §5.5 (ext) | result compression             | [`compress`]  |
+//! | §5.5     | packing + sending                | [`pack`]      |
+//!
+//! A [`PipelineSpec`] describes the requested pipeline (what the paper
+//! precompiles into a partial bitstream); [`CompiledPipeline`] is the
+//! loaded instance a dynamic region runs. Tuples stream through the
+//! stages one at a time, exactly as the hardware feeds "up to a single
+//! tuple in each cycle" (§5.1).
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod cuckoo;
+pub mod distinct;
+pub mod filter;
+pub mod group_by;
+pub mod join;
+pub mod pack;
+pub mod pipeline;
+pub mod predicate;
+pub mod project;
+pub mod regex_op;
+pub mod spec;
+
+pub mod compress;
+pub mod crypto_op;
+
+pub use pipeline::{CompiledPipeline, PipelineError, PipelineStats, StreamOperator};
+pub use predicate::{CmpOp, PredicateExpr};
+pub use join::JoinSmallSpec;
+pub use spec::{AggFunc, AggSpec, CryptoSpec, GroupingSpec, PipelineSpec, RegexFilter};

@@ -1,0 +1,630 @@
+//! Compiled pipelines: framing, stage chaining, flushing, statistics.
+
+use fv_data::{ColumnType, Schema};
+use fv_sim::calib::{GROUP_FLUSH_CYCLES_PER_ENTRY, OP_FILL_CYCLES};
+
+use crate::compress::StreamCompressor;
+use crate::crypto_op::StreamCrypto;
+use crate::distinct::DistinctOp;
+use crate::filter::FilterOp;
+use crate::group_by::GroupByOp;
+use crate::join::JoinSmallOp;
+use crate::pack::Packer;
+use crate::predicate::PredicateError;
+use crate::project::{ProjectionPlan, SmartAddressing};
+use crate::regex_op::RegexOp;
+use crate::spec::{AggFunc, GroupingSpec, PipelineSpec};
+
+/// Errors raised when compiling a [`PipelineSpec`] against a schema.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PipelineError {
+    /// A column index is out of range.
+    UnknownColumn {
+        /// The offending index.
+        col: usize,
+        /// Number of columns in the schema.
+        arity: usize,
+    },
+    /// Projection with no columns.
+    EmptyProjection,
+    /// Predicate validation failed.
+    Predicate(PredicateError),
+    /// Regex compilation failed.
+    Regex(String),
+    /// Regex selection on a non-string column.
+    RegexOnNonString {
+        /// The offending column.
+        col: usize,
+    },
+    /// Smart addressing requires a projection and supports no other
+    /// operators (the gathered stream carries only the projected bytes).
+    SmartAddressingConflict(&'static str),
+    /// Grouping defines its own output columns; an explicit projection
+    /// alongside it is ambiguous.
+    GroupingProjectionConflict,
+    /// Aggregation over a byte-string column.
+    AggOnBytes {
+        /// The offending column.
+        col: usize,
+    },
+    /// Distinct with no key columns.
+    EmptyDistinct,
+    /// Join key columns have different types.
+    JoinKeyTypeMismatch {
+        /// Probe-side key type.
+        probe: ColumnType,
+        /// Build-side key type.
+        build: ColumnType,
+    },
+    /// The join build side exceeds the on-chip budget.
+    BuildSideTooLarge {
+        /// Build-side bytes.
+        bytes: usize,
+        /// The on-chip limit.
+        limit: usize,
+    },
+    /// The join build image is not a whole number of rows.
+    RaggedBuildSide,
+    /// The small-table join defines its own (wider) output tuples; it
+    /// cannot combine with the named feature.
+    JoinConflict(&'static str),
+}
+
+impl std::fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PipelineError::UnknownColumn { col, arity } => {
+                write!(f, "pipeline references column {col}, table has {arity}")
+            }
+            PipelineError::EmptyProjection => write!(f, "projection keeps no columns"),
+            PipelineError::Predicate(e) => write!(f, "{e}"),
+            PipelineError::Regex(e) => write!(f, "regex: {e}"),
+            PipelineError::RegexOnNonString { col } => {
+                write!(f, "regex selection on non-string column {col}")
+            }
+            PipelineError::SmartAddressingConflict(what) => {
+                write!(f, "smart addressing cannot combine with {what}")
+            }
+            PipelineError::GroupingProjectionConflict => {
+                write!(f, "grouping output is fixed; drop the explicit projection")
+            }
+            PipelineError::AggOnBytes { col } => {
+                write!(f, "aggregation over byte-string column {col}")
+            }
+            PipelineError::EmptyDistinct => write!(f, "DISTINCT with no key columns"),
+            PipelineError::JoinKeyTypeMismatch { probe, build } => {
+                write!(f, "join key types differ: probe {probe:?} vs build {build:?}")
+            }
+            PipelineError::BuildSideTooLarge { bytes, limit } => {
+                write!(f, "join build side of {bytes} bytes exceeds on-chip budget of {limit}")
+            }
+            PipelineError::RaggedBuildSide => {
+                write!(f, "join build image is not a whole number of rows")
+            }
+            PipelineError::JoinConflict(what) => {
+                write!(f, "small-table join cannot combine with {what}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PipelineError {}
+
+impl From<PredicateError> for PipelineError {
+    fn from(e: PredicateError) -> Self {
+        PipelineError::Predicate(e)
+    }
+}
+
+/// Counters every pipeline keeps, reported in `QueryStats`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PipelineStats {
+    /// Tuples parsed from the memory stream.
+    pub tuples_in: u64,
+    /// Tuples that reached the packer.
+    pub tuples_out: u64,
+    /// Bytes consumed from memory.
+    pub bytes_in: u64,
+    /// Bytes handed to the sender.
+    pub bytes_out: u64,
+    /// Cuckoo overflow tuples shipped for client-side dedup/aggregation.
+    pub overflow_tuples: u64,
+    /// Duplicates caught by the LRU shift register that the delayed
+    /// hash-table write would have missed (the §5.4 data hazard).
+    pub hazard_catches: u64,
+    /// Entries flushed by the group-by operator at end of stream.
+    pub groups_flushed: u64,
+}
+
+/// A streaming tuple operator: at most one tuple in per cycle, any
+/// number out (via the sink), state flushed at end of stream.
+pub trait StreamOperator {
+    /// Operator name (for logs and the resource model).
+    fn name(&self) -> &'static str;
+    /// Process one tuple.
+    fn push(&mut self, tuple: &[u8], out: &mut dyn FnMut(&[u8]));
+    /// End of stream: emit any held state (e.g. group-by results).
+    fn flush(&mut self, _out: &mut dyn FnMut(&[u8])) {}
+    /// Overflow tuples emitted so far (cuckoo homeless entries).
+    fn overflow_tuples(&self) -> u64 {
+        0
+    }
+    /// Hazard catches by the LRU shift register.
+    fn hazard_catches(&self) -> u64 {
+        0
+    }
+    /// Entries emitted at flush (group-by result size).
+    fn flushed_entries(&self) -> u64 {
+        0
+    }
+}
+
+/// Feed one tuple through `ops[0..]`, delivering survivors to `sink`.
+fn feed(ops: &mut [Box<dyn StreamOperator>], tuple: &[u8], sink: &mut dyn FnMut(&[u8])) {
+    match ops.split_first_mut() {
+        None => sink(tuple),
+        Some((head, rest)) => head.push(tuple, &mut |t| feed(rest, t, sink)),
+    }
+}
+
+/// Flush each stage in order, feeding its output through the rest.
+fn flush_all(ops: &mut [Box<dyn StreamOperator>], sink: &mut dyn FnMut(&[u8])) {
+    for i in 0..ops.len() {
+        let (before, after) = ops.split_at_mut(i + 1);
+        let head = before.last_mut().expect("i < len");
+        head.flush(&mut |t| feed(after, t, sink));
+    }
+}
+
+/// A loaded operator pipeline — what one dynamic region runs.
+pub struct CompiledPipeline {
+    spec: PipelineSpec,
+    /// Width of one tuple arriving from memory (full row, or the gathered
+    /// smart-addressing bytes).
+    in_tuple_bytes: usize,
+    /// Framing remainder (bursts do not respect tuple boundaries).
+    partial: Vec<u8>,
+    decrypt: Option<StreamCrypto>,
+    compress: Option<StreamCompressor>,
+    encrypt: Option<StreamCrypto>,
+    ops: Vec<Box<dyn StreamOperator>>,
+    packer: Packer,
+    out_schema: Schema,
+    smart_addressing: Option<SmartAddressing>,
+    stats: PipelineStats,
+    finished: bool,
+}
+
+impl std::fmt::Debug for CompiledPipeline {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CompiledPipeline")
+            .field("spec", &self.spec)
+            .field("in_tuple_bytes", &self.in_tuple_bytes)
+            .field("stats", &self.stats)
+            .finish_non_exhaustive()
+    }
+}
+
+impl CompiledPipeline {
+    /// Compile (load) `spec` for tables of `base_schema`.
+    pub fn compile(spec: PipelineSpec, base_schema: &Schema) -> Result<Self, PipelineError> {
+        // --- validation ---------------------------------------------------
+        if spec.smart_addressing {
+            if spec.projection.is_none() {
+                return Err(PipelineError::SmartAddressingConflict("no projection"));
+            }
+            if spec.selection.is_some() {
+                return Err(PipelineError::SmartAddressingConflict("selection"));
+            }
+            if spec.regex.is_some() {
+                return Err(PipelineError::SmartAddressingConflict("regex"));
+            }
+            if spec.grouping.is_some() {
+                return Err(PipelineError::SmartAddressingConflict("grouping"));
+            }
+            if spec.join.is_some() {
+                return Err(PipelineError::SmartAddressingConflict("join"));
+            }
+        }
+        if spec.grouping.is_some() && spec.projection.is_some() {
+            return Err(PipelineError::GroupingProjectionConflict);
+        }
+        if spec.join.is_some() {
+            if spec.grouping.is_some() {
+                return Err(PipelineError::JoinConflict("grouping"));
+            }
+            if spec.projection.is_some() {
+                return Err(PipelineError::JoinConflict("projection"));
+            }
+        }
+        if let Some(pred) = &spec.selection {
+            pred.validate(base_schema)?;
+        }
+
+        // --- operators ----------------------------------------------------
+        let mut ops: Vec<Box<dyn StreamOperator>> = Vec::new();
+        if let Some(pred) = &spec.selection {
+            ops.push(Box::new(FilterOp::new(pred.clone(), base_schema.clone())));
+        }
+        if let Some(rf) = &spec.regex {
+            if rf.col >= base_schema.column_count() {
+                return Err(PipelineError::UnknownColumn {
+                    col: rf.col,
+                    arity: base_schema.column_count(),
+                });
+            }
+            if !matches!(base_schema.column(rf.col).ty, ColumnType::Bytes(_)) {
+                return Err(PipelineError::RegexOnNonString { col: rf.col });
+            }
+            let re = fv_regex::Regex::compile(&rf.pattern)
+                .map_err(|e| PipelineError::Regex(e.to_string()))?;
+            ops.push(Box::new(RegexOp::new(re, rf.col, base_schema.clone())));
+        }
+        let mut out_schema = base_schema.clone();
+        if let Some(join) = &spec.join {
+            let op = JoinSmallOp::build(join, base_schema)?;
+            out_schema = op.out_schema().clone();
+            ops.push(Box::new(op));
+        }
+        match &spec.grouping {
+            Some(GroupingSpec::Distinct { cols }) => {
+                if cols.is_empty() {
+                    return Err(PipelineError::EmptyDistinct);
+                }
+                let plan = ProjectionPlan::new(base_schema, Some(cols))?;
+                out_schema = plan.out_schema().clone();
+                ops.push(Box::new(DistinctOp::new(plan)));
+            }
+            Some(GroupingSpec::GroupBy { keys, aggs }) => {
+                let key_plan = ProjectionPlan::new(base_schema, Some(keys))?;
+                for a in aggs {
+                    if a.col >= base_schema.column_count() {
+                        return Err(PipelineError::UnknownColumn {
+                            col: a.col,
+                            arity: base_schema.column_count(),
+                        });
+                    }
+                    if matches!(base_schema.column(a.col).ty, ColumnType::Bytes(_))
+                        && a.func != AggFunc::Count
+                    {
+                        return Err(PipelineError::AggOnBytes { col: a.col });
+                    }
+                }
+                let op = GroupByOp::new(key_plan, aggs.clone(), base_schema.clone());
+                out_schema = op.out_schema().clone();
+                ops.push(Box::new(op));
+            }
+            None => {}
+        }
+
+        // --- pack-side projection and framing -------------------------------
+        let (packer, in_tuple_bytes, smart_addressing) = if spec.smart_addressing {
+            let cols = spec.projection.as_deref().expect("validated above");
+            let sa = SmartAddressing::plan(base_schema, cols)?;
+            // The gathered stream is already exactly the projected bytes,
+            // in ascending column order.
+            let mut sorted = cols.to_vec();
+            sorted.sort_unstable();
+            sorted.dedup();
+            out_schema = base_schema.project(&sorted);
+            (
+                Packer::passthrough(),
+                sa.bytes_per_tuple,
+                Some(sa),
+            )
+        } else if spec.grouping.is_some() || spec.join.is_some() {
+            // Grouping and join operators emit final-format tuples.
+            (Packer::passthrough(), base_schema.row_bytes(), None)
+        } else {
+            let plan = ProjectionPlan::new(base_schema, spec.projection.as_deref())?;
+            out_schema = plan.out_schema().clone();
+            (Packer::project(plan), base_schema.row_bytes(), None)
+        };
+
+        let decrypt = spec.decrypt_input.as_ref().map(StreamCrypto::new);
+        let compress = spec.compress_output.then(StreamCompressor::new);
+        let encrypt = spec.encrypt_output.as_ref().map(StreamCrypto::new);
+
+        Ok(CompiledPipeline {
+            spec,
+            in_tuple_bytes,
+            partial: Vec::new(),
+            decrypt,
+            compress,
+            encrypt,
+            ops,
+            packer,
+            out_schema,
+            smart_addressing,
+            stats: PipelineStats::default(),
+            finished: false,
+        })
+    }
+
+    /// The spec this pipeline was compiled from.
+    pub fn spec(&self) -> &PipelineSpec {
+        &self.spec
+    }
+
+    /// Schema of the tuples the client receives.
+    pub fn out_schema(&self) -> &Schema {
+        &self.out_schema
+    }
+
+    /// Bytes per input tuple expected from the memory stream.
+    pub fn in_tuple_bytes(&self) -> usize {
+        self.in_tuple_bytes
+    }
+
+    /// Bytes the client uploads alongside the request (a join's build
+    /// side riding the FarView verb).
+    pub fn upload_bytes(&self) -> u64 {
+        self.spec.join.as_ref().map_or(0, |j| j.upload_bytes())
+    }
+
+    /// The smart-addressing gather plan, if enabled.
+    pub fn smart_addressing(&self) -> Option<&SmartAddressing> {
+        self.smart_addressing.as_ref()
+    }
+
+    /// Pipeline fill latency in 250 MHz cycles (stages × per-stage fill;
+    /// "insignificant latency" per §1, but we charge it).
+    pub fn fill_cycles(&self) -> u64 {
+        self.spec.stage_count() as u64 * OP_FILL_CYCLES
+    }
+
+    /// End-of-stream flush cost in cycles (hash-table drain for group-by;
+    /// §5.4: "the queue is used to lookup and flush the entries").
+    pub fn flush_cycles(&self) -> u64 {
+        self.stats.groups_flushed * GROUP_FLUSH_CYCLES_PER_ENTRY
+    }
+
+    /// Stream one chunk of memory bytes through the pipeline.
+    ///
+    /// # Panics
+    /// Panics if called after [`CompiledPipeline::finish`].
+    pub fn push_bytes(&mut self, chunk: &[u8]) {
+        assert!(!self.finished, "pipeline already finished");
+        self.stats.bytes_in += chunk.len() as u64;
+
+        // Decrypt-at-memory happens on the raw byte stream, before tuple
+        // framing (Figure 4 places decryption first).
+        let mut owned;
+        let data: &[u8] = match &mut self.decrypt {
+            Some(c) => {
+                owned = chunk.to_vec();
+                c.apply(&mut owned);
+                &owned
+            }
+            None => chunk,
+        };
+
+        // Frame into tuples across chunk boundaries.
+        self.partial.extend_from_slice(data);
+        let tb = self.in_tuple_bytes;
+        let whole = self.partial.len() / tb * tb;
+        if whole == 0 {
+            return;
+        }
+        let frame: Vec<u8> = self.partial.drain(..whole).collect();
+
+        let packer = &mut self.packer;
+        let stats = &mut self.stats;
+        for tuple in frame.chunks_exact(tb) {
+            stats.tuples_in += 1;
+            feed(&mut self.ops, tuple, &mut |t| {
+                stats.tuples_out += 1;
+                packer.push_tuple(t);
+            });
+        }
+        self.refresh_op_stats();
+    }
+
+    /// End of stream: flush the grouping operators and the packer.
+    pub fn finish(&mut self) {
+        assert!(!self.finished, "pipeline finished twice");
+        self.finished = true;
+        assert!(
+            self.partial.is_empty(),
+            "stream ended mid-tuple: {} trailing bytes",
+            self.partial.len()
+        );
+        let packer = &mut self.packer;
+        let stats = &mut self.stats;
+        flush_all(&mut self.ops, &mut |t| {
+            stats.tuples_out += 1;
+            packer.push_tuple(t);
+        });
+        self.refresh_op_stats();
+    }
+
+    fn refresh_op_stats(&mut self) {
+        self.stats.overflow_tuples = self.ops.iter().map(|o| o.overflow_tuples()).sum();
+        self.stats.hazard_catches = self.ops.iter().map(|o| o.hazard_catches()).sum();
+        self.stats.groups_flushed = self.ops.iter().map(|o| o.flushed_entries()).sum();
+    }
+
+    /// Drain the bytes ready for the sender (compressed and/or encrypted
+    /// if requested). Call [`CompiledPipeline::finish`] before the final
+    /// drain so the compressor can flush its tail frame.
+    pub fn drain_output(&mut self) -> Vec<u8> {
+        let packed = self.packer.drain();
+        let mut out = match &mut self.compress {
+            Some(c) => {
+                let mut frames = c.push(&packed);
+                if self.finished {
+                    frames.extend(c.finish());
+                }
+                frames
+            }
+            None => packed,
+        };
+        if let Some(c) = &mut self.encrypt {
+            c.apply(&mut out);
+        }
+        self.stats.bytes_out += out.len() as u64;
+        out
+    }
+
+    /// `(raw, compressed)` byte totals of the compression operator, if
+    /// one is configured.
+    pub fn compression_totals(&self) -> Option<(u64, u64)> {
+        self.compress.as_ref().map(StreamCompressor::totals)
+    }
+
+    /// Counters.
+    pub fn stats(&self) -> PipelineStats {
+        self.stats
+    }
+
+    /// 64-byte words the packer produced (wire framing, §5.5).
+    pub fn packed_words(&self) -> u64 {
+        self.packer.words_emitted()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::predicate::PredicateExpr;
+    use fv_data::{Row, TableBuilder, Value};
+
+    fn table(rows: u64) -> fv_data::Table {
+        let schema = Schema::uniform_u64(8);
+        let mut b = TableBuilder::with_capacity(schema, rows as usize);
+        for i in 0..rows {
+            b.push(&Row((0..8).map(|c| Value::U64(i * 8 + c)).collect()));
+        }
+        b.build()
+    }
+
+    #[test]
+    fn passthrough_is_identity() {
+        let t = table(100);
+        let mut p =
+            CompiledPipeline::compile(PipelineSpec::passthrough(), t.schema()).unwrap();
+        // Feed in odd-sized chunks to exercise framing.
+        for chunk in t.bytes().chunks(100) {
+            p.push_bytes(chunk);
+        }
+        p.finish();
+        assert_eq!(p.drain_output(), t.bytes());
+        let s = p.stats();
+        assert_eq!(s.tuples_in, 100);
+        assert_eq!(s.tuples_out, 100);
+        assert_eq!(s.bytes_in, 6400);
+        assert_eq!(s.bytes_out, 6400);
+    }
+
+    #[test]
+    fn selection_drops_rows() {
+        let t = table(100);
+        // Keep rows where c0 < 80 (c0 = 8*i, so i < 10).
+        let spec = PipelineSpec::passthrough().filter(PredicateExpr::lt(0, 80u64));
+        let mut p = CompiledPipeline::compile(spec, t.schema()).unwrap();
+        p.push_bytes(t.bytes());
+        p.finish();
+        let out = p.drain_output();
+        assert_eq!(out.len(), 10 * 64);
+        assert_eq!(p.stats().tuples_out, 10);
+    }
+
+    #[test]
+    fn projection_applied_at_pack() {
+        let t = table(10);
+        let spec = PipelineSpec::passthrough()
+            .project(vec![7, 0])
+            .filter(PredicateExpr::gt(3, 100u64)); // filter uses col 3, projected out
+        let mut p = CompiledPipeline::compile(spec, t.schema()).unwrap();
+        assert_eq!(p.out_schema().column_count(), 2);
+        p.push_bytes(t.bytes());
+        p.finish();
+        let out = p.drain_output();
+        // c3 = 8i+3 > 100 -> i >= 13 ... none of the 10 rows qualify? i up
+        // to 9 -> max c3 = 75. Nothing survives.
+        assert!(out.is_empty());
+
+        // Without the filter, 10 rows of 16 bytes, col 7 then col 0.
+        let spec = PipelineSpec::passthrough().project(vec![7, 0]);
+        let mut p = CompiledPipeline::compile(spec, t.schema()).unwrap();
+        p.push_bytes(t.bytes());
+        p.finish();
+        let out = p.drain_output();
+        assert_eq!(out.len(), 160);
+        let first = u64::from_le_bytes(out[0..8].try_into().unwrap());
+        assert_eq!(first, 7, "row 0 col 7");
+    }
+
+    #[test]
+    fn fill_and_flush_cycles() {
+        let t = table(4);
+        let spec = PipelineSpec::passthrough().filter(PredicateExpr::True);
+        let p = CompiledPipeline::compile(spec, t.schema()).unwrap();
+        assert_eq!(p.fill_cycles(), 3 * OP_FILL_CYCLES);
+        assert_eq!(p.flush_cycles(), 0);
+    }
+
+    #[test]
+    fn smart_addressing_validation() {
+        let schema = Schema::uniform_u64(8);
+        let err = CompiledPipeline::compile(
+            PipelineSpec::passthrough().with_smart_addressing(),
+            &schema,
+        )
+        .unwrap_err();
+        assert!(matches!(err, PipelineError::SmartAddressingConflict(_)));
+        let err = CompiledPipeline::compile(
+            PipelineSpec::passthrough()
+                .project(vec![0])
+                .with_smart_addressing()
+                .filter(PredicateExpr::True),
+            &schema,
+        )
+        .unwrap_err();
+        assert!(matches!(err, PipelineError::SmartAddressingConflict("selection")));
+    }
+
+    #[test]
+    fn smart_addressing_frames_gathered_tuples() {
+        let t = table(8);
+        let spec = PipelineSpec::passthrough()
+            .project(vec![1, 2, 3])
+            .with_smart_addressing();
+        let mut p = CompiledPipeline::compile(spec, t.schema()).unwrap();
+        assert_eq!(p.in_tuple_bytes(), 24);
+        // Build the gathered stream the MMU would produce.
+        let sa = p.smart_addressing().unwrap().clone();
+        let mut gathered = Vec::new();
+        for r in 0..8 {
+            sa.gather(t.bytes(), r * 64, &mut gathered);
+        }
+        p.push_bytes(&gathered);
+        p.finish();
+        let out = p.drain_output();
+        assert_eq!(out.len(), 8 * 24);
+        // Row 5 columns 1..=3 are 41,42,43.
+        let v = u64::from_le_bytes(out[5 * 24..5 * 24 + 8].try_into().unwrap());
+        assert_eq!(v, 41);
+    }
+
+    #[test]
+    #[should_panic(expected = "mid-tuple")]
+    fn ragged_stream_is_a_bug() {
+        let t = table(2);
+        let mut p =
+            CompiledPipeline::compile(PipelineSpec::passthrough(), t.schema()).unwrap();
+        p.push_bytes(&t.bytes()[..70]);
+        p.finish();
+    }
+
+    #[test]
+    fn grouping_projection_conflict() {
+        let schema = Schema::uniform_u64(8);
+        let err = CompiledPipeline::compile(
+            PipelineSpec::passthrough().project(vec![0]).distinct(vec![1]),
+            &schema,
+        )
+        .unwrap_err();
+        assert_eq!(err, PipelineError::GroupingProjectionConflict);
+    }
+}

@@ -1,0 +1,315 @@
+//! Selection predicates.
+//!
+//! "We choose to hardwire the selection predicate as an actual matching
+//! circuit ... It also permits complex predicates defined over different
+//! tuple columns" (§5.3). A [`PredicateExpr`] is that circuit's
+//! description: comparisons against constants combined with AND/OR/NOT.
+
+use fv_data::{ColumnType, RowView, Schema, Value};
+
+/// Comparison operator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmpOp {
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `=`
+    Eq,
+    /// `<>`
+    Ne,
+}
+
+impl CmpOp {
+    fn eval_ordering(self, ord: std::cmp::Ordering) -> bool {
+        use std::cmp::Ordering::*;
+        match self {
+            CmpOp::Lt => ord == Less,
+            CmpOp::Le => ord != Greater,
+            CmpOp::Gt => ord == Greater,
+            CmpOp::Ge => ord != Less,
+            CmpOp::Eq => ord == Equal,
+            CmpOp::Ne => ord != Equal,
+        }
+    }
+}
+
+/// A predicate over one tuple.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PredicateExpr {
+    /// `column <op> constant`.
+    Cmp {
+        /// Column index in the *base table* schema.
+        col: usize,
+        /// Comparison operator.
+        op: CmpOp,
+        /// Constant to compare against.
+        value: Value,
+    },
+    /// All sub-predicates hold.
+    And(Vec<PredicateExpr>),
+    /// Any sub-predicate holds.
+    Or(Vec<PredicateExpr>),
+    /// The sub-predicate does not hold.
+    Not(Box<PredicateExpr>),
+    /// Always true (100 % selectivity — `SELECT * FROM S`).
+    True,
+}
+
+/// A predicate validation error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PredicateError {
+    /// Column index out of range.
+    UnknownColumn {
+        /// The offending index.
+        col: usize,
+        /// Columns available.
+        arity: usize,
+    },
+    /// Constant type does not match the column type.
+    TypeMismatch {
+        /// The offending column.
+        col: usize,
+        /// Its declared type.
+        column_type: ColumnType,
+    },
+}
+
+impl std::fmt::Display for PredicateError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PredicateError::UnknownColumn { col, arity } => {
+                write!(f, "predicate references column {col}, table has {arity}")
+            }
+            PredicateError::TypeMismatch { col, column_type } => {
+                write!(f, "predicate constant does not match column {col} of type {column_type:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PredicateError {}
+
+impl PredicateExpr {
+    /// `col < value`.
+    pub fn lt(col: usize, value: impl Into<Value>) -> Self {
+        PredicateExpr::Cmp {
+            col,
+            op: CmpOp::Lt,
+            value: value.into(),
+        }
+    }
+
+    /// `col > value`.
+    pub fn gt(col: usize, value: impl Into<Value>) -> Self {
+        PredicateExpr::Cmp {
+            col,
+            op: CmpOp::Gt,
+            value: value.into(),
+        }
+    }
+
+    /// `col = value`.
+    pub fn eq(col: usize, value: impl Into<Value>) -> Self {
+        PredicateExpr::Cmp {
+            col,
+            op: CmpOp::Eq,
+            value: value.into(),
+        }
+    }
+
+    /// `col <> value`.
+    pub fn ne(col: usize, value: impl Into<Value>) -> Self {
+        PredicateExpr::Cmp {
+            col,
+            op: CmpOp::Ne,
+            value: value.into(),
+        }
+    }
+
+    /// Conjunction helper: `self AND other`.
+    pub fn and(self, other: PredicateExpr) -> Self {
+        match self {
+            PredicateExpr::And(mut v) => {
+                v.push(other);
+                PredicateExpr::And(v)
+            }
+            first => PredicateExpr::And(vec![first, other]),
+        }
+    }
+
+    /// Disjunction helper: `self OR other`.
+    pub fn or(self, other: PredicateExpr) -> Self {
+        match self {
+            PredicateExpr::Or(mut v) => {
+                v.push(other);
+                PredicateExpr::Or(v)
+            }
+            first => PredicateExpr::Or(vec![first, other]),
+        }
+    }
+
+    /// Check the predicate against a schema (column existence + types).
+    pub fn validate(&self, schema: &Schema) -> Result<(), PredicateError> {
+        match self {
+            PredicateExpr::True => Ok(()),
+            PredicateExpr::Not(inner) => inner.validate(schema),
+            PredicateExpr::And(xs) | PredicateExpr::Or(xs) => {
+                xs.iter().try_for_each(|x| x.validate(schema))
+            }
+            PredicateExpr::Cmp { col, value, .. } => {
+                if *col >= schema.column_count() {
+                    return Err(PredicateError::UnknownColumn {
+                        col: *col,
+                        arity: schema.column_count(),
+                    });
+                }
+                let ty = schema.column(*col).ty;
+                let ok = matches!(
+                    (ty, value),
+                    (ColumnType::U64, Value::U64(_))
+                        | (ColumnType::I64, Value::I64(_))
+                        | (ColumnType::F64, Value::F64(_))
+                        | (ColumnType::Bytes(_), Value::Bytes(_))
+                );
+                if ok {
+                    Ok(())
+                } else {
+                    Err(PredicateError::TypeMismatch {
+                        col: *col,
+                        column_type: ty,
+                    })
+                }
+            }
+        }
+    }
+
+    /// Evaluate against one tuple.
+    pub fn eval(&self, row: &RowView<'_>) -> bool {
+        match self {
+            PredicateExpr::True => true,
+            PredicateExpr::Not(inner) => !inner.eval(row),
+            PredicateExpr::And(xs) => xs.iter().all(|x| x.eval(row)),
+            PredicateExpr::Or(xs) => xs.iter().any(|x| x.eval(row)),
+            PredicateExpr::Cmp { col, op, value } => {
+                let actual = row.value(*col);
+                let ord = match (&actual, value) {
+                    (Value::U64(a), Value::U64(b)) => a.cmp(b),
+                    (Value::I64(a), Value::I64(b)) => a.cmp(b),
+                    (Value::F64(a), Value::F64(b)) => {
+                        // Hardware comparators give NaN a total order at
+                        // the top; mirror that for determinism.
+                        a.partial_cmp(b).unwrap_or_else(|| {
+                            b.is_nan().cmp(&a.is_nan()).then(std::cmp::Ordering::Equal)
+                        })
+                    }
+                    (Value::Bytes(a), Value::Bytes(b)) => a.as_slice().cmp(b.as_slice()),
+                    _ => unreachable!("validated predicate saw mismatched types"),
+                };
+                op.eval_ordering(ord)
+            }
+        }
+    }
+
+    /// Bitmask of base-table columns the predicate reads — the paper's
+    /// `selection_flags` annotation (§5.2).
+    pub fn selection_mask(&self) -> u64 {
+        match self {
+            PredicateExpr::True => 0,
+            PredicateExpr::Not(inner) => inner.selection_mask(),
+            PredicateExpr::And(xs) | PredicateExpr::Or(xs) => {
+                xs.iter().map(PredicateExpr::selection_mask).fold(0, |a, b| a | b)
+            }
+            PredicateExpr::Cmp { col, .. } => 1u64 << (col % 64),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fv_data::{Row, Schema};
+
+    fn row_bytes(vals: &[u64]) -> (Schema, Vec<u8>) {
+        let schema = Schema::uniform_u64(vals.len());
+        let bytes = Row(vals.iter().map(|&v| Value::U64(v)).collect()).encode(&schema);
+        (schema, bytes)
+    }
+
+    #[test]
+    fn comparisons() {
+        let (schema, bytes) = row_bytes(&[10, 20]);
+        let row = RowView::new(&schema, &bytes);
+        assert!(PredicateExpr::lt(0, 11u64).eval(&row));
+        assert!(!PredicateExpr::lt(0, 10u64).eval(&row));
+        assert!(PredicateExpr::gt(1, 19u64).eval(&row));
+        assert!(PredicateExpr::eq(1, 20u64).eval(&row));
+        assert!(PredicateExpr::ne(1, 21u64).eval(&row));
+    }
+
+    #[test]
+    fn paper_two_predicate_and() {
+        // SELECT * FROM S WHERE S.a < X AND S.b < Y (§6.4)
+        let (schema, bytes) = row_bytes(&[5, 7, 0, 0, 0, 0, 0, 0]);
+        let row = RowView::new(&schema, &bytes);
+        let p = PredicateExpr::lt(0, 10u64).and(PredicateExpr::lt(1, 10u64));
+        assert!(p.eval(&row));
+        let p = PredicateExpr::lt(0, 10u64).and(PredicateExpr::lt(1, 7u64));
+        assert!(!p.eval(&row));
+        assert!(p.validate(&schema).is_ok());
+    }
+
+    #[test]
+    fn or_and_not() {
+        let (schema, bytes) = row_bytes(&[5, 7]);
+        let row = RowView::new(&schema, &bytes);
+        let p = PredicateExpr::eq(0, 9u64).or(PredicateExpr::eq(1, 7u64));
+        assert!(p.eval(&row));
+        assert!(!PredicateExpr::Not(Box::new(p)).eval(&row));
+        assert!(PredicateExpr::True.eval(&row));
+    }
+
+    #[test]
+    #[allow(clippy::approx_constant)] // 3.14 is the paper's own example predicate
+    fn float_predicate_like_paper_example() {
+        // SELECT S.a FROM S WHERE S.c > 3.14 (§4.2)
+        let schema = Schema::new(vec![
+            fv_data::Column {
+                name: "a".into(),
+                ty: ColumnType::U64,
+            },
+            fv_data::Column {
+                name: "c".into(),
+                ty: ColumnType::F64,
+            },
+        ]);
+        let bytes = Row(vec![Value::U64(1), Value::F64(3.15)]).encode(&schema);
+        let row = RowView::new(&schema, &bytes);
+        assert!(PredicateExpr::gt(1, 3.14f64).eval(&row));
+        assert!(!PredicateExpr::gt(1, 3.15f64).eval(&row));
+    }
+
+    #[test]
+    fn validation_errors() {
+        let schema = Schema::uniform_u64(2);
+        assert!(matches!(
+            PredicateExpr::lt(5, 1u64).validate(&schema),
+            Err(PredicateError::UnknownColumn { col: 5, .. })
+        ));
+        assert!(matches!(
+            PredicateExpr::lt(0, 1.5f64).validate(&schema),
+            Err(PredicateError::TypeMismatch { col: 0, .. })
+        ));
+    }
+
+    #[test]
+    fn selection_mask_collects_columns() {
+        let p = PredicateExpr::lt(0, 1u64).and(PredicateExpr::gt(3, 2u64));
+        assert_eq!(p.selection_mask(), 0b1001);
+        assert_eq!(PredicateExpr::True.selection_mask(), 0);
+    }
+}

@@ -1,0 +1,218 @@
+//! Projection plans and smart addressing (§5.2).
+//!
+//! Standard projection parses whole rows off the memory stream and drops
+//! the unrequested columns at the packing stage (the tuples flow through
+//! the pipeline annotated with projection flags). Smart addressing
+//! instead "issues multiple more specific data requests to memory" so
+//! only the requested columns are ever read — a win once rows are wide
+//! and the projected fraction small (Figure 7 explores the crossover).
+
+use fv_data::Schema;
+
+use crate::pipeline::PipelineError;
+
+/// A validated projection: which base columns to keep, in which order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProjectionPlan {
+    cols: Vec<usize>,
+    out_schema: Schema,
+    /// Byte ranges of the kept columns inside an input row.
+    ranges: Vec<std::ops::Range<usize>>,
+    out_row_bytes: usize,
+}
+
+impl ProjectionPlan {
+    /// Validate `cols` against `schema` and build the plan. `None` keeps
+    /// every column.
+    pub fn new(schema: &Schema, cols: Option<&[usize]>) -> Result<Self, PipelineError> {
+        let cols: Vec<usize> = match cols {
+            None => (0..schema.column_count()).collect(),
+            Some(c) => {
+                if c.is_empty() {
+                    return Err(PipelineError::EmptyProjection);
+                }
+                for &idx in c {
+                    if idx >= schema.column_count() {
+                        return Err(PipelineError::UnknownColumn {
+                            col: idx,
+                            arity: schema.column_count(),
+                        });
+                    }
+                }
+                c.to_vec()
+            }
+        };
+        let out_schema = schema.project(&cols);
+        let ranges: Vec<_> = cols.iter().map(|&c| schema.column_range(c)).collect();
+        let out_row_bytes = out_schema.row_bytes();
+        Ok(ProjectionPlan {
+            cols,
+            out_schema,
+            ranges,
+            out_row_bytes,
+        })
+    }
+
+    /// The projected column indices.
+    pub fn cols(&self) -> &[usize] {
+        &self.cols
+    }
+
+    /// Output tuple schema.
+    pub fn out_schema(&self) -> &Schema {
+        &self.out_schema
+    }
+
+    /// Output tuple width.
+    pub fn out_row_bytes(&self) -> usize {
+        self.out_row_bytes
+    }
+
+    /// The paper's `projection_flags` bitmask annotation.
+    pub fn projection_mask(&self) -> u64 {
+        self.cols.iter().fold(0u64, |m, &c| m | (1u64 << (c % 64)))
+    }
+
+    /// Append the projected columns of `tuple` to `out`.
+    pub fn write_projected(&self, tuple: &[u8], out: &mut Vec<u8>) {
+        for r in &self.ranges {
+            out.extend_from_slice(&tuple[r.clone()]);
+        }
+    }
+
+    /// Is `col` part of the projection?
+    pub fn keeps(&self, col: usize) -> bool {
+        self.cols.contains(&col)
+    }
+}
+
+/// The memory-access side of smart addressing: per-tuple read segments.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SmartAddressing {
+    /// Coalesced `(offset, len)` segments inside each row, ascending.
+    pub segments: Vec<(usize, usize)>,
+    /// Bytes read per tuple (sum of segment lengths).
+    pub bytes_per_tuple: usize,
+    /// Full row width (the stride between tuples).
+    pub row_bytes: usize,
+}
+
+impl SmartAddressing {
+    /// Plan the per-tuple read segments for projecting `cols` out of
+    /// `schema`. Adjacent projected columns coalesce into one request —
+    /// the paper's Figure 7 experiment projects "three contiguous 8-byte
+    /// columns", i.e. a single 24-byte request per row.
+    pub fn plan(schema: &Schema, cols: &[usize]) -> Result<Self, PipelineError> {
+        if cols.is_empty() {
+            return Err(PipelineError::EmptyProjection);
+        }
+        let mut sorted = cols.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        let mut segments: Vec<(usize, usize)> = Vec::new();
+        for &c in &sorted {
+            if c >= schema.column_count() {
+                return Err(PipelineError::UnknownColumn {
+                    col: c,
+                    arity: schema.column_count(),
+                });
+            }
+            let r = schema.column_range(c);
+            match segments.last_mut() {
+                Some((off, len)) if *off + *len == r.start => *len += r.len(),
+                _ => segments.push((r.start, r.len())),
+            }
+        }
+        let bytes_per_tuple = segments.iter().map(|(_, l)| *l).sum();
+        Ok(SmartAddressing {
+            segments,
+            bytes_per_tuple,
+            row_bytes: schema.row_bytes(),
+        })
+    }
+
+    /// Number of distinct memory requests per tuple.
+    pub fn requests_per_tuple(&self) -> usize {
+        self.segments.len()
+    }
+
+    /// Extract this plan's bytes for the row starting at `row_off` in a
+    /// table image, appending to `out`. This is what the MMU-side gather
+    /// produces for the pipeline.
+    pub fn gather(&self, table: &[u8], row_off: usize, out: &mut Vec<u8>) {
+        for &(off, len) in &self.segments {
+            out.extend_from_slice(&table[row_off + off..row_off + off + len]);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn projection_plan_basics() {
+        let schema = Schema::uniform_u64(8);
+        let p = ProjectionPlan::new(&schema, Some(&[2, 0])).unwrap();
+        assert_eq!(p.out_row_bytes(), 16);
+        assert_eq!(p.projection_mask(), 0b101);
+        let tuple: Vec<u8> = (0..64).collect();
+        let mut out = Vec::new();
+        p.write_projected(&tuple, &mut out);
+        assert_eq!(&out[..8], &tuple[16..24], "column 2 first");
+        assert_eq!(&out[8..], &tuple[0..8], "column 0 second");
+        assert!(p.keeps(0) && p.keeps(2) && !p.keeps(1));
+    }
+
+    #[test]
+    fn keep_all_when_none() {
+        let schema = Schema::uniform_u64(4);
+        let p = ProjectionPlan::new(&schema, None).unwrap();
+        assert_eq!(p.cols(), &[0, 1, 2, 3]);
+        assert_eq!(p.out_row_bytes(), 32);
+    }
+
+    #[test]
+    fn projection_errors() {
+        let schema = Schema::uniform_u64(2);
+        assert!(matches!(
+            ProjectionPlan::new(&schema, Some(&[5])),
+            Err(PipelineError::UnknownColumn { col: 5, .. })
+        ));
+        assert!(matches!(
+            ProjectionPlan::new(&schema, Some(&[])),
+            Err(PipelineError::EmptyProjection)
+        ));
+    }
+
+    #[test]
+    fn smart_addressing_coalesces_contiguous_columns() {
+        // Figure 7: three contiguous 8-byte columns from a 512-byte row.
+        let schema = Schema::uniform_u64(64); // 512 B rows
+        let sa = SmartAddressing::plan(&schema, &[10, 11, 12]).unwrap();
+        assert_eq!(sa.requests_per_tuple(), 1, "contiguous cols coalesce");
+        assert_eq!(sa.bytes_per_tuple, 24);
+        assert_eq!(sa.segments, vec![(80, 24)]);
+        assert_eq!(sa.row_bytes, 512);
+    }
+
+    #[test]
+    fn smart_addressing_splits_gaps() {
+        let schema = Schema::uniform_u64(8);
+        let sa = SmartAddressing::plan(&schema, &[0, 2, 3, 7]).unwrap();
+        assert_eq!(sa.segments, vec![(0, 8), (16, 16), (56, 8)]);
+        assert_eq!(sa.requests_per_tuple(), 3);
+        assert_eq!(sa.bytes_per_tuple, 32);
+    }
+
+    #[test]
+    fn gather_extracts_row_slice() {
+        let schema = Schema::uniform_u64(4);
+        let sa = SmartAddressing::plan(&schema, &[1, 3]).unwrap();
+        let table: Vec<u8> = (0..64).collect(); // two rows of 32 B
+        let mut out = Vec::new();
+        sa.gather(&table, 32, &mut out);
+        assert_eq!(&out[..8], &table[40..48]);
+        assert_eq!(&out[8..], &table[56..64]);
+    }
+}

@@ -1,0 +1,122 @@
+//! The regular-expression selection operator (§5.3).
+//!
+//! "In these operators, data is retrieved from the remote node only when
+//! it matches the given regular expression. The operator implements
+//! regular expression matching using multiple parallel engines." The
+//! parallel engines are a throughput device; functionally each tuple's
+//! string column is matched and the tuple passes iff it matches.
+//!
+//! Fixed-width string columns are zero-padded; the padding is stripped
+//! before matching (the hardware engines see a length-delimited stream).
+
+use fv_data::Schema;
+use fv_regex::Regex;
+
+use crate::pipeline::StreamOperator;
+
+/// Streaming regex filter over one `Bytes(n)` column.
+#[derive(Debug, Clone)]
+pub struct RegexOp {
+    re: Regex,
+    range: std::ops::Range<usize>,
+    matched: u64,
+    evaluated: u64,
+}
+
+impl RegexOp {
+    /// Match `re` against column `col` of `schema`.
+    ///
+    /// # Panics
+    /// Panics if `col` is out of range (validated by pipeline compile).
+    pub fn new(re: Regex, col: usize, schema: Schema) -> Self {
+        RegexOp {
+            range: schema.column_range(col),
+            re,
+            matched: 0,
+            evaluated: 0,
+        }
+    }
+
+    /// `(evaluated, matched)` counters.
+    pub fn counters(&self) -> (u64, u64) {
+        (self.evaluated, self.matched)
+    }
+}
+
+/// Strip trailing zero padding from a fixed-width string field.
+fn strip_padding(field: &[u8]) -> &[u8] {
+    let end = field
+        .iter()
+        .rposition(|&b| b != 0)
+        .map_or(0, |p| p + 1);
+    &field[..end]
+}
+
+impl StreamOperator for RegexOp {
+    fn name(&self) -> &'static str {
+        "regex"
+    }
+
+    fn push(&mut self, tuple: &[u8], out: &mut dyn FnMut(&[u8])) {
+        self.evaluated += 1;
+        let field = strip_padding(&tuple[self.range.clone()]);
+        if self.re.is_match(field) {
+            self.matched += 1;
+            out(tuple);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fv_data::{Column, ColumnType, Row, Value};
+
+    fn string_schema(width: usize) -> Schema {
+        Schema::new(vec![
+            Column {
+                name: "id".into(),
+                ty: ColumnType::U64,
+            },
+            Column {
+                name: "s".into(),
+                ty: ColumnType::Bytes(width),
+            },
+        ])
+    }
+
+    #[test]
+    fn matches_filter_tuples() {
+        let schema = string_schema(16);
+        let re = Regex::compile("c[aou]t").unwrap();
+        let mut op = RegexOp::new(re, 1, schema.clone());
+        let mut kept: Vec<u64> = Vec::new();
+        for (i, s) in ["the cat", "a dog", "cut here", "cot", "ct"].iter().enumerate() {
+            let bytes = Row(vec![Value::U64(i as u64), Value::from(*s)]).encode(&schema);
+            op.push(&bytes, &mut |t| {
+                kept.push(u64::from_le_bytes(t[..8].try_into().unwrap()));
+            });
+        }
+        assert_eq!(kept, vec![0, 2, 3]);
+        assert_eq!(op.counters(), (5, 3));
+    }
+
+    #[test]
+    fn padding_does_not_break_end_anchor() {
+        let schema = string_schema(8);
+        let re = Regex::compile("cat$").unwrap();
+        let mut op = RegexOp::new(re, 1, schema.clone());
+        let bytes = Row(vec![Value::U64(0), Value::from("cat")]).encode(&schema);
+        let mut hits = 0;
+        op.push(&bytes, &mut |_| hits += 1);
+        assert_eq!(hits, 1, "zero padding must be invisible to `$`");
+    }
+
+    #[test]
+    fn strip_padding_edge_cases() {
+        assert_eq!(strip_padding(b"abc\0\0"), b"abc");
+        assert_eq!(strip_padding(b"\0\0"), b"");
+        assert_eq!(strip_padding(b"a\0b\0"), b"a\0b", "interior NULs survive");
+        assert_eq!(strip_padding(b""), b"");
+    }
+}

@@ -1,0 +1,246 @@
+//! Subset-construction DFA.
+//!
+//! Eager determinization with a dense 256-way transition table per state.
+//! The state budget guards against pathological patterns; the evaluation
+//! patterns of the paper compile to a handful of states.
+//!
+//! Matching is O(1) per input byte — the property the paper highlights
+//! for the FPGA engines ("the performance of the operator is dominated by
+//! the length of the string and does not depend on the complexity of the
+//! regular expression", §5.3).
+
+use std::collections::HashMap;
+
+use crate::nfa::{Nfa, StateId};
+use crate::RegexError;
+
+/// Sentinel for "no transition".
+pub const DEAD: u32 = u32::MAX;
+
+/// A dense deterministic automaton.
+#[derive(Debug, Clone)]
+pub struct Dfa {
+    /// `transitions[state * 256 + byte]` is the next state or [`DEAD`].
+    transitions: Vec<u32>,
+    accepting: Vec<bool>,
+    start: u32,
+}
+
+impl Dfa {
+    /// Determinize `nfa`, failing if more than `state_limit` DFA states
+    /// are needed.
+    pub fn determinize(nfa: &Nfa, state_limit: usize) -> Result<Dfa, RegexError> {
+        let start_set = nfa.epsilon_closure(&[nfa.start()]);
+        let mut index: HashMap<Vec<StateId>, u32> = HashMap::new();
+        let mut sets: Vec<Vec<StateId>> = Vec::new();
+        let mut transitions: Vec<u32> = Vec::new();
+        let mut accepting: Vec<bool> = Vec::new();
+
+        /// Intern a closure set, returning `(id, already_existed)`.
+        fn intern(
+            set: Vec<StateId>,
+            accept_state: StateId,
+            state_limit: usize,
+            index: &mut HashMap<Vec<StateId>, u32>,
+            sets: &mut Vec<Vec<StateId>>,
+            accepting: &mut Vec<bool>,
+            transitions: &mut Vec<u32>,
+        ) -> Result<(u32, bool), RegexError> {
+            if let Some(&id) = index.get(&set) {
+                return Ok((id, true));
+            }
+            if sets.len() >= state_limit {
+                return Err(RegexError::TooComplex { limit: state_limit });
+            }
+            let id = u32::try_from(sets.len()).expect("state limit fits u32");
+            accepting.push(set.binary_search(&accept_state).is_ok());
+            index.insert(set.clone(), id);
+            sets.push(set);
+            transitions.extend(std::iter::repeat_n(DEAD, 256));
+            Ok((id, false))
+        }
+
+        let (start, _) = intern(
+            start_set,
+            nfa.accept(),
+            state_limit,
+            &mut index,
+            &mut sets,
+            &mut accepting,
+            &mut transitions,
+        )?;
+        let mut work = vec![start];
+        let mut moved: Vec<StateId> = Vec::new();
+
+        while let Some(d) = work.pop() {
+            // For each byte, gather NFA targets of the member states.
+            for byte in 0u16..256 {
+                let b = byte as u8;
+                moved.clear();
+                for &s in &sets[d as usize] {
+                    for (set, t) in &nfa.states()[s as usize].byte_edges {
+                        if set.contains(b) {
+                            moved.push(*t);
+                        }
+                    }
+                }
+                if moved.is_empty() {
+                    continue;
+                }
+                let closure = nfa.epsilon_closure(&moved);
+                let (target, existed) = intern(
+                    closure,
+                    nfa.accept(),
+                    state_limit,
+                    &mut index,
+                    &mut sets,
+                    &mut accepting,
+                    &mut transitions,
+                )?;
+                if !existed {
+                    work.push(target);
+                }
+                transitions[d as usize * 256 + byte as usize] = target;
+            }
+        }
+
+        Ok(Dfa {
+            transitions,
+            accepting,
+            start,
+        })
+    }
+
+    /// Number of DFA states.
+    pub fn state_count(&self) -> usize {
+        self.accepting.len()
+    }
+
+    /// Start state.
+    pub fn start(&self) -> u32 {
+        self.start
+    }
+
+    /// One transition step.
+    #[inline]
+    pub fn step(&self, state: u32, byte: u8) -> u32 {
+        if state == DEAD {
+            return DEAD;
+        }
+        self.transitions[state as usize * 256 + byte as usize]
+    }
+
+    /// Is `state` accepting?
+    #[inline]
+    pub fn is_accepting(&self, state: u32) -> bool {
+        state != DEAD && self.accepting[state as usize]
+    }
+
+    /// Unanchored-end match: true as soon as any prefix of the scan
+    /// reaches an accepting state (the NFA's unanchored-start loop is
+    /// already baked into the transitions).
+    pub fn matches_prefix_free(&self, haystack: &[u8]) -> bool {
+        self.shortest_match_end(haystack).is_some()
+    }
+
+    /// End offset of the shortest match, scanning left to right.
+    pub fn shortest_match_end(&self, haystack: &[u8]) -> Option<usize> {
+        let mut state = self.start;
+        if self.is_accepting(state) {
+            return Some(0);
+        }
+        for (i, &b) in haystack.iter().enumerate() {
+            state = self.step(state, b);
+            if state == DEAD {
+                // With an unanchored-start loop the start state can never
+                // die; a DEAD here means the pattern was start-anchored
+                // and has failed for good.
+                return None;
+            }
+            if self.is_accepting(state) {
+                return Some(i + 1);
+            }
+        }
+        None
+    }
+
+    /// End-anchored match: run the whole haystack and test acceptance at
+    /// the final position only.
+    pub fn accepts_at_end(&self, haystack: &[u8]) -> bool {
+        let mut state = self.start;
+        for &b in haystack {
+            state = self.step(state, b);
+            if state == DEAD {
+                return false;
+            }
+        }
+        self.is_accepting(state)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn dfa_for(pattern: &str) -> (Dfa, bool) {
+        let parsed = parse(pattern).unwrap();
+        let nfa = Nfa::from_ast(&parsed.ast, !parsed.anchored_start);
+        (
+            Dfa::determinize(&nfa, 8192).unwrap(),
+            parsed.anchored_end,
+        )
+    }
+
+    #[test]
+    fn literal_search() {
+        let (dfa, _) = dfa_for("needle");
+        assert!(dfa.matches_prefix_free(b"hay needle hay"));
+        assert!(!dfa.matches_prefix_free(b"haystack"));
+    }
+
+    #[test]
+    fn shortest_match_is_leftmost() {
+        let (dfa, _) = dfa_for("ab");
+        assert_eq!(dfa.shortest_match_end(b"zzabzzab"), Some(4));
+    }
+
+    #[test]
+    fn anchored_end() {
+        let (dfa, anchored_end) = dfa_for("abc$");
+        assert!(anchored_end);
+        assert!(dfa.accepts_at_end(b"zzzabc"));
+        assert!(!dfa.accepts_at_end(b"abczzz"));
+    }
+
+    #[test]
+    fn start_anchored_dies_cleanly() {
+        let (dfa, _) = dfa_for("^abc");
+        assert!(dfa.matches_prefix_free(b"abcdef"));
+        assert!(!dfa.matches_prefix_free(b"zabc"));
+    }
+
+    #[test]
+    fn state_budget() {
+        let parsed = parse("abcd").unwrap();
+        let nfa = Nfa::from_ast(&parsed.ast, true);
+        assert!(matches!(
+            Dfa::determinize(&nfa, 3),
+            Err(RegexError::TooComplex { limit: 3 })
+        ));
+    }
+
+    #[test]
+    fn dfa_state_count_is_reasonable() {
+        // The classic (a|b)*a(a|b){3} needs 2^4 states as a DFA — subset
+        // construction must realize exactly that blowup, no more.
+        let parsed = parse("^(a|b)*a(a|b){3}$").unwrap();
+        let nfa = Nfa::from_ast(&parsed.ast, false);
+        let dfa = Dfa::determinize(&nfa, 8192).unwrap();
+        assert!(dfa.state_count() <= 32, "got {}", dfa.state_count());
+        // "abbbabbb": the 4th symbol from the end is 'a' -> accepted.
+        assert!(dfa.accepts_at_end(b"abbbabbb"));
+        // "abbbbbbb": the 4th from the end is 'b' -> rejected.
+        assert!(!dfa.accepts_at_end(b"abbbbbbb"));
+    }
+}

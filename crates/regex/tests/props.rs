@@ -1,0 +1,89 @@
+//! Crate-level property tests for the regex engine (beyond the oracle
+//! grid in the unit tests): compile stability, search semantics algebra.
+
+use proptest::prelude::*;
+
+use fv_regex::Regex;
+
+fn arb_literal() -> impl Strategy<Value = Vec<u8>> {
+    prop::collection::vec(prop::sample::select(vec![b'a', b'b', b'c', b'x']), 1..8)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// A literal pattern matches exactly the haystacks containing it.
+    #[test]
+    fn literal_search_is_substring_search(
+        needle in arb_literal(),
+        hay in prop::collection::vec(prop::sample::select(vec![b'a', b'b', b'c', b'x']), 0..30),
+    ) {
+        let pattern: String = needle.iter().map(|&b| b as char).collect();
+        let re = Regex::compile(&pattern).unwrap();
+        let expected = hay.windows(needle.len()).any(|w| w == needle.as_slice());
+        prop_assert_eq!(re.is_match(&hay), expected);
+    }
+
+    /// `p` matches h  =>  `p|q` matches h (alternation is a superset).
+    #[test]
+    fn alternation_is_monotone(
+        p in arb_literal(),
+        q in arb_literal(),
+        hay in prop::collection::vec(prop::sample::select(vec![b'a', b'b', b'c']), 0..20),
+    ) {
+        let ps: String = p.iter().map(|&b| b as char).collect();
+        let qs: String = q.iter().map(|&b| b as char).collect();
+        let re_p = Regex::compile(&ps).unwrap();
+        let re_pq = Regex::compile(&format!("{ps}|{qs}")).unwrap();
+        if re_p.is_match(&hay) {
+            prop_assert!(re_pq.is_match(&hay));
+        }
+    }
+
+    /// Anchored exact match implies unanchored match.
+    #[test]
+    fn anchored_implies_unanchored(
+        p in arb_literal(),
+        hay in prop::collection::vec(prop::sample::select(vec![b'a', b'b']), 0..16),
+    ) {
+        let ps: String = p.iter().map(|&b| b as char).collect();
+        let anchored = Regex::compile(&format!("^{ps}$")).unwrap();
+        let free = Regex::compile(&ps).unwrap();
+        if anchored.is_match(&hay) {
+            prop_assert!(free.is_match(&hay));
+        }
+    }
+
+    /// `shortest_match_end` returns an offset at which the prefix really
+    /// does end a match: re-scanning the prefix must match.
+    #[test]
+    fn shortest_match_end_is_sound(
+        p in arb_literal(),
+        hay in prop::collection::vec(prop::sample::select(vec![b'a', b'b', b'c']), 0..24),
+    ) {
+        let ps: String = p.iter().map(|&b| b as char).collect();
+        let re = Regex::compile(&ps).unwrap();
+        if let Some(end) = re.shortest_match_end(&hay) {
+            prop_assert!(end <= hay.len());
+            prop_assert!(re.is_match(&hay[..end]));
+            // Minimality: no shorter prefix matches.
+            if end > 0 {
+                prop_assert!(!re.is_match(&hay[..end - 1]));
+            }
+        }
+    }
+
+    /// Compilation is deterministic: equal patterns yield automata with
+    /// identical state counts and identical decisions.
+    #[test]
+    fn compile_is_deterministic(
+        p in arb_literal(),
+        hay in prop::collection::vec(any::<u8>(), 0..20),
+    ) {
+        let ps: String = p.iter().map(|&b| b as char).collect();
+        let a = Regex::compile(&ps).unwrap();
+        let b = Regex::compile(&ps).unwrap();
+        prop_assert_eq!(a.state_count(), b.state_count());
+        prop_assert_eq!(a.is_match(&hay), b.is_match(&hay));
+    }
+}

@@ -1,0 +1,221 @@
+//! Measurement helpers.
+//!
+//! The paper reports medians over 1000 runs (FPGA) / 10000 runs (CPU,
+//! which jitters). The simulator is deterministic, so medians collapse to
+//! single values; these helpers exist to aggregate sweeps, to report
+//! distribution summaries for randomized workloads, and to let tests make
+//! statements such as "p99 queueing delay under six clients stays below X".
+
+use serde::Serialize;
+
+use crate::time::SimDuration;
+
+/// Streaming mean/min/max/variance (Welford's algorithm).
+#[derive(Debug, Clone, Default, Serialize)]
+pub struct RunningStats {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl RunningStats {
+    /// Empty accumulator.
+    pub fn new() -> Self {
+        RunningStats {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Fold in one observation.
+    pub fn record(&mut self, x: f64) {
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Fold in a duration, in microseconds.
+    pub fn record_duration(&mut self, d: SimDuration) {
+        self.record(d.as_micros_f64());
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Arithmetic mean (0 if empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Sample variance (0 with fewer than two observations).
+    pub fn variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / (self.count - 1) as f64
+        }
+    }
+
+    /// Sample standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Smallest observation (`None` if empty).
+    pub fn min(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest observation (`None` if empty).
+    pub fn max(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.max)
+    }
+}
+
+/// A simple exact-quantile container: stores all samples, sorts on query.
+///
+/// Sample counts in this codebase are small (thousands), so exactness
+/// beats the complexity of a streaming sketch.
+#[derive(Debug, Clone, Default, Serialize)]
+pub struct Histogram {
+    samples: Vec<f64>,
+    #[serde(skip)]
+    sorted: bool,
+}
+
+impl Histogram {
+    /// Empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            samples: Vec::new(),
+            sorted: true,
+        }
+    }
+
+    /// Add one sample.
+    pub fn record(&mut self, x: f64) {
+        assert!(x.is_finite(), "histogram sample must be finite");
+        self.samples.push(x);
+        self.sorted = false;
+    }
+
+    /// Add one duration sample, in microseconds.
+    pub fn record_duration(&mut self, d: SimDuration) {
+        self.record(d.as_micros_f64());
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// True when no samples were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    fn ensure_sorted(&mut self) {
+        if !self.sorted {
+            self.samples
+                .sort_by(|a, b| a.partial_cmp(b).expect("finite samples"));
+            self.sorted = true;
+        }
+    }
+
+    /// Exact quantile by the nearest-rank method; `q` in `[0, 1]`.
+    pub fn quantile(&mut self, q: f64) -> Option<f64> {
+        assert!((0.0..=1.0).contains(&q), "quantile out of range: {q}");
+        if self.samples.is_empty() {
+            return None;
+        }
+        self.ensure_sorted();
+        let rank = ((q * self.samples.len() as f64).ceil() as usize).max(1) - 1;
+        Some(self.samples[rank.min(self.samples.len() - 1)])
+    }
+
+    /// Median (p50).
+    pub fn median(&mut self) -> Option<f64> {
+        self.quantile(0.5)
+    }
+
+    /// Mean of all samples.
+    pub fn mean(&self) -> Option<f64> {
+        if self.samples.is_empty() {
+            None
+        } else {
+            Some(self.samples.iter().sum::<f64>() / self.samples.len() as f64)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn running_stats_basic() {
+        let mut s = RunningStats::new();
+        for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+            s.record(x);
+        }
+        assert_eq!(s.count(), 8);
+        assert!((s.mean() - 5.0).abs() < 1e-12);
+        // Known sample std dev of this classic dataset is ~2.138.
+        assert!((s.std_dev() - 2.1380899).abs() < 1e-6);
+        assert_eq!(s.min(), Some(2.0));
+        assert_eq!(s.max(), Some(9.0));
+    }
+
+    #[test]
+    fn running_stats_empty_is_safe() {
+        let s = RunningStats::new();
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.variance(), 0.0);
+        assert_eq!(s.min(), None);
+        assert_eq!(s.max(), None);
+    }
+
+    #[test]
+    fn histogram_quantiles() {
+        let mut h = Histogram::new();
+        for i in 1..=100 {
+            h.record(f64::from(i));
+        }
+        assert_eq!(h.median(), Some(50.0));
+        assert_eq!(h.quantile(0.99), Some(99.0));
+        assert_eq!(h.quantile(1.0), Some(100.0));
+        assert_eq!(h.quantile(0.0), Some(1.0));
+        assert_eq!(h.mean(), Some(50.5));
+    }
+
+    #[test]
+    fn histogram_unsorted_input() {
+        let mut h = Histogram::new();
+        for x in [9.0, 1.0, 5.0] {
+            h.record(x);
+        }
+        assert_eq!(h.median(), Some(5.0));
+        assert_eq!(h.len(), 3);
+    }
+
+    #[test]
+    fn histogram_duration_units_are_micros() {
+        let mut h = Histogram::new();
+        h.record_duration(SimDuration::from_micros(250));
+        assert_eq!(h.median(), Some(250.0));
+    }
+}

@@ -1,0 +1,68 @@
+//! Property tests for the simulation substrate.
+
+use proptest::prelude::*;
+
+use fv_sim::{BandwidthServer, DrrScheduler, SimDuration, SimTime};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// FIFO bandwidth server: completions are monotone in admission
+    /// order, never before arrival, and total busy time equals the sum of
+    /// service demands.
+    #[test]
+    fn bandwidth_server_fifo_invariants(
+        jobs in prop::collection::vec((0u64..10_000, 1u64..100_000), 1..40),
+        rate in 1.0e6f64..1.0e10,
+    ) {
+        let mut s = BandwidthServer::new(rate, SimDuration::from_nanos(10));
+        let mut last_done = SimTime::ZERO;
+        let mut arrival = SimTime::ZERO;
+        for &(gap, bytes) in &jobs {
+            arrival += SimDuration::from_nanos(gap);
+            let done = s.admit(arrival, bytes);
+            prop_assert!(done >= arrival, "completion before arrival");
+            prop_assert!(done >= last_done, "FIFO order violated");
+            let min_service = SimDuration::for_bytes(bytes, rate);
+            prop_assert!(done.since(arrival) >= min_service);
+            last_done = done;
+        }
+        let total_bytes: u64 = jobs.iter().map(|j| j.1).sum();
+        prop_assert_eq!(s.bytes_served(), total_bytes);
+        prop_assert!(s.busy_until() == last_done);
+    }
+
+    /// DRR conservation: everything pushed is popped exactly once, per
+    /// flow, regardless of interleaving.
+    #[test]
+    fn drr_conserves_jobs(
+        pushes in prop::collection::vec((0usize..4, 1u64..1024), 1..100),
+    ) {
+        let mut drr: DrrScheduler<usize> = DrrScheduler::new(4, 1024);
+        let mut pushed = [0usize; 4];
+        for (i, &(flow, cost)) in pushes.iter().enumerate() {
+            drr.push(flow, cost, i);
+            pushed[flow] += 1;
+        }
+        let mut popped = [0usize; 4];
+        let mut seen = std::collections::HashSet::new();
+        while let Some((flow, tag)) = drr.pop() {
+            popped[flow] += 1;
+            prop_assert!(seen.insert(tag), "job popped twice");
+            // The tag's original flow matches the pop-reported flow.
+            prop_assert_eq!(pushes[tag].0, flow);
+        }
+        prop_assert_eq!(pushed, popped);
+        prop_assert!(drr.is_empty());
+    }
+
+    /// Durations: for_bytes is monotone in bytes and antitone in rate.
+    #[test]
+    fn for_bytes_monotonicity(bytes in 1u64..1_000_000, rate in 1.0e3f64..1.0e12) {
+        let d = SimDuration::for_bytes(bytes, rate);
+        prop_assert!(SimDuration::for_bytes(bytes + 1, rate) >= d);
+        prop_assert!(SimDuration::for_bytes(bytes, rate * 2.0) <= d);
+        // Never zero for nonzero bytes (ceil semantics).
+        prop_assert!(d > SimDuration::ZERO);
+    }
+}

@@ -1,0 +1,63 @@
+//! Quickstart: bring up a Farview node, put a table in the disaggregated
+//! buffer pool, and offload a selection.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use farview::prelude::*;
+use fv_workload::SELECTIVITY_PIVOT;
+
+fn main() {
+    // A Farview node with the paper's evaluated configuration: two DRAM
+    // channels, six dynamic regions, 1 kB packets (§6.1).
+    let cluster = FarviewCluster::new(FarviewConfig::default());
+
+    // openConnection(): binds a queue pair to a free dynamic region.
+    let qp = cluster.connect().expect("a dynamic region is free");
+
+    // Build a 1 MB table (8 × 8-byte attributes, §6.2) where column 0 is
+    // calibrated so `c0 < SELECTIVITY_PIVOT` selects 10 % of the rows.
+    let table = TableGen::paper_default(1 << 20)
+        .seed(42)
+        .selectivity_column(0, 0.10)
+        .build();
+
+    // allocTableMem() + tableWrite(): populate the remote buffer pool.
+    let (ft, write_time) = qp.load_table(&table).expect("buffer pool space");
+    println!(
+        "loaded {} rows ({} KiB) into disaggregated memory in {write_time}",
+        ft.row_count(),
+        ft.byte_len() / 1024,
+    );
+
+    // A plain remote read (the non-offloaded path).
+    let read = qp.table_read(&ft).expect("tableRead");
+    println!(
+        "tableRead:   {:>9} rows back in {} ({} packets)",
+        read.row_count(),
+        read.stats.response_time,
+        read.stats.packets
+    );
+
+    // The same data with the selection pushed down: only matching tuples
+    // ever cross the network.
+    let query = SelectQuery::all_columns().and_lt(0, SELECTIVITY_PIVOT);
+    let sel = qp.select(&ft, &query).expect("offloaded selection");
+    println!(
+        "select 10%:  {:>9} rows back in {} ({} packets)",
+        sel.row_count(),
+        sel.stats.response_time,
+        sel.stats.packets
+    );
+
+    let speedup =
+        read.stats.response_time.as_nanos() as f64 / sel.stats.response_time.as_nanos() as f64;
+    println!("pushing the filter into memory was {speedup:.1}x faster");
+    assert!(speedup > 1.5, "selection push-down must pay off");
+
+    // Decode a couple of result rows through the schema.
+    for row in sel.rows().into_iter().take(3) {
+        println!("  row: c0={} c1={}", row.value(0), row.value(1));
+    }
+}

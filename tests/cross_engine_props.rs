@@ -1,0 +1,146 @@
+//! Property-based cross-validation: the FPGA-side operator pipeline and
+//! the CPU baseline engine are two independent implementations of the
+//! same query semantics over the same byte format. For random tables and
+//! random queries they must agree.
+
+use proptest::prelude::*;
+
+use farview::prelude::*;
+use farview_core::{AggFunc, AggSpec, PipelineSpec, PredicateExpr};
+use fv_data::{Schema, TableBuilder, Value};
+
+fn cluster() -> FarviewCluster {
+    FarviewCluster::new(FarviewConfig::tiny())
+}
+
+/// A random small table: `cols` u64 columns, values bounded so that
+/// predicates and groups are non-degenerate.
+fn arb_table(max_rows: usize, cols: usize, value_bound: u64) -> impl Strategy<Value = Table> {
+    prop::collection::vec(
+        prop::collection::vec(0..value_bound, cols),
+        1..=max_rows,
+    )
+    .prop_map(move |rows| {
+        let schema = Schema::uniform_u64(cols);
+        let mut b = TableBuilder::with_capacity(schema, rows.len());
+        for r in rows {
+            b.push_values(r.into_iter().map(Value::U64).collect());
+        }
+        b.build()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Selection: FV offload == CPU engine, byte for byte.
+    #[test]
+    fn selection_agrees(
+        table in arb_table(300, 4, 1000),
+        threshold in 0u64..1000,
+        col in 0usize..4,
+    ) {
+        let pred = PredicateExpr::lt(col, threshold);
+        let c = cluster();
+        let qp = c.connect().unwrap();
+        let (ft, _) = qp.load_table(&table).unwrap();
+        let fv = qp.far_view(&ft, &PipelineSpec::passthrough().filter(pred.clone())).unwrap();
+        let cpu = CpuEngine::new(BaselineKind::Lcpu).select(&table, &pred, None);
+        prop_assert_eq!(fv.payload, cpu.payload);
+    }
+
+    /// Complex predicates (AND/OR/NOT) agree too.
+    #[test]
+    fn complex_predicates_agree(
+        table in arb_table(200, 3, 50),
+        a in 0u64..50,
+        b in 0u64..50,
+        d in 0u64..50,
+    ) {
+        let pred = PredicateExpr::lt(0, a)
+            .or(PredicateExpr::gt(1, b))
+            .and(PredicateExpr::Not(Box::new(PredicateExpr::eq(2, d))));
+        let c = cluster();
+        let qp = c.connect().unwrap();
+        let (ft, _) = qp.load_table(&table).unwrap();
+        let fv = qp.far_view(&ft, &PipelineSpec::passthrough().filter(pred.clone())).unwrap();
+        let cpu = CpuEngine::new(BaselineKind::Lcpu).select(&table, &pred, None);
+        prop_assert_eq!(fv.payload, cpu.payload);
+    }
+
+    /// Distinct: same key set (FV may add overflow duplicates, which the
+    /// client dedups — compare sets), and with the default geometry the
+    /// small key space must produce no overflow at all.
+    #[test]
+    fn distinct_agrees(table in arb_table(400, 2, 64)) {
+        let c = cluster();
+        let qp = c.connect().unwrap();
+        let (ft, _) = qp.load_table(&table).unwrap();
+        let fv = qp.distinct(&ft, vec![0]).unwrap();
+        let cpu = CpuEngine::new(BaselineKind::Lcpu).distinct(&table, &[0]);
+        prop_assert_eq!(fv.stats.overflow_tuples, 0);
+        prop_assert_eq!(fv.payload, cpu.payload, "no overflow -> identical order");
+    }
+
+    /// Group-by with all five aggregate functions agrees byte-for-byte.
+    #[test]
+    fn group_by_agrees(
+        table in arb_table(300, 3, 40),
+        func in prop::sample::select(vec![
+            AggFunc::Count, AggFunc::Sum, AggFunc::Min, AggFunc::Max, AggFunc::Avg,
+        ]),
+    ) {
+        let aggs = vec![AggSpec { col: 2, func }];
+        let c = cluster();
+        let qp = c.connect().unwrap();
+        let (ft, _) = qp.load_table(&table).unwrap();
+        let fv = qp.group_by(&ft, vec![0], aggs.clone()).unwrap();
+        let cpu = CpuEngine::new(BaselineKind::Lcpu).group_by(&table, &[0], &aggs);
+        prop_assert_eq!(fv.payload, cpu.payload);
+    }
+
+    /// Projection in arbitrary (duplicate-free, like the paper's
+    /// projection-flag bitmask) column order agrees.
+    #[test]
+    fn projection_agrees(
+        table in arb_table(200, 5, 1000),
+        cols in prop::collection::hash_set(0usize..5, 1..=4)
+            .prop_map(|s| s.into_iter().collect::<Vec<_>>()),
+    ) {
+        let c = cluster();
+        let qp = c.connect().unwrap();
+        let (ft, _) = qp.load_table(&table).unwrap();
+        let fv = qp.far_view(&ft, &PipelineSpec::passthrough().project(cols.clone())).unwrap();
+        let cpu = CpuEngine::new(BaselineKind::Lcpu)
+            .select(&table, &PredicateExpr::True, Some(&cols));
+        prop_assert_eq!(fv.payload, cpu.payload);
+    }
+
+    /// A passthrough offload is an identity on arbitrary byte images.
+    #[test]
+    fn passthrough_is_identity(table in arb_table(256, 8, u64::MAX)) {
+        let c = cluster();
+        let qp = c.connect().unwrap();
+        let (ft, _) = qp.load_table(&table).unwrap();
+        let out = qp.table_read(&ft).unwrap();
+        prop_assert_eq!(out.payload.as_slice(), table.bytes());
+    }
+
+    /// Vectorization is timing-only: identical results at any lane count.
+    #[test]
+    fn vectorization_is_pure(
+        table in arb_table(200, 2, 100),
+        threshold in 0u64..100,
+    ) {
+        let pred = PredicateExpr::lt(0, threshold);
+        let c = cluster();
+        let qp = c.connect().unwrap();
+        let (ft, _) = qp.load_table(&table).unwrap();
+        let scalar = qp.far_view(&ft, &PipelineSpec::passthrough().filter(pred.clone())).unwrap();
+        let vector = qp
+            .far_view(&ft, &PipelineSpec::passthrough().filter(pred).vectorized())
+            .unwrap();
+        prop_assert_eq!(scalar.payload, vector.payload);
+        prop_assert!(vector.stats.response_time <= scalar.stats.response_time);
+    }
+}

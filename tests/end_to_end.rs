@@ -1,0 +1,278 @@
+//! End-to-end integration tests across the whole stack: client API →
+//! network stack → operator stack → MMU → DRAM and back.
+
+use farview::prelude::*;
+use farview_core::{AggFunc, AggSpec, CryptoSpec, FvError, PipelineSpec, PredicateExpr};
+use fv_workload::{encrypt_table, StringTableGen, TableGen, REGEX_PATTERN, SELECTIVITY_PIVOT};
+
+fn small_cluster() -> FarviewCluster {
+    FarviewCluster::new(FarviewConfig::tiny())
+}
+
+#[test]
+fn full_lifecycle_alloc_write_query_free() {
+    let cluster = small_cluster();
+    let qp = cluster.connect().unwrap();
+    let pages_before = cluster.free_pages();
+
+    let table = TableGen::paper_default(128 << 10).seed(1).build();
+    let (ft, write_time) = qp.load_table(&table).unwrap();
+    assert!(write_time > SimDuration::ZERO);
+    assert!(cluster.free_pages() < pages_before);
+
+    let out = qp.table_read(&ft).unwrap();
+    assert_eq!(out.payload, table.bytes());
+    assert_eq!(out.stats.result_bytes, 128 << 10);
+    assert_eq!(out.stats.bytes_from_memory, 128 << 10);
+    assert!(out.stats.bytes_on_wire > out.stats.result_bytes, "headers cost wire bytes");
+
+    qp.free_table(ft).unwrap();
+    assert_eq!(cluster.free_pages(), pages_before, "pages must return to the pool");
+}
+
+#[test]
+fn all_regions_assignable_and_recyclable() {
+    let cluster = FarviewCluster::new(FarviewConfig::default());
+    let qps: Vec<_> = (0..6).map(|_| cluster.connect().unwrap()).collect();
+    assert!(matches!(cluster.connect(), Err(FvError::NoFreeRegion { regions: 6 })));
+    drop(qps);
+    // All six come back.
+    let again: Vec<_> = (0..6).map(|_| cluster.connect().unwrap()).collect();
+    assert_eq!(again.len(), 6);
+}
+
+#[test]
+fn offloading_reduces_wire_traffic_proportionally() {
+    let cluster = small_cluster();
+    let qp = cluster.connect().unwrap();
+    let table = TableGen::paper_default(512 << 10)
+        .seed(2)
+        .selectivity_column(0, 0.25)
+        .build();
+    let (ft, _) = qp.load_table(&table).unwrap();
+
+    let full = qp.table_read(&ft).unwrap();
+    let sel = qp
+        .select(&ft, &SelectQuery::all_columns().and_lt(0, SELECTIVITY_PIVOT))
+        .unwrap();
+    let wire_ratio = sel.stats.bytes_on_wire as f64 / full.stats.bytes_on_wire as f64;
+    assert!(
+        (0.2..0.32).contains(&wire_ratio),
+        "25% selectivity should move ~25% of the bytes, got {wire_ratio}"
+    );
+    assert!(sel.stats.response_time < full.stats.response_time);
+    // Both scanned the whole table inside the memory.
+    assert_eq!(sel.stats.bytes_from_memory, full.stats.bytes_from_memory);
+}
+
+#[test]
+fn projection_plus_selection_compose() {
+    let cluster = small_cluster();
+    let qp = cluster.connect().unwrap();
+    let table = TableGen::paper_default(64 << 10).seed(3).build();
+    let (ft, _) = qp.load_table(&table).unwrap();
+
+    // Project two columns, filter on a third (annotations carry the
+    // predicate column through the pipeline even though it is projected
+    // away at packing, §5.2).
+    let spec = PipelineSpec::passthrough()
+        .project(vec![7, 2])
+        .filter(PredicateExpr::lt(4, 1u64 << 62));
+    let out = qp.far_view(&ft, &spec).unwrap();
+    assert_eq!(out.schema.column_count(), 2);
+    assert_eq!(out.schema.column(0).name, "c7");
+    // Oracle: filter + project by hand.
+    let expected: usize = table
+        .rows()
+        .filter(|r| r.value(4).as_u64() < (1u64 << 62))
+        .count();
+    assert_eq!(out.row_count(), expected);
+}
+
+#[test]
+fn group_by_matches_cpu_engine_exactly() {
+    let cluster = small_cluster();
+    let qp = cluster.connect().unwrap();
+    let table = TableGen::paper_default(256 << 10)
+        .seed(4)
+        .distinct_column(0, 97)
+        .distinct_column(1, 1000)
+        .build();
+    let (ft, _) = qp.load_table(&table).unwrap();
+
+    let aggs = vec![
+        AggSpec { col: 1, func: AggFunc::Sum },
+        AggSpec { col: 1, func: AggFunc::Count },
+        AggSpec { col: 1, func: AggFunc::Min },
+        AggSpec { col: 1, func: AggFunc::Max },
+        AggSpec { col: 1, func: AggFunc::Avg },
+    ];
+    let fv = qp.group_by(&ft, vec![0], aggs.clone()).unwrap();
+    let cpu = CpuEngine::new(BaselineKind::Lcpu).group_by(&table, &[0], &aggs);
+    // Byte-for-byte identical: same first-seen order, same encodings —
+    // two independent engine implementations cross-validate.
+    assert_eq!(fv.payload, cpu.payload);
+    assert_eq!(fv.stats.groups_flushed, 97);
+    assert_eq!(fv.stats.overflow_tuples, 0);
+}
+
+#[test]
+fn regex_offload_matches_cpu_engine() {
+    let cluster = small_cluster();
+    let qp = cluster.connect().unwrap();
+    let table = StringTableGen::new(500, 64).seed(5).match_fraction(0.3).build();
+    let (ft, _) = qp.load_table(&table).unwrap();
+    let fv = qp.regex_match(&ft, 1, REGEX_PATTERN).unwrap();
+    let cpu = CpuEngine::new(BaselineKind::Lcpu).regex_match(&table, 1, REGEX_PATTERN);
+    assert_eq!(fv.payload, cpu.payload);
+    let rate = fv.row_count() as f64 / 500.0;
+    assert!((0.2..0.4).contains(&rate), "match rate calibration: {rate}");
+}
+
+#[test]
+fn encrypted_pipeline_composition() {
+    // decrypt -> filter -> (pack) -> encrypt: data is ciphertext at rest
+    // AND ciphertext on the wire; only the client can read the result.
+    let cluster = small_cluster();
+    let qp = cluster.connect().unwrap();
+    let rest_key = CryptoSpec { key: [1; 16], iv: [2; 16] };
+    let wire_key = CryptoSpec { key: [3; 16], iv: [4; 16] };
+
+    let plain = TableGen::paper_default(64 << 10).seed(6).build();
+    let encrypted = encrypt_table(&plain, &rest_key.key, &rest_key.iv);
+    let (ft, _) = qp.load_table(&encrypted).unwrap();
+
+    let spec = PipelineSpec::passthrough()
+        .decrypt(rest_key)
+        .filter(PredicateExpr::lt(0, 1u64 << 62))
+        .encrypt(wire_key.clone());
+    let out = qp.far_view(&ft, &spec).unwrap();
+
+    // Decrypt the wire stream client-side.
+    let mut result = out.payload.clone();
+    fv_crypto::ctr_apply_at(&wire_key.key, &wire_key.iv, 0, &mut result);
+    let expected = CpuEngine::new(BaselineKind::Lcpu).select(
+        &plain,
+        &PredicateExpr::lt(0, 1u64 << 62),
+        None,
+    );
+    assert_eq!(result, expected.payload);
+    assert_ne!(out.payload, expected.payload, "wire payload must be ciphertext");
+}
+
+#[test]
+fn shared_table_queried_by_two_clients() {
+    let cluster = small_cluster();
+    let a = cluster.connect().unwrap();
+    let b = cluster.connect().unwrap();
+    let table = TableGen::paper_default(64 << 10).seed(7).build();
+    let (ft_a, _) = a.load_table(&table).unwrap();
+    let ft_b = a.share_table(&ft_a, &b).unwrap();
+
+    // Both run different queries over the same physical pages.
+    let ra = a
+        .select(&ft_a, &SelectQuery::all_columns().and_lt(0, 1u64 << 62))
+        .unwrap();
+    let rb = b.distinct(&ft_b, vec![0]).unwrap();
+    assert!(ra.row_count() > 0);
+    assert!(rb.row_count() > 0);
+
+    // Owner frees; the share must stay readable (refcounted pages).
+    a.free_table(ft_a).unwrap();
+    let rb2 = b.table_read(&ft_b).unwrap();
+    assert_eq!(rb2.payload, table.bytes());
+}
+
+#[test]
+fn smart_addressing_equals_standard_projection() {
+    let cluster = small_cluster();
+    let qp = cluster.connect().unwrap();
+    let table = TableGen::new(64, 512).seed(8).build(); // 512 B rows
+    let (ft, _) = qp.load_table(&table).unwrap();
+    let std_out = qp
+        .far_view(&ft, &PipelineSpec::passthrough().project(vec![10, 11, 12]))
+        .unwrap();
+    let sa_out = qp
+        .far_view(
+            &ft,
+            &PipelineSpec::passthrough()
+                .project(vec![10, 11, 12])
+                .with_smart_addressing(),
+        )
+        .unwrap();
+    assert_eq!(std_out.payload, sa_out.payload, "SA must be a pure optimization");
+    assert!(
+        sa_out.stats.bytes_from_memory < std_out.stats.bytes_from_memory,
+        "SA must read fewer bytes: {} vs {}",
+        sa_out.stats.bytes_from_memory,
+        std_out.stats.bytes_from_memory
+    );
+}
+
+#[test]
+fn error_paths_are_reported() {
+    let cluster = small_cluster();
+    let a = cluster.connect().unwrap();
+    let b = cluster.connect().unwrap();
+    let table = TableGen::paper_default(64 << 10).build();
+    let (ft, _) = a.load_table(&table).unwrap();
+
+    // Foreign handle.
+    assert!(matches!(b.table_read(&ft), Err(FvError::ForeignTable)));
+    // Bad pipeline (regex on a numeric column).
+    assert!(matches!(
+        a.far_view(&ft, &PipelineSpec::passthrough().regex_match(0, "x")),
+        Err(FvError::Pipeline(_))
+    ));
+    // Bad predicate column.
+    assert!(matches!(
+        a.select(&ft, &SelectQuery::all_columns().and_lt(99, 0u64)),
+        Err(FvError::Pipeline(_))
+    ));
+    // Wrong write size.
+    let ft2 = a.alloc_table(&table).unwrap();
+    assert!(matches!(
+        a.table_write(&ft2, &table.bytes()[..100]),
+        Err(FvError::WriteSizeMismatch { .. })
+    ));
+    // Disconnected use.
+    let ft3 = b.alloc_table_spec(table.schema(), 10).unwrap();
+    b.disconnect();
+    let c = cluster.connect().unwrap();
+    assert!(matches!(c.table_read(&ft3), Err(FvError::ForeignTable)));
+}
+
+#[test]
+fn empty_and_tiny_tables() {
+    let cluster = small_cluster();
+    let qp = cluster.connect().unwrap();
+    // One row.
+    let one = TableGen::paper_default(64).build();
+    let (ft, _) = qp.load_table(&one).unwrap();
+    let out = qp.table_read(&ft).unwrap();
+    assert_eq!(out.row_count(), 1);
+    // Distinct over one row.
+    let d = qp.distinct(&ft, vec![0]).unwrap();
+    assert_eq!(d.row_count(), 1);
+    // Selection selecting nothing still completes (lone FIN).
+    let none = qp
+        .select(&ft, &SelectQuery::all_columns().and_lt(0, 0u64))
+        .unwrap();
+    assert_eq!(none.row_count(), 0);
+    assert_eq!(none.stats.packets, 1);
+}
+
+#[test]
+fn response_time_monotone_in_table_size() {
+    let cluster = small_cluster();
+    let qp = cluster.connect().unwrap();
+    let mut last = SimDuration::ZERO;
+    for size in [64u64 << 10, 256 << 10, 1 << 20] {
+        let table = TableGen::paper_default(size).build();
+        let (ft, _) = qp.load_table(&table).unwrap();
+        let t = qp.table_read(&ft).unwrap().stats.response_time;
+        assert!(t > last, "bigger tables must take longer");
+        last = t;
+        qp.free_table(ft).unwrap();
+    }
+}

@@ -1,0 +1,254 @@
+//! Property tests on the substrate invariants: regex engine vs oracle,
+//! AES-CTR algebra, reassembly under arbitrary permutations, MMU
+//! allocation invariants, cuckoo no-loss, DRR byte fairness.
+
+use proptest::prelude::*;
+
+use fv_net::Reassembly;
+use fv_pipeline::cuckoo::CuckooTable;
+use fv_regex::{naive, parser, Regex};
+use fv_sim::DrrScheduler;
+
+// ---------------------------------------------------------------------------
+// Regex: DFA pipeline vs the backtracking oracle
+// ---------------------------------------------------------------------------
+
+/// Random patterns from a small grammar the oracle handles comfortably.
+fn arb_pattern() -> impl Strategy<Value = String> {
+    let atom = prop::sample::select(vec![
+        "a", "b", "c", ".", "[ab]", "[^a]", "(a|b)", "(bc)",
+    ]);
+    let repeat = prop::sample::select(vec!["", "*", "+", "?", "{1,2}"]);
+    prop::collection::vec((atom, repeat), 1..5).prop_map(|parts| {
+        parts
+            .into_iter()
+            .map(|(a, r)| format!("{a}{r}"))
+            .collect::<String>()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn dfa_matches_backtracking_oracle(
+        pattern in arb_pattern(),
+        input in prop::collection::vec(prop::sample::select(vec![b'a', b'b', b'c', b'd']), 0..12),
+    ) {
+        let re = Regex::compile(&pattern).expect("grammar only emits valid patterns");
+        let ast = parser::parse(&pattern).expect("valid").ast;
+        prop_assert_eq!(
+            re.is_match(&input),
+            naive::search(&ast, &input),
+            "pattern {:?} input {:?}", pattern, input
+        );
+    }
+
+    #[test]
+    fn anchored_dfa_matches_oracle_exact(
+        pattern in arb_pattern(),
+        input in prop::collection::vec(prop::sample::select(vec![b'a', b'b', b'c']), 0..10),
+    ) {
+        let anchored = format!("^{pattern}$");
+        let re = Regex::compile(&anchored).expect("valid");
+        let ast = parser::parse(&anchored).expect("valid").ast;
+        prop_assert_eq!(re.is_match(&input), naive::match_exact(&ast, &input));
+    }
+}
+
+// ---------------------------------------------------------------------------
+// AES-CTR algebra
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// apply ∘ apply = identity, for any key/iv/offset/data.
+    #[test]
+    fn ctr_is_involutive(
+        key in prop::array::uniform16(any::<u8>()),
+        iv in prop::array::uniform16(any::<u8>()),
+        offset in 0u64..1000,
+        data in prop::collection::vec(any::<u8>(), 0..300),
+    ) {
+        let mut buf = data.clone();
+        fv_crypto::ctr_apply_at(&key, &iv, offset, &mut buf);
+        fv_crypto::ctr_apply_at(&key, &iv, offset, &mut buf);
+        prop_assert_eq!(buf, data);
+    }
+
+    /// Chunked application equals one-shot application (streaming
+    /// decryption across bursts relies on this).
+    #[test]
+    fn ctr_chunking_is_associative(
+        key in prop::array::uniform16(any::<u8>()),
+        data in prop::collection::vec(any::<u8>(), 1..200),
+        split in 0usize..200,
+    ) {
+        let split = split % data.len();
+        let mut oneshot = data.clone();
+        fv_crypto::ctr_apply_at(&key, &key, 0, &mut oneshot);
+        let mut chunked = data.clone();
+        fv_crypto::ctr_apply_at(&key, &key, 0, &mut chunked[..split]);
+        fv_crypto::ctr_apply_at(&key, &key, split as u64, &mut chunked[split..]);
+        prop_assert_eq!(chunked, oneshot);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Reassembly under arbitrary delivery orders
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn reassembly_handles_any_permutation(
+        chunks in prop::collection::vec(prop::collection::vec(any::<u8>(), 0..20), 1..12),
+        seed in any::<u64>(),
+    ) {
+        // Build the expected stream and a shuffled delivery order.
+        let expected: Vec<u8> = chunks.concat();
+        let n = chunks.len();
+        let mut order: Vec<usize> = (0..n).collect();
+        // Deterministic Fisher-Yates from the seed.
+        let mut s = seed.wrapping_add(0x9E3779B97F4A7C15);
+        for i in (1..n).rev() {
+            s ^= s << 13; s ^= s >> 7; s ^= s << 17;
+            order.swap(i, (s % (i as u64 + 1)) as usize);
+        }
+
+        let mut rx = Reassembly::new();
+        let mut completed = false;
+        for &i in &order {
+            let last = i == n - 1;
+            let done = rx
+                .accept(0, i as u32, bytes::Bytes::from(chunks[i].clone()), last)
+                .expect("no duplicates in a permutation");
+            completed = done;
+        }
+        prop_assert!(completed, "all packets delivered -> complete");
+        prop_assert_eq!(rx.into_payload(), expected);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// MMU invariants under operation sequences
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Whatever interleaving of alloc/write/free across two domains:
+    /// reads return what the owning domain last wrote, and the free-page
+    /// count is restored after teardown.
+    #[test]
+    fn mmu_isolation_and_accounting(
+        ops in prop::collection::vec((0usize..2, 1u64..100_000, any::<u8>()), 1..12),
+    ) {
+        use fv_mem::MemoryStack;
+        let mut m = MemoryStack::new(2, 32 * 1024 * 1024);
+        let baseline = m.free_page_count();
+        let d = [m.create_domain(), m.create_domain()];
+        let mut live: Vec<(usize, u64, Vec<u8>)> = Vec::new();
+
+        for (dom, bytes, fill) in ops {
+            if let Ok(va) = m.alloc(d[dom], bytes) {
+                let data = vec![fill; bytes as usize];
+                m.write(d[dom], va, &data).unwrap();
+                live.push((dom, va, data));
+            }
+        }
+        // Every live allocation reads back its own bytes. The same
+        // numeric address in the *other* domain either faults (no
+        // mapping there) or resolves to that domain's own, different
+        // allocation — never to this one's physical pages.
+        for (dom, va, data) in &live {
+            prop_assert_eq!(&m.read(d[*dom], *va, data.len() as u64).unwrap(), data);
+            let other = 1 - *dom;
+            let other_covers = live.iter().any(|(od, ova, odata)| {
+                *od == other && *va >= *ova && *va < *ova + odata.len() as u64
+            });
+            match m.read(d[other], *va, 1) {
+                Err(_) => prop_assert!(!other_covers, "mapped address must not fault"),
+                Ok(byte) => {
+                    prop_assert!(other_covers, "unmapped address must fault");
+                    // It read the other domain's own fill byte.
+                    let expected = live
+                        .iter()
+                        .find(|(od, ova, odata)| {
+                            *od == other && *va >= *ova && *va < *ova + odata.len() as u64
+                        })
+                        .map(|(_, _, odata)| odata[0])
+                        .expect("covered");
+                    prop_assert_eq!(byte[0], expected);
+                }
+            }
+        }
+        m.destroy_domain(d[0]).unwrap();
+        m.destroy_domain(d[1]).unwrap();
+        prop_assert_eq!(m.free_page_count(), baseline);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Cuckoo: nothing vanishes
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// resident ∪ homeless == inserted, regardless of geometry and load.
+    #[test]
+    fn cuckoo_conserves_entries(
+        keys in prop::collection::hash_set(any::<u64>(), 1..200),
+        ways in 2usize..5,
+        buckets_pow in 3u32..8,
+    ) {
+        let mut t: CuckooTable<u64> = CuckooTable::new(ways, 1 << buckets_pow);
+        let mut homeless = Vec::new();
+        for &k in &keys {
+            if let Err((hk, hv)) = t.insert(k.to_le_bytes().into(), k) {
+                prop_assert_eq!(u64::from_le_bytes(hk.as_ref().try_into().unwrap()), hv);
+                homeless.push(hv);
+            }
+        }
+        let resident: std::collections::HashSet<u64> = t.iter().map(|(_, v)| *v).collect();
+        prop_assert_eq!(resident.len() + homeless.len(), keys.len());
+        for h in &homeless {
+            prop_assert!(keys.contains(h));
+            prop_assert!(!resident.contains(h), "homeless entry still resident");
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// DRR: byte-fairness between two backlogged flows
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn drr_is_byte_fair_for_backlogged_flows(
+        size_a in 64u64..1024,
+        size_b in 64u64..1024,
+    ) {
+        let mut drr: DrrScheduler<u64> = DrrScheduler::new(2, 1024);
+        for _ in 0..600 {
+            drr.push(0, size_a, size_a);
+            drr.push(1, size_b, size_b);
+        }
+        let mut served = [0u64; 2];
+        // Serve half the total load while both stay backlogged.
+        for _ in 0..600 {
+            let (flow, bytes) = drr.pop().unwrap();
+            served[flow] += bytes;
+        }
+        let ratio = served[0] as f64 / served[1] as f64;
+        prop_assert!(
+            (0.75..1.34).contains(&ratio),
+            "byte share skewed: {} ({} vs {})", ratio, served[0], served[1]
+        );
+    }
+}
