@@ -11,7 +11,7 @@ use fv_sim::calib::{
     CPU_AES_BW, CPU_HASH_HIT_NS, CPU_HASH_INSERT_NS, CPU_INTERFERENCE_FACTOR, CPU_PREDICATE_NS,
     CPU_READ_BW, CPU_REGEX_NS_PER_BYTE, CPU_SOCKET_BW, CPU_WRITE_BW, LCPU_FIXED,
 };
-use fv_sim::{SimDuration, calib};
+use fv_sim::{calib, SimDuration};
 
 /// Per-phase cost record, so experiments can report where time went.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -150,11 +150,8 @@ mod tests {
         // predicate evaluations + fixed. The paper's Figure 8(a) puts
         // this in the few-hundred-µs band.
         let m = CpuCostModel::default();
-        let total = (m.fixed()
-            + m.scan(1 << 20)
-            + m.predicates(16_384)
-            + m.materialize(1 << 20))
-        .as_micros_f64();
+        let total = (m.fixed() + m.scan(1 << 20) + m.predicates(16_384) + m.materialize(1 << 20))
+            .as_micros_f64();
         assert!((250.0..450.0).contains(&total), "got {total} µs");
     }
 

@@ -186,13 +186,14 @@ impl CpuEngine {
             let func = match a.func {
                 AggFunc::Count => "count",
                 AggFunc::Sum => "sum",
+                AggFunc::SumF64 => "sumf64",
                 AggFunc::Min => "min",
                 AggFunc::Max => "max",
                 AggFunc::Avg => "avg",
             };
             let ty = match (a.func, schema.column(a.col).ty) {
                 (AggFunc::Count, _) => ColumnType::U64,
-                (AggFunc::Avg, _) => ColumnType::F64,
+                (AggFunc::Avg | AggFunc::SumF64, _) => ColumnType::F64,
                 (_, t) => t,
             };
             out_cols.push(fv_data::Column {
@@ -356,6 +357,7 @@ impl Acc {
         match func {
             AggFunc::Count => Acc::Count(0),
             AggFunc::Avg => Acc::Avg { sum: 0.0, n: 0 },
+            AggFunc::SumF64 => Acc::SumF(0.0),
             other => Acc::Unset(other),
         }
     }
@@ -380,6 +382,9 @@ impl Acc {
             (Acc::SumU(s), Value::U64(x)) => *s = s.wrapping_add(*x),
             (Acc::SumI(s), Value::I64(x)) => *s = s.wrapping_add(*x),
             (Acc::SumF(s), Value::F64(x)) => *s += x,
+            // SumF64 over integer columns: f64 accumulation like Avg.
+            (Acc::SumF(s), Value::U64(x)) => *s += *x as f64,
+            (Acc::SumF(s), Value::I64(x)) => *s += *x as f64,
             (Acc::MinU(m), Value::U64(x)) => *m = (*m).min(*x),
             (Acc::MinI(m), Value::I64(x)) => *m = (*m).min(*x),
             (Acc::MinF(m), Value::F64(x)) => *m = m.min(*x),

@@ -45,6 +45,9 @@ mod tests {
         let t8 = rnic_read_response_time(8 * 1024);
         let t32 = rnic_read_response_time(32 * 1024);
         assert!(t8 > t1);
-        assert!(t32 > t8 + (t8 - t1), "super-linear past 8 kB (paper: 'substantial increase')");
+        assert!(
+            t32 > t8 + (t8 - t1),
+            "super-linear past 8 kB (paper: 'substantial increase')"
+        );
     }
 }

@@ -18,23 +18,27 @@ const SIZE: u64 = 256 << 10;
 fn ablation_striping(c: &mut Criterion) {
     let mut g = c.benchmark_group("ablation_striping");
     for channels in [1usize, 2, 4] {
-        g.bench_with_input(BenchmarkId::from_parameter(channels), &channels, |b, &ch| {
-            let cfg = FarviewConfig {
-                channels: ch,
-                vector_lanes: ch,
-                ..FarviewConfig::default()
-            };
-            let cluster = FarviewCluster::new(cfg);
-            let qp = cluster.connect().unwrap();
-            let table = TableGen::paper_default(SIZE)
-                .selectivity_column(0, 0.25)
-                .build();
-            let (ft, _) = qp.load_table(&table).unwrap();
-            let spec = PipelineSpec::passthrough()
-                .filter(PredicateExpr::lt(0, SELECTIVITY_PIVOT))
-                .vectorized();
-            b.iter(|| black_box(qp.far_view(&ft, &spec).unwrap().stats.response_time));
-        });
+        g.bench_with_input(
+            BenchmarkId::from_parameter(channels),
+            &channels,
+            |b, &ch| {
+                let cfg = FarviewConfig {
+                    channels: ch,
+                    vector_lanes: ch,
+                    ..FarviewConfig::default()
+                };
+                let cluster = FarviewCluster::new(cfg);
+                let qp = cluster.connect().unwrap();
+                let table = TableGen::paper_default(SIZE)
+                    .selectivity_column(0, 0.25)
+                    .build();
+                let (ft, _) = qp.load_table(&table).unwrap();
+                let spec = PipelineSpec::passthrough()
+                    .filter(PredicateExpr::lt(0, SELECTIVITY_PIVOT))
+                    .vectorized();
+                b.iter(|| black_box(qp.far_view(&ft, &spec).unwrap().stats.response_time));
+            },
+        );
     }
     g.finish();
 }
@@ -101,8 +105,7 @@ fn ablation_lru(c: &mut Criterion) {
         g.bench_with_input(BenchmarkId::from_parameter(depth), &depth, |b, &d| {
             b.iter(|| {
                 let keys = ProjectionPlan::new(&schema, Some(&[0])).unwrap();
-                let mut op =
-                    DistinctOp::with_geometry(keys, CuckooTable::new(4, 4096), d);
+                let mut op = DistinctOp::with_geometry(keys, CuckooTable::new(4, 4096), d);
                 let mut emitted = 0u64;
                 for r in &rows {
                     op.push(r, &mut |_| emitted += 1);

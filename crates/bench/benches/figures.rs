@@ -72,8 +72,7 @@ fn bench_fig8(c: &mut Criterion) {
         .selectivity_column(1, 0.5)
         .build();
     let (ft, _) = qp.load_table(&table).unwrap();
-    let pred =
-        PredicateExpr::lt(0, SELECTIVITY_PIVOT).and(PredicateExpr::lt(1, SELECTIVITY_PIVOT));
+    let pred = PredicateExpr::lt(0, SELECTIVITY_PIVOT).and(PredicateExpr::lt(1, SELECTIVITY_PIVOT));
     let spec = PipelineSpec::passthrough().filter(pred.clone());
     c.bench_function("fig8/fv_selection_25pct", |b| {
         b.iter(|| black_box(qp.far_view(&ft, &spec).unwrap().stats.response_time))
@@ -101,7 +100,9 @@ fn bench_fig9(c: &mut Criterion) {
         b.iter(|| black_box(e.distinct(&distinct_table, &[0]).time))
     });
 
-    let group_table = TableGen::paper_default(SIZE).distinct_column(0, 512).build();
+    let group_table = TableGen::paper_default(SIZE)
+        .distinct_column(0, 512)
+        .build();
     let (ft_g, _) = qp.load_table(&group_table).unwrap();
     let aggs = vec![AggSpec {
         col: 1,

@@ -21,8 +21,7 @@ fn pipeline_throughput(c: &mut Criterion) {
 
     g.bench_function("passthrough_1MB", |b| {
         b.iter(|| {
-            let mut p =
-                CompiledPipeline::compile(PipelineSpec::passthrough(), &schema).unwrap();
+            let mut p = CompiledPipeline::compile(PipelineSpec::passthrough(), &schema).unwrap();
             p.push_bytes(table.bytes());
             p.finish();
             black_box(p.drain_output().len())
@@ -155,9 +154,7 @@ fn join_and_compress(c: &mut Criterion) {
     g.finish();
 
     // Compression codec throughput on a low-cardinality table image.
-    let image: Vec<u8> = (0..MB / 8)
-        .flat_map(|i| (i % 64).to_le_bytes())
-        .collect();
+    let image: Vec<u8> = (0..MB / 8).flat_map(|i| (i % 64).to_le_bytes()).collect();
     let compressed = compress::compress(&image);
     let mut g = c.benchmark_group("compress");
     g.throughput(Throughput::Bytes(MB));

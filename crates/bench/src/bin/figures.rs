@@ -12,10 +12,10 @@ use std::process::ExitCode;
 
 use fv_bench::{
     all_figures, fig10, fig11a, fig11b, fig12, fig6a, fig6b, fig7, fig8, fig9a, fig9b, fig9c,
-    table1, Figure,
+    scaleout, table1, Figure,
 };
 
-const USAGE: &str = "usage: figures <table1|fig6a|fig6b|fig7|fig8a|fig8b|fig8c|fig9a|fig9b|fig9c|fig10|fig11a|fig11b|fig12|all> [--csv]";
+const USAGE: &str = "usage: figures <table1|fig6a|fig6b|fig7|fig8a|fig8b|fig8c|fig9a|fig9b|fig9c|fig10|fig11a|fig11b|fig12|scaleout|all> [--csv]";
 
 fn one(id: &str) -> Option<Figure> {
     Some(match id {
@@ -32,6 +32,7 @@ fn one(id: &str) -> Option<Figure> {
         "fig11a" => fig11a(),
         "fig11b" => fig11b(),
         "fig12" => fig12(),
+        "scaleout" => scaleout(),
         _ => return None,
     })
 }

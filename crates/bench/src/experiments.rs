@@ -1,13 +1,17 @@
 //! The experiment implementations, one per table/figure.
 
 use farview_core::{
-    microbench, resources, AggFunc, AggSpec, CryptoSpec, FarviewCluster, FarviewConfig,
-    PipelineSpec, PredicateExpr, QPair, FTable,
+    microbench, resources, AggFunc, AggSpec, CryptoSpec, FTable, FarviewCluster, FarviewConfig,
+    FarviewFleet, Partitioning, PipelineSpec, PredicateExpr, QPair,
 };
 use fv_baseline::{rnic_read_response_time, BaselineKind, CpuEngine};
 use fv_data::Table;
 use fv_net::NicKind;
-use fv_workload::{encrypt_table, StringTableGen, TableGen, REGEX_PATTERN, SELECTIVITY_PIVOT};
+use fv_sim::{Histogram, SimDuration};
+use fv_workload::{
+    encrypt_table, FleetScenarioGen, StringTableGen, TableGen, TenantQuery, REGEX_PATTERN,
+    SELECTIVITY_PIVOT,
+};
 
 use crate::figure::Figure;
 
@@ -53,7 +57,10 @@ pub fn table1() -> String {
         "Operators (per dynamic region)", "CLB LUTs   Regs  BRAM   DSPs"
     ));
     for (name, usage) in [
-        ("Projection/Selection/Aggregation", resources::operators::PROJ_SEL_AGG),
+        (
+            "Projection/Selection/Aggregation",
+            resources::operators::PROJ_SEL_AGG,
+        ),
         ("Regular expression", resources::operators::REGEX),
         ("Distinct/Group by", resources::operators::DISTINCT_GROUP_BY),
         ("En(de)cryption", resources::operators::CRYPTO),
@@ -77,7 +84,10 @@ pub fn fig6a() -> Figure {
         "throughput [GBps]",
     );
     let sizes = [128u64, 256, 512, 1024, 2048, 4096, 8192, 16384, 32768];
-    for (name, nic) in [("FV", NicKind::FarviewFpga), ("RNIC", NicKind::CommercialRnic)] {
+    for (name, nic) in [
+        ("FV", NicKind::FarviewFpga),
+        ("RNIC", NicKind::CommercialRnic),
+    ] {
         let pts = sizes
             .iter()
             .map(|&s| (s as f64, microbench::read_throughput_gbps(nic, s)))
@@ -195,8 +205,13 @@ pub fn fig8(selectivity: f64) -> Figure {
         let out = qp.far_view(&ft, &spec).expect("FV select");
         fv.push((size as f64, us(out.stats.response_time)));
 
-        let out_v = qp.far_view(&ft, &spec.clone().vectorized()).expect("FV-V select");
-        assert_eq!(out.payload, out_v.payload, "vectorization must not change results");
+        let out_v = qp
+            .far_view(&ft, &spec.clone().vectorized())
+            .expect("FV-V select");
+        assert_eq!(
+            out.payload, out_v.payload,
+            "vectorization must not change results"
+        );
         fv_v.push((size as f64, us(out_v.stats.response_time)));
 
         let l = CpuEngine::new(BaselineKind::Lcpu).select(&table, &pred, None);
@@ -437,8 +452,14 @@ pub fn fig11b() -> Figure {
         let dec = qp.read_decrypt(&ft, key.clone()).expect("decrypt read");
         // Effective throughput including fixed costs; both series share
         // them, so coincidence demonstrates the zero-cost decrypt.
-        rd.push((size as f64, size as f64 / raw.stats.response_time.as_nanos() as f64));
-        rd_dec.push((size as f64, size as f64 / dec.stats.response_time.as_nanos() as f64));
+        rd.push((
+            size as f64,
+            size as f64 / raw.stats.response_time.as_nanos() as f64,
+        ));
+        rd_dec.push((
+            size as f64,
+            size as f64 / dec.stats.response_time.as_nanos() as f64,
+        ));
         qp.free_table(ft).expect("free");
     }
     f.push_series("FV-RD", rd);
@@ -459,7 +480,14 @@ pub fn fig12() -> Figure {
         "table size [bytes]",
         "response time (all clients done) [us]",
     );
-    let sizes = [64u64 << 10, 128 << 10, 256 << 10, 512 << 10, 1 << 20, 2 << 20];
+    let sizes = [
+        64u64 << 10,
+        128 << 10,
+        256 << 10,
+        512 << 10,
+        1 << 20,
+        2 << 20,
+    ];
     let clients = 6usize;
     let c = cluster();
     let qps: Vec<_> = (0..clients).map(|_| c.connect().expect("region")).collect();
@@ -478,11 +506,7 @@ pub fn fig12() -> Figure {
                     .build()
             })
             .collect();
-        let fts: Vec<FTable> = qps
-            .iter()
-            .zip(&tables)
-            .map(|(qp, t)| load(qp, t))
-            .collect();
+        let fts: Vec<FTable> = qps.iter().zip(&tables).map(|(qp, t)| load(qp, t)).collect();
         let spec = PipelineSpec::passthrough().distinct(vec![0]);
         let requests = qps
             .iter()
@@ -498,11 +522,9 @@ pub fn fig12() -> Figure {
 
         // CPU baselines: six processes contending (max = each, they are
         // symmetric).
-        let l = CpuEngine::with_processes(BaselineKind::Lcpu, clients)
-            .distinct(&tables[0], &[0]);
+        let l = CpuEngine::with_processes(BaselineKind::Lcpu, clients).distinct(&tables[0], &[0]);
         lcpu.push((size as f64, us(l.time)));
-        let r = CpuEngine::with_processes(BaselineKind::Rcpu, clients)
-            .distinct(&tables[0], &[0]);
+        let r = CpuEngine::with_processes(BaselineKind::Rcpu, clients).distinct(&tables[0], &[0]);
         rcpu.push((size as f64, us(r.time)));
 
         for (qp, ft) in qps.iter().zip(fts) {
@@ -515,7 +537,103 @@ pub fn fig12() -> Figure {
     f
 }
 
-/// Every figure in evaluation order (the `figures all` command).
+// ---------------------------------------------------------------------------
+// Scale-out: the multi-node fleet (beyond the paper)
+// ---------------------------------------------------------------------------
+
+/// Node counts swept by the scale-out experiment.
+pub const FLEET_SIZES: [usize; 4] = [1, 2, 4, 8];
+
+/// Lower an engine-independent [`TenantQuery`] onto a pipeline spec.
+///
+/// The tenant tables calibrate column 1 so that half its values fall
+/// below [`SELECTIVITY_PIVOT`] (uniform on each side), which lets one
+/// threshold hit any requested selectivity.
+pub fn tenant_query_spec(q: &TenantQuery) -> PipelineSpec {
+    match *q {
+        TenantQuery::Select { selectivity } => {
+            let threshold = if selectivity <= 0.5 {
+                (2.0 * selectivity * SELECTIVITY_PIVOT as f64) as u64
+            } else {
+                let above = ((1u64 << 63) - SELECTIVITY_PIVOT) as f64;
+                SELECTIVITY_PIVOT + (2.0 * (selectivity - 0.5) * above) as u64
+            };
+            PipelineSpec::passthrough().filter(PredicateExpr::lt(1, threshold))
+        }
+        TenantQuery::Distinct => PipelineSpec::passthrough().distinct(vec![0]),
+        TenantQuery::GroupBySum => PipelineSpec::passthrough().group_by(
+            vec![0],
+            vec![AggSpec {
+                col: 2,
+                func: AggFunc::Sum,
+            }],
+        ),
+        TenantQuery::GroupByAvg => PipelineSpec::passthrough().group_by(
+            vec![0],
+            vec![AggSpec {
+                col: 2,
+                func: AggFunc::Avg,
+            }],
+        ),
+    }
+}
+
+/// Scale-out: multi-tenant scatter–gather throughput and tail latency
+/// vs fleet size (1 → 8 nodes, hash-partitioned tenant tables).
+///
+/// Four tenants each load a 1 MB table (hash-partitioned on the group
+/// key) and issue their generated query mix; every query fans out to all
+/// shards and merges client-side. Throughput counts completed queries
+/// per second of simulated busy time; the p50/p99 series summarize the
+/// fleet-observed response-time distribution.
+pub fn scaleout() -> Figure {
+    let mut f = Figure::new(
+        "scaleout",
+        "Fleet scale-out, 4-tenant scatter-gather mix",
+        "nodes",
+        "throughput [queries/s] · latency [us]",
+    );
+    let tenants = FleetScenarioGen::new(4, 16_384)
+        .queries_per_tenant(6)
+        .seed(11)
+        .build();
+
+    let mut throughput = Vec::new();
+    let mut p50 = Vec::new();
+    let mut p99 = Vec::new();
+    for &nodes in &FLEET_SIZES {
+        let fleet = FarviewFleet::new(nodes, FarviewConfig::default());
+        let mut hist = Histogram::new();
+        let mut busy = SimDuration::ZERO;
+        let mut queries = 0u64;
+        for tenant in &tenants {
+            let qp = fleet.connect().expect("a region on every node");
+            let (ft, _) = qp
+                .load_table(&tenant.table, Partitioning::KeyHash(tenant.partition_key))
+                .expect("buffer pool space");
+            for q in &tenant.queries {
+                let out = qp
+                    .far_view(&ft, &tenant_query_spec(q))
+                    .expect("fleet query");
+                hist.record_duration(out.merged.stats.response_time);
+                busy += out.merged.stats.response_time;
+                queries += 1;
+            }
+            qp.free_table(ft).expect("free");
+        }
+        let x = nodes as f64;
+        throughput.push((x, queries as f64 / busy.as_secs_f64()));
+        p50.push((x, hist.median().expect("samples")));
+        p99.push((x, hist.quantile(0.99).expect("samples")));
+    }
+    f.push_series("throughput [q/s]", throughput);
+    f.push_series("p50 [us]", p50);
+    f.push_series("p99 [us]", p99);
+    f
+}
+
+/// Every figure in evaluation order (the `figures all` command), plus
+/// the scale-out experiment.
 pub fn all_figures() -> Vec<Figure> {
     vec![
         fig6a(),
@@ -531,6 +649,7 @@ pub fn all_figures() -> Vec<Figure> {
         fig11a(),
         fig11b(),
         fig12(),
+        scaleout(),
     ]
 }
 
@@ -547,12 +666,18 @@ mod tests {
         let rnic = &a.series("RNIC").unwrap().points;
         // RNIC better below 4 kB; FV better at 32 kB.
         assert!(rnic[2].1 > fv[2].1, "RNIC must win at 512 B");
-        assert!(fv.last().unwrap().1 > rnic.last().unwrap().1, "FV wins at 32 kB");
+        assert!(
+            fv.last().unwrap().1 > rnic.last().unwrap().1,
+            "FV wins at 32 kB"
+        );
         let b = fig6b();
         let fv = &b.series("FV").unwrap().points;
         let rnic = &b.series("RNIC").unwrap().points;
         assert!(rnic[0].1 < fv[0].1, "RNIC lower response at 512 B");
-        assert!(fv.last().unwrap().1 < rnic.last().unwrap().1, "FV lower at 32 kB");
+        assert!(
+            fv.last().unwrap().1 < rnic.last().unwrap().1,
+            "FV lower at 32 kB"
+        );
     }
 
     #[test]
@@ -570,7 +695,11 @@ mod tests {
                 "t256 must beat SA at {} tuples",
                 sa[i].0
             );
-            assert!(sa[i].1 < t512[i].1, "SA must beat t512 at {} tuples", sa[i].0);
+            assert!(
+                sa[i].1 < t512[i].1,
+                "SA must beat t512 at {} tuples",
+                sa[i].0
+            );
         }
     }
 
@@ -588,7 +717,10 @@ mod tests {
     fn fig9a_baselines_blow_up() {
         let f = fig9a();
         let last = |name: &str| f.series(name).unwrap().points.last().unwrap().1;
-        assert!(last("LCPU") > 3.0 * last("FV"), "baselines must climb steeply");
+        assert!(
+            last("LCPU") > 3.0 * last("FV"),
+            "baselines must climb steeply"
+        );
         assert!(last("RCPU") > last("LCPU"));
     }
 
@@ -599,7 +731,10 @@ mod tests {
         let dec = &f.series("FV-RD+Dec").unwrap().points;
         for (a, b) in rd.iter().zip(dec) {
             let ratio = a.1 / b.1;
-            assert!((0.95..1.05).contains(&ratio), "decrypt must be free: {ratio}");
+            assert!(
+                (0.95..1.05).contains(&ratio),
+                "decrypt must be free: {ratio}"
+            );
         }
     }
 
@@ -608,5 +743,48 @@ mod tests {
         let t = table1();
         assert!(t.contains("6 regions"));
         assert!(t.contains("Distinct/Group by"));
+    }
+
+    #[test]
+    fn scaleout_reports_every_fleet_size_and_scales() {
+        let f = scaleout();
+        let tp = &f.series("throughput [q/s]").unwrap().points;
+        let p99 = &f.series("p99 [us]").unwrap().points;
+        assert_eq!(
+            tp.iter().map(|p| p.0 as usize).collect::<Vec<_>>(),
+            FLEET_SIZES.to_vec()
+        );
+        assert_eq!(p99.len(), FLEET_SIZES.len());
+        // Scatter-gather must pay off: 8 nodes beat 1 node on both
+        // throughput and tail latency.
+        assert!(
+            tp.last().unwrap().1 > 1.5 * tp[0].1,
+            "8-node throughput {} must clearly beat 1-node {}",
+            tp.last().unwrap().1,
+            tp[0].1
+        );
+        assert!(p99.last().unwrap().1 < p99[0].1, "p99 must drop with nodes");
+    }
+
+    #[test]
+    fn tenant_query_selectivity_thresholds() {
+        // The lowering maps the three scenario selectivities onto
+        // thresholds that actually select those fractions.
+        let table = TableGen::new(8, 20_000)
+            .seed(5)
+            .selectivity_column(1, 0.5)
+            .build();
+        for frac in [0.25, 0.5, 0.75] {
+            let spec = tenant_query_spec(&TenantQuery::Select { selectivity: frac });
+            let c = cluster();
+            let qp = c.connect().unwrap();
+            let ft = load(&qp, &table);
+            let out = qp.far_view(&ft, &spec).unwrap();
+            let got = out.row_count() as f64 / 20_000.0;
+            assert!(
+                (got - frac).abs() < 0.02,
+                "selectivity {frac} lowered to {got}"
+            );
+        }
     }
 }

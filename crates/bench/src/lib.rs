@@ -19,6 +19,13 @@
 //! | Fig 11(a) | [`fig11a`] | decrypt-read response time |
 //! | Fig 11(b) | [`fig11b`] | read vs read+decrypt throughput |
 //! | Fig 12 | [`fig12`] | six concurrent clients |
+//!
+//! Beyond the paper, [`scaleout`] sweeps a multi-node [`FarviewFleet`]
+//! (1 → 8 nodes) under the multi-tenant scatter–gather mix from
+//! `fv_workload::FleetScenarioGen`, reporting throughput and p50/p99
+//! response time per node count.
+//!
+//! [`FarviewFleet`]: farview_core::FarviewFleet
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]

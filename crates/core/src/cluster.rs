@@ -18,9 +18,7 @@ use parking_lot::Mutex;
 
 use fv_data::{Catalog, CatalogEntry, Row, Schema, Table, Value};
 use fv_mem::{DomainId, MemoryStack, VirtAddr};
-use fv_pipeline::{
-    AggSpec, CompiledPipeline, PipelineSpec, PredicateExpr, CryptoSpec,
-};
+use fv_pipeline::{AggSpec, CompiledPipeline, CryptoSpec, PipelineSpec, PredicateExpr};
 use fv_sim::calib::CPU_DEDUP_NS;
 use fv_sim::SimDuration;
 
@@ -372,11 +370,7 @@ fn prepare(
     ))
 }
 
-fn finish_outcome(
-    r: episode::EpisodeResult,
-    schema: Schema,
-    reconfigured: bool,
-) -> QueryOutcome {
+fn finish_outcome(r: episode::EpisodeResult, schema: Schema, reconfigured: bool) -> QueryOutcome {
     let p = r.pipeline;
     QueryOutcome {
         stats: QueryStats {
@@ -693,7 +687,10 @@ mod tests {
         let a = c.connect().unwrap();
         let b = c.connect().unwrap();
         assert_ne!(a.region_slot(), b.region_slot());
-        assert!(matches!(c.connect(), Err(FvError::NoFreeRegion { regions: 2 })));
+        assert!(matches!(
+            c.connect(),
+            Err(FvError::NoFreeRegion { regions: 2 })
+        ));
         drop(a);
         assert!(c.connect().is_ok(), "dropped QPair frees its region");
         let _ = b;
@@ -865,7 +862,11 @@ mod tests {
         let (ft, _) = qp.load_table(&probe).unwrap();
         let small = make_table(4);
         let big = make_table(2048); // 128 KiB build side
-        let t_small = qp.join_small(&ft, 0, &small, 0).unwrap().stats.response_time;
+        let t_small = qp
+            .join_small(&ft, 0, &small, 0)
+            .unwrap()
+            .stats
+            .response_time;
         let t_big = qp.join_small(&ft, 0, &big, 0).unwrap().stats.response_time;
         assert!(
             t_big > t_small + SimDuration::from_micros(8),

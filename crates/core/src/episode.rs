@@ -155,12 +155,22 @@ impl NodeActor {
         let mut pkts = Vec::new();
         while run.pending_tail.len() as u64 >= PACKET_BYTES {
             let chunk: Vec<u8> = run.pending_tail.drain(..PACKET_BYTES as usize).collect();
-            pkts.push(Packet::data(run.q.qp, run.next_seq, Bytes::from(chunk), false));
+            pkts.push(Packet::data(
+                run.q.qp,
+                run.next_seq,
+                Bytes::from(chunk),
+                false,
+            ));
             run.next_seq += 1;
         }
         if finished {
             let chunk: Vec<u8> = std::mem::take(&mut run.pending_tail);
-            pkts.push(Packet::data(run.q.qp, run.next_seq, Bytes::from(chunk), true));
+            pkts.push(Packet::data(
+                run.q.qp,
+                run.next_seq,
+                Bytes::from(chunk),
+                true,
+            ));
             run.next_seq += 1;
             run.fin_emitted = true;
         }
@@ -209,7 +219,14 @@ impl Actor<Msg> for NodeActor {
                 if run.q.data.is_empty() {
                     // Empty table: the sender still emits a FIN so the
                     // client can complete (§5.5).
-                    ctx.send_at(ctx.me(), t_ready, Msg::Burst { qp, idx: usize::MAX });
+                    ctx.send_at(
+                        ctx.me(),
+                        t_ready,
+                        Msg::Burst {
+                            qp,
+                            idx: usize::MAX,
+                        },
+                    );
                     return;
                 }
                 match run.q.sa_tuples {
@@ -220,18 +237,22 @@ impl Actor<Msg> for NodeActor {
                         // single-region experiment; SA gathers bypass the
                         // per-channel arbiters.)
                         let tuple_bytes = run.q.pipeline.in_tuple_bytes() as u64;
-                        let tuples_per_chunk =
-                            (calib::MEM_BURST_BYTES / tuple_bytes.max(1)).max(1);
+                        let tuples_per_chunk = (calib::MEM_BURST_BYTES / tuple_bytes.max(1)).max(1);
                         let chunks = tuples.div_ceil(tuples_per_chunk);
                         run.total_chunks = chunks as usize;
                         let mut done_tuples = 0u64;
                         for idx in 0..chunks {
                             let n = tuples_per_chunk.min(tuples - done_tuples);
                             done_tuples += n;
-                            let at = t_ready
-                                + DRAM_ACCESS_LATENCY
-                                + SMART_ADDR_TUPLE * done_tuples;
-                            ctx.send_at(ctx.me(), at, Msg::Burst { qp, idx: idx as usize });
+                            let at = t_ready + DRAM_ACCESS_LATENCY + SMART_ADDR_TUPLE * done_tuples;
+                            ctx.send_at(
+                                ctx.me(),
+                                at,
+                                Msg::Burst {
+                                    qp,
+                                    idx: idx as usize,
+                                },
+                            );
                         }
                     }
                     None => {
@@ -240,8 +261,7 @@ impl Actor<Msg> for NodeActor {
                         // table, §4.4), then the bursts enter the
                         // per-channel arbiters.
                         run.total_chunks = run.q.bursts.len();
-                        let misses =
-                            run.q.bursts.iter().filter(|b| !b.tlb_hit).count() as u64;
+                        let misses = run.q.bursts.iter().filter(|b| !b.tlb_hit).count() as u64;
                         let at = t_ready + DRAM_ACCESS_LATENCY + TLB_MISS_PENALTY * misses;
                         ctx.send_at(ctx.me(), at, Msg::BurstsEligible { qp });
                     }
@@ -564,9 +584,7 @@ pub fn write_time(bytes: u64, config: &FarviewConfig) -> SimDuration {
                         self.pending_bytes -= burst;
                         let ch = self.channel_rr;
                         self.channel_rr = (self.channel_rr + 1) % self.dram.channel_count();
-                        let done = self
-                            .dram
-                            .admit(ch, ctx.now() + DRAM_ACCESS_LATENCY, burst);
+                        let done = self.dram.admit(ch, ctx.now() + DRAM_ACCESS_LATENCY, burst);
                         self.bursts_out += 1;
                         ctx.send_at(ctx.me(), done, WMsg::BurstDone);
                     }
@@ -719,9 +737,8 @@ mod tests {
         let t_full = run_episode(vec![full], &cfg).remove(0).response_time;
 
         // c0 = 8*i < 8*rows/4 -> 25% selectivity.
-        let spec = PipelineSpec::passthrough().filter(
-            fv_pipeline::PredicateExpr::lt(0, 8 * rows / 4),
-        );
+        let spec =
+            PipelineSpec::passthrough().filter(fv_pipeline::PredicateExpr::lt(0, 8 * rows / 4));
         let sel = prepared(1, 0, rows, spec);
         let r = run_episode(vec![sel], &cfg).remove(0);
         assert_eq!(r.payload.len() as u64, rows / 4 * 64);
@@ -738,9 +755,12 @@ mod tests {
     fn two_clients_fair_share() {
         let cfg = FarviewConfig::tiny();
         let rows = 2048u64;
-        let solo = run_episode(vec![prepared(1, 0, rows, PipelineSpec::passthrough())], &cfg)
-            .remove(0)
-            .response_time;
+        let solo = run_episode(
+            vec![prepared(1, 0, rows, PipelineSpec::passthrough())],
+            &cfg,
+        )
+        .remove(0)
+        .response_time;
         let duo = run_episode(
             vec![
                 prepared(1, 0, rows, PipelineSpec::passthrough()),
@@ -765,8 +785,8 @@ mod tests {
     fn vectorized_is_not_slower() {
         let cfg = FarviewConfig::tiny();
         let rows = 8192u64;
-        let spec = PipelineSpec::passthrough()
-            .filter(fv_pipeline::PredicateExpr::lt(0, 8 * rows / 4));
+        let spec =
+            PipelineSpec::passthrough().filter(fv_pipeline::PredicateExpr::lt(0, 8 * rows / 4));
         let scalar = prepared(1, 0, rows, spec.clone());
         let mut vector = prepared(1, 0, rows, spec.vectorized());
         vector.vector_lanes = 2;

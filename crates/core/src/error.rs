@@ -38,6 +38,18 @@ pub enum FvError {
         /// The missing object name.
         name: String,
     },
+    /// The requested pipeline feature cannot fan out across a fleet:
+    /// its per-shard outputs are not mergeable client-side (e.g. a
+    /// compressed or encrypted result stream has no order-preserving
+    /// concatenation).
+    FleetUnsupported {
+        /// Human-readable name of the offending feature.
+        feature: &'static str,
+    },
+    /// A fleet `tableWrite` supplied data whose partition keys hash to
+    /// different shards than the data the table was allocated for —
+    /// scattering it would break key co-location.
+    FleetPartitionMismatch,
 }
 
 impl fmt::Display for FvError {
@@ -50,11 +62,23 @@ impl fmt::Display for FvError {
             FvError::Mem(e) => write!(f, "memory stack: {e}"),
             FvError::Pipeline(e) => write!(f, "operator pipeline: {e}"),
             FvError::WriteSizeMismatch { provided, expected } => {
-                write!(f, "table write of {provided} bytes into a {expected}-byte table")
+                write!(
+                    f,
+                    "table write of {provided} bytes into a {expected}-byte table"
+                )
             }
             FvError::ForeignTable => write!(f, "FTable belongs to a different queue pair"),
             FvError::NotInStorage { name } => {
                 write!(f, "object {name:?} is not in the storage tier")
+            }
+            FvError::FleetUnsupported { feature } => {
+                write!(f, "{feature} results cannot be merged across fleet shards")
+            }
+            FvError::FleetPartitionMismatch => {
+                write!(
+                    f,
+                    "written rows hash to different shards than the allocated assignment"
+                )
             }
         }
     }

@@ -1,0 +1,850 @@
+//! Multi-node Farview: sharded scatter–gather across a fleet of nodes.
+//!
+//! The paper evaluates one Farview node, but nothing in its client
+//! interface is single-node: clients `openConnection` to *a* node and
+//! resolve table addresses from a local catalog (§4.1). Scaling the
+//! buffer pool out is therefore a client-router concern, and this module
+//! implements it:
+//!
+//! * [`FarviewFleet`] owns N independent [`FarviewCluster`] nodes.
+//! * A [`ShardMap`] assigns every row of a table to an owning node,
+//!   either by contiguous row ranges or by hashing a per-table partition
+//!   key ([`Partitioning`]).
+//! * [`FleetQPair`] mirrors the paper's programmatic interface at fleet
+//!   scope: `alloc_table` / `table_write` **scatter** rows to the owning
+//!   shards, and the `farView` verbs fan out as per-shard episodes whose
+//!   results are **gathered** and merged client-side — concatenation for
+//!   selection/projection/regex, order-preserving union for `DISTINCT`,
+//!   partial re-aggregation for `GROUP BY` (via
+//!   [`fv_pipeline::merge`]).
+//!
+//! Every per-shard episode runs through the same discrete-event
+//! machinery as a single node ([`crate::episode`]); since the shards are
+//! independent nodes with independent wires, the fleet-observed response
+//! time is the **maximum** over shards plus a modeled client-side merge
+//! cost ([`fv_sim::MergeCostModel`]). Per-shard [`QueryStats`] are
+//! surfaced next to the merged outcome so experiments can attribute time
+//! to stragglers vs the merge.
+//!
+//! With [`Partitioning::RowRange`], merged results are byte-identical to
+//! a single node holding the whole table — for selection, `DISTINCT`
+//! *and* `GROUP BY` (first-seen orders compose across contiguous
+//! shards). This is property-tested in `tests/fleet_props.rs`. The one
+//! caveat is floating-point association: `AVG` / `SUM(F64)` merge
+//! per-shard partial sums, so they are bit-equal to the single node only
+//! while sums stay exactly representable in `f64` (integer values with
+//! totals below 2⁵³); past that they agree to `f64` rounding — see
+//! [`fv_pipeline::merge`].
+
+use fv_data::{Schema, Table};
+use fv_pipeline::merge::{merge_distinct, PartialAggPlan};
+use fv_pipeline::{GroupingSpec, PipelineSpec};
+use fv_sim::{MergeCostModel, SimDuration};
+
+use crate::cluster::{FTable, FarviewCluster, QPair, QueryOutcome, QueryStats, SelectQuery};
+use crate::config::FarviewConfig;
+use crate::error::FvError;
+
+/// How a table's rows are assigned to fleet shards — the per-table
+/// partition key of the [`ShardMap`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Partitioning {
+    /// Contiguous row ranges: shard `i` owns rows
+    /// `[i·⌈n/N⌉, (i+1)·⌈n/N⌉)`. Order-preserving — concatenating shard
+    /// results in shard order reproduces single-node row order exactly,
+    /// so every merged result is byte-identical to a single node's.
+    RowRange,
+    /// Hash of the given column: rows with equal keys co-locate on one
+    /// shard. `GROUP BY`/`DISTINCT` on that column then need no
+    /// cross-shard combining (each group is computed whole on its owning
+    /// shard), at the price of losing global row order: merged results
+    /// are set-equal, not byte-equal, to a single node's.
+    KeyHash(usize),
+}
+
+/// Seed for the shard-routing hash (distinct from the cuckoo seeds so
+/// table placement and cuckoo bucketing stay uncorrelated).
+const SHARD_HASH_SEED: u64 = 0xF1EE_7000_51AB_D007;
+
+/// Row→shard assignment logic for one fleet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardMap {
+    shards: usize,
+}
+
+/// The materialized assignment of one table's rows to shards: for each
+/// shard, the original row indices it owns, ascending.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardAssignment {
+    per_shard: Vec<Vec<u32>>,
+}
+
+impl ShardMap {
+    /// A map over `shards` nodes.
+    pub fn new(shards: usize) -> Self {
+        assert!(shards > 0, "a fleet needs at least one shard");
+        ShardMap { shards }
+    }
+
+    /// Number of shards.
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// The shard owning a hash-partitioned key.
+    pub fn shard_of_key(&self, key_bytes: &[u8]) -> usize {
+        (fv_pipeline::cuckoo::hash64(key_bytes, SHARD_HASH_SEED) % self.shards as u64) as usize
+    }
+
+    /// Assign every row of `(schema, data)` to a shard under `part`.
+    pub fn assign(
+        &self,
+        part: Partitioning,
+        schema: &Schema,
+        data: &[u8],
+    ) -> Result<ShardAssignment, FvError> {
+        let row_bytes = schema.row_bytes();
+        assert_eq!(data.len() % row_bytes, 0, "data is not whole rows");
+        let rows = data.len() / row_bytes;
+        let mut per_shard = vec![Vec::new(); self.shards];
+        match part {
+            Partitioning::RowRange => {
+                let chunk = rows.div_ceil(self.shards).max(1);
+                for (shard, indices) in per_shard.iter_mut().enumerate() {
+                    let lo = (shard * chunk).min(rows);
+                    let hi = ((shard + 1) * chunk).min(rows);
+                    indices.extend(lo as u32..hi as u32);
+                }
+            }
+            Partitioning::KeyHash(col) => {
+                if col >= schema.column_count() {
+                    return Err(FvError::Pipeline(
+                        fv_pipeline::PipelineError::UnknownColumn {
+                            col,
+                            arity: schema.column_count(),
+                        },
+                    ));
+                }
+                let range = schema.column_range(col);
+                for r in 0..rows {
+                    let row = &data[r * row_bytes..(r + 1) * row_bytes];
+                    let shard = self.shard_of_key(&row[range.clone()]);
+                    per_shard[shard].push(r as u32);
+                }
+            }
+        }
+        Ok(ShardAssignment { per_shard })
+    }
+}
+
+impl ShardAssignment {
+    /// Rows owned by each shard.
+    pub fn rows_per_shard(&self) -> Vec<usize> {
+        self.per_shard.iter().map(Vec::len).collect()
+    }
+
+    /// Split a full-table byte image into per-shard images (rows in
+    /// ascending original order within each shard).
+    pub fn scatter(&self, row_bytes: usize, data: &[u8]) -> Vec<Vec<u8>> {
+        self.per_shard
+            .iter()
+            .map(|indices| {
+                let mut shard = Vec::with_capacity(indices.len() * row_bytes);
+                for &r in indices {
+                    let r = r as usize;
+                    shard.extend_from_slice(&data[r * row_bytes..(r + 1) * row_bytes]);
+                }
+                shard
+            })
+            .collect()
+    }
+}
+
+/// A fleet of Farview nodes behind one partition-aware client router.
+pub struct FarviewFleet {
+    nodes: Vec<FarviewCluster>,
+    shard_map: ShardMap,
+    /// Process-unique id stamped into every handle this fleet issues.
+    /// Per-node qp ids restart at 1 in every `FarviewCluster` and the
+    /// allocator is deterministic, so two same-shaped fleets would
+    /// otherwise produce interchangeable (and silently wrong) handles.
+    fleet_id: u64,
+}
+
+static NEXT_FLEET_ID: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(1);
+
+impl FarviewFleet {
+    /// Bring up `nodes` identical Farview nodes.
+    pub fn new(nodes: usize, config: FarviewConfig) -> Self {
+        assert!(nodes > 0, "a fleet needs at least one node");
+        FarviewFleet {
+            nodes: (0..nodes)
+                .map(|_| FarviewCluster::new(config.clone()))
+                .collect(),
+            shard_map: ShardMap::new(nodes),
+            fleet_id: NEXT_FLEET_ID.fetch_add(1, std::sync::atomic::Ordering::Relaxed),
+        }
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Direct access to one node (diagnostics, mixed deployments).
+    pub fn node(&self, i: usize) -> &FarviewCluster {
+        &self.nodes[i]
+    }
+
+    /// The fleet's shard map.
+    pub fn shard_map(&self) -> ShardMap {
+        self.shard_map
+    }
+
+    /// `openConnection` at fleet scope: bind one queue pair on every
+    /// node. Fails if any node has no free dynamic region.
+    pub fn connect(&self) -> Result<FleetQPair, FvError> {
+        let qps = self
+            .nodes
+            .iter()
+            .map(FarviewCluster::connect)
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(FleetQPair {
+            qps,
+            shard_map: self.shard_map,
+            merge_model: MergeCostModel::default(),
+            fleet_id: self.fleet_id,
+        })
+    }
+
+    /// Total partial reconfigurations across the fleet.
+    pub fn reconfigurations(&self) -> u64 {
+        self.nodes
+            .iter()
+            .map(FarviewCluster::reconfigurations)
+            .sum()
+    }
+
+    /// Free pages summed over all nodes' buffer pools.
+    pub fn free_pages(&self) -> u64 {
+        self.nodes.iter().map(FarviewCluster::free_pages).sum()
+    }
+}
+
+/// A fleet-scope table handle: one [`FTable`] per shard plus the row
+/// assignment that created them.
+#[derive(Debug, Clone)]
+pub struct FleetTable {
+    shards: Vec<FTable>,
+    assignment: ShardAssignment,
+    partitioning: Partitioning,
+    schema: Schema,
+    rows: usize,
+    fleet_id: u64,
+}
+
+impl FleetTable {
+    /// Table schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Total row count across shards.
+    pub fn row_count(&self) -> usize {
+        self.rows
+    }
+
+    /// Rows resident on each shard.
+    pub fn rows_per_shard(&self) -> Vec<usize> {
+        self.assignment.rows_per_shard()
+    }
+
+    /// The partitioning this table was scattered with.
+    pub fn partitioning(&self) -> Partitioning {
+        self.partitioning
+    }
+
+    /// The per-shard handle (diagnostics).
+    pub fn shard(&self, i: usize) -> &FTable {
+        &self.shards[i]
+    }
+}
+
+/// Outcome of one fleet query: the merged result plus per-shard
+/// attribution.
+#[derive(Debug, Clone)]
+pub struct FleetQueryOutcome {
+    /// The merged result, in the same format a single node returns. Its
+    /// `stats` aggregate the fleet: counters are summed over shards, and
+    /// `response_time` = max over shards + `merge_time`.
+    pub merged: QueryOutcome,
+    /// Each shard's own episode statistics, in shard order.
+    pub per_shard: Vec<QueryStats>,
+    /// Modeled client-side cost of combining the shard payloads.
+    pub merge_time: SimDuration,
+}
+
+/// A fleet-scope connection: one bound queue pair per node.
+pub struct FleetQPair {
+    qps: Vec<QPair>,
+    shard_map: ShardMap,
+    merge_model: MergeCostModel,
+    fleet_id: u64,
+}
+
+impl std::fmt::Debug for FleetQPair {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FleetQPair")
+            .field("shards", &self.qps.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl FleetQPair {
+    /// Number of shards this connection spans.
+    pub fn shard_count(&self) -> usize {
+        self.qps.len()
+    }
+
+    /// Override the client-side merge cost model (experiments).
+    pub fn set_merge_model(&mut self, model: MergeCostModel) {
+        self.merge_model = model;
+    }
+
+    fn check_table(&self, ft: &FleetTable) -> Result<(), FvError> {
+        // Shard counts alone cannot distinguish two same-shaped fleets
+        // (per-node qp ids and vaddrs are deterministic), so handles
+        // carry the issuing fleet's process-unique id — which also
+        // subsumes any shape mismatch.
+        if ft.fleet_id != self.fleet_id {
+            return Err(FvError::ForeignTable);
+        }
+        Ok(())
+    }
+
+    /// `allocTableMem` at fleet scope: compute the row→shard assignment
+    /// for `table` under `part` and allocate buffer-pool space on every
+    /// owning shard. All-or-nothing: if any shard's pool is full, the
+    /// allocations already made on the other shards are rolled back
+    /// before the error is returned.
+    pub fn alloc_table(&self, table: &Table, part: Partitioning) -> Result<FleetTable, FvError> {
+        let assignment = self.shard_map.assign(part, table.schema(), table.bytes())?;
+        let rows = assignment.rows_per_shard();
+        let mut shards = Vec::with_capacity(self.qps.len());
+        for (qp, &n) in self.qps.iter().zip(&rows) {
+            match qp.alloc_table_spec(table.schema(), n) {
+                Ok(ft) => shards.push(ft),
+                Err(e) => {
+                    for (qp, ft) in self.qps.iter().zip(shards.into_iter()) {
+                        let _ = qp.free_table(ft);
+                    }
+                    return Err(e);
+                }
+            }
+        }
+        Ok(FleetTable {
+            shards,
+            assignment,
+            partitioning: part,
+            schema: table.schema().clone(),
+            rows: table.row_count(),
+            fleet_id: self.fleet_id,
+        })
+    }
+
+    /// `tableWrite` at fleet scope: scatter `data`'s rows to their
+    /// owning shards. The shards load in parallel, so the simulated
+    /// transfer time is the slowest shard's.
+    ///
+    /// Under [`Partitioning::KeyHash`], the row→shard assignment was
+    /// computed from the contents passed to
+    /// [`alloc_table`](FleetQPair::alloc_table); writing different key
+    /// values would scatter rows to shards that no longer match their
+    /// hash, silently breaking key co-location — so the assignment is
+    /// revalidated against `data` and a mismatch is rejected.
+    pub fn table_write(&self, ft: &FleetTable, data: &[u8]) -> Result<SimDuration, FvError> {
+        self.check_table(ft)?;
+        let expected: u64 = (ft.rows * ft.schema.row_bytes()) as u64;
+        if data.len() as u64 != expected {
+            return Err(FvError::WriteSizeMismatch {
+                provided: data.len() as u64,
+                expected,
+            });
+        }
+        if matches!(ft.partitioning, Partitioning::KeyHash(_)) {
+            let fresh = self.shard_map.assign(ft.partitioning, &ft.schema, data)?;
+            if fresh != ft.assignment {
+                return Err(FvError::FleetPartitionMismatch);
+            }
+        }
+        self.scatter_write(ft, data)
+    }
+
+    /// Scatter rows by the table's recorded assignment and write each
+    /// shard image (no revalidation — callers have established that
+    /// `data` matches the assignment).
+    fn scatter_write(&self, ft: &FleetTable, data: &[u8]) -> Result<SimDuration, FvError> {
+        let images = ft.assignment.scatter(ft.schema.row_bytes(), data);
+        let mut slowest = SimDuration::ZERO;
+        for ((qp, sft), image) in self.qps.iter().zip(&ft.shards).zip(&images) {
+            slowest = slowest.max(qp.table_write(sft, image)?);
+        }
+        Ok(slowest)
+    }
+
+    /// Allocate + scatter-write in one call. Skips `table_write`'s
+    /// key-hash revalidation: the assignment was just computed from this
+    /// very buffer, so re-hashing every row would only repeat the work.
+    pub fn load_table(
+        &self,
+        table: &Table,
+        part: Partitioning,
+    ) -> Result<(FleetTable, SimDuration), FvError> {
+        let ft = self.alloc_table(table, part)?;
+        let t = self.scatter_write(&ft, table.bytes())?;
+        Ok((ft, t))
+    }
+
+    /// `freeTableMem` on every shard. Attempts every shard even if one
+    /// fails (the handle is consumed either way, so stopping early would
+    /// leak the remaining shards' pages); the first error is returned.
+    pub fn free_table(&self, ft: FleetTable) -> Result<(), FvError> {
+        self.check_table(&ft)?;
+        let mut first_err = None;
+        for (qp, sft) in self.qps.iter().zip(ft.shards.into_iter()) {
+            if let Err(e) = qp.free_table(sft) {
+                first_err.get_or_insert(e);
+            }
+        }
+        match first_err {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    }
+
+    /// The `farView` verb at fleet scope: fan the pipeline out as one
+    /// episode per shard, gather the partial results, and merge them
+    /// client-side according to the pipeline's grouping stage.
+    pub fn far_view(
+        &self,
+        ft: &FleetTable,
+        spec: &PipelineSpec,
+    ) -> Result<FleetQueryOutcome, FvError> {
+        self.check_table(ft)?;
+        if spec.compress_output {
+            return Err(FvError::FleetUnsupported {
+                feature: "compressed",
+            });
+        }
+        if spec.encrypt_output.is_some() {
+            return Err(FvError::FleetUnsupported {
+                feature: "output-encrypted",
+            });
+        }
+
+        // GROUP BY needs the partial/final aggregate split; everything
+        // else runs the user's spec verbatim on each shard.
+        let (shard_spec, agg_plan) = match &spec.grouping {
+            Some(GroupingSpec::GroupBy { keys, aggs }) => {
+                let plan = PartialAggPlan::new(keys, aggs, &ft.schema)?;
+                let mut s = spec.clone();
+                s.grouping = Some(GroupingSpec::GroupBy {
+                    keys: keys.clone(),
+                    aggs: plan.shard_aggs().to_vec(),
+                });
+                (s, Some(plan))
+            }
+            _ => (spec.clone(), None),
+        };
+
+        let outcomes = self
+            .qps
+            .iter()
+            .zip(&ft.shards)
+            .map(|(qp, sft)| qp.far_view(sft, &shard_spec))
+            .collect::<Result<Vec<_>, _>>()?;
+
+        let payloads: Vec<&[u8]> = outcomes.iter().map(|o| o.payload.as_slice()).collect();
+        let input_bytes: u64 = payloads.iter().map(|p| p.len() as u64).sum();
+        let (payload, schema, merge_time) = match (&spec.grouping, agg_plan) {
+            (Some(GroupingSpec::GroupBy { .. }), Some(plan)) => {
+                let (merged, partial_rows) = plan.merge(&payloads);
+                let t = self.merge_model.hash_merge(partial_rows, input_bytes);
+                (merged, plan.out_schema().clone(), t)
+            }
+            (Some(GroupingSpec::Distinct { .. }), _) => {
+                let schema = outcomes[0].schema.clone();
+                let (merged, rows_in) = merge_distinct(schema.row_bytes(), &payloads);
+                let t = self.merge_model.hash_merge(rows_in, input_bytes);
+                (merged, schema, t)
+            }
+            _ => {
+                // Concatenation in shard order. Under row-range
+                // partitioning this *is* the single-node row order.
+                let schema = outcomes[0].schema.clone();
+                let mut merged = Vec::with_capacity(input_bytes as usize);
+                for p in &payloads {
+                    merged.extend_from_slice(p);
+                }
+                let t = self.merge_model.concat(input_bytes);
+                (merged, schema, t)
+            }
+        };
+
+        let per_shard: Vec<QueryStats> = outcomes.iter().map(|o| o.stats).collect();
+        let mut stats = QueryStats::default();
+        for s in &per_shard {
+            stats.response_time = stats.response_time.max(s.response_time);
+            stats.bytes_from_memory += s.bytes_from_memory;
+            stats.bytes_on_wire += s.bytes_on_wire;
+            stats.packets += s.packets;
+            stats.tuples_in += s.tuples_in;
+            stats.tuples_out += s.tuples_out;
+            stats.overflow_tuples += s.overflow_tuples;
+            stats.hazard_catches += s.hazard_catches;
+            stats.groups_flushed += s.groups_flushed;
+            stats.client_postprocess += s.client_postprocess;
+            stats.reconfigured |= s.reconfigured;
+            stats.sim_events += s.sim_events;
+        }
+        stats.response_time += merge_time;
+        stats.result_bytes = payload.len() as u64;
+
+        Ok(FleetQueryOutcome {
+            merged: QueryOutcome {
+                payload,
+                schema,
+                stats,
+            },
+            per_shard,
+            merge_time,
+        })
+    }
+
+    /// Plain fleet-wide read: gather every shard's rows (row order under
+    /// [`Partitioning::RowRange`] is the original table order).
+    pub fn table_read(&self, ft: &FleetTable) -> Result<FleetQueryOutcome, FvError> {
+        self.far_view(ft, &PipelineSpec::passthrough())
+    }
+
+    /// The paper's `select()` wrapper at fleet scope.
+    pub fn select(&self, ft: &FleetTable, q: &SelectQuery) -> Result<FleetQueryOutcome, FvError> {
+        self.far_view(ft, &q.to_spec())
+    }
+
+    /// `SELECT DISTINCT <cols>` across the fleet.
+    pub fn distinct(
+        &self,
+        ft: &FleetTable,
+        cols: Vec<usize>,
+    ) -> Result<FleetQueryOutcome, FvError> {
+        self.far_view(ft, &PipelineSpec::passthrough().distinct(cols))
+    }
+
+    /// `SELECT <keys>, <aggs> GROUP BY <keys>` across the fleet.
+    pub fn group_by(
+        &self,
+        ft: &FleetTable,
+        keys: Vec<usize>,
+        aggs: Vec<fv_pipeline::AggSpec>,
+    ) -> Result<FleetQueryOutcome, FvError> {
+        self.far_view(ft, &PipelineSpec::passthrough().group_by(keys, aggs))
+    }
+
+    /// Regex selection across the fleet.
+    pub fn regex_match(
+        &self,
+        ft: &FleetTable,
+        col: usize,
+        pattern: &str,
+    ) -> Result<FleetQueryOutcome, FvError> {
+        self.far_view(ft, &PipelineSpec::passthrough().regex_match(col, pattern))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fv_pipeline::{AggFunc, AggSpec};
+
+    fn table(rows: usize, groups: u64) -> Table {
+        use fv_data::{TableBuilder, Value};
+        let schema = Schema::uniform_u64(3);
+        let mut b = TableBuilder::with_capacity(schema, rows);
+        for i in 0..rows as u64 {
+            b.push_values(vec![
+                Value::U64(i % groups),
+                Value::U64(i * 37 % 1000),
+                Value::U64(i),
+            ]);
+        }
+        b.build()
+    }
+
+    fn single_node_baseline(t: &Table, spec: &PipelineSpec) -> QueryOutcome {
+        let c = FarviewCluster::new(FarviewConfig::tiny());
+        let qp = c.connect().unwrap();
+        let (ft, _) = qp.load_table(t).unwrap();
+        qp.far_view(&ft, spec).unwrap()
+    }
+
+    #[test]
+    fn row_range_assignment_is_contiguous_and_total() {
+        let m = ShardMap::new(4);
+        let t = table(10, 3);
+        let a = m
+            .assign(Partitioning::RowRange, t.schema(), t.bytes())
+            .unwrap();
+        assert_eq!(a.rows_per_shard(), vec![3, 3, 3, 1]);
+        let flat: Vec<u32> = a.per_shard.concat();
+        assert_eq!(flat, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn key_hash_co_locates_equal_keys() {
+        let m = ShardMap::new(4);
+        let t = table(256, 16);
+        let a = m
+            .assign(Partitioning::KeyHash(0), t.schema(), t.bytes())
+            .unwrap();
+        assert_eq!(a.rows_per_shard().iter().sum::<usize>(), 256);
+        // Every key lives on exactly one shard.
+        let mut key_shard = std::collections::HashMap::new();
+        for (shard, rows) in a.per_shard.iter().enumerate() {
+            for &r in rows {
+                let key = t.row(r as usize).value(0).as_u64();
+                assert_eq!(*key_shard.entry(key).or_insert(shard), shard);
+            }
+        }
+        assert_eq!(key_shard.len(), 16);
+    }
+
+    #[test]
+    fn scatter_write_roundtrips_by_row_range() {
+        let fleet = FarviewFleet::new(3, FarviewConfig::tiny());
+        let qp = fleet.connect().unwrap();
+        let t = table(100, 7);
+        let (ft, write_time) = qp.load_table(&t, Partitioning::RowRange).unwrap();
+        assert!(write_time > SimDuration::ZERO);
+        assert_eq!(ft.rows_per_shard(), vec![34, 34, 32]);
+        let out = qp.table_read(&ft).unwrap();
+        assert_eq!(out.merged.payload, t.bytes(), "gather restores row order");
+        assert_eq!(out.per_shard.len(), 3);
+        qp.free_table(ft).unwrap();
+    }
+
+    #[test]
+    fn fleet_matches_single_node_byte_for_byte() {
+        let t = table(300, 10);
+        let specs = [
+            PipelineSpec::passthrough(),
+            PipelineSpec::passthrough().filter(fv_pipeline::PredicateExpr::lt(1, 500u64)),
+            PipelineSpec::passthrough().distinct(vec![0]),
+            PipelineSpec::passthrough().group_by(
+                vec![0],
+                vec![
+                    AggSpec {
+                        col: 1,
+                        func: AggFunc::Sum,
+                    },
+                    AggSpec {
+                        col: 2,
+                        func: AggFunc::Min,
+                    },
+                    AggSpec {
+                        col: 1,
+                        func: AggFunc::Avg,
+                    },
+                ],
+            ),
+        ];
+        for spec in &specs {
+            let single = single_node_baseline(&t, spec);
+            for nodes in [1usize, 2, 4] {
+                let fleet = FarviewFleet::new(nodes, FarviewConfig::tiny());
+                let qp = fleet.connect().unwrap();
+                let (ft, _) = qp.load_table(&t, Partitioning::RowRange).unwrap();
+                let out = qp.far_view(&ft, spec).unwrap();
+                assert_eq!(
+                    out.merged.payload, single.payload,
+                    "{nodes}-node fleet diverged on {spec:?}"
+                );
+                assert_eq!(out.merged.schema, single.schema);
+            }
+        }
+    }
+
+    #[test]
+    fn key_hash_group_by_is_set_equal_with_no_cross_shard_groups() {
+        let t = table(400, 16);
+        let aggs = vec![AggSpec {
+            col: 2,
+            func: AggFunc::Sum,
+        }];
+        let single = single_node_baseline(
+            &t,
+            &PipelineSpec::passthrough().group_by(vec![0], aggs.clone()),
+        );
+        let fleet = FarviewFleet::new(4, FarviewConfig::tiny());
+        let qp = fleet.connect().unwrap();
+        let (ft, _) = qp.load_table(&t, Partitioning::KeyHash(0)).unwrap();
+        let out = qp.group_by(&ft, vec![0], aggs).unwrap();
+
+        let rows = |o: &QueryOutcome| {
+            let mut v: Vec<Vec<u8>> = o
+                .payload
+                .chunks_exact(o.schema.row_bytes())
+                .map(<[u8]>::to_vec)
+                .collect();
+            v.sort();
+            v
+        };
+        assert_eq!(rows(&out.merged), rows(&single));
+        // Co-location: the shards together flushed exactly one group per
+        // key — no partial groups crossed shards.
+        assert_eq!(out.merged.stats.groups_flushed, 16);
+    }
+
+    #[test]
+    fn fleet_response_is_max_over_shards_plus_merge() {
+        let fleet = FarviewFleet::new(4, FarviewConfig::tiny());
+        let qp = fleet.connect().unwrap();
+        let t = table(512, 8);
+        let (ft, _) = qp.load_table(&t, Partitioning::RowRange).unwrap();
+        let out = qp.table_read(&ft).unwrap();
+        let slowest = out.per_shard.iter().map(|s| s.response_time).max().unwrap();
+        assert!(out.merge_time > SimDuration::ZERO);
+        assert_eq!(out.merged.stats.response_time, slowest + out.merge_time);
+        // Scale-out: each shard streamed a quarter of the table, so the
+        // slowest shard beats a single node streaming all of it.
+        let single = single_node_baseline(&t, &PipelineSpec::passthrough());
+        assert!(
+            out.merged.stats.response_time < single.stats.response_time,
+            "4 nodes must beat 1: {} vs {}",
+            out.merged.stats.response_time,
+            single.stats.response_time
+        );
+    }
+
+    #[test]
+    fn unsupported_merges_are_rejected() {
+        let fleet = FarviewFleet::new(2, FarviewConfig::tiny());
+        let qp = fleet.connect().unwrap();
+        let t = table(16, 4);
+        let (ft, _) = qp.load_table(&t, Partitioning::RowRange).unwrap();
+        assert!(matches!(
+            qp.far_view(&ft, &PipelineSpec::passthrough().compress()),
+            Err(FvError::FleetUnsupported { .. })
+        ));
+        let other_fleet = FarviewFleet::new(3, FarviewConfig::tiny());
+        let other_qp = other_fleet.connect().unwrap();
+        assert!(matches!(
+            other_qp.table_read(&ft),
+            Err(FvError::ForeignTable)
+        ));
+    }
+
+    #[test]
+    fn failed_alloc_rolls_back_partial_shard_allocations() {
+        // Fill node 1's pool so a fleet-wide allocation fails there;
+        // the pages already taken on node 0 must be returned.
+        let fleet = FarviewFleet::new(2, FarviewConfig::tiny());
+        let hog_qp = fleet.node(1).connect().unwrap();
+        // Grab almost everything on node 1 (leave < one 2 MiB page).
+        let bytes = fleet.node(1).free_pages() * fv_sim::calib::PAGE_BYTES - 64;
+        let hog = hog_qp
+            .alloc_table_spec(&Schema::uniform_u64(8), (bytes / 64) as usize)
+            .expect("hog allocation must fit");
+        let qp = fleet.connect().unwrap();
+        let free_before = fleet.free_pages();
+        let big = table(100_000, 4); // ~2.4 MB per shard half: node 1 is full
+        assert!(qp.alloc_table(&big, Partitioning::RowRange).is_err());
+        assert_eq!(
+            fleet.free_pages(),
+            free_before,
+            "failed fleet alloc must not leak pages on the shards that succeeded"
+        );
+        hog_qp.free_table(hog).unwrap();
+    }
+
+    #[test]
+    fn avg_of_huge_values_does_not_wrap() {
+        // Four rows of 2^62 sum to 2^64: an integer partial SUM would
+        // wrap to 0, which is why AVG fans out as SUMF64 + COUNT. All
+        // sums here are powers of two, hence exact in f64, so the fleet
+        // stays byte-identical to the single node.
+        use fv_data::{TableBuilder, Value};
+        let schema = Schema::uniform_u64(2);
+        let mut b = TableBuilder::new(schema);
+        for i in 0..4u64 {
+            b.push_values(vec![Value::U64(i % 2), Value::U64(1u64 << 62)]);
+        }
+        let t = b.build();
+        let spec = PipelineSpec::passthrough().group_by(
+            vec![0],
+            vec![AggSpec {
+                col: 1,
+                func: AggFunc::Avg,
+            }],
+        );
+        let single = single_node_baseline(&t, &spec);
+        let fleet = FarviewFleet::new(2, FarviewConfig::tiny());
+        let qp = fleet.connect().unwrap();
+        let (ft, _) = qp.load_table(&t, Partitioning::RowRange).unwrap();
+        let out = qp.far_view(&ft, &spec).unwrap();
+        assert_eq!(out.merged.payload, single.payload);
+        let avg = f64::from_le_bytes(out.merged.payload[8..16].try_into().unwrap());
+        assert_eq!(avg, (1u64 << 62) as f64, "no wrap, exact mean");
+    }
+
+    #[test]
+    fn same_shaped_foreign_fleet_is_rejected() {
+        // Two fleets of identical shape produce identical per-node qp
+        // ids and vaddrs; only the fleet id distinguishes their handles.
+        let a = FarviewFleet::new(2, FarviewConfig::tiny());
+        let b = FarviewFleet::new(2, FarviewConfig::tiny());
+        let qa = a.connect().unwrap();
+        let qb = b.connect().unwrap();
+        let t = table(32, 4);
+        let (fta, _) = qa.load_table(&t, Partitioning::RowRange).unwrap();
+        let (_ftb, _) = qb
+            .load_table(&table(32, 8), Partitioning::RowRange)
+            .unwrap();
+        assert!(matches!(qb.table_read(&fta), Err(FvError::ForeignTable)));
+        assert_eq!(qa.table_read(&fta).unwrap().merged.payload, t.bytes());
+    }
+
+    #[test]
+    fn write_size_checked_at_fleet_scope() {
+        let fleet = FarviewFleet::new(2, FarviewConfig::tiny());
+        let qp = fleet.connect().unwrap();
+        let t = table(8, 2);
+        let ft = qp.alloc_table(&t, Partitioning::RowRange).unwrap();
+        assert!(matches!(
+            qp.table_write(&ft, &t.bytes()[..24]),
+            Err(FvError::WriteSizeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn stale_key_hash_assignment_is_rejected() {
+        // A KeyHash assignment is computed from the data passed to
+        // alloc_table; writing same-sized data with different keys would
+        // scatter rows to the wrong shards, so it must be rejected.
+        let fleet = FarviewFleet::new(4, FarviewConfig::tiny());
+        let qp = fleet.connect().unwrap();
+        let original = table(64, 8);
+        let ft = qp.alloc_table(&original, Partitioning::KeyHash(0)).unwrap();
+        let different_keys = table(64, 5);
+        assert!(matches!(
+            qp.table_write(&ft, different_keys.bytes()),
+            Err(FvError::FleetPartitionMismatch)
+        ));
+        // The original image still writes fine, and same-sized data is
+        // never an issue under RowRange (assignment depends only on row
+        // count).
+        qp.table_write(&ft, original.bytes()).unwrap();
+        let rr = qp.alloc_table(&original, Partitioning::RowRange).unwrap();
+        qp.table_write(&rr, different_keys.bytes()).unwrap();
+    }
+}

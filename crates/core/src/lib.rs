@@ -16,6 +16,9 @@
 //! * [`episode`] — the discrete-event execution of one or more
 //!   concurrent queries against the node (Figure 2's datapath: DRAM
 //!   channels → MMU → dynamic regions → fair-shared egress → wire).
+//! * [`fleet`] — scale-out: [`FarviewFleet`] hash-/range-shards tables
+//!   across N nodes and fans `farView` verbs out as parallel per-shard
+//!   episodes, merging results client-side (scatter–gather).
 //! * [`resources`] — the FPGA resource model behind Table 1.
 //! * [`microbench`] — the pipelined-read throughput model of Figure 6(a).
 //!
@@ -30,8 +33,9 @@
 
 mod cluster;
 mod config;
-mod error;
 pub mod episode;
+mod error;
+pub mod fleet;
 pub mod microbench;
 pub mod resources;
 pub mod tiered;
@@ -39,10 +43,14 @@ pub mod tiered;
 pub use cluster::{FTable, FarviewCluster, QPair, QueryOutcome, QueryStats, SelectQuery};
 pub use config::FarviewConfig;
 pub use error::FvError;
+pub use fleet::{
+    FarviewFleet, FleetQPair, FleetQueryOutcome, FleetTable, Partitioning, ShardAssignment,
+    ShardMap,
+};
 pub use tiered::{BlockStore, StorageParams, TieredPool};
 
 // Re-export the pipeline vocabulary: it is the public query language.
 pub use fv_pipeline::{
-    AggFunc, AggSpec, CmpOp, CryptoSpec, GroupingSpec, JoinSmallSpec, PipelineSpec,
-    PredicateExpr, RegexFilter,
+    AggFunc, AggSpec, CmpOp, CryptoSpec, GroupingSpec, JoinSmallSpec, PipelineSpec, PredicateExpr,
+    RegexFilter,
 };

@@ -133,7 +133,8 @@ pub mod operators {
 
 /// Resource usage of the operators a spec instantiates in one region.
 pub fn pipeline_usage(spec: &PipelineSpec) -> ResourceUsage {
-    let mut u = operators::PACK_SEND; // packer+sender always present
+    // Packer+sender always present.
+    let mut u = operators::PACK_SEND;
     // Parse/annotate + any of projection/selection/aggregation share the
     // cheap row.
     u = u.plus(operators::PROJ_SEL_AGG);
@@ -188,7 +189,10 @@ mod tests {
     #[test]
     fn paper_row_formatting() {
         assert_eq!(
-            system_usage(6).paper_row().split_whitespace().collect::<Vec<_>>(),
+            system_usage(6)
+                .paper_row()
+                .split_whitespace()
+                .collect::<Vec<_>>(),
             vec!["24%", "23%", "29%", "0%"]
         );
         assert_eq!(
@@ -210,9 +214,18 @@ mod tests {
     #[test]
     fn pipeline_usage_composes() {
         let heavy = PipelineSpec::passthrough()
-            .decrypt(CryptoSpec { key: [0; 16], iv: [0; 16] })
+            .decrypt(CryptoSpec {
+                key: [0; 16],
+                iv: [0; 16],
+            })
             .regex_match(0, "a")
-            .group_by(vec![0], vec![AggSpec { col: 1, func: AggFunc::Sum }]);
+            .group_by(
+                vec![0],
+                vec![AggSpec {
+                    col: 1,
+                    func: AggFunc::Sum,
+                }],
+            );
         let u = pipeline_usage(&heavy);
         assert!(u.bram >= 8.0, "grouping brings the BRAM tables");
         assert!(u.clb_luts > 8.0);

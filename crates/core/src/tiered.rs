@@ -67,7 +67,8 @@ impl BlockStore {
     /// Persist an object; returns the simulated write time.
     pub fn put(&mut self, name: &str, bytes: Vec<u8>) -> SimDuration {
         self.writes += 1;
-        let t = self.params.access_latency + calib::transfer(bytes.len().max(1) as u64, self.params.bandwidth);
+        let t = self.params.access_latency
+            + calib::transfer(bytes.len().max(1) as u64, self.params.bandwidth);
         self.objects.insert(name.to_string(), bytes);
         t
     }
@@ -272,7 +273,9 @@ mod tests {
     use fv_pipeline::PredicateExpr;
 
     fn table(seed: u64, bytes: u64) -> Table {
-        fv_workload::TableGen::paper_default(bytes).seed(seed).build()
+        fv_workload::TableGen::paper_default(bytes)
+            .seed(seed)
+            .build()
     }
 
     #[test]

@@ -98,7 +98,9 @@ impl<'a> RowView<'a> {
 
     /// Decode the whole row.
     pub fn to_row(&self) -> Row {
-        Row((0..self.schema.column_count()).map(|i| self.value(i)).collect())
+        Row((0..self.schema.column_count())
+            .map(|i| self.value(i))
+            .collect())
     }
 }
 
@@ -118,7 +120,8 @@ pub fn iter_rows<'a>(
         data.len(),
         rb
     );
-    data.chunks_exact(rb).map(move |raw| RowView { schema, raw })
+    data.chunks_exact(rb)
+        .map(move |raw| RowView { schema, raw })
 }
 
 #[cfg(test)]
@@ -147,7 +150,11 @@ mod tests {
     #[test]
     fn encode_decode_roundtrip() {
         let s = schema();
-        let row = Row(vec![Value::U64(7), Value::F64(1.5), Value::Bytes(b"ab\0\0".to_vec())]);
+        let row = Row(vec![
+            Value::U64(7),
+            Value::F64(1.5),
+            Value::Bytes(b"ab\0\0".to_vec()),
+        ]);
         let bytes = row.encode(&s);
         assert_eq!(bytes.len(), s.row_bytes());
         let view = RowView::new(&s, &bytes);

@@ -56,7 +56,10 @@ impl fmt::Display for MemError {
                 "out of disaggregated memory: need {requested_pages} pages, {free_pages} free"
             ),
             MemError::AccessFault { domain, vaddr } => {
-                write!(f, "access fault: domain {domain} has no mapping at {vaddr:#x}")
+                write!(
+                    f,
+                    "access fault: domain {domain} has no mapping at {vaddr:#x}"
+                )
             }
             MemError::NoSuchAllocation { domain, vaddr } => {
                 write!(f, "domain {domain} has no allocation based at {vaddr:#x}")

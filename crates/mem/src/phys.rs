@@ -125,7 +125,9 @@ mod tests {
     #[test]
     fn rw_roundtrip_across_stripe_boundary() {
         let mut m = PhysicalMemory::new(2, 8 * STRIPE_BYTES);
-        let data: Vec<u8> = (0..(2 * STRIPE_BYTES + 100)).map(|i| (i % 251) as u8).collect();
+        let data: Vec<u8> = (0..(2 * STRIPE_BYTES + 100))
+            .map(|i| (i % 251) as u8)
+            .collect();
         let base = STRIPE_BYTES / 2; // deliberately unaligned
         m.write(base, &data);
         let mut back = vec![0u8; data.len()];

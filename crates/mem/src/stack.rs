@@ -285,20 +285,16 @@ impl MemoryStack {
 
     /// Bounds-check an access of `len` bytes at `vaddr` against the
     /// containing allocation.
-    fn check_bounds(
-        &self,
-        domain: DomainId,
-        vaddr: VirtAddr,
-        len: u64,
-    ) -> Result<(), MemError> {
+    fn check_bounds(&self, domain: DomainId, vaddr: VirtAddr, len: u64) -> Result<(), MemError> {
         let d = self
             .domains
             .get(&domain)
             .ok_or(MemError::NoSuchDomain(domain))?;
         // Find the allocation containing vaddr (base <= vaddr < base+pages).
-        let containing = d.allocations.iter().find(|(&base, a)| {
-            vaddr >= base && vaddr < base + a.ppages.len() as u64 * PAGE_BYTES
-        });
+        let containing = d
+            .allocations
+            .iter()
+            .find(|(&base, a)| vaddr >= base && vaddr < base + a.ppages.len() as u64 * PAGE_BYTES);
         match containing {
             None => Err(MemError::AccessFault { domain, vaddr }),
             Some((&base, a)) => {
@@ -376,7 +372,10 @@ impl MemoryStack {
             let (pa, tlb_hit) = self.translate(domain, va)?;
             let stripe_left = STRIPE_BYTES - pa % STRIPE_BYTES;
             let page_left = PAGE_BYTES - va % PAGE_BYTES;
-            let bytes = remaining.min(stripe_left).min(page_left).min(MEM_BURST_BYTES);
+            let bytes = remaining
+                .min(stripe_left)
+                .min(page_left)
+                .min(MEM_BURST_BYTES);
             plan.push(BurstReq {
                 channel: self.phys.channel_of(pa),
                 paddr: pa,
@@ -460,7 +459,11 @@ mod tests {
         let va2 = m.share(d1, va1, d2).unwrap();
         assert_eq!(m.free_page_count(), before - 1);
         m.free(d1, va1).unwrap();
-        assert_eq!(m.free_page_count(), before - 1, "share still holds the page");
+        assert_eq!(
+            m.free_page_count(),
+            before - 1,
+            "share still holds the page"
+        );
         m.free(d2, va2).unwrap();
         assert_eq!(m.free_page_count(), before);
     }
@@ -470,10 +473,7 @@ mod tests {
         let mut m = MemoryStack::new(1, 4 * 1024 * 1024); // 2 pages
         let d = m.create_domain();
         assert!(m.alloc(d, 2 * PAGE_BYTES).is_ok());
-        assert!(matches!(
-            m.alloc(d, 1),
-            Err(MemError::OutOfMemory { .. })
-        ));
+        assert!(matches!(m.alloc(d, 1), Err(MemError::OutOfMemory { .. })));
     }
 
     #[test]
@@ -544,10 +544,7 @@ mod tests {
         m.alloc(d, 2 * PAGE_BYTES).unwrap();
         m.destroy_domain(d).unwrap();
         assert_eq!(m.free_page_count(), before);
-        assert!(matches!(
-            m.alloc(d, 1),
-            Err(MemError::NoSuchDomain(_))
-        ));
+        assert!(matches!(m.alloc(d, 1), Err(MemError::NoSuchDomain(_))));
     }
 
     #[test]

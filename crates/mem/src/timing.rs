@@ -52,7 +52,10 @@ impl DramTiming {
 
     /// Total bytes served per channel (load-balance checks).
     pub fn bytes_per_channel(&self) -> Vec<u64> {
-        self.channels.iter().map(BandwidthServer::bytes_served).collect()
+        self.channels
+            .iter()
+            .map(BandwidthServer::bytes_served)
+            .collect()
     }
 
     /// Reset all channel horizons (new episode).

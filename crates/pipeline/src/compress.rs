@@ -270,7 +270,10 @@ mod tests {
     fn roundtrip_repetitive_data() {
         let data: Vec<u8> = b"farview".iter().copied().cycle().take(10_000).collect();
         let c = compress(&data);
-        assert!(c.len() < data.len() / 3, "repetitive data must compress well");
+        assert!(
+            c.len() < data.len() / 3,
+            "repetitive data must compress well"
+        );
         assert_eq!(decompress(&c).unwrap(), data);
     }
 
@@ -289,7 +292,10 @@ mod tests {
             .collect();
         let c = compress(&data);
         let frames = data.len().div_ceil(FRAME_BYTES);
-        assert!(c.len() <= data.len() + frames * 8, "expansion beyond headers");
+        assert!(
+            c.len() <= data.len() + frames * 8,
+            "expansion beyond headers"
+        );
         assert_eq!(decompress(&c).unwrap(), data);
     }
 
@@ -351,7 +357,12 @@ mod tests {
             data.extend_from_slice(&(i % 3).to_le_bytes());
         }
         let c = compress(&data);
-        assert!(c.len() < data.len() / 2, "got {} of {}", c.len(), data.len());
+        assert!(
+            c.len() < data.len() / 2,
+            "got {} of {}",
+            c.len(),
+            data.len()
+        );
         assert_eq!(decompress(&c).unwrap(), data);
     }
 }

@@ -72,12 +72,16 @@ impl<V> CuckooTable<V> {
             "bucket count must be a power of two (hardware address bits)"
         );
         CuckooTable {
-            ways: (0..ways).map(|_| {
-                let mut v = Vec::new();
-                v.resize_with(buckets_per_way, || None);
-                v
-            }).collect(),
-            seeds: (0..ways).map(|i| 0x5851_F42D_4C95_7F2D ^ (i as u64) << 17).collect(),
+            ways: (0..ways)
+                .map(|_| {
+                    let mut v = Vec::new();
+                    v.resize_with(buckets_per_way, || None);
+                    v
+                })
+                .collect(),
+            seeds: (0..ways)
+                .map(|i| 0x5851_F42D_4C95_7F2D ^ (i as u64) << 17)
+                .collect(),
             buckets_per_way,
             max_kicks: 4 * ways,
             len: 0,
@@ -294,8 +298,7 @@ mod tests {
         }
         // NOTE: an eviction chain can make a *previously placed* key the
         // homeless one; collect who is actually resident.
-        let resident: std::collections::HashSet<u32> =
-            t.iter().map(|(_, v)| *v).collect();
+        let resident: std::collections::HashSet<u32> = t.iter().map(|(_, v)| *v).collect();
         assert_eq!(resident.len() + homeless, 32, "no entry may vanish");
         assert_eq!(t.len(), resident.len());
     }

@@ -60,7 +60,11 @@ impl std::fmt::Debug for DistinctOp {
 impl DistinctOp {
     /// A distinct operator emitting the key columns of `keys`.
     pub fn new(keys: ProjectionPlan) -> Self {
-        Self::with_geometry(keys, CuckooTable::with_default_geometry(), DEFAULT_LRU_DEPTH)
+        Self::with_geometry(
+            keys,
+            CuckooTable::with_default_geometry(),
+            DEFAULT_LRU_DEPTH,
+        )
     }
 
     /// Explicit table geometry / LRU depth (ablations and tests).

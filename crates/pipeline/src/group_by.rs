@@ -44,6 +44,9 @@ impl AggState {
             (AggFunc::Sum, ColumnType::U64) => AggState::SumU(0),
             (AggFunc::Sum, ColumnType::I64) => AggState::SumI(0),
             (AggFunc::Sum, ColumnType::F64) => AggState::SumF(0.0),
+            (AggFunc::SumF64, ColumnType::U64 | ColumnType::I64 | ColumnType::F64) => {
+                AggState::SumF(0.0)
+            }
             (AggFunc::Min, ColumnType::U64) => AggState::MinU(u64::MAX),
             (AggFunc::Min, ColumnType::I64) => AggState::MinI(i64::MAX),
             (AggFunc::Min, ColumnType::F64) => AggState::MinF(f64::INFINITY),
@@ -61,6 +64,9 @@ impl AggState {
             (AggState::SumU(s), Value::U64(v)) => *s = s.wrapping_add(*v),
             (AggState::SumI(s), Value::I64(v)) => *s = s.wrapping_add(*v),
             (AggState::SumF(s), Value::F64(v)) => *s += v,
+            // SumF64 over integer columns: same f64 accumulation as Avg.
+            (AggState::SumF(s), Value::U64(v)) => *s += *v as f64,
+            (AggState::SumF(s), Value::I64(v)) => *s += *v as f64,
             (AggState::MinU(m), Value::U64(v)) => *m = (*m).min(*v),
             (AggState::MinI(m), Value::I64(v)) => *m = (*m).min(*v),
             (AggState::MinF(m), Value::F64(v)) => *m = m.min(*v),
@@ -142,7 +148,12 @@ impl std::fmt::Debug for GroupByOp {
 impl GroupByOp {
     /// Group by the key columns of `keys`, computing `aggs`.
     pub fn new(keys: ProjectionPlan, aggs: Vec<AggSpec>, base_schema: Schema) -> Self {
-        Self::with_table(keys, aggs, base_schema, CuckooTable::with_default_geometry())
+        Self::with_table(
+            keys,
+            aggs,
+            base_schema,
+            CuckooTable::with_default_geometry(),
+        )
     }
 
     /// Explicit table geometry (crate-internal: tests/ablations).
@@ -161,6 +172,7 @@ impl GroupByOp {
             let func = match a.func {
                 AggFunc::Count => "count",
                 AggFunc::Sum => "sum",
+                AggFunc::SumF64 => "sumf64",
                 AggFunc::Min => "min",
                 AggFunc::Max => "max",
                 AggFunc::Avg => "avg",
@@ -302,7 +314,12 @@ mod tests {
         );
         let mut overflow = Vec::new();
         for (a, b) in [(1u64, 10u64), (2, 20), (1, 5), (2, 1), (3, 7)] {
-            push_row(&mut op, &schema, vec![Value::U64(a), Value::U64(b)], &mut overflow);
+            push_row(
+                &mut op,
+                &schema,
+                vec![Value::U64(a), Value::U64(b)],
+                &mut overflow,
+            );
         }
         assert!(overflow.is_empty(), "no output before flush");
         let rows = flush(&mut op);
@@ -325,16 +342,36 @@ mod tests {
         let schema = Schema::uniform_u64(2);
         let keys = ProjectionPlan::new(&schema, Some(&[0])).unwrap();
         let aggs = vec![
-            AggSpec { col: 1, func: AggFunc::Count },
-            AggSpec { col: 1, func: AggFunc::Sum },
-            AggSpec { col: 1, func: AggFunc::Min },
-            AggSpec { col: 1, func: AggFunc::Max },
-            AggSpec { col: 1, func: AggFunc::Avg },
+            AggSpec {
+                col: 1,
+                func: AggFunc::Count,
+            },
+            AggSpec {
+                col: 1,
+                func: AggFunc::Sum,
+            },
+            AggSpec {
+                col: 1,
+                func: AggFunc::Min,
+            },
+            AggSpec {
+                col: 1,
+                func: AggFunc::Max,
+            },
+            AggSpec {
+                col: 1,
+                func: AggFunc::Avg,
+            },
         ];
         let mut op = GroupByOp::new(keys, aggs, schema.clone());
         let mut sink = Vec::new();
         for b in [4u64, 6, 2] {
-            push_row(&mut op, &schema, vec![Value::U64(1), Value::U64(b)], &mut sink);
+            push_row(
+                &mut op,
+                &schema,
+                vec![Value::U64(1), Value::U64(b)],
+                &mut sink,
+            );
         }
         let rows = flush(&mut op);
         assert_eq!(rows.len(), 1);
@@ -351,18 +388,32 @@ mod tests {
     #[test]
     fn float_aggregation() {
         let schema = Schema::new(vec![
-            Column { name: "k".into(), ty: ColumnType::U64 },
-            Column { name: "v".into(), ty: ColumnType::F64 },
+            Column {
+                name: "k".into(),
+                ty: ColumnType::U64,
+            },
+            Column {
+                name: "v".into(),
+                ty: ColumnType::F64,
+            },
         ]);
         let keys = ProjectionPlan::new(&schema, Some(&[0])).unwrap();
         let mut op = GroupByOp::new(
             keys,
-            vec![AggSpec { col: 1, func: AggFunc::Sum }],
+            vec![AggSpec {
+                col: 1,
+                func: AggFunc::Sum,
+            }],
             schema.clone(),
         );
         let mut sink = Vec::new();
         for v in [0.5f64, 1.25] {
-            push_row(&mut op, &schema, vec![Value::U64(1), Value::F64(v)], &mut sink);
+            push_row(
+                &mut op,
+                &schema,
+                vec![Value::U64(1), Value::F64(v)],
+                &mut sink,
+            );
         }
         let rows = flush(&mut op);
         assert_eq!(f64::from_le_bytes(rows[0][8..16].try_into().unwrap()), 1.75);
@@ -374,7 +425,10 @@ mod tests {
         let keys = ProjectionPlan::new(&schema, Some(&[0])).unwrap();
         let mut op = GroupByOp::with_table(
             keys,
-            vec![AggSpec { col: 1, func: AggFunc::Sum }],
+            vec![AggSpec {
+                col: 1,
+                func: AggFunc::Sum,
+            }],
             schema.clone(),
             CuckooTable::new(2, 4),
         );
@@ -410,7 +464,10 @@ mod tests {
         let keys = ProjectionPlan::new(&schema, Some(&[0])).unwrap();
         let mut op = GroupByOp::new(
             keys,
-            vec![AggSpec { col: 1, func: AggFunc::Count }],
+            vec![AggSpec {
+                col: 1,
+                func: AggFunc::Count,
+            }],
             schema,
         );
         assert!(flush(&mut op).is_empty());

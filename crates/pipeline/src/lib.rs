@@ -35,6 +35,7 @@ pub mod distinct;
 pub mod filter;
 pub mod group_by;
 pub mod join;
+pub mod merge;
 pub mod pack;
 pub mod pipeline;
 pub mod predicate;
@@ -45,7 +46,8 @@ pub mod spec;
 pub mod compress;
 pub mod crypto_op;
 
+pub use join::JoinSmallSpec;
+pub use merge::{merge_distinct, PartialAggPlan};
 pub use pipeline::{CompiledPipeline, PipelineError, PipelineStats, StreamOperator};
 pub use predicate::{CmpOp, PredicateExpr};
-pub use join::JoinSmallSpec;
 pub use spec::{AggFunc, AggSpec, CryptoSpec, GroupingSpec, PipelineSpec, RegexFilter};

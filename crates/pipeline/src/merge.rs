@@ -1,0 +1,439 @@
+//! Client-side merge of per-shard partial results (scatter–gather).
+//!
+//! When a query fans out across a fleet of Farview nodes, each shard
+//! returns results in the operator's normal output format and the client
+//! combines them in software — the same software-merge path the paper
+//! prescribes for cuckoo overflow tuples (§5.4), generalized to whole
+//! shards:
+//!
+//! * selection / projection / regex results **concatenate** (with
+//!   row-range partitioning, shard order *is* row order);
+//! * `DISTINCT` results take an order-preserving **union**
+//!   ([`merge_distinct`]);
+//! * `GROUP BY` results **re-aggregate**: the same group key can surface
+//!   on several shards, so the client combines the per-shard partial
+//!   aggregates ([`PartialAggPlan`]).
+//!
+//! `AVG` partials are not mergeable (a mean of means is wrong under
+//! skew), so [`PartialAggPlan`] rewrites each `AVG(c)` into per-shard
+//! `SUMF64(c)` + `COUNT(*)` (the `f64`-accumulating partial sum — an
+//! integer `SUM` partial would wrap at 2⁶⁴ where the single node's
+//! `f64` accumulator does not) and finalizes `sum / count` at merge
+//! time —
+//! the classic partial/final aggregate split.
+//!
+//! Merge order is deterministic: keys appear in first-seen order while
+//! scanning shard payloads in shard order. Under row-range partitioning
+//! this reproduces a single node's first-seen flush order exactly, which
+//! is what makes the fleet's `group_by`/`distinct` results byte-identical
+//! to a single node's (property-tested in `tests/fleet_props.rs` at the
+//! workspace root).
+//!
+//! One floating-point caveat bounds that byte-identity: a single node
+//! accumulates `AVG` (and `SUM` over `F64`) as an incremental `f64` sum
+//! in row order, while the merge adds per-shard partial sums — a
+//! different association. The results are bit-equal whenever every
+//! partial and total sum is exactly representable in `f64` (integer
+//! columns with sums below 2⁵³, which covers the evaluation workloads);
+//! beyond that they agree only to `f64` rounding, like any
+//! partial-aggregate split.
+
+use std::collections::{HashMap, HashSet};
+
+use fv_data::{Column, ColumnType, Schema};
+
+use crate::pipeline::PipelineError;
+use crate::project::ProjectionPlan;
+use crate::spec::{AggFunc, AggSpec};
+
+/// How one shard-level aggregate column folds into the running merged
+/// value. Every aggregate emission is 8 bytes little-endian (see
+/// `AggState::emit`); the combiner fixes the interpretation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Combine {
+    /// Wrapping `u64` addition (`COUNT`, `SUM` over `U64`).
+    AddU64,
+    /// Wrapping `i64` addition (`SUM` over `I64`).
+    AddI64,
+    /// `f64` addition (`SUM` over `F64`).
+    AddF64,
+    /// Minimum under the column's order.
+    MinU64,
+    /// Minimum of signed values.
+    MinI64,
+    /// Minimum of floats.
+    MinF64,
+    /// Maximum of unsigned values.
+    MaxU64,
+    /// Maximum of signed values.
+    MaxI64,
+    /// Maximum of floats.
+    MaxF64,
+}
+
+impl Combine {
+    fn for_agg(func: AggFunc, ty: ColumnType) -> Result<Combine, PipelineError> {
+        Ok(match (func, ty) {
+            (AggFunc::Count, _) => Combine::AddU64,
+            (AggFunc::Sum, ColumnType::U64) => Combine::AddU64,
+            (AggFunc::Sum, ColumnType::I64) => Combine::AddI64,
+            (AggFunc::Sum, ColumnType::F64) => Combine::AddF64,
+            (AggFunc::SumF64, ColumnType::U64 | ColumnType::I64 | ColumnType::F64) => {
+                Combine::AddF64
+            }
+            (AggFunc::Min, ColumnType::U64) => Combine::MinU64,
+            (AggFunc::Min, ColumnType::I64) => Combine::MinI64,
+            (AggFunc::Min, ColumnType::F64) => Combine::MinF64,
+            (AggFunc::Max, ColumnType::U64) => Combine::MaxU64,
+            (AggFunc::Max, ColumnType::I64) => Combine::MaxI64,
+            (AggFunc::Max, ColumnType::F64) => Combine::MaxF64,
+            (AggFunc::Avg, _) => unreachable!("AVG is rewritten before combiners are built"),
+            (_, ColumnType::Bytes(_)) => return Err(PipelineError::AggOnBytes { col: usize::MAX }),
+        })
+    }
+
+    fn apply(self, acc: [u8; 8], new: [u8; 8]) -> [u8; 8] {
+        let (a, b) = (u64::from_le_bytes(acc), u64::from_le_bytes(new));
+        match self {
+            Combine::AddU64 => a.wrapping_add(b).to_le_bytes(),
+            Combine::AddI64 => (a as i64).wrapping_add(b as i64).to_le_bytes(),
+            Combine::AddF64 => (f64::from_le_bytes(acc) + f64::from_le_bytes(new)).to_le_bytes(),
+            Combine::MinU64 => a.min(b).to_le_bytes(),
+            Combine::MinI64 => (a as i64).min(b as i64).to_le_bytes(),
+            Combine::MinF64 => f64::from_le_bytes(acc)
+                .min(f64::from_le_bytes(new))
+                .to_le_bytes(),
+            Combine::MaxU64 => a.max(b).to_le_bytes(),
+            Combine::MaxI64 => (a as i64).max(b as i64).to_le_bytes(),
+            Combine::MaxF64 => f64::from_le_bytes(acc)
+                .max(f64::from_le_bytes(new))
+                .to_le_bytes(),
+        }
+    }
+}
+
+/// How one *user-facing* aggregate column is produced from the merged
+/// shard-level slots.
+#[derive(Debug, Clone, Copy)]
+enum Finalize {
+    /// Copy merged shard slot `i` straight through.
+    Slot(usize),
+    /// `AVG`: divide the `f64` value-sum slot by the count slot.
+    AvgOf {
+        /// Shard slot holding `SUMF64(col)` (an `f64` partial sum — an
+        /// integer `SUM` would wrap at 2⁶⁴ where the single-node `AVG`
+        /// accumulator does not).
+        sum: usize,
+        /// Shard slot holding `COUNT(*)`.
+        count: usize,
+    },
+}
+
+/// Plan for the partial/final aggregate split of one scatter–gather
+/// `GROUP BY`.
+///
+/// Built once per fleet query from the user's aggregate list; yields the
+/// aggregate list each shard must run ([`PartialAggPlan::shard_aggs`])
+/// and merges the shard payloads back into the exact single-node output
+/// format ([`PartialAggPlan::merge`]).
+#[derive(Debug)]
+pub struct PartialAggPlan {
+    key_bytes: usize,
+    shard_slots: Vec<Combine>,
+    shard_aggs: Vec<AggSpec>,
+    finalize: Vec<Finalize>,
+    out_schema: Schema,
+    shard_row_bytes: usize,
+}
+
+impl PartialAggPlan {
+    /// Build the plan for `GROUP BY keys` with `aggs` over `base_schema`.
+    pub fn new(
+        keys: &[usize],
+        aggs: &[AggSpec],
+        base_schema: &Schema,
+    ) -> Result<Self, PipelineError> {
+        let key_plan = ProjectionPlan::new(base_schema, Some(keys))?;
+        let key_bytes = key_plan.out_row_bytes();
+
+        let mut shard_slots: Vec<Combine> = Vec::new();
+        let mut shard_aggs: Vec<AggSpec> = Vec::new();
+        let mut finalize = Vec::new();
+        // Reuse a slot when two user aggregates need the same shard
+        // aggregate (e.g. SUM(c) next to AVG(c)) — also required, because
+        // the shard's output schema forbids duplicate column names.
+        let mut slot_for = |func: AggFunc, col: usize, ty| -> Result<usize, PipelineError> {
+            let spec = AggSpec { col, func };
+            if let Some(i) = shard_aggs.iter().position(|s| *s == spec) {
+                return Ok(i);
+            }
+            shard_slots.push(Combine::for_agg(func, ty)?);
+            shard_aggs.push(spec);
+            Ok(shard_aggs.len() - 1)
+        };
+        for a in aggs {
+            let ty = base_schema.column(a.col).ty;
+            if matches!(ty, ColumnType::Bytes(_)) && a.func != AggFunc::Count {
+                return Err(PipelineError::AggOnBytes { col: a.col });
+            }
+            match a.func {
+                AggFunc::Avg => {
+                    let sum = slot_for(AggFunc::SumF64, a.col, ty)?;
+                    let count = slot_for(AggFunc::Count, a.col, ty)?;
+                    finalize.push(Finalize::AvgOf { sum, count });
+                }
+                func => {
+                    finalize.push(Finalize::Slot(slot_for(func, a.col, ty)?));
+                }
+            }
+        }
+
+        // The user-facing output schema must match GroupByOp's exactly
+        // (same `{func}_{column}` naming, same types) so a merged fleet
+        // result is indistinguishable from a single node's.
+        let mut out_cols: Vec<Column> = key_plan.out_schema().columns().to_vec();
+        for a in aggs {
+            let in_ty = base_schema.column(a.col).ty;
+            let (prefix, ty) = match a.func {
+                AggFunc::Count => ("count", ColumnType::U64),
+                AggFunc::Sum => ("sum", in_ty),
+                AggFunc::SumF64 => ("sumf64", ColumnType::F64),
+                AggFunc::Min => ("min", in_ty),
+                AggFunc::Max => ("max", in_ty),
+                AggFunc::Avg => ("avg", ColumnType::F64),
+            };
+            out_cols.push(Column {
+                name: format!("{prefix}_{}", base_schema.column(a.col).name),
+                ty,
+            });
+        }
+        let out_schema = Schema::new(out_cols);
+        let shard_row_bytes = key_bytes + 8 * shard_slots.len();
+
+        Ok(PartialAggPlan {
+            key_bytes,
+            shard_slots,
+            shard_aggs,
+            finalize,
+            out_schema,
+            shard_row_bytes,
+        })
+    }
+
+    /// The aggregate list each shard runs (`AVG` rewritten to
+    /// `SUM` + `COUNT`).
+    pub fn shard_aggs(&self) -> &[AggSpec] {
+        &self.shard_aggs
+    }
+
+    /// The merged (user-facing) output schema: key columns followed by
+    /// one column per requested aggregate.
+    pub fn out_schema(&self) -> &Schema {
+        &self.out_schema
+    }
+
+    /// Row size of one shard's partial output.
+    pub fn shard_row_bytes(&self) -> usize {
+        self.shard_row_bytes
+    }
+
+    /// Merge shard payloads (scanned in the given order) into the
+    /// single-node output format. Returns the packed rows and the number
+    /// of partial rows consumed (the input size the client-side merge
+    /// cost model charges for).
+    pub fn merge<P: AsRef<[u8]>>(&self, shard_payloads: &[P]) -> (Vec<u8>, u64) {
+        let mut order: Vec<Box<[u8]>> = Vec::new();
+        let mut acc: HashMap<Box<[u8]>, Vec<[u8; 8]>> = HashMap::new();
+        let mut partial_rows = 0u64;
+
+        for payload in shard_payloads {
+            let payload = payload.as_ref();
+            assert_eq!(
+                payload.len() % self.shard_row_bytes,
+                0,
+                "shard payload is not whole partial rows"
+            );
+            for row in payload.chunks_exact(self.shard_row_bytes) {
+                partial_rows += 1;
+                let key = &row[..self.key_bytes];
+                let slots: Vec<[u8; 8]> = row[self.key_bytes..]
+                    .chunks_exact(8)
+                    .map(|c| c.try_into().expect("8-byte slot"))
+                    .collect();
+                match acc.get_mut(key) {
+                    Some(existing) => {
+                        for (i, combine) in self.shard_slots.iter().enumerate() {
+                            existing[i] = combine.apply(existing[i], slots[i]);
+                        }
+                    }
+                    None => {
+                        let key: Box<[u8]> = key.into();
+                        order.push(key.clone());
+                        acc.insert(key, slots);
+                    }
+                }
+            }
+        }
+
+        let mut out = Vec::with_capacity(order.len() * self.out_schema.row_bytes());
+        for key in &order {
+            let slots = &acc[key];
+            out.extend_from_slice(key);
+            for f in &self.finalize {
+                match *f {
+                    Finalize::Slot(i) => out.extend_from_slice(&slots[i]),
+                    Finalize::AvgOf { sum, count } => {
+                        let n = u64::from_le_bytes(slots[count]);
+                        let total = f64::from_le_bytes(slots[sum]);
+                        let avg = if n == 0 { 0.0 } else { total / n as f64 };
+                        out.extend_from_slice(&avg.to_le_bytes());
+                    }
+                }
+            }
+        }
+        (out, partial_rows)
+    }
+}
+
+/// Order-preserving union of per-shard `DISTINCT` payloads: scan shards
+/// in order, keep the first occurrence of each row. This is the client
+/// software dedup the paper already requires for overflow tuples (§5.4),
+/// applied across shards; with row-range partitioning the result equals
+/// a single node's first-seen flush order byte for byte. Returns the
+/// merged payload and the number of input rows scanned.
+pub fn merge_distinct<P: AsRef<[u8]>>(row_bytes: usize, shard_payloads: &[P]) -> (Vec<u8>, u64) {
+    assert!(row_bytes > 0, "distinct rows cannot be empty");
+    let mut seen: HashSet<Box<[u8]>> = HashSet::new();
+    let mut out = Vec::new();
+    let mut rows_in = 0u64;
+    for payload in shard_payloads {
+        let payload = payload.as_ref();
+        assert_eq!(
+            payload.len() % row_bytes,
+            0,
+            "shard payload is not whole rows"
+        );
+        for row in payload.chunks_exact(row_bytes) {
+            rows_in += 1;
+            if !seen.contains(row) {
+                seen.insert(row.into());
+                out.extend_from_slice(row);
+            }
+        }
+    }
+    (out, rows_in)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fv_data::{Row, Value};
+
+    use crate::group_by::GroupByOp;
+
+    fn base() -> Schema {
+        Schema::uniform_u64(3)
+    }
+
+    fn run_group_by(rows: &[(u64, u64, u64)], aggs: Vec<AggSpec>) -> Vec<u8> {
+        let schema = base();
+        let keys = ProjectionPlan::new(&schema, Some(&[0])).unwrap();
+        let mut op = GroupByOp::new(keys, aggs, schema.clone());
+        let mut overflow = Vec::new();
+        for &(a, b, c) in rows {
+            let bytes = Row(vec![Value::U64(a), Value::U64(b), Value::U64(c)]).encode(&schema);
+            crate::pipeline::StreamOperator::push(&mut op, &bytes, &mut |t: &[u8]| {
+                overflow.extend_from_slice(t)
+            });
+        }
+        assert!(overflow.is_empty(), "test tables must not overflow");
+        let mut out = Vec::new();
+        crate::pipeline::StreamOperator::flush(&mut op, &mut |t: &[u8]| out.extend_from_slice(t));
+        out
+    }
+
+    #[test]
+    fn sharded_group_by_equals_single_node() {
+        let aggs = vec![
+            AggSpec {
+                col: 1,
+                func: AggFunc::Sum,
+            },
+            AggSpec {
+                col: 2,
+                func: AggFunc::Min,
+            },
+            AggSpec {
+                col: 1,
+                func: AggFunc::Max,
+            },
+            AggSpec {
+                col: 2,
+                func: AggFunc::Count,
+            },
+            AggSpec {
+                col: 1,
+                func: AggFunc::Avg,
+            },
+        ];
+        let rows: Vec<(u64, u64, u64)> = (0..60).map(|i| (i % 7, i * 3 % 11, i * 5 % 13)).collect();
+
+        let single = run_group_by(&rows, aggs.clone());
+
+        let plan = PartialAggPlan::new(&[0], &aggs, &base()).unwrap();
+        // Row-range split into three shards.
+        let shard_payloads: Vec<Vec<u8>> = rows
+            .chunks(20)
+            .map(|chunk| run_group_by(chunk, plan.shard_aggs().to_vec()))
+            .collect();
+        let (merged, partial_rows) = plan.merge(&shard_payloads);
+
+        assert_eq!(merged, single, "merge must reproduce the single node");
+        assert_eq!(partial_rows, 7 * 3, "7 keys hit on each of 3 shards");
+        assert_eq!(plan.out_schema().column_count(), 6);
+        assert_eq!(plan.out_schema().column(5).name, "avg_c1");
+    }
+
+    #[test]
+    fn avg_rewrite_shape() {
+        let aggs = vec![AggSpec {
+            col: 1,
+            func: AggFunc::Avg,
+        }];
+        let plan = PartialAggPlan::new(&[0], &aggs, &base()).unwrap();
+        assert_eq!(plan.shard_aggs().len(), 2, "AVG becomes SUMF64 + COUNT");
+        assert_eq!(plan.shard_aggs()[0].func, AggFunc::SumF64);
+        assert_eq!(plan.shard_aggs()[1].func, AggFunc::Count);
+        assert_eq!(plan.shard_row_bytes(), 8 + 16);
+        assert_eq!(
+            plan.out_schema().row_bytes(),
+            16,
+            "user sees one AVG column"
+        );
+    }
+
+    #[test]
+    fn merge_distinct_keeps_first_seen_order() {
+        let rows =
+            |vals: &[u64]| -> Vec<u8> { vals.iter().flat_map(|v| v.to_le_bytes()).collect() };
+        let (merged, n) =
+            merge_distinct(8, &[rows(&[3, 1, 4]), rows(&[1, 5, 3, 9]), rows(&[2, 6])]);
+        assert_eq!(n, 9);
+        assert_eq!(merged, rows(&[3, 1, 4, 5, 9, 2, 6]));
+    }
+
+    #[test]
+    fn empty_shards_merge_to_empty() {
+        let aggs = vec![AggSpec {
+            col: 1,
+            func: AggFunc::Sum,
+        }];
+        let plan = PartialAggPlan::new(&[0], &aggs, &base()).unwrap();
+        let (merged, rows) = plan.merge(&[Vec::new(), Vec::new()]);
+        assert!(merged.is_empty());
+        assert_eq!(rows, 0);
+        let (d, n) = merge_distinct::<Vec<u8>>(8, &[]);
+        assert!(d.is_empty());
+        assert_eq!(n, 0);
+    }
+}

@@ -93,10 +93,16 @@ impl std::fmt::Display for PipelineError {
             }
             PipelineError::EmptyDistinct => write!(f, "DISTINCT with no key columns"),
             PipelineError::JoinKeyTypeMismatch { probe, build } => {
-                write!(f, "join key types differ: probe {probe:?} vs build {build:?}")
+                write!(
+                    f,
+                    "join key types differ: probe {probe:?} vs build {build:?}"
+                )
             }
             PipelineError::BuildSideTooLarge { bytes, limit } => {
-                write!(f, "join build side of {bytes} bytes exceeds on-chip budget of {limit}")
+                write!(
+                    f,
+                    "join build side of {bytes} bytes exceeds on-chip budget of {limit}"
+                )
             }
             PipelineError::RaggedBuildSide => {
                 write!(f, "join build image is not a whole number of rows")
@@ -307,11 +313,7 @@ impl CompiledPipeline {
             sorted.sort_unstable();
             sorted.dedup();
             out_schema = base_schema.project(&sorted);
-            (
-                Packer::passthrough(),
-                sa.bytes_per_tuple,
-                Some(sa),
-            )
+            (Packer::passthrough(), sa.bytes_per_tuple, Some(sa))
         } else if spec.grouping.is_some() || spec.join.is_some() {
             // Grouping and join operators emit final-format tuples.
             (Packer::passthrough(), base_schema.row_bytes(), None)
@@ -501,8 +503,7 @@ mod tests {
     #[test]
     fn passthrough_is_identity() {
         let t = table(100);
-        let mut p =
-            CompiledPipeline::compile(PipelineSpec::passthrough(), t.schema()).unwrap();
+        let mut p = CompiledPipeline::compile(PipelineSpec::passthrough(), t.schema()).unwrap();
         // Feed in odd-sized chunks to exercise framing.
         for chunk in t.bytes().chunks(100) {
             p.push_bytes(chunk);
@@ -567,11 +568,9 @@ mod tests {
     #[test]
     fn smart_addressing_validation() {
         let schema = Schema::uniform_u64(8);
-        let err = CompiledPipeline::compile(
-            PipelineSpec::passthrough().with_smart_addressing(),
-            &schema,
-        )
-        .unwrap_err();
+        let err =
+            CompiledPipeline::compile(PipelineSpec::passthrough().with_smart_addressing(), &schema)
+                .unwrap_err();
         assert!(matches!(err, PipelineError::SmartAddressingConflict(_)));
         let err = CompiledPipeline::compile(
             PipelineSpec::passthrough()
@@ -581,7 +580,10 @@ mod tests {
             &schema,
         )
         .unwrap_err();
-        assert!(matches!(err, PipelineError::SmartAddressingConflict("selection")));
+        assert!(matches!(
+            err,
+            PipelineError::SmartAddressingConflict("selection")
+        ));
     }
 
     #[test]
@@ -611,8 +613,7 @@ mod tests {
     #[should_panic(expected = "mid-tuple")]
     fn ragged_stream_is_a_bug() {
         let t = table(2);
-        let mut p =
-            CompiledPipeline::compile(PipelineSpec::passthrough(), t.schema()).unwrap();
+        let mut p = CompiledPipeline::compile(PipelineSpec::passthrough(), t.schema()).unwrap();
         p.push_bytes(&t.bytes()[..70]);
         p.finish();
     }
@@ -621,7 +622,9 @@ mod tests {
     fn grouping_projection_conflict() {
         let schema = Schema::uniform_u64(8);
         let err = CompiledPipeline::compile(
-            PipelineSpec::passthrough().project(vec![0]).distinct(vec![1]),
+            PipelineSpec::passthrough()
+                .project(vec![0])
+                .distinct(vec![1]),
             &schema,
         )
         .unwrap_err();

@@ -86,7 +86,10 @@ impl std::fmt::Display for PredicateError {
                 write!(f, "predicate references column {col}, table has {arity}")
             }
             PredicateError::TypeMismatch { col, column_type } => {
-                write!(f, "predicate constant does not match column {col} of type {column_type:?}")
+                write!(
+                    f,
+                    "predicate constant does not match column {col} of type {column_type:?}"
+                )
             }
         }
     }
@@ -221,9 +224,10 @@ impl PredicateExpr {
         match self {
             PredicateExpr::True => 0,
             PredicateExpr::Not(inner) => inner.selection_mask(),
-            PredicateExpr::And(xs) | PredicateExpr::Or(xs) => {
-                xs.iter().map(PredicateExpr::selection_mask).fold(0, |a, b| a | b)
-            }
+            PredicateExpr::And(xs) | PredicateExpr::Or(xs) => xs
+                .iter()
+                .map(PredicateExpr::selection_mask)
+                .fold(0, |a, b| a | b),
             PredicateExpr::Cmp { col, .. } => 1u64 << (col % 64),
         }
     }

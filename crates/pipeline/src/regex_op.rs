@@ -45,10 +45,7 @@ impl RegexOp {
 
 /// Strip trailing zero padding from a fixed-width string field.
 fn strip_padding(field: &[u8]) -> &[u8] {
-    let end = field
-        .iter()
-        .rposition(|&b| b != 0)
-        .map_or(0, |p| p + 1);
+    let end = field.iter().rposition(|&b| b != 0).map_or(0, |p| p + 1);
     &field[..end]
 }
 
@@ -91,7 +88,10 @@ mod tests {
         let re = Regex::compile("c[aou]t").unwrap();
         let mut op = RegexOp::new(re, 1, schema.clone());
         let mut kept: Vec<u64> = Vec::new();
-        for (i, s) in ["the cat", "a dog", "cut here", "cot", "ct"].iter().enumerate() {
+        for (i, s) in ["the cat", "a dog", "cut here", "cot", "ct"]
+            .iter()
+            .enumerate()
+        {
             let bytes = Row(vec![Value::U64(i as u64), Value::from(*s)]).encode(&schema);
             op.push(&bytes, &mut |t| {
                 kept.push(u64::from_le_bytes(t[..8].try_into().unwrap()));

@@ -17,6 +17,12 @@ pub enum AggFunc {
     Count,
     /// `SUM(col)`.
     Sum,
+    /// `SUM(col)` accumulated in `f64` regardless of the column type
+    /// (emitted as an 8-byte float). Not part of the paper's §5.4
+    /// operator list: this is the *partial* form `AVG` fans out as in a
+    /// fleet — an integer `SUM` partial would wrap at 2⁶⁴ where the
+    /// single-node `AVG` accumulator (an `f64` sum) does not.
+    SumF64,
     /// `MIN(col)`.
     Min,
     /// `MAX(col)`.
@@ -221,8 +227,8 @@ impl PipelineSpec {
 #[cfg(test)]
 mod tests {
     use super::*;
-    
-use crate::predicate::PredicateExpr;
+
+    use crate::predicate::PredicateExpr;
 
     #[test]
     fn builder_composes() {

@@ -186,10 +186,7 @@ mod tests {
     fn dfa_for(pattern: &str) -> (Dfa, bool) {
         let parsed = parse(pattern).unwrap();
         let nfa = Nfa::from_ast(&parsed.ast, !parsed.anchored_start);
-        (
-            Dfa::determinize(&nfa, 8192).unwrap(),
-            parsed.anchored_end,
-        )
+        (Dfa::determinize(&nfa, 8192).unwrap(), parsed.anchored_end)
     }
 
     #[test]

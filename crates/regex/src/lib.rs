@@ -237,7 +237,10 @@ mod tests {
             Regex::compile("a{5,2}"),
             Err(RegexError::Syntax { .. })
         ));
-        assert!(matches!(Regex::compile("*a"), Err(RegexError::Syntax { .. })));
+        assert!(matches!(
+            Regex::compile("*a"),
+            Err(RegexError::Syntax { .. })
+        ));
         let err = Regex::compile("[z-a]").unwrap_err();
         assert!(err.to_string().contains("class range"));
     }

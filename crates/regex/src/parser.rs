@@ -276,10 +276,9 @@ impl Parser<'_> {
                     Some(hi) => hi,
                 };
                 if hi < b {
-                    return Err(self.err(format!(
-                        "invalid class range {}-{}",
-                        b as char, hi as char
-                    )));
+                    return Err(
+                        self.err(format!("invalid class range {}-{}", b as char, hi as char))
+                    );
                 }
                 set = set.union(&ByteSet::range(b, hi));
             } else {

@@ -1,0 +1,148 @@
+//! Offline drop-in subset of the `bytes` crate.
+//!
+//! Provides [`Bytes`]: a cheaply cloneable, immutable, contiguous byte
+//! buffer. The network stack moves packet payloads around by value; the
+//! real `bytes` crate makes that an `Arc` bump rather than a memcpy, and
+//! this shim preserves exactly that property with an `Arc<[u8]>` (plus a
+//! zero-allocation path for `&'static` data).
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+use std::ops::Deref;
+use std::sync::Arc;
+
+/// A cheaply cloneable immutable byte buffer.
+#[derive(Clone)]
+pub enum Bytes {
+    /// Borrowed from static storage (no allocation, no refcount).
+    Static(&'static [u8]),
+    /// Shared heap storage; clones bump a refcount.
+    Shared(Arc<[u8]>),
+}
+
+impl Bytes {
+    /// An empty buffer.
+    pub const fn new() -> Self {
+        Bytes::Static(&[])
+    }
+
+    /// Borrow static data without copying.
+    pub const fn from_static(data: &'static [u8]) -> Self {
+        Bytes::Static(data)
+    }
+
+    /// Length in bytes.
+    pub fn len(&self) -> usize {
+        self.as_slice().len()
+    }
+
+    /// True when the buffer holds no bytes.
+    pub fn is_empty(&self) -> bool {
+        self.as_slice().is_empty()
+    }
+
+    /// View the contents as a slice.
+    pub fn as_slice(&self) -> &[u8] {
+        match self {
+            Bytes::Static(s) => s,
+            Bytes::Shared(a) => a,
+        }
+    }
+
+    /// Copy the contents into a fresh `Vec<u8>`.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.as_slice().to_vec()
+    }
+}
+
+impl Default for Bytes {
+    fn default() -> Self {
+        Bytes::new()
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Self {
+        Bytes::Shared(v.into())
+    }
+}
+
+impl From<&'static [u8]> for Bytes {
+    fn from(s: &'static [u8]) -> Self {
+        Bytes::Static(s)
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for Bytes {}
+
+impl std::hash::Hash for Bytes {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.as_slice().hash(state);
+    }
+}
+
+impl std::fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "b\"")?;
+        for &b in self.as_slice().iter().take(32) {
+            write!(f, "{}", std::ascii::escape_default(b))?;
+        }
+        if self.len() > 32 {
+            write!(f, "..")?;
+        }
+        write!(f, "\"")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_equality() {
+        let a = Bytes::from(vec![1u8, 2, 3]);
+        let b = Bytes::from_static(&[1, 2, 3]);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 3);
+        assert!(!a.is_empty());
+        assert!(Bytes::new().is_empty());
+    }
+
+    #[test]
+    fn clone_is_shallow() {
+        let a = Bytes::from(vec![0u8; 1024]);
+        let b = a.clone();
+        match (&a, &b) {
+            (Bytes::Shared(x), Bytes::Shared(y)) => assert!(Arc::ptr_eq(x, y)),
+            _ => panic!("heap buffers should share storage"),
+        }
+    }
+
+    #[test]
+    fn deref_to_slice() {
+        let a = Bytes::from(vec![9u8, 8]);
+        assert_eq!(&a[..], &[9, 8]);
+        assert_eq!(a.to_vec(), vec![9, 8]);
+    }
+}

@@ -1,0 +1,242 @@
+//! Offline drop-in subset of the `criterion` benchmarking API.
+//!
+//! The bench targets under `crates/bench/benches/` are written against
+//! the upstream `criterion` interface. With no crates.io access, this
+//! shim keeps them compiling and running: each benchmark executes its
+//! closure `sample_size` times around a warm-up iteration and prints the
+//! mean wall-clock time per iteration. No statistical analysis, HTML
+//! reports, or outlier rejection — the simulated response times these
+//! benches fold into their names are produced by `fv-sim`, not by host
+//! timing, so a plain mean is enough to keep the harness honest.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Re-export of the standard optimization barrier, like upstream.
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Set the number of timed iterations per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n > 0, "sample size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Run one named benchmark.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(id, self.sample_size, None, &mut f);
+        self
+    }
+
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+            throughput: None,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix and an optional
+/// throughput annotation.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Annotate the group with a per-iteration throughput unit.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Override the sample size for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample size must be positive");
+        self.criterion.sample_size = n;
+        self
+    }
+
+    /// Run one benchmark inside the group.
+    pub fn bench_function<F>(&mut self, id: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{id}", self.name);
+        run_one(&full, self.criterion.sample_size, self.throughput, &mut f);
+        self
+    }
+
+    /// Run one parameterized benchmark inside the group.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.0);
+        run_one(
+            &full,
+            self.criterion.sample_size,
+            self.throughput,
+            &mut |b| f(b, input),
+        );
+        self
+    }
+
+    /// Finish the group (upstream flushes reports here; the shim prints
+    /// eagerly, so this is a no-op that exists for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Identifier for a parameterized benchmark.
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// `function_name/parameter` form.
+    pub fn new(function_name: &str, parameter: impl Display) -> Self {
+        BenchmarkId(format!("{function_name}/{parameter}"))
+    }
+
+    /// Parameter-only form.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId(parameter.to_string())
+    }
+}
+
+/// Per-iteration throughput annotation.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// Handed to each benchmark closure; `iter` does the timing.
+pub struct Bencher {
+    samples: usize,
+    /// Mean wall time per iteration, filled by [`Bencher::iter`].
+    mean: Option<Duration>,
+}
+
+impl Bencher {
+    /// Time `f` over the configured number of iterations.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        black_box(f()); // warm-up
+        let start = Instant::now();
+        for _ in 0..self.samples {
+            black_box(f());
+        }
+        self.mean = Some(start.elapsed() / self.samples as u32);
+    }
+}
+
+fn run_one(
+    id: &str,
+    samples: usize,
+    throughput: Option<Throughput>,
+    f: &mut dyn FnMut(&mut Bencher),
+) {
+    let mut b = Bencher {
+        samples,
+        mean: None,
+    };
+    f(&mut b);
+    match b.mean {
+        Some(mean) => {
+            let rate = throughput.map(|t| match t {
+                Throughput::Bytes(n) => {
+                    format!(
+                        "  {:>8.2} MiB/s",
+                        n as f64 / mean.as_secs_f64() / (1 << 20) as f64
+                    )
+                }
+                Throughput::Elements(n) => {
+                    format!("  {:>8.2} Melem/s", n as f64 / mean.as_secs_f64() / 1e6)
+                }
+            });
+            println!(
+                "bench {id:<48} {:>12.3} µs/iter{}",
+                mean.as_secs_f64() * 1e6,
+                rate.unwrap_or_default()
+            );
+        }
+        None => println!("bench {id:<48} (no iter() call)"),
+    }
+}
+
+/// Bundle benchmark functions into a named group runner, mirroring the
+/// upstream macro's `name`/`config`/`targets` form and the plain list
+/// form.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Generate `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_times_closure() {
+        let mut c = Criterion::default().sample_size(3);
+        let mut runs = 0u32;
+        c.bench_function("shim/self_test", |b| b.iter(|| runs += 1));
+        assert_eq!(runs, 4, "warm-up + 3 samples");
+    }
+
+    #[test]
+    fn group_with_input_and_throughput() {
+        let mut c = Criterion::default().sample_size(2);
+        let mut g = c.benchmark_group("grp");
+        g.throughput(Throughput::Bytes(1024));
+        let mut total = 0u64;
+        g.bench_with_input(BenchmarkId::from_parameter(7u32), &7u32, |b, &x| {
+            b.iter(|| total += u64::from(x))
+        });
+        g.finish();
+        assert_eq!(total, 21);
+    }
+}

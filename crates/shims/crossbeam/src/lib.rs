@@ -1,0 +1,90 @@
+//! Offline drop-in subset of `crossbeam`: the [`scope`] API, implemented
+//! over `std::thread::scope` (stable since Rust 1.63, which postdates
+//! `crossbeam::scope`'s design). Spawned closures receive the scope
+//! again — like crossbeam, unlike std — so nested spawns keep working,
+//! and `scope` returns a `thread::Result` instead of propagating the
+//! main closure's panic.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::thread;
+
+/// Handle to a scope in which threads can be spawned; a `Copy` wrapper
+/// so closures can capture it by value.
+#[derive(Clone, Copy)]
+pub struct Scope<'scope, 'env> {
+    inner: &'scope thread::Scope<'scope, 'env>,
+}
+
+/// Join handle for a scoped thread.
+pub struct ScopedJoinHandle<'scope, T> {
+    inner: thread::ScopedJoinHandle<'scope, T>,
+}
+
+impl<'scope, T> ScopedJoinHandle<'scope, T> {
+    /// Wait for the thread and return its result (`Err` if it panicked).
+    pub fn join(self) -> thread::Result<T> {
+        self.inner.join()
+    }
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawn a thread inside the scope. The closure receives the scope,
+    /// matching crossbeam's signature (`|_|` when unused).
+    pub fn spawn<T, F>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+    where
+        T: Send + 'scope,
+        F: FnOnce(Scope<'scope, 'env>) -> T + Send + 'scope,
+    {
+        let scope = *self;
+        ScopedJoinHandle {
+            inner: self.inner.spawn(move || f(scope)),
+        }
+    }
+}
+
+/// Create a scope for spawning threads that may borrow from the caller's
+/// stack. All spawned threads are joined before `scope` returns.
+pub fn scope<'env, F, R>(f: F) -> thread::Result<R>
+where
+    F: for<'scope> FnOnce(Scope<'scope, 'env>) -> R,
+{
+    catch_unwind(AssertUnwindSafe(|| {
+        thread::scope(|s| f(Scope { inner: s }))
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn threads_borrow_and_join() {
+        let data = vec![1u64, 2, 3, 4];
+        let total = scope(|s| {
+            let handles: Vec<_> = data.iter().map(|&x| s.spawn(move |_| x * 10)).collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum::<u64>()
+        })
+        .unwrap();
+        assert_eq!(total, 100);
+    }
+
+    #[test]
+    fn nested_spawn_through_scope_arg() {
+        let n = scope(|s| {
+            s.spawn(|inner| inner.spawn(|_| 7u32).join().unwrap())
+                .join()
+                .unwrap()
+        })
+        .unwrap();
+        assert_eq!(n, 7);
+    }
+
+    #[test]
+    fn panicking_closure_returns_err() {
+        let r: thread::Result<()> = scope(|_| panic!("boom"));
+        assert!(r.is_err());
+    }
+}

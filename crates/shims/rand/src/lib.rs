@@ -1,0 +1,179 @@
+//! Offline drop-in subset of the `rand` crate.
+//!
+//! The workload generators need a deterministic, seedable RNG with
+//! `gen_range` / `gen_bool`. This shim provides [`rngs::StdRng`] backed
+//! by xoshiro256** (seeded via splitmix64, the reference seeding
+//! procedure), which passes the statistical calibration checks the
+//! workload tests make (selectivity within ±2 %, distinct-value
+//! coverage). It is *not* the upstream `StdRng` stream — all seeds in
+//! this repository only require determinism within one build, never
+//! bit-compatibility with upstream `rand`.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+/// Seedable construction, mirroring `rand::SeedableRng`.
+pub trait SeedableRng: Sized {
+    /// Build an RNG from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Range sampling support trait: what `Rng::gen_range` accepts.
+pub trait SampleRange<T> {
+    /// Draw one value uniformly from the range.
+    fn sample<R: Rng + ?Sized>(self, rng: &mut R) -> T;
+}
+
+/// The user-facing RNG trait, mirroring the subset of `rand::Rng` the
+/// workspace uses.
+pub trait Rng {
+    /// Next raw 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Uniform draw from a range (`low..high` or `low..=high`).
+    fn gen_range<T, S: SampleRange<T>>(&mut self, range: S) -> T
+    where
+        Self: Sized,
+    {
+        range.sample(self)
+    }
+
+    /// Bernoulli draw: `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "probability out of range: {p}");
+        // 53 uniform mantissa bits, the standard float-in-[0,1) recipe.
+        let u = (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        u < p
+    }
+}
+
+macro_rules! impl_sample_uint {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for std::ops::Range<$t> {
+            fn sample<R: Rng + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "empty range");
+                let span = (self.end - self.start) as u64;
+                // Multiply-shift bounded sampling (Lemire); bias is
+                // < 2^-64 per draw, far below anything the calibration
+                // tests can observe.
+                let hi = ((rng.next_u64() as u128 * span as u128) >> 64) as u64;
+                self.start + hi as $t
+            }
+        }
+        impl SampleRange<$t> for std::ops::RangeInclusive<$t> {
+            fn sample<R: Rng + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = self.into_inner();
+                assert!(lo <= hi, "empty range");
+                if lo == <$t>::MIN && hi == <$t>::MAX {
+                    return rng.next_u64() as $t;
+                }
+                #[allow(unused_comparisons)]
+                let span = (hi - lo) as u64 + 1;
+                let draw = ((rng.next_u64() as u128 * span as u128) >> 64) as u64;
+                lo + draw as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_uint!(u8, u16, u32, u64, usize);
+
+impl SampleRange<f64> for std::ops::Range<f64> {
+    fn sample<R: Rng + ?Sized>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "empty range");
+        let u = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        self.start + u * (self.end - self.start)
+    }
+}
+
+/// Concrete RNG implementations.
+pub mod rngs {
+    use super::{Rng, SeedableRng};
+
+    /// Deterministic xoshiro256** generator (see module docs for the
+    /// compatibility caveat vs upstream `rand::rngs::StdRng`).
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // splitmix64 expansion, as recommended by the xoshiro authors.
+            let mut x = seed;
+            let mut next = || {
+                x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = x;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            StdRng {
+                s: [next(), next(), next(), next()],
+            }
+        }
+    }
+
+    impl Rng for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(8);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn gen_range_bounds() {
+        let mut r = StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let v = r.gen_range(10u64..20);
+            assert!((10..20).contains(&v));
+            let w = r.gen_range(0usize..=3);
+            assert!(w <= 3);
+        }
+    }
+
+    #[test]
+    fn gen_bool_calibration() {
+        let mut r = StdRng::seed_from_u64(2);
+        let hits = (0..100_000).filter(|_| r.gen_bool(0.25)).count();
+        let frac = hits as f64 / 100_000.0;
+        assert!((0.24..0.26).contains(&frac), "got {frac}");
+    }
+
+    #[test]
+    fn gen_range_uniformity_rough() {
+        let mut r = StdRng::seed_from_u64(3);
+        let mut buckets = [0u32; 8];
+        for _ in 0..80_000 {
+            buckets[r.gen_range(0usize..8)] += 1;
+        }
+        for &b in &buckets {
+            assert!((9_000..11_000).contains(&b), "skewed buckets: {buckets:?}");
+        }
+    }
+}

@@ -1,0 +1,20 @@
+//! Offline stub of the `serde` facade.
+//!
+//! The workspace annotates a few measurement types with
+//! `#[derive(Serialize)]` so they stay drop-in compatible with the real
+//! `serde` once network access exists, but nothing in-tree serializes —
+//! there is no `serde_json` and no `S: Serialize` bound anywhere. This
+//! stub therefore provides marker traits plus no-op derive macros (which
+//! also swallow `#[serde(...)]` helper attributes).
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`. Never implemented by the
+/// no-op derive and never required by any bound in this workspace.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}

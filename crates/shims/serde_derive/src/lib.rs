@@ -1,0 +1,24 @@
+//! Offline no-op `#[derive(Serialize)]` / `#[derive(Deserialize)]`.
+//!
+//! Nothing in this workspace actually serializes (there is no
+//! `serde_json` and no bound on `serde::Serialize` anywhere); the derives
+//! exist so types can keep their upstream-compatible annotations,
+//! including `#[serde(...)]` helper attributes. They expand to nothing.
+
+#![warn(missing_docs)]
+
+use proc_macro::TokenStream;
+
+/// No-op `Serialize` derive; accepts (and ignores) `#[serde(...)]`
+/// helper attributes.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `Deserialize` derive; accepts (and ignores) `#[serde(...)]`
+/// helper attributes.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

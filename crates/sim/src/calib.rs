@@ -239,6 +239,20 @@ pub const CPU_AES_BW: f64 = 2.0e9;
 /// deduplicated in software").
 pub const CPU_DEDUP_NS: u64 = 60;
 
+/// Client-side scatter–gather merge: per-row cost of the hash-based
+/// re-aggregation / dedup pass that combines partial results from a
+/// fleet of Farview nodes. Same mechanism as the §5.4 software dedup of
+/// overflow tuples, but the partial rows arrive sorted by shard and warm
+/// in cache (they were just reassembled from the wire), so the per-row
+/// cost sits between the hot hash-hit (`CPU_HASH_HIT_NS`) and the cold
+/// insert (`CPU_HASH_INSERT_NS`).
+pub const CLIENT_MERGE_ROW_NS: u64 = 40;
+
+/// Client-side memcpy bandwidth for concatenating shard payloads into
+/// one result buffer (streaming copy of data just written to client
+/// memory by the NIC; DDR4 single-core streaming rate).
+pub const CLIENT_CONCAT_BW: f64 = 12.0e9;
+
 /// Helper: the serialized-transfer time of `bytes` at `rate`, as used all
 /// over the baseline cost models.
 pub fn transfer(bytes: u64, rate: f64) -> SimDuration {
@@ -293,7 +307,10 @@ mod tests {
         // 8 kB: Farview must be faster by a sizeable margin.
         let fv_big = response(fv_fixed, FV_PER_PACKET, FV_NET_PEAK, 8192);
         let rnic_big = response(rnic_fixed, RNIC_PER_PACKET, RNIC_PCIE_PEAK, 8192);
-        assert!(fv_big < rnic_big, "FV must win 8 kB: {fv_big} vs {rnic_big}");
+        assert!(
+            fv_big < rnic_big,
+            "FV must win 8 kB: {fv_big} vs {rnic_big}"
+        );
         let ratio = rnic_big.as_nanos() as f64 / fv_big.as_nanos() as f64;
         assert!(ratio > 1.10, "FV advantage at 8 kB too small: {ratio:.3}");
     }

@@ -178,7 +178,10 @@ impl<M: 'static> Simulation<M> {
     pub fn run_to_quiescence(&mut self, max_events: u64) {
         let mut budget = max_events;
         while let Some(Reverse(ev)) = self.queue.pop() {
-            assert!(budget > 0, "simulation exceeded {max_events} events; livelock?");
+            assert!(
+                budget > 0,
+                "simulation exceeded {max_events} events; livelock?"
+            );
             budget -= 1;
             debug_assert!(ev.at >= self.now, "event queue produced time travel");
             self.now = ev.at;
@@ -278,10 +281,7 @@ mod tests {
         // Same-time events preserve injection order.
         assert_eq!(
             sink.arrivals,
-            vec![
-                (SimTime::from_nanos(110), 1),
-                (SimTime::from_nanos(110), 2)
-            ]
+            vec![(SimTime::from_nanos(110), 1), (SimTime::from_nanos(110), 2)]
         );
         let echo = sim.actor::<Echo>(echo).unwrap();
         assert_eq!(echo.served, 2);
@@ -298,7 +298,11 @@ mod tests {
                 served: 0,
             }));
             for i in 0..64 {
-                sim.inject(echo, SimDuration::from_nanos(u64::from(i % 5)), Msg::Ping(i));
+                sim.inject(
+                    echo,
+                    SimDuration::from_nanos(u64::from(i % 5)),
+                    Msg::Ping(i),
+                );
             }
             sim.run_to_quiescence(10_000);
             sim.actor::<Sink>(sink).unwrap().arrivals.clone()

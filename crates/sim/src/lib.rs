@@ -36,5 +36,5 @@ pub mod time;
 
 pub use engine::{Actor, ActorId, Context, Simulation};
 pub use queueing::{BandwidthServer, DrrScheduler};
-pub use stats::{Histogram, RunningStats};
+pub use stats::{Histogram, MergeCostModel, RunningStats};
 pub use time::{SimDuration, SimTime};

@@ -320,6 +320,10 @@ mod tests {
         drr.push(1, 1000, "b");
         let first = drr.pop().unwrap();
         let second = drr.pop().unwrap();
-        assert_eq!([first.0, second.0].iter().sum::<usize>(), 1, "each flow served once");
+        assert_eq!(
+            [first.0, second.0].iter().sum::<usize>(),
+            1,
+            "each flow served once"
+        );
     }
 }

@@ -8,7 +8,54 @@
 
 use serde::Serialize;
 
+use crate::calib;
 use crate::time::SimDuration;
+
+/// Cost model for the client-side scatter–gather merge step of a
+/// multi-node fleet query.
+///
+/// A fleet query fans out to N Farview nodes; each shard's episode runs
+/// in the discrete-event engine, and the client then combines the
+/// partial results in software. Two merge shapes exist:
+///
+/// * [`concat`](MergeCostModel::concat) — order-preserving
+///   concatenation of shard payloads (selection / projection / regex
+///   results under row-range partitioning): a streaming memcpy.
+/// * [`hash_merge`](MergeCostModel::hash_merge) — hash-based
+///   re-aggregation or dedup (`GROUP BY` partials, `DISTINCT` union):
+///   one hash probe/update per partial row plus the streaming copy.
+///
+/// The defaults come from [`calib`] and follow the same reasoning as the
+/// paper's §5.4 client-side software dedup of cuckoo overflow tuples.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MergeCostModel {
+    /// Hash probe/update cost per partial row, nanoseconds.
+    pub row_ns: u64,
+    /// Streaming copy bandwidth for payload bytes, bytes/second.
+    pub concat_bw: f64,
+}
+
+impl Default for MergeCostModel {
+    fn default() -> Self {
+        MergeCostModel {
+            row_ns: calib::CLIENT_MERGE_ROW_NS,
+            concat_bw: calib::CLIENT_CONCAT_BW,
+        }
+    }
+}
+
+impl MergeCostModel {
+    /// Time to concatenate `bytes` of shard payloads.
+    pub fn concat(&self, bytes: u64) -> SimDuration {
+        SimDuration::for_bytes(bytes, self.concat_bw)
+    }
+
+    /// Time to hash-merge `rows` partial rows spanning `bytes` of
+    /// payload.
+    pub fn hash_merge(&self, rows: u64, bytes: u64) -> SimDuration {
+        SimDuration::from_nanos(rows * self.row_ns) + self.concat(bytes)
+    }
+}
 
 /// Streaming mean/min/max/variance (Welford's algorithm).
 #[derive(Debug, Clone, Default, Serialize)]
@@ -210,6 +257,20 @@ mod tests {
         }
         assert_eq!(h.median(), Some(5.0));
         assert_eq!(h.len(), 3);
+    }
+
+    #[test]
+    fn merge_cost_model_scales() {
+        let m = MergeCostModel::default();
+        assert_eq!(m.concat(0), SimDuration::ZERO);
+        assert!(m.concat(1 << 20) > m.concat(1 << 10));
+        // Hash merge = per-row cost on top of the streaming copy.
+        let rows_cost = m.hash_merge(1000, 0);
+        assert_eq!(
+            rows_cost,
+            SimDuration::from_nanos(1000 * calib::CLIENT_MERGE_ROW_NS)
+        );
+        assert!(m.hash_merge(1000, 4096) > rows_cost);
     }
 
     #[test]

@@ -281,6 +281,9 @@ mod tests {
         assert_eq!(total.as_nanos(), 60);
         assert_eq!((total * 2).as_nanos(), 120);
         assert_eq!((total / 3).as_nanos(), 20);
-        assert_eq!(total.saturating_sub(SimDuration::from_nanos(100)), SimDuration::ZERO);
+        assert_eq!(
+            total.saturating_sub(SimDuration::from_nanos(100)),
+            SimDuration::ZERO
+        );
     }
 }

@@ -10,6 +10,10 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod fleet;
+
+pub use fleet::{FleetScenarioGen, TenantQuery, TenantWorkload};
+
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 

@@ -55,7 +55,10 @@ fn main() {
         &PredicateExpr::lt(0, SELECTIVITY_PIVOT),
         None,
     );
-    assert_eq!(out.payload, expected.payload, "decrypted results must match");
+    assert_eq!(
+        out.payload, expected.payload,
+        "decrypted results must match"
+    );
 
     // Decryption is free on the FPGA datapath: compare against the plain
     // read of the same size.

@@ -32,9 +32,18 @@ fn main() {
             &ft,
             vec![0],
             vec![
-                AggSpec { col: 1, func: AggFunc::Count },
-                AggSpec { col: 1, func: AggFunc::Sum },
-                AggSpec { col: 1, func: AggFunc::Avg },
+                AggSpec {
+                    col: 1,
+                    func: AggFunc::Count,
+                },
+                AggSpec {
+                    col: 1,
+                    func: AggFunc::Sum,
+                },
+                AggSpec {
+                    col: 1,
+                    func: AggFunc::Avg,
+                },
             ],
         )
         .expect("offloaded aggregation");
@@ -46,9 +55,7 @@ fn main() {
     );
     println!(
         "response time {}   bytes from memory {}   bytes on wire {}",
-        outcome.stats.response_time,
-        outcome.stats.bytes_from_memory,
-        outcome.stats.bytes_on_wire
+        outcome.stats.response_time, outcome.stats.bytes_from_memory, outcome.stats.bytes_on_wire
     );
     let reduction = outcome.stats.bytes_from_memory as f64 / outcome.stats.result_bytes as f64;
     println!("network data reduction: {reduction:.0}x");

@@ -76,7 +76,10 @@ fn main() {
         .expect("six outcomes");
     let skew = worst.as_nanos() as f64 / best.as_nanos() as f64;
     println!("fair-sharing skew (worst/best): {skew:.2}x");
-    assert!(skew < 1.3, "DRR must keep tenants within ~30% of each other");
+    assert!(
+        skew < 1.3,
+        "DRR must keep tenants within ~30% of each other"
+    );
 
     // The CPU comparison: six MPI-style processes on one socket contend
     // for DRAM and caches instead of being spatially isolated.

@@ -47,7 +47,8 @@ fn main() {
 
     println!(
         "fact rows scanned: {}   joined rows returned: {}",
-        out.stats.tuples_in, out.row_count()
+        out.stats.tuples_in,
+        out.row_count()
     );
     println!(
         "response time {}   bytes on wire {} (of a {} byte fact table)",
@@ -55,18 +56,25 @@ fn main() {
         out.stats.bytes_on_wire,
         ft.byte_len()
     );
-    println!("output schema: {:?}", out.schema.columns().iter().map(|c| c.name.as_str()).collect::<Vec<_>>());
+    println!(
+        "output schema: {:?}",
+        out.schema
+            .columns()
+            .iter()
+            .map(|c| c.name.as_str())
+            .collect::<Vec<_>>()
+    );
 
     // Cross-check against the CPU engine (filter then join).
-    let filtered = CpuEngine::new(BaselineKind::Lcpu).select(
-        &facts,
-        &PredicateExpr::gt(1, 400u64),
-        None,
-    );
+    let filtered =
+        CpuEngine::new(BaselineKind::Lcpu).select(&facts, &PredicateExpr::gt(1, 400u64), None);
     let filtered_table = fv_data::Table::from_bytes(facts.schema().clone(), filtered.payload);
     let cpu = CpuEngine::new(BaselineKind::Lcpu).join_small(&filtered_table, 0, &dim, 0);
     assert_eq!(out.payload, cpu.payload, "engines must agree");
-    println!("verified against the software join ({} rows)", cpu.row_count());
+    println!(
+        "verified against the software join ({} rows)",
+        cpu.row_count()
+    );
 
     let reduction = ft.byte_len() as f64 / out.stats.bytes_on_wire as f64;
     println!("network reduction from offloading filter+join: {reduction:.1}x");

@@ -55,9 +55,19 @@ fn main() {
     assert_eq!(fv.payload, lcpu.payload, "engines must agree");
 
     let selectivity = fv.row_count() as f64 / table.row_count() as f64 * 100.0;
-    println!("Q6-like scan over {} rows ({} KiB):", table.row_count(), ft.byte_len() / 1024);
-    println!("  selectivity: {selectivity:.1}% ({} rows survive)", fv.row_count());
-    println!("  Farview (offloaded, vectorized): {}", fv.stats.response_time);
+    println!(
+        "Q6-like scan over {} rows ({} KiB):",
+        table.row_count(),
+        ft.byte_len() / 1024
+    );
+    println!(
+        "  selectivity: {selectivity:.1}% ({} rows survive)",
+        fv.row_count()
+    );
+    println!(
+        "  Farview (offloaded, vectorized): {}",
+        fv.stats.response_time
+    );
     println!("  LCPU    (local buffer cache):    {}", lcpu.time);
     println!("  RCPU    (remote, two-sided):     {}", rcpu.time);
     println!(

@@ -1,0 +1,22 @@
+# Local mirror of .github/workflows/ci.yml (the build environment has no
+# CI runner; `just ci` is the full gate, `just verify` the tier-1 check).
+
+# Tier-1 verification: what the project gates on.
+verify:
+    cargo build --release
+    cargo test -q
+
+# Rustdoc with warnings denied.
+doc:
+    RUSTDOCFLAGS="-D warnings" cargo doc --no-deps
+
+# Formatting gate.
+fmt-check:
+    cargo fmt --check
+
+# Everything CI runs.
+ci: verify doc fmt-check
+
+# Reproduce every table/figure of the paper plus the scale-out sweep.
+figures:
+    cargo run -q --release -p fv-bench --bin figures all

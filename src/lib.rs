@@ -25,8 +25,17 @@
 //! assert!(outcome.stats.response_time > fv_sim::SimDuration::ZERO);
 //! ```
 //!
-//! See `DESIGN.md` for the system inventory and `EXPERIMENTS.md` for the
-//! paper-vs-measured record of every table and figure.
+//! Scaling out, a [`FarviewFleet`](farview_core::FarviewFleet) shards
+//! tables across many such nodes and fans queries out as parallel
+//! per-shard episodes with a client-side merge (scatter–gather); see
+//! `farview_core::fleet`.
+//!
+//! See `README.md` for the crate map and quickstart, and
+//! `docs/ARCHITECTURE.md` for how the paper's Figure-2 datapath maps
+//! onto the modules.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
 
 pub use farview_core as core;
 pub use fv_baseline as baseline;
@@ -42,8 +51,9 @@ pub use fv_workload as workload;
 /// The most commonly used items, re-exported flat.
 pub mod prelude {
     pub use farview_core::{
-        FarviewCluster, FarviewConfig, FvError, FTable, PipelineSpec, QPair, QueryOutcome,
-        QueryStats, SelectQuery,
+        FTable, FarviewCluster, FarviewConfig, FarviewFleet, FleetQPair, FleetQueryOutcome,
+        FleetTable, FvError, Partitioning, PipelineSpec, QPair, QueryOutcome, QueryStats,
+        SelectQuery, ShardMap,
     };
     pub use fv_baseline::{BaselineKind, CpuEngine};
     pub use fv_data::{Row, Schema, Table, Value};

@@ -54,11 +54,14 @@ fn heterogeneous_pipelines_run_concurrently() {
         .distinct_column(0, 32)
         .selectivity_column(1, 0.5)
         .build();
-    let fts: Vec<_> = qps.iter().map(|qp| qp.load_table(&table).unwrap().0).collect();
+    let fts: Vec<_> = qps
+        .iter()
+        .map(|qp| qp.load_table(&table).unwrap().0)
+        .collect();
 
-    let specs = [PipelineSpec::passthrough(),
-        PipelineSpec::passthrough()
-            .filter(PredicateExpr::lt(1, fv_workload::SELECTIVITY_PIVOT)),
+    let specs = [
+        PipelineSpec::passthrough(),
+        PipelineSpec::passthrough().filter(PredicateExpr::lt(1, fv_workload::SELECTIVITY_PIVOT)),
         PipelineSpec::passthrough().distinct(vec![0]),
         PipelineSpec::passthrough().group_by(
             vec![0],
@@ -66,7 +69,8 @@ fn heterogeneous_pipelines_run_concurrently() {
                 col: 2,
                 func: AggFunc::Count,
             }],
-        )];
+        ),
+    ];
     let requests = qps
         .iter()
         .zip(&fts)
@@ -85,7 +89,11 @@ fn heterogeneous_pipelines_run_concurrently() {
     assert_eq!(outs[2].row_count(), 32);
     assert_eq!(outs[3].row_count(), 32);
     let total: u64 = outs[3].rows().iter().map(|r| r.value(1).as_u64()).sum();
-    assert_eq!(total, table.row_count() as u64, "counts partition the table");
+    assert_eq!(
+        total,
+        table.row_count() as u64,
+        "counts partition the table"
+    );
 }
 
 #[test]

@@ -16,18 +16,16 @@ fn cluster() -> FarviewCluster {
 /// A random small table: `cols` u64 columns, values bounded so that
 /// predicates and groups are non-degenerate.
 fn arb_table(max_rows: usize, cols: usize, value_bound: u64) -> impl Strategy<Value = Table> {
-    prop::collection::vec(
-        prop::collection::vec(0..value_bound, cols),
-        1..=max_rows,
+    prop::collection::vec(prop::collection::vec(0..value_bound, cols), 1..=max_rows).prop_map(
+        move |rows| {
+            let schema = Schema::uniform_u64(cols);
+            let mut b = TableBuilder::with_capacity(schema, rows.len());
+            for r in rows {
+                b.push_values(r.into_iter().map(Value::U64).collect());
+            }
+            b.build()
+        },
     )
-    .prop_map(move |rows| {
-        let schema = Schema::uniform_u64(cols);
-        let mut b = TableBuilder::with_capacity(schema, rows.len());
-        for r in rows {
-            b.push_values(r.into_iter().map(Value::U64).collect());
-        }
-        b.build()
-    })
 }
 
 proptest! {

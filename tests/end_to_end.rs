@@ -24,17 +24,27 @@ fn full_lifecycle_alloc_write_query_free() {
     assert_eq!(out.payload, table.bytes());
     assert_eq!(out.stats.result_bytes, 128 << 10);
     assert_eq!(out.stats.bytes_from_memory, 128 << 10);
-    assert!(out.stats.bytes_on_wire > out.stats.result_bytes, "headers cost wire bytes");
+    assert!(
+        out.stats.bytes_on_wire > out.stats.result_bytes,
+        "headers cost wire bytes"
+    );
 
     qp.free_table(ft).unwrap();
-    assert_eq!(cluster.free_pages(), pages_before, "pages must return to the pool");
+    assert_eq!(
+        cluster.free_pages(),
+        pages_before,
+        "pages must return to the pool"
+    );
 }
 
 #[test]
 fn all_regions_assignable_and_recyclable() {
     let cluster = FarviewCluster::new(FarviewConfig::default());
     let qps: Vec<_> = (0..6).map(|_| cluster.connect().unwrap()).collect();
-    assert!(matches!(cluster.connect(), Err(FvError::NoFreeRegion { regions: 6 })));
+    assert!(matches!(
+        cluster.connect(),
+        Err(FvError::NoFreeRegion { regions: 6 })
+    ));
     drop(qps);
     // All six come back.
     let again: Vec<_> = (0..6).map(|_| cluster.connect().unwrap()).collect();
@@ -53,7 +63,10 @@ fn offloading_reduces_wire_traffic_proportionally() {
 
     let full = qp.table_read(&ft).unwrap();
     let sel = qp
-        .select(&ft, &SelectQuery::all_columns().and_lt(0, SELECTIVITY_PIVOT))
+        .select(
+            &ft,
+            &SelectQuery::all_columns().and_lt(0, SELECTIVITY_PIVOT),
+        )
         .unwrap();
     let wire_ratio = sel.stats.bytes_on_wire as f64 / full.stats.bytes_on_wire as f64;
     assert!(
@@ -101,11 +114,26 @@ fn group_by_matches_cpu_engine_exactly() {
     let (ft, _) = qp.load_table(&table).unwrap();
 
     let aggs = vec![
-        AggSpec { col: 1, func: AggFunc::Sum },
-        AggSpec { col: 1, func: AggFunc::Count },
-        AggSpec { col: 1, func: AggFunc::Min },
-        AggSpec { col: 1, func: AggFunc::Max },
-        AggSpec { col: 1, func: AggFunc::Avg },
+        AggSpec {
+            col: 1,
+            func: AggFunc::Sum,
+        },
+        AggSpec {
+            col: 1,
+            func: AggFunc::Count,
+        },
+        AggSpec {
+            col: 1,
+            func: AggFunc::Min,
+        },
+        AggSpec {
+            col: 1,
+            func: AggFunc::Max,
+        },
+        AggSpec {
+            col: 1,
+            func: AggFunc::Avg,
+        },
     ];
     let fv = qp.group_by(&ft, vec![0], aggs.clone()).unwrap();
     let cpu = CpuEngine::new(BaselineKind::Lcpu).group_by(&table, &[0], &aggs);
@@ -120,7 +148,10 @@ fn group_by_matches_cpu_engine_exactly() {
 fn regex_offload_matches_cpu_engine() {
     let cluster = small_cluster();
     let qp = cluster.connect().unwrap();
-    let table = StringTableGen::new(500, 64).seed(5).match_fraction(0.3).build();
+    let table = StringTableGen::new(500, 64)
+        .seed(5)
+        .match_fraction(0.3)
+        .build();
     let (ft, _) = qp.load_table(&table).unwrap();
     let fv = qp.regex_match(&ft, 1, REGEX_PATTERN).unwrap();
     let cpu = CpuEngine::new(BaselineKind::Lcpu).regex_match(&table, 1, REGEX_PATTERN);
@@ -135,8 +166,14 @@ fn encrypted_pipeline_composition() {
     // AND ciphertext on the wire; only the client can read the result.
     let cluster = small_cluster();
     let qp = cluster.connect().unwrap();
-    let rest_key = CryptoSpec { key: [1; 16], iv: [2; 16] };
-    let wire_key = CryptoSpec { key: [3; 16], iv: [4; 16] };
+    let rest_key = CryptoSpec {
+        key: [1; 16],
+        iv: [2; 16],
+    };
+    let wire_key = CryptoSpec {
+        key: [3; 16],
+        iv: [4; 16],
+    };
 
     let plain = TableGen::paper_default(64 << 10).seed(6).build();
     let encrypted = encrypt_table(&plain, &rest_key.key, &rest_key.iv);
@@ -151,13 +188,13 @@ fn encrypted_pipeline_composition() {
     // Decrypt the wire stream client-side.
     let mut result = out.payload.clone();
     fv_crypto::ctr_apply_at(&wire_key.key, &wire_key.iv, 0, &mut result);
-    let expected = CpuEngine::new(BaselineKind::Lcpu).select(
-        &plain,
-        &PredicateExpr::lt(0, 1u64 << 62),
-        None,
-    );
+    let expected =
+        CpuEngine::new(BaselineKind::Lcpu).select(&plain, &PredicateExpr::lt(0, 1u64 << 62), None);
     assert_eq!(result, expected.payload);
-    assert_ne!(out.payload, expected.payload, "wire payload must be ciphertext");
+    assert_ne!(
+        out.payload, expected.payload,
+        "wire payload must be ciphertext"
+    );
 }
 
 #[test]
@@ -200,7 +237,10 @@ fn smart_addressing_equals_standard_projection() {
                 .with_smart_addressing(),
         )
         .unwrap();
-    assert_eq!(std_out.payload, sa_out.payload, "SA must be a pure optimization");
+    assert_eq!(
+        std_out.payload, sa_out.payload,
+        "SA must be a pure optimization"
+    );
     assert!(
         sa_out.stats.bytes_from_memory < std_out.stats.bytes_from_memory,
         "SA must read fewer bytes: {} vs {}",

@@ -1,0 +1,129 @@
+//! Property-based shard-merge correctness: a fleet of N nodes and a
+//! single node are two routes to the same query semantics. Under
+//! row-range partitioning the merged fleet result must be
+//! **byte-identical** to the single node's for selection, `DISTINCT`
+//! and `GROUP BY` over the same rows; under hash partitioning the
+//! results must be set-equal with every group computed whole on one
+//! shard.
+
+use proptest::prelude::*;
+
+use farview::prelude::*;
+use farview_core::{AggFunc, AggSpec, PredicateExpr};
+use fv_data::{Schema, Table, TableBuilder, Value};
+
+/// A random small table: `cols` u64 columns, bounded values so groups
+/// and predicates are non-degenerate, and sums stay exactly
+/// representable in `f64` (the AVG merge divides a sum of shard sums).
+fn arb_table(max_rows: usize, cols: usize, value_bound: u64) -> impl Strategy<Value = Table> {
+    prop::collection::vec(prop::collection::vec(0..value_bound, cols), 1..=max_rows).prop_map(
+        move |rows| {
+            let schema = Schema::uniform_u64(cols);
+            let mut b = TableBuilder::with_capacity(schema, rows.len());
+            for r in rows {
+                b.push_values(r.into_iter().map(Value::U64).collect());
+            }
+            b.build()
+        },
+    )
+}
+
+fn single_node(table: &Table, spec: &PipelineSpec) -> QueryOutcome {
+    let c = FarviewCluster::new(FarviewConfig::tiny());
+    let qp = c.connect().unwrap();
+    let (ft, _) = qp.load_table(table).unwrap();
+    qp.far_view(&ft, spec).unwrap()
+}
+
+fn fleet(nodes: usize, table: &Table, part: Partitioning, spec: &PipelineSpec) -> QueryOutcome {
+    let f = FarviewFleet::new(nodes, FarviewConfig::tiny());
+    let qp = f.connect().unwrap();
+    let (ft, _) = qp.load_table(table, part).unwrap();
+    qp.far_view(&ft, spec).unwrap().merged
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Selection (and the plain read) concatenate back into single-node
+    /// row order under row-range partitioning, for any fleet size.
+    #[test]
+    fn select_is_byte_identical(
+        table in arb_table(200, 3, 1000),
+        threshold in 0u64..1000,
+        nodes in 2usize..6,
+    ) {
+        let spec = PipelineSpec::passthrough().filter(PredicateExpr::lt(0, threshold));
+        let single = single_node(&table, &spec);
+        let merged = fleet(nodes, &table, Partitioning::RowRange, &spec);
+        prop_assert_eq!(merged.payload, single.payload);
+
+        let read = PipelineSpec::passthrough();
+        prop_assert_eq!(
+            fleet(nodes, &table, Partitioning::RowRange, &read).payload,
+            table.bytes().to_vec()
+        );
+    }
+
+    /// DISTINCT: the order-preserving union over contiguous shards
+    /// reproduces the single node's first-seen flush order exactly.
+    #[test]
+    fn distinct_is_byte_identical(
+        table in arb_table(300, 2, 48),
+        nodes in 2usize..6,
+    ) {
+        let spec = PipelineSpec::passthrough().distinct(vec![0]);
+        let single = single_node(&table, &spec);
+        let merged = fleet(nodes, &table, Partitioning::RowRange, &spec);
+        prop_assert_eq!(merged.payload, single.payload);
+    }
+
+    /// GROUP BY with every aggregate function: partial re-aggregation
+    /// across shards reproduces the single node byte-for-byte, including
+    /// the AVG → SUMF64+COUNT rewrite.
+    #[test]
+    fn group_by_is_byte_identical(
+        table in arb_table(250, 3, 64),
+        func in prop::sample::select(vec![
+            AggFunc::Count, AggFunc::Sum, AggFunc::Min, AggFunc::Max, AggFunc::Avg,
+        ]),
+        nodes in 2usize..6,
+    ) {
+        let spec = PipelineSpec::passthrough()
+            .group_by(vec![0], vec![AggSpec { col: 2, func }]);
+        let single = single_node(&table, &spec);
+        let merged = fleet(nodes, &table, Partitioning::RowRange, &spec);
+        prop_assert_eq!(merged.payload, single.payload, "func {:?}", func);
+        prop_assert_eq!(merged.schema, single.schema);
+    }
+
+    /// Hash partitioning trades row order for key co-location: results
+    /// are set-equal to the single node's, and the shards together flush
+    /// exactly one group per distinct key.
+    #[test]
+    fn key_hash_group_by_is_set_equal(
+        table in arb_table(300, 2, 32),
+        nodes in 2usize..5,
+    ) {
+        let spec = PipelineSpec::passthrough()
+            .group_by(vec![0], vec![AggSpec { col: 1, func: AggFunc::Sum }]);
+        let single = single_node(&table, &spec);
+
+        let f = FarviewFleet::new(nodes, FarviewConfig::tiny());
+        let qp = f.connect().unwrap();
+        let (ft, _) = qp.load_table(&table, Partitioning::KeyHash(0)).unwrap();
+        let out = qp.far_view(&ft, &spec).unwrap();
+
+        let sorted_rows = |o: &QueryOutcome| {
+            let mut v: Vec<Vec<u8>> = o
+                .payload
+                .chunks_exact(o.schema.row_bytes())
+                .map(<[u8]>::to_vec)
+                .collect();
+            v.sort();
+            v
+        };
+        prop_assert_eq!(sorted_rows(&out.merged), sorted_rows(&single));
+        prop_assert_eq!(out.merged.stats.groups_flushed, single.stats.groups_flushed);
+    }
+}

@@ -15,9 +15,7 @@ use fv_sim::DrrScheduler;
 
 /// Random patterns from a small grammar the oracle handles comfortably.
 fn arb_pattern() -> impl Strategy<Value = String> {
-    let atom = prop::sample::select(vec![
-        "a", "b", "c", ".", "[ab]", "[^a]", "(a|b)", "(bc)",
-    ]);
+    let atom = prop::sample::select(vec!["a", "b", "c", ".", "[ab]", "[^a]", "(a|b)", "(bc)"]);
     let repeat = prop::sample::select(vec!["", "*", "+", "?", "{1,2}"]);
     prop::collection::vec((atom, repeat), 1..5).prop_map(|parts| {
         parts
