@@ -12,10 +12,10 @@ use std::process::ExitCode;
 
 use fv_bench::{
     all_figures, fig10, fig11a, fig11b, fig12, fig6a, fig6b, fig7, fig8, fig9a, fig9b, fig9c,
-    scaleout, table1, Figure,
+    qdepth, scaleout, table1, Figure,
 };
 
-const USAGE: &str = "usage: figures <table1|fig6a|fig6b|fig7|fig8a|fig8b|fig8c|fig9a|fig9b|fig9c|fig10|fig11a|fig11b|fig12|scaleout|all> [--csv]";
+const USAGE: &str = "usage: figures <table1|fig6a|fig6b|fig7|fig8a|fig8b|fig8c|fig9a|fig9b|fig9c|fig10|fig11a|fig11b|fig12|scaleout|qdepth|all> [--csv]";
 
 fn one(id: &str) -> Option<Figure> {
     Some(match id {
@@ -33,6 +33,7 @@ fn one(id: &str) -> Option<Figure> {
         "fig11b" => fig11b(),
         "fig12" => fig12(),
         "scaleout" => scaleout(),
+        "qdepth" => qdepth(),
         _ => return None,
     })
 }

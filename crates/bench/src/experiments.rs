@@ -9,8 +9,8 @@ use fv_data::Table;
 use fv_net::NicKind;
 use fv_sim::{Histogram, SimDuration};
 use fv_workload::{
-    encrypt_table, FleetScenarioGen, StringTableGen, TableGen, TenantQuery, REGEX_PATTERN,
-    SELECTIVITY_PIVOT,
+    encrypt_table, ClosedLoopGen, FleetScenarioGen, StringTableGen, TableGen, TenantQuery,
+    REGEX_PATTERN, SELECTIVITY_PIVOT,
 };
 
 use crate::figure::Figure;
@@ -632,6 +632,94 @@ pub fn scaleout() -> Figure {
     f
 }
 
+// ---------------------------------------------------------------------------
+// Queue depth: doorbell-batched pipelined episodes (beyond the paper)
+// ---------------------------------------------------------------------------
+
+/// Queue depths swept by the `qdepth` experiment.
+pub const QUEUE_DEPTHS: [usize; 5] = [1, 2, 4, 8, 16];
+
+/// Queries the closed-loop client issues per depth setting.
+const QDEPTH_QUERIES: usize = 32;
+
+/// Queue-depth sweep: a closed-loop client keeps N `farView` verbs in
+/// flight on one queue pair via doorbell-batched submission
+/// (`QPair::far_view_batch`), N ∈ {1, 2, 4, 8, 16}.
+///
+/// The table is small enough (16 kB) that per-query fixed costs —
+/// doorbell, request parse, DRAM first access, pipeline fill — dominate
+/// a solo run, which is exactly where batching pays: one doorbell is
+/// amortized over N WQEs and the node overlaps the in-flight verbs, so
+/// throughput climbs with depth while per-query latency grows only by
+/// the in-batch queueing. Results are asserted byte-identical to the
+/// depth-1 run at every depth.
+pub fn qdepth() -> Figure {
+    let mut f = Figure::new(
+        "qdepth",
+        "Closed-loop queue-depth sweep, doorbell-batched farView",
+        "queue depth",
+        "throughput [queries/s] · latency [us]",
+    );
+    // Tenant-shaped table: c0 = group key, c1 = calibrated selectivity,
+    // c2 = aggregation payload (what `tenant_query_spec` expects).
+    let table = TableGen::new(8, 256)
+        .seed(21)
+        .distinct_column(0, 32)
+        .selectivity_column(1, 0.5)
+        .sequential_column(2)
+        .build();
+    let c = cluster();
+    let qp = c.connect().expect("region");
+    let ft = load(&qp, &table);
+
+    // One query stream for every depth (the generator is depth-invariant
+    // for a fixed seed), lowered once.
+    let specs: Vec<PipelineSpec> = ClosedLoopGen::new(QDEPTH_QUERIES)
+        .seed(17)
+        .build()
+        .flat()
+        .iter()
+        .map(tenant_query_spec)
+        .collect();
+    let reference: Vec<Vec<u8>> = specs
+        .iter()
+        .map(|s| qp.far_view(&ft, s).expect("solo query").payload)
+        .collect();
+
+    let mut throughput = Vec::new();
+    let mut p50 = Vec::new();
+    let mut p99 = Vec::new();
+    for &depth in &QUEUE_DEPTHS {
+        let mut hist = Histogram::new();
+        let mut busy = SimDuration::ZERO;
+        let mut payloads: Vec<Vec<u8>> = Vec::with_capacity(specs.len());
+        for batch in specs.chunks(depth) {
+            let outs = qp.far_view_batch(&ft, batch).expect("batched episode");
+            let makespan = outs
+                .iter()
+                .map(|o| o.stats.response_time)
+                .fold(SimDuration::ZERO, SimDuration::max);
+            busy += makespan;
+            for o in outs {
+                hist.record_duration(o.stats.response_time);
+                payloads.push(o.payload);
+            }
+        }
+        assert_eq!(
+            payloads, reference,
+            "depth {depth} changed query results — batching must be invisible"
+        );
+        let x = depth as f64;
+        throughput.push((x, QDEPTH_QUERIES as f64 / busy.as_secs_f64()));
+        p50.push((x, hist.median().expect("samples")));
+        p99.push((x, hist.quantile(0.99).expect("samples")));
+    }
+    f.push_series("throughput [q/s]", throughput);
+    f.push_series("p50 [us]", p50);
+    f.push_series("p99 [us]", p99);
+    f
+}
+
 /// Every figure in evaluation order (the `figures all` command), plus
 /// the scale-out experiment.
 pub fn all_figures() -> Vec<Figure> {
@@ -650,6 +738,7 @@ pub fn all_figures() -> Vec<Figure> {
         fig11b(),
         fig12(),
         scaleout(),
+        qdepth(),
     ]
 }
 
@@ -764,6 +853,36 @@ mod tests {
             tp[0].1
         );
         assert!(p99.last().unwrap().1 < p99[0].1, "p99 must drop with nodes");
+    }
+
+    #[test]
+    fn qdepth_batching_pays_and_stays_exact() {
+        let f = qdepth();
+        let tp = &f.series("throughput [q/s]").unwrap().points;
+        let p50 = &f.series("p50 [us]").unwrap().points;
+        assert_eq!(
+            tp.iter().map(|p| p.0 as usize).collect::<Vec<_>>(),
+            QUEUE_DEPTHS.to_vec()
+        );
+        // Acceptance: depth-8 throughput ≥ 1.5× depth-1 on the default
+        // calibration (byte-identity is asserted inside qdepth()).
+        let tp_at = |d: usize| {
+            tp.iter()
+                .find(|p| p.0 as usize == d)
+                .expect("depth present")
+                .1
+        };
+        assert!(
+            tp_at(8) >= 1.5 * tp_at(1),
+            "depth-8 throughput {} must be ≥ 1.5× depth-1 {}",
+            tp_at(8),
+            tp_at(1)
+        );
+        // Deeper batches trade per-query latency for throughput: p50 at
+        // depth 16 must exceed the solo p50 (in-batch queueing is real).
+        assert!(p50.last().unwrap().1 > p50[0].1);
+        // And the first depth step already helps.
+        assert!(tp_at(2) > tp_at(1));
     }
 
     #[test]

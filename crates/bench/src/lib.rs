@@ -23,7 +23,9 @@
 //! Beyond the paper, [`scaleout`] sweeps a multi-node [`FarviewFleet`]
 //! (1 → 8 nodes) under the multi-tenant scatter–gather mix from
 //! `fv_workload::FleetScenarioGen`, reporting throughput and p50/p99
-//! response time per node count.
+//! response time per node count; [`qdepth`] sweeps a closed-loop
+//! client's queue depth (1 → 16) through doorbell-batched `farView`
+//! submission, reporting throughput and p50/p99 per depth.
 //!
 //! [`FarviewFleet`]: farview_core::FarviewFleet
 

@@ -26,6 +26,14 @@ use crate::config::FarviewConfig;
 use crate::episode::{self, PreparedQuery};
 use crate::error::FvError;
 
+/// Bits reserved in a stream id for the WQE index of a doorbell batch:
+/// stream id = `qp << QP_STREAM_BITS | wqe`.
+const QP_STREAM_BITS: u32 = 10;
+
+/// Deepest doorbell batch one queue pair can post (send-queue length);
+/// bounded so batched stream ids never collide across queue pairs.
+pub const MAX_QUEUE_DEPTH: usize = 1 << QP_STREAM_BITS;
+
 /// Per-query statistics, the unit every figure in `EXPERIMENTS.md` is
 /// built from.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -306,7 +314,7 @@ impl FarviewCluster {
             metas.push((schema, reconf));
         }
         let config = inner.config.clone();
-        let results = episode::run_episode(prepared, &config);
+        let results = episode::run_episode(prepared, &config)?;
         Ok(results
             .into_iter()
             .zip(metas)
@@ -577,8 +585,52 @@ impl QPair {
         let mut inner = self.inner.lock();
         let (prepared, schema, reconf) = prepare(&mut inner, self, ft, spec.clone())?;
         let config = inner.config.clone();
-        let result = episode::run_episode(vec![prepared], &config).remove(0);
+        let result = episode::run_episode(vec![prepared], &config)?.remove(0);
         Ok(finish_outcome(result, schema, reconf))
+    }
+
+    /// The `farView` verb at queue depth N: post every spec in `specs`
+    /// as one doorbell-batched submission on this queue pair and run the
+    /// whole batch as a single pipelined episode.
+    ///
+    /// One doorbell is rung for the batch; the node overlaps the verbs'
+    /// request processing, DRAM reads and operator execution, so the
+    /// batch makespan is far below the serial sum of solo queries while
+    /// every result stays byte-identical to its solo run. Outcomes are
+    /// returned in post order.
+    pub fn far_view_batch(
+        &self,
+        ft: &FTable,
+        specs: &[PipelineSpec],
+    ) -> Result<Vec<QueryOutcome>, FvError> {
+        self.check_table(ft)?;
+        if specs.is_empty() {
+            return Ok(Vec::new());
+        }
+        assert!(
+            specs.len() <= MAX_QUEUE_DEPTH,
+            "queue depth {} exceeds the send queue's {MAX_QUEUE_DEPTH} WQEs",
+            specs.len()
+        );
+        let mut inner = self.inner.lock();
+        let mut queries = Vec::with_capacity(specs.len());
+        let mut metas = Vec::with_capacity(specs.len());
+        for (i, spec) in specs.iter().enumerate() {
+            let (mut p, schema, reconf) = prepare(&mut inner, self, ft, spec.clone())?;
+            // Each WQE's response is its own stream on the shared flow.
+            p.qp = (self.qp << QP_STREAM_BITS) | i as u32;
+            metas.push((schema, reconf));
+            queries.push(p);
+        }
+        let config = inner.config.clone();
+        let results =
+            episode::run_batched_episodes(vec![episode::BatchRun::new(queries)], &config)?
+                .remove(0);
+        Ok(results
+            .into_iter()
+            .zip(metas)
+            .map(|(r, (schema, reconf))| finish_outcome(r, schema, reconf))
+            .collect())
     }
 
     /// `tableRead`: plain RDMA read of the whole table through the
@@ -819,6 +871,39 @@ mod tests {
         // Concurrent runs share the wire: slower than solo.
         let solo = a.table_read(&fta).unwrap();
         assert!(outs[0].stats.response_time > solo.stats.response_time);
+    }
+
+    #[test]
+    fn far_view_batch_matches_solo_queries() {
+        let c = cluster();
+        let qp = c.connect().unwrap();
+        let t = make_table(512);
+        let (ft, _) = qp.load_table(&t).unwrap();
+        let specs: Vec<PipelineSpec> = (0..8u64)
+            .map(|i| {
+                PipelineSpec::passthrough().filter(PredicateExpr::lt(0, (i + 1) * 8 * 512 / 8))
+            })
+            .collect();
+        let solo: Vec<QueryOutcome> = specs.iter().map(|s| qp.far_view(&ft, s).unwrap()).collect();
+        let batch = qp.far_view_batch(&ft, &specs).unwrap();
+        assert_eq!(batch.len(), solo.len());
+        for (b, s) in batch.iter().zip(&solo) {
+            assert_eq!(b.payload, s.payload, "batched result must match solo");
+            assert_eq!(b.schema, s.schema);
+        }
+        // Pipelining: the batch makespan beats running the queries back
+        // to back.
+        let serial: SimDuration = solo.iter().map(|o| o.stats.response_time).sum();
+        let makespan = batch
+            .iter()
+            .map(|o| o.stats.response_time)
+            .fold(SimDuration::ZERO, SimDuration::max);
+        assert!(
+            makespan < serial,
+            "batch must pipeline: makespan {makespan} vs serial {serial}"
+        );
+        // Depth 0 is a no-op, not an error.
+        assert!(qp.far_view_batch(&ft, &[]).unwrap().is_empty());
     }
 
     #[test]

@@ -21,15 +21,18 @@ use std::collections::HashMap;
 use bytes::Bytes;
 
 use fv_mem::BurstReq;
-use fv_net::{EgressArbiter, LinkTiming, NicKind, Packet, PacketKind, Reassembly};
+use fv_net::{
+    DoorbellBatch, EgressArbiter, LinkTiming, NetError, NicKind, Packet, PacketKind, Reassembly,
+};
 use fv_pipeline::{CompiledPipeline, PipelineStats};
 use fv_sim::calib::{
-    self, CLIENT_COMPLETE, CLIENT_POST, DRAM_ACCESS_LATENCY, FV_REQ_PROC, OP_CLOCK_HZ,
-    PACKET_BYTES, PIPELINE_RATE, SMART_ADDR_TUPLE, TLB_MISS_PENALTY, WIRE_ONE_WAY,
+    self, CLIENT_COMPLETE, CLIENT_POST, DRAM_ACCESS_LATENCY, FV_REQ_OCCUPANCY, FV_REQ_PROC,
+    OP_CLOCK_HZ, PACKET_BYTES, PIPELINE_RATE, SMART_ADDR_TUPLE, TLB_MISS_PENALTY, WIRE_ONE_WAY,
 };
 use fv_sim::{Actor, ActorId, BandwidthServer, Context, SimDuration, SimTime, Simulation};
 
 use crate::config::FarviewConfig;
+use crate::error::FvError;
 
 /// Everything the node needs to run one query: the loaded pipeline, the
 /// burst schedule, and the raw bytes in stream order (pre-gathered for
@@ -103,7 +106,9 @@ struct QueryRun {
     next_feed: usize,
     /// Total burst/chunk count for this query.
     total_chunks: usize,
-    pipeline_server: BandwidthServer,
+    /// Vector lanes of this query's pipeline (scales the shared region
+    /// pipeline server's per-chunk cost).
+    lanes: u64,
     first_output: bool,
     next_seq: u32,
     /// Packets staged but not yet credited/arbitrated.
@@ -140,11 +145,23 @@ struct NodeActor {
     /// that give every region a fair DRAM share.
     channel_queues: Vec<fv_sim::DrrScheduler<(u32, usize, u64)>>,
     channel_busy: Vec<bool>,
+    /// One serialized operator pipeline per dynamic region. Queries of a
+    /// doorbell batch share their region's pipeline, so while one query's
+    /// output drains to the wire the next query's chunks are already
+    /// streaming through — the overlap that makes batching pay.
+    slot_pipelines: Vec<BandwidthServer>,
+    /// Serial per-request occupancy of the FPGA network stack: many
+    /// in-flight verbs pipeline through it instead of each paying the
+    /// full parse latency back to back.
+    net_ingress: BandwidthServer,
     wire: LinkTiming,
     arbiter: EgressArbiter,
     clients: HashMap<u32, ActorId>,
     credit_budget: u32,
     egress_scheduled: bool,
+    /// First datapath error observed (surfaced after quiescence instead
+    /// of crashing the episode mid-simulation).
+    failed: Option<NetError>,
 }
 
 impl NodeActor {
@@ -178,14 +195,19 @@ impl NodeActor {
     }
 
     /// Move credited packets from the run's ready queue into the DRR
-    /// arbiter (credit-based flow control, §4.3).
+    /// arbiter (credit-based flow control, §4.3). A routing failure
+    /// (unbound flow) is recorded and surfaced after the run instead of
+    /// crashing the episode.
     fn admit_credited(&mut self, qp: u32) {
         let run = self.runs.get_mut(&qp).expect("known qp");
         while run.outstanding < self.credit_budget {
             match run.ready_queue.pop_front() {
                 Some(pkt) => {
                     run.outstanding += 1;
-                    self.arbiter.push(pkt);
+                    if let Err(e) = self.arbiter.push(pkt) {
+                        self.failed.get_or_insert(e);
+                        return;
+                    }
                 }
                 None => break,
             }
@@ -204,6 +226,10 @@ impl Actor<Msg> for NodeActor {
     fn on_message(&mut self, msg: Msg, ctx: &mut Context<'_, Msg>) {
         match msg {
             Msg::Request { qp } => {
+                // In-flight verbs pipeline through the network stack: the
+                // serial portion is its occupancy, the rest of the parse
+                // latency overlaps with the next verb's handling.
+                let ingress_done = self.net_ingress.admit(ctx.now(), 0);
                 let run = self.runs.get_mut(&qp).expect("unknown qp in request");
                 // A join's build side rides with the request: it must
                 // cross the wire and land in on-chip memory before the
@@ -215,7 +241,8 @@ impl Actor<Msg> for NodeActor {
                 } else {
                     SimDuration::ZERO
                 };
-                let t_ready = ctx.now() + FV_REQ_PROC + upload_time;
+                let t_ready =
+                    ingress_done + FV_REQ_PROC.saturating_sub(FV_REQ_OCCUPANCY) + upload_time;
                 if run.q.data.is_empty() {
                     // Empty table: the sender still emits a FIN so the
                     // client can complete (§5.5).
@@ -318,13 +345,17 @@ impl Actor<Msg> for NodeActor {
                 let mut ready = ctx.now();
                 let mut fed_any = false;
                 let mut finished = false;
+                let pipeline = &mut self.slot_pipelines[run.q.slot];
                 while run.arrived.remove(&run.next_feed) {
                     let chunk_len = run.chunk_len(run.next_feed);
                     let start = run.cursor;
                     run.cursor += chunk_len;
                     let chunk = run.q.data[start..run.cursor].to_vec();
                     run.q.pipeline.push_bytes(&chunk);
-                    let done = run.pipeline_server.admit(ready, chunk_len as u64);
+                    // The region's pipeline is a shared serialized
+                    // resource; vector lanes divide the per-chunk cost.
+                    let cost = (chunk_len as u64).div_ceil(run.lanes);
+                    let done = pipeline.admit(ready, cost);
                     ready = done;
                     fed_any = true;
                     run.next_feed += 1;
@@ -430,44 +461,112 @@ impl Actor<Msg> for ClientActor {
     }
 }
 
+/// One doorbell-batched submission: a queue depth of N prepared queries
+/// posted on one queue pair and issued with a single doorbell.
+///
+/// All queries of a batch share the queue pair's dynamic-region slot —
+/// they stream through the *same* region pipeline, and their response
+/// streams share the region's egress flow, so arbitration stays
+/// byte-fair across batches (one batch never out-shares a plain
+/// connection just by being deep). Each query carries its own stream id
+/// in [`PreparedQuery::qp`]; ids must be unique across the episode.
+pub struct BatchRun {
+    /// The batched queries, in WQE post order.
+    pub queries: Vec<PreparedQuery>,
+}
+
+impl BatchRun {
+    /// A batch over `queries` (at least one; all on one slot).
+    pub fn new(queries: Vec<PreparedQuery>) -> Self {
+        assert!(!queries.is_empty(), "a doorbell batch needs ≥ 1 query");
+        let slot = queries[0].slot;
+        assert!(
+            queries.iter().all(|q| q.slot == slot),
+            "a batch rides one queue pair: all queries must share its slot"
+        );
+        BatchRun { queries }
+    }
+
+    /// Queue depth of this batch.
+    pub fn depth(&self) -> usize {
+        self.queries.len()
+    }
+}
+
 /// Run `queries` concurrently against one node and return per-query
-/// results (ordered as given).
-pub fn run_episode(queries: Vec<PreparedQuery>, config: &FarviewConfig) -> Vec<EpisodeResult> {
+/// results (ordered as given). Each query is its own depth-1 doorbell
+/// batch — the multi-client shape of Figure 12.
+///
+/// # Errors
+/// [`FvError::IncompleteEpisode`] when a query drains without
+/// completing, [`FvError::Net`] on a datapath routing failure.
+pub fn run_episode(
+    queries: Vec<PreparedQuery>,
+    config: &FarviewConfig,
+) -> Result<Vec<EpisodeResult>, FvError> {
+    let batches = queries
+        .into_iter()
+        .map(|q| BatchRun::new(vec![q]))
+        .collect();
+    Ok(run_batched_episodes(batches, config)?
+        .into_iter()
+        .flatten()
+        .collect())
+}
+
+/// Run doorbell-batched submissions concurrently against one node.
+///
+/// Every batch posts its queue depth of verbs with one doorbell: WQE `i`
+/// of a batch reaches the wire at [`DoorbellBatch::issue_offset`]`(i)`,
+/// the node's network stack pipelines the verbs through its serial
+/// occupancy, and the batch's queries overlap shard-side operator
+/// execution with each other's in-flight DRAM reads — response time
+/// reflects pipelining, not a serial sum. Results are returned per batch
+/// in post order.
+///
+/// # Errors
+/// [`FvError::IncompleteEpisode`] names the stream whose episode drained
+/// without a completion (the shard/query a fleet caller should report as
+/// stalled); [`FvError::Net`] surfaces datapath routing failures.
+pub fn run_batched_episodes(
+    batches: Vec<BatchRun>,
+    config: &FarviewConfig,
+) -> Result<Vec<Vec<EpisodeResult>>, FvError> {
     config.validate();
     let mut sim: Simulation<Msg> = Simulation::new();
 
-    let qps: Vec<u32> = queries.iter().map(|q| q.qp).collect();
+    let batch_qps: Vec<Vec<u32>> = batches
+        .iter()
+        .map(|b| b.queries.iter().map(|q| q.qp).collect())
+        .collect();
     let mut arbiter = EgressArbiter::new(config.regions);
-    for q in &queries {
-        arbiter.bind(q.slot, q.qp);
-    }
-
     let mut runs = HashMap::new();
-    for q in queries {
-        let lanes = q.vector_lanes.max(1);
-        runs.insert(
-            q.qp,
-            QueryRun {
-                pipeline_server: BandwidthServer::new(
-                    PIPELINE_RATE * lanes as f64,
-                    SimDuration::ZERO,
-                ),
-                cursor: 0,
-                arrived: std::collections::BTreeSet::new(),
-                next_feed: 0,
-                total_chunks: 0,
-                first_output: true,
-                next_seq: 0,
-                staged: Vec::new(),
-                ready_queue: std::collections::VecDeque::new(),
-                outstanding: 0,
-                fin_emitted: false,
-                packets_sent: 0,
-                wire_bytes: 0,
-                pending_tail: Vec::new(),
-                q,
-            },
-        );
+    for batch in batches {
+        for q in batch.queries {
+            arbiter.bind(q.slot, q.qp);
+            let lanes = q.vector_lanes.max(1);
+            let prev = runs.insert(
+                q.qp,
+                QueryRun {
+                    cursor: 0,
+                    arrived: std::collections::BTreeSet::new(),
+                    next_feed: 0,
+                    total_chunks: 0,
+                    lanes,
+                    first_output: true,
+                    next_seq: 0,
+                    staged: Vec::new(),
+                    ready_queue: std::collections::VecDeque::new(),
+                    outstanding: 0,
+                    fin_emitted: false,
+                    packets_sent: 0,
+                    wire_bytes: 0,
+                    pending_tail: Vec::new(),
+                    q,
+                },
+            );
+            assert!(prev.is_none(), "stream ids must be unique per episode");
+        }
     }
 
     // Reserve actor id 0 for the node by adding it first with an empty
@@ -479,59 +578,81 @@ pub fn run_episode(queries: Vec<PreparedQuery>, config: &FarviewConfig) -> Vec<E
             .map(|_| fv_sim::DrrScheduler::new(config.regions, calib::MEM_BURST_BYTES))
             .collect(),
         channel_busy: vec![false; config.channels],
+        slot_pipelines: (0..config.regions)
+            .map(|_| BandwidthServer::new(PIPELINE_RATE, SimDuration::ZERO))
+            .collect(),
+        net_ingress: BandwidthServer::new(PIPELINE_RATE, FV_REQ_OCCUPANCY),
         wire: LinkTiming::new(NicKind::FarviewFpga),
         arbiter,
         clients: HashMap::new(),
         credit_budget: config.credit_budget,
         egress_scheduled: false,
+        failed: None,
     }));
 
     let mut client_ids = HashMap::new();
-    for &qp in &qps {
-        let id = sim.add_actor(Box::new(ClientActor {
-            qp,
-            node: node_id,
-            rx: Reassembly::new(),
-            completed_at: None,
-            packets: 0,
-        }));
-        client_ids.insert(qp, id);
+    for qps in &batch_qps {
+        for &qp in qps {
+            let id = sim.add_actor(Box::new(ClientActor {
+                qp,
+                node: node_id,
+                rx: Reassembly::new(),
+                completed_at: None,
+                packets: 0,
+            }));
+            client_ids.insert(qp, id);
+        }
     }
     sim.actor_mut::<NodeActor>(node_id)
         .expect("node actor")
         .clients = client_ids.clone();
 
-    // All clients post their requests at t = 0.
-    for &qp in &qps {
-        sim.inject(node_id, CLIENT_POST + WIRE_ONE_WAY, Msg::Request { qp });
+    // Every batch rings one doorbell at t = 0; its WQEs stream onto the
+    // wire at the amortized per-WQE cadence.
+    for qps in &batch_qps {
+        let doorbell = DoorbellBatch::new(u32::try_from(qps.len()).expect("batch fits u32"));
+        for (i, &qp) in qps.iter().enumerate() {
+            let at = doorbell.issue_offset(i as u32) + WIRE_ONE_WAY;
+            sim.inject(node_id, at, Msg::Request { qp });
+        }
     }
     sim.run_to_quiescence(20_000_000);
     let events = sim.events_delivered();
 
-    let mut results = Vec::with_capacity(qps.len());
-    for &qp in &qps {
-        let client = sim
-            .actor::<ClientActor>(client_ids[&qp])
-            .expect("client actor");
-        let completed = client
-            .completed_at
-            .unwrap_or_else(|| panic!("query on qp {qp} never completed"));
-        let payload = client.rx.assembled().to_vec();
-        let packets = client.packets;
-        let node = sim.actor::<NodeActor>(node_id).expect("node actor");
-        let run = &node.runs[&qp];
-        assert!(run.fin_emitted, "qp {qp} finished without FIN");
-        results.push(EpisodeResult {
-            qp,
-            response_time: completed.since(SimTime::ZERO),
-            payload,
-            pipeline: run.q.pipeline.stats(),
-            packets,
-            wire_bytes: run.wire_bytes,
-            events,
-        });
+    if let Some(e) = &sim.actor::<NodeActor>(node_id).expect("node actor").failed {
+        return Err(FvError::Net(e.clone()));
     }
-    results
+
+    let mut results = Vec::with_capacity(batch_qps.len());
+    for qps in &batch_qps {
+        let mut batch_results = Vec::with_capacity(qps.len());
+        for &qp in qps {
+            let client = sim
+                .actor::<ClientActor>(client_ids[&qp])
+                .expect("client actor");
+            let completed = client
+                .completed_at
+                .ok_or(FvError::IncompleteEpisode { qp })?;
+            let payload = client.rx.assembled().to_vec();
+            let packets = client.packets;
+            let node = sim.actor::<NodeActor>(node_id).expect("node actor");
+            let run = &node.runs[&qp];
+            if !run.fin_emitted {
+                return Err(FvError::IncompleteEpisode { qp });
+            }
+            batch_results.push(EpisodeResult {
+                qp,
+                response_time: completed.since(SimTime::ZERO),
+                payload,
+                pipeline: run.q.pipeline.stats(),
+                packets,
+                wire_bytes: run.wire_bytes,
+                events,
+            });
+        }
+        results.push(batch_results);
+    }
+    Ok(results)
 }
 
 /// Timing of a client-to-Farview table write, simulated through the
@@ -710,7 +831,7 @@ mod tests {
         let cfg = FarviewConfig::tiny();
         let q = prepared(1, 0, 256, PipelineSpec::passthrough());
         let expect = q.data.clone();
-        let mut results = run_episode(vec![q], &cfg);
+        let mut results = run_episode(vec![q], &cfg).expect("episode completes");
         let r = results.remove(0);
         assert_eq!(r.payload, expect);
         assert!(r.response_time > SimDuration::from_micros(2));
@@ -723,7 +844,9 @@ mod tests {
     fn empty_table_still_completes() {
         let cfg = FarviewConfig::tiny();
         let q = prepared(1, 0, 0, PipelineSpec::passthrough());
-        let r = run_episode(vec![q], &cfg).remove(0);
+        let r = run_episode(vec![q], &cfg)
+            .expect("episode completes")
+            .remove(0);
         assert!(r.payload.is_empty());
         assert_eq!(r.packets, 1, "lone FIN");
         assert!(r.response_time > SimDuration::ZERO);
@@ -734,13 +857,18 @@ mod tests {
         let cfg = FarviewConfig::tiny();
         let rows = 4096u64;
         let full = prepared(1, 0, rows, PipelineSpec::passthrough());
-        let t_full = run_episode(vec![full], &cfg).remove(0).response_time;
+        let t_full = run_episode(vec![full], &cfg)
+            .expect("episode completes")
+            .remove(0)
+            .response_time;
 
         // c0 = 8*i < 8*rows/4 -> 25% selectivity.
         let spec =
             PipelineSpec::passthrough().filter(fv_pipeline::PredicateExpr::lt(0, 8 * rows / 4));
         let sel = prepared(1, 0, rows, spec);
-        let r = run_episode(vec![sel], &cfg).remove(0);
+        let r = run_episode(vec![sel], &cfg)
+            .expect("episode completes")
+            .remove(0);
         assert_eq!(r.payload.len() as u64, rows / 4 * 64);
         assert!(
             r.response_time < t_full,
@@ -759,6 +887,7 @@ mod tests {
             vec![prepared(1, 0, rows, PipelineSpec::passthrough())],
             &cfg,
         )
+        .expect("episode completes")
         .remove(0)
         .response_time;
         let duo = run_episode(
@@ -767,7 +896,8 @@ mod tests {
                 prepared(2, 1, rows, PipelineSpec::passthrough()),
             ],
             &cfg,
-        );
+        )
+        .expect("episode completes");
         let t1 = duo[0].response_time;
         let t2 = duo[1].response_time;
         // Both finish, neither is starved, and sharing costs less than 3x
@@ -790,11 +920,144 @@ mod tests {
         let scalar = prepared(1, 0, rows, spec.clone());
         let mut vector = prepared(1, 0, rows, spec.vectorized());
         vector.vector_lanes = 2;
-        let t_scalar = run_episode(vec![scalar], &cfg).remove(0).response_time;
-        let t_vector = run_episode(vec![vector], &cfg).remove(0).response_time;
+        let t_scalar = run_episode(vec![scalar], &cfg)
+            .expect("episode completes")
+            .remove(0)
+            .response_time;
+        let t_vector = run_episode(vec![vector], &cfg)
+            .expect("episode completes")
+            .remove(0)
+            .response_time;
         assert!(
             t_vector < t_scalar,
             "vector lanes must help at 25% selectivity: {t_vector} vs {t_scalar}"
+        );
+    }
+
+    #[test]
+    fn batched_results_match_sequential_byte_for_byte() {
+        let cfg = FarviewConfig::tiny();
+        let depth = 8u32;
+        // Sequential reference: one episode per query.
+        let mut sequential = Vec::new();
+        for i in 0..depth {
+            let q = prepared(
+                i + 1,
+                0,
+                128 + u64::from(i) * 16,
+                PipelineSpec::passthrough(),
+            );
+            sequential.push(
+                run_episode(vec![q], &cfg)
+                    .expect("episode completes")
+                    .remove(0),
+            );
+        }
+        // One doorbell batch of the same queries on one QPair/slot.
+        let batch = BatchRun::new(
+            (0..depth)
+                .map(|i| {
+                    prepared(
+                        i + 1,
+                        0,
+                        128 + u64::from(i) * 16,
+                        PipelineSpec::passthrough(),
+                    )
+                })
+                .collect(),
+        );
+        let batched = run_batched_episodes(vec![batch], &cfg)
+            .expect("batch completes")
+            .remove(0);
+        assert_eq!(batched.len(), depth as usize);
+        for (b, s) in batched.iter().zip(&sequential) {
+            assert_eq!(b.payload, s.payload, "batching must not change results");
+            assert_eq!(b.packets, s.packets);
+        }
+    }
+
+    #[test]
+    fn queue_depth_amortizes_fixed_costs() {
+        // The throughput story of the batch engine: a depth-8 batch of
+        // small queries must finish in well under 8× the solo response
+        // time, because doorbell, request parse, DRAM first-access and
+        // fill latencies overlap across the in-flight queries.
+        let cfg = FarviewConfig::tiny();
+        let rows = 64u64; // 4 KiB: fixed costs dominate
+        let solo = run_episode(
+            vec![prepared(1, 0, rows, PipelineSpec::passthrough())],
+            &cfg,
+        )
+        .expect("episode completes")
+        .remove(0)
+        .response_time;
+
+        let depth = 8u64;
+        let batch = BatchRun::new(
+            (0..depth)
+                .map(|i| prepared(i as u32 + 1, 0, rows, PipelineSpec::passthrough()))
+                .collect(),
+        );
+        let results = run_batched_episodes(vec![batch], &cfg)
+            .expect("batch completes")
+            .remove(0);
+        let makespan = results
+            .iter()
+            .map(|r| r.response_time)
+            .fold(SimDuration::ZERO, SimDuration::max);
+        // Throughput at depth 8 must be ≥ 1.5× depth 1:
+        //   8 / makespan ≥ 1.5 / solo  ⇔  makespan ≤ 8 · solo / 1.5.
+        assert!(
+            makespan.as_nanos() as f64 <= depth as f64 * solo.as_nanos() as f64 / 1.5,
+            "batching must amortize fixed costs: makespan {makespan} vs solo {solo}"
+        );
+        // And no individual query beats the laws of physics: each is at
+        // least as slow as the solo run (shared wire + pipeline).
+        assert!(results.iter().all(|r| r.response_time >= solo));
+    }
+
+    #[test]
+    fn two_batches_share_the_wire_fairly() {
+        let cfg = FarviewConfig::tiny();
+        let rows = 1024u64;
+        let mk_batch = |slot: usize, base: u32| {
+            BatchRun::new(
+                (0..4)
+                    .map(|i| prepared(base + i, slot, rows, PipelineSpec::passthrough()))
+                    .collect(),
+            )
+        };
+        let out = run_batched_episodes(vec![mk_batch(0, 1), mk_batch(1, 100)], &cfg)
+            .expect("batches complete");
+        let makespan = |rs: &[EpisodeResult]| {
+            rs.iter()
+                .map(|r| r.response_time)
+                .fold(SimDuration::ZERO, SimDuration::max)
+        };
+        let a = makespan(&out[0]);
+        let b = makespan(&out[1]);
+        let ratio = a.as_nanos() as f64 / b.as_nanos() as f64;
+        assert!(
+            (0.8..1.25).contains(&ratio),
+            "equal batches must fair-share: {a} vs {b}"
+        );
+    }
+
+    #[test]
+    fn incomplete_episode_is_a_typed_error() {
+        // A malformed prepared query: data present but no burst plan, so
+        // no chunk ever reaches the pipeline and no FIN is emitted. The
+        // episode must surface which stream stalled instead of panicking.
+        let cfg = FarviewConfig::tiny();
+        let mut q = prepared(7, 0, 32, PipelineSpec::passthrough());
+        q.bursts.clear();
+        let result = run_episode(vec![q], &cfg);
+        assert!(
+            matches!(
+                result,
+                Err(crate::error::FvError::IncompleteEpisode { qp: 7 })
+            ),
+            "expected IncompleteEpisode for qp 7, got {result:?}"
         );
     }
 

@@ -3,6 +3,7 @@
 use std::fmt;
 
 use fv_mem::MemError;
+use fv_net::NetError;
 use fv_pipeline::PipelineError;
 
 /// Errors surfaced by the Farview client API.
@@ -50,6 +51,15 @@ pub enum FvError {
     /// different shards than the data the table was allocated for —
     /// scattering it would break key co-location.
     FleetPartitionMismatch,
+    /// Network-stack failure on the datapath (unbound flow, protocol
+    /// violation) — surfaced instead of crashing the episode.
+    Net(NetError),
+    /// An episode drained to quiescence without the named stream
+    /// completing — fleet callers report which shard/query stalled.
+    IncompleteEpisode {
+        /// The queue pair / stream id that never completed.
+        qp: u32,
+    },
 }
 
 impl fmt::Display for FvError {
@@ -80,6 +90,10 @@ impl fmt::Display for FvError {
                     "written rows hash to different shards than the allocated assignment"
                 )
             }
+            FvError::Net(e) => write!(f, "network stack: {e}"),
+            FvError::IncompleteEpisode { qp } => {
+                write!(f, "query on qp {qp} never completed its episode")
+            }
         }
     }
 }
@@ -95,5 +109,11 @@ impl From<MemError> for FvError {
 impl From<PipelineError> for FvError {
     fn from(e: PipelineError) -> Self {
         FvError::Pipeline(e)
+    }
+}
+
+impl From<NetError> for FvError {
+    fn from(e: NetError) -> Self {
+        FvError::Net(e)
     }
 }

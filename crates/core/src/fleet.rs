@@ -335,7 +335,7 @@ impl FleetQPair {
             match qp.alloc_table_spec(table.schema(), n) {
                 Ok(ft) => shards.push(ft),
                 Err(e) => {
-                    for (qp, ft) in self.qps.iter().zip(shards.into_iter()) {
+                    for (qp, ft) in self.qps.iter().zip(shards) {
                         let _ = qp.free_table(ft);
                     }
                     return Err(e);
@@ -411,7 +411,7 @@ impl FleetQPair {
     pub fn free_table(&self, ft: FleetTable) -> Result<(), FvError> {
         self.check_table(&ft)?;
         let mut first_err = None;
-        for (qp, sft) in self.qps.iter().zip(ft.shards.into_iter()) {
+        for (qp, sft) in self.qps.iter().zip(ft.shards) {
             if let Err(e) = qp.free_table(sft) {
                 first_err.get_or_insert(e);
             }
@@ -419,6 +419,39 @@ impl FleetQPair {
         match first_err {
             Some(e) => Err(e),
             None => Ok(()),
+        }
+    }
+
+    /// Validate `spec` for fleet fan-out and derive the per-shard spec
+    /// plus the partial-aggregation plan (GROUP BY needs the
+    /// partial/final aggregate split; everything else runs the user's
+    /// spec verbatim on each shard).
+    fn shard_plan(
+        &self,
+        ft: &FleetTable,
+        spec: &PipelineSpec,
+    ) -> Result<(PipelineSpec, Option<PartialAggPlan>), FvError> {
+        if spec.compress_output {
+            return Err(FvError::FleetUnsupported {
+                feature: "compressed",
+            });
+        }
+        if spec.encrypt_output.is_some() {
+            return Err(FvError::FleetUnsupported {
+                feature: "output-encrypted",
+            });
+        }
+        match &spec.grouping {
+            Some(GroupingSpec::GroupBy { keys, aggs }) => {
+                let plan = PartialAggPlan::new(keys, aggs, &ft.schema)?;
+                let mut s = spec.clone();
+                s.grouping = Some(GroupingSpec::GroupBy {
+                    keys: keys.clone(),
+                    aggs: plan.shard_aggs().to_vec(),
+                });
+                Ok((s, Some(plan)))
+            }
+            _ => Ok((spec.clone(), None)),
         }
     }
 
@@ -431,39 +464,65 @@ impl FleetQPair {
         spec: &PipelineSpec,
     ) -> Result<FleetQueryOutcome, FvError> {
         self.check_table(ft)?;
-        if spec.compress_output {
-            return Err(FvError::FleetUnsupported {
-                feature: "compressed",
-            });
-        }
-        if spec.encrypt_output.is_some() {
-            return Err(FvError::FleetUnsupported {
-                feature: "output-encrypted",
-            });
-        }
-
-        // GROUP BY needs the partial/final aggregate split; everything
-        // else runs the user's spec verbatim on each shard.
-        let (shard_spec, agg_plan) = match &spec.grouping {
-            Some(GroupingSpec::GroupBy { keys, aggs }) => {
-                let plan = PartialAggPlan::new(keys, aggs, &ft.schema)?;
-                let mut s = spec.clone();
-                s.grouping = Some(GroupingSpec::GroupBy {
-                    keys: keys.clone(),
-                    aggs: plan.shard_aggs().to_vec(),
-                });
-                (s, Some(plan))
-            }
-            _ => (spec.clone(), None),
-        };
-
+        let (shard_spec, agg_plan) = self.shard_plan(ft, spec)?;
         let outcomes = self
             .qps
             .iter()
             .zip(&ft.shards)
             .map(|(qp, sft)| qp.far_view(sft, &shard_spec))
             .collect::<Result<Vec<_>, _>>()?;
+        Ok(self.merge_outcomes(spec, agg_plan, &outcomes))
+    }
 
+    /// The batched `farView` verb at fleet scope: scatter a whole
+    /// doorbell batch of `specs` to every shard — each shard runs the
+    /// batch as **one pipelined episode** on its queue pair — then
+    /// gather and merge per query.
+    ///
+    /// The fleet-observed makespan therefore reflects per-shard
+    /// pipelining (max over shards of the shard's batch makespan), not N
+    /// serial fan-outs, while every merged result stays byte-identical
+    /// to its sequential [`FleetQPair::far_view`] counterpart.
+    pub fn far_view_batch(
+        &self,
+        ft: &FleetTable,
+        specs: &[PipelineSpec],
+    ) -> Result<Vec<FleetQueryOutcome>, FvError> {
+        self.check_table(ft)?;
+        if specs.is_empty() {
+            return Ok(Vec::new());
+        }
+        let plans = specs
+            .iter()
+            .map(|s| self.shard_plan(ft, s))
+            .collect::<Result<Vec<_>, _>>()?;
+        let shard_specs: Vec<PipelineSpec> = plans.iter().map(|(s, _)| s.clone()).collect();
+        // Scatter: every shard executes the whole batch in flight.
+        let mut per_shard = Vec::with_capacity(self.qps.len());
+        for (qp, sft) in self.qps.iter().zip(&ft.shards) {
+            per_shard.push(qp.far_view_batch(sft, &shard_specs)?);
+        }
+        // Gather: merge query `i`'s per-shard outcomes client-side.
+        specs
+            .iter()
+            .zip(plans)
+            .enumerate()
+            .map(|(i, (spec, (_, plan)))| {
+                let outcomes: Vec<QueryOutcome> =
+                    per_shard.iter().map(|batch| batch[i].clone()).collect();
+                Ok(self.merge_outcomes(spec, plan, &outcomes))
+            })
+            .collect()
+    }
+
+    /// Merge one query's per-shard outcomes client-side according to the
+    /// pipeline's grouping stage.
+    fn merge_outcomes(
+        &self,
+        spec: &PipelineSpec,
+        agg_plan: Option<PartialAggPlan>,
+        outcomes: &[QueryOutcome],
+    ) -> FleetQueryOutcome {
         let payloads: Vec<&[u8]> = outcomes.iter().map(|o| o.payload.as_slice()).collect();
         let input_bytes: u64 = payloads.iter().map(|p| p.len() as u64).sum();
         let (payload, schema, merge_time) = match (&spec.grouping, agg_plan) {
@@ -510,7 +569,7 @@ impl FleetQPair {
         stats.response_time += merge_time;
         stats.result_bytes = payload.len() as u64;
 
-        Ok(FleetQueryOutcome {
+        FleetQueryOutcome {
             merged: QueryOutcome {
                 payload,
                 schema,
@@ -518,7 +577,7 @@ impl FleetQPair {
             },
             per_shard,
             merge_time,
-        })
+        }
     }
 
     /// Plain fleet-wide read: gather every shard's rows (row order under
@@ -724,6 +783,43 @@ mod tests {
             out.merged.stats.response_time,
             single.stats.response_time
         );
+    }
+
+    #[test]
+    fn batched_fleet_queries_merge_per_query() {
+        let t = table(400, 8);
+        let fleet = FarviewFleet::new(3, FarviewConfig::tiny());
+        let qp = fleet.connect().unwrap();
+        let (ft, _) = qp.load_table(&t, Partitioning::RowRange).unwrap();
+        let specs = vec![
+            PipelineSpec::passthrough(),
+            PipelineSpec::passthrough().filter(fv_pipeline::PredicateExpr::lt(1, 500u64)),
+            PipelineSpec::passthrough().distinct(vec![0]),
+            PipelineSpec::passthrough().group_by(
+                vec![0],
+                vec![AggSpec {
+                    col: 2,
+                    func: AggFunc::Avg,
+                }],
+            ),
+        ];
+        let sequential: Vec<_> = specs.iter().map(|s| qp.far_view(&ft, s).unwrap()).collect();
+        let batched = qp.far_view_batch(&ft, &specs).unwrap();
+        assert_eq!(batched.len(), specs.len());
+        for (b, s) in batched.iter().zip(&sequential) {
+            assert_eq!(
+                b.merged.payload, s.merged.payload,
+                "batched fleet merge must match sequential"
+            );
+            assert_eq!(b.merged.schema, s.merged.schema);
+            assert_eq!(b.per_shard.len(), 3);
+        }
+        // Unsupported specs are rejected up front, before any fan-out.
+        assert!(matches!(
+            qp.far_view_batch(&ft, &[PipelineSpec::passthrough().compress()]),
+            Err(FvError::FleetUnsupported { .. })
+        ));
+        assert!(qp.far_view_batch(&ft, &[]).unwrap().is_empty());
     }
 
     #[test]

@@ -40,7 +40,9 @@ pub mod microbench;
 pub mod resources;
 pub mod tiered;
 
-pub use cluster::{FTable, FarviewCluster, QPair, QueryOutcome, QueryStats, SelectQuery};
+pub use cluster::{
+    FTable, FarviewCluster, QPair, QueryOutcome, QueryStats, SelectQuery, MAX_QUEUE_DEPTH,
+};
 pub use config::FarviewConfig;
 pub use error::FvError;
 pub use fleet::{

@@ -31,4 +31,4 @@ pub use catalog::{Catalog, CatalogEntry};
 pub use row::{Row, RowView};
 pub use schema::{Column, Schema};
 pub use table::{Table, TableBuilder};
-pub use value::{ColumnType, Value};
+pub use value::{ColumnType, Value, ValueError};

@@ -2,6 +2,59 @@
 
 use std::fmt;
 
+/// A value/column type or width mismatch in the physical codec.
+///
+/// The fallible entry points ([`ColumnType::try_decode`],
+/// [`Value::try_encode_into`]) return this at public boundaries where
+/// the bytes or values originate outside the engine (user-supplied
+/// specs, tables built from client rows); the panicking wrappers remain
+/// for internal paths whose inputs are already validated.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ValueError {
+    /// The value's variant does not match the declared column type.
+    TypeMismatch {
+        /// The declared column type.
+        column: ColumnType,
+        /// The value variant actually supplied ("U64", "Bytes", ...).
+        value_kind: &'static str,
+    },
+    /// A raw slice's length does not match the column width.
+    WidthMismatch {
+        /// Bytes supplied.
+        got: usize,
+        /// Bytes the column type occupies.
+        want: usize,
+    },
+    /// A byte string longer than its declared column width.
+    Oversize {
+        /// The string's length.
+        len: usize,
+        /// The declared column width.
+        width: usize,
+    },
+}
+
+impl fmt::Display for ValueError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ValueError::TypeMismatch { column, value_kind } => {
+                write!(f, "{value_kind} value does not match column {column:?}")
+            }
+            ValueError::WidthMismatch { got, want } => {
+                write!(f, "{got} bytes supplied for a {want}-byte column")
+            }
+            ValueError::Oversize { len, width } => {
+                write!(
+                    f,
+                    "byte string of {len} bytes does not fit column of width {width}"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for ValueError {}
+
 /// The type of one fixed-width column.
 ///
 /// Everything in Farview's datapath is fixed-width: the FPGA projection
@@ -33,22 +86,32 @@ impl ColumnType {
 
     /// Decode a value of this type from exactly `width()` bytes.
     ///
-    /// # Panics
-    /// Panics if `raw.len() != self.width()`.
-    pub fn decode(self, raw: &[u8]) -> Value {
-        assert_eq!(
-            raw.len(),
-            self.width(),
-            "decode: got {} bytes for {:?}",
-            raw.len(),
-            self
-        );
-        match self {
+    /// # Errors
+    /// [`ValueError::WidthMismatch`] when `raw.len() != self.width()` —
+    /// the fallible boundary for bytes of external origin.
+    pub fn try_decode(self, raw: &[u8]) -> Result<Value, ValueError> {
+        if raw.len() != self.width() {
+            return Err(ValueError::WidthMismatch {
+                got: raw.len(),
+                want: self.width(),
+            });
+        }
+        Ok(match self {
             ColumnType::U64 => Value::U64(u64::from_le_bytes(raw.try_into().expect("8 bytes"))),
             ColumnType::I64 => Value::I64(i64::from_le_bytes(raw.try_into().expect("8 bytes"))),
             ColumnType::F64 => Value::F64(f64::from_le_bytes(raw.try_into().expect("8 bytes"))),
             ColumnType::Bytes(_) => Value::Bytes(raw.to_vec()),
-        }
+        })
+    }
+
+    /// Decode a value of this type from exactly `width()` bytes
+    /// (internal paths with schema-derived slices).
+    ///
+    /// # Panics
+    /// Panics if `raw.len() != self.width()`.
+    pub fn decode(self, raw: &[u8]) -> Value {
+        self.try_decode(raw)
+            .unwrap_or_else(|e| panic!("decode {self:?}: {e}"))
     }
 }
 
@@ -78,27 +141,57 @@ impl Value {
         }
     }
 
+    /// The variant's name, for diagnostics.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::U64(_) => "U64",
+            Value::I64(_) => "I64",
+            Value::F64(_) => "F64",
+            Value::Bytes(_) => "Bytes",
+        }
+    }
+
     /// Append the physical encoding of this value as column type `ty`.
     ///
-    /// # Panics
-    /// Panics on a type mismatch, or if a byte string is longer than the
-    /// declared column width.
-    pub fn encode_into(&self, ty: ColumnType, out: &mut Vec<u8>) {
+    /// # Errors
+    /// [`ValueError::TypeMismatch`] when the variant does not match the
+    /// column type, [`ValueError::Oversize`] when a byte string exceeds
+    /// the declared width — the fallible boundary for values of external
+    /// origin (client rows, user-supplied specs).
+    pub fn try_encode_into(&self, ty: ColumnType, out: &mut Vec<u8>) -> Result<(), ValueError> {
         match (self, ty) {
             (Value::U64(x), ColumnType::U64) => out.extend_from_slice(&x.to_le_bytes()),
             (Value::I64(x), ColumnType::I64) => out.extend_from_slice(&x.to_le_bytes()),
             (Value::F64(x), ColumnType::F64) => out.extend_from_slice(&x.to_le_bytes()),
             (Value::Bytes(b), ColumnType::Bytes(n)) => {
-                assert!(
-                    b.len() <= n,
-                    "byte string of {} bytes does not fit column of width {n}",
-                    b.len()
-                );
+                if b.len() > n {
+                    return Err(ValueError::Oversize {
+                        len: b.len(),
+                        width: n,
+                    });
+                }
                 out.extend_from_slice(b);
                 out.resize(out.len() + (n - b.len()), 0);
             }
-            (v, t) => panic!("type mismatch: value {v:?} vs column {t:?}"),
+            (v, column) => {
+                return Err(ValueError::TypeMismatch {
+                    column,
+                    value_kind: v.kind(),
+                })
+            }
         }
+        Ok(())
+    }
+
+    /// Append the physical encoding of this value as column type `ty`
+    /// (internal paths with already-validated values).
+    ///
+    /// # Panics
+    /// Panics on a type mismatch, or if a byte string is longer than the
+    /// declared column width.
+    pub fn encode_into(&self, ty: ColumnType, out: &mut Vec<u8>) {
+        self.try_encode_into(ty, out)
+            .unwrap_or_else(|e| panic!("encode {self:?}: {e}"))
     }
 
     /// Unwrap as `u64`.
@@ -231,10 +324,35 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "type mismatch")]
+    #[should_panic(expected = "does not match")]
     fn type_mismatch_rejected() {
         let mut buf = Vec::new();
         Value::U64(1).encode_into(ColumnType::F64, &mut buf);
+    }
+
+    #[test]
+    fn fallible_codec_returns_typed_errors() {
+        let mut buf = Vec::new();
+        assert_eq!(
+            Value::U64(1).try_encode_into(ColumnType::F64, &mut buf),
+            Err(ValueError::TypeMismatch {
+                column: ColumnType::F64,
+                value_kind: "U64"
+            })
+        );
+        assert_eq!(
+            Value::Bytes(vec![0; 9]).try_encode_into(ColumnType::Bytes(8), &mut buf),
+            Err(ValueError::Oversize { len: 9, width: 8 })
+        );
+        assert!(buf.is_empty(), "failed encodes must not emit bytes");
+        assert_eq!(
+            ColumnType::U64.try_decode(&[0u8; 4]),
+            Err(ValueError::WidthMismatch { got: 4, want: 8 })
+        );
+        assert_eq!(
+            ColumnType::U64.try_decode(&7u64.to_le_bytes()),
+            Ok(Value::U64(7))
+        );
     }
 
     #[test]

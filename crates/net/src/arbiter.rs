@@ -5,19 +5,28 @@
 //! hardware arbiters" (§4.3). The egress arbiter is deficit round robin
 //! with a one-MTU quantum: byte-fair regardless of per-flow packet sizes,
 //! and immune to a single greedy flow monopolizing the wire.
+//!
+//! A flow slot corresponds to one dynamic region. A doorbell-batched
+//! submission keeps many queries of *one* queue pair in flight at once;
+//! their response streams carry distinct stream ids but share the
+//! region's flow slot, so arbitration stays byte-fair **across**
+//! regions/batches while packets of one batch interleave freely inside
+//! their shared flow.
 
 use fv_sim::calib::PACKET_BYTES;
 use fv_sim::DrrScheduler;
 
-use crate::packet::Packet;
+use crate::packet::{Packet, QpId};
+use crate::qp::NetError;
 
 /// DRR arbiter over a fixed set of flows (one per dynamic region /
 /// queue pair slot).
 #[derive(Debug, Clone)]
 pub struct EgressArbiter {
     drr: DrrScheduler<Packet>,
-    /// Map from QP id to DRR flow slot.
-    slots: Vec<Option<u32>>,
+    /// Per-slot list of stream ids bound to that flow (one for a plain
+    /// connection, many for a doorbell-batched submission).
+    slots: Vec<Vec<QpId>>,
 }
 
 impl EgressArbiter {
@@ -26,41 +35,53 @@ impl EgressArbiter {
         EgressArbiter {
             // Quantum must cover the largest wire size (payload+header).
             drr: DrrScheduler::new(flows, PACKET_BYTES + 64),
-            slots: vec![None; flows],
+            slots: vec![Vec::new(); flows],
         }
     }
 
-    /// Bind a queue pair to a flow slot (at connection establishment).
+    /// Bind a queue pair (or one batched stream of a queue pair) to a
+    /// flow slot at connection establishment / doorbell ring. Binding
+    /// the same id twice is a no-op; several ids may share one slot.
     ///
     /// # Panics
-    /// Panics if the slot is already bound to a different QP.
-    pub fn bind(&mut self, slot: usize, qp: u32) {
-        match self.slots[slot] {
-            None => self.slots[slot] = Some(qp),
-            Some(existing) => assert_eq!(existing, qp, "slot {slot} already bound to {existing}"),
+    /// Panics if the id is already bound to a *different* slot — flows
+    /// are wired once at setup, so a double wiring is a harness bug, not
+    /// a runtime condition.
+    pub fn bind(&mut self, slot: usize, qp: QpId) {
+        if let Some(existing) = self.slot_of(qp) {
+            assert_eq!(existing, slot, "qp {qp} already bound to slot {existing}");
+            return;
         }
+        self.slots[slot].push(qp);
     }
 
-    /// Release a slot (at disconnect).
+    /// Release a slot and every stream bound to it (at disconnect).
     pub fn unbind(&mut self, slot: usize) {
-        self.slots[slot] = None;
+        self.slots[slot].clear();
     }
 
     /// The slot a QP is bound to, if any.
-    pub fn slot_of(&self, qp: u32) -> Option<usize> {
-        self.slots.iter().position(|s| *s == Some(qp))
+    pub fn slot_of(&self, qp: QpId) -> Option<usize> {
+        self.slots.iter().position(|s| s.contains(&qp))
     }
 
-    /// Enqueue a packet for transmission.
+    /// Streams bound to a slot.
+    pub fn bound_count(&self, slot: usize) -> usize {
+        self.slots[slot].len()
+    }
+
+    /// Enqueue a packet for transmission on its flow's slot.
     ///
-    /// # Panics
-    /// Panics if the packet's QP is not bound — routing unbound flows is
-    /// a wiring bug.
-    pub fn push(&mut self, pkt: Packet) {
+    /// # Errors
+    /// Returns [`NetError::UnboundQp`] when the packet's QP is not bound
+    /// to any egress slot; callers surface this instead of crashing the
+    /// episode.
+    pub fn push(&mut self, pkt: Packet) -> Result<(), NetError> {
         let slot = self
             .slot_of(pkt.qp)
-            .unwrap_or_else(|| panic!("qp {} not bound to any egress slot", pkt.qp));
+            .ok_or(NetError::UnboundQp { qp: pkt.qp })?;
         self.drr.push(slot, pkt.wire_bytes(), pkt);
+        Ok(())
     }
 
     /// Next packet in fair order.
@@ -94,10 +115,10 @@ mod tests {
         arb.bind(0, 10);
         arb.bind(1, 20);
         for s in 0..8 {
-            arb.push(pkt(10, s));
+            arb.push(pkt(10, s)).unwrap();
         }
         for s in 0..8 {
-            arb.push(pkt(20, s));
+            arb.push(pkt(20, s)).unwrap();
         }
         let order: Vec<u32> = std::iter::from_fn(|| arb.pop()).map(|p| p.qp).collect();
         assert_eq!(order.len(), 16);
@@ -114,11 +135,11 @@ mod tests {
         arb.bind(0, 1);
         arb.bind(1, 2);
         for s in 0..100 {
-            arb.push(pkt(1, s));
+            arb.push(pkt(1, s)).unwrap();
         }
         // Flow 2 joins with a single packet; it must be served within the
         // next two pops.
-        arb.push(pkt(2, 0));
+        arb.push(pkt(2, 0)).unwrap();
         let first = arb.pop().unwrap();
         let second = arb.pop().unwrap();
         assert!(
@@ -130,10 +151,44 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "not bound")]
-    fn unbound_qp_is_a_bug() {
+    fn unbound_qp_is_a_typed_error() {
         let mut arb = EgressArbiter::new(1);
-        arb.push(pkt(99, 0));
+        assert_eq!(
+            arb.push(pkt(99, 0)),
+            Err(NetError::UnboundQp { qp: 99 }),
+            "routing an unbound flow must surface, not crash"
+        );
+        assert!(arb.is_empty(), "rejected packet must not be queued");
+    }
+
+    #[test]
+    fn batched_streams_share_one_flow_fairly() {
+        // Slot 0 carries a 2-stream batch, slot 1 a plain connection.
+        // Byte-fairness is per *slot*: the batch does not get double the
+        // wire for having two streams.
+        let mut arb = EgressArbiter::new(2);
+        arb.bind(0, 10);
+        arb.bind(0, 11);
+        arb.bind(1, 20);
+        assert_eq!(arb.bound_count(0), 2);
+        for s in 0..4 {
+            arb.push(pkt(10, s)).unwrap();
+            arb.push(pkt(11, s)).unwrap();
+            arb.push(pkt(20, s)).unwrap();
+        }
+        let mut slot0 = 0u32;
+        let mut slot1 = 0u32;
+        // Serve one full DRR round trip of 8 packets: equal byte shares.
+        for _ in 0..8 {
+            let p = arb.pop().unwrap();
+            if p.qp == 20 {
+                slot1 += 1;
+            } else {
+                slot0 += 1;
+            }
+        }
+        assert_eq!(slot0, 4, "batch slot must not out-share a plain flow");
+        assert_eq!(slot1, 4);
     }
 
     #[test]
@@ -145,5 +200,8 @@ mod tests {
         assert_eq!(arb.slot_of(5), None);
         arb.bind(0, 6);
         assert_eq!(arb.slot_of(6), Some(0));
+        // Re-binding the same id is idempotent.
+        arb.bind(0, 6);
+        assert_eq!(arb.bound_count(0), 1);
     }
 }

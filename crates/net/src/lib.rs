@@ -32,7 +32,7 @@ mod qp;
 pub use arbiter::EgressArbiter;
 pub use link::{LinkTiming, NicKind};
 pub use packet::{Packet, PacketKind, QpId, Verb};
-pub use qp::{CreditGate, NetError, QueuePair, Reassembly};
+pub use qp::{CreditGate, DoorbellBatch, NetError, QueuePair, Reassembly};
 
 /// Split `total_bytes` into MTU-sized packet lengths (last one short).
 pub fn packetize(total_bytes: u64, mtu: u64) -> impl Iterator<Item = u64> {

@@ -30,6 +30,13 @@ pub enum NetError {
         /// The offending sequence number.
         seq: u32,
     },
+    /// A packet was routed to the egress arbiter for a queue pair that is
+    /// not bound to any flow slot (disconnected mid-flight, or a stale
+    /// stream id after a slot was reused).
+    UnboundQp {
+        /// The unbound queue pair / stream id.
+        qp: QpId,
+    },
 }
 
 impl fmt::Display for NetError {
@@ -39,6 +46,9 @@ impl fmt::Display for NetError {
             NetError::DuplicateSeq { qp, seq } => write!(f, "qp {qp}: duplicate seq {seq}"),
             NetError::BeyondLast { qp, seq } => {
                 write!(f, "qp {qp}: packet seq {seq} beyond final packet")
+            }
+            NetError::UnboundQp { qp } => {
+                write!(f, "qp {qp} is not bound to any egress slot")
             }
         }
     }
@@ -98,6 +108,56 @@ impl CreditGate {
     /// The configured budget.
     pub fn budget(&self) -> u32 {
         self.budget
+    }
+}
+
+/// A multi-WQE submission: `n` verbs posted to one queue pair's send
+/// queue and issued with a single doorbell.
+///
+/// The one-sided batching discipline of FaRM-style RDMA systems: the
+/// client writes all work-queue entries first and rings the doorbell
+/// once, so only the first verb pays the full posting cost
+/// ([`fv_sim::calib::CLIENT_POST`]); each later WQE adds just the NIC's
+/// per-WQE fetch ([`fv_sim::calib::DOORBELL_WQE`]). This is what keeps a
+/// queue depth of N requests in flight per queue pair cheap enough for
+/// the smart NIC to overlap verbs with operator execution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DoorbellBatch {
+    wqes: u32,
+}
+
+impl DoorbellBatch {
+    /// A batch of `wqes` work-queue entries behind one doorbell.
+    ///
+    /// # Panics
+    /// Panics on an empty batch — ringing a doorbell with no WQEs posted
+    /// is a client bug.
+    pub fn new(wqes: u32) -> Self {
+        assert!(wqes > 0, "a doorbell batch needs at least one WQE");
+        DoorbellBatch { wqes }
+    }
+
+    /// Number of WQEs in the batch (the queue depth).
+    pub fn wqes(&self) -> u32 {
+        self.wqes
+    }
+
+    /// Client-side instant (relative to the post) at which WQE `i`
+    /// leaves the send queue: one doorbell, then the NIC streams the
+    /// entries.
+    ///
+    /// # Panics
+    /// Panics if `i` is outside the batch.
+    pub fn issue_offset(&self, i: u32) -> fv_sim::SimDuration {
+        assert!(i < self.wqes, "WQE {i} outside batch of {}", self.wqes);
+        fv_sim::calib::CLIENT_POST + fv_sim::calib::DOORBELL_WQE * u64::from(i)
+    }
+
+    /// Posting time saved versus ringing one doorbell per verb.
+    pub fn amortized_saving(&self) -> fv_sim::SimDuration {
+        let per_verb = fv_sim::calib::CLIENT_POST * u64::from(self.wqes);
+        let batched = self.issue_offset(self.wqes - 1);
+        per_verb.saturating_sub(batched)
     }
 }
 
@@ -312,6 +372,23 @@ mod tests {
             r.accept(0, 5, Bytes::from_static(b"x"), false),
             Err(NetError::BeyondLast { seq: 5, .. })
         ));
+    }
+
+    #[test]
+    fn doorbell_batch_amortizes_posts() {
+        let b = DoorbellBatch::new(8);
+        assert_eq!(b.wqes(), 8);
+        // First WQE pays the full doorbell; later ones only the fetch.
+        assert_eq!(b.issue_offset(0), fv_sim::calib::CLIENT_POST);
+        let step = b.issue_offset(1) - b.issue_offset(0);
+        assert_eq!(step, fv_sim::calib::DOORBELL_WQE);
+        // Batching 8 verbs must be strictly cheaper than 8 doorbells.
+        assert!(b.amortized_saving() > fv_sim::SimDuration::ZERO);
+        // Depth 1 degenerates to the plain post: nothing saved.
+        assert_eq!(
+            DoorbellBatch::new(1).amortized_saving(),
+            fv_sim::SimDuration::ZERO
+        );
     }
 
     #[test]

@@ -70,10 +70,10 @@ proptest! {
         arb.bind(0, 100);
         arb.bind(1, 200);
         for s in 0..a_count {
-            arb.push(Packet::data(100, s as u32, Bytes::from(vec![0u8; 512]), false));
+            arb.push(Packet::data(100, s as u32, Bytes::from(vec![0u8; 512]), false)).unwrap();
         }
         for s in 0..b_count {
-            arb.push(Packet::data(200, s as u32, Bytes::from(vec![0u8; 512]), false));
+            arb.push(Packet::data(200, s as u32, Bytes::from(vec![0u8; 512]), false)).unwrap();
         }
         let mut out = Vec::new();
         while let Some(p) = arb.pop() {

@@ -72,7 +72,7 @@ enum Combine {
 }
 
 impl Combine {
-    fn for_agg(func: AggFunc, ty: ColumnType) -> Result<Combine, PipelineError> {
+    fn for_agg(func: AggFunc, ty: ColumnType, col: usize) -> Result<Combine, PipelineError> {
         Ok(match (func, ty) {
             (AggFunc::Count, _) => Combine::AddU64,
             (AggFunc::Sum, ColumnType::U64) => Combine::AddU64,
@@ -88,7 +88,7 @@ impl Combine {
             (AggFunc::Max, ColumnType::I64) => Combine::MaxI64,
             (AggFunc::Max, ColumnType::F64) => Combine::MaxF64,
             (AggFunc::Avg, _) => unreachable!("AVG is rewritten before combiners are built"),
-            (_, ColumnType::Bytes(_)) => return Err(PipelineError::AggOnBytes { col: usize::MAX }),
+            (_, ColumnType::Bytes(_)) => return Err(PipelineError::AggOnBytes { col }),
         })
     }
 
@@ -167,7 +167,7 @@ impl PartialAggPlan {
             if let Some(i) = shard_aggs.iter().position(|s| *s == spec) {
                 return Ok(i);
             }
-            shard_slots.push(Combine::for_agg(func, ty)?);
+            shard_slots.push(Combine::for_agg(func, ty, col)?);
             shard_aggs.push(spec);
             Ok(shard_aggs.len() - 1)
         };

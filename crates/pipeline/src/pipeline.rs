@@ -68,6 +68,10 @@ pub enum PipelineError {
     /// The small-table join defines its own (wider) output tuples; it
     /// cannot combine with the named feature.
     JoinConflict(&'static str),
+    /// A value/column type or width mismatch surfaced by the physical
+    /// codec — user-supplied rows or constants that do not encode as
+    /// their declared column type.
+    Value(fv_data::ValueError),
 }
 
 impl std::fmt::Display for PipelineError {
@@ -110,6 +114,7 @@ impl std::fmt::Display for PipelineError {
             PipelineError::JoinConflict(what) => {
                 write!(f, "small-table join cannot combine with {what}")
             }
+            PipelineError::Value(e) => write!(f, "value codec: {e}"),
         }
     }
 }
@@ -119,6 +124,12 @@ impl std::error::Error for PipelineError {}
 impl From<PredicateError> for PipelineError {
     fn from(e: PredicateError) -> Self {
         PipelineError::Predicate(e)
+    }
+}
+
+impl From<fv_data::ValueError> for PipelineError {
+    fn from(e: fv_data::ValueError) -> Self {
+        PipelineError::Value(e)
     }
 }
 

@@ -62,7 +62,7 @@ mod tests {
 
     #[test]
     fn threads_borrow_and_join() {
-        let data = vec![1u64, 2, 3, 4];
+        let data = [1u64, 2, 3, 4];
         let total = scope(|s| {
             let handles: Vec<_> = data.iter().map(|&x| s.spawn(move |_| x * 10)).collect();
             handles.into_iter().map(|h| h.join().unwrap()).sum::<u64>()

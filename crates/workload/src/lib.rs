@@ -10,8 +10,10 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod closed_loop;
 pub mod fleet;
 
+pub use closed_loop::{ClosedLoopGen, ClosedLoopPlan};
 pub use fleet::{FleetScenarioGen, TenantQuery, TenantWorkload};
 
 use rand::rngs::StdRng;

@@ -14,8 +14,12 @@ doc:
 fmt-check:
     cargo fmt --check
 
+# Lint gate: warnings are errors.
+clippy:
+    cargo clippy --workspace -- -D warnings
+
 # Everything CI runs.
-ci: verify doc fmt-check
+ci: verify doc fmt-check clippy
 
 # Reproduce every table/figure of the paper plus the scale-out sweep.
 figures:
