@@ -11,11 +11,11 @@ use std::env;
 use std::process::ExitCode;
 
 use fv_bench::{
-    all_figures, fig10, fig11a, fig11b, fig12, fig6a, fig6b, fig7, fig8, fig9a, fig9b, fig9c,
-    qdepth, scaleout, table1, Figure,
+    all_figures, explain_figures, fig10, fig11a, fig11b, fig12, fig6a, fig6b, fig7, fig8, fig9a,
+    fig9b, fig9c, plan_ablation, qdepth, scaleout, table1, Figure,
 };
 
-const USAGE: &str = "usage: figures <table1|fig6a|fig6b|fig7|fig8a|fig8b|fig8c|fig9a|fig9b|fig9c|fig10|fig11a|fig11b|fig12|scaleout|qdepth|all> [--csv]";
+const USAGE: &str = "usage: figures <table1|fig6a|fig6b|fig7|fig8a|fig8b|fig8c|fig9a|fig9b|fig9c|fig10|fig11a|fig11b|fig12|scaleout|qdepth|plan_ablation|explain|all> [--csv]";
 
 fn one(id: &str) -> Option<Figure> {
     Some(match id {
@@ -34,6 +34,7 @@ fn one(id: &str) -> Option<Figure> {
         "fig12" => fig12(),
         "scaleout" => scaleout(),
         "qdepth" => qdepth(),
+        "plan_ablation" => plan_ablation(),
         _ => return None,
     })
 }
@@ -59,6 +60,7 @@ fn main() -> ExitCode {
 
     match target.as_str() {
         "table1" => print!("{}", table1()),
+        "explain" => print!("{}", explain_figures()),
         "all" => {
             print!("{}", table1());
             println!();

@@ -2,10 +2,10 @@
 
 use farview_core::{
     microbench, resources, AggFunc, AggSpec, CryptoSpec, FTable, FarviewCluster, FarviewConfig,
-    FarviewFleet, Partitioning, PipelineSpec, PredicateExpr, QPair,
+    FarviewFleet, Partitioning, PipelineSpec, PlanTarget, PredicateExpr, QPair, QueryPlan,
 };
 use fv_baseline::{rnic_read_response_time, BaselineKind, CpuEngine};
-use fv_data::Table;
+use fv_data::{Schema, Table};
 use fv_net::NicKind;
 use fv_sim::{Histogram, SimDuration};
 use fv_workload::{
@@ -720,6 +720,219 @@ pub fn qdepth() -> Figure {
     f
 }
 
+// ---------------------------------------------------------------------------
+// Plan ablation: the rule-based optimizer vs naive plans (beyond the paper)
+// ---------------------------------------------------------------------------
+
+/// Shard counts swept by the `plan_ablation` experiment.
+pub const ABLATION_SHARDS: [usize; 4] = [1, 2, 4, 8];
+
+/// Queue depths swept by the `plan_ablation` experiment.
+pub const ABLATION_DEPTHS: [usize; 4] = [1, 2, 4, 8];
+
+/// Plan ablation: run each workload's *naive* plan (the spec as
+/// written) and its *optimized* plan (through
+/// [`QueryPlan::optimize`]) over every shard-count × queue-depth
+/// configuration, asserting byte-identical results along the way.
+///
+/// The workloads are the three standard figure-query shapes over 512 B
+/// tuples: a 3-column projection (`SELECT c8,c9,c10` — the optimizer's
+/// cost model picks smart addressing, Figure 7's win), a `DISTINCT` and
+/// a `GROUP BY SUM+AVG` (where the optimizer's value is the unified
+/// partial-aggregation merge; the plans themselves are already
+/// canonical, so optimized time equals naive time). Every point is the
+/// batch makespan at the given fleet size and doorbell depth.
+pub fn plan_ablation() -> Figure {
+    let mut f = Figure::new(
+        "plan_ablation",
+        "Optimized vs naive query plans",
+        "shards x 10 + queue depth",
+        "batch makespan [us]",
+    );
+    let rows = 1024usize;
+    let table = TableGen::new(64, rows) // 512 B tuples
+        .seed(33)
+        .distinct_column(0, 32)
+        .sequential_column(2)
+        .build();
+    let queries: [(&str, PipelineSpec); 3] = [
+        (
+            "select",
+            PipelineSpec::passthrough().project(vec![8, 9, 10]),
+        ),
+        ("distinct", PipelineSpec::passthrough().distinct(vec![0])),
+        (
+            "group-by",
+            PipelineSpec::passthrough().group_by(
+                vec![0],
+                vec![
+                    AggSpec {
+                        col: 2,
+                        func: AggFunc::Sum,
+                    },
+                    AggSpec {
+                        col: 2,
+                        func: AggFunc::Avg,
+                    },
+                ],
+            ),
+        ),
+    ];
+
+    for (name, spec) in &queries {
+        let mut naive_pts = Vec::new();
+        let mut opt_pts = Vec::new();
+        for &shards in &ABLATION_SHARDS {
+            let fleet = FarviewFleet::new(shards, FarviewConfig::default());
+            let qp = fleet.connect().expect("a region on every node");
+            let (ft, _) = qp
+                .load_table(&table, Partitioning::RowRange)
+                .expect("buffer pool space");
+            let target = PlanTarget::Fleet {
+                shards,
+                partitioning: Partitioning::RowRange,
+            };
+            let optimized = QueryPlan::from_spec(spec, target)
+                .optimize(table.schema())
+                .expect("optimize")
+                .to_spec()
+                .expect("lower");
+            for &depth in &ABLATION_DEPTHS {
+                let x = (shards * 10 + depth) as f64;
+                let naive_outs = qp
+                    .far_view_batch(&ft, &vec![spec.clone(); depth])
+                    .expect("naive batch");
+                let opt_outs = qp
+                    .far_view_batch(&ft, &vec![optimized.clone(); depth])
+                    .expect("optimized batch");
+                for (a, b) in naive_outs.iter().zip(&opt_outs) {
+                    assert_eq!(
+                        a.merged.payload, b.merged.payload,
+                        "the optimizer changed {name} results at {shards} shards"
+                    );
+                }
+                let makespan = |outs: &[farview_core::FleetQueryOutcome]| {
+                    outs.iter()
+                        .map(|o| o.merged.stats.response_time)
+                        .fold(SimDuration::ZERO, SimDuration::max)
+                };
+                naive_pts.push((x, us(makespan(&naive_outs))));
+                opt_pts.push((x, us(makespan(&opt_outs))));
+            }
+            qp.free_table(ft).expect("free");
+        }
+        f.push_series(&format!("{name} naive"), naive_pts);
+        f.push_series(&format!("{name} optimized"), opt_pts);
+    }
+    f
+}
+
+/// Render `explain()` output for the standard figure queries — what
+/// `just explain` (and `figures explain`) prints.
+pub fn explain_figures() -> String {
+    let mut out = String::new();
+    let mut push = |title: &str, plan: &QueryPlan, schema: &Schema, rows: u64| {
+        let ex = plan.explain(schema, rows).expect("explain");
+        out.push_str(&format!("== {title} ==\n{ex}\n"));
+    };
+    let wide = Schema::uniform_u64(64); // fig7's 512 B tuples
+    let paper = Schema::uniform_u64(8); // the paper-default 64 B tuples
+
+    push(
+        "fig7: SELECT c8,c9,c10 (512 B tuples)",
+        &QueryPlan::from_spec(
+            &PipelineSpec::passthrough().project(vec![8, 9, 10]),
+            PlanTarget::Single,
+        ),
+        &wide,
+        16_384,
+    );
+    push(
+        "fig8: SELECT * WHERE a < X AND b < Y",
+        &QueryPlan::from_spec(
+            &PipelineSpec::passthrough().filter(
+                PredicateExpr::lt(0, SELECTIVITY_PIVOT)
+                    .and(PredicateExpr::lt(1, SELECTIVITY_PIVOT)),
+            ),
+            PlanTarget::Single,
+        ),
+        &paper,
+        16_384,
+    );
+    push(
+        "fig8 + projection: SELECT c0,c1 WHERE a < X (fused scan)",
+        &QueryPlan::from_spec(
+            &PipelineSpec::passthrough()
+                .filter(PredicateExpr::lt(0, SELECTIVITY_PIVOT))
+                .project(vec![0, 1]),
+            PlanTarget::Single,
+        ),
+        &paper,
+        16_384,
+    );
+    push(
+        "fig9a: SELECT DISTINCT c0",
+        &QueryPlan::from_spec(
+            &PipelineSpec::passthrough().distinct(vec![0]),
+            PlanTarget::Single,
+        ),
+        &paper,
+        16_384,
+    );
+    push(
+        "fig9b: SELECT c0, SUM(c1) GROUP BY c0",
+        &QueryPlan::from_spec(
+            &PipelineSpec::passthrough().group_by(
+                vec![0],
+                vec![AggSpec {
+                    col: 1,
+                    func: AggFunc::Sum,
+                }],
+            ),
+            PlanTarget::Single,
+        ),
+        &paper,
+        16_384,
+    );
+    push(
+        "scaleout: GROUP BY AVG over 8 hash shards",
+        &QueryPlan::from_spec(
+            &PipelineSpec::passthrough().group_by(
+                vec![0],
+                vec![AggSpec {
+                    col: 2,
+                    func: AggFunc::Avg,
+                }],
+            ),
+            PlanTarget::Fleet {
+                shards: 8,
+                partitioning: Partitioning::KeyHash(0),
+            },
+        ),
+        &paper,
+        16_384,
+    );
+    push(
+        "qdepth: depth-8 doorbell batch of selections",
+        &QueryPlan::from_spec(
+            &PipelineSpec::passthrough().filter(PredicateExpr::lt(1, SELECTIVITY_PIVOT)),
+            PlanTarget::Batch { depth: 8 },
+        ),
+        &paper,
+        256,
+    );
+    push(
+        "tiered: cold passthrough read staged from storage",
+        &QueryPlan::from_spec(
+            &PipelineSpec::passthrough(),
+            PlanTarget::Tiered { resident: false },
+        ),
+        &paper,
+        16_384,
+    );
+    out
+}
+
 /// Every figure in evaluation order (the `figures all` command), plus
 /// the scale-out experiment.
 pub fn all_figures() -> Vec<Figure> {
@@ -739,6 +952,7 @@ pub fn all_figures() -> Vec<Figure> {
         fig12(),
         scaleout(),
         qdepth(),
+        plan_ablation(),
     ]
 }
 
@@ -883,6 +1097,50 @@ mod tests {
         assert!(p50.last().unwrap().1 > p50[0].1);
         // And the first depth step already helps.
         assert!(tp_at(2) > tp_at(1));
+    }
+
+    #[test]
+    fn plan_ablation_optimized_never_loses() {
+        let f = plan_ablation();
+        for q in ["select", "distinct", "group-by"] {
+            let naive = &f.series(&format!("{q} naive")).unwrap().points;
+            let opt = &f.series(&format!("{q} optimized")).unwrap().points;
+            assert_eq!(naive.len(), opt.len());
+            assert_eq!(naive.len(), ABLATION_SHARDS.len() * ABLATION_DEPTHS.len());
+            for (a, b) in naive.iter().zip(opt) {
+                assert!(
+                    b.1 <= a.1 + 1e-9,
+                    "{q} optimized slower at config {}: {} vs {} us",
+                    a.0,
+                    b.1,
+                    a.1
+                );
+            }
+        }
+        // The projection workload must show a real smart-addressing win
+        // somewhere in the sweep (512 B tuples are past the crossover).
+        let naive = &f.series("select naive").unwrap().points;
+        let opt = &f.series("select optimized").unwrap().points;
+        assert!(
+            opt.iter().zip(naive).any(|(b, a)| b.1 < 0.9 * a.1),
+            "smart addressing should beat whole-row streaming clearly"
+        );
+    }
+
+    #[test]
+    fn explain_figures_renders_every_target() {
+        let text = explain_figures();
+        for needle in [
+            "smart-addressing",
+            "distinct-group-by-unification",
+            "fused into one scan pass",
+            "fleet[8 shards",
+            "batch[depth=8]",
+            "tiered[cold]",
+            "rules applied",
+        ] {
+            assert!(text.contains(needle), "explain output missing {needle:?}");
+        }
     }
 
     #[test]

@@ -25,7 +25,12 @@
 //! `fv_workload::FleetScenarioGen`, reporting throughput and p50/p99
 //! response time per node count; [`qdepth`] sweeps a closed-loop
 //! client's queue depth (1 → 16) through doorbell-batched `farView`
-//! submission, reporting throughput and p50/p99 per depth.
+//! submission, reporting throughput and p50/p99 per depth; and
+//! [`plan_ablation`] pits the query planner's optimized plans against
+//! naive ones across select/distinct/group-by × 1–8 shards × depth
+//! 1–8 (optimized is never slower, results byte-identical).
+//! [`explain_figures`] renders the planner's `explain()` report for
+//! every standard figure query (`figures explain` / `just explain`).
 //!
 //! [`FarviewFleet`]: farview_core::FarviewFleet
 

@@ -81,18 +81,23 @@ pub struct QueryOutcome {
 }
 
 impl QueryOutcome {
-    /// Decode the payload into rows.
+    /// Decode the payload into owned rows.
+    ///
+    /// Allocates one `Row` (plus one `Value` per column) for every
+    /// result row — convenient, but a real cost on hot paths. Prefer
+    /// [`QueryOutcome::iter_rows`] wherever a borrowed view suffices.
     pub fn rows(&self) -> Vec<Row> {
-        let rb = self.schema.row_bytes();
-        assert_eq!(
-            self.payload.len() % rb,
-            0,
-            "payload is not whole rows (schema mismatch?)"
-        );
-        self.payload
-            .chunks_exact(rb)
-            .map(|raw| fv_data::RowView::new(&self.schema, raw).to_row())
-            .collect()
+        self.iter_rows().map(|v| v.to_row()).collect()
+    }
+
+    /// Iterate the payload as borrowed [`fv_data::RowView`]s — zero
+    /// copies, zero allocations; values decode lazily per column access.
+    ///
+    /// # Panics
+    /// Panics if the payload is not a whole number of rows (schema
+    /// mismatch).
+    pub fn iter_rows(&self) -> impl ExactSizeIterator<Item = fv_data::RowView<'_>> + '_ {
+        fv_data::iter_rows(&self.schema, &self.payload)
     }
 
     /// Number of result rows.
@@ -578,27 +583,13 @@ impl QPair {
         })
     }
 
-    /// The general `farView` verb: run an operator pipeline over the
-    /// table inside the disaggregated memory.
-    pub fn far_view(&self, ft: &FTable, spec: &PipelineSpec) -> Result<QueryOutcome, FvError> {
-        self.check_table(ft)?;
-        let mut inner = self.inner.lock();
-        let (prepared, schema, reconf) = prepare(&mut inner, self, ft, spec.clone())?;
-        let config = inner.config.clone();
-        let result = episode::run_episode(vec![prepared], &config)?.remove(0);
-        Ok(finish_outcome(result, schema, reconf))
-    }
-
-    /// The `farView` verb at queue depth N: post every spec in `specs`
-    /// as one doorbell-batched submission on this queue pair and run the
-    /// whole batch as a single pipelined episode.
-    ///
-    /// One doorbell is rung for the batch; the node overlaps the verbs'
-    /// request processing, DRAM reads and operator execution, so the
-    /// batch makespan is far below the serial sum of solo queries while
-    /// every result stays byte-identical to its solo run. Outcomes are
-    /// returned in post order.
-    pub fn far_view_batch(
+    /// The single-node execution engine: post `specs` as one
+    /// doorbell-batched submission on this queue pair and run the whole
+    /// batch as a single pipelined episode. Every single-node entry
+    /// point reaches the episode machinery through here (via
+    /// [`crate::plan::Executor`]); a depth-1 batch *is* a solo
+    /// `farView`.
+    pub(crate) fn execute_specs(
         &self,
         ft: &FTable,
         specs: &[PipelineSpec],
@@ -631,6 +622,31 @@ impl QPair {
             .zip(metas)
             .map(|(r, (schema, reconf))| finish_outcome(r, schema, reconf))
             .collect())
+    }
+
+    /// The general `farView` verb: run an operator pipeline over the
+    /// table inside the disaggregated memory. Thin wrapper over
+    /// [`Executor::single`](crate::plan::Executor::single).
+    pub fn far_view(&self, ft: &FTable, spec: &PipelineSpec) -> Result<QueryOutcome, FvError> {
+        crate::plan::Executor::single(self, ft, spec)
+    }
+
+    /// The `farView` verb at queue depth N: post every spec in `specs`
+    /// as one doorbell-batched submission on this queue pair and run the
+    /// whole batch as a single pipelined episode. Thin wrapper over
+    /// [`Executor::batch`](crate::plan::Executor::batch).
+    ///
+    /// One doorbell is rung for the batch; the node overlaps the verbs'
+    /// request processing, DRAM reads and operator execution, so the
+    /// batch makespan is far below the serial sum of solo queries while
+    /// every result stays byte-identical to its solo run. Outcomes are
+    /// returned in post order.
+    pub fn far_view_batch(
+        &self,
+        ft: &FTable,
+        specs: &[PipelineSpec],
+    ) -> Result<Vec<QueryOutcome>, FvError> {
+        crate::plan::Executor::batch(self, ft, specs)
     }
 
     /// `tableRead`: plain RDMA read of the whole table through the
@@ -775,7 +791,10 @@ mod tests {
         assert_eq!(out.stats.tuples_in, 512);
         assert_eq!(out.stats.tuples_out, 256);
         // First surviving row is row 0.
-        assert_eq!(out.rows()[0].value(0), &Value::U64(0));
+        assert_eq!(
+            out.iter_rows().next().expect("rows").value(0),
+            Value::U64(0)
+        );
     }
 
     #[test]
@@ -845,8 +864,8 @@ mod tests {
             )
             .unwrap();
         assert_eq!(g.row_count(), 10);
-        for row in g.rows() {
-            assert_eq!(row.value(1), &Value::U64(10), "each group sums to 10");
+        for row in g.iter_rows() {
+            assert_eq!(row.value(1), Value::U64(10), "each group sums to 10");
         }
         assert_eq!(g.stats.groups_flushed, 10);
     }
@@ -928,7 +947,7 @@ mod tests {
         // 10 probe rows per key, 2 build keys.
         assert_eq!(out.row_count(), 20);
         assert_eq!(out.schema.column_count(), 3);
-        for row in out.rows() {
+        for row in out.iter_rows() {
             let key = row.value(0).as_u64();
             let dim = row.value(2).as_u64();
             assert_eq!(dim, key * 111);

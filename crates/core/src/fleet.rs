@@ -37,13 +37,13 @@
 //! [`fv_pipeline::merge`].
 
 use fv_data::{Schema, Table};
-use fv_pipeline::merge::{merge_distinct, PartialAggPlan};
-use fv_pipeline::{GroupingSpec, PipelineSpec};
+use fv_pipeline::PipelineSpec;
 use fv_sim::{MergeCostModel, SimDuration};
 
 use crate::cluster::{FTable, FarviewCluster, QPair, QueryOutcome, QueryStats, SelectQuery};
 use crate::config::FarviewConfig;
 use crate::error::FvError;
+use crate::plan::Executor;
 
 /// How a table's rows are assigned to fleet shards — the per-table
 /// partition key of the [`ShardMap`].
@@ -268,6 +268,12 @@ impl FleetTable {
     pub fn shard(&self, i: usize) -> &FTable {
         &self.shards[i]
     }
+
+    /// All per-shard handles, in shard order (the executor's scatter
+    /// walks these).
+    pub(crate) fn shard_tables(&self) -> &[FTable] {
+        &self.shards
+    }
 }
 
 /// Outcome of one fleet query: the merged result plus per-shard
@@ -311,7 +317,17 @@ impl FleetQPair {
         self.merge_model = model;
     }
 
-    fn check_table(&self, ft: &FleetTable) -> Result<(), FvError> {
+    /// The client-side merge cost model the executor charges.
+    pub(crate) fn merge_model(&self) -> &MergeCostModel {
+        &self.merge_model
+    }
+
+    /// The per-shard connections, in shard order.
+    pub(crate) fn qps(&self) -> &[QPair] {
+        &self.qps
+    }
+
+    pub(crate) fn check_table(&self, ft: &FleetTable) -> Result<(), FvError> {
         // Shard counts alone cannot distinguish two same-shaped fleets
         // (per-node qp ids and vaddrs are deterministic), so handles
         // carry the issuing fleet's process-unique id — which also
@@ -422,62 +438,24 @@ impl FleetQPair {
         }
     }
 
-    /// Validate `spec` for fleet fan-out and derive the per-shard spec
-    /// plus the partial-aggregation plan (GROUP BY needs the
-    /// partial/final aggregate split; everything else runs the user's
-    /// spec verbatim on each shard).
-    fn shard_plan(
-        &self,
-        ft: &FleetTable,
-        spec: &PipelineSpec,
-    ) -> Result<(PipelineSpec, Option<PartialAggPlan>), FvError> {
-        if spec.compress_output {
-            return Err(FvError::FleetUnsupported {
-                feature: "compressed",
-            });
-        }
-        if spec.encrypt_output.is_some() {
-            return Err(FvError::FleetUnsupported {
-                feature: "output-encrypted",
-            });
-        }
-        match &spec.grouping {
-            Some(GroupingSpec::GroupBy { keys, aggs }) => {
-                let plan = PartialAggPlan::new(keys, aggs, &ft.schema)?;
-                let mut s = spec.clone();
-                s.grouping = Some(GroupingSpec::GroupBy {
-                    keys: keys.clone(),
-                    aggs: plan.shard_aggs().to_vec(),
-                });
-                Ok((s, Some(plan)))
-            }
-            _ => Ok((spec.clone(), None)),
-        }
-    }
-
     /// The `farView` verb at fleet scope: fan the pipeline out as one
     /// episode per shard, gather the partial results, and merge them
-    /// client-side according to the pipeline's grouping stage.
+    /// client-side according to the pipeline's grouping stage. Thin
+    /// wrapper over [`Executor::fleet`] — shard-spec derivation and the
+    /// merge live in [`crate::plan`], shared with the batched verb.
     pub fn far_view(
         &self,
         ft: &FleetTable,
         spec: &PipelineSpec,
     ) -> Result<FleetQueryOutcome, FvError> {
-        self.check_table(ft)?;
-        let (shard_spec, agg_plan) = self.shard_plan(ft, spec)?;
-        let outcomes = self
-            .qps
-            .iter()
-            .zip(&ft.shards)
-            .map(|(qp, sft)| qp.far_view(sft, &shard_spec))
-            .collect::<Result<Vec<_>, _>>()?;
-        Ok(self.merge_outcomes(spec, agg_plan, &outcomes))
+        Ok(Executor::fleet(self, ft, std::slice::from_ref(spec))?.remove(0))
     }
 
     /// The batched `farView` verb at fleet scope: scatter a whole
     /// doorbell batch of `specs` to every shard — each shard runs the
     /// batch as **one pipelined episode** on its queue pair — then
-    /// gather and merge per query.
+    /// gather and merge per query. Thin wrapper over
+    /// [`Executor::fleet`].
     ///
     /// The fleet-observed makespan therefore reflects per-shard
     /// pipelining (max over shards of the shard's batch makespan), not N
@@ -488,96 +466,7 @@ impl FleetQPair {
         ft: &FleetTable,
         specs: &[PipelineSpec],
     ) -> Result<Vec<FleetQueryOutcome>, FvError> {
-        self.check_table(ft)?;
-        if specs.is_empty() {
-            return Ok(Vec::new());
-        }
-        let plans = specs
-            .iter()
-            .map(|s| self.shard_plan(ft, s))
-            .collect::<Result<Vec<_>, _>>()?;
-        let shard_specs: Vec<PipelineSpec> = plans.iter().map(|(s, _)| s.clone()).collect();
-        // Scatter: every shard executes the whole batch in flight.
-        let mut per_shard = Vec::with_capacity(self.qps.len());
-        for (qp, sft) in self.qps.iter().zip(&ft.shards) {
-            per_shard.push(qp.far_view_batch(sft, &shard_specs)?);
-        }
-        // Gather: merge query `i`'s per-shard outcomes client-side.
-        specs
-            .iter()
-            .zip(plans)
-            .enumerate()
-            .map(|(i, (spec, (_, plan)))| {
-                let outcomes: Vec<QueryOutcome> =
-                    per_shard.iter().map(|batch| batch[i].clone()).collect();
-                Ok(self.merge_outcomes(spec, plan, &outcomes))
-            })
-            .collect()
-    }
-
-    /// Merge one query's per-shard outcomes client-side according to the
-    /// pipeline's grouping stage.
-    fn merge_outcomes(
-        &self,
-        spec: &PipelineSpec,
-        agg_plan: Option<PartialAggPlan>,
-        outcomes: &[QueryOutcome],
-    ) -> FleetQueryOutcome {
-        let payloads: Vec<&[u8]> = outcomes.iter().map(|o| o.payload.as_slice()).collect();
-        let input_bytes: u64 = payloads.iter().map(|p| p.len() as u64).sum();
-        let (payload, schema, merge_time) = match (&spec.grouping, agg_plan) {
-            (Some(GroupingSpec::GroupBy { .. }), Some(plan)) => {
-                let (merged, partial_rows) = plan.merge(&payloads);
-                let t = self.merge_model.hash_merge(partial_rows, input_bytes);
-                (merged, plan.out_schema().clone(), t)
-            }
-            (Some(GroupingSpec::Distinct { .. }), _) => {
-                let schema = outcomes[0].schema.clone();
-                let (merged, rows_in) = merge_distinct(schema.row_bytes(), &payloads);
-                let t = self.merge_model.hash_merge(rows_in, input_bytes);
-                (merged, schema, t)
-            }
-            _ => {
-                // Concatenation in shard order. Under row-range
-                // partitioning this *is* the single-node row order.
-                let schema = outcomes[0].schema.clone();
-                let mut merged = Vec::with_capacity(input_bytes as usize);
-                for p in &payloads {
-                    merged.extend_from_slice(p);
-                }
-                let t = self.merge_model.concat(input_bytes);
-                (merged, schema, t)
-            }
-        };
-
-        let per_shard: Vec<QueryStats> = outcomes.iter().map(|o| o.stats).collect();
-        let mut stats = QueryStats::default();
-        for s in &per_shard {
-            stats.response_time = stats.response_time.max(s.response_time);
-            stats.bytes_from_memory += s.bytes_from_memory;
-            stats.bytes_on_wire += s.bytes_on_wire;
-            stats.packets += s.packets;
-            stats.tuples_in += s.tuples_in;
-            stats.tuples_out += s.tuples_out;
-            stats.overflow_tuples += s.overflow_tuples;
-            stats.hazard_catches += s.hazard_catches;
-            stats.groups_flushed += s.groups_flushed;
-            stats.client_postprocess += s.client_postprocess;
-            stats.reconfigured |= s.reconfigured;
-            stats.sim_events += s.sim_events;
-        }
-        stats.response_time += merge_time;
-        stats.result_bytes = payload.len() as u64;
-
-        FleetQueryOutcome {
-            merged: QueryOutcome {
-                payload,
-                schema,
-                stats,
-            },
-            per_shard,
-            merge_time,
-        }
+        Executor::fleet(self, ft, specs)
     }
 
     /// Plain fleet-wide read: gather every shard's rows (row order under

@@ -37,6 +37,7 @@ pub mod episode;
 mod error;
 pub mod fleet;
 pub mod microbench;
+pub mod plan;
 pub mod resources;
 pub mod tiered;
 
@@ -49,6 +50,7 @@ pub use fleet::{
     FarviewFleet, FleetQPair, FleetQueryOutcome, FleetTable, Partitioning, ShardAssignment,
     ShardMap,
 };
+pub use plan::{Executor, Explain, LogicalStage, MergeSpec, PlanTarget, QueryPlan};
 pub use tiered::{BlockStore, StorageParams, TieredPool};
 
 // Re-export the pipeline vocabulary: it is the public query language.

@@ -1,0 +1,1384 @@
+//! Unified query planning and the single execution engine.
+//!
+//! Every `farView`-shaped entry point — [`QPair::far_view`],
+//! [`QPair::far_view_batch`], [`FleetQPair::far_view`],
+//! [`FleetQPair::far_view_batch`] and `TieredPool::query` — is a thin
+//! wrapper over this module:
+//!
+//! ```text
+//!                 PipelineSpec ──lower──▶ QueryPlan (logical IR)
+//!                                             │ optimize()   rule-based:
+//!                                             │   · projection pruning
+//!                                             │   · predicate-before-projection
+//!                                             │   · DISTINCT→GROUP-BY unification
+//!                                             │   · cost-gated smart addressing
+//!                                             ▼
+//!  entry points ──────────────────────▶ Executor ──▶ episode engine
+//!       single / batch-N / fleet / tiered    │          (fv_core::episode)
+//!                                            └─▶ one shard-plan + one merge path
+//! ```
+//!
+//! The [`QueryPlan`] IR is a list of [`LogicalStage`]s plus a
+//! [`PlanTarget`] (single QPair, doorbell batch of depth N, fleet shard
+//! set, or tiered residency). Plans lower from a [`PipelineSpec`]
+//! ([`QueryPlan::from_spec`]) or are built stage by stage in *logical*
+//! order — where a filter written after a projection refers to projected
+//! column indices — and [`QueryPlan::optimize`] normalizes them back
+//! into the one physical order the hardware supports, applying the
+//! rewrite rules above. [`QueryPlan::explain`] surfaces the applied
+//! rules next to per-plan cost estimates from
+//! [`fv_sim::PlanCostModel`].
+//!
+//! The [`Executor`] owns the *only* implementations of per-shard spec
+//! derivation ([`shard_execution`]) and client-side gather/merge
+//! ([`MergeSpec`]): `DISTINCT` and `GROUP BY` both merge through the
+//! same partial-aggregation path
+//! ([`fv_pipeline::PartialAggPlan`], with an empty aggregate list for
+//! `DISTINCT`), so an optimization added here reaches all five entry
+//! points at once.
+//!
+//! [`QPair::far_view`]: crate::QPair::far_view
+//! [`QPair::far_view_batch`]: crate::QPair::far_view_batch
+//! [`FleetQPair::far_view`]: crate::FleetQPair::far_view
+//! [`FleetQPair::far_view_batch`]: crate::FleetQPair::far_view_batch
+//! `TieredPool::query`: crate::TieredPool::query
+
+use fv_data::Schema;
+use fv_pipeline::merge::PartialAggPlan;
+use fv_pipeline::{
+    AggSpec, CryptoSpec, GroupingSpec, JoinSmallSpec, PipelineError, PipelineSpec, PredicateExpr,
+    RegexFilter,
+};
+use fv_sim::{MergeCostModel, PlanCostModel, SimDuration};
+
+use crate::cluster::{FTable, QPair, QueryOutcome, QueryStats};
+use crate::error::FvError;
+use crate::fleet::{FleetQPair, FleetQueryOutcome, FleetTable, Partitioning};
+use crate::tiered::StorageParams;
+
+// ---------------------------------------------------------------------------
+// The IR
+// ---------------------------------------------------------------------------
+
+/// One logical stage of a [`QueryPlan`].
+///
+/// Stages apply in list order; every stage's column indices refer to its
+/// *input* schema (the base table for the first stage, the previous
+/// stage's output after a [`LogicalStage::Project`]). The physical
+/// pipeline supports exactly one order (decrypt → filter → regex → join
+/// → aggregate → project → compress → encrypt); plans in any other
+/// logical order must be normalized by [`QueryPlan::optimize`] before
+/// they can lower.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LogicalStage {
+    /// Decrypt the scanned bytes (data at rest is encrypted, §5.5).
+    Decrypt(CryptoSpec),
+    /// Keep tuples satisfying the predicate (§5.3).
+    Filter(PredicateExpr),
+    /// Keep tuples whose string column matches (§5.3).
+    Regex(RegexFilter),
+    /// Broadcast join against a shipped build side (§7 extension).
+    Join(JoinSmallSpec),
+    /// Grouping (§5.4): `GROUP BY keys` with aggregates — or, with
+    /// `distinct` set and no aggregates, `SELECT DISTINCT keys`. The two
+    /// are one stage kind so the fleet merge has exactly one
+    /// partial-aggregation path.
+    Aggregate {
+        /// Grouping key columns.
+        keys: Vec<usize>,
+        /// Aggregates per group (empty for `DISTINCT`).
+        aggs: Vec<AggSpec>,
+        /// Lower back to the streaming `DISTINCT` operator instead of a
+        /// hash-table `GROUP BY` flush.
+        distinct: bool,
+    },
+    /// Keep columns, in order (§5.2).
+    Project(Vec<usize>),
+    /// Compress the result stream (§5.5 extension).
+    Compress,
+    /// Encrypt the result stream (§5.5).
+    Encrypt(CryptoSpec),
+}
+
+impl LogicalStage {
+    /// Physical pipeline rank (Figure 4's fixed stage order). Stages of
+    /// equal rank commute.
+    fn rank(&self) -> u8 {
+        match self {
+            LogicalStage::Decrypt(_) => 0,
+            LogicalStage::Filter(_) | LogicalStage::Regex(_) => 1,
+            LogicalStage::Join(_) => 2,
+            LogicalStage::Aggregate { .. } => 3,
+            LogicalStage::Project(_) => 4,
+            LogicalStage::Compress => 5,
+            LogicalStage::Encrypt(_) => 6,
+        }
+    }
+
+    fn describe(&self) -> String {
+        match self {
+            LogicalStage::Decrypt(_) => "decrypt".into(),
+            LogicalStage::Filter(p) => format!("filter {p:?}"),
+            LogicalStage::Regex(r) => format!("regex c{} ~ {:?}", r.col, r.pattern),
+            LogicalStage::Join(j) => format!(
+                "join probe c{} vs build c{} ({} B shipped)",
+                j.probe_col,
+                j.build_key,
+                j.upload_bytes()
+            ),
+            LogicalStage::Aggregate {
+                keys,
+                aggs,
+                distinct,
+            } => {
+                if *distinct && aggs.is_empty() {
+                    format!("distinct {keys:?} (unified group-by, no aggregates)")
+                } else {
+                    format!("group-by {keys:?} aggs {aggs:?}")
+                }
+            }
+            LogicalStage::Project(cols) => format!("project {cols:?}"),
+            LogicalStage::Compress => "compress".into(),
+            LogicalStage::Encrypt(_) => "encrypt".into(),
+        }
+    }
+}
+
+/// Where a [`QueryPlan`] executes — the part of the IR the cost model
+/// and the [`Executor`] dispatch on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlanTarget {
+    /// One `farView` verb on a single queue pair.
+    Single,
+    /// A doorbell batch of `depth` verbs pipelined on one queue pair.
+    Batch {
+        /// Queue depth of the batch.
+        depth: usize,
+    },
+    /// Scatter–gather across a fleet shard set.
+    Fleet {
+        /// Number of shards the table spans.
+        shards: usize,
+        /// How the table's rows are assigned to shards.
+        partitioning: Partitioning,
+    },
+    /// A tiered buffer pool in front of block storage.
+    Tiered {
+        /// Whether the table is expected resident in disaggregated DRAM
+        /// (a miss pays the storage staging cost).
+        resident: bool,
+    },
+}
+
+impl std::fmt::Display for PlanTarget {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PlanTarget::Single => write!(f, "single"),
+            PlanTarget::Batch { depth } => write!(f, "batch[depth={depth}]"),
+            PlanTarget::Fleet {
+                shards,
+                partitioning,
+            } => write!(f, "fleet[{shards} shards, {partitioning:?}]"),
+            PlanTarget::Tiered { resident } => {
+                write!(f, "tiered[{}]", if *resident { "resident" } else { "cold" })
+            }
+        }
+    }
+}
+
+/// Optimizer rule names, as recorded in [`QueryPlan::applied_rules`] and
+/// [`Explain`].
+pub mod rules {
+    /// Fuse / narrow projections so no stage carries columns nothing
+    /// downstream reads.
+    pub const PROJECTION_PRUNING: &str = "projection-pruning";
+    /// Move a filter written after a projection back before it,
+    /// remapping its column indices into base-table space.
+    pub const PREDICATE_BEFORE_PROJECTION: &str = "predicate-before-projection";
+    /// `DISTINCT` is the degenerate `GROUP BY` — both merge through one
+    /// partial-aggregation path.
+    pub const DISTINCT_UNIFICATION: &str = "distinct-group-by-unification";
+    /// Read only the projected bytes from memory when the per-tuple
+    /// gather is estimated cheaper than streaming whole rows.
+    pub const SMART_ADDRESSING: &str = "smart-addressing";
+}
+
+/// The planner IR: logical stages plus an execution target.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryPlan {
+    stages: Vec<LogicalStage>,
+    smart_addressing: bool,
+    vectorize: bool,
+    target: PlanTarget,
+    applied: Vec<&'static str>,
+}
+
+impl QueryPlan {
+    /// An empty (passthrough) plan for `target`.
+    pub fn new(target: PlanTarget) -> Self {
+        QueryPlan {
+            stages: Vec::new(),
+            smart_addressing: false,
+            vectorize: false,
+            target,
+            applied: Vec::new(),
+        }
+    }
+
+    /// Lower a [`PipelineSpec`] into the IR (stages in the physical
+    /// order the spec already implies).
+    pub fn from_spec(spec: &PipelineSpec, target: PlanTarget) -> Self {
+        let mut stages = Vec::new();
+        if let Some(c) = &spec.decrypt_input {
+            stages.push(LogicalStage::Decrypt(c.clone()));
+        }
+        if let Some(p) = &spec.selection {
+            stages.push(LogicalStage::Filter(p.clone()));
+        }
+        if let Some(r) = &spec.regex {
+            stages.push(LogicalStage::Regex(r.clone()));
+        }
+        if let Some(j) = &spec.join {
+            stages.push(LogicalStage::Join(j.clone()));
+        }
+        match &spec.grouping {
+            Some(GroupingSpec::Distinct { cols }) => stages.push(LogicalStage::Aggregate {
+                keys: cols.clone(),
+                aggs: Vec::new(),
+                distinct: true,
+            }),
+            Some(GroupingSpec::GroupBy { keys, aggs }) => stages.push(LogicalStage::Aggregate {
+                keys: keys.clone(),
+                aggs: aggs.clone(),
+                distinct: false,
+            }),
+            None => {}
+        }
+        if let Some(cols) = &spec.projection {
+            stages.push(LogicalStage::Project(cols.clone()));
+        }
+        if spec.compress_output {
+            stages.push(LogicalStage::Compress);
+        }
+        if let Some(c) = &spec.encrypt_output {
+            stages.push(LogicalStage::Encrypt(c.clone()));
+        }
+        QueryPlan {
+            stages,
+            smart_addressing: spec.smart_addressing,
+            vectorize: spec.vectorize,
+            target,
+            applied: Vec::new(),
+        }
+    }
+
+    // --- builder (logical order) ------------------------------------------
+
+    /// Append a projection stage.
+    pub fn project(mut self, cols: Vec<usize>) -> Self {
+        self.stages.push(LogicalStage::Project(cols));
+        self
+    }
+
+    /// Append a filter stage. After a [`QueryPlan::project`], the
+    /// predicate's indices refer to the *projected* columns — the
+    /// optimizer remaps them back to base-table space.
+    pub fn filter(mut self, pred: PredicateExpr) -> Self {
+        self.stages.push(LogicalStage::Filter(pred));
+        self
+    }
+
+    /// Append a regex-selection stage.
+    pub fn regex_match(mut self, col: usize, pattern: impl Into<String>) -> Self {
+        self.stages.push(LogicalStage::Regex(RegexFilter {
+            col,
+            pattern: pattern.into(),
+        }));
+        self
+    }
+
+    /// Append a `DISTINCT` stage (the unified aggregate form).
+    pub fn distinct(mut self, cols: Vec<usize>) -> Self {
+        self.stages.push(LogicalStage::Aggregate {
+            keys: cols,
+            aggs: Vec::new(),
+            distinct: true,
+        });
+        self
+    }
+
+    /// Append a `GROUP BY` stage.
+    pub fn group_by(mut self, keys: Vec<usize>, aggs: Vec<AggSpec>) -> Self {
+        self.stages.push(LogicalStage::Aggregate {
+            keys,
+            aggs,
+            distinct: false,
+        });
+        self
+    }
+
+    /// Append a broadcast-join stage.
+    pub fn join_small(mut self, join: JoinSmallSpec) -> Self {
+        self.stages.push(LogicalStage::Join(join));
+        self
+    }
+
+    /// Append an input-decryption stage.
+    pub fn decrypt(mut self, key: CryptoSpec) -> Self {
+        self.stages.push(LogicalStage::Decrypt(key));
+        self
+    }
+
+    /// Append an output-encryption stage.
+    pub fn encrypt(mut self, key: CryptoSpec) -> Self {
+        self.stages.push(LogicalStage::Encrypt(key));
+        self
+    }
+
+    /// Append an output-compression stage.
+    pub fn compress(mut self) -> Self {
+        self.stages.push(LogicalStage::Compress);
+        self
+    }
+
+    /// Request vectorized selection lanes.
+    pub fn vectorized(mut self) -> Self {
+        self.vectorize = true;
+        self
+    }
+
+    // --- accessors --------------------------------------------------------
+
+    /// The logical stages, in order.
+    pub fn stages(&self) -> &[LogicalStage] {
+        &self.stages
+    }
+
+    /// The execution target.
+    pub fn target(&self) -> PlanTarget {
+        self.target
+    }
+
+    /// Whether the plan reads memory through smart addressing.
+    pub fn uses_smart_addressing(&self) -> bool {
+        self.smart_addressing
+    }
+
+    /// Rules the optimizer applied to produce this plan (empty for a
+    /// freshly lowered / built plan).
+    pub fn applied_rules(&self) -> &[&'static str] {
+        &self.applied
+    }
+
+    // --- lowering ---------------------------------------------------------
+
+    /// Lower the plan back into the [`PipelineSpec`] the hardware loads.
+    ///
+    /// # Errors
+    /// [`FvError::UnsupportedPlan`] when the stages are not in the
+    /// physical pipeline order (run [`QueryPlan::optimize`] first) or a
+    /// stage kind repeats where the hardware has a single slot.
+    pub fn to_spec(&self) -> Result<PipelineSpec, FvError> {
+        let mut spec = PipelineSpec::passthrough();
+        let mut rank = 0u8;
+        for stage in &self.stages {
+            if stage.rank() < rank {
+                return Err(FvError::UnsupportedPlan {
+                    reason: "stages are not in the physical pipeline order (decrypt → \
+                             filter/regex → join → aggregate → project → compress → encrypt); \
+                             optimize() normalizes filters, regexes and projections, but a \
+                             stage that consumes another's output cannot move before it",
+                });
+            }
+            rank = stage.rank();
+            match stage {
+                LogicalStage::Decrypt(c) => {
+                    if spec.decrypt_input.is_some() {
+                        return Err(FvError::UnsupportedPlan {
+                            reason: "two decrypt stages",
+                        });
+                    }
+                    spec = spec.decrypt(c.clone());
+                }
+                LogicalStage::Filter(p) => spec = spec.filter(p.clone()),
+                LogicalStage::Regex(r) => {
+                    if spec.regex.is_some() {
+                        return Err(FvError::UnsupportedPlan {
+                            reason: "two regex stages",
+                        });
+                    }
+                    spec = spec.regex_match(r.col, r.pattern.clone());
+                }
+                LogicalStage::Join(j) => {
+                    if spec.join.is_some() {
+                        return Err(FvError::UnsupportedPlan {
+                            reason: "two join stages",
+                        });
+                    }
+                    spec = spec.join_small(j.clone());
+                }
+                LogicalStage::Aggregate {
+                    keys,
+                    aggs,
+                    distinct,
+                } => {
+                    if spec.grouping.is_some() {
+                        return Err(FvError::UnsupportedPlan {
+                            reason: "two grouping stages",
+                        });
+                    }
+                    spec = if *distinct && aggs.is_empty() {
+                        spec.distinct(keys.clone())
+                    } else {
+                        spec.group_by(keys.clone(), aggs.clone())
+                    };
+                }
+                LogicalStage::Project(cols) => {
+                    if spec.projection.is_some() {
+                        return Err(FvError::UnsupportedPlan {
+                            reason: "two projection stages — optimize() fuses them",
+                        });
+                    }
+                    spec = spec.project(cols.clone());
+                }
+                LogicalStage::Compress => {
+                    if spec.compress_output {
+                        return Err(FvError::UnsupportedPlan {
+                            reason: "two compress stages",
+                        });
+                    }
+                    spec = spec.compress();
+                }
+                LogicalStage::Encrypt(c) => {
+                    if spec.encrypt_output.is_some() {
+                        return Err(FvError::UnsupportedPlan {
+                            reason: "two encrypt stages",
+                        });
+                    }
+                    spec = spec.encrypt(c.clone());
+                }
+            }
+        }
+        // Combinations the hardware has no layout for: grouping and the
+        // small-table join each define their own output tuples, so an
+        // explicit projection can never lower next to them (in either
+        // order). Reject here with the plan-layer error instead of
+        // letting `CompiledPipeline::compile` fail after the table is
+        // already loaded.
+        if spec.projection.is_some() {
+            if spec.grouping.is_some() {
+                return Err(FvError::UnsupportedPlan {
+                    reason: "grouping defines its own output columns; \
+                             a projection cannot combine with it",
+                });
+            }
+            if spec.join.is_some() {
+                return Err(FvError::UnsupportedPlan {
+                    reason: "the small-table join defines its own output tuples; \
+                             a projection cannot combine with it",
+                });
+            }
+        }
+        if self.smart_addressing {
+            spec = spec.with_smart_addressing();
+        }
+        if self.vectorize {
+            spec = spec.vectorized();
+        }
+        Ok(spec)
+    }
+
+    // --- the optimizer ----------------------------------------------------
+
+    /// Run the rule-based optimizer: normalize logical stage order into
+    /// the physical one (remapping column indices where the projection
+    /// permits), prune projections nothing downstream reads, and choose
+    /// smart addressing when the calibrated cost model says the gather
+    /// beats streaming whole rows. Every rewrite is
+    /// result-preserving: the optimized plan returns byte-identical
+    /// payloads on every target (property-tested in
+    /// `tests/plan_props.rs`).
+    pub fn optimize(&self, schema: &Schema) -> Result<QueryPlan, FvError> {
+        let mut plan = self.clone();
+        plan.applied.clear();
+        if plan
+            .stages
+            .iter()
+            .any(|s| matches!(s, LogicalStage::Aggregate { distinct, .. } if *distinct))
+        {
+            plan.applied.push(rules::DISTINCT_UNIFICATION);
+        }
+
+        // Fixpoint rewriting over adjacent stage pairs.
+        loop {
+            let mut changed = false;
+            let mut i = 0;
+            while i + 1 < plan.stages.len() {
+                let rewrite = match (&plan.stages[i], &plan.stages[i + 1]) {
+                    // Predicate-before-projection: filter indices remap
+                    // through the projection into base space.
+                    (LogicalStage::Project(p), LogicalStage::Filter(f)) => {
+                        let remapped = remap_predicate(f, p)?;
+                        Some((
+                            vec![
+                                LogicalStage::Filter(remapped),
+                                LogicalStage::Project(p.clone()),
+                            ],
+                            rules::PREDICATE_BEFORE_PROJECTION,
+                        ))
+                    }
+                    // A regex is a selection predicate too: its column
+                    // remaps through the projection the same way.
+                    (LogicalStage::Project(p), LogicalStage::Regex(r)) => {
+                        let col = remap_col(r.col, p)?;
+                        Some((
+                            vec![
+                                LogicalStage::Regex(RegexFilter {
+                                    col,
+                                    pattern: r.pattern.clone(),
+                                }),
+                                LogicalStage::Project(p.clone()),
+                            ],
+                            rules::PREDICATE_BEFORE_PROJECTION,
+                        ))
+                    }
+                    // Projection pruning: project∘project composes into
+                    // one stage, dropping columns the outer projection
+                    // never reads.
+                    (LogicalStage::Project(p), LogicalStage::Project(q)) => {
+                        let fused = remap_cols(q, p)?;
+                        Some((
+                            vec![LogicalStage::Project(fused)],
+                            rules::PROJECTION_PRUNING,
+                        ))
+                    }
+                    // Projection pruning: an aggregate defines its own
+                    // output columns, so a projection feeding it only
+                    // renames inputs — remap the keys/aggregates to base
+                    // space and drop the projection.
+                    (
+                        LogicalStage::Project(p),
+                        LogicalStage::Aggregate {
+                            keys,
+                            aggs,
+                            distinct,
+                        },
+                    ) => {
+                        let keys = remap_cols(keys, p)?;
+                        let aggs = aggs
+                            .iter()
+                            .map(|a| {
+                                Ok(AggSpec {
+                                    col: remap_col(a.col, p)?,
+                                    func: a.func,
+                                })
+                            })
+                            .collect::<Result<Vec<_>, FvError>>()?;
+                        Some((
+                            vec![LogicalStage::Aggregate {
+                                keys,
+                                aggs,
+                                distinct: *distinct,
+                            }],
+                            rules::PROJECTION_PRUNING,
+                        ))
+                    }
+                    _ => None,
+                };
+                if let Some((replacement, rule)) = rewrite {
+                    plan.stages.splice(i..i + 2, replacement);
+                    if !plan.applied.contains(&rule) {
+                        plan.applied.push(rule);
+                    }
+                    changed = true;
+                } else {
+                    i += 1;
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+
+        // Cost-gated smart addressing: a pure projection of strictly
+        // ascending, distinct columns reads only the projected bytes from
+        // memory when the per-tuple gather is clearly cheaper than
+        // streaming the whole row. (Ascending + distinct keeps the
+        // gathered byte order identical to the packed projection; the
+        // margin keeps "optimized is never slower" true under the
+        // event-level queueing the estimate does not model.)
+        if !plan.smart_addressing && !plan.vectorize && plan.stages.len() == 1 {
+            if let LogicalStage::Project(cols) = &plan.stages[0] {
+                let ascending = cols.windows(2).all(|w| w[0] < w[1]);
+                if ascending && !cols.is_empty() {
+                    let cost = PlanCostModel::default();
+                    let stream_per_tuple = cost.stream_scan(schema.row_bytes() as u64);
+                    let gather_per_tuple = cost.smart_gather(1);
+                    if gather_per_tuple * 5 < stream_per_tuple * 4 {
+                        plan.smart_addressing = true;
+                        plan.applied.push(rules::SMART_ADDRESSING);
+                    }
+                }
+            }
+        }
+
+        Ok(plan)
+    }
+
+    // --- explain ----------------------------------------------------------
+
+    /// Optimize the plan and report what the optimizer did next to the
+    /// calibrated cost estimates of the naive and optimized plans for a
+    /// table of `rows` rows.
+    pub fn explain(&self, schema: &Schema, rows: u64) -> Result<Explain, FvError> {
+        let optimized = self.optimize(schema)?;
+        let naive_cost = estimate(self, schema, rows);
+        let optimized_cost = estimate(&optimized, schema, rows);
+        let spec = optimized.to_spec()?;
+        let fused_scan = spec.fuses_filter_project();
+        Ok(Explain {
+            target: optimized.target,
+            stages: optimized
+                .stages
+                .iter()
+                .map(LogicalStage::describe)
+                .collect(),
+            applied: optimized.applied.clone(),
+            naive_cost,
+            optimized_cost,
+            smart_addressing: optimized.smart_addressing,
+            fused_scan,
+            rows,
+            row_bytes: schema.row_bytes(),
+        })
+    }
+}
+
+// --- column remapping helpers ----------------------------------------------
+
+fn remap_col(col: usize, projection: &[usize]) -> Result<usize, FvError> {
+    projection
+        .get(col)
+        .copied()
+        .ok_or(FvError::Pipeline(PipelineError::UnknownColumn {
+            col,
+            arity: projection.len(),
+        }))
+}
+
+fn remap_cols(cols: &[usize], projection: &[usize]) -> Result<Vec<usize>, FvError> {
+    cols.iter().map(|&c| remap_col(c, projection)).collect()
+}
+
+fn remap_predicate(pred: &PredicateExpr, projection: &[usize]) -> Result<PredicateExpr, FvError> {
+    Ok(match pred {
+        PredicateExpr::True => PredicateExpr::True,
+        PredicateExpr::Cmp { col, op, value } => PredicateExpr::Cmp {
+            col: remap_col(*col, projection)?,
+            op: *op,
+            value: value.clone(),
+        },
+        PredicateExpr::And(xs) => PredicateExpr::And(
+            xs.iter()
+                .map(|x| remap_predicate(x, projection))
+                .collect::<Result<_, _>>()?,
+        ),
+        PredicateExpr::Or(xs) => PredicateExpr::Or(
+            xs.iter()
+                .map(|x| remap_predicate(x, projection))
+                .collect::<Result<_, _>>()?,
+        ),
+        PredicateExpr::Not(x) => PredicateExpr::Not(Box::new(remap_predicate(x, projection)?)),
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Cost estimation (fv_sim hooks composed per target)
+// ---------------------------------------------------------------------------
+
+/// Coarse calibrated response-time estimate for one plan. Selectivities
+/// are unknown at plan time, so data-reducing stages are charged at
+/// worst case (everything survives) — conservative for both alternatives
+/// of every rewrite the optimizer considers.
+fn estimate(plan: &QueryPlan, schema: &Schema, rows: u64) -> SimDuration {
+    let cost = PlanCostModel::default();
+    let row_bytes = schema.row_bytes() as u64;
+
+    // Walk the stages to find the output row width (worst case: every
+    // tuple survives filters).
+    let mut widths: Vec<u64> = (0..schema.column_count())
+        .map(|c| schema.column_range(c).len() as u64)
+        .collect();
+    let mut grouped = false;
+    for stage in &plan.stages {
+        match stage {
+            LogicalStage::Project(cols) => {
+                widths = cols
+                    .iter()
+                    .map(|&c| widths.get(c).copied().unwrap_or(8))
+                    .collect();
+            }
+            LogicalStage::Aggregate { keys, aggs, .. } => {
+                grouped = true;
+                widths = keys
+                    .iter()
+                    .map(|&c| widths.get(c).copied().unwrap_or(8))
+                    .chain(std::iter::repeat_n(8, aggs.len()))
+                    .collect();
+            }
+            LogicalStage::Join(j) => {
+                let build_extra = j.build_schema.row_bytes() as u64;
+                widths.push(build_extra.saturating_sub(8));
+            }
+            _ => {}
+        }
+    }
+    let out_row_bytes: u64 = widths.iter().sum::<u64>().max(1);
+
+    let in_bytes_total = rows * row_bytes;
+    let gather = plan.smart_addressing.then_some(rows);
+    let out_bytes_total = rows * out_row_bytes;
+
+    match plan.target {
+        PlanTarget::Single => cost.episode(in_bytes_total, gather, out_bytes_total),
+        PlanTarget::Batch { depth } => {
+            // The doorbell batch overlaps fixed costs; the serial
+            // bottleneck (memory or wire) repeats per in-flight query.
+            let memory = match gather {
+                Some(t) => cost.smart_gather(t),
+                None => cost.stream_scan(in_bytes_total),
+            };
+            cost.request_fixed() + memory.max(cost.wire(out_bytes_total)) * depth as u64
+        }
+        PlanTarget::Fleet { shards, .. } => {
+            let shard_rows = rows.div_ceil(shards.max(1) as u64);
+            let shard_episode = cost.episode(
+                shard_rows * row_bytes,
+                gather.map(|_| shard_rows),
+                shard_rows * out_row_bytes,
+            );
+            let merge = if grouped {
+                cost.merge_hash(rows.min(shard_rows * shards as u64), out_bytes_total)
+            } else {
+                cost.merge_concat(out_bytes_total)
+            };
+            cost.fan_out(shard_episode, merge)
+        }
+        PlanTarget::Tiered { resident } => {
+            let staging = if resident {
+                SimDuration::ZERO
+            } else {
+                let dev = StorageParams::default();
+                dev.access_latency
+                    + fv_sim::calib::transfer(in_bytes_total, dev.bandwidth)
+                    + cost.stream_scan(in_bytes_total)
+            };
+            staging + cost.episode(in_bytes_total, gather, out_bytes_total)
+        }
+    }
+}
+
+/// What [`QueryPlan::explain`] reports: the optimized stage list, the
+/// rules that fired, and the calibrated cost estimates side by side.
+#[derive(Debug, Clone)]
+pub struct Explain {
+    /// Execution target of the plan.
+    pub target: PlanTarget,
+    /// Optimized stages, rendered human-readably in order.
+    pub stages: Vec<String>,
+    /// Optimizer rules that fired.
+    pub applied: Vec<&'static str>,
+    /// Estimated response time of the plan as written.
+    pub naive_cost: SimDuration,
+    /// Estimated response time after optimization.
+    pub optimized_cost: SimDuration,
+    /// Whether the optimized plan gathers only projected bytes.
+    pub smart_addressing: bool,
+    /// Whether the compiled pipeline will run the fused filter+project
+    /// scan.
+    pub fused_scan: bool,
+    /// Table rows the estimate assumed.
+    pub rows: u64,
+    /// Input row width in bytes.
+    pub row_bytes: usize,
+}
+
+impl std::fmt::Display for Explain {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "QueryPlan target={} rows={} row_bytes={}",
+            self.target, self.rows, self.row_bytes
+        )?;
+        writeln!(
+            f,
+            "  scan[{}]",
+            if self.smart_addressing {
+                "smart-addressing: projected bytes only"
+            } else {
+                "stream: whole rows"
+            }
+        )?;
+        for s in &self.stages {
+            writeln!(f, "  {s}")?;
+        }
+        if self.fused_scan {
+            writeln!(f, "  (filter+project fused into one scan pass)")?;
+        }
+        if self.applied.is_empty() {
+            writeln!(f, "rules applied: none")?;
+        } else {
+            writeln!(f, "rules applied: {}", self.applied.join(", "))?;
+        }
+        writeln!(
+            f,
+            "estimated cost: naive {} -> optimized {}",
+            self.naive_cost, self.optimized_cost
+        )
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Shard planning + merge: the one implementation
+// ---------------------------------------------------------------------------
+
+/// How one query's per-shard payloads combine client-side.
+#[derive(Debug)]
+pub enum MergeSpec {
+    /// Concatenate shard payloads in shard order (selection /
+    /// projection / regex; under row-range partitioning shard order *is*
+    /// row order).
+    Concat,
+    /// Merge through the partial-aggregation path — `GROUP BY` *and*
+    /// `DISTINCT` (the latter with an empty aggregate list, reducing the
+    /// merge to the order-preserving first-seen union).
+    Aggregate(PartialAggPlan),
+}
+
+/// Derive the spec each shard runs and the client-side merge for one
+/// fleet query — the single implementation every fleet entry point uses.
+///
+/// `GROUP BY` needs the partial/final aggregate split (`AVG` fans out as
+/// `SUMF64` + `COUNT`); `DISTINCT` runs the user's spec verbatim but
+/// merges through the same partial-aggregation path; everything else
+/// runs verbatim and concatenates.
+///
+/// # Errors
+/// [`FvError::FleetUnsupported`] for result streams with no
+/// order-preserving merge (compressed or output-encrypted).
+pub fn shard_execution(
+    spec: &PipelineSpec,
+    schema: &Schema,
+) -> Result<(PipelineSpec, MergeSpec), FvError> {
+    if spec.compress_output {
+        return Err(FvError::FleetUnsupported {
+            feature: "compressed",
+        });
+    }
+    if spec.encrypt_output.is_some() {
+        return Err(FvError::FleetUnsupported {
+            feature: "output-encrypted",
+        });
+    }
+    match &spec.grouping {
+        Some(GroupingSpec::GroupBy { keys, aggs }) => {
+            let plan = PartialAggPlan::new(keys, aggs, schema)?;
+            let mut s = spec.clone();
+            s.grouping = Some(GroupingSpec::GroupBy {
+                keys: keys.clone(),
+                aggs: plan.shard_aggs().to_vec(),
+            });
+            Ok((s, MergeSpec::Aggregate(plan)))
+        }
+        Some(GroupingSpec::Distinct { cols }) => {
+            let plan = PartialAggPlan::for_distinct(cols, schema)?;
+            Ok((spec.clone(), MergeSpec::Aggregate(plan)))
+        }
+        None => Ok((spec.clone(), MergeSpec::Concat)),
+    }
+}
+
+/// Merge one query's per-shard outcomes client-side — the single
+/// gather/merge implementation. Fleet stats aggregate as: counters sum
+/// over shards, `response_time` = max over shards + merge time.
+pub(crate) fn merge_gathered(
+    merge: &MergeSpec,
+    model: &MergeCostModel,
+    outcomes: &[QueryOutcome],
+) -> FleetQueryOutcome {
+    let payloads: Vec<&[u8]> = outcomes.iter().map(|o| o.payload.as_slice()).collect();
+    let input_bytes: u64 = payloads.iter().map(|p| p.len() as u64).sum();
+    let (payload, schema, merge_time) = match merge {
+        MergeSpec::Aggregate(plan) => {
+            let (merged, partial_rows) = plan.merge(&payloads);
+            let t = model.hash_merge(partial_rows, input_bytes);
+            (merged, plan.out_schema().clone(), t)
+        }
+        MergeSpec::Concat => {
+            // Concatenation in shard order. Under row-range partitioning
+            // this *is* the single-node row order.
+            let schema = outcomes[0].schema.clone();
+            let mut merged = Vec::with_capacity(input_bytes as usize);
+            for p in &payloads {
+                merged.extend_from_slice(p);
+            }
+            let t = model.concat(input_bytes);
+            (merged, schema, t)
+        }
+    };
+
+    let per_shard: Vec<QueryStats> = outcomes.iter().map(|o| o.stats).collect();
+    let mut stats = QueryStats::default();
+    for s in &per_shard {
+        stats.response_time = stats.response_time.max(s.response_time);
+        stats.bytes_from_memory += s.bytes_from_memory;
+        stats.bytes_on_wire += s.bytes_on_wire;
+        stats.packets += s.packets;
+        stats.tuples_in += s.tuples_in;
+        stats.tuples_out += s.tuples_out;
+        stats.overflow_tuples += s.overflow_tuples;
+        stats.hazard_catches += s.hazard_catches;
+        stats.groups_flushed += s.groups_flushed;
+        stats.client_postprocess += s.client_postprocess;
+        stats.reconfigured |= s.reconfigured;
+        stats.sim_events += s.sim_events;
+    }
+    stats.response_time += merge_time;
+    stats.result_bytes = payload.len() as u64;
+
+    FleetQueryOutcome {
+        merged: QueryOutcome {
+            payload,
+            schema,
+            stats,
+        },
+        per_shard,
+        merge_time,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The executor
+// ---------------------------------------------------------------------------
+
+/// The single execution engine behind every `farView`-shaped entry
+/// point. Stateless: each method takes the connection handles it drives.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Executor;
+
+impl Executor {
+    /// Run one spec on a single connection (the engine behind
+    /// [`QPair::far_view`](crate::QPair::far_view)).
+    pub fn single(qp: &QPair, ft: &FTable, spec: &PipelineSpec) -> Result<QueryOutcome, FvError> {
+        Ok(qp.execute_specs(ft, std::slice::from_ref(spec))?.remove(0))
+    }
+
+    /// Run a doorbell batch of specs on one connection (the engine
+    /// behind [`QPair::far_view_batch`](crate::QPair::far_view_batch)).
+    pub fn batch(
+        qp: &QPair,
+        ft: &FTable,
+        specs: &[PipelineSpec],
+    ) -> Result<Vec<QueryOutcome>, FvError> {
+        qp.execute_specs(ft, specs)
+    }
+
+    /// Scatter a batch of specs across a fleet, run each shard's batch
+    /// as one pipelined episode, and merge per query — the engine behind
+    /// both [`FleetQPair::far_view`](crate::FleetQPair::far_view) and
+    /// [`FleetQPair::far_view_batch`](crate::FleetQPair::far_view_batch).
+    pub fn fleet(
+        fqp: &FleetQPair,
+        ft: &FleetTable,
+        specs: &[PipelineSpec],
+    ) -> Result<Vec<FleetQueryOutcome>, FvError> {
+        fqp.check_table(ft)?;
+        if specs.is_empty() {
+            return Ok(Vec::new());
+        }
+        let plans = specs
+            .iter()
+            .map(|s| shard_execution(s, ft.schema()))
+            .collect::<Result<Vec<_>, _>>()?;
+        let shard_specs: Vec<PipelineSpec> = plans.iter().map(|(s, _)| s.clone()).collect();
+        // Scatter: every shard executes the whole batch in flight.
+        let mut per_shard = Vec::with_capacity(fqp.shard_count());
+        for (qp, sft) in fqp.qps().iter().zip(ft.shard_tables()) {
+            per_shard.push(qp.execute_specs(sft, &shard_specs)?);
+        }
+        // Gather: merge query `i`'s per-shard outcomes client-side.
+        Ok(plans
+            .iter()
+            .enumerate()
+            .map(|(i, (_, merge))| {
+                let outcomes: Vec<QueryOutcome> =
+                    per_shard.iter().map(|batch| batch[i].clone()).collect();
+                merge_gathered(merge, fqp.merge_model(), &outcomes)
+            })
+            .collect())
+    }
+
+    /// Optimize `plan` against the table's schema and run it on a single
+    /// connection.
+    pub fn run_plan(qp: &QPair, ft: &FTable, plan: &QueryPlan) -> Result<QueryOutcome, FvError> {
+        let spec = plan.optimize(ft.schema())?.to_spec()?;
+        Self::single(qp, ft, &spec)
+    }
+
+    /// Optimize each plan and run the set as one doorbell batch.
+    pub fn run_plan_batch(
+        qp: &QPair,
+        ft: &FTable,
+        plans: &[QueryPlan],
+    ) -> Result<Vec<QueryOutcome>, FvError> {
+        let specs = plans
+            .iter()
+            .map(|p| p.optimize(ft.schema())?.to_spec())
+            .collect::<Result<Vec<_>, _>>()?;
+        Self::batch(qp, ft, &specs)
+    }
+
+    /// Optimize `plan` against the fleet table's schema and scatter it.
+    pub fn run_plan_fleet(
+        fqp: &FleetQPair,
+        ft: &FleetTable,
+        plan: &QueryPlan,
+    ) -> Result<FleetQueryOutcome, FvError> {
+        let spec = plan.optimize(ft.schema())?.to_spec()?;
+        Ok(Self::fleet(fqp, ft, std::slice::from_ref(&spec))?.remove(0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{FarviewCluster, FarviewConfig};
+    use fv_data::{Table, TableBuilder, Value};
+    use fv_pipeline::AggFunc;
+
+    fn table(cols: usize, rows: u64) -> Table {
+        let schema = Schema::uniform_u64(cols);
+        let mut b = TableBuilder::with_capacity(schema, rows as usize);
+        for i in 0..rows {
+            b.push_values(
+                (0..cols as u64)
+                    .map(|c| Value::U64(i * 7 % 50 + c))
+                    .collect(),
+            );
+        }
+        b.build()
+    }
+
+    fn run(t: &Table, spec: &PipelineSpec) -> QueryOutcome {
+        let c = FarviewCluster::new(FarviewConfig::tiny());
+        let qp = c.connect().unwrap();
+        let (ft, _) = qp.load_table(t).unwrap();
+        qp.far_view(&ft, spec).unwrap()
+    }
+
+    #[test]
+    fn from_spec_roundtrips_through_the_ir() {
+        let specs = [
+            PipelineSpec::passthrough(),
+            PipelineSpec::passthrough()
+                .filter(PredicateExpr::lt(0, 10u64))
+                .project(vec![1, 0]),
+            PipelineSpec::passthrough().distinct(vec![1, 0]),
+            PipelineSpec::passthrough().group_by(
+                vec![0],
+                vec![AggSpec {
+                    col: 1,
+                    func: AggFunc::Avg,
+                }],
+            ),
+            PipelineSpec::passthrough().compress().vectorized(),
+        ];
+        for spec in &specs {
+            let plan = QueryPlan::from_spec(spec, PlanTarget::Single);
+            assert_eq!(&plan.to_spec().unwrap(), spec, "lossless roundtrip");
+        }
+    }
+
+    #[test]
+    fn filter_after_projection_reorders_and_remaps() {
+        // Logical plan: project [2,0,3], then filter on *projected*
+        // column 0 — which is base column 2.
+        let schema = Schema::uniform_u64(8);
+        let plan = QueryPlan::new(PlanTarget::Single)
+            .project(vec![2, 0, 3])
+            .filter(PredicateExpr::lt(0, 25u64));
+        assert!(matches!(
+            plan.to_spec(),
+            Err(FvError::UnsupportedPlan { .. })
+        ));
+        let optimized = plan.optimize(&schema).unwrap();
+        assert!(optimized
+            .applied_rules()
+            .contains(&rules::PREDICATE_BEFORE_PROJECTION));
+        let spec = optimized.to_spec().unwrap();
+        assert_eq!(spec.selection, Some(PredicateExpr::lt(2, 25u64)));
+        assert_eq!(spec.projection, Some(vec![2, 0, 3]));
+
+        // And the normalized plan computes what the logical plan means.
+        let t = table(8, 100);
+        let direct = run(
+            &t,
+            &PipelineSpec::passthrough()
+                .filter(PredicateExpr::lt(2, 25u64))
+                .project(vec![2, 0, 3]),
+        );
+        let via_plan = run(&t, &spec);
+        assert_eq!(via_plan.payload, direct.payload);
+    }
+
+    #[test]
+    fn projections_fuse_and_prune() {
+        let schema = Schema::uniform_u64(8);
+        let plan = QueryPlan::new(PlanTarget::Single)
+            .project(vec![3, 1, 2])
+            .project(vec![2, 0]);
+        let optimized = plan.optimize(&schema).unwrap();
+        assert!(optimized
+            .applied_rules()
+            .contains(&rules::PROJECTION_PRUNING));
+        assert_eq!(
+            optimized.stages(),
+            &[LogicalStage::Project(vec![2, 3])],
+            "project∘project composes; column 1 is pruned"
+        );
+
+        // Projection feeding an aggregate dissolves into remapped keys.
+        let plan = QueryPlan::new(PlanTarget::Single)
+            .project(vec![2, 1])
+            .group_by(
+                vec![0],
+                vec![AggSpec {
+                    col: 1,
+                    func: AggFunc::Sum,
+                }],
+            );
+        let optimized = plan.optimize(&schema).unwrap();
+        let spec = optimized.to_spec().unwrap();
+        assert_eq!(spec.projection, None);
+        assert!(matches!(
+            spec.grouping,
+            Some(GroupingSpec::GroupBy { ref keys, ref aggs })
+                if keys == &[2] && aggs[0].col == 1
+        ));
+        let t = table(8, 120);
+        let direct = run(
+            &t,
+            &PipelineSpec::passthrough().group_by(
+                vec![2],
+                vec![AggSpec {
+                    col: 1,
+                    func: AggFunc::Sum,
+                }],
+            ),
+        );
+        assert_eq!(run(&t, &spec).payload, direct.payload);
+    }
+
+    #[test]
+    fn regex_after_projection_reorders_and_remaps() {
+        use fv_data::{Column, ColumnType};
+        // Schema: a key column and two string columns.
+        let schema = Schema::new(vec![
+            Column {
+                name: "k".into(),
+                ty: ColumnType::U64,
+            },
+            Column {
+                name: "s1".into(),
+                ty: ColumnType::Bytes(8),
+            },
+            Column {
+                name: "s2".into(),
+                ty: ColumnType::Bytes(8),
+            },
+        ]);
+        // Logical plan: project [2, 0], then regex on *projected* column
+        // 0 — which is base column 2.
+        let plan = QueryPlan::new(PlanTarget::Single)
+            .project(vec![2, 0])
+            .regex_match(0, "a+");
+        let optimized = plan.optimize(&schema).unwrap();
+        assert!(optimized
+            .applied_rules()
+            .contains(&rules::PREDICATE_BEFORE_PROJECTION));
+        let spec = optimized.to_spec().unwrap();
+        let regex = spec.regex.as_ref().expect("regex survives");
+        assert_eq!(regex.col, 2, "remapped into base space");
+        assert_eq!(spec.projection, Some(vec![2, 0]));
+    }
+
+    #[test]
+    fn projection_next_to_grouping_or_join_errors_at_lowering() {
+        use fv_data::{TableBuilder, Value};
+        // SELECT a subset of a GROUP BY's output is not a pipeline the
+        // hardware has a layout for — the plan layer must say so, not
+        // `CompiledPipeline::compile` after the table is loaded.
+        let plan = QueryPlan::new(PlanTarget::Single)
+            .group_by(
+                vec![0],
+                vec![AggSpec {
+                    col: 1,
+                    func: AggFunc::Sum,
+                }],
+            )
+            .project(vec![0]);
+        let schema = Schema::uniform_u64(4);
+        let optimized = plan.optimize(&schema).unwrap();
+        assert!(matches!(
+            optimized.to_spec(),
+            Err(FvError::UnsupportedPlan { .. })
+        ));
+
+        let mut bb = TableBuilder::new(Schema::uniform_u64(2));
+        bb.push_values(vec![Value::U64(1), Value::U64(2)]);
+        let build = bb.build();
+        let plan = QueryPlan::new(PlanTarget::Single)
+            .project(vec![0, 1])
+            .join_small(fv_pipeline::JoinSmallSpec::new(0, &build, 0));
+        let optimized = plan.optimize(&schema).unwrap();
+        assert!(matches!(
+            optimized.to_spec(),
+            Err(FvError::UnsupportedPlan { .. })
+        ));
+    }
+
+    #[test]
+    fn out_of_range_remap_is_an_error() {
+        let schema = Schema::uniform_u64(8);
+        let plan = QueryPlan::new(PlanTarget::Single)
+            .project(vec![1, 2])
+            .filter(PredicateExpr::lt(5, 1u64)); // projected col 5 doesn't exist
+        assert!(matches!(
+            plan.optimize(&schema),
+            Err(FvError::Pipeline(PipelineError::UnknownColumn {
+                col: 5,
+                ..
+            }))
+        ));
+    }
+
+    #[test]
+    fn smart_addressing_is_cost_gated() {
+        // 512 B rows: the per-tuple gather clearly beats streaming.
+        let wide = Schema::uniform_u64(64);
+        let plan = QueryPlan::new(PlanTarget::Single).project(vec![8, 9, 10]);
+        let optimized = plan.optimize(&wide).unwrap();
+        assert!(optimized.uses_smart_addressing());
+        assert!(optimized.applied_rules().contains(&rules::SMART_ADDRESSING));
+
+        // 64 B rows: streaming wins; the rule must not fire.
+        let narrow = Schema::uniform_u64(8);
+        let optimized = QueryPlan::new(PlanTarget::Single)
+            .project(vec![1, 2])
+            .optimize(&narrow)
+            .unwrap();
+        assert!(!optimized.uses_smart_addressing());
+
+        // Non-ascending projections change byte order under smart
+        // addressing — the rule must skip them.
+        let optimized = QueryPlan::new(PlanTarget::Single)
+            .project(vec![10, 9])
+            .optimize(&wide)
+            .unwrap();
+        assert!(!optimized.uses_smart_addressing());
+
+        // A filter alongside the projection rules it out too.
+        let optimized = QueryPlan::new(PlanTarget::Single)
+            .filter(PredicateExpr::lt(0, 1u64))
+            .project(vec![8, 9])
+            .optimize(&wide)
+            .unwrap();
+        assert!(!optimized.uses_smart_addressing());
+    }
+
+    #[test]
+    fn optimized_smart_addressing_is_byte_identical_and_not_slower() {
+        let t = table(64, 2048); // 512 B rows
+        let naive_spec = PipelineSpec::passthrough().project(vec![8, 9, 10]);
+        let plan = QueryPlan::from_spec(&naive_spec, PlanTarget::Single);
+        let optimized_spec = plan.optimize(t.schema()).unwrap().to_spec().unwrap();
+        assert!(optimized_spec.smart_addressing);
+        let naive = run(&t, &naive_spec);
+        let optimized = run(&t, &optimized_spec);
+        assert_eq!(optimized.payload, naive.payload);
+        assert_eq!(optimized.schema, naive.schema);
+        assert!(
+            optimized.stats.response_time <= naive.stats.response_time,
+            "optimizer must never lose: {} vs {}",
+            optimized.stats.response_time,
+            naive.stats.response_time
+        );
+    }
+
+    #[test]
+    fn explain_reports_rules_and_costs() {
+        let wide = Schema::uniform_u64(64);
+        let plan = QueryPlan::new(PlanTarget::Fleet {
+            shards: 4,
+            partitioning: Partitioning::RowRange,
+        })
+        .project(vec![8, 9, 10]);
+        let ex = plan.explain(&wide, 4096).unwrap();
+        assert!(ex.applied.contains(&rules::SMART_ADDRESSING));
+        assert!(ex.optimized_cost < ex.naive_cost);
+        assert!(ex.smart_addressing);
+        let rendered = format!("{ex}");
+        assert!(rendered.contains("rules applied"));
+        assert!(rendered.contains("fleet[4 shards"));
+
+        // A passthrough plan has nothing to do and says so.
+        let ex = QueryPlan::new(PlanTarget::Single)
+            .explain(&wide, 64)
+            .unwrap();
+        assert!(ex.applied.is_empty());
+        assert_eq!(ex.naive_cost, ex.optimized_cost);
+    }
+
+    #[test]
+    fn distinct_unification_is_recorded_and_preserved() {
+        let schema = Schema::uniform_u64(4);
+        let spec = PipelineSpec::passthrough().distinct(vec![1, 0]);
+        let plan = QueryPlan::from_spec(
+            &spec,
+            PlanTarget::Fleet {
+                shards: 2,
+                partitioning: Partitioning::RowRange,
+            },
+        );
+        let optimized = plan.optimize(&schema).unwrap();
+        assert!(optimized
+            .applied_rules()
+            .contains(&rules::DISTINCT_UNIFICATION));
+        // Lowering keeps the streaming DISTINCT operator.
+        assert_eq!(optimized.to_spec().unwrap(), spec);
+        // And the shard execution merges through the aggregate path.
+        let (shard_spec, merge) = shard_execution(&spec, &schema).unwrap();
+        assert_eq!(shard_spec, spec);
+        assert!(matches!(merge, MergeSpec::Aggregate(_)));
+    }
+
+    #[test]
+    fn executor_plan_entry_points_agree_with_specs() {
+        let t = table(8, 200);
+        let c = FarviewCluster::new(FarviewConfig::tiny());
+        let qp = c.connect().unwrap();
+        let (ft, _) = qp.load_table(&t).unwrap();
+        let spec = PipelineSpec::passthrough()
+            .filter(PredicateExpr::lt(0, 30u64))
+            .project(vec![0, 3]);
+        let plan = QueryPlan::from_spec(&spec, PlanTarget::Single);
+        let via_plan = Executor::run_plan(&qp, &ft, &plan).unwrap();
+        let via_spec = qp.far_view(&ft, &spec).unwrap();
+        assert_eq!(via_plan.payload, via_spec.payload);
+
+        let batch = Executor::run_plan_batch(&qp, &ft, &[plan.clone(), plan]).unwrap();
+        assert_eq!(batch.len(), 2);
+        assert_eq!(batch[0].payload, via_spec.payload);
+        assert_eq!(batch[1].payload, via_spec.payload);
+    }
+}

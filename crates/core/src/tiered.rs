@@ -24,6 +24,7 @@ use fv_sim::{calib, SimDuration};
 
 use crate::cluster::{FTable, QPair, QueryOutcome};
 use crate::error::FvError;
+use crate::plan::Executor;
 use crate::PipelineSpec;
 
 /// NVMe-class device parameters: ~80 µs access latency, ~3 GB/s
@@ -208,13 +209,15 @@ impl<'a> TieredPool<'a> {
     }
 
     /// Run `spec` against `name`, staging it in from storage if cold.
+    /// Residency management lives here; the query itself runs through
+    /// the shared [`Executor`] like every other entry point.
     pub fn query(&mut self, name: &str, spec: &PipelineSpec) -> Result<TierOutcome, FvError> {
         self.clock += 1;
         if let Some(r) = self.resident.get_mut(name) {
             r.last_use = self.clock;
             self.hits += 1;
             let ft = r.ft.clone();
-            let outcome = self.qp.far_view(&ft, spec)?;
+            let outcome = Executor::single(self.qp, &ft, spec)?;
             return Ok(TierOutcome {
                 outcome,
                 buffer_hit: true,
@@ -246,7 +249,7 @@ impl<'a> TieredPool<'a> {
         );
         self.resident_bytes += need;
 
-        let outcome = self.qp.far_view(&ft, spec)?;
+        let outcome = Executor::single(self.qp, &ft, spec)?;
         Ok(TierOutcome {
             outcome,
             buffer_hit: false,

@@ -28,7 +28,7 @@ mod table;
 mod value;
 
 pub use catalog::{Catalog, CatalogEntry};
-pub use row::{Row, RowView};
+pub use row::{iter_rows, Row, RowView};
 pub use schema::{Column, Schema};
 pub use table::{Table, TableBuilder};
 pub use value::{ColumnType, Value, ValueError};

@@ -10,6 +10,7 @@ use fv_data::{RowView, Schema};
 
 use crate::pipeline::StreamOperator;
 use crate::predicate::PredicateExpr;
+use crate::project::ProjectionPlan;
 
 /// Streaming predicate filter.
 #[derive(Debug, Clone)]
@@ -48,6 +49,66 @@ impl StreamOperator for FilterOp {
         if self.pred.eval(&row) {
             self.passed += 1;
             out(tuple);
+        }
+    }
+}
+
+/// Fused filter+project scan: predicate evaluation and pack-time
+/// projection collapse into one pass over the tuple, so surviving rows
+/// go straight from the annotated stream to their packed form without an
+/// intermediate full-width copy between the selection stage and the
+/// packer. Byte-identical to running [`FilterOp`] followed by a
+/// projecting packer; `CompiledPipeline::compile` substitutes it
+/// whenever a spec pairs a selection with a projection and no operator
+/// sits between them.
+#[derive(Debug, Clone)]
+pub struct FusedFilterProject {
+    pred: PredicateExpr,
+    schema: Schema,
+    plan: ProjectionPlan,
+    scratch: Vec<u8>,
+    evaluated: u64,
+    passed: u64,
+}
+
+impl FusedFilterProject {
+    /// Fuse `pred` over `schema` with the pack-time projection `plan`.
+    pub fn new(pred: PredicateExpr, schema: Schema, plan: ProjectionPlan) -> Self {
+        let scratch = Vec::with_capacity(plan.out_row_bytes());
+        FusedFilterProject {
+            pred,
+            schema,
+            plan,
+            scratch,
+            evaluated: 0,
+            passed: 0,
+        }
+    }
+
+    /// Schema of the emitted (projected) tuples.
+    pub fn out_schema(&self) -> &Schema {
+        self.plan.out_schema()
+    }
+
+    /// `(evaluated, passed)` counters — observed selectivity.
+    pub fn counters(&self) -> (u64, u64) {
+        (self.evaluated, self.passed)
+    }
+}
+
+impl StreamOperator for FusedFilterProject {
+    fn name(&self) -> &'static str {
+        "fused-filter-project"
+    }
+
+    fn push(&mut self, tuple: &[u8], out: &mut dyn FnMut(&[u8])) {
+        self.evaluated += 1;
+        let row = RowView::new(&self.schema, tuple);
+        if self.pred.eval(&row) {
+            self.passed += 1;
+            self.scratch.clear();
+            self.plan.write_projected(tuple, &mut self.scratch);
+            out(&self.scratch);
         }
     }
 }

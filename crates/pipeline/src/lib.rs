@@ -27,7 +27,7 @@
 //! stages one at a time, exactly as the hardware feeds "up to a single
 //! tuple in each cycle" (§5.1).
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![warn(rust_2018_idioms)]
 
 pub mod cuckoo;

@@ -220,6 +220,17 @@ impl PartialAggPlan {
         })
     }
 
+    /// Build the plan for `SELECT DISTINCT <cols>` — the degenerate
+    /// `GROUP BY <cols>` with no aggregates. This is the
+    /// DISTINCT→GROUP-BY unification: every grouping operator merges
+    /// through the *same* partial-aggregation path, and an empty
+    /// aggregate list reduces [`PartialAggPlan::merge`] to the
+    /// order-preserving first-seen union (what [`merge_distinct`]
+    /// computes).
+    pub fn for_distinct(cols: &[usize], base_schema: &Schema) -> Result<Self, PipelineError> {
+        PartialAggPlan::new(cols, &[], base_schema)
+    }
+
     /// The aggregate list each shard runs (`AVG` rewritten to
     /// `SUM` + `COUNT`).
     pub fn shard_aggs(&self) -> &[AggSpec] {
@@ -420,6 +431,33 @@ mod tests {
             merge_distinct(8, &[rows(&[3, 1, 4]), rows(&[1, 5, 3, 9]), rows(&[2, 6])]);
         assert_eq!(n, 9);
         assert_eq!(merged, rows(&[3, 1, 4, 5, 9, 2, 6]));
+    }
+
+    #[test]
+    fn distinct_unifies_with_the_aggregate_merge_path() {
+        // DISTINCT = GROUP BY with no aggregates: the partial-aggregation
+        // merge must reproduce merge_distinct byte for byte, including
+        // first-seen order and cross-shard dedup.
+        let plan = PartialAggPlan::for_distinct(&[0], &base()).unwrap();
+        assert!(plan.shard_aggs().is_empty());
+        assert_eq!(plan.shard_row_bytes(), 8);
+        assert_eq!(plan.out_schema().column_count(), 1);
+
+        let rows =
+            |vals: &[u64]| -> Vec<u8> { vals.iter().flat_map(|v| v.to_le_bytes()).collect() };
+        let shards = [rows(&[3, 1, 4]), rows(&[1, 5, 3, 9]), rows(&[2, 6])];
+        let (via_agg, n_agg) = plan.merge(&shards);
+        let (via_distinct, n_distinct) = merge_distinct(8, &shards);
+        assert_eq!(via_agg, via_distinct);
+        assert_eq!(n_agg, n_distinct);
+
+        // Multi-column keys keep the projection order.
+        let plan2 = PartialAggPlan::for_distinct(&[2, 0], &base()).unwrap();
+        assert_eq!(plan2.shard_row_bytes(), 16);
+        let payload = rows(&[7, 8, 7, 8, 1, 2]);
+        let (merged, n) = plan2.merge(&[payload.clone()]);
+        assert_eq!(n, 3);
+        assert_eq!(merged, rows(&[7, 8, 1, 2]));
     }
 
     #[test]

@@ -6,7 +6,7 @@ use fv_sim::calib::{GROUP_FLUSH_CYCLES_PER_ENTRY, OP_FILL_CYCLES};
 use crate::compress::StreamCompressor;
 use crate::crypto_op::StreamCrypto;
 use crate::distinct::DistinctOp;
-use crate::filter::FilterOp;
+use crate::filter::{FilterOp, FusedFilterProject};
 use crate::group_by::GroupByOp;
 use crate::join::JoinSmallOp;
 use crate::pack::Packer;
@@ -210,6 +210,7 @@ pub struct CompiledPipeline {
     smart_addressing: Option<SmartAddressing>,
     stats: PipelineStats,
     finished: bool,
+    fused: bool,
 }
 
 impl std::fmt::Debug for CompiledPipeline {
@@ -258,10 +259,17 @@ impl CompiledPipeline {
             pred.validate(base_schema)?;
         }
 
+        // Fused filter+project scan: a selection paired with a pack-time
+        // projection and nothing between them collapses into one pass
+        // per tuple.
+        let fuse = spec.fuses_filter_project();
+
         // --- operators ----------------------------------------------------
         let mut ops: Vec<Box<dyn StreamOperator>> = Vec::new();
         if let Some(pred) = &spec.selection {
-            ops.push(Box::new(FilterOp::new(pred.clone(), base_schema.clone())));
+            if !fuse {
+                ops.push(Box::new(FilterOp::new(pred.clone(), base_schema.clone())));
+            }
         }
         if let Some(rf) = &spec.regex {
             if rf.col >= base_schema.column_count() {
@@ -328,6 +336,13 @@ impl CompiledPipeline {
         } else if spec.grouping.is_some() || spec.join.is_some() {
             // Grouping and join operators emit final-format tuples.
             (Packer::passthrough(), base_schema.row_bytes(), None)
+        } else if fuse {
+            let pred = spec.selection.clone().expect("fuse requires selection");
+            let plan = ProjectionPlan::new(base_schema, spec.projection.as_deref())?;
+            let op = FusedFilterProject::new(pred, base_schema.clone(), plan);
+            out_schema = op.out_schema().clone();
+            ops.push(Box::new(op));
+            (Packer::passthrough(), base_schema.row_bytes(), None)
         } else {
             let plan = ProjectionPlan::new(base_schema, spec.projection.as_deref())?;
             out_schema = plan.out_schema().clone();
@@ -351,7 +366,14 @@ impl CompiledPipeline {
             smart_addressing,
             stats: PipelineStats::default(),
             finished: false,
+            fused: fuse,
         })
+    }
+
+    /// Whether this pipeline runs the fused filter+project scan (a
+    /// selection and a projection collapsed into one pass per tuple).
+    pub fn is_fused(&self) -> bool {
+        self.fused
     }
 
     /// The spec this pipeline was compiled from.
@@ -627,6 +649,65 @@ mod tests {
         let mut p = CompiledPipeline::compile(PipelineSpec::passthrough(), t.schema()).unwrap();
         p.push_bytes(&t.bytes()[..70]);
         p.finish();
+    }
+
+    #[test]
+    fn fused_filter_project_is_byte_identical() {
+        let t = table(64);
+        // c0 = 8i < 256 -> first 32 rows survive.
+        let spec = PipelineSpec::passthrough()
+            .project(vec![7, 0, 3])
+            .filter(PredicateExpr::lt(0, 256u64));
+        let mut fused = CompiledPipeline::compile(spec, t.schema()).unwrap();
+        assert!(fused.is_fused(), "selection+projection must fuse");
+        for chunk in t.bytes().chunks(100) {
+            fused.push_bytes(chunk);
+        }
+        fused.finish();
+        let out = fused.drain_output();
+
+        // Reference: the unfused route — filter alone, then project each
+        // surviving row.
+        let mut filter_only = CompiledPipeline::compile(
+            PipelineSpec::passthrough().filter(PredicateExpr::lt(0, 256u64)),
+            t.schema(),
+        )
+        .unwrap();
+        assert!(!filter_only.is_fused());
+        filter_only.push_bytes(t.bytes());
+        filter_only.finish();
+        let survivors = filter_only.drain_output();
+        let plan = ProjectionPlan::new(t.schema(), Some(&[7, 0, 3])).unwrap();
+        let mut expect = Vec::new();
+        for row in survivors.chunks_exact(t.schema().row_bytes()) {
+            plan.write_projected(row, &mut expect);
+        }
+
+        assert_eq!(out, expect, "fusion must not change a single byte");
+        assert_eq!(fused.stats().tuples_in, 64);
+        assert_eq!(fused.stats().tuples_out, 32);
+        assert_eq!(fused.out_schema().column_count(), 3);
+
+        // A regex between selection and projection prevents fusion.
+        let schema = Schema::new(vec![
+            fv_data::Column {
+                name: "k".into(),
+                ty: ColumnType::U64,
+            },
+            fv_data::Column {
+                name: "s".into(),
+                ty: ColumnType::Bytes(8),
+            },
+        ]);
+        let unfusable = CompiledPipeline::compile(
+            PipelineSpec::passthrough()
+                .project(vec![0])
+                .filter(PredicateExpr::lt(0, 10u64))
+                .regex_match(1, "a+"),
+            &schema,
+        )
+        .unwrap();
+        assert!(!unfusable.is_fused());
     }
 
     #[test]

@@ -202,6 +202,20 @@ impl PipelineSpec {
         self
     }
 
+    /// Whether `CompiledPipeline::compile` collapses this spec's
+    /// selection and projection into the single fused filter+project
+    /// scan pass: both present, nothing between them (grouping and join
+    /// already conflict with an explicit projection, so only a regex
+    /// can intervene), and the memory path streams whole rows. The one
+    /// definition both the compiler and the planner's `explain()`
+    /// consult.
+    pub fn fuses_filter_project(&self) -> bool {
+        self.selection.is_some()
+            && self.projection.is_some()
+            && self.regex.is_none()
+            && !self.smart_addressing
+    }
+
     /// Number of operator stages this spec instantiates (for the resource
     /// model and fill-latency costing).
     pub fn stage_count(&self) -> usize {
@@ -219,8 +233,187 @@ impl PipelineSpec {
     /// FarView verb's parameter words so the target can verify the loaded
     /// region matches the request (§4.3: parameters signal "how to access
     /// and process the data").
+    ///
+    /// Covers **every** field of the spec through a structured
+    /// tag-length-value encoding — including the crypto key material
+    /// (whose `Debug` rendering is deliberately redacted), the join
+    /// build image, the regex pattern and the `vectorize` /
+    /// `smart_addressing` / `compress_output` flag bits — so two designs
+    /// that differ anywhere are never treated as the same loaded region.
     pub fn fingerprint(&self) -> u64 {
-        crate::cuckoo::hash64(format!("{self:?}").as_bytes(), 0xFA27_1E77)
+        let mut buf = Vec::with_capacity(128);
+        match &self.projection {
+            None => buf.push(0),
+            Some(cols) => {
+                buf.push(1);
+                fp_cols(&mut buf, cols);
+            }
+        }
+        buf.push(u8::from(self.smart_addressing));
+        match &self.selection {
+            None => buf.push(0),
+            Some(p) => {
+                buf.push(1);
+                fp_pred(&mut buf, p);
+            }
+        }
+        match &self.regex {
+            None => buf.push(0),
+            Some(r) => {
+                buf.push(1);
+                fp_u64(&mut buf, r.col as u64);
+                fp_bytes(&mut buf, r.pattern.as_bytes());
+            }
+        }
+        match &self.grouping {
+            None => buf.push(0),
+            Some(GroupingSpec::Distinct { cols }) => {
+                buf.push(1);
+                fp_cols(&mut buf, cols);
+            }
+            Some(GroupingSpec::GroupBy { keys, aggs }) => {
+                buf.push(2);
+                fp_cols(&mut buf, keys);
+                fp_u64(&mut buf, aggs.len() as u64);
+                for a in aggs {
+                    fp_u64(&mut buf, a.col as u64);
+                    buf.push(fp_agg_func(a.func));
+                }
+            }
+        }
+        match &self.join {
+            None => buf.push(0),
+            Some(j) => {
+                buf.push(1);
+                fp_u64(&mut buf, j.probe_col as u64);
+                fp_u64(&mut buf, j.build_key as u64);
+                fp_schema(&mut buf, &j.build_schema);
+                // The build image can be hundreds of kilobytes; a content
+                // hash plus length distinguishes builds without copying.
+                fp_u64(&mut buf, j.build_rows.len() as u64);
+                fp_u64(&mut buf, crate::cuckoo::hash64(&j.build_rows, 0x0001_01A0));
+            }
+        }
+        fp_crypto(&mut buf, self.decrypt_input.as_ref());
+        buf.push(u8::from(self.compress_output));
+        fp_crypto(&mut buf, self.encrypt_output.as_ref());
+        buf.push(u8::from(self.vectorize));
+        crate::cuckoo::hash64(&buf, 0xFA27_1E77)
+    }
+}
+
+// --- fingerprint encoding helpers -----------------------------------------
+// Every value is written with an unambiguous prefix (tag and/or length)
+// so no two distinct specs can serialize to the same byte string.
+
+fn fp_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn fp_bytes(buf: &mut Vec<u8>, b: &[u8]) {
+    fp_u64(buf, b.len() as u64);
+    buf.extend_from_slice(b);
+}
+
+fn fp_cols(buf: &mut Vec<u8>, cols: &[usize]) {
+    fp_u64(buf, cols.len() as u64);
+    for &c in cols {
+        fp_u64(buf, c as u64);
+    }
+}
+
+fn fp_agg_func(f: AggFunc) -> u8 {
+    match f {
+        AggFunc::Count => 0,
+        AggFunc::Sum => 1,
+        AggFunc::SumF64 => 2,
+        AggFunc::Min => 3,
+        AggFunc::Max => 4,
+        AggFunc::Avg => 5,
+    }
+}
+
+fn fp_value(buf: &mut Vec<u8>, v: &fv_data::Value) {
+    use fv_data::Value;
+    match v {
+        Value::U64(x) => {
+            buf.push(0);
+            fp_u64(buf, *x);
+        }
+        Value::I64(x) => {
+            buf.push(1);
+            buf.extend_from_slice(&x.to_le_bytes());
+        }
+        Value::F64(x) => {
+            buf.push(2);
+            buf.extend_from_slice(&x.to_le_bytes());
+        }
+        Value::Bytes(b) => {
+            buf.push(3);
+            fp_bytes(buf, b);
+        }
+    }
+}
+
+fn fp_pred(buf: &mut Vec<u8>, p: &PredicateExpr) {
+    use crate::predicate::CmpOp;
+    match p {
+        PredicateExpr::True => buf.push(0),
+        PredicateExpr::Cmp { col, op, value } => {
+            buf.push(1);
+            fp_u64(buf, *col as u64);
+            buf.push(match op {
+                CmpOp::Lt => 0,
+                CmpOp::Le => 1,
+                CmpOp::Gt => 2,
+                CmpOp::Ge => 3,
+                CmpOp::Eq => 4,
+                CmpOp::Ne => 5,
+            });
+            fp_value(buf, value);
+        }
+        PredicateExpr::And(xs) => {
+            buf.push(2);
+            fp_u64(buf, xs.len() as u64);
+            xs.iter().for_each(|x| fp_pred(buf, x));
+        }
+        PredicateExpr::Or(xs) => {
+            buf.push(3);
+            fp_u64(buf, xs.len() as u64);
+            xs.iter().for_each(|x| fp_pred(buf, x));
+        }
+        PredicateExpr::Not(x) => {
+            buf.push(4);
+            fp_pred(buf, x);
+        }
+    }
+}
+
+fn fp_schema(buf: &mut Vec<u8>, schema: &fv_data::Schema) {
+    use fv_data::ColumnType;
+    fp_u64(buf, schema.column_count() as u64);
+    for c in schema.columns() {
+        match c.ty {
+            ColumnType::U64 => buf.push(0),
+            ColumnType::I64 => buf.push(1),
+            ColumnType::F64 => buf.push(2),
+            ColumnType::Bytes(n) => {
+                buf.push(3);
+                fp_u64(buf, n as u64);
+            }
+        }
+        fp_bytes(buf, c.name.as_bytes());
+    }
+}
+
+fn fp_crypto(buf: &mut Vec<u8>, c: Option<&CryptoSpec>) {
+    match c {
+        None => buf.push(0),
+        Some(c) => {
+            buf.push(1);
+            buf.extend_from_slice(&c.key);
+            buf.extend_from_slice(&c.iv);
+        }
     }
 }
 
@@ -270,6 +463,153 @@ mod tests {
         let b = PipelineSpec::passthrough().project(vec![1]);
         assert_ne!(a.fingerprint(), b.fingerprint());
         assert_eq!(a.fingerprint(), a.clone().fingerprint());
+    }
+
+    /// Regression for the fingerprint audit: two specs differing in any
+    /// *single* field — including the fields whose `Debug` rendering is
+    /// redacted (crypto key material) or summarized (join build rows) —
+    /// must fingerprint differently.
+    #[test]
+    fn fingerprint_covers_every_field() {
+        use fv_data::{Table, TableBuilder, Value};
+
+        let key = CryptoSpec {
+            key: [0xAA; 16],
+            iv: [0xBB; 16],
+        };
+        let key_other = CryptoSpec {
+            key: [0xAC; 16],
+            iv: [0xBB; 16],
+        };
+        let iv_other = CryptoSpec {
+            key: [0xAA; 16],
+            iv: [0xBD; 16],
+        };
+        let build = |vals: &[u64]| -> Table {
+            let mut b = TableBuilder::new(fv_data::Schema::uniform_u64(2));
+            for &v in vals {
+                b.push_values(vec![Value::U64(v), Value::U64(v + 1)]);
+            }
+            b.build()
+        };
+        let join = |t: &Table| JoinSmallSpec::new(0, t, 0);
+
+        // Each variant differs from its predecessor-of-kind in exactly
+        // one field; all must be pairwise distinct.
+        let variants: Vec<(&str, PipelineSpec)> = vec![
+            ("passthrough", PipelineSpec::passthrough()),
+            ("project", PipelineSpec::passthrough().project(vec![0, 1])),
+            (
+                "project-order",
+                PipelineSpec::passthrough().project(vec![1, 0]),
+            ),
+            (
+                "smart-addressing",
+                PipelineSpec::passthrough()
+                    .project(vec![0, 1])
+                    .with_smart_addressing(),
+            ),
+            (
+                "filter",
+                PipelineSpec::passthrough().filter(PredicateExpr::lt(0, 10u64)),
+            ),
+            (
+                "filter-value",
+                PipelineSpec::passthrough().filter(PredicateExpr::lt(0, 11u64)),
+            ),
+            (
+                "filter-op",
+                PipelineSpec::passthrough().filter(PredicateExpr::gt(0, 10u64)),
+            ),
+            (
+                "filter-col",
+                PipelineSpec::passthrough().filter(PredicateExpr::lt(1, 10u64)),
+            ),
+            ("regex", PipelineSpec::passthrough().regex_match(1, "a+")),
+            (
+                "regex-pattern",
+                PipelineSpec::passthrough().regex_match(1, "a*"),
+            ),
+            (
+                "regex-col",
+                PipelineSpec::passthrough().regex_match(2, "a+"),
+            ),
+            ("distinct", PipelineSpec::passthrough().distinct(vec![0])),
+            (
+                "distinct-cols",
+                PipelineSpec::passthrough().distinct(vec![0, 1]),
+            ),
+            (
+                "group-by",
+                PipelineSpec::passthrough().group_by(
+                    vec![0],
+                    vec![AggSpec {
+                        col: 1,
+                        func: AggFunc::Sum,
+                    }],
+                ),
+            ),
+            (
+                "group-by-func",
+                PipelineSpec::passthrough().group_by(
+                    vec![0],
+                    vec![AggSpec {
+                        col: 1,
+                        func: AggFunc::Avg,
+                    }],
+                ),
+            ),
+            (
+                "group-by-agg-col",
+                PipelineSpec::passthrough().group_by(
+                    vec![0],
+                    vec![AggSpec {
+                        col: 2,
+                        func: AggFunc::Sum,
+                    }],
+                ),
+            ),
+            (
+                "join",
+                PipelineSpec::passthrough().join_small(join(&build(&[1, 2]))),
+            ),
+            (
+                "join-build-rows",
+                PipelineSpec::passthrough().join_small(join(&build(&[1, 3]))),
+            ),
+            ("decrypt", PipelineSpec::passthrough().decrypt(key.clone())),
+            (
+                "decrypt-key",
+                PipelineSpec::passthrough().decrypt(key_other.clone()),
+            ),
+            (
+                "decrypt-iv",
+                PipelineSpec::passthrough().decrypt(iv_other.clone()),
+            ),
+            ("encrypt", PipelineSpec::passthrough().encrypt(key.clone())),
+            (
+                "encrypt-key",
+                PipelineSpec::passthrough().encrypt(key_other),
+            ),
+            ("encrypt-iv", PipelineSpec::passthrough().encrypt(iv_other)),
+            ("compress", PipelineSpec::passthrough().compress()),
+            ("vectorized", PipelineSpec::passthrough().vectorized()),
+        ];
+
+        for (i, (name_a, a)) in variants.iter().enumerate() {
+            assert_eq!(
+                a.fingerprint(),
+                a.clone().fingerprint(),
+                "{name_a} must fingerprint deterministically"
+            );
+            for (name_b, b) in &variants[i + 1..] {
+                assert_ne!(
+                    a.fingerprint(),
+                    b.fingerprint(),
+                    "{name_a} and {name_b} must fingerprint differently"
+                );
+            }
+        }
     }
 
     #[test]

@@ -29,11 +29,13 @@
 #![warn(rust_2018_idioms)]
 
 pub mod calib;
+pub mod cost;
 pub mod engine;
 pub mod queueing;
 pub mod stats;
 pub mod time;
 
+pub use cost::PlanCostModel;
 pub use engine::{Actor, ActorId, Context, Simulation};
 pub use queueing::{BandwidthServer, DrrScheduler};
 pub use stats::{Histogram, MergeCostModel, RunningStats};

@@ -62,7 +62,7 @@ fn main() {
     assert!(reduction > 1000.0, "aggregation must collapse the transfer");
 
     println!("\nregion  count      sum             avg");
-    let mut rows = outcome.rows();
+    let mut rows: Vec<_> = outcome.iter_rows().collect();
     rows.sort_by_key(|r| r.value(0).as_u64());
     for row in rows.iter().take(8) {
         println!(

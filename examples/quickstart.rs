@@ -57,7 +57,7 @@ fn main() {
     assert!(speedup > 1.5, "selection push-down must pay off");
 
     // Decode a couple of result rows through the schema.
-    for row in sel.rows().into_iter().take(3) {
+    for row in sel.iter_rows().take(3) {
         println!("  row: c0={} c1={}", row.value(0), row.value(1));
     }
 }

@@ -24,3 +24,7 @@ ci: verify doc fmt-check clippy
 # Reproduce every table/figure of the paper plus the scale-out sweep.
 figures:
     cargo run -q --release -p fv-bench --bin figures all
+
+# Dump optimizer explain() output for the standard figure queries.
+explain:
+    cargo run -q --release -p fv-bench --bin figures explain

@@ -51,9 +51,9 @@ pub use fv_workload as workload;
 /// The most commonly used items, re-exported flat.
 pub mod prelude {
     pub use farview_core::{
-        FTable, FarviewCluster, FarviewConfig, FarviewFleet, FleetQPair, FleetQueryOutcome,
-        FleetTable, FvError, Partitioning, PipelineSpec, QPair, QueryOutcome, QueryStats,
-        SelectQuery, ShardMap,
+        Executor, FTable, FarviewCluster, FarviewConfig, FarviewFleet, FleetQPair,
+        FleetQueryOutcome, FleetTable, FvError, Partitioning, PipelineSpec, PlanTarget, QPair,
+        QueryOutcome, QueryPlan, QueryStats, SelectQuery, ShardMap,
     };
     pub use fv_baseline::{BaselineKind, CpuEngine};
     pub use fv_data::{Row, Schema, Table, Value};

@@ -88,7 +88,7 @@ fn heterogeneous_pipelines_run_concurrently() {
     assert_eq!(outs[1].row_count(), expected_sel);
     assert_eq!(outs[2].row_count(), 32);
     assert_eq!(outs[3].row_count(), 32);
-    let total: u64 = outs[3].rows().iter().map(|r| r.value(1).as_u64()).sum();
+    let total: u64 = outs[3].iter_rows().map(|r| r.value(1).as_u64()).sum();
     assert_eq!(
         total,
         table.row_count() as u64,

@@ -1,0 +1,167 @@
+//! Property-based optimizer soundness: for arbitrary specs, the
+//! optimized plan must return **byte-identical** results to the
+//! unoptimized spec on every entry point — single `farView`, the
+//! doorbell batch, the fleet under row-range *and* key-hash
+//! partitioning, and the tiered pool. The optimizer may only move work
+//! around (reorder predicates, prune projections, switch the memory
+//! access path); it must never change a payload byte or a result
+//! schema.
+
+use proptest::prelude::*;
+
+use farview::prelude::*;
+use farview_core::{AggFunc, AggSpec, BlockStore, PredicateExpr, TieredPool};
+use fv_data::TableBuilder;
+
+/// A random table: 8 u64 columns (the paper-default row shape, which is
+/// also what the tiered pool stages), bounded values.
+fn arb_table(max_rows: usize) -> impl Strategy<Value = Table> {
+    prop::collection::vec(prop::collection::vec(0..64u64, 8), 1..=max_rows).prop_map(|rows| {
+        let schema = Schema::uniform_u64(8);
+        let mut b = TableBuilder::with_capacity(schema, rows.len());
+        for r in rows {
+            b.push_values(r.into_iter().map(Value::U64).collect());
+        }
+        b.build()
+    })
+}
+
+/// Distinct column lists (duplicate names never survive
+/// `Schema::project`, so column sets are always unique in practice).
+fn arb_cols(max: usize) -> impl Strategy<Value = Vec<usize>> {
+    prop::collection::vec(0usize..8, 1..=max).prop_map(|mut cols| {
+        let mut seen = std::collections::HashSet::new();
+        cols.retain(|c| seen.insert(*c));
+        cols
+    })
+}
+
+/// A random fleet-mergeable spec: projection/selection/distinct/group-by
+/// shapes (compression and output encryption cannot fan out).
+fn arb_spec() -> impl Strategy<Value = PipelineSpec> {
+    let filter = (0usize..8, 0u64..64)
+        .prop_map(|(col, v)| PipelineSpec::passthrough().filter(PredicateExpr::lt(col, v)));
+    let project = arb_cols(4).prop_map(|cols| PipelineSpec::passthrough().project(cols));
+    let filter_project = (0usize..8, 0u64..64, arb_cols(4)).prop_map(|(col, v, cols)| {
+        PipelineSpec::passthrough()
+            .filter(PredicateExpr::lt(col, v))
+            .project(cols)
+    });
+    let distinct = arb_cols(2).prop_map(|cols| PipelineSpec::passthrough().distinct(cols));
+    let group_by = (
+        0usize..8,
+        0usize..8,
+        prop::sample::select(vec![
+            AggFunc::Count,
+            AggFunc::Sum,
+            AggFunc::Min,
+            AggFunc::Max,
+            AggFunc::Avg,
+        ]),
+    )
+        .prop_map(|(key, col, func)| {
+            PipelineSpec::passthrough().group_by(vec![key], vec![AggSpec { col, func }])
+        });
+    prop_oneof![filter, project, filter_project, distinct, group_by]
+}
+
+/// Optimize `spec` against `schema` for `target` and lower it back.
+fn optimized(spec: &PipelineSpec, schema: &Schema, target: PlanTarget) -> PipelineSpec {
+    QueryPlan::from_spec(spec, target)
+        .optimize(schema)
+        .expect("optimize")
+        .to_spec()
+        .expect("lower")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Single `farView` and the doorbell batch.
+    #[test]
+    fn optimized_plans_match_on_single_and_batch(
+        table in arb_table(150),
+        spec in arb_spec(),
+        depth in 1usize..5,
+    ) {
+        let opt = optimized(&spec, table.schema(), PlanTarget::Batch { depth });
+        let c = FarviewCluster::new(FarviewConfig::tiny());
+        let qp = c.connect().unwrap();
+        let (ft, _) = qp.load_table(&table).unwrap();
+
+        let naive = qp.far_view(&ft, &spec).unwrap();
+        let optimized_out = qp.far_view(&ft, &opt).unwrap();
+        prop_assert_eq!(&optimized_out.payload, &naive.payload);
+        prop_assert_eq!(&optimized_out.schema, &naive.schema);
+
+        let naive_batch = qp.far_view_batch(&ft, &vec![spec.clone(); depth]).unwrap();
+        let opt_batch = qp.far_view_batch(&ft, &vec![opt.clone(); depth]).unwrap();
+        for (a, b) in naive_batch.iter().zip(&opt_batch) {
+            prop_assert_eq!(&b.payload, &a.payload);
+        }
+    }
+
+    /// Fleet scatter–gather under both partitionings.
+    #[test]
+    fn optimized_plans_match_on_the_fleet(
+        table in arb_table(200),
+        spec in arb_spec(),
+        nodes in 2usize..5,
+    ) {
+        for part in [Partitioning::RowRange, Partitioning::KeyHash(0)] {
+            let opt = optimized(
+                &spec,
+                table.schema(),
+                PlanTarget::Fleet { shards: nodes, partitioning: part },
+            );
+            let fleet = FarviewFleet::new(nodes, FarviewConfig::tiny());
+            let qp = fleet.connect().unwrap();
+            let (ft, _) = qp.load_table(&table, part).unwrap();
+            let naive = qp.far_view(&ft, &spec).unwrap();
+            let optimized_out = qp.far_view(&ft, &opt).unwrap();
+            prop_assert_eq!(&optimized_out.merged.payload, &naive.merged.payload,
+                "{:?} diverged under {:?}", spec, part);
+            prop_assert_eq!(&optimized_out.merged.schema, &naive.merged.schema);
+        }
+    }
+
+    /// The tiered pool (cold stage-in, then a hot hit).
+    #[test]
+    fn optimized_plans_match_on_the_tiered_pool(
+        table in arb_table(100),
+        spec in arb_spec(),
+    ) {
+        let opt = optimized(&spec, table.schema(), PlanTarget::Tiered { resident: false });
+        let c = FarviewCluster::new(FarviewConfig::tiny());
+        let qp = c.connect().unwrap();
+        let mut pool = TieredPool::new(&qp, 8 << 20, BlockStore::default());
+        pool.insert("t", &table);
+        let cold_naive = pool.query("t", &spec).unwrap();
+        let hot_opt = pool.query("t", &opt).unwrap();
+        prop_assert_eq!(&hot_opt.outcome.payload, &cold_naive.outcome.payload);
+        prop_assert_eq!(&hot_opt.outcome.schema, &cold_naive.outcome.schema);
+    }
+
+    /// DISTINCT merges through the unified partial-aggregation path; it
+    /// must still equal the single node byte for byte under row-range
+    /// partitioning (the pre-unification guarantee).
+    #[test]
+    fn unified_distinct_merge_is_byte_identical(
+        table in arb_table(250),
+        nodes in 2usize..6,
+        cols in arb_cols(2),
+    ) {
+        let spec = PipelineSpec::passthrough().distinct(cols);
+        let c = FarviewCluster::new(FarviewConfig::tiny());
+        let qp_single = c.connect().unwrap();
+        let (ft_single, _) = qp_single.load_table(&table).unwrap();
+        let single = qp_single.far_view(&ft_single, &spec).unwrap();
+
+        let fleet = FarviewFleet::new(nodes, FarviewConfig::tiny());
+        let qp = fleet.connect().unwrap();
+        let (ft, _) = qp.load_table(&table, Partitioning::RowRange).unwrap();
+        let merged = qp.far_view(&ft, &spec).unwrap();
+        prop_assert_eq!(&merged.merged.payload, &single.payload);
+        prop_assert_eq!(&merged.merged.schema, &single.schema);
+    }
+}
