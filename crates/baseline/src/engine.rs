@@ -153,10 +153,12 @@ impl CpuEngine {
     }
 
     /// `SELECT DISTINCT <cols> FROM t` — hash-based, first-seen order.
+    /// Scans borrowed [`fv_data::RowView`]s (`Table::rows`); only the
+    /// first occurrence of a key allocates.
     pub fn distinct(&self, table: &Table, cols: &[usize]) -> BaselineOutcome {
         let schema = table.schema();
         let out_schema = schema.project(cols);
-        let mut seen: HashMap<Vec<u8>, ()> = HashMap::new();
+        let mut seen: std::collections::HashSet<Vec<u8>> = std::collections::HashSet::new();
         let mut payload = Vec::new();
         let mut hits = 0u64;
         let mut key = Vec::new();
@@ -165,11 +167,11 @@ impl CpuEngine {
             for &c in cols {
                 key.extend_from_slice(row.col_raw(c));
             }
-            if seen.contains_key(&key) {
+            if seen.contains(key.as_slice()) {
                 hits += 1;
             } else {
-                seen.insert(key.clone(), ());
                 payload.extend_from_slice(&key);
+                seen.insert(std::mem::take(&mut key));
             }
         }
         let inserts = seen.len() as u64;
@@ -203,8 +205,11 @@ impl CpuEngine {
         }
         let out_schema = Schema::new(out_cols);
 
-        let mut groups: HashMap<Vec<u8>, Vec<Acc>> = HashMap::new();
-        let mut order: Vec<Vec<u8>> = Vec::new();
+        // First-seen group order as an index map: keys are stored once
+        // (in `entries`), the hash map only holds indices — no per-group
+        // double clone, no re-hash when emitting.
+        let mut groups: HashMap<Vec<u8>, usize> = HashMap::new();
+        let mut entries: Vec<(Vec<u8>, Vec<Acc>)> = Vec::new();
         let mut hits = 0u64;
         let mut key = Vec::new();
         for row in table.rows() {
@@ -212,30 +217,30 @@ impl CpuEngine {
             for &c in keys {
                 key.extend_from_slice(row.col_raw(c));
             }
-            let accs = match groups.get_mut(key.as_slice()) {
-                Some(a) => {
+            let idx = match groups.get(key.as_slice()) {
+                Some(&i) => {
                     hits += 1;
-                    a
+                    i
                 }
                 None => {
-                    order.push(key.clone());
-                    groups
-                        .entry(key.clone())
-                        .or_insert_with(|| aggs.iter().map(|a| Acc::new(a.func)).collect())
+                    let i = entries.len();
+                    entries.push((key.clone(), aggs.iter().map(|a| Acc::new(a.func)).collect()));
+                    groups.insert(std::mem::take(&mut key), i);
+                    i
                 }
             };
-            for (spec, acc) in aggs.iter().zip(accs.iter_mut()) {
+            for (spec, acc) in aggs.iter().zip(entries[idx].1.iter_mut()) {
                 acc.update(&row.value(spec.col));
             }
         }
         let mut payload = Vec::new();
-        for k in &order {
+        for (k, accs) in &entries {
             payload.extend_from_slice(k);
-            for (spec, acc) in aggs.iter().zip(&groups[k]) {
+            for (spec, acc) in aggs.iter().zip(accs) {
                 payload.extend_from_slice(&acc.emit(spec.func, schema.column(spec.col).ty));
             }
         }
-        let compute = self.model.hashing(order.len() as u64, hits);
+        let compute = self.model.hashing(entries.len() as u64, hits);
         self.outcome(payload, out_schema, compute, table.byte_len() as u64)
     }
 

@@ -11,11 +11,11 @@ use std::env;
 use std::process::ExitCode;
 
 use fv_bench::{
-    all_figures, explain_figures, fig10, fig11a, fig11b, fig12, fig6a, fig6b, fig7, fig8, fig9a,
-    fig9b, fig9c, plan_ablation, qdepth, scaleout, table1, Figure,
+    all_figures, elasticity, explain_figures, fig10, fig11a, fig11b, fig12, fig6a, fig6b, fig7,
+    fig8, fig9a, fig9b, fig9c, plan_ablation, qdepth, scaleout, smoke_figures, table1, Figure,
 };
 
-const USAGE: &str = "usage: figures <table1|fig6a|fig6b|fig7|fig8a|fig8b|fig8c|fig9a|fig9b|fig9c|fig10|fig11a|fig11b|fig12|scaleout|qdepth|plan_ablation|explain|all> [--csv]";
+const USAGE: &str = "usage: figures <table1|fig6a|fig6b|fig7|fig8a|fig8b|fig8c|fig9a|fig9b|fig9c|fig10|fig11a|fig11b|fig12|scaleout|qdepth|plan_ablation|elasticity|explain|all|smoke> [--csv]";
 
 fn one(id: &str) -> Option<Figure> {
     Some(match id {
@@ -35,6 +35,7 @@ fn one(id: &str) -> Option<Figure> {
         "scaleout" => scaleout(),
         "qdepth" => qdepth(),
         "plan_ablation" => plan_ablation(),
+        "elasticity" => elasticity(),
         _ => return None,
     })
 }
@@ -65,6 +66,13 @@ fn main() -> ExitCode {
             print!("{}", table1());
             println!();
             for f in all_figures() {
+                render(&f);
+            }
+        }
+        "smoke" => {
+            // Every custom experiment at its smallest config — the CI
+            // gate (`just bench-smoke`) that keeps the harness honest.
+            for f in smoke_figures() {
                 render(&f);
             }
         }

@@ -587,14 +587,23 @@ pub fn tenant_query_spec(q: &TenantQuery) -> PipelineSpec {
 /// per second of simulated busy time; the p50/p99 series summarize the
 /// fleet-observed response-time distribution.
 pub fn scaleout() -> Figure {
+    scaleout_at(4, 16_384, 6)
+}
+
+/// [`scaleout`] at its smallest config (the `figures smoke` gate).
+pub fn scaleout_smoke() -> Figure {
+    scaleout_at(2, 2_048, 3)
+}
+
+fn scaleout_at(n_tenants: usize, rows_per_tenant: usize, queries_per_tenant: usize) -> Figure {
     let mut f = Figure::new(
         "scaleout",
-        "Fleet scale-out, 4-tenant scatter-gather mix",
+        "Fleet scale-out, multi-tenant scatter-gather mix",
         "nodes",
         "throughput [queries/s] · latency [us]",
     );
-    let tenants = FleetScenarioGen::new(4, 16_384)
-        .queries_per_tenant(6)
+    let tenants = FleetScenarioGen::new(n_tenants, rows_per_tenant)
+        .queries_per_tenant(queries_per_tenant)
         .seed(11)
         .build();
 
@@ -654,6 +663,15 @@ const QDEPTH_QUERIES: usize = 32;
 /// the in-batch queueing. Results are asserted byte-identical to the
 /// depth-1 run at every depth.
 pub fn qdepth() -> Figure {
+    qdepth_at(256, QDEPTH_QUERIES)
+}
+
+/// [`qdepth`] at its smallest config (the `figures smoke` gate).
+pub fn qdepth_smoke() -> Figure {
+    qdepth_at(128, 16)
+}
+
+fn qdepth_at(rows: usize, queries: usize) -> Figure {
     let mut f = Figure::new(
         "qdepth",
         "Closed-loop queue-depth sweep, doorbell-batched farView",
@@ -662,7 +680,7 @@ pub fn qdepth() -> Figure {
     );
     // Tenant-shaped table: c0 = group key, c1 = calibrated selectivity,
     // c2 = aggregation payload (what `tenant_query_spec` expects).
-    let table = TableGen::new(8, 256)
+    let table = TableGen::new(8, rows)
         .seed(21)
         .distinct_column(0, 32)
         .selectivity_column(1, 0.5)
@@ -674,7 +692,7 @@ pub fn qdepth() -> Figure {
 
     // One query stream for every depth (the generator is depth-invariant
     // for a fixed seed), lowered once.
-    let specs: Vec<PipelineSpec> = ClosedLoopGen::new(QDEPTH_QUERIES)
+    let specs: Vec<PipelineSpec> = ClosedLoopGen::new(queries)
         .seed(17)
         .build()
         .flat()
@@ -710,7 +728,7 @@ pub fn qdepth() -> Figure {
             "depth {depth} changed query results — batching must be invisible"
         );
         let x = depth as f64;
-        throughput.push((x, QDEPTH_QUERIES as f64 / busy.as_secs_f64()));
+        throughput.push((x, queries as f64 / busy.as_secs_f64()));
         p50.push((x, hist.median().expect("samples")));
         p99.push((x, hist.quantile(0.99).expect("samples")));
     }
@@ -743,13 +761,21 @@ pub const ABLATION_DEPTHS: [usize; 4] = [1, 2, 4, 8];
 /// canonical, so optimized time equals naive time). Every point is the
 /// batch makespan at the given fleet size and doorbell depth.
 pub fn plan_ablation() -> Figure {
+    plan_ablation_at(1024, &ABLATION_SHARDS, &ABLATION_DEPTHS)
+}
+
+/// [`plan_ablation`] at its smallest config (the `figures smoke` gate).
+pub fn plan_ablation_smoke() -> Figure {
+    plan_ablation_at(256, &[1, 2], &[1, 2])
+}
+
+fn plan_ablation_at(rows: usize, shard_counts: &[usize], depths: &[usize]) -> Figure {
     let mut f = Figure::new(
         "plan_ablation",
         "Optimized vs naive query plans",
         "shards x 10 + queue depth",
         "batch makespan [us]",
     );
-    let rows = 1024usize;
     let table = TableGen::new(64, rows) // 512 B tuples
         .seed(33)
         .distinct_column(0, 32)
@@ -782,7 +808,7 @@ pub fn plan_ablation() -> Figure {
     for (name, spec) in &queries {
         let mut naive_pts = Vec::new();
         let mut opt_pts = Vec::new();
-        for &shards in &ABLATION_SHARDS {
+        for &shards in shard_counts {
             let fleet = FarviewFleet::new(shards, FarviewConfig::default());
             let qp = fleet.connect().expect("a region on every node");
             let (ft, _) = qp
@@ -797,7 +823,7 @@ pub fn plan_ablation() -> Figure {
                 .expect("optimize")
                 .to_spec()
                 .expect("lower");
-            for &depth in &ABLATION_DEPTHS {
+            for &depth in depths {
                 let x = (shards * 10 + depth) as f64;
                 let naive_outs = qp
                     .far_view_batch(&ft, &vec![spec.clone(); depth])
@@ -825,6 +851,146 @@ pub fn plan_ablation() -> Figure {
         f.push_series(&format!("{name} optimized"), opt_pts);
     }
     f
+}
+
+// ---------------------------------------------------------------------------
+// Elasticity: dynamic membership + live rebalancing (beyond the paper)
+// ---------------------------------------------------------------------------
+
+/// Node counts of the elasticity experiment's growth phases.
+pub const ELASTICITY_PHASES: [usize; 3] = [2, 4, 8];
+
+/// Elasticity: a scan-heavy query mix running against a fleet that
+/// **changes shape under load** — 2 → 4 → 8 nodes with a live rebalance
+/// between phases, then a node kill survived through `r = 2`
+/// replication.
+///
+/// The table loads once (row-range partitioned, two replicas per
+/// shard). After each growth step [`FleetQPair::rebalance`] computes
+/// and executes the minimal shard-move plan, the old-epoch handle is
+/// retired, and the same query mix re-runs — results are asserted
+/// byte-identical across every phase, including post-kill. Series:
+/// per-phase throughput and mean latency, the node count, and the
+/// honestly costed rebalance time at each growth step.
+///
+/// [`FleetQPair::rebalance`]: farview_core::FleetQPair::rebalance
+pub fn elasticity() -> Figure {
+    elasticity_at(16_384, 12)
+}
+
+/// [`elasticity`] at its smallest config (the `figures smoke` gate).
+pub fn elasticity_smoke() -> Figure {
+    elasticity_at(2_048, 4)
+}
+
+fn elasticity_at(rows: usize, queries_per_phase: usize) -> Figure {
+    let mut f = Figure::new(
+        "elasticity",
+        "Elastic fleet: 2 -> 4 -> 8 node growth + node kill at r=2",
+        "phase (0..2 growth, 3 post-kill)",
+        "throughput [q/s] · latency [us] · nodes",
+    );
+    // Scan-heavy mix: full reads and selections, the shapes whose
+    // latency is dominated by the per-shard stream + wire — exactly
+    // where shard parallelism pays.
+    let table = TableGen::new(8, rows)
+        .seed(41)
+        .distinct_column(0, 32)
+        .selectivity_column(1, 0.5)
+        .sequential_column(2)
+        .build();
+    let specs: Vec<PipelineSpec> = (0..queries_per_phase)
+        .map(|i| match i % 4 {
+            0 => PipelineSpec::passthrough(),
+            1 => tenant_query_spec(&TenantQuery::Select { selectivity: 0.75 }),
+            2 => tenant_query_spec(&TenantQuery::Select { selectivity: 0.5 }),
+            _ => tenant_query_spec(&TenantQuery::Select { selectivity: 0.25 }),
+        })
+        .collect();
+
+    let fleet = FarviewFleet::new(ELASTICITY_PHASES[0], FarviewConfig::default());
+    let qp = fleet.connect().expect("a region on every node");
+    let (mut ft, _) = qp
+        .load_table_replicated(&table, Partitioning::RowRange, 2)
+        .expect("buffer pool space for two replicas per shard");
+
+    let run_phase = |ft: &farview_core::FleetTable| {
+        let mut busy = SimDuration::ZERO;
+        let mut payloads = Vec::with_capacity(specs.len());
+        for spec in &specs {
+            let out = qp.far_view(ft, spec).expect("fleet query");
+            busy += out.merged.stats.response_time;
+            payloads.push(out.merged.payload);
+        }
+        (busy, payloads)
+    };
+
+    let mut nodes_series = Vec::new();
+    let mut throughput = Vec::new();
+    let mut mean_latency = Vec::new();
+    let mut rebalance_us = Vec::new();
+    let mut reference: Option<Vec<Vec<u8>>> = None;
+
+    let mut phase_idx = 0f64;
+    for (i, &nodes) in ELASTICITY_PHASES.iter().enumerate() {
+        if i > 0 {
+            while fleet.node_count() < nodes {
+                fleet.add_node();
+            }
+            let (new_ft, report) = qp.rebalance(&ft).expect("live rebalance");
+            qp.free_table(std::mem::replace(&mut ft, new_ft))
+                .expect("retire the old epoch");
+            rebalance_us.push((phase_idx, us(report.total_time())));
+            assert!(report.moved_rows > 0, "growth must move shards");
+        }
+        let (busy, payloads) = run_phase(&ft);
+        match &reference {
+            None => reference = Some(payloads),
+            Some(r) => assert_eq!(
+                r, &payloads,
+                "rebalancing to {nodes} nodes changed query results"
+            ),
+        }
+        nodes_series.push((phase_idx, nodes as f64));
+        throughput.push((phase_idx, specs.len() as f64 / busy.as_secs_f64()));
+        mean_latency.push((phase_idx, us(busy) / specs.len() as f64));
+        phase_idx += 1.0;
+    }
+
+    // Kill one node at the 8-node shape: every shard keeps a surviving
+    // replica, so the mix stays answerable and byte-identical.
+    let victim = fleet.node_ids()[0];
+    fleet.remove_node(victim).expect("kill a live node");
+    let (busy, payloads) = run_phase(&ft);
+    assert_eq!(
+        reference.as_ref().expect("phases ran"),
+        &payloads,
+        "a single node kill at r=2 must not change any result"
+    );
+    nodes_series.push((phase_idx, (fleet.node_count()) as f64));
+    throughput.push((phase_idx, specs.len() as f64 / busy.as_secs_f64()));
+    mean_latency.push((phase_idx, us(busy) / specs.len() as f64));
+
+    qp.free_table(ft).expect("free");
+    f.push_series("nodes", nodes_series);
+    f.push_series("throughput [q/s]", throughput);
+    f.push_series("mean latency [us]", mean_latency);
+    f.push_series("rebalance [us]", rebalance_us);
+    f
+}
+
+/// Every custom experiment at its smallest config, plus one cheap paper
+/// figure — the `figures smoke` / `just bench-smoke` CI gate that keeps
+/// `elasticity` and `plan_ablation` (and the rest of the harness) from
+/// silently rotting.
+pub fn smoke_figures() -> Vec<Figure> {
+    vec![
+        fig6a(),
+        scaleout_smoke(),
+        qdepth_smoke(),
+        plan_ablation_smoke(),
+        elasticity_smoke(),
+    ]
 }
 
 /// Render `explain()` output for the standard figure queries — what
@@ -953,6 +1119,7 @@ pub fn all_figures() -> Vec<Figure> {
         scaleout(),
         qdepth(),
         plan_ablation(),
+        elasticity(),
     ]
 }
 
@@ -1125,6 +1292,52 @@ mod tests {
             opt.iter().zip(naive).any(|(b, a)| b.1 < 0.9 * a.1),
             "smart addressing should beat whole-row streaming clearly"
         );
+    }
+
+    #[test]
+    fn elasticity_latency_strictly_improves_and_kill_is_survived() {
+        let f = elasticity_smoke();
+        let lat = &f.series("mean latency [us]").unwrap().points;
+        let tp = &f.series("throughput [q/s]").unwrap().points;
+        let nodes = &f.series("nodes").unwrap().points;
+        let reb = &f.series("rebalance [us]").unwrap().points;
+        assert_eq!(
+            lat.len(),
+            ELASTICITY_PHASES.len() + 1,
+            "3 growth phases + post-kill"
+        );
+        assert_eq!(
+            reb.len(),
+            ELASTICITY_PHASES.len() - 1,
+            "one rebalance per growth step"
+        );
+        // Acceptance: per-query latency strictly improves 2 -> 4 -> 8 on
+        // the scan-heavy mix (byte-identity across phases is asserted
+        // inside elasticity_at).
+        for w in lat[..ELASTICITY_PHASES.len()].windows(2) {
+            assert!(
+                w[1].1 < w[0].1,
+                "latency must strictly improve with nodes: {} -> {}",
+                w[0].1,
+                w[1].1
+            );
+        }
+        assert!(
+            tp.last().unwrap().1 > tp[0].1,
+            "post-kill throughput still beats the 2-node phase"
+        );
+        // Rebalances are honestly costed, not free.
+        assert!(reb.iter().all(|p| p.1 > 0.0));
+        // The kill phase runs one node short of the last growth phase.
+        assert_eq!(nodes.last().unwrap().1, 7.0);
+    }
+
+    #[test]
+    fn smoke_covers_every_custom_experiment() {
+        let names: Vec<String> = smoke_figures().into_iter().map(|f| f.id).collect();
+        for needle in ["fig6a", "scaleout", "qdepth", "plan_ablation", "elasticity"] {
+            assert!(names.iter().any(|n| n == needle), "smoke missing {needle}");
+        }
     }
 
     #[test]

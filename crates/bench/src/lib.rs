@@ -28,9 +28,15 @@
 //! submission, reporting throughput and p50/p99 per depth; and
 //! [`plan_ablation`] pits the query planner's optimized plans against
 //! naive ones across select/distinct/group-by × 1–8 shards × depth
-//! 1–8 (optimized is never slower, results byte-identical).
+//! 1–8 (optimized is never slower, results byte-identical);
+//! [`elasticity`] grows a fleet 2 → 4 → 8 nodes under a scan-heavy mix
+//! with a live rebalance between phases and a node kill survived via
+//! `r = 2` replication (throughput/latency timeline + honestly costed
+//! rebalance times, results byte-identical across every phase).
 //! [`explain_figures`] renders the planner's `explain()` report for
-//! every standard figure query (`figures explain` / `just explain`).
+//! every standard figure query (`figures explain` / `just explain`),
+//! and [`smoke_figures`] runs every custom experiment at its smallest
+//! config (`figures smoke` / `just bench-smoke` — the CI gate).
 //!
 //! [`FarviewFleet`]: farview_core::FarviewFleet
 

@@ -136,6 +136,20 @@ impl FTable {
     pub fn byte_len(&self) -> u64 {
         (self.rows * self.schema.row_bytes()) as u64
     }
+
+    /// A view of rows `[lo, hi)` of this allocation — same connection,
+    /// same protection domain, an interior virtual address. The
+    /// rebalancer's copy episodes read exactly the moved row ranges
+    /// through these views instead of streaming whole shards.
+    pub(crate) fn row_slice(&self, lo: usize, hi: usize) -> FTable {
+        assert!(lo <= hi && hi <= self.rows, "row slice out of bounds");
+        FTable {
+            qp: self.qp,
+            vaddr: self.vaddr + (lo * self.schema.row_bytes()) as u64,
+            schema: self.schema.clone(),
+            rows: hi - lo,
+        }
+    }
 }
 
 /// A `SELECT`-shaped query for the [`QPair::select`] convenience wrapper
@@ -622,6 +636,67 @@ impl QPair {
             .zip(metas)
             .map(|(r, (schema, reconf))| finish_outcome(r, schema, reconf))
             .collect())
+    }
+
+    /// Functional (untimed) read of the table's bytes straight from the
+    /// memory stack — the rebalance coordinator's node-local data
+    /// gather for composing destination images. The *timed* movement of
+    /// rebalanced data goes through [`QPair::read_row_ranges`] episodes
+    /// and [`QPair::table_write`]; this accessor never touches the wire
+    /// model.
+    pub(crate) fn peek_table(&self, ft: &FTable) -> Result<Vec<u8>, FvError> {
+        self.check_table(ft)?;
+        if ft.byte_len() == 0 {
+            return Ok(Vec::new());
+        }
+        let mut inner = self.inner.lock();
+        Ok(inner.mem.read(self.domain, ft.vaddr, ft.byte_len())?)
+    }
+
+    /// The rebalancer's copy-episode primitive: stream the row ranges
+    /// `[lo, hi)` of `ft` as **one doorbell-batched submission** of
+    /// passthrough reads on this queue pair — every range is its own
+    /// WQE, the batch rides one doorbell, and the responses share the
+    /// region's egress flow under DRR arbitration like any other
+    /// episode. Returns the per-range outcomes plus the batch makespan
+    /// (summed across sub-batches when `ranges` exceeds the send
+    /// queue's [`MAX_QUEUE_DEPTH`]).
+    pub(crate) fn read_row_ranges(
+        &self,
+        ft: &FTable,
+        ranges: &[(usize, usize)],
+    ) -> Result<(Vec<QueryOutcome>, SimDuration), FvError> {
+        self.check_table(ft)?;
+        let mut outcomes = Vec::with_capacity(ranges.len());
+        let mut total = SimDuration::ZERO;
+        for chunk in ranges.chunks(MAX_QUEUE_DEPTH) {
+            if chunk.is_empty() {
+                continue;
+            }
+            let mut inner = self.inner.lock();
+            let mut queries = Vec::with_capacity(chunk.len());
+            let mut metas = Vec::with_capacity(chunk.len());
+            for (i, &(lo, hi)) in chunk.iter().enumerate() {
+                let view = ft.row_slice(lo, hi);
+                let (mut p, schema, reconf) =
+                    prepare(&mut inner, self, &view, PipelineSpec::passthrough())?;
+                p.qp = (self.qp << QP_STREAM_BITS) | i as u32;
+                metas.push((schema, reconf));
+                queries.push(p);
+            }
+            let config = inner.config.clone();
+            let results =
+                episode::run_batched_episodes(vec![episode::BatchRun::new(queries)], &config)?
+                    .remove(0);
+            let mut makespan = SimDuration::ZERO;
+            for (r, (schema, reconf)) in results.into_iter().zip(metas) {
+                let o = finish_outcome(r, schema, reconf);
+                makespan = makespan.max(o.stats.response_time);
+                outcomes.push(o);
+            }
+            total += makespan;
+        }
+        Ok((outcomes, total))
     }
 
     /// The general `farView` verb: run an operator pipeline over the

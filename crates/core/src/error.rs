@@ -68,6 +68,33 @@ pub enum FvError {
         /// What the plan asked for that the hardware cannot run.
         reason: &'static str,
     },
+    /// A fleet node index or id that names no live roster entry
+    /// (removed nodes are not addressable).
+    NoSuchNode {
+        /// The offending index / raw node id.
+        node: u64,
+        /// Live roster entries at the time of the lookup.
+        nodes: usize,
+    },
+    /// A shard's replica set has no surviving node: the named node is
+    /// gone and no replica can serve (or source a data copy) in its
+    /// place. Raise the table's replication factor to tolerate kills.
+    NodeDown {
+        /// Raw id of the unreachable node.
+        node: u64,
+    },
+    /// The topology has no Active node left to place shards on (every
+    /// node is draining or removed).
+    NoActiveNodes,
+    /// A replication factor that the current roster cannot host (zero,
+    /// or more replicas than Active nodes — replicas must land on
+    /// distinct nodes to survive a node loss).
+    BadReplication {
+        /// Requested replicas per shard.
+        replicas: usize,
+        /// Active nodes available as placement targets.
+        nodes: usize,
+    },
 }
 
 impl fmt::Display for FvError {
@@ -104,6 +131,21 @@ impl fmt::Display for FvError {
             }
             FvError::UnsupportedPlan { reason } => {
                 write!(f, "plan cannot lower onto the pipeline: {reason}")
+            }
+            FvError::NoSuchNode { node, nodes } => {
+                write!(f, "no such fleet node {node} ({nodes} live nodes)")
+            }
+            FvError::NodeDown { node } => {
+                write!(f, "node {node} is gone and no replica survives it")
+            }
+            FvError::NoActiveNodes => {
+                write!(f, "the topology has no Active node to place shards on")
+            }
+            FvError::BadReplication { replicas, nodes } => {
+                write!(
+                    f,
+                    "replication factor {replicas} cannot be hosted by {nodes} active nodes"
+                )
             }
         }
     }

@@ -1,52 +1,68 @@
-//! Multi-node Farview: sharded scatter–gather across a fleet of nodes.
+//! Multi-node Farview: an elastic, sharded scatter–gather fleet.
 //!
 //! The paper evaluates one Farview node, but nothing in its client
 //! interface is single-node: clients `openConnection` to *a* node and
 //! resolve table addresses from a local catalog (§4.1). Scaling the
-//! buffer pool out is therefore a client-router concern, and this module
-//! implements it:
+//! buffer pool out — and **re-shaping it under load** — is therefore a
+//! client-router concern, and this module implements it:
 //!
-//! * [`FarviewFleet`] owns N independent [`FarviewCluster`] nodes.
-//! * A [`ShardMap`] assigns every row of a table to an owning node,
-//!   either by contiguous row ranges or by hashing a per-table partition
-//!   key ([`Partitioning`]).
+//! * [`FarviewFleet`] owns an epoch-versioned roster of
+//!   [`FarviewCluster`] nodes behind a [`Topology`]
+//!   ([`crate::topology`]): nodes can be added
+//!   ([`FarviewFleet::add_node`]), gracefully drained
+//!   ([`FarviewFleet::drain_node`]) or abruptly removed / killed
+//!   ([`FarviewFleet::remove_node`]) at any time.
+//! * A [`Placement`] assigns every row of a table to a shard slot and
+//!   every slot to `r ≥ 1` replica nodes, either by contiguous row
+//!   ranges or by hashing a per-table partition key
+//!   ([`Partitioning`]); the legacy [`ShardMap`] remains the one
+//!   row→slot assignment function so a rebalanced fleet and a fresh
+//!   fleet of the same shape compute *identical* placements.
 //! * [`FleetQPair`] mirrors the paper's programmatic interface at fleet
-//!   scope: `alloc_table` / `table_write` **scatter** rows to the owning
-//!   shards, and the `farView` verbs fan out as per-shard episodes whose
-//!   results are **gathered** and merged client-side — concatenation for
-//!   selection/projection/regex, order-preserving union for `DISTINCT`,
-//!   partial re-aggregation for `GROUP BY` (via
-//!   [`fv_pipeline::merge`]).
+//!   scope: `alloc_table` / `table_write` **scatter** rows (and their
+//!   replicas) to the owning shards, the `farView` verbs fan out as
+//!   per-shard episodes whose results are **gathered** and merged
+//!   client-side (via [`crate::plan`]), and
+//!   [`FleetQPair::rebalance`] executes a live, minimal shard-move
+//!   plan against the current topology epoch.
 //!
 //! Every per-shard episode runs through the same discrete-event
-//! machinery as a single node ([`crate::episode`]); since the shards are
-//! independent nodes with independent wires, the fleet-observed response
-//! time is the **maximum** over shards plus a modeled client-side merge
-//! cost ([`fv_sim::MergeCostModel`]). Per-shard [`QueryStats`] are
-//! surfaced next to the merged outcome so experiments can attribute time
-//! to stragglers vs the merge.
+//! machinery as a single node ([`crate::episode`]); the fleet-observed
+//! response time is the **maximum** over shards plus a modeled
+//! client-side merge cost ([`fv_sim::MergeCostModel`]). With
+//! replication, each shard read fans out to every surviving replica
+//! and the **fastest** response wins; a killed node is survived
+//! transparently as long as one replica of every shard remains.
 //!
-//! With [`Partitioning::RowRange`], merged results are byte-identical to
-//! a single node holding the whole table — for selection, `DISTINCT`
+//! With [`Partitioning::RowRange`], merged results are byte-identical
+//! to a single node holding the whole table — for selection, `DISTINCT`
 //! *and* `GROUP BY` (first-seen orders compose across contiguous
-//! shards). This is property-tested in `tests/fleet_props.rs`. The one
-//! caveat is floating-point association: `AVG` / `SUM(F64)` merge
-//! per-shard partial sums, so they are bit-equal to the single node only
-//! while sums stay exactly representable in `f64` (integer values with
-//! totals below 2⁵³); past that they agree to `f64` rounding — see
+//! shards) — **across any sequence of grows, drains and rebalances**:
+//! the rebalanced placement is the placement a fresh fleet of the
+//! target shape would compute. This is property-tested in
+//! `tests/fleet_props.rs` and `tests/topology_props.rs`. The one caveat
+//! is floating-point association: `AVG` / `SUM(F64)` merge per-shard
+//! partial sums, so they are bit-equal to the single node only while
+//! sums stay exactly representable in `f64` (integer values with totals
+//! below 2⁵³); past that they agree to `f64` rounding — see
 //! [`fv_pipeline::merge`].
+
+use std::collections::HashMap;
+
+use parking_lot::Mutex;
 
 use fv_data::{Schema, Table};
 use fv_pipeline::PipelineSpec;
-use fv_sim::{MergeCostModel, SimDuration};
+use fv_sim::{MergeCostModel, MigrationCostModel, SimDuration};
 
 use crate::cluster::{FTable, FarviewCluster, QPair, QueryOutcome, QueryStats, SelectQuery};
 use crate::config::FarviewConfig;
 use crate::error::FvError;
-use crate::plan::Executor;
+use crate::plan::{Executor, PlanTarget};
+use crate::topology::{plan_moves, NodeHealth, NodeId, Placement, RebalanceReport, Topology};
 
 /// How a table's rows are assigned to fleet shards — the per-table
-/// partition key of the [`ShardMap`].
+/// partition key of a [`Placement`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Partitioning {
     /// Contiguous row ranges: shard `i` owns rows
@@ -66,37 +82,39 @@ pub enum Partitioning {
 /// table placement and cuckoo bucketing stay uncorrelated).
 const SHARD_HASH_SEED: u64 = 0xF1EE_7000_51AB_D007;
 
-/// Row→shard assignment logic for one fleet.
+/// Row→shard-slot assignment logic for one shard count — the one
+/// assignment function shared by fresh fleets and the rebalancer, which
+/// is what keeps rebalanced results byte-identical to a fresh fleet's.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ShardMap {
     shards: usize,
 }
 
-/// The materialized assignment of one table's rows to shards: for each
-/// shard, the original row indices it owns, ascending.
+/// The materialized assignment of one table's rows to shard slots: for
+/// each slot, the original row indices it owns, ascending.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ShardAssignment {
     per_shard: Vec<Vec<u32>>,
 }
 
 impl ShardMap {
-    /// A map over `shards` nodes.
+    /// A map over `shards` slots.
     pub fn new(shards: usize) -> Self {
         assert!(shards > 0, "a fleet needs at least one shard");
         ShardMap { shards }
     }
 
-    /// Number of shards.
+    /// Number of shard slots.
     pub fn shards(&self) -> usize {
         self.shards
     }
 
-    /// The shard owning a hash-partitioned key.
+    /// The slot owning a hash-partitioned key.
     pub fn shard_of_key(&self, key_bytes: &[u8]) -> usize {
         (fv_pipeline::cuckoo::hash64(key_bytes, SHARD_HASH_SEED) % self.shards as u64) as usize
     }
 
-    /// Assign every row of `(schema, data)` to a shard under `part`.
+    /// Assign every row of `(schema, data)` to a slot under `part`.
     pub fn assign(
         &self,
         part: Partitioning,
@@ -138,13 +156,18 @@ impl ShardMap {
 }
 
 impl ShardAssignment {
-    /// Rows owned by each shard.
+    /// Rows owned by each slot.
     pub fn rows_per_shard(&self) -> Vec<usize> {
         self.per_shard.iter().map(Vec::len).collect()
     }
 
-    /// Split a full-table byte image into per-shard images (rows in
-    /// ascending original order within each shard).
+    /// Per slot, the original row indices it owns (ascending).
+    pub(crate) fn per_shard(&self) -> &[Vec<u32>] {
+        &self.per_shard
+    }
+
+    /// Split a full-table byte image into per-slot images (rows in
+    /// ascending original order within each slot).
     pub fn scatter(&self, row_bytes: usize, data: &[u8]) -> Vec<Vec<u8>> {
         self.per_shard
             .iter()
@@ -160,10 +183,11 @@ impl ShardAssignment {
     }
 }
 
-/// A fleet of Farview nodes behind one partition-aware client router.
+/// A fleet of Farview nodes behind one partition-aware client router,
+/// with an elastic, epoch-versioned membership.
 pub struct FarviewFleet {
-    nodes: Vec<FarviewCluster>,
-    shard_map: ShardMap,
+    topology: Topology,
+    config: FarviewConfig,
     /// Process-unique id stamped into every handle this fleet issues.
     /// Per-node qp ids restart at 1 in every `FarviewCluster` and the
     /// allocator is deterministic, so two same-shaped fleets would
@@ -174,70 +198,145 @@ pub struct FarviewFleet {
 static NEXT_FLEET_ID: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(1);
 
 impl FarviewFleet {
-    /// Bring up `nodes` identical Farview nodes.
+    /// Bring up `nodes` identical Farview nodes at epoch 0.
     pub fn new(nodes: usize, config: FarviewConfig) -> Self {
         assert!(nodes > 0, "a fleet needs at least one node");
         FarviewFleet {
-            nodes: (0..nodes)
-                .map(|_| FarviewCluster::new(config.clone()))
-                .collect(),
-            shard_map: ShardMap::new(nodes),
+            topology: Topology::with_nodes(nodes, &config),
+            config,
             fleet_id: NEXT_FLEET_ID.fetch_add(1, std::sync::atomic::Ordering::Relaxed),
         }
     }
 
-    /// Number of nodes.
+    /// The shared topology handle (epoch, roster snapshots, health).
+    pub fn topology(&self) -> Topology {
+        self.topology.clone()
+    }
+
+    /// The current topology epoch.
+    pub fn epoch(&self) -> u64 {
+        self.topology.epoch()
+    }
+
+    /// Number of live nodes (Active + Draining).
     pub fn node_count(&self) -> usize {
-        self.nodes.len()
+        self.topology.node_ids().len()
     }
 
-    /// Direct access to one node (diagnostics, mixed deployments).
-    pub fn node(&self, i: usize) -> &FarviewCluster {
-        &self.nodes[i]
+    /// Live node ids in roster order.
+    pub fn node_ids(&self) -> Vec<NodeId> {
+        self.topology.node_ids()
     }
 
-    /// The fleet's shard map.
+    /// Checked access to the `i`-th live node (diagnostics, mixed
+    /// deployments). Clusters are `Arc`-backed: the clone shares state
+    /// with the roster entry.
+    ///
+    /// # Errors
+    /// [`FvError::NoSuchNode`] when `i` is out of range.
+    pub fn node(&self, i: usize) -> Result<FarviewCluster, FvError> {
+        let ids = self.topology.node_ids();
+        let id = *ids.get(i).ok_or(FvError::NoSuchNode {
+            node: i as u64,
+            nodes: ids.len(),
+        })?;
+        self.topology.cluster(id)
+    }
+
+    /// Checked access to a node by stable id.
+    ///
+    /// # Errors
+    /// [`FvError::NoSuchNode`] for unknown or removed ids.
+    pub fn node_by_id(&self, id: NodeId) -> Result<FarviewCluster, FvError> {
+        self.topology.cluster(id)
+    }
+
+    /// The row→slot assignment function a fresh placement over the
+    /// current Active set would use.
     pub fn shard_map(&self) -> ShardMap {
-        self.shard_map
+        ShardMap::new(self.topology.snapshot().active.len().max(1))
+    }
+
+    /// Grow the fleet: bring up one more node (same configuration) and
+    /// bump the epoch. Existing placements are untouched until
+    /// [`FleetQPair::rebalance`] moves shards onto the newcomer.
+    pub fn add_node(&self) -> NodeId {
+        self.topology.add_node(&self.config)
+    }
+
+    /// Gracefully begin decommissioning `id`: the node keeps serving the
+    /// shards it holds but is excluded from the targets of future
+    /// placements and rebalances. Rebalance every table, retire the old
+    /// handles, then [`FarviewFleet::remove_node`].
+    ///
+    /// # Errors
+    /// [`FvError::NoSuchNode`] for unknown or removed ids.
+    pub fn drain_node(&self, id: NodeId) -> Result<(), FvError> {
+        self.topology.set_health(id, NodeHealth::Draining)
+    }
+
+    /// Abruptly remove `id` — the kill switch. The node stops serving
+    /// immediately; queries against placements that reference it fall
+    /// back to surviving replicas, or report [`FvError::NodeDown`] for
+    /// unreplicated shards.
+    ///
+    /// # Errors
+    /// [`FvError::NoSuchNode`] for unknown or already-removed ids.
+    pub fn remove_node(&self, id: NodeId) -> Result<(), FvError> {
+        self.topology.set_health(id, NodeHealth::Removed)
     }
 
     /// `openConnection` at fleet scope: bind one queue pair on every
-    /// node. Fails if any node has no free dynamic region.
+    /// live node. Fails if any node has no free dynamic region. Nodes
+    /// added later are connected to lazily, on first use.
     pub fn connect(&self) -> Result<FleetQPair, FvError> {
-        let qps = self
-            .nodes
-            .iter()
-            .map(FarviewCluster::connect)
-            .collect::<Result<Vec<_>, _>>()?;
+        let mut qps = HashMap::new();
+        for id in self.topology.node_ids() {
+            qps.insert(
+                id,
+                std::sync::Arc::new(self.topology.cluster(id)?.connect()?),
+            );
+        }
         Ok(FleetQPair {
-            qps,
-            shard_map: self.shard_map,
+            topology: self.topology.clone(),
+            qps: Mutex::new(qps),
             merge_model: MergeCostModel::default(),
+            migration_model: MigrationCostModel::default(),
             fleet_id: self.fleet_id,
         })
     }
 
-    /// Total partial reconfigurations across the fleet.
+    /// Total partial reconfigurations across the live fleet.
     pub fn reconfigurations(&self) -> u64 {
-        self.nodes
-            .iter()
-            .map(FarviewCluster::reconfigurations)
+        self.topology
+            .node_ids()
+            .into_iter()
+            .filter_map(|id| self.topology.cluster(id).ok())
+            .map(|c| c.reconfigurations())
             .sum()
     }
 
-    /// Free pages summed over all nodes' buffer pools.
+    /// Free pages summed over all live nodes' buffer pools.
     pub fn free_pages(&self) -> u64 {
-        self.nodes.iter().map(FarviewCluster::free_pages).sum()
+        self.topology
+            .node_ids()
+            .into_iter()
+            .filter_map(|id| self.topology.cluster(id).ok())
+            .map(|c| c.free_pages())
+            .sum()
     }
 }
 
-/// A fleet-scope table handle: one [`FTable`] per shard plus the row
-/// assignment that created them.
+/// A fleet-scope table handle: an epoch-stamped [`Placement`] plus one
+/// [`FTable`] per shard replica. Handles are immutable snapshots — a
+/// rebalance returns a *new* handle at the new epoch while this one
+/// keeps serving byte-identical results until retired with
+/// [`FleetQPair::free_table`].
 #[derive(Debug, Clone)]
 pub struct FleetTable {
-    shards: Vec<FTable>,
-    assignment: ShardAssignment,
-    partitioning: Partitioning,
+    placement: Placement,
+    /// `[slot][replica]`, parallel to `placement.shards()`.
+    shards: Vec<Vec<FTable>>,
     schema: Schema,
     rows: usize,
     fleet_id: u64,
@@ -254,24 +353,49 @@ impl FleetTable {
         self.rows
     }
 
-    /// Rows resident on each shard.
+    /// Rows resident on each shard slot.
     pub fn rows_per_shard(&self) -> Vec<usize> {
-        self.assignment.rows_per_shard()
+        self.placement.assignment().rows_per_shard()
     }
 
     /// The partitioning this table was scattered with.
     pub fn partitioning(&self) -> Partitioning {
-        self.partitioning
+        self.placement.partitioning()
     }
 
-    /// The per-shard handle (diagnostics).
-    pub fn shard(&self, i: usize) -> &FTable {
-        &self.shards[i]
+    /// Replicas per shard.
+    pub fn replicas(&self) -> usize {
+        self.placement.replicas()
     }
 
-    /// All per-shard handles, in shard order (the executor's scatter
-    /// walks these).
-    pub(crate) fn shard_tables(&self) -> &[FTable] {
+    /// The topology epoch this handle's placement was computed at.
+    pub fn epoch(&self) -> u64 {
+        self.placement.epoch()
+    }
+
+    /// The placement snapshot behind this handle.
+    pub fn placement(&self) -> &Placement {
+        &self.placement
+    }
+
+    /// The primary replica's handle on slot `i` (diagnostics).
+    pub fn shard(&self, i: usize) -> Option<&FTable> {
+        self.shards.get(i).and_then(|replicas| replicas.first())
+    }
+
+    /// The [`PlanTarget`] resolving this handle's shards via its epoch
+    /// snapshot — what fleet-targeted [`crate::QueryPlan`]s should be
+    /// built against.
+    pub fn plan_target(&self) -> PlanTarget {
+        PlanTarget::Fleet {
+            shards: self.placement.shard_count(),
+            partitioning: self.placement.partitioning(),
+        }
+    }
+
+    /// All per-slot replica handles (the executor's scatter walks
+    /// these, parallel to `placement().shards()`).
+    pub(crate) fn shard_tables(&self) -> &[Vec<FTable>] {
         &self.shards
     }
 }
@@ -284,32 +408,41 @@ pub struct FleetQueryOutcome {
     /// `stats` aggregate the fleet: counters are summed over shards, and
     /// `response_time` = max over shards + `merge_time`.
     pub merged: QueryOutcome,
-    /// Each shard's own episode statistics, in shard order.
+    /// Each shard's own episode statistics, in slot order (the winning
+    /// replica's, under replication).
     pub per_shard: Vec<QueryStats>,
     /// Modeled client-side cost of combining the shard payloads.
     pub merge_time: SimDuration,
 }
 
-/// A fleet-scope connection: one bound queue pair per node.
+/// A fleet-scope connection: one bound queue pair per node, opened
+/// lazily for nodes that join after the connection was made.
 pub struct FleetQPair {
-    qps: Vec<QPair>,
-    shard_map: ShardMap,
+    topology: Topology,
+    qps: Mutex<HashMap<NodeId, std::sync::Arc<QPair>>>,
     merge_model: MergeCostModel,
+    migration_model: MigrationCostModel,
     fleet_id: u64,
 }
 
 impl std::fmt::Debug for FleetQPair {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("FleetQPair")
-            .field("shards", &self.qps.len())
+            .field("epoch", &self.topology.epoch())
+            .field("nodes", &self.qps.lock().len())
             .finish_non_exhaustive()
     }
 }
 
 impl FleetQPair {
-    /// Number of shards this connection spans.
+    /// Number of live nodes this connection can currently route to.
     pub fn shard_count(&self) -> usize {
-        self.qps.len()
+        self.topology.node_ids().len()
+    }
+
+    /// The current topology epoch.
+    pub fn epoch(&self) -> u64 {
+        self.topology.epoch()
     }
 
     /// Override the client-side merge cost model (experiments).
@@ -317,14 +450,42 @@ impl FleetQPair {
         self.merge_model = model;
     }
 
+    /// Override the rebalance coordinator cost model (experiments).
+    pub fn set_migration_model(&mut self, model: MigrationCostModel) {
+        self.migration_model = model;
+    }
+
     /// The client-side merge cost model the executor charges.
     pub(crate) fn merge_model(&self) -> &MergeCostModel {
         &self.merge_model
     }
 
-    /// The per-shard connections, in shard order.
-    pub(crate) fn qps(&self) -> &[QPair] {
-        &self.qps
+    /// True when `node` can still serve reads.
+    pub(crate) fn is_serving(&self, node: NodeId) -> bool {
+        self.topology.is_serving(node)
+    }
+
+    /// Whether `placement` still matches what the current Active set
+    /// would compute — epoch bumps that cancelled out (a node added
+    /// and removed again) do not make a placement stale.
+    pub(crate) fn placement_is_current(&self, placement: &Placement) -> bool {
+        placement.is_current(&self.topology.snapshot())
+    }
+
+    /// The queue pair bound to `node`, opening one lazily for nodes
+    /// that joined after this connection was made.
+    ///
+    /// # Errors
+    /// [`FvError::NoSuchNode`] for removed nodes,
+    /// [`FvError::NoFreeRegion`] when a lazy open finds no region.
+    pub(crate) fn node_qp(&self, node: NodeId) -> Result<std::sync::Arc<QPair>, FvError> {
+        let mut qps = self.qps.lock();
+        if let Some(qp) = qps.get(&node) {
+            return Ok(std::sync::Arc::clone(qp));
+        }
+        let qp = std::sync::Arc::new(self.topology.cluster(node)?.connect()?);
+        qps.insert(node, std::sync::Arc::clone(&qp));
+        Ok(qp)
     }
 
     pub(crate) fn check_table(&self, ft: &FleetTable) -> Result<(), FvError> {
@@ -338,39 +499,84 @@ impl FleetQPair {
         Ok(())
     }
 
-    /// `allocTableMem` at fleet scope: compute the row→shard assignment
-    /// for `table` under `part` and allocate buffer-pool space on every
-    /// owning shard. All-or-nothing: if any shard's pool is full, the
-    /// allocations already made on the other shards are rolled back
-    /// before the error is returned.
+    /// `allocTableMem` at fleet scope: compute the placement of `table`
+    /// under `part` against the current epoch and allocate buffer-pool
+    /// space on every owning node. All-or-nothing: if any node's pool
+    /// is full, the allocations already made are rolled back before the
+    /// error is returned.
     pub fn alloc_table(&self, table: &Table, part: Partitioning) -> Result<FleetTable, FvError> {
-        let assignment = self.shard_map.assign(part, table.schema(), table.bytes())?;
-        let rows = assignment.rows_per_shard();
-        let mut shards = Vec::with_capacity(self.qps.len());
-        for (qp, &n) in self.qps.iter().zip(&rows) {
-            match qp.alloc_table_spec(table.schema(), n) {
-                Ok(ft) => shards.push(ft),
-                Err(e) => {
-                    for (qp, ft) in self.qps.iter().zip(shards) {
-                        let _ = qp.free_table(ft);
-                    }
-                    return Err(e);
-                }
-            }
-        }
+        self.alloc_table_replicated(table, part, 1)
+    }
+
+    /// [`FleetQPair::alloc_table`] with `replicas` copies of every shard
+    /// on distinct nodes — reads race the replicas and survive any
+    /// `replicas − 1` node losses.
+    pub fn alloc_table_replicated(
+        &self,
+        table: &Table,
+        part: Partitioning,
+        replicas: usize,
+    ) -> Result<FleetTable, FvError> {
+        let snapshot = self.topology.snapshot();
+        let placement =
+            Placement::compute(&snapshot, part, replicas, table.schema(), table.bytes())?;
+        let shards = self.alloc_for_placement(&placement, table.schema())?;
         Ok(FleetTable {
+            placement,
             shards,
-            assignment,
-            partitioning: part,
             schema: table.schema().clone(),
             rows: table.row_count(),
             fleet_id: self.fleet_id,
         })
     }
 
-    /// `tableWrite` at fleet scope: scatter `data`'s rows to their
-    /// owning shards. The shards load in parallel, so the simulated
-    /// transfer time is the slowest shard's.
+    /// Allocate one `FTable` per (slot, replica) of `placement`,
+    /// rolling every allocation back on the first failure.
+    fn alloc_for_placement(
+        &self,
+        placement: &Placement,
+        schema: &Schema,
+    ) -> Result<Vec<Vec<FTable>>, FvError> {
+        let rows = placement.assignment().rows_per_shard();
+        let mut allocated: Vec<(NodeId, FTable)> = Vec::new();
+        let mut shards: Vec<Vec<FTable>> = Vec::with_capacity(placement.shard_count());
+        for (nodes, &n) in placement.shards().iter().zip(&rows) {
+            let mut replicas = Vec::with_capacity(nodes.len());
+            for &node in nodes {
+                let qp = match self.node_qp(node) {
+                    Ok(qp) => qp,
+                    Err(e) => {
+                        self.rollback(allocated);
+                        return Err(e);
+                    }
+                };
+                match qp.alloc_table_spec(schema, n) {
+                    Ok(ft) => {
+                        allocated.push((node, ft.clone()));
+                        replicas.push(ft);
+                    }
+                    Err(e) => {
+                        self.rollback(allocated);
+                        return Err(e);
+                    }
+                }
+            }
+            shards.push(replicas);
+        }
+        Ok(shards)
+    }
+
+    fn rollback(&self, allocated: Vec<(NodeId, FTable)>) {
+        for (node, ft) in allocated {
+            if let Ok(qp) = self.node_qp(node) {
+                let _ = qp.free_table(ft);
+            }
+        }
+    }
+
+    /// `tableWrite` at fleet scope: scatter `data`'s rows (and their
+    /// replicas) to their owning nodes. The nodes load in parallel, so
+    /// the simulated transfer time is the slowest write's.
     ///
     /// Under [`Partitioning::KeyHash`], the row→shard assignment was
     /// computed from the contents passed to
@@ -387,9 +593,13 @@ impl FleetQPair {
                 expected,
             });
         }
-        if matches!(ft.partitioning, Partitioning::KeyHash(_)) {
-            let fresh = self.shard_map.assign(ft.partitioning, &ft.schema, data)?;
-            if fresh != ft.assignment {
+        if matches!(ft.partitioning(), Partitioning::KeyHash(_)) {
+            let fresh = ShardMap::new(ft.placement.shard_count()).assign(
+                ft.partitioning(),
+                &ft.schema,
+                data,
+            )?;
+            if &fresh != ft.placement.assignment() {
                 return Err(FvError::FleetPartitionMismatch);
             }
         }
@@ -397,13 +607,19 @@ impl FleetQPair {
     }
 
     /// Scatter rows by the table's recorded assignment and write each
-    /// shard image (no revalidation — callers have established that
+    /// replica's image (no revalidation — callers have established that
     /// `data` matches the assignment).
     fn scatter_write(&self, ft: &FleetTable, data: &[u8]) -> Result<SimDuration, FvError> {
-        let images = ft.assignment.scatter(ft.schema.row_bytes(), data);
+        let images = ft
+            .placement
+            .assignment()
+            .scatter(ft.schema.row_bytes(), data);
         let mut slowest = SimDuration::ZERO;
-        for ((qp, sft), image) in self.qps.iter().zip(&ft.shards).zip(&images) {
-            slowest = slowest.max(qp.table_write(sft, image)?);
+        for ((nodes, replicas), image) in ft.placement.shards().iter().zip(&ft.shards).zip(&images)
+        {
+            for (&node, sft) in nodes.iter().zip(replicas) {
+                slowest = slowest.max(self.node_qp(node)?.table_write(sft, image)?);
+            }
         }
         Ok(slowest)
     }
@@ -416,20 +632,44 @@ impl FleetQPair {
         table: &Table,
         part: Partitioning,
     ) -> Result<(FleetTable, SimDuration), FvError> {
-        let ft = self.alloc_table(table, part)?;
+        self.load_table_replicated(table, part, 1)
+    }
+
+    /// [`FleetQPair::load_table`] with `replicas` copies per shard.
+    pub fn load_table_replicated(
+        &self,
+        table: &Table,
+        part: Partitioning,
+        replicas: usize,
+    ) -> Result<(FleetTable, SimDuration), FvError> {
+        let ft = self.alloc_table_replicated(table, part, replicas)?;
         let t = self.scatter_write(&ft, table.bytes())?;
         Ok((ft, t))
     }
 
-    /// `freeTableMem` on every shard. Attempts every shard even if one
-    /// fails (the handle is consumed either way, so stopping early would
-    /// leak the remaining shards' pages); the first error is returned.
+    /// `freeTableMem` on every replica. Attempts every allocation even
+    /// if one fails (the handle is consumed either way, so stopping
+    /// early would leak the remaining pages); allocations on removed
+    /// nodes died with their node and are skipped. The first error is
+    /// returned.
     pub fn free_table(&self, ft: FleetTable) -> Result<(), FvError> {
         self.check_table(&ft)?;
         let mut first_err = None;
-        for (qp, sft) in self.qps.iter().zip(ft.shards) {
-            if let Err(e) = qp.free_table(sft) {
-                first_err.get_or_insert(e);
+        for (nodes, replicas) in ft.placement.shards().iter().zip(ft.shards) {
+            for (&node, sft) in nodes.iter().zip(replicas) {
+                if !self.is_serving(node) {
+                    continue;
+                }
+                match self.node_qp(node) {
+                    Ok(qp) => {
+                        if let Err(e) = qp.free_table(sft) {
+                            first_err.get_or_insert(e);
+                        }
+                    }
+                    Err(e) => {
+                        first_err.get_or_insert(e);
+                    }
+                }
             }
         }
         match first_err {
@@ -438,11 +678,186 @@ impl FleetQPair {
         }
     }
 
+    // -----------------------------------------------------------------
+    // The live rebalancer
+    // -----------------------------------------------------------------
+
+    /// Re-place `ft` against the **current** topology epoch, executing
+    /// the minimal shard-move plan as costed copy episodes, and return
+    /// a new handle at the new epoch.
+    ///
+    /// The epoch flip is atomic from a caller's perspective: `ft` (the
+    /// old epoch) keeps serving byte-identical results until retired
+    /// with [`FleetQPair::free_table`], while the returned handle fans
+    /// out over the new shard set — and its results are byte-identical
+    /// to a fresh fleet built directly at the target shape. Retire the
+    /// old handle once no in-flight query references it.
+    ///
+    /// The three costed phases are reported in the
+    /// [`RebalanceReport`]:
+    /// 1. **Copy** — each source node streams exactly the moved row
+    ///    ranges as one doorbell-batched passthrough episode per shard
+    ///    (through the full net stack: QPair, egress arbitration,
+    ///    packetization); source nodes run in parallel.
+    /// 2. **Reshuffle** — the coordinator routes moved bytes into
+    ///    destination images ([`MigrationCostModel`]).
+    /// 3. **Write** — every rebuilt shard image lands through the
+    ///    simulated write datapath; nodes run in parallel, writes on
+    ///    one node serialize.
+    ///
+    /// When nothing needs to move (the placement already matches the
+    /// target), the returned handle **aliases** `ft`'s allocations —
+    /// retire only one of the two.
+    ///
+    /// # Errors
+    /// [`FvError::NodeDown`] when a shard has no surviving holder to
+    /// copy from; allocation failures roll back every new allocation.
+    pub fn rebalance(&self, ft: &FleetTable) -> Result<(FleetTable, RebalanceReport), FvError> {
+        self.rebalance_with(ft, ft.replicas())
+    }
+
+    /// [`FleetQPair::rebalance`] that also changes the replication
+    /// factor to `replicas` while moving.
+    pub fn rebalance_with(
+        &self,
+        ft: &FleetTable,
+        replicas: usize,
+    ) -> Result<(FleetTable, RebalanceReport), FvError> {
+        self.check_table(ft)?;
+        let snapshot = self.topology.snapshot();
+        let row_bytes = ft.schema.row_bytes();
+
+        // No-op fast path, *modulo epoch*: however many membership
+        // changes were cancelled out since (add then remove, say), a
+        // placement that still matches what the current Active set
+        // would compute needs no data movement and no reallocation.
+        if replicas == ft.replicas() && ft.placement.is_current(&snapshot) {
+            return Ok((ft.clone(), RebalanceReport::noop(ft.epoch())));
+        }
+
+        // Reconstruct the full-table image from one live holder per
+        // slot (node-local functional reads; the timed copies below
+        // stream only the rows that actually move).
+        let mut full = vec![0u8; ft.rows * row_bytes];
+        for (slot, nodes) in ft.placement.shards().iter().enumerate() {
+            let holder = nodes
+                .iter()
+                .position(|&n| self.is_serving(n))
+                .ok_or(FvError::NodeDown { node: nodes[0].0 })?;
+            let qp = self.node_qp(nodes[holder])?;
+            let image = qp.peek_table(&ft.shards[slot][holder])?;
+            for (k, &r) in ft.placement.assignment().per_shard()[slot]
+                .iter()
+                .enumerate()
+            {
+                let r = r as usize;
+                full[r * row_bytes..(r + 1) * row_bytes]
+                    .copy_from_slice(&image[k * row_bytes..(k + 1) * row_bytes]);
+            }
+        }
+
+        let target = Placement::compute(&snapshot, ft.partitioning(), replicas, &ft.schema, &full)?;
+        let plan = plan_moves(&ft.placement, &target, row_bytes, |n| self.is_serving(n))?;
+
+        // Phase 1 — copy episodes: per source node and slot, coalesce
+        // the moved rows' positions into contiguous ranges and stream
+        // them as one doorbell-batched passthrough episode.
+        let slot_of_row = ft.placement.slot_of_rows(ft.rows);
+        let mut pos_in_slot: Vec<HashMap<u32, usize>> = Vec::new();
+        for indices in ft.placement.assignment().per_shard() {
+            pos_in_slot.push(indices.iter().enumerate().map(|(p, &r)| (r, p)).collect());
+        }
+        // (source node, slot) -> sorted, deduplicated positions.
+        let mut reads: std::collections::BTreeMap<(NodeId, u32), Vec<usize>> =
+            std::collections::BTreeMap::new();
+        for mv in &plan.moves {
+            for &r in &mv.rows {
+                let slot = slot_of_row[r as usize];
+                let pos = pos_in_slot[slot as usize][&r];
+                reads.entry((mv.from, slot)).or_default().push(pos);
+            }
+        }
+        let mut copy_per_node: HashMap<NodeId, SimDuration> = HashMap::new();
+        for ((node, slot), mut positions) in reads {
+            positions.sort_unstable();
+            positions.dedup();
+            let ranges = coalesce(&positions);
+            let holder = ft.placement.shards()[slot as usize]
+                .iter()
+                .position(|&n| n == node)
+                .expect("plan sources are holders");
+            let qp = self.node_qp(node)?;
+            let (_, makespan) = qp.read_row_ranges(&ft.shards[slot as usize][holder], &ranges)?;
+            *copy_per_node.entry(node).or_insert(SimDuration::ZERO) += makespan;
+        }
+        let copy_time = copy_per_node
+            .values()
+            .copied()
+            .fold(SimDuration::ZERO, SimDuration::max);
+
+        // Phase 2 — client-side reshuffle of moved bytes into images.
+        let shuffle_time = self
+            .migration_model
+            .shuffle(plan.moves.len() as u64, plan.moved_bytes());
+
+        // Phase 3 — allocate and write the new shard images.
+        let shards = self.alloc_for_placement(&target, &ft.schema)?;
+        let images = target.assignment().scatter(row_bytes, &full);
+        let mut write_per_node: HashMap<NodeId, SimDuration> = HashMap::new();
+        for ((nodes, replicas), image) in target.shards().iter().zip(&shards).zip(&images) {
+            for (&node, sft) in nodes.iter().zip(replicas) {
+                match self.node_qp(node).and_then(|qp| qp.table_write(sft, image)) {
+                    Ok(t) => *write_per_node.entry(node).or_insert(SimDuration::ZERO) += t,
+                    Err(e) => {
+                        let allocated = target
+                            .shards()
+                            .iter()
+                            .zip(shards)
+                            .flat_map(|(ns, fts)| ns.iter().copied().zip(fts))
+                            .collect();
+                        self.rollback(allocated);
+                        return Err(e);
+                    }
+                }
+            }
+        }
+        let write_time = write_per_node
+            .values()
+            .copied()
+            .fold(SimDuration::ZERO, SimDuration::max);
+
+        let report = RebalanceReport {
+            from_epoch: ft.epoch(),
+            to_epoch: target.epoch(),
+            moves: plan.moves.len(),
+            moved_rows: plan.moved_rows(),
+            moved_bytes: plan.moved_bytes(),
+            copy_time,
+            shuffle_time,
+            write_time,
+        };
+        Ok((
+            FleetTable {
+                placement: target,
+                shards,
+                schema: ft.schema.clone(),
+                rows: ft.rows,
+                fleet_id: self.fleet_id,
+            },
+            report,
+        ))
+    }
+
+    // -----------------------------------------------------------------
+    // Query verbs
+    // -----------------------------------------------------------------
+
     /// The `farView` verb at fleet scope: fan the pipeline out as one
-    /// episode per shard, gather the partial results, and merge them
-    /// client-side according to the pipeline's grouping stage. Thin
-    /// wrapper over [`Executor::fleet`] — shard-spec derivation and the
-    /// merge live in [`crate::plan`], shared with the batched verb.
+    /// episode per shard (racing every surviving replica), gather the
+    /// partial results, and merge them client-side according to the
+    /// pipeline's grouping stage. Thin wrapper over [`Executor::fleet`]
+    /// — shard-spec derivation and the merge live in [`crate::plan`],
+    /// shared with the batched verb.
     pub fn far_view(
         &self,
         ft: &FleetTable,
@@ -510,6 +925,18 @@ impl FleetQPair {
     }
 }
 
+/// Coalesce sorted, deduplicated positions into `[lo, hi)` ranges.
+fn coalesce(positions: &[usize]) -> Vec<(usize, usize)> {
+    let mut ranges: Vec<(usize, usize)> = Vec::new();
+    for &p in positions {
+        match ranges.last_mut() {
+            Some((_, hi)) if *hi == p => *hi += 1,
+            _ => ranges.push((p, p + 1)),
+        }
+    }
+    ranges
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -575,6 +1002,8 @@ mod tests {
         let (ft, write_time) = qp.load_table(&t, Partitioning::RowRange).unwrap();
         assert!(write_time > SimDuration::ZERO);
         assert_eq!(ft.rows_per_shard(), vec![34, 34, 32]);
+        assert_eq!(ft.epoch(), 0);
+        assert_eq!(ft.replicas(), 1);
         let out = qp.table_read(&ft).unwrap();
         assert_eq!(out.merged.payload, t.bytes(), "gather restores row order");
         assert_eq!(out.per_shard.len(), 3);
@@ -734,9 +1163,9 @@ mod tests {
         // Fill node 1's pool so a fleet-wide allocation fails there;
         // the pages already taken on node 0 must be returned.
         let fleet = FarviewFleet::new(2, FarviewConfig::tiny());
-        let hog_qp = fleet.node(1).connect().unwrap();
+        let hog_qp = fleet.node(1).unwrap().connect().unwrap();
         // Grab almost everything on node 1 (leave < one 2 MiB page).
-        let bytes = fleet.node(1).free_pages() * fv_sim::calib::PAGE_BYTES - 64;
+        let bytes = fleet.node(1).unwrap().free_pages() * fv_sim::calib::PAGE_BYTES - 64;
         let hog = hog_qp
             .alloc_table_spec(&Schema::uniform_u64(8), (bytes / 64) as usize)
             .expect("hog allocation must fit");
@@ -831,5 +1260,172 @@ mod tests {
         qp.table_write(&ft, original.bytes()).unwrap();
         let rr = qp.alloc_table(&original, Partitioning::RowRange).unwrap();
         qp.table_write(&rr, different_keys.bytes()).unwrap();
+    }
+
+    #[test]
+    fn checked_node_accessor_reports_oob() {
+        let fleet = FarviewFleet::new(2, FarviewConfig::tiny());
+        assert!(fleet.node(0).is_ok());
+        assert!(fleet.node(1).is_ok());
+        assert!(matches!(
+            fleet.node(2),
+            Err(FvError::NoSuchNode { node: 2, nodes: 2 })
+        ));
+        assert!(matches!(
+            fleet.node_by_id(NodeId(99)),
+            Err(FvError::NoSuchNode { .. })
+        ));
+        let t = table(8, 2);
+        let qp = fleet.connect().unwrap();
+        let (ft, _) = qp.load_table(&t, Partitioning::RowRange).unwrap();
+        assert!(ft.shard(0).is_some());
+        assert!(
+            ft.shard(5).is_none(),
+            "shard access is checked, not a panic"
+        );
+    }
+
+    #[test]
+    fn grow_rebalance_matches_fresh_fleet() {
+        let t = table(120, 6);
+        let fleet = FarviewFleet::new(2, FarviewConfig::tiny());
+        let qp = fleet.connect().unwrap();
+        let (old, _) = qp.load_table(&t, Partitioning::RowRange).unwrap();
+        let before = qp.table_read(&old).unwrap().merged.payload.clone();
+
+        fleet.add_node();
+        fleet.add_node();
+        assert_eq!(fleet.epoch(), 2);
+        let (new, report) = qp.rebalance(&old).unwrap();
+        assert_eq!(new.epoch(), 2);
+        assert_eq!(new.rows_per_shard(), vec![30, 30, 30, 30]);
+        assert!(report.moved_rows > 0);
+        assert_eq!(report.moved_bytes, report.moved_rows * 24);
+        assert!(report.copy_time > SimDuration::ZERO);
+        assert!(report.write_time > SimDuration::ZERO);
+        assert!(report.total_time() > SimDuration::ZERO);
+
+        // Old epoch handle stays byte-identical while in flight.
+        assert_eq!(qp.table_read(&old).unwrap().merged.payload, before);
+        // New epoch handle fans out over 4 shards, byte-identically.
+        let out = qp.table_read(&new).unwrap();
+        assert_eq!(out.per_shard.len(), 4);
+        assert_eq!(out.merged.payload, before);
+        // Retiring the old epoch returns its pages.
+        let free_before = fleet.free_pages();
+        qp.free_table(old).unwrap();
+        assert!(fleet.free_pages() > free_before);
+        qp.free_table(new).unwrap();
+    }
+
+    #[test]
+    fn drain_then_rebalance_moves_shards_off_the_node() {
+        let t = table(90, 5);
+        let fleet = FarviewFleet::new(3, FarviewConfig::tiny());
+        let qp = fleet.connect().unwrap();
+        let (old, _) = qp.load_table(&t, Partitioning::KeyHash(0)).unwrap();
+        let victim = fleet.node_ids()[1];
+        fleet.drain_node(victim).unwrap();
+        let (new, _) = qp.rebalance(&old).unwrap();
+        assert!(
+            !new.placement().nodes().contains(&victim),
+            "no shard may remain on a draining node after rebalance"
+        );
+        // Draining nodes still serve the old epoch; the rebalanced
+        // table holds the same rows (KeyHash row *order* changes with
+        // the shard count — set equality is the hash-partitioned
+        // contract), and is byte-identical to a fresh 2-node fleet.
+        let sorted = |payload: &[u8]| {
+            let mut v: Vec<Vec<u8>> = payload.chunks_exact(24).map(<[u8]>::to_vec).collect();
+            v.sort();
+            v
+        };
+        let before = qp.table_read(&old).unwrap().merged.payload.clone();
+        let after = qp.table_read(&new).unwrap().merged.payload.clone();
+        assert_eq!(sorted(&after), sorted(&before));
+        let fresh = FarviewFleet::new(2, FarviewConfig::tiny());
+        let fresh_qp = fresh.connect().unwrap();
+        let (fresh_ft, _) = fresh_qp.load_table(&t, Partitioning::KeyHash(0)).unwrap();
+        assert_eq!(
+            fresh_qp.table_read(&fresh_ft).unwrap().merged.payload,
+            after,
+            "rebalanced placement must equal a fresh fleet's"
+        );
+        qp.free_table(old).unwrap();
+        // With the old epoch retired the drained node holds nothing and
+        // can be removed without any query noticing.
+        fleet.remove_node(victim).unwrap();
+        assert_eq!(qp.table_read(&new).unwrap().merged.payload, after);
+        assert_eq!(fleet.node_count(), 2);
+    }
+
+    #[test]
+    fn replicated_reads_survive_a_kill() {
+        let t = table(200, 8);
+        let fleet = FarviewFleet::new(3, FarviewConfig::tiny());
+        let qp = fleet.connect().unwrap();
+        let (ft, _) = qp
+            .load_table_replicated(&t, Partitioning::RowRange, 2)
+            .unwrap();
+        assert_eq!(ft.replicas(), 2);
+        let before = qp.table_read(&ft).unwrap().merged.payload.clone();
+        assert_eq!(before, t.bytes());
+
+        let victim = fleet.node_ids()[0];
+        fleet.remove_node(victim).unwrap();
+        let after = qp.table_read(&ft).unwrap();
+        assert_eq!(after.merged.payload, before, "replica fallback is exact");
+
+        // Unreplicated tables on a killed node are honestly lost.
+        let fleet2 = FarviewFleet::new(2, FarviewConfig::tiny());
+        let qp2 = fleet2.connect().unwrap();
+        let (ft2, _) = qp2.load_table(&t, Partitioning::RowRange).unwrap();
+        fleet2.remove_node(fleet2.node_ids()[0]).unwrap();
+        assert!(matches!(
+            qp2.table_read(&ft2),
+            Err(FvError::NodeDown { .. })
+        ));
+    }
+
+    #[test]
+    fn noop_rebalance_reports_zero_moves() {
+        let t = table(50, 5);
+        let fleet = FarviewFleet::new(2, FarviewConfig::tiny());
+        let qp = fleet.connect().unwrap();
+        let (ft, _) = qp.load_table(&t, Partitioning::RowRange).unwrap();
+        let (same, report) = qp.rebalance(&ft).unwrap();
+        assert_eq!(report.moved_rows, 0);
+        assert_eq!(report.total_time(), SimDuration::ZERO);
+        assert_eq!(same.epoch(), ft.epoch());
+        // Epoch bumps that cancel out (add then remove the same node)
+        // are also no-ops: the placement is still what the Active set
+        // computes, so no reallocation or rewrite may happen.
+        let free_before = fleet.free_pages();
+        let transient = fleet.add_node();
+        fleet.remove_node(transient).unwrap();
+        let (_still_same, report) = qp.rebalance(&ft).unwrap();
+        assert_eq!(report.moved_rows, 0);
+        assert_eq!(report.total_time(), SimDuration::ZERO);
+        assert_eq!(fleet.free_pages(), free_before, "no-op must not allocate");
+        // The no-op handle aliases the input's allocations: retire one.
+        qp.free_table(ft).unwrap();
+    }
+
+    #[test]
+    fn bad_replication_is_rejected() {
+        let t = table(20, 4);
+        let fleet = FarviewFleet::new(2, FarviewConfig::tiny());
+        let qp = fleet.connect().unwrap();
+        assert!(matches!(
+            qp.load_table_replicated(&t, Partitioning::RowRange, 3),
+            Err(FvError::BadReplication {
+                replicas: 3,
+                nodes: 2
+            })
+        ));
+        assert!(matches!(
+            qp.load_table_replicated(&t, Partitioning::RowRange, 0),
+            Err(FvError::BadReplication { .. })
+        ));
     }
 }

@@ -19,6 +19,11 @@
 //! * [`fleet`] — scale-out: [`FarviewFleet`] hash-/range-shards tables
 //!   across N nodes and fans `farView` verbs out as parallel per-shard
 //!   episodes, merging results client-side (scatter–gather).
+//! * [`topology`] — elasticity: the epoch-versioned node roster and
+//!   per-table [`Placement`] behind the fleet, with dynamic membership
+//!   ([`FarviewFleet::add_node`] / [`FarviewFleet::drain_node`] /
+//!   [`FarviewFleet::remove_node`]), optional per-table replication,
+//!   and the live rebalancer ([`FleetQPair::rebalance`]).
 //! * [`resources`] — the FPGA resource model behind Table 1.
 //! * [`microbench`] — the pipelined-read throughput model of Figure 6(a).
 //!
@@ -40,6 +45,7 @@ pub mod microbench;
 pub mod plan;
 pub mod resources;
 pub mod tiered;
+pub mod topology;
 
 pub use cluster::{
     FTable, FarviewCluster, QPair, QueryOutcome, QueryStats, SelectQuery, MAX_QUEUE_DEPTH,
@@ -51,7 +57,10 @@ pub use fleet::{
     ShardMap,
 };
 pub use plan::{Executor, Explain, LogicalStage, MergeSpec, PlanTarget, QueryPlan};
-pub use tiered::{BlockStore, StorageParams, TieredPool};
+pub use tiered::{BlockStore, FleetTierOutcome, FleetTieredPool, StorageParams, TieredPool};
+pub use topology::{
+    MovePlan, NodeHealth, NodeId, Placement, RebalanceReport, ShardMove, Topology, TopologySnapshot,
+};
 
 // Re-export the pipeline vocabulary: it is the public query language.
 pub use fv_pipeline::{

@@ -155,9 +155,14 @@ pub enum PlanTarget {
         /// Queue depth of the batch.
         depth: usize,
     },
-    /// Scatter–gather across a fleet shard set.
+    /// Scatter–gather across a fleet shard set. With the elastic
+    /// topology the shard count is an epoch-dependent property of the
+    /// table's [`Placement`](crate::topology::Placement) — build this
+    /// target from a live handle via
+    /// [`FleetTable::plan_target`](crate::FleetTable::plan_target) so
+    /// it resolves against the epoch snapshot actually being queried.
     Fleet {
-        /// Number of shards the table spans.
+        /// Number of shards the table spans at its placement epoch.
         shards: usize,
         /// How the table's rows are assigned to shards.
         partitioning: Partitioning,
@@ -987,6 +992,14 @@ impl Executor {
     /// as one pipelined episode, and merge per query — the engine behind
     /// both [`FleetQPair::far_view`](crate::FleetQPair::far_view) and
     /// [`FleetQPair::far_view_batch`](crate::FleetQPair::far_view_batch).
+    ///
+    /// Shards resolve via the handle's epoch-snapshot
+    /// [`Placement`](crate::topology::Placement): each shard slot fans
+    /// out to every **surviving** replica and the fastest response wins
+    /// (replica images are byte-identical, so the merge is unaffected).
+    /// A slot whose replicas are all gone reports
+    /// [`FvError::NodeDown`] — with `r ≥ 2`, any single node loss is
+    /// survived transparently.
     pub fn fleet(
         fqp: &FleetQPair,
         ft: &FleetTable,
@@ -1001,10 +1014,34 @@ impl Executor {
             .map(|s| shard_execution(s, ft.schema()))
             .collect::<Result<Vec<_>, _>>()?;
         let shard_specs: Vec<PipelineSpec> = plans.iter().map(|(s, _)| s.clone()).collect();
-        // Scatter: every shard executes the whole batch in flight.
-        let mut per_shard = Vec::with_capacity(fqp.shard_count());
-        for (qp, sft) in fqp.qps().iter().zip(ft.shard_tables()) {
-            per_shard.push(qp.execute_specs(sft, &shard_specs)?);
+        // Scatter: every shard slot executes the whole batch in flight,
+        // racing its surviving replicas.
+        let placement = ft.placement();
+        let mut per_shard: Vec<Vec<QueryOutcome>> = Vec::with_capacity(placement.shard_count());
+        for (nodes, replicas) in placement.shards().iter().zip(ft.shard_tables()) {
+            let mut best: Option<Vec<QueryOutcome>> = None;
+            for (&node, sft) in nodes.iter().zip(replicas) {
+                if !fqp.is_serving(node) {
+                    continue;
+                }
+                let qp = fqp.node_qp(node)?;
+                let outcomes = qp.execute_specs(sft, &shard_specs)?;
+                best = Some(match best {
+                    None => outcomes,
+                    Some(prev) => prev
+                        .into_iter()
+                        .zip(outcomes)
+                        .map(|(a, b)| {
+                            if b.stats.response_time < a.stats.response_time {
+                                b
+                            } else {
+                                a
+                            }
+                        })
+                        .collect(),
+                });
+            }
+            per_shard.push(best.ok_or(FvError::NodeDown { node: nodes[0].0 })?);
         }
         // Gather: merge query `i`'s per-shard outcomes client-side.
         Ok(plans

@@ -13,9 +13,21 @@
 //!   of the disaggregated memory: queries against cold tables stage them
 //!   in from storage (evicting least-recently-used residents when the
 //!   DRAM budget is exceeded) and then run the offloaded pipeline.
+//! * [`FleetTieredPool`] — the same manager at **fleet** scope: staged
+//!   tables scatter across the fleet under the topology's *current*
+//!   epoch, and a resident staged before a membership change is
+//!   restaged into the new placement the next time it is queried (cold
+//!   data always lands on the shard set that exists *now*, not the one
+//!   that existed when it was first registered).
 //!
 //! Query results are identical whether a table was hot or cold; only the
-//! reported time differs (staging cost surfaces in [`TierOutcome`]).
+//! reported time differs (staging cost surfaces in [`TierOutcome`] /
+//! [`FleetTierOutcome`]).
+//!
+//! Budgets are best-effort admission bounds: a table larger than the
+//! remaining budget (including a zero budget) still stages — the pool
+//! cannot answer the query otherwise — and becomes the first eviction
+//! victim once the next staging needs room.
 
 use std::collections::HashMap;
 
@@ -24,6 +36,7 @@ use fv_sim::{calib, SimDuration};
 
 use crate::cluster::{FTable, QPair, QueryOutcome};
 use crate::error::FvError;
+use crate::fleet::{FleetQPair, FleetQueryOutcome, FleetTable, Partitioning};
 use crate::plan::Executor;
 use crate::PipelineSpec;
 
@@ -155,9 +168,10 @@ impl std::fmt::Debug for TieredPool<'_> {
 }
 
 impl<'a> TieredPool<'a> {
-    /// A pool over `qp`'s connection with the given DRAM budget.
+    /// A pool over `qp`'s connection with the given DRAM budget. A zero
+    /// budget is legal: every staged table then exceeds the budget, so
+    /// each new staging evicts whatever the previous one brought in.
     pub fn new(qp: &'a QPair, capacity_bytes: u64, store: BlockStore) -> Self {
-        assert!(capacity_bytes > 0, "pool needs a DRAM budget");
         TieredPool {
             qp,
             store,
@@ -173,7 +187,12 @@ impl<'a> TieredPool<'a> {
     /// Register a table: persisted to storage, *not* staged into DRAM
     /// until first use ("blocks/pages being loaded from storage as
     /// needed", §3).
+    ///
+    /// # Panics
+    /// Panics unless `table` uses the paper-default staged schema
+    /// (8 × 8-byte attributes) — see [`staged_schema`].
     pub fn insert(&mut self, name: &str, table: &Table) -> SimDuration {
+        check_staged_schema(table);
         self.store.put(name, table.bytes().to_vec())
     }
 
@@ -229,7 +248,7 @@ impl<'a> TieredPool<'a> {
         let (bytes, read_time) = self.store.get(name).ok_or_else(|| FvError::NotInStorage {
             name: name.to_string(),
         })?;
-        let table = Table::from_bytes(self.table_schema(name, &bytes), bytes);
+        let table = Table::from_bytes(staged_schema(), bytes);
 
         // Make room under the DRAM budget.
         let need = table.byte_len() as u64;
@@ -257,15 +276,228 @@ impl<'a> TieredPool<'a> {
             evictions,
         })
     }
+}
 
-    /// Schema registry for staged objects — tables are stored with their
-    /// schema alongside (kept out of the byte image for simplicity).
-    fn table_schema(&self, _name: &str, bytes: &[u8]) -> fv_data::Schema {
-        // Cold images in this pool are always the paper's default row
-        // format (8 × 8-byte attributes); generalizing to a persisted
-        // schema catalog is mechanical.
-        let _ = bytes;
-        fv_data::Schema::uniform_u64(8)
+/// The one schema cold images are staged with: the paper's default row
+/// format (8 × 8-byte attributes, §6.2). Both tier pools rehydrate
+/// storage bytes through this; generalizing to a persisted per-object
+/// schema catalog is mechanical but not needed by any experiment.
+pub fn staged_schema() -> fv_data::Schema {
+    fv_data::Schema::uniform_u64(8)
+}
+
+/// Reject tables the tier cannot rehydrate — catching the mismatch at
+/// `insert` time instead of panicking (or silently mis-decoding rows)
+/// at first query.
+fn check_staged_schema(table: &Table) {
+    assert_eq!(
+        table.schema(),
+        &staged_schema(),
+        "tiered pools stage the paper-default 8 x u64 schema only"
+    );
+}
+
+/// Outcome of one fleet-tier query: the merged fleet result plus the
+/// tier activity that preceded it.
+#[derive(Debug)]
+pub struct FleetTierOutcome {
+    /// The merged fleet query result (identical hot or cold).
+    pub outcome: FleetQueryOutcome,
+    /// Whether the table was already resident under a still-current
+    /// placement.
+    pub buffer_hit: bool,
+    /// Whether a resident copy existed but its placement had gone
+    /// stale and it was re-scattered into the current shard set.
+    pub restaged: bool,
+    /// Time spent staging the table in from storage (device read + the
+    /// slowest shard's scatter write). Zero on a hit.
+    pub stage_in_time: SimDuration,
+    /// Tables evicted to make room.
+    pub evictions: Vec<String>,
+}
+
+impl FleetTierOutcome {
+    /// Total client-observed time: staging (if any) plus the query.
+    pub fn total_time(&self) -> SimDuration {
+        self.stage_in_time + self.outcome.merged.stats.response_time
+    }
+}
+
+struct FleetResident {
+    ft: FleetTable,
+    bytes: u64,
+    /// LRU stamp.
+    last_use: u64,
+}
+
+/// An LRU-managed tier over a whole fleet connection, backed by a
+/// [`BlockStore`]. The elastic-topology twist: residency is checked
+/// against the topology **epoch**, so a table staged before an
+/// `add_node`/`drain_node`/`remove_node` is transparently restaged into
+/// the *current* placement on its next query — cold data always lands
+/// on the shard set that exists now.
+pub struct FleetTieredPool<'a> {
+    fqp: &'a FleetQPair,
+    store: BlockStore,
+    /// DRAM budget this pool may occupy across the fleet, in bytes.
+    capacity: u64,
+    /// Partitioning for every staged table.
+    partitioning: Partitioning,
+    resident: HashMap<String, FleetResident>,
+    resident_bytes: u64,
+    clock: u64,
+    hits: u64,
+    misses: u64,
+    restages: u64,
+}
+
+impl std::fmt::Debug for FleetTieredPool<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FleetTieredPool")
+            .field("capacity", &self.capacity)
+            .field("resident_bytes", &self.resident_bytes)
+            .field("resident", &self.resident.len())
+            .field("hits", &self.hits)
+            .field("misses", &self.misses)
+            .field("restages", &self.restages)
+            .finish()
+    }
+}
+
+impl<'a> FleetTieredPool<'a> {
+    /// A pool over `fqp` with the given fleet-wide DRAM budget; every
+    /// staged table scatters under `partitioning`.
+    pub fn new(
+        fqp: &'a FleetQPair,
+        capacity_bytes: u64,
+        partitioning: Partitioning,
+        store: BlockStore,
+    ) -> Self {
+        FleetTieredPool {
+            fqp,
+            store,
+            capacity: capacity_bytes,
+            partitioning,
+            resident: HashMap::new(),
+            resident_bytes: 0,
+            clock: 0,
+            hits: 0,
+            misses: 0,
+            restages: 0,
+        }
+    }
+
+    /// Register a table: persisted to storage, *not* staged into DRAM
+    /// until first use.
+    ///
+    /// # Panics
+    /// Panics unless `table` uses the paper-default staged schema
+    /// (8 × 8-byte attributes) — see [`staged_schema`].
+    pub fn insert(&mut self, name: &str, table: &Table) -> SimDuration {
+        check_staged_schema(table);
+        self.store.put(name, table.bytes().to_vec())
+    }
+
+    /// Is `name` currently resident (at any epoch)?
+    pub fn is_resident(&self, name: &str) -> bool {
+        self.resident.contains_key(name)
+    }
+
+    /// The epoch `name`'s resident copy was placed at, if resident.
+    pub fn resident_epoch(&self, name: &str) -> Option<u64> {
+        self.resident.get(name).map(|r| r.ft.epoch())
+    }
+
+    /// `(hits, misses)` so far (a restage counts as a miss).
+    pub fn hit_stats(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+
+    /// Residents restaged because their placement epoch went stale.
+    pub fn restages(&self) -> u64 {
+        self.restages
+    }
+
+    /// Evict the least-recently-used resident; returns its name.
+    fn evict_one(&mut self) -> Result<String, FvError> {
+        let victim = self
+            .resident
+            .iter()
+            .min_by_key(|(_, r)| r.last_use)
+            .map(|(n, _)| n.clone())
+            .expect("evict_one called with residents");
+        let r = self.resident.remove(&victim).expect("victim resident");
+        self.resident_bytes -= r.bytes;
+        // Read-only buffer pool (§4.2): no write-back needed, the
+        // storage copy is authoritative.
+        self.fqp.free_table(r.ft)?;
+        Ok(victim)
+    }
+
+    /// Run `spec` against `name`, staging it in from storage if cold —
+    /// or **restaging** it if its resident placement no longer matches
+    /// what the current Active set computes. Staleness is a property of
+    /// the *placement*, not the raw epoch: membership changes that
+    /// cancelled out (a node added and removed again) leave residents
+    /// hot.
+    pub fn query(&mut self, name: &str, spec: &PipelineSpec) -> Result<FleetTierOutcome, FvError> {
+        self.clock += 1;
+        let mut restaged = false;
+        if let Some(r) = self.resident.get_mut(name) {
+            if self.fqp.placement_is_current(r.ft.placement()) {
+                r.last_use = self.clock;
+                self.hits += 1;
+                let ft = r.ft.clone();
+                let outcome = self.fqp.far_view(&ft, spec)?;
+                return Ok(FleetTierOutcome {
+                    outcome,
+                    buffer_hit: true,
+                    restaged: false,
+                    stage_in_time: SimDuration::ZERO,
+                    evictions: Vec::new(),
+                });
+            }
+            // Stale placement: drop the old copy and fall through to
+            // the staging path so the table lands on the current shard
+            // set.
+            restaged = true;
+            self.restages += 1;
+            let r = self.resident.remove(name).expect("checked resident");
+            self.resident_bytes -= r.bytes;
+            self.fqp.free_table(r.ft)?;
+        }
+        self.misses += 1;
+        let (bytes, read_time) = self.store.get(name).ok_or_else(|| FvError::NotInStorage {
+            name: name.to_string(),
+        })?;
+        let table = Table::from_bytes(staged_schema(), bytes);
+
+        // Make room under the fleet-wide DRAM budget.
+        let need = table.byte_len() as u64;
+        let mut evictions = Vec::new();
+        while self.resident_bytes + need > self.capacity && !self.resident.is_empty() {
+            evictions.push(self.evict_one()?);
+        }
+
+        let (ft, write_time) = self.fqp.load_table(&table, self.partitioning)?;
+        self.resident.insert(
+            name.to_string(),
+            FleetResident {
+                ft: ft.clone(),
+                bytes: need,
+                last_use: self.clock,
+            },
+        );
+        self.resident_bytes += need;
+
+        let outcome = self.fqp.far_view(&ft, spec)?;
+        Ok(FleetTierOutcome {
+            outcome,
+            buffer_hit: false,
+            restaged,
+            stage_in_time: read_time + write_time,
+            evictions,
+        })
     }
 }
 
@@ -362,6 +594,159 @@ mod tests {
             baseline - 1,
             "only one staged table may hold pages at a time"
         );
+    }
+
+    #[test]
+    fn zero_budget_stages_every_query_and_evicts_the_previous() {
+        let cluster = FarviewCluster::new(FarviewConfig::tiny());
+        let qp = cluster.connect().unwrap();
+        let baseline = cluster.free_pages();
+        let mut pool = TieredPool::new(&qp, 0, BlockStore::default());
+        let a = table(1, 256 << 10);
+        let b = table(2, 256 << 10);
+        pool.insert("a", &a);
+        pool.insert("b", &b);
+
+        let out_a = pool.query("a", &PipelineSpec::passthrough()).unwrap();
+        assert!(!out_a.buffer_hit);
+        assert_eq!(
+            out_a.outcome.payload,
+            a.bytes(),
+            "over-budget staging still answers"
+        );
+        assert!(pool.is_resident("a"), "best-effort admission");
+
+        // The next distinct table evicts the over-budget resident.
+        let out_b = pool.query("b", &PipelineSpec::passthrough()).unwrap();
+        assert_eq!(out_b.evictions, vec!["a".to_string()]);
+        assert_eq!(out_b.outcome.payload, b.bytes());
+        assert!(!pool.is_resident("a"));
+        assert!(pool.is_resident("b"));
+        assert_eq!(
+            cluster.free_pages(),
+            baseline - 1,
+            "at most one over-budget resident holds pages"
+        );
+    }
+
+    #[test]
+    fn single_table_larger_than_budget_still_stages() {
+        let cluster = FarviewCluster::new(FarviewConfig::tiny());
+        let qp = cluster.connect().unwrap();
+        // 1 MB table against a 256 kB budget.
+        let mut pool = TieredPool::new(&qp, 256 << 10, BlockStore::default());
+        let big = table(3, 1 << 20);
+        let small = table(4, 256 << 10);
+        pool.insert("big", &big);
+        pool.insert("small", &small);
+
+        let out = pool.query("big", &PipelineSpec::passthrough()).unwrap();
+        assert!(!out.buffer_hit);
+        assert!(out.evictions.is_empty(), "nothing resident to evict");
+        assert_eq!(out.outcome.payload, big.bytes());
+        assert!(pool.resident_bytes() > 256 << 10, "admitted over budget");
+
+        // It is the first victim once anything else needs room.
+        let next = pool.query("small", &PipelineSpec::passthrough()).unwrap();
+        assert_eq!(next.evictions, vec!["big".to_string()]);
+        assert!(pool.resident_bytes() <= 256 << 10);
+    }
+
+    #[test]
+    fn requery_after_eviction_is_byte_identical_and_repays_staging() {
+        let cluster = FarviewCluster::new(FarviewConfig::tiny());
+        let qp = cluster.connect().unwrap();
+        let mut pool = TieredPool::new(&qp, 1 << 20, BlockStore::default());
+        let a = table(5, 1 << 20);
+        let b = table(6, 1 << 20);
+        pool.insert("a", &a);
+        pool.insert("b", &b);
+        let spec = PipelineSpec::passthrough().filter(PredicateExpr::lt(0, 1u64 << 62));
+
+        let first = pool.query("a", &spec).unwrap();
+        assert!(first.stage_in_time > SimDuration::ZERO);
+        pool.query("b", &spec).unwrap(); // evicts a
+        assert!(!pool.is_resident("a"));
+
+        let again = pool.query("a", &spec).unwrap();
+        assert!(!again.buffer_hit, "evicted table must re-stage");
+        assert_eq!(
+            again.stage_in_time, first.stage_in_time,
+            "staging cost is re-paid in full"
+        );
+        assert_eq!(
+            again.outcome.payload, first.outcome.payload,
+            "results stay byte-identical across evict + restage"
+        );
+        assert_eq!(pool.hit_stats(), (0, 3));
+    }
+
+    #[test]
+    fn fleet_tier_restages_into_the_current_placement() {
+        use crate::fleet::{FarviewFleet, Partitioning};
+        let fleet = FarviewFleet::new(2, FarviewConfig::tiny());
+        let qp = fleet.connect().unwrap();
+        let mut pool =
+            FleetTieredPool::new(&qp, 8 << 20, Partitioning::RowRange, BlockStore::default());
+        let t = table(7, 512 << 10);
+        pool.insert("orders", &t);
+
+        let cold = pool.query("orders", &PipelineSpec::passthrough()).unwrap();
+        assert!(!cold.buffer_hit);
+        assert!(!cold.restaged);
+        assert_eq!(cold.outcome.merged.payload, t.bytes());
+        assert_eq!(cold.outcome.per_shard.len(), 2);
+        assert_eq!(pool.resident_epoch("orders"), Some(0));
+
+        let hot = pool.query("orders", &PipelineSpec::passthrough()).unwrap();
+        assert!(hot.buffer_hit);
+        assert_eq!(hot.stage_in_time, SimDuration::ZERO);
+
+        // Membership churn that cancels out (add then remove the same
+        // node) leaves the placement current — no restage.
+        let transient = fleet.add_node();
+        fleet.remove_node(transient).unwrap();
+        let still_hot = pool.query("orders", &PipelineSpec::passthrough()).unwrap();
+        assert!(still_hot.buffer_hit, "cancelled-out churn must stay hot");
+
+        // Grow the fleet for real: the resident's placement goes stale,
+        // so the next query restages into the *current* 4-node
+        // placement.
+        fleet.add_node();
+        fleet.add_node();
+        let restaged = pool.query("orders", &PipelineSpec::passthrough()).unwrap();
+        assert!(restaged.restaged, "stale epoch must trigger a restage");
+        assert!(!restaged.buffer_hit);
+        assert!(
+            restaged.stage_in_time > SimDuration::ZERO,
+            "staging re-paid"
+        );
+        assert_eq!(
+            restaged.outcome.per_shard.len(),
+            4,
+            "cold data lands on the shard set that exists now"
+        );
+        assert_eq!(restaged.outcome.merged.payload, t.bytes());
+        assert_eq!(pool.resident_epoch("orders"), Some(fleet.epoch()));
+        assert_eq!(pool.restages(), 1);
+        assert_eq!(pool.hit_stats(), (2, 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "paper-default 8 x u64 schema")]
+    fn non_default_schema_is_rejected_at_insert() {
+        let cluster = FarviewCluster::new(FarviewConfig::tiny());
+        let qp = cluster.connect().unwrap();
+        let mut pool = TieredPool::new(&qp, 1 << 20, BlockStore::default());
+        // A 3-column table cannot be rehydrated by the tier's staged
+        // schema — insert must reject it up front.
+        let mut b = fv_data::TableBuilder::new(fv_data::Schema::uniform_u64(3));
+        b.push_values(vec![
+            fv_data::Value::U64(1),
+            fv_data::Value::U64(2),
+            fv_data::Value::U64(3),
+        ]);
+        pool.insert("bad", &b.build());
     }
 
     #[test]

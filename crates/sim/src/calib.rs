@@ -261,6 +261,12 @@ pub const CLIENT_MERGE_ROW_NS: u64 = 40;
 /// memory by the NIC; DDR4 single-core streaming rate).
 pub const CLIENT_CONCAT_BW: f64 = 12.0e9;
 
+/// Rebalance coordinator: fixed cost per (source → destination) copy
+/// flow of a shard-move plan — verb setup, range bookkeeping, and the
+/// completion handling of one copy stream. Same order as an RPC issue
+/// path on the client CPU.
+pub const MIGRATION_MOVE_FIXED: SimDuration = SimDuration::from_micros(2);
+
 /// Helper: the serialized-transfer time of `bytes` at `rate`, as used all
 /// over the baseline cost models.
 pub fn transfer(bytes: u64, rate: f64) -> SimDuration {

@@ -111,6 +111,38 @@ impl PlanCostModel {
     }
 }
 
+/// Calibrated cost of the rebalance coordinator's client-side work:
+/// routing the moved rows out of source-copy payloads into destination
+/// shard images. The *data movement* itself is costed by real episodes
+/// (source reads through the net stack, destination writes through the
+/// write datapath); this model covers only the coordinator in between,
+/// so rebalance time is reported honestly instead of treating the
+/// reshuffle as free.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MigrationCostModel {
+    /// Fixed cost per (source → destination) copy flow.
+    pub per_move: SimDuration,
+    /// Streaming bandwidth for routing moved bytes between buffers.
+    pub shuffle_bw: f64,
+}
+
+impl Default for MigrationCostModel {
+    fn default() -> Self {
+        MigrationCostModel {
+            per_move: calib::MIGRATION_MOVE_FIXED,
+            shuffle_bw: calib::CLIENT_CONCAT_BW,
+        }
+    }
+}
+
+impl MigrationCostModel {
+    /// Coordinator time to route `bytes` of moved rows across `moves`
+    /// copy flows.
+    pub fn shuffle(&self, moves: u64, bytes: u64) -> SimDuration {
+        self.per_move * moves + calib::transfer(bytes, self.shuffle_bw)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -144,5 +176,13 @@ mod tests {
             m.fan_out(shard, m.merge_concat(256 << 10)),
             shard + m.merge_concat(256 << 10)
         );
+    }
+
+    #[test]
+    fn shuffle_scales_with_moves_and_bytes() {
+        let m = MigrationCostModel::default();
+        assert_eq!(m.shuffle(0, 0), SimDuration::ZERO);
+        assert_eq!(m.shuffle(3, 0), calib::MIGRATION_MOVE_FIXED * 3);
+        assert!(m.shuffle(1, 1 << 20) > m.shuffle(1, 1 << 10));
     }
 }

@@ -35,7 +35,7 @@ pub mod queueing;
 pub mod stats;
 pub mod time;
 
-pub use cost::PlanCostModel;
+pub use cost::{MigrationCostModel, PlanCostModel};
 pub use engine::{Actor, ActorId, Context, Simulation};
 pub use queueing::{BandwidthServer, DrrScheduler};
 pub use stats::{Histogram, MergeCostModel, RunningStats};

@@ -1,0 +1,228 @@
+//! Churn scenario generator: queries interleaved with membership events.
+//!
+//! The elasticity experiments need workloads the static generators
+//! cannot produce: a query stream that keeps running **while the fleet
+//! changes shape** — nodes joining under load, draining out, or dying
+//! outright. This module generates such schedules deterministically, as
+//! engine-independent data (like [`crate::FleetScenarioGen`]): each
+//! [`ChurnEvent`] is either a burst of [`TenantQuery`]s or a membership
+//! change, and the driver lowers the schedule onto a `FarviewFleet`
+//! (add/drain/remove + rebalance + the `farView` verbs). The
+//! integration replay lives in `tests/topology_props.rs`
+//! (`churn_schedule_replays_byte_identically`), which asserts every
+//! query of a drained-and-killed schedule stays byte-identical to a
+//! single node.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::TenantQuery;
+
+/// One step of a churn schedule.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ChurnEvent {
+    /// A burst of queries issued against the current topology.
+    Queries(Vec<TenantQuery>),
+    /// Bring up one more node (the driver should rebalance afterwards).
+    AddNode,
+    /// Gracefully drain the `i`-th live node (index into the serving
+    /// roster at the time the event fires), then rebalance away from it.
+    DrainNode(usize),
+    /// Abruptly kill the `i`-th live node — only survivable when the
+    /// schedule's tables are replicated (`replicas ≥ 2`).
+    KillNode(usize),
+}
+
+/// A deterministic schedule of queries interleaved with membership
+/// churn.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChurnScenario {
+    /// Nodes the fleet starts with.
+    pub initial_nodes: usize,
+    /// Replication factor the driver should load tables with (2 when
+    /// the schedule contains a [`ChurnEvent::KillNode`], else 1).
+    pub replicas: usize,
+    /// Events in issue order.
+    pub events: Vec<ChurnEvent>,
+}
+
+impl ChurnScenario {
+    /// Total queries across all bursts.
+    pub fn query_count(&self) -> usize {
+        self.events
+            .iter()
+            .map(|e| match e {
+                ChurnEvent::Queries(qs) => qs.len(),
+                _ => 0,
+            })
+            .sum()
+    }
+
+    /// Membership events (everything that bumps the epoch).
+    pub fn membership_events(&self) -> usize {
+        self.events
+            .iter()
+            .filter(|e| !matches!(e, ChurnEvent::Queries(_)))
+            .count()
+    }
+}
+
+/// Generator for [`ChurnScenario`]s: `phases` query bursts separated by
+/// membership events — growth by default, with optional drain and kill
+/// events mixed in.
+#[derive(Debug, Clone)]
+pub struct ChurnScenarioGen {
+    initial_nodes: usize,
+    phases: usize,
+    queries_per_phase: usize,
+    drains: bool,
+    kills: bool,
+    seed: u64,
+}
+
+impl ChurnScenarioGen {
+    /// `phases` query bursts on a fleet starting at `initial_nodes`.
+    pub fn new(initial_nodes: usize, phases: usize) -> Self {
+        assert!(initial_nodes > 0, "need at least one starting node");
+        assert!(phases > 0, "need at least one query phase");
+        ChurnScenarioGen {
+            initial_nodes,
+            phases,
+            queries_per_phase: 8,
+            drains: false,
+            kills: false,
+            seed: 0xC4A1_E1A5_71C0,
+        }
+    }
+
+    /// Queries per burst (default 8).
+    pub fn queries_per_phase(mut self, n: usize) -> Self {
+        assert!(n > 0, "bursts cannot be empty");
+        self.queries_per_phase = n;
+        self
+    }
+
+    /// Mix graceful drains into the membership events.
+    pub fn with_drains(mut self) -> Self {
+        self.drains = true;
+        self
+    }
+
+    /// Mix abrupt kills into the membership events (forces `replicas`
+    /// to 2 in the built scenario).
+    pub fn with_kills(mut self) -> Self {
+        self.kills = true;
+        self
+    }
+
+    /// Fix the RNG seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Build the schedule. Between bursts the generator emits one
+    /// membership event: mostly [`ChurnEvent::AddNode`], with drains /
+    /// kills mixed in when enabled — never shrinking the serving roster
+    /// below two nodes (a kill on the last node would lose data even
+    /// with replication).
+    pub fn build(&self) -> ChurnScenario {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut events = Vec::new();
+        let mut nodes = self.initial_nodes;
+        for phase in 0..self.phases {
+            events.push(ChurnEvent::Queries(
+                (0..self.queries_per_phase)
+                    .map(|_| match rng.gen_range(0u32..4) {
+                        0 => TenantQuery::Select {
+                            selectivity: [0.25, 0.5, 0.75][rng.gen_range(0usize..3)],
+                        },
+                        1 => TenantQuery::Distinct,
+                        2 => TenantQuery::GroupBySum,
+                        _ => TenantQuery::GroupByAvg,
+                    })
+                    .collect(),
+            ));
+            if phase + 1 == self.phases {
+                break;
+            }
+            let can_shrink = nodes > 2;
+            let event = match rng.gen_range(0u32..4) {
+                0 | 1 => ChurnEvent::AddNode,
+                2 if self.drains && can_shrink => ChurnEvent::DrainNode(rng.gen_range(0..nodes)),
+                3 if self.kills && can_shrink => ChurnEvent::KillNode(rng.gen_range(0..nodes)),
+                _ => ChurnEvent::AddNode,
+            };
+            match event {
+                ChurnEvent::AddNode => nodes += 1,
+                ChurnEvent::DrainNode(_) | ChurnEvent::KillNode(_) => nodes -= 1,
+                ChurnEvent::Queries(_) => unreachable!(),
+            }
+            events.push(event);
+        }
+        ChurnScenario {
+            initial_nodes: self.initial_nodes,
+            replicas: if self.kills { 2 } else { 1 },
+            events,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_and_shaped() {
+        let a = ChurnScenarioGen::new(2, 5)
+            .queries_per_phase(6)
+            .seed(1)
+            .build();
+        let b = ChurnScenarioGen::new(2, 5)
+            .queries_per_phase(6)
+            .seed(1)
+            .build();
+        assert_eq!(a, b);
+        assert_eq!(a.initial_nodes, 2);
+        assert_eq!(a.replicas, 1);
+        assert_eq!(a.query_count(), 30);
+        assert_eq!(a.membership_events(), 4, "one event between bursts");
+        let c = ChurnScenarioGen::new(2, 5)
+            .queries_per_phase(6)
+            .seed(2)
+            .build();
+        assert_ne!(a, c, "seed must matter");
+    }
+
+    #[test]
+    fn growth_only_by_default() {
+        let s = ChurnScenarioGen::new(2, 8).seed(3).build();
+        assert!(s
+            .events
+            .iter()
+            .all(|e| matches!(e, ChurnEvent::Queries(_) | ChurnEvent::AddNode)));
+    }
+
+    #[test]
+    fn kills_force_replication_and_respect_the_floor() {
+        let s = ChurnScenarioGen::new(2, 24)
+            .with_drains()
+            .with_kills()
+            .seed(7)
+            .build();
+        assert_eq!(s.replicas, 2, "kill schedules must be survivable");
+        // Replay the roster size: it never dips below two.
+        let mut nodes = s.initial_nodes;
+        for e in &s.events {
+            match e {
+                ChurnEvent::AddNode => nodes += 1,
+                ChurnEvent::DrainNode(i) | ChurnEvent::KillNode(i) => {
+                    assert!(*i < nodes, "event indexes the live roster");
+                    nodes -= 1;
+                }
+                ChurnEvent::Queries(qs) => assert!(!qs.is_empty()),
+            }
+            assert!(nodes >= 2);
+        }
+    }
+}

@@ -1,0 +1,81 @@
+//! Elastic scale-out: grow a fleet under load, watch the live
+//! rebalancer move shards onto the new nodes, then kill a node and keep
+//! answering from replicas.
+//!
+//! ```text
+//! cargo run --example elastic_scaleout
+//! ```
+
+use farview::prelude::*;
+use fv_workload::TableGen;
+
+fn main() {
+    // A 4 MB table, loaded with two replicas per shard so a node loss
+    // later is survivable.
+    let table = TableGen::paper_default(4 << 20).seed(13).build();
+
+    // Start small: two nodes, epoch 0.
+    let fleet = FarviewFleet::new(2, FarviewConfig::default());
+    let qp = fleet.connect().expect("a region on every node");
+    let (mut ft, _) = qp
+        .load_table_replicated(&table, Partitioning::RowRange, 2)
+        .expect("buffer pool space for two replicas per shard");
+    let reference = qp.table_read(&ft).expect("scan").merged;
+    assert_eq!(reference.payload, table.bytes());
+    println!(
+        "epoch {}: {} nodes, rows/shard {:?}, scan {}",
+        ft.epoch(),
+        fleet.node_count(),
+        ft.rows_per_shard(),
+        reference.stats.response_time,
+    );
+
+    // Grow 2 -> 4 -> 8. Each `add_node` bumps the topology epoch;
+    // `rebalance` computes the minimal shard-move plan against the new
+    // epoch, streams exactly the moved row ranges off the source nodes
+    // as doorbell-batched copy episodes, and flips the table to a new
+    // placement — while the old handle keeps serving byte-identical
+    // results until we retire it.
+    for target in [4usize, 8] {
+        while fleet.node_count() < target {
+            fleet.add_node();
+        }
+        let (new_ft, report) = qp.rebalance(&ft).expect("live rebalance");
+        // The old epoch is still queryable mid-flight:
+        let during = qp.table_read(&ft).expect("old-epoch scan").merged;
+        assert_eq!(during.payload, reference.payload);
+        qp.free_table(std::mem::replace(&mut ft, new_ft))
+            .expect("retire the old epoch");
+
+        let scan = qp.table_read(&ft).expect("scan").merged;
+        assert_eq!(scan.payload, reference.payload, "rebalance is invisible");
+        println!(
+            "epoch {}: {} nodes after moving {} rows ({} flows, {} bytes) in {} \
+             [copy {} + shuffle {} + write {}]; scan now {}",
+            ft.epoch(),
+            fleet.node_count(),
+            report.moved_rows,
+            report.moves,
+            report.moved_bytes,
+            report.total_time(),
+            report.copy_time,
+            report.shuffle_time,
+            report.write_time,
+            scan.stats.response_time,
+        );
+    }
+
+    // Kill a node outright. Every shard has a second replica, so reads
+    // fall back transparently — same bytes, no operator intervention.
+    let victim = fleet.node_ids()[3];
+    fleet.remove_node(victim).expect("kill");
+    let survived = qp.table_read(&ft).expect("post-kill scan").merged;
+    assert_eq!(survived.payload, reference.payload);
+    println!(
+        "killed {victim}: {} nodes left, scan still byte-identical ({})",
+        fleet.node_count(),
+        survived.stats.response_time,
+    );
+
+    qp.free_table(ft).expect("free");
+}

@@ -25,6 +25,11 @@ ci: verify doc fmt-check clippy
 figures:
     cargo run -q --release -p fv-bench --bin figures all
 
+# Every custom experiment (scaleout/qdepth/plan_ablation/elasticity) at
+# its smallest config — the CI gate that keeps the harness from rotting.
+bench-smoke:
+    cargo run -q --release -p fv-bench --bin figures smoke
+
 # Dump optimizer explain() output for the standard figure queries.
 explain:
     cargo run -q --release -p fv-bench --bin figures explain

@@ -28,7 +28,11 @@
 //! Scaling out, a [`FarviewFleet`](farview_core::FarviewFleet) shards
 //! tables across many such nodes and fans queries out as parallel
 //! per-shard episodes with a client-side merge (scatter–gather); see
-//! `farview_core::fleet`.
+//! `farview_core::fleet`. The fleet is **elastic**: nodes can be added,
+//! drained or killed at any time behind an epoch-versioned
+//! `farview_core::topology` layer, with live shard rebalancing
+//! ([`FleetQPair::rebalance`](farview_core::FleetQPair::rebalance))
+//! and optional per-table replication for fault-tolerant reads.
 //!
 //! See `README.md` for the crate map and quickstart, and
 //! `docs/ARCHITECTURE.md` for how the paper's Figure-2 datapath maps
@@ -52,8 +56,9 @@ pub use fv_workload as workload;
 pub mod prelude {
     pub use farview_core::{
         Executor, FTable, FarviewCluster, FarviewConfig, FarviewFleet, FleetQPair,
-        FleetQueryOutcome, FleetTable, FvError, Partitioning, PipelineSpec, PlanTarget, QPair,
-        QueryOutcome, QueryPlan, QueryStats, SelectQuery, ShardMap,
+        FleetQueryOutcome, FleetTable, FvError, NodeHealth, NodeId, Partitioning, PipelineSpec,
+        Placement, PlanTarget, QPair, QueryOutcome, QueryPlan, QueryStats, RebalanceReport,
+        SelectQuery, ShardMap, Topology,
     };
     pub use fv_baseline::{BaselineKind, CpuEngine};
     pub use fv_data::{Row, Schema, Table, Value};
