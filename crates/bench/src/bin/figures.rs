@@ -12,10 +12,11 @@ use std::process::ExitCode;
 
 use fv_bench::{
     all_figures, elasticity, explain_figures, fig10, fig11a, fig11b, fig12, fig6a, fig6b, fig7,
-    fig8, fig9a, fig9b, fig9c, plan_ablation, qdepth, scaleout, smoke_figures, table1, Figure,
+    fig8, fig9a, fig9b, fig9c, hotpath_report, plan_ablation, qdepth, scaleout, smoke_figures,
+    table1, Figure,
 };
 
-const USAGE: &str = "usage: figures <table1|fig6a|fig6b|fig7|fig8a|fig8b|fig8c|fig9a|fig9b|fig9c|fig10|fig11a|fig11b|fig12|scaleout|qdepth|plan_ablation|elasticity|explain|all|smoke> [--csv]";
+const USAGE: &str = "usage: figures <table1|fig6a|fig6b|fig7|fig8a|fig8b|fig8c|fig9a|fig9b|fig9c|fig10|fig11a|fig11b|fig12|scaleout|qdepth|plan_ablation|elasticity|hotpath|explain|all|smoke> [--csv]";
 
 fn one(id: &str) -> Option<Figure> {
     Some(match id {
@@ -61,6 +62,17 @@ fn main() -> ExitCode {
 
     match target.as_str() {
         "table1" => print!("{}", table1()),
+        "hotpath" => {
+            // Wall-clock microbench of the host hot path: render the
+            // figure and record the machine-readable perf baseline.
+            let report = hotpath_report();
+            render(&report.to_figure());
+            let json = report.to_json();
+            match std::fs::write("BENCH_PR5.json", &json) {
+                Ok(()) => eprintln!("wrote BENCH_PR5.json"),
+                Err(e) => eprintln!("could not write BENCH_PR5.json: {e}"),
+            }
+        }
         "explain" => print!("{}", explain_figures()),
         "all" => {
             print!("{}", table1());

@@ -990,6 +990,7 @@ pub fn smoke_figures() -> Vec<Figure> {
         qdepth_smoke(),
         plan_ablation_smoke(),
         elasticity_smoke(),
+        crate::hotpath::hotpath_smoke(),
     ]
 }
 
@@ -1120,6 +1121,7 @@ pub fn all_figures() -> Vec<Figure> {
         qdepth(),
         plan_ablation(),
         elasticity(),
+        crate::hotpath::hotpath(),
     ]
 }
 
@@ -1335,7 +1337,14 @@ mod tests {
     #[test]
     fn smoke_covers_every_custom_experiment() {
         let names: Vec<String> = smoke_figures().into_iter().map(|f| f.id).collect();
-        for needle in ["fig6a", "scaleout", "qdepth", "plan_ablation", "elasticity"] {
+        for needle in [
+            "fig6a",
+            "scaleout",
+            "qdepth",
+            "plan_ablation",
+            "elasticity",
+            "hotpath",
+        ] {
             assert!(names.iter().any(|n| n == needle), "smoke missing {needle}");
         }
     }

@@ -33,6 +33,11 @@
 //! with a live rebalance between phases and a node kill survived via
 //! `r = 2` replication (throughput/latency timeline + honestly costed
 //! rebalance times, results byte-identical across every phase).
+//! [`hotpath()`] measures the **wall-clock** hot path of the host
+//! implementation itself — per-operator tuples/sec on the vectorized
+//! block datapath vs the per-tuple reference, and parallel vs serial
+//! fleet scatter at 1 → 8 nodes (`figures hotpath` also writes the
+//! machine-readable `BENCH_PR5.json` perf baseline).
 //! [`explain_figures`] renders the planner's `explain()` report for
 //! every standard figure query (`figures explain` / `just explain`),
 //! and [`smoke_figures`] runs every custom experiment at its smallest
@@ -45,6 +50,11 @@
 
 pub mod experiments;
 pub mod figure;
+pub mod hotpath;
 
 pub use experiments::*;
 pub use figure::{Figure, Series};
+pub use hotpath::{
+    hotpath, hotpath_report, hotpath_report_at, hotpath_smoke, HotpathReport, OperatorSample,
+    ScatterSample, HOTPATH_FLEET_SIZES,
+};

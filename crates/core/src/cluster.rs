@@ -240,6 +240,12 @@ struct Inner {
     loaded: Vec<Option<u64>>,
     next_qp: u32,
     reconfigurations: u64,
+    /// Queries whose datapath actually executed on this node — counted
+    /// once the episode engine returns success, so failed episodes do
+    /// not inflate it. The replica-race regression test counts these to
+    /// prove a replicated fleet runs each slot's datapath once, not
+    /// once per replica.
+    episodes: u64,
 }
 
 impl Inner {
@@ -273,6 +279,7 @@ impl FarviewCluster {
                 loaded,
                 next_qp: 1,
                 reconfigurations: 0,
+                episodes: 0,
             })),
         }
     }
@@ -306,6 +313,13 @@ impl FarviewCluster {
         self.inner.lock().reconfigurations
     }
 
+    /// Queries whose datapath executed on this node so far (one per
+    /// prepared query the episode engine ran — replica reads that were
+    /// *modeled* rather than executed do not count).
+    pub fn episodes_run(&self) -> u64 {
+        self.inner.lock().episodes
+    }
+
     /// Free pages left in the disaggregated buffer pool.
     pub fn free_pages(&self) -> u64 {
         self.inner.lock().mem.free_page_count()
@@ -333,7 +347,9 @@ impl FarviewCluster {
             metas.push((schema, reconf));
         }
         let config = inner.config.clone();
+        drop(inner);
         let results = episode::run_episode(prepared, &config)?;
+        self.inner.lock().episodes += results.len() as u64;
         Ok(results
             .into_iter()
             .zip(metas)
@@ -628,9 +644,14 @@ impl QPair {
             queries.push(p);
         }
         let config = inner.config.clone();
+        // The episode is a pure computation over the prepared queries;
+        // release the node lock so parallel fleet-scatter workers whose
+        // shards co-locate on this node simulate concurrently.
+        drop(inner);
         let results =
             episode::run_batched_episodes(vec![episode::BatchRun::new(queries)], &config)?
                 .remove(0);
+        self.inner.lock().episodes += results.len() as u64;
         Ok(results
             .into_iter()
             .zip(metas)
@@ -685,9 +706,11 @@ impl QPair {
                 queries.push(p);
             }
             let config = inner.config.clone();
+            drop(inner);
             let results =
                 episode::run_batched_episodes(vec![episode::BatchRun::new(queries)], &config)?
                     .remove(0);
+            self.inner.lock().episodes += results.len() as u64;
             let mut makespan = SimDuration::ZERO;
             for (r, (schema, reconf)) in results.into_iter().zip(metas) {
                 let o = finish_outcome(r, schema, reconf);

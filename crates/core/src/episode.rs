@@ -350,8 +350,15 @@ impl Actor<Msg> for NodeActor {
                     let chunk_len = run.chunk_len(run.next_feed);
                     let start = run.cursor;
                     run.cursor += chunk_len;
-                    let chunk = run.q.data[start..run.cursor].to_vec();
-                    run.q.pipeline.push_bytes(&chunk);
+                    // Disjoint borrows of the run: the pipeline consumes
+                    // the chunk straight out of the staged table image —
+                    // no per-chunk copy on the feed path.
+                    let PreparedQuery {
+                        pipeline: ops,
+                        data,
+                        ..
+                    } = &mut run.q;
+                    ops.push_bytes(&data[start..run.cursor]);
                     // The region's pipeline is a shared serialized
                     // resource; vector lanes divide the per-chunk cost.
                     let cost = (chunk_len as u64).div_ceil(run.lanes);

@@ -906,10 +906,15 @@ pub fn shard_execution(
 /// Merge one query's per-shard outcomes client-side — the single
 /// gather/merge implementation. Fleet stats aggregate as: counters sum
 /// over shards, `response_time` = max over shards + merge time.
+///
+/// Takes the outcomes *borrowed*: the merge reads every shard payload
+/// exactly once (into the merged buffer or the partial-agg hash), so
+/// cloning whole `QueryOutcome`s per query at the gather would be pure
+/// waste on the hot path.
 pub(crate) fn merge_gathered(
     merge: &MergeSpec,
     model: &MergeCostModel,
-    outcomes: &[QueryOutcome],
+    outcomes: &[&QueryOutcome],
 ) -> FleetQueryOutcome {
     let payloads: Vec<&[u8]> = outcomes.iter().map(|o| o.payload.as_slice()).collect();
     let input_bytes: u64 = payloads.iter().map(|p| p.len() as u64).sum();
@@ -993,17 +998,67 @@ impl Executor {
     /// both [`FleetQPair::far_view`](crate::FleetQPair::far_view) and
     /// [`FleetQPair::far_view_batch`](crate::FleetQPair::far_view_batch).
     ///
+    /// The scatter runs the per-shard episodes **in parallel** under
+    /// [`std::thread::scope`] — up to `available_parallelism` workers,
+    /// each owning a contiguous run of shard slots; results are joined
+    /// in slot order, so payloads, stats and merge order are
+    /// byte-identical to the serial reference
+    /// ([`Executor::fleet_serial`], property-tested in
+    /// `tests/vectorized_props.rs`). Wall-clock speedup tracks the
+    /// host's core count (the `hotpath` bench measures it).
+    ///
     /// Shards resolve via the handle's epoch-snapshot
-    /// [`Placement`](crate::topology::Placement): each shard slot fans
-    /// out to every **surviving** replica and the fastest response wins
-    /// (replica images are byte-identical, so the merge is unaffected).
-    /// A slot whose replicas are all gone reports
+    /// [`Placement`](crate::topology::Placement): each shard slot
+    /// **executes its datapath once**, on the first surviving replica;
+    /// every other surviving replica holds a byte-identical image on an
+    /// identically calibrated node, so its response is *modeled* through
+    /// [`fv_sim::PlanCostModel::replica_race`] and the race's minimum is
+    /// charged — identical bytes, `r×` less wall-clock work than racing
+    /// every replica. A slot whose replicas are all gone reports
     /// [`FvError::NodeDown`] — with `r ≥ 2`, any single node loss is
     /// survived transparently.
     pub fn fleet(
         fqp: &FleetQPair,
         ft: &FleetTable,
         specs: &[PipelineSpec],
+    ) -> Result<Vec<FleetQueryOutcome>, FvError> {
+        Self::fleet_with(fqp, ft, specs, true, false)
+    }
+
+    /// The serial reference scatter: same engine, same replica handling,
+    /// shard slots executed one after another on the calling thread.
+    /// Byte-identical to [`Executor::fleet`] — the `hotpath` bench and
+    /// the vectorized property tests compare the two routes.
+    pub fn fleet_serial(
+        fqp: &FleetQPair,
+        ft: &FleetTable,
+        specs: &[PipelineSpec],
+    ) -> Result<Vec<FleetQueryOutcome>, FvError> {
+        Self::fleet_with(fqp, ft, specs, false, false)
+    }
+
+    /// The seed execution model, kept as a reference implementation:
+    /// serial scatter **and** every surviving replica of every slot
+    /// executes its datapath, the fastest simulated response winning the
+    /// race. Byte-identical to [`Executor::fleet`] (replica images are
+    /// identical); `r×` the wall-clock work. The `hotpath` bench
+    /// measures the production path against this, exactly as
+    /// `CompiledPipeline::force_scalar` preserves the seed per-tuple
+    /// datapath.
+    pub fn fleet_seed_reference(
+        fqp: &FleetQPair,
+        ft: &FleetTable,
+        specs: &[PipelineSpec],
+    ) -> Result<Vec<FleetQueryOutcome>, FvError> {
+        Self::fleet_with(fqp, ft, specs, false, true)
+    }
+
+    fn fleet_with(
+        fqp: &FleetQPair,
+        ft: &FleetTable,
+        specs: &[PipelineSpec],
+        parallel: bool,
+        race_replicas: bool,
     ) -> Result<Vec<FleetQueryOutcome>, FvError> {
         fqp.check_table(ft)?;
         if specs.is_empty() {
@@ -1014,42 +1069,116 @@ impl Executor {
             .map(|s| shard_execution(s, ft.schema()))
             .collect::<Result<Vec<_>, _>>()?;
         let shard_specs: Vec<PipelineSpec> = plans.iter().map(|(s, _)| s.clone()).collect();
-        // Scatter: every shard slot executes the whole batch in flight,
-        // racing its surviving replicas.
         let placement = ft.placement();
-        let mut per_shard: Vec<Vec<QueryOutcome>> = Vec::with_capacity(placement.shard_count());
-        for (nodes, replicas) in placement.shards().iter().zip(ft.shard_tables()) {
-            let mut best: Option<Vec<QueryOutcome>> = None;
-            for (&node, sft) in nodes.iter().zip(replicas) {
-                if !fqp.is_serving(node) {
-                    continue;
+
+        // One shard slot's work: execute the whole batch once on the
+        // first surviving replica and model the standbys' race — or,
+        // on the seed reference route, execute every surviving replica
+        // and let the fastest simulated response win.
+        let run_slot = |nodes: &[crate::topology::NodeId],
+                        replicas: &[FTable]|
+         -> Result<Vec<QueryOutcome>, FvError> {
+            if race_replicas {
+                let mut best: Option<Vec<QueryOutcome>> = None;
+                for (&node, sft) in nodes.iter().zip(replicas) {
+                    if !fqp.is_serving(node) {
+                        continue;
+                    }
+                    let outcomes = fqp.node_qp(node)?.execute_specs(sft, &shard_specs)?;
+                    best = Some(match best {
+                        None => outcomes,
+                        Some(prev) => prev
+                            .into_iter()
+                            .zip(outcomes)
+                            .map(|(a, b)| {
+                                if b.stats.response_time < a.stats.response_time {
+                                    b
+                                } else {
+                                    a
+                                }
+                            })
+                            .collect(),
+                    });
                 }
-                let qp = fqp.node_qp(node)?;
-                let outcomes = qp.execute_specs(sft, &shard_specs)?;
-                best = Some(match best {
-                    None => outcomes,
-                    Some(prev) => prev
-                        .into_iter()
-                        .zip(outcomes)
-                        .map(|(a, b)| {
-                            if b.stats.response_time < a.stats.response_time {
-                                b
-                            } else {
-                                a
-                            }
-                        })
-                        .collect(),
-                });
+                return best.ok_or(FvError::NodeDown { node: nodes[0].0 });
             }
-            per_shard.push(best.ok_or(FvError::NodeDown { node: nodes[0].0 })?);
-        }
-        // Gather: merge query `i`'s per-shard outcomes client-side.
+            let mut survivors = nodes
+                .iter()
+                .zip(replicas)
+                .filter(|(&node, _)| fqp.is_serving(node));
+            let Some((&node, sft)) = survivors.next() else {
+                return Err(FvError::NodeDown { node: nodes[0].0 });
+            };
+            let standbys = survivors.count();
+            let qp = fqp.node_qp(node)?;
+            let mut outcomes = qp.execute_specs(sft, &shard_specs)?;
+            if standbys > 0 {
+                // Charge the modeled race minimum for the standbys that
+                // were not re-executed. Under the default model this is
+                // an *identity* — byte-identical replicas on identical
+                // calibration respond in identical time — and the call
+                // exists as the one seam where replica skew would plug
+                // in without touching the execution path.
+                let cost = PlanCostModel::default();
+                for o in &mut outcomes {
+                    o.stats.response_time = cost.replica_race(o.stats.response_time, standbys + 1);
+                }
+            }
+            Ok(outcomes)
+        };
+
+        // Scatter across the slots — concurrently on the fast path, with
+        // a deterministic ordered join (slot order, not completion
+        // order), or serially for the reference route. Workers are
+        // capped at the host's available parallelism: each takes a
+        // contiguous run of slots, so extra threads never inflate the
+        // live working set (N concurrent episode sims) past what the
+        // CPUs can actually overlap.
+        let slots: Vec<_> = placement.shards().iter().zip(ft.shard_tables()).collect();
+        let workers = if parallel {
+            std::thread::available_parallelism()
+                .map(std::num::NonZero::get)
+                .unwrap_or(1)
+                .min(slots.len())
+        } else {
+            1
+        };
+        let per_shard: Vec<Vec<QueryOutcome>> = if workers > 1 {
+            let chunk = slots.len().div_ceil(workers);
+            std::thread::scope(|s| {
+                let handles: Vec<_> = slots
+                    .chunks(chunk)
+                    .map(|group| {
+                        let run_slot = &run_slot;
+                        s.spawn(move || {
+                            group
+                                .iter()
+                                .map(|(nodes, replicas)| run_slot(nodes, replicas))
+                                .collect::<Result<Vec<_>, FvError>>()
+                        })
+                    })
+                    .collect();
+                let mut all = Vec::with_capacity(slots.len());
+                for h in handles {
+                    all.extend(h.join().expect("shard scatter worker panicked")?);
+                }
+                Ok::<_, FvError>(all)
+            })?
+        } else {
+            slots
+                .iter()
+                .map(|(nodes, replicas)| run_slot(nodes, replicas))
+                .collect::<Result<Vec<_>, _>>()?
+        };
+
+        // Gather: merge query `i`'s per-shard outcomes client-side,
+        // reading the shard payloads in place.
         Ok(plans
             .iter()
             .enumerate()
             .map(|(i, (_, merge))| {
-                let outcomes: Vec<QueryOutcome> =
-                    per_shard.iter().map(|batch| batch[i].clone()).collect();
+                let outcomes: Vec<&QueryOutcome> =
+                    per_shard.iter().map(|batch| &batch[i]).collect();
                 merge_gathered(merge, fqp.merge_model(), &outcomes)
             })
             .collect())

@@ -16,7 +16,7 @@
 use std::collections::VecDeque;
 
 use crate::cuckoo::{CuckooTable, ShiftRegisterLru};
-use crate::pipeline::StreamOperator;
+use crate::pipeline::{StreamOperator, TupleBlock};
 use crate::project::ProjectionPlan;
 
 /// Hash-table write-to-read visibility latency, in tuples. The BRAM
@@ -158,6 +158,16 @@ impl StreamOperator for DistinctOp {
         self.lru.touch(&key);
         self.emitted += 1;
         out(&self.key_buf);
+    }
+
+    /// Block path: one dynamic dispatch per block; the hazard-window
+    /// state machine advances tuple by tuple inside (dedup is inherently
+    /// sequential), but without the scalar path's per-tuple virtual
+    /// call + closure chain.
+    fn push_block(&mut self, block: &TupleBlock<'_>, sel: &[u32], out: &mut dyn FnMut(&[u8])) {
+        for &i in sel {
+            self.push(block.tuple(i), out);
+        }
     }
 
     fn overflow_tuples(&self) -> u64 {

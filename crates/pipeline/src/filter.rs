@@ -8,14 +8,21 @@
 
 use fv_data::{RowView, Schema};
 
-use crate::pipeline::StreamOperator;
-use crate::predicate::PredicateExpr;
+use crate::pipeline::{StreamOperator, TupleBlock};
+use crate::predicate::{CompiledPredicate, PredicateExpr};
 use crate::project::ProjectionPlan;
 
 /// Streaming predicate filter.
+///
+/// Holds the predicate twice: the interpreted [`PredicateExpr`] drives
+/// the scalar per-tuple path (the seed execution model, kept as the
+/// bench reference), and its schema-resolved [`CompiledPredicate`]
+/// drives the vectorized block path — direct byte loads, no `Value`
+/// materialization. Both are byte-identical by construction.
 #[derive(Debug, Clone)]
 pub struct FilterOp {
     pred: PredicateExpr,
+    compiled: CompiledPredicate,
     schema: Schema,
     evaluated: u64,
     passed: u64,
@@ -23,9 +30,17 @@ pub struct FilterOp {
 
 impl FilterOp {
     /// A filter evaluating `pred` over tuples of `schema`.
+    ///
+    /// # Panics
+    /// Panics if `pred` does not validate against `schema` (pipeline
+    /// compilation validates first).
     pub fn new(pred: PredicateExpr, schema: Schema) -> Self {
+        let compiled = pred
+            .compile(&schema)
+            .expect("predicate validated before operator construction");
         FilterOp {
             pred,
+            compiled,
             schema,
             evaluated: 0,
             passed: 0,
@@ -51,6 +66,14 @@ impl StreamOperator for FilterOp {
             out(tuple);
         }
     }
+
+    fn select_block(&mut self, block: &TupleBlock<'_>, sel: &mut Vec<u32>) -> bool {
+        self.evaluated += sel.len() as u64;
+        let compiled = &self.compiled;
+        sel.retain(|&i| compiled.eval(block.tuple(i)));
+        self.passed += sel.len() as u64;
+        true
+    }
 }
 
 /// Fused filter+project scan: predicate evaluation and pack-time
@@ -64,6 +87,7 @@ impl StreamOperator for FilterOp {
 #[derive(Debug, Clone)]
 pub struct FusedFilterProject {
     pred: PredicateExpr,
+    compiled: CompiledPredicate,
     schema: Schema,
     plan: ProjectionPlan,
     scratch: Vec<u8>,
@@ -73,10 +97,18 @@ pub struct FusedFilterProject {
 
 impl FusedFilterProject {
     /// Fuse `pred` over `schema` with the pack-time projection `plan`.
+    ///
+    /// # Panics
+    /// Panics if `pred` does not validate against `schema` (pipeline
+    /// compilation validates first).
     pub fn new(pred: PredicateExpr, schema: Schema, plan: ProjectionPlan) -> Self {
         let scratch = Vec::with_capacity(plan.out_row_bytes());
+        let compiled = pred
+            .compile(&schema)
+            .expect("predicate validated before operator construction");
         FusedFilterProject {
             pred,
+            compiled,
             schema,
             plan,
             scratch,
@@ -110,6 +142,18 @@ impl StreamOperator for FusedFilterProject {
             self.plan.write_projected(tuple, &mut self.scratch);
             out(&self.scratch);
         }
+    }
+
+    /// On the block path the fused scan only *marks* survivors; the
+    /// pipeline gathers their projected bytes straight into the packer
+    /// (via the plan this operator was compiled with), so no
+    /// intermediate per-tuple copy exists at all.
+    fn select_block(&mut self, block: &TupleBlock<'_>, sel: &mut Vec<u32>) -> bool {
+        self.evaluated += sel.len() as u64;
+        let compiled = &self.compiled;
+        sel.retain(|&i| compiled.eval(block.tuple(i)));
+        self.passed += sel.len() as u64;
+        true
     }
 }
 

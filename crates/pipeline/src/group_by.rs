@@ -16,7 +16,7 @@
 use fv_data::{Column, ColumnType, RowView, Schema, Value};
 
 use crate::cuckoo::CuckooTable;
-use crate::pipeline::StreamOperator;
+use crate::pipeline::{StreamOperator, TupleBlock};
 use crate::project::ProjectionPlan;
 use crate::spec::{AggFunc, AggSpec};
 
@@ -271,6 +271,14 @@ impl StreamOperator for GroupByOp {
                 self.flushed += 1;
                 out(&row_buf);
             }
+        }
+    }
+
+    /// Block path: consume every marked survivor in one dynamic call
+    /// (the aggregation itself is a per-tuple hash update either way).
+    fn push_block(&mut self, block: &TupleBlock<'_>, sel: &[u32], out: &mut dyn FnMut(&[u8])) {
+        for &i in sel {
+            self.push(block.tuple(i), out);
         }
     }
 

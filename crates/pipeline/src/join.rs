@@ -16,7 +16,7 @@
 use fv_data::{Column, Schema, Table};
 
 use crate::cuckoo::CuckooTable;
-use crate::pipeline::{PipelineError, StreamOperator};
+use crate::pipeline::{PipelineError, StreamOperator, TupleBlock};
 
 /// On-chip budget for the build side. A dynamic region's BRAM share is
 /// ~8 % of the device (Table 1); 256 KiB of build rows is a conservative
@@ -195,6 +195,14 @@ impl StreamOperator for JoinSmallOp {
                 self.emitted += 1;
                 out(&self.row_buf);
             }
+        }
+    }
+
+    /// Block path: probe every marked survivor in one dynamic call; the
+    /// probe itself stays a per-tuple hash lookup.
+    fn push_block(&mut self, block: &TupleBlock<'_>, sel: &[u32], out: &mut dyn FnMut(&[u8])) {
+        for &i in sel {
+            self.push(block.tuple(i), out);
         }
     }
 }

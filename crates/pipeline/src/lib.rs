@@ -48,6 +48,6 @@ pub mod crypto_op;
 
 pub use join::JoinSmallSpec;
 pub use merge::{merge_distinct, PartialAggPlan};
-pub use pipeline::{CompiledPipeline, PipelineError, PipelineStats, StreamOperator};
-pub use predicate::{CmpOp, PredicateExpr};
+pub use pipeline::{CompiledPipeline, PipelineError, PipelineStats, StreamOperator, TupleBlock};
+pub use predicate::{CmpOp, CompiledPredicate, PredicateExpr};
 pub use spec::{AggFunc, AggSpec, CryptoSpec, GroupingSpec, PipelineSpec, RegexFilter};

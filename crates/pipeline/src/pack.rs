@@ -12,6 +12,7 @@
 
 use fv_sim::calib::BEAT_BYTES;
 
+use crate::pipeline::TupleBlock;
 use crate::project::ProjectionPlan;
 
 /// Dense tuple packer with optional pack-time projection.
@@ -53,6 +54,69 @@ impl Packer {
         }
         self.bytes_packed += (self.buf.len() - before) as u64;
         self.tuples_packed += 1;
+    }
+
+    /// Vectorized pack: gather the `sel`-marked tuples of `block` in one
+    /// pass. `fused` overrides the packer's own projection (the fused
+    /// filter+project scan marks survivors and projects here, at pack
+    /// time, instead of copying per tuple). A full selection with no
+    /// projection collapses into a single bulk copy of the block;
+    /// partial selections coalesce runs of adjacent survivors into one
+    /// copy each.
+    ///
+    /// `sel` must hold **strictly ascending** tuple indices into
+    /// `block` — what a selection vector is (checked in debug builds).
+    /// With strict ascent, `sel.len() == block.len()` implies the
+    /// identity selection, which is what makes the bulk-copy shortcut
+    /// sound.
+    pub fn push_block(
+        &mut self,
+        block: &TupleBlock<'_>,
+        sel: &[u32],
+        fused: Option<&ProjectionPlan>,
+    ) {
+        debug_assert!(
+            sel.windows(2).all(|w| w[0] < w[1])
+                && sel.last().is_none_or(|&i| (i as usize) < block.len()),
+            "selection vector must be strictly ascending in-range indices"
+        );
+        let before = self.buf.len();
+        let tb = block.tuple_bytes();
+        match fused.or(self.projection.as_ref()) {
+            None if sel.len() == block.len() => self.buf.extend_from_slice(block.bytes()),
+            None => {
+                self.buf.reserve(sel.len() * tb);
+                // Survivors at consecutive indices copy as one run.
+                let mut i = 0;
+                while i < sel.len() {
+                    let start = sel[i];
+                    let mut end = start + 1;
+                    i += 1;
+                    while i < sel.len() && sel[i] == end {
+                        end += 1;
+                        i += 1;
+                    }
+                    self.buf
+                        .extend_from_slice(&block.bytes()[start as usize * tb..end as usize * tb]);
+                }
+            }
+            Some(plan) => {
+                self.buf.reserve(sel.len() * plan.out_row_bytes());
+                if sel.len() == block.len() {
+                    // Full selection: walk the block directly, no index
+                    // indirection.
+                    for tuple in block.bytes().chunks_exact(tb) {
+                        plan.write_projected(tuple, &mut self.buf);
+                    }
+                } else {
+                    for &i in sel {
+                        plan.write_projected(block.tuple(i), &mut self.buf);
+                    }
+                }
+            }
+        }
+        self.bytes_packed += (self.buf.len() - before) as u64;
+        self.tuples_packed += sel.len() as u64;
     }
 
     /// Drain everything packed so far (streamed to the sender).

@@ -153,13 +153,97 @@ pub struct PipelineStats {
     pub groups_flushed: u64,
 }
 
+/// A block of framed tuples flowing through the vectorized datapath:
+/// contiguous tuple bytes (a whole number of tuples) plus the fixed
+/// tuple width. Survivorship is carried *next to* the block as a
+/// selection vector of tuple indices — operators mark survivors instead
+/// of copying them, and the packer gathers the marked tuples in one
+/// pass at the end.
+#[derive(Debug, Clone, Copy)]
+pub struct TupleBlock<'a> {
+    data: &'a [u8],
+    tuple_bytes: usize,
+}
+
+impl<'a> TupleBlock<'a> {
+    /// Frame `data` (a whole number of tuples) as a block.
+    ///
+    /// # Panics
+    /// Panics if `data` is not a whole number of `tuple_bytes` tuples.
+    pub fn new(data: &'a [u8], tuple_bytes: usize) -> Self {
+        assert!(tuple_bytes > 0, "zero-width tuples");
+        assert_eq!(
+            data.len() % tuple_bytes,
+            0,
+            "block of {} bytes is not whole {tuple_bytes}-byte tuples",
+            data.len()
+        );
+        TupleBlock { data, tuple_bytes }
+    }
+
+    /// Number of tuples in the block.
+    pub fn len(&self) -> usize {
+        self.data.len() / self.tuple_bytes
+    }
+
+    /// True when the block holds no tuples.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Width of one tuple.
+    pub fn tuple_bytes(&self) -> usize {
+        self.tuple_bytes
+    }
+
+    /// The raw contiguous tuple bytes.
+    pub fn bytes(&self) -> &'a [u8] {
+        self.data
+    }
+
+    /// The bytes of tuple `i`.
+    #[inline]
+    pub fn tuple(&self, i: u32) -> &'a [u8] {
+        let start = i as usize * self.tuple_bytes;
+        &self.data[start..start + self.tuple_bytes]
+    }
+}
+
 /// A streaming tuple operator: at most one tuple in per cycle, any
 /// number out (via the sink), state flushed at end of stream.
+///
+/// Operators participate in the vectorized block datapath through two
+/// fast paths, both with per-block (not per-tuple) dynamic dispatch:
+///
+/// * **Selection-only** operators (filter, regex) override
+///   [`StreamOperator::select_block`] to retain surviving indices in a
+///   selection vector — survivors are never copied, merely marked.
+/// * **Stateful / emitting** operators (distinct, group-by, join)
+///   override [`StreamOperator::push_block`] to consume the marked
+///   survivors in one call, replacing the per-tuple virtual `push` +
+///   boxed-closure chain of the scalar path.
 pub trait StreamOperator {
     /// Operator name (for logs and the resource model).
     fn name(&self) -> &'static str;
     /// Process one tuple.
     fn push(&mut self, tuple: &[u8], out: &mut dyn FnMut(&[u8]));
+    /// Vectorized fast path for pure selections: retain in `sel` the
+    /// indices of `block`'s tuples that survive this operator, and
+    /// return `true`. The default returns `false` — "not a selection;
+    /// route survivors through [`StreamOperator::push_block`]".
+    fn select_block(&mut self, _block: &TupleBlock<'_>, _sel: &mut Vec<u32>) -> bool {
+        false
+    }
+    /// Vectorized entry for operators that transform or hold state:
+    /// process the `sel`-marked tuples of `block` in order, emitting
+    /// through `out`. Equivalent to calling [`StreamOperator::push`]
+    /// per survivor (the default does exactly that); overriding turns
+    /// the per-tuple virtual dispatch into one call per block.
+    fn push_block(&mut self, block: &TupleBlock<'_>, sel: &[u32], out: &mut dyn FnMut(&[u8])) {
+        for &i in sel {
+            self.push(block.tuple(i), out);
+        }
+    }
     /// End of stream: emit any held state (e.g. group-by results).
     fn flush(&mut self, _out: &mut dyn FnMut(&[u8])) {}
     /// Overflow tuples emitted so far (cuckoo homeless entries).
@@ -202,12 +286,26 @@ pub struct CompiledPipeline {
     /// Framing remainder (bursts do not respect tuple boundaries).
     partial: Vec<u8>,
     decrypt: Option<StreamCrypto>,
+    /// Reused decryption buffer: each chunk is decrypted in place here
+    /// instead of into a fresh per-chunk `Vec`.
+    decrypt_scratch: Vec<u8>,
     compress: Option<StreamCompressor>,
     encrypt: Option<StreamCrypto>,
     ops: Vec<Box<dyn StreamOperator>>,
     packer: Packer,
     out_schema: Schema,
     smart_addressing: Option<SmartAddressing>,
+    /// Reused selection vector for the block datapath.
+    sel_scratch: Vec<u32>,
+    /// Pack-time gather plan of the fused filter+project scan: on the
+    /// block path the fused operator only *marks* survivors, and this
+    /// plan gathers their projected bytes straight into the packer.
+    fused_gather: Option<ProjectionPlan>,
+    /// Route every tuple through the scalar per-tuple path (the seed
+    /// execution model) instead of the vectorized block path. Results
+    /// are byte-identical either way; benches and property tests flip
+    /// this to measure/verify the block path against the reference.
+    scalar_fallback: bool,
     stats: PipelineStats,
     finished: bool,
     fused: bool,
@@ -323,6 +421,7 @@ impl CompiledPipeline {
         }
 
         // --- pack-side projection and framing -------------------------------
+        let mut fused_gather = None;
         let (packer, in_tuple_bytes, smart_addressing) = if spec.smart_addressing {
             let cols = spec.projection.as_deref().expect("validated above");
             let sa = SmartAddressing::plan(base_schema, cols)?;
@@ -339,9 +438,10 @@ impl CompiledPipeline {
         } else if fuse {
             let pred = spec.selection.clone().expect("fuse requires selection");
             let plan = ProjectionPlan::new(base_schema, spec.projection.as_deref())?;
-            let op = FusedFilterProject::new(pred, base_schema.clone(), plan);
+            let op = FusedFilterProject::new(pred, base_schema.clone(), plan.clone());
             out_schema = op.out_schema().clone();
             ops.push(Box::new(op));
+            fused_gather = Some(plan);
             (Packer::passthrough(), base_schema.row_bytes(), None)
         } else {
             let plan = ProjectionPlan::new(base_schema, spec.projection.as_deref())?;
@@ -358,16 +458,30 @@ impl CompiledPipeline {
             in_tuple_bytes,
             partial: Vec::new(),
             decrypt,
+            decrypt_scratch: Vec::new(),
             compress,
             encrypt,
             ops,
             packer,
             out_schema,
             smart_addressing,
+            sel_scratch: Vec::new(),
+            fused_gather,
+            scalar_fallback: false,
             stats: PipelineStats::default(),
             finished: false,
             fused: fuse,
         })
+    }
+
+    /// Route tuples through the scalar per-tuple execution model (one
+    /// virtual `push` + boxed-closure hop per operator per tuple — the
+    /// seed datapath) instead of the default vectorized block path.
+    /// Results are byte-identical on both routes (property-tested in
+    /// `tests/vectorized_props.rs`); the `hotpath` bench flips this to
+    /// measure the block path against the scalar reference.
+    pub fn force_scalar(&mut self, scalar: bool) {
+        self.scalar_fallback = scalar;
     }
 
     /// Whether this pipeline runs the fused filter+project scan (a
@@ -416,6 +530,12 @@ impl CompiledPipeline {
 
     /// Stream one chunk of memory bytes through the pipeline.
     ///
+    /// Chunks are framed into tuples **in place**: whole tuples are
+    /// processed directly out of the (decrypted) chunk slice, and only
+    /// the sub-tuple remainder straddling a chunk boundary is buffered —
+    /// the scratch buffers (`partial`, the decrypt buffer, the selection
+    /// vector) are reused across every chunk of the stream.
+    ///
     /// # Panics
     /// Panics if called after [`CompiledPipeline::finish`].
     pub fn push_bytes(&mut self, chunk: &[u8]) {
@@ -423,36 +543,110 @@ impl CompiledPipeline {
         self.stats.bytes_in += chunk.len() as u64;
 
         // Decrypt-at-memory happens on the raw byte stream, before tuple
-        // framing (Figure 4 places decryption first).
-        let mut owned;
+        // framing (Figure 4 places decryption first). The buffer is
+        // taken out of `self` for the duration so `process_frame` can
+        // borrow the pipeline mutably while reading the decrypted bytes.
+        let mut scratch = std::mem::take(&mut self.decrypt_scratch);
         let data: &[u8] = match &mut self.decrypt {
             Some(c) => {
-                owned = chunk.to_vec();
-                c.apply(&mut owned);
-                &owned
+                scratch.clear();
+                scratch.extend_from_slice(chunk);
+                c.apply(&mut scratch);
+                &scratch
             }
             None => chunk,
         };
 
-        // Frame into tuples across chunk boundaries.
-        self.partial.extend_from_slice(data);
+        // Frame into tuples across chunk boundaries: complete the
+        // remainder of the previous chunk first, then run the whole
+        // tuples of this chunk as one block, straight from the slice.
         let tb = self.in_tuple_bytes;
-        let whole = self.partial.len() / tb * tb;
-        if whole == 0 {
-            return;
+        let mut rest = data;
+        if !self.partial.is_empty() {
+            let need = tb - self.partial.len();
+            if rest.len() < need {
+                self.partial.extend_from_slice(rest);
+                self.decrypt_scratch = scratch;
+                return;
+            }
+            self.partial.extend_from_slice(&rest[..need]);
+            rest = &rest[need..];
+            let head = std::mem::take(&mut self.partial);
+            self.process_frame(&head);
+            self.partial = head;
+            self.partial.clear();
         }
-        let frame: Vec<u8> = self.partial.drain(..whole).collect();
+        let whole = rest.len() / tb * tb;
+        if whole > 0 {
+            self.process_frame(&rest[..whole]);
+        }
+        self.partial.extend_from_slice(&rest[whole..]);
+        self.decrypt_scratch = scratch;
+        self.refresh_op_stats();
+    }
+
+    /// Run one frame (a whole number of tuples) through the operators
+    /// and into the packer.
+    ///
+    /// The default route is the vectorized block path: survivors of the
+    /// leading selection operators are *marked* in a selection vector
+    /// (no copies, one virtual call per operator per block), stateful
+    /// operators consume the marked survivors via one
+    /// [`StreamOperator::push_block`] call, and an all-selection
+    /// pipeline gathers the survivors' output bytes in a single pass at
+    /// the packer. [`CompiledPipeline::force_scalar`] routes through
+    /// the per-tuple reference path instead.
+    fn process_frame(&mut self, frame: &[u8]) {
+        let tb = self.in_tuple_bytes;
+        let n = frame.len() / tb;
+        self.stats.tuples_in += n as u64;
 
         let packer = &mut self.packer;
         let stats = &mut self.stats;
-        for tuple in frame.chunks_exact(tb) {
-            stats.tuples_in += 1;
-            feed(&mut self.ops, tuple, &mut |t| {
-                stats.tuples_out += 1;
-                packer.push_tuple(t);
+        if self.scalar_fallback {
+            for tuple in frame.chunks_exact(tb) {
+                feed(&mut self.ops, tuple, &mut |t| {
+                    stats.tuples_out += 1;
+                    packer.push_tuple(t);
+                });
+            }
+            return;
+        }
+
+        let block = TupleBlock::new(frame, tb);
+        let mut sel = std::mem::take(&mut self.sel_scratch);
+        sel.clear();
+        sel.extend(0..n as u32);
+
+        // Leading selections mark survivors in place.
+        let mut next = 0;
+        while next < self.ops.len() && !sel.is_empty() {
+            if !self.ops[next].select_block(&block, &mut sel) {
+                break;
+            }
+            next += 1;
+        }
+
+        if next == self.ops.len() || sel.is_empty() {
+            // Pure selection pipeline (or nothing survived): gather the
+            // marked tuples straight into the packer — projected through
+            // the fused plan or the packer's own, or copied whole.
+            stats.tuples_out += sel.len() as u64;
+            packer.push_block(&block, &sel, self.fused_gather.as_ref());
+        } else {
+            // Survivors continue into the stateful tail (at most one
+            // grouping/join operator plus anything behind it).
+            let (_, tail) = self.ops.split_at_mut(next);
+            let (head, rest) = tail.split_first_mut().expect("next < len");
+            head.push_block(&block, &sel, &mut |t| {
+                feed(rest, t, &mut |t| {
+                    stats.tuples_out += 1;
+                    packer.push_tuple(t);
+                });
             });
         }
-        self.refresh_op_stats();
+        sel.clear();
+        self.sel_scratch = sel;
     }
 
     /// End of stream: flush the grouping operators and the packer.

@@ -218,6 +218,70 @@ impl PredicateExpr {
         }
     }
 
+    /// Resolve the predicate against `schema` into a
+    /// [`CompiledPredicate`]: column offsets and widths baked in,
+    /// constants unboxed, so evaluation reads tuple bytes directly —
+    /// the block datapath's "hardwired matching circuit".
+    ///
+    /// # Errors
+    /// The same errors as [`PredicateExpr::validate`] (compilation *is*
+    /// validation plus layout resolution).
+    pub fn compile(&self, schema: &Schema) -> Result<CompiledPredicate, PredicateError> {
+        Ok(match self {
+            PredicateExpr::True => CompiledPredicate::True,
+            PredicateExpr::Not(inner) => CompiledPredicate::Not(Box::new(inner.compile(schema)?)),
+            PredicateExpr::And(xs) => CompiledPredicate::And(
+                xs.iter()
+                    .map(|x| x.compile(schema))
+                    .collect::<Result<_, _>>()?,
+            ),
+            PredicateExpr::Or(xs) => CompiledPredicate::Or(
+                xs.iter()
+                    .map(|x| x.compile(schema))
+                    .collect::<Result<_, _>>()?,
+            ),
+            PredicateExpr::Cmp { col, op, value } => {
+                if *col >= schema.column_count() {
+                    return Err(PredicateError::UnknownColumn {
+                        col: *col,
+                        arity: schema.column_count(),
+                    });
+                }
+                let ty = schema.column(*col).ty;
+                let off = schema.offset(*col);
+                match (ty, value) {
+                    (ColumnType::U64, Value::U64(v)) => CompiledPredicate::U64 {
+                        off,
+                        op: *op,
+                        rhs: *v,
+                    },
+                    (ColumnType::I64, Value::I64(v)) => CompiledPredicate::I64 {
+                        off,
+                        op: *op,
+                        rhs: *v,
+                    },
+                    (ColumnType::F64, Value::F64(v)) => CompiledPredicate::F64 {
+                        off,
+                        op: *op,
+                        rhs: *v,
+                    },
+                    (ColumnType::Bytes(width), Value::Bytes(b)) => CompiledPredicate::Bytes {
+                        off,
+                        width,
+                        op: *op,
+                        rhs: b.clone(),
+                    },
+                    _ => {
+                        return Err(PredicateError::TypeMismatch {
+                            col: *col,
+                            column_type: ty,
+                        })
+                    }
+                }
+            }
+        })
+    }
+
     /// Bitmask of base-table columns the predicate reads — the paper's
     /// `selection_flags` annotation (§5.2).
     pub fn selection_mask(&self) -> u64 {
@@ -229,6 +293,105 @@ impl PredicateExpr {
                 .map(PredicateExpr::selection_mask)
                 .fold(0, |a, b| a | b),
             PredicateExpr::Cmp { col, .. } => 1u64 << (col % 64),
+        }
+    }
+}
+
+/// A predicate resolved against one schema: every comparison carries its
+/// column's byte offset (and width, for strings) plus the unboxed
+/// constant, so [`CompiledPredicate::eval`] is direct `from_le_bytes`
+/// loads and native comparisons over the raw tuple — no [`Value`]
+/// materialization, no schema walk. This is what the vectorized block
+/// datapath evaluates per tuple; it is byte-for-byte equivalent to
+/// [`PredicateExpr::eval`] over a `RowView` (including the hardware
+/// comparators' NaN-at-the-top total order for `F64`).
+#[derive(Debug, Clone, PartialEq)]
+pub enum CompiledPredicate {
+    /// Always true.
+    True,
+    /// `u64` column at `off` compared against `rhs`.
+    U64 {
+        /// Byte offset of the column inside a tuple.
+        off: usize,
+        /// Comparison operator.
+        op: CmpOp,
+        /// Constant operand.
+        rhs: u64,
+    },
+    /// `i64` column at `off` compared against `rhs`.
+    I64 {
+        /// Byte offset of the column inside a tuple.
+        off: usize,
+        /// Comparison operator.
+        op: CmpOp,
+        /// Constant operand.
+        rhs: i64,
+    },
+    /// `f64` column at `off` compared against `rhs`.
+    F64 {
+        /// Byte offset of the column inside a tuple.
+        off: usize,
+        /// Comparison operator.
+        op: CmpOp,
+        /// Constant operand.
+        rhs: f64,
+    },
+    /// Fixed-width byte-string column compared lexicographically.
+    Bytes {
+        /// Byte offset of the column inside a tuple.
+        off: usize,
+        /// Column width (the full zero-padded field takes part in the
+        /// comparison, exactly as the decoded `Value::Bytes` would).
+        width: usize,
+        /// Constant operand (any length).
+        rhs: Vec<u8>,
+        /// Comparison operator.
+        op: CmpOp,
+    },
+    /// All sub-predicates hold.
+    And(Vec<CompiledPredicate>),
+    /// Any sub-predicate holds.
+    Or(Vec<CompiledPredicate>),
+    /// The sub-predicate does not hold.
+    Not(Box<CompiledPredicate>),
+}
+
+impl CompiledPredicate {
+    /// Evaluate against one raw encoded tuple.
+    #[inline]
+    pub fn eval(&self, tuple: &[u8]) -> bool {
+        match self {
+            CompiledPredicate::True => true,
+            CompiledPredicate::Not(inner) => !inner.eval(tuple),
+            CompiledPredicate::And(xs) => xs.iter().all(|x| x.eval(tuple)),
+            CompiledPredicate::Or(xs) => xs.iter().any(|x| x.eval(tuple)),
+            CompiledPredicate::U64 { off, op, rhs } => {
+                let v = u64::from_le_bytes(tuple[*off..*off + 8].try_into().expect("8 bytes"));
+                op.eval_ordering(v.cmp(rhs))
+            }
+            CompiledPredicate::I64 { off, op, rhs } => {
+                let v = i64::from_le_bytes(tuple[*off..*off + 8].try_into().expect("8 bytes"));
+                op.eval_ordering(v.cmp(rhs))
+            }
+            CompiledPredicate::F64 { off, op, rhs } => {
+                let v = f64::from_le_bytes(tuple[*off..*off + 8].try_into().expect("8 bytes"));
+                // Same NaN-at-the-top total order as PredicateExpr::eval.
+                let ord = v.partial_cmp(rhs).unwrap_or_else(|| {
+                    rhs.is_nan()
+                        .cmp(&v.is_nan())
+                        .then(std::cmp::Ordering::Equal)
+                });
+                op.eval_ordering(ord)
+            }
+            CompiledPredicate::Bytes {
+                off,
+                width,
+                rhs,
+                op,
+            } => {
+                let field = &tuple[*off..*off + *width];
+                op.eval_ordering(field.cmp(rhs.as_slice()))
+            }
         }
     }
 }
@@ -308,6 +471,70 @@ mod tests {
             PredicateExpr::lt(0, 1.5f64).validate(&schema),
             Err(PredicateError::TypeMismatch { col: 0, .. })
         ));
+    }
+
+    #[test]
+    fn compiled_predicate_agrees_with_interpreted() {
+        use fv_data::Column;
+        let schema = Schema::new(vec![
+            Column {
+                name: "u".into(),
+                ty: ColumnType::U64,
+            },
+            Column {
+                name: "i".into(),
+                ty: ColumnType::I64,
+            },
+            Column {
+                name: "f".into(),
+                ty: ColumnType::F64,
+            },
+            Column {
+                name: "s".into(),
+                ty: ColumnType::Bytes(8),
+            },
+        ]);
+        let rows = [
+            (5u64, -3i64, 1.5f64, "abc"),
+            (10, 3, f64::NAN, "abd"),
+            (0, i64::MIN, -0.0, ""),
+            (u64::MAX, i64::MAX, f64::INFINITY, "abcdefgh"),
+        ];
+        let preds = [
+            PredicateExpr::lt(0, 10u64),
+            PredicateExpr::ne(1, 3i64),
+            PredicateExpr::gt(2, 0.0f64),
+            PredicateExpr::eq(2, f64::NAN), // NaN total-ordered at the top
+            PredicateExpr::Cmp {
+                col: 3,
+                op: CmpOp::Ge,
+                value: Value::Bytes(b"abc".to_vec()),
+            },
+            PredicateExpr::lt(0, 6u64).and(PredicateExpr::gt(1, -10i64)),
+            PredicateExpr::eq(3, Value::Bytes(b"abd\0\0\0\0\0".to_vec()))
+                .or(PredicateExpr::Not(Box::new(PredicateExpr::lt(0, 1u64)))),
+        ];
+        for (u, i, f, s) in rows {
+            let bytes = Row(vec![
+                Value::U64(u),
+                Value::I64(i),
+                Value::F64(f),
+                Value::from(s),
+            ])
+            .encode(&schema);
+            let row = RowView::new(&schema, &bytes);
+            for p in &preds {
+                let compiled = p.compile(&schema).expect("valid predicate");
+                assert_eq!(
+                    compiled.eval(&bytes),
+                    p.eval(&row),
+                    "compiled vs interpreted disagree on {p:?} over {u},{i},{f},{s:?}"
+                );
+            }
+        }
+        // Compilation rejects what validation rejects.
+        assert!(PredicateExpr::lt(9, 1u64).compile(&schema).is_err());
+        assert!(PredicateExpr::lt(0, 1.5f64).compile(&schema).is_err());
     }
 
     #[test]

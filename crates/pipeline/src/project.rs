@@ -19,6 +19,10 @@ pub struct ProjectionPlan {
     /// Byte ranges of the kept columns inside an input row.
     ranges: Vec<std::ops::Range<usize>>,
     out_row_bytes: usize,
+    /// Every kept column is exactly 8 bytes wide — the dominant layout
+    /// (all scalar types) — letting the gather copy fixed-size words
+    /// instead of variable-length slices.
+    all_word_cols: bool,
 }
 
 impl ProjectionPlan {
@@ -45,11 +49,13 @@ impl ProjectionPlan {
         let out_schema = schema.project(&cols);
         let ranges: Vec<_> = cols.iter().map(|&c| schema.column_range(c)).collect();
         let out_row_bytes = out_schema.row_bytes();
+        let all_word_cols = ranges.iter().all(|r| r.len() == 8);
         Ok(ProjectionPlan {
             cols,
             out_schema,
             ranges,
             out_row_bytes,
+            all_word_cols,
         })
     }
 
@@ -74,9 +80,19 @@ impl ProjectionPlan {
     }
 
     /// Append the projected columns of `tuple` to `out`.
+    #[inline]
     pub fn write_projected(&self, tuple: &[u8], out: &mut Vec<u8>) {
-        for r in &self.ranges {
-            out.extend_from_slice(&tuple[r.clone()]);
+        if self.all_word_cols {
+            // All-scalar projections copy constant-size words, which the
+            // compiler lowers to direct moves instead of memcpy calls.
+            for r in &self.ranges {
+                let word: [u8; 8] = tuple[r.start..r.start + 8].try_into().expect("word column");
+                out.extend_from_slice(&word);
+            }
+        } else {
+            for r in &self.ranges {
+                out.extend_from_slice(&tuple[r.clone()]);
+            }
         }
     }
 

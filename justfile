@@ -25,10 +25,17 @@ ci: verify doc fmt-check clippy
 figures:
     cargo run -q --release -p fv-bench --bin figures all
 
-# Every custom experiment (scaleout/qdepth/plan_ablation/elasticity) at
-# its smallest config — the CI gate that keeps the harness from rotting.
+# Every custom experiment (scaleout/qdepth/plan_ablation/elasticity/
+# hotpath) at its smallest config — the CI gate that keeps the harness
+# from rotting.
 bench-smoke:
     cargo run -q --release -p fv-bench --bin figures smoke
+
+# Wall-clock microbench of the host hot path: vectorized block datapath
+# vs the per-tuple reference, parallel vs serial fleet scatter, and the
+# replica-dedup win over the seed model. Rewrites BENCH_PR5.json.
+bench-hotpath:
+    cargo run -q --release -p fv-bench --bin figures hotpath
 
 # Dump optimizer explain() output for the standard figure queries.
 explain:
