@@ -11,12 +11,12 @@ use std::env;
 use std::process::ExitCode;
 
 use fv_bench::{
-    all_figures, elasticity, explain_figures, fig10, fig11a, fig11b, fig12, fig6a, fig6b, fig7,
-    fig8, fig9a, fig9b, fig9c, hotpath_report, plan_ablation, qdepth, scaleout, smoke_figures,
-    table1, Figure,
+    all_figures, chaos_report, elasticity, explain_figures, fig10, fig11a, fig11b, fig12, fig6a,
+    fig6b, fig7, fig8, fig9a, fig9b, fig9c, hotpath_report, plan_ablation, qdepth, scaleout,
+    smoke_figures, table1, Figure,
 };
 
-const USAGE: &str = "usage: figures <table1|fig6a|fig6b|fig7|fig8a|fig8b|fig8c|fig9a|fig9b|fig9c|fig10|fig11a|fig11b|fig12|scaleout|qdepth|plan_ablation|elasticity|hotpath|explain|all|smoke> [--csv]";
+const USAGE: &str = "usage: figures <table1|fig6a|fig6b|fig7|fig8a|fig8b|fig8c|fig9a|fig9b|fig9c|fig10|fig11a|fig11b|fig12|scaleout|qdepth|plan_ablation|elasticity|hotpath|chaos|explain|all|smoke> [--csv]";
 
 fn one(id: &str) -> Option<Figure> {
     Some(match id {
@@ -71,6 +71,17 @@ fn main() -> ExitCode {
             match std::fs::write("BENCH_PR5.json", &json) {
                 Ok(()) => eprintln!("wrote BENCH_PR5.json"),
                 Err(e) => eprintln!("could not write BENCH_PR5.json: {e}"),
+            }
+        }
+        "chaos" => {
+            // Tail latency under deterministic fault injection: render
+            // the figure and record the machine-readable chaos baseline.
+            let report = chaos_report();
+            render(&report.to_figure());
+            let json = report.to_json();
+            match std::fs::write("BENCH_PR6.json", &json) {
+                Ok(()) => eprintln!("wrote BENCH_PR6.json"),
+                Err(e) => eprintln!("could not write BENCH_PR6.json: {e}"),
             }
         }
         "explain" => print!("{}", explain_figures()),

@@ -991,6 +991,7 @@ pub fn smoke_figures() -> Vec<Figure> {
         plan_ablation_smoke(),
         elasticity_smoke(),
         crate::hotpath::hotpath_smoke(),
+        crate::chaos::chaos_smoke(),
     ]
 }
 
@@ -1344,6 +1345,7 @@ mod tests {
             "plan_ablation",
             "elasticity",
             "hotpath",
+            "chaos",
         ] {
             assert!(names.iter().any(|n| n == needle), "smoke missing {needle}");
         }

@@ -38,6 +38,12 @@
 //! block datapath vs the per-tuple reference, and parallel vs serial
 //! fleet scatter at 1 → 8 nodes (`figures hotpath` also writes the
 //! machine-readable `BENCH_PR5.json` perf baseline).
+//! [`chaos()`] degrades one node of a replicated fleet behind each
+//! seeded fault class (loss/retry, delay spikes, bandwidth cap,
+//! partition, truncated doorbell, raced slow replica), asserting
+//! byte-identical results or clean typed errors and reporting p50/p99
+//! tail latency per class (`figures chaos` also writes the
+//! machine-readable `BENCH_PR6.json`).
 //! [`explain_figures`] renders the planner's `explain()` report for
 //! every standard figure query (`figures explain` / `just explain`),
 //! and [`smoke_figures`] runs every custom experiment at its smallest
@@ -48,10 +54,15 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod chaos;
 pub mod experiments;
 pub mod figure;
 pub mod hotpath;
 
+pub use chaos::{
+    chaos, chaos_report, chaos_report_at, chaos_smoke, fault_plan_for, ChaosClassStats,
+    ChaosReport, CHAOS_BENCH_SEED, CHAOS_NODES, CHAOS_REPLICAS,
+};
 pub use experiments::*;
 pub use figure::{Figure, Series};
 pub use hotpath::{

@@ -308,6 +308,24 @@ impl FarviewCluster {
         })
     }
 
+    /// Degrade (or heal) this node's client-facing link: every episode
+    /// started after the call — reads *and* writes — runs against the
+    /// plan's injected faults. Setting a benign plan (the default)
+    /// restores the native link.
+    ///
+    /// # Panics
+    /// Panics if the plan's parameters are out of range
+    /// ([`fv_net::FaultPlan::validate`]).
+    pub fn set_fault_plan(&self, plan: fv_net::FaultPlan) {
+        plan.validate();
+        self.inner.lock().config.fault = plan;
+    }
+
+    /// The fault plan currently applied to this node's link.
+    pub fn fault_plan(&self) -> fv_net::FaultPlan {
+        self.inner.lock().config.fault.clone()
+    }
+
     /// Total partial reconfigurations performed so far.
     pub fn reconfigurations(&self) -> u64 {
         self.inner.lock().reconfigurations
@@ -512,10 +530,14 @@ impl QPair {
             });
         }
         let mut inner = self.inner.lock();
+        // Simulate the transfer first: a degraded link fails the write
+        // typed *before* any byte lands in the buffer pool, so a failed
+        // write never leaves a partial image behind.
+        let t = episode::try_write_time(data.len() as u64, &inner.config)?;
         if !data.is_empty() {
             inner.mem.write(self.domain, ft.vaddr, data)?;
         }
-        Ok(episode::write_time(data.len() as u64, &inner.config))
+        Ok(t)
     }
 
     /// Allocate + write in one call.

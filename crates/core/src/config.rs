@@ -24,6 +24,10 @@ pub struct FarviewConfig {
     /// Use vector lanes equal to `channels` when a spec asks for
     /// vectorized execution.
     pub vector_lanes: usize,
+    /// Fault plan for this node's client-facing link (chaos testing).
+    /// Benign by default; a degraded plan makes episode transmissions
+    /// fall through `LinkTiming::try_transmit` and surface typed errors.
+    pub fault: fv_net::FaultPlan,
 }
 
 impl Default for FarviewConfig {
@@ -35,6 +39,7 @@ impl Default for FarviewConfig {
             credit_budget: calib::QP_CREDITS,
             tlb_entries: calib::TLB_ENTRIES,
             vector_lanes: calib::DEFAULT_CHANNELS,
+            fault: fv_net::FaultPlan::default(),
         }
     }
 }
@@ -62,6 +67,7 @@ impl FarviewConfig {
             self.vector_lanes >= 1 && self.vector_lanes <= 8,
             "vector lanes out of range"
         );
+        self.fault.validate();
     }
 }
 

@@ -412,7 +412,20 @@ impl Actor<Msg> for NodeActor {
                         let run = self.runs.get_mut(&qp).expect("unknown qp in egress");
                         run.packets_sent += 1;
                         run.wire_bytes += pkt.wire_bytes();
-                        let arrival = self.wire.transmit(ctx.now(), pkt.wire_bytes());
+                        // The fault seam: a degraded link can delay this
+                        // packet (loss/retry, cap, spike) or fail it with a
+                        // typed error. A failure poisons the episode — the
+                        // queue drains without further sends and the typed
+                        // error surfaces from `run_batched_episodes`.
+                        let arrival = match self.wire.try_transmit(qp, ctx.now(), pkt.wire_bytes())
+                        {
+                            Ok(t) => t,
+                            Err(e) => {
+                                self.failed.get_or_insert(e);
+                                self.egress_scheduled = false;
+                                return;
+                            }
+                        };
                         let client = *self.clients.get(&qp).expect("client actor");
                         ctx.send_at(client, arrival, Msg::Deliver(pkt));
                         // The wire is free again one propagation delay
@@ -448,17 +461,29 @@ struct ClientActor {
     rx: Reassembly,
     completed_at: Option<SimTime>,
     packets: u64,
+    /// First protocol violation seen on this stream (duplicate or
+    /// beyond-last sequence). A degraded link can replay packets, so
+    /// this is a runtime fault to surface typed, not a panic.
+    failed: Option<NetError>,
 }
 
 impl Actor<Msg> for ClientActor {
     fn on_message(&mut self, msg: Msg, ctx: &mut Context<'_, Msg>) {
         if let Msg::Deliver(pkt) = msg {
+            if self.failed.is_some() {
+                return;
+            }
             let last = matches!(pkt.kind, PacketKind::Data { last: true });
             self.packets += 1;
-            let complete = self
-                .rx
-                .accept(pkt.qp, pkt.seq, pkt.payload, last)
-                .expect("protocol violation in episode");
+            let complete = match self.rx.accept(pkt.qp, pkt.seq, pkt.payload, last) {
+                Ok(c) => c,
+                Err(e) => {
+                    // Poison the stream: no credit return, no completion —
+                    // the episode drains and the error surfaces typed.
+                    self.failed = Some(e);
+                    return;
+                }
+            };
             // Return a credit to the sender (rides the reverse wire).
             ctx.send(self.node, WIRE_ONE_WAY, Msg::Credit { qp: self.qp });
             if complete {
@@ -589,7 +614,7 @@ pub fn run_batched_episodes(
             .map(|_| BandwidthServer::new(PIPELINE_RATE, SimDuration::ZERO))
             .collect(),
         net_ingress: BandwidthServer::new(PIPELINE_RATE, FV_REQ_OCCUPANCY),
-        wire: LinkTiming::new(NicKind::FarviewFpga),
+        wire: LinkTiming::with_faults(NicKind::FarviewFpga, config.fault.clone()),
         arbiter,
         clients: HashMap::new(),
         credit_budget: config.credit_budget,
@@ -606,6 +631,7 @@ pub fn run_batched_episodes(
                 rx: Reassembly::new(),
                 completed_at: None,
                 packets: 0,
+                failed: None,
             }));
             client_ids.insert(qp, id);
         }
@@ -615,12 +641,19 @@ pub fn run_batched_episodes(
         .clients = client_ids.clone();
 
     // Every batch rings one doorbell at t = 0; its WQEs stream onto the
-    // wire at the amortized per-WQE cadence.
+    // wire at the amortized per-WQE cadence. Under a truncation fault the
+    // NIC fetches only a prefix of each batch: unfetched WQEs never issue
+    // and their streams surface as incomplete episodes.
     for qps in &batch_qps {
-        let doorbell = DoorbellBatch::new(u32::try_from(qps.len()).expect("batch fits u32"));
+        let posted = u32::try_from(qps.len()).expect("batch fits u32");
+        let doorbell = match config.fault.truncate_doorbell {
+            Some(n) => DoorbellBatch::truncated(posted, n.min(posted)),
+            None => DoorbellBatch::new(posted),
+        };
         for (i, &qp) in qps.iter().enumerate() {
-            let at = doorbell.issue_offset(i as u32) + WIRE_ONE_WAY;
-            sim.inject(node_id, at, Msg::Request { qp });
+            if let Ok(offset) = doorbell.try_issue_offset(qp, i as u32) {
+                sim.inject(node_id, offset + WIRE_ONE_WAY, Msg::Request { qp });
+            }
         }
     }
     sim.run_to_quiescence(20_000_000);
@@ -628,6 +661,16 @@ pub fn run_batched_episodes(
 
     if let Some(e) = &sim.actor::<NodeActor>(node_id).expect("node actor").failed {
         return Err(FvError::Net(e.clone()));
+    }
+    for qps in &batch_qps {
+        for &qp in qps {
+            let client = sim
+                .actor::<ClientActor>(client_ids[&qp])
+                .expect("client actor");
+            if let Some(e) = &client.failed {
+                return Err(FvError::Net(e.clone()));
+            }
+        }
     }
 
     let mut results = Vec::with_capacity(batch_qps.len());
@@ -668,7 +711,25 @@ pub fn run_batched_episodes(
 /// data packets over the wire; the network stack forwards them to the
 /// MMU which issues striped write bursts; the node acknowledges once the
 /// last burst lands in DRAM.
+///
+/// # Panics
+/// Panics if the configured fault plan degrades the link into a typed
+/// failure — callers that can see injected faults must use
+/// [`try_write_time`].
 pub fn write_time(bytes: u64, config: &FarviewConfig) -> SimDuration {
+    try_write_time(bytes, config).expect("write episode failed under an injected fault")
+}
+
+/// Fault-aware [`write_time`]: the client's data packets ride the same
+/// degraded link model as read episodes, so a partitioned or
+/// retry-exhausted link surfaces [`FvError::Net`] and a write whose
+/// acknowledgement never arrives surfaces
+/// [`FvError::IncompleteEpisode`] — never a panic.
+///
+/// # Errors
+/// [`FvError::Net`] when the link faults a data packet;
+/// [`FvError::IncompleteEpisode`] when the episode drains unacknowledged.
+pub fn try_write_time(bytes: u64, config: &FarviewConfig) -> Result<SimDuration, FvError> {
     #[derive(Debug, Clone)]
     enum WMsg {
         /// One data packet arriving at the node.
@@ -762,7 +823,7 @@ pub fn write_time(bytes: u64, config: &FarviewConfig) -> SimDuration {
 
     // The client's NIC serializes the data packets onto the wire; each
     // arrives at the node after the FPGA net stack's per-packet handling.
-    let mut wire = LinkTiming::new(NicKind::FarviewFpga);
+    let mut wire = LinkTiming::with_faults(NicKind::FarviewFpga, config.fault.clone());
     let t0 = CLIENT_POST;
     let n_packets = bytes.div_ceil(PACKET_BYTES).max(1);
     for i in 0..n_packets {
@@ -773,7 +834,10 @@ pub fn write_time(bytes: u64, config: &FarviewConfig) -> SimDuration {
         } else {
             PACKET_BYTES
         };
-        let arrival = wire.transmit(SimTime::from_nanos(t0.as_nanos()), sz + 58) + FV_REQ_PROC;
+        let arrival = wire
+            .try_transmit(0, SimTime::from_nanos(t0.as_nanos()), sz + 58)
+            .map_err(FvError::Net)?
+            + FV_REQ_PROC;
         sim.inject(
             node,
             arrival.since(SimTime::ZERO),
@@ -787,8 +851,8 @@ pub fn write_time(bytes: u64, config: &FarviewConfig) -> SimDuration {
     sim.actor::<WriteClient>(client)
         .expect("client")
         .done_at
-        .expect("write episode never acknowledged")
-        .since(SimTime::ZERO)
+        .ok_or(FvError::IncompleteEpisode { qp: 0 })
+        .map(|t| t.since(SimTime::ZERO))
 }
 
 #[cfg(test)]
@@ -1074,5 +1138,139 @@ mod tests {
         let small = write_time(1024, &cfg);
         let big = write_time(1024 * 1024, &cfg);
         assert!(big > small * 10);
+    }
+
+    #[test]
+    fn partitioned_link_is_a_typed_error_not_a_hang() {
+        let mut cfg = FarviewConfig::tiny();
+        cfg.fault = fv_net::FaultPlan::default().partitioned();
+        let q = prepared(3, 0, 32, PipelineSpec::passthrough());
+        let result = run_episode(vec![q], &cfg);
+        assert!(
+            matches!(
+                result,
+                Err(crate::error::FvError::Net(NetError::LinkPartitioned {
+                    qp: 3
+                }))
+            ),
+            "expected LinkPartitioned for qp 3, got {result:?}"
+        );
+    }
+
+    #[test]
+    fn retry_exhaustion_is_a_typed_error() {
+        let mut cfg = FarviewConfig::tiny();
+        cfg.fault = fv_net::FaultPlan::default()
+            .with_seed(5)
+            .with_loss_retries(0.95, 1);
+        let q = prepared(1, 0, 64, PipelineSpec::passthrough());
+        let result = run_episode(vec![q], &cfg);
+        assert!(
+            matches!(
+                result,
+                Err(crate::error::FvError::Net(
+                    NetError::RetriesExhausted { .. }
+                ))
+            ),
+            "95% loss with 1 retry must exhaust the budget, got {result:?}"
+        );
+    }
+
+    #[test]
+    fn survivable_loss_is_byte_identical_and_slower() {
+        let clean_cfg = FarviewConfig::tiny();
+        let clean = run_episode(
+            vec![prepared(1, 0, 64, PipelineSpec::passthrough())],
+            &clean_cfg,
+        )
+        .expect("clean episode");
+        let mut lossy_cfg = FarviewConfig::tiny();
+        lossy_cfg.fault = fv_net::FaultPlan::default()
+            .with_seed(17)
+            .with_loss_retries(0.2, 32);
+        let lossy = run_episode(
+            vec![prepared(1, 0, 64, PipelineSpec::passthrough())],
+            &lossy_cfg,
+        )
+        .expect("20% loss with a deep retry budget survives");
+        assert_eq!(clean[0].payload, lossy[0].payload, "loss never costs bytes");
+        assert!(
+            lossy[0].response_time > clean[0].response_time,
+            "retries must cost latency"
+        );
+    }
+
+    #[test]
+    fn truncated_doorbell_is_incomplete_never_partial() {
+        // Two queries on one batch; the NIC fetches only the first WQE.
+        let mut cfg = FarviewConfig::tiny();
+        cfg.fault = fv_net::FaultPlan::default().with_doorbell_truncation(1);
+        let batch = BatchRun::new(vec![
+            prepared(1, 0, 16, PipelineSpec::passthrough()),
+            prepared(2, 0, 16, PipelineSpec::passthrough()),
+        ]);
+        let result = run_batched_episodes(vec![batch], &cfg);
+        assert!(
+            matches!(
+                result,
+                Err(crate::error::FvError::IncompleteEpisode { qp: 2 })
+            ),
+            "the unfetched WQE's stream must surface, got {result:?}"
+        );
+    }
+
+    #[test]
+    fn duplicate_delivery_poisons_the_stream_typed() {
+        // Regression for the converted `expect("protocol violation in
+        // episode")`: a duplicated sequence number must surface as a typed
+        // error from the client actor, not a panic.
+        let mut sim: Simulation<Msg> = Simulation::new();
+        // A sink for the credit return, standing in for the node.
+        struct Sink;
+        impl Actor<Msg> for Sink {
+            fn on_message(&mut self, _: Msg, _: &mut Context<'_, Msg>) {}
+        }
+        let sink = sim.add_actor(Box::new(Sink));
+        let node = sim.add_actor(Box::new(ClientActor {
+            qp: 9,
+            node: sink,
+            rx: Reassembly::new(),
+            completed_at: None,
+            packets: 0,
+            failed: None,
+        }));
+        let pkt = || Packet {
+            qp: 9,
+            seq: 0,
+            kind: PacketKind::Data { last: false },
+            payload: bytes::Bytes::from_static(b"xx"),
+        };
+        sim.inject(node, SimDuration::ZERO, Msg::Deliver(pkt()));
+        sim.inject(node, SimDuration::from_nanos(10), Msg::Deliver(pkt()));
+        sim.run_to_quiescence(100);
+        let client = sim.actor::<ClientActor>(node).expect("client");
+        assert_eq!(
+            client.failed,
+            Some(NetError::DuplicateSeq { qp: 9, seq: 0 }),
+            "duplicate must be recorded, not panicked on"
+        );
+        assert!(
+            client.completed_at.is_none(),
+            "a poisoned stream never completes"
+        );
+    }
+
+    #[test]
+    fn write_under_partition_is_a_typed_error() {
+        let mut cfg = FarviewConfig::tiny();
+        cfg.fault = fv_net::FaultPlan::default().partitioned();
+        let result = try_write_time(4096, &cfg);
+        assert!(
+            matches!(
+                result,
+                Err(crate::error::FvError::Net(NetError::LinkPartitioned { .. }))
+            ),
+            "got {result:?}"
+        );
     }
 }

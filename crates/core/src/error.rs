@@ -95,6 +95,10 @@ pub enum FvError {
         /// Active nodes available as placement targets.
         nodes: usize,
     },
+    /// A parallel scatter worker panicked mid-fleet-read. The panic is
+    /// contained at the scatter boundary so one poisoned shard cannot
+    /// take down the whole client; the query fails typed instead.
+    ScatterWorkerPanicked,
 }
 
 impl fmt::Display for FvError {
@@ -146,6 +150,9 @@ impl fmt::Display for FvError {
                     f,
                     "replication factor {replicas} cannot be hosted by {nodes} active nodes"
                 )
+            }
+            FvError::ScatterWorkerPanicked => {
+                write!(f, "a parallel scatter worker panicked mid-fleet-read")
             }
         }
     }

@@ -286,6 +286,28 @@ impl FarviewFleet {
         self.topology.set_health(id, NodeHealth::Removed)
     }
 
+    /// Degrade node `id`'s client-facing link per `plan` (chaos
+    /// injection). The node stays in the roster and keeps its shard
+    /// images; episodes against it see the plan's faults — queries fall
+    /// back to surviving replicas exactly as they would for a dead
+    /// node, but the failure is a *network* failure, deterministically
+    /// replayable from the plan's seed.
+    ///
+    /// # Errors
+    /// [`FvError::NoSuchNode`] for unknown or removed ids.
+    pub fn degrade_node(&self, id: NodeId, plan: fv_net::FaultPlan) -> Result<(), FvError> {
+        self.topology.cluster(id)?.set_fault_plan(plan);
+        Ok(())
+    }
+
+    /// Heal node `id`'s link: restore the benign (native) fault plan.
+    ///
+    /// # Errors
+    /// [`FvError::NoSuchNode`] for unknown or removed ids.
+    pub fn heal_node(&self, id: NodeId) -> Result<(), FvError> {
+        self.degrade_node(id, fv_net::FaultPlan::default())
+    }
+
     /// `openConnection` at fleet scope: bind one queue pair on every
     /// live node. Fails if any node has no free dynamic region. Nodes
     /// added later are connected to lazily, on first use.
@@ -782,10 +804,14 @@ impl FleetQPair {
             positions.sort_unstable();
             positions.dedup();
             let ranges = coalesce(&positions);
+            // A move plan is computed against a placement snapshot; the
+            // source can die between planning and the copy. Surface it
+            // typed — the rebalance aborts cleanly and the old epoch
+            // keeps serving.
             let holder = ft.placement.shards()[slot as usize]
                 .iter()
                 .position(|&n| n == node)
-                .expect("plan sources are holders");
+                .ok_or(FvError::NodeDown { node: node.0 })?;
             let qp = self.node_qp(node)?;
             let (_, makespan) = qp.read_row_ranges(&ft.shards[slot as usize][holder], &ranges)?;
             *copy_per_node.entry(node).or_insert(SimDuration::ZERO) += makespan;

@@ -56,7 +56,7 @@ pub use fleet::{
     FarviewFleet, FleetQPair, FleetQueryOutcome, FleetTable, Partitioning, ShardAssignment,
     ShardMap,
 };
-pub use plan::{Executor, Explain, LogicalStage, MergeSpec, PlanTarget, QueryPlan};
+pub use plan::{replica_beats, Executor, Explain, LogicalStage, MergeSpec, PlanTarget, QueryPlan};
 pub use tiered::{BlockStore, FleetTierOutcome, FleetTieredPool, StorageParams, TieredPool};
 pub use topology::{
     MovePlan, NodeHealth, NodeId, Placement, RebalanceReport, ShardMove, Topology, TopologySnapshot,
@@ -67,3 +67,7 @@ pub use fv_pipeline::{
     AggFunc, AggSpec, CmpOp, CryptoSpec, GroupingSpec, JoinSmallSpec, PipelineSpec, PredicateExpr,
     RegexFilter,
 };
+
+// Re-export the fault vocabulary: a `FaultPlan` rides `FarviewConfig`
+// and the fleet's chaos hooks ([`FarviewFleet::degrade_node`]).
+pub use fv_net::FaultPlan;

@@ -1074,25 +1074,53 @@ impl Executor {
         // One shard slot's work: execute the whole batch once on the
         // first surviving replica and model the standbys' race — or,
         // on the seed reference route, execute every surviving replica
-        // and let the fastest simulated response win.
+        // and let the fastest simulated response win. Either way, a
+        // replica whose *link* faults (typed `Net`/`IncompleteEpisode`)
+        // drops out of the slot like a dead node: the remaining
+        // replicas serve, and only when every replica fails does the
+        // slot report the last typed error.
         let run_slot = |nodes: &[crate::topology::NodeId],
                         replicas: &[FTable]|
          -> Result<Vec<QueryOutcome>, FvError> {
+            let survivors: Vec<(crate::topology::NodeId, &FTable)> = nodes
+                .iter()
+                .zip(replicas)
+                .filter(|(&node, _)| fqp.is_serving(node))
+                .map(|(&node, sft)| (node, sft))
+                .collect();
+            if survivors.is_empty() {
+                return Err(FvError::NodeDown { node: nodes[0].0 });
+            }
+            // An error that means "this replica's datapath is degraded",
+            // as opposed to a query bug that every replica would share.
+            let replica_local =
+                |e: &FvError| matches!(e, FvError::Net(_) | FvError::IncompleteEpisode { .. });
             if race_replicas {
-                let mut best: Option<Vec<QueryOutcome>> = None;
-                for (&node, sft) in nodes.iter().zip(replicas) {
-                    if !fqp.is_serving(node) {
-                        continue;
-                    }
-                    let outcomes = fqp.node_qp(node)?.execute_specs(sft, &shard_specs)?;
+                let mut best: Option<Vec<(crate::topology::NodeId, QueryOutcome)>> = None;
+                let mut last_err = None;
+                for &(node, sft) in &survivors {
+                    let outcomes = match fqp
+                        .node_qp(node)
+                        .and_then(|qp| qp.execute_specs(sft, &shard_specs))
+                    {
+                        Ok(o) => o,
+                        Err(e) if replica_local(&e) => {
+                            last_err = Some(e);
+                            continue;
+                        }
+                        Err(e) => return Err(e),
+                    };
                     best = Some(match best {
-                        None => outcomes,
+                        None => outcomes.into_iter().map(|o| (node, o)).collect(),
                         Some(prev) => prev
                             .into_iter()
                             .zip(outcomes)
                             .map(|(a, b)| {
-                                if b.stats.response_time < a.stats.response_time {
-                                    b
+                                if replica_beats(
+                                    (node, b.stats.response_time),
+                                    (a.0, a.1.stats.response_time),
+                                ) {
+                                    (node, b)
                                 } else {
                                     a
                                 }
@@ -1100,76 +1128,55 @@ impl Executor {
                             .collect(),
                     });
                 }
-                return best.ok_or(FvError::NodeDown { node: nodes[0].0 });
+                return match best {
+                    Some(won) => Ok(won.into_iter().map(|(_, o)| o).collect()),
+                    None => Err(last_err.unwrap_or(FvError::NodeDown { node: nodes[0].0 })),
+                };
             }
-            let mut survivors = nodes
-                .iter()
-                .zip(replicas)
-                .filter(|(&node, _)| fqp.is_serving(node));
-            let Some((&node, sft)) = survivors.next() else {
-                return Err(FvError::NodeDown { node: nodes[0].0 });
-            };
-            let standbys = survivors.count();
-            let qp = fqp.node_qp(node)?;
-            let mut outcomes = qp.execute_specs(sft, &shard_specs)?;
-            if standbys > 0 {
-                // Charge the modeled race minimum for the standbys that
-                // were not re-executed. Under the default model this is
-                // an *identity* — byte-identical replicas on identical
-                // calibration respond in identical time — and the call
-                // exists as the one seam where replica skew would plug
-                // in without touching the execution path.
-                let cost = PlanCostModel::default();
-                for o in &mut outcomes {
-                    o.stats.response_time = cost.replica_race(o.stats.response_time, standbys + 1);
+            let mut last_err = None;
+            for (i, &(node, sft)) in survivors.iter().enumerate() {
+                let mut outcomes = match fqp
+                    .node_qp(node)
+                    .and_then(|qp| qp.execute_specs(sft, &shard_specs))
+                {
+                    Ok(o) => o,
+                    Err(e) if replica_local(&e) => {
+                        // Hedged read: fall through to the next
+                        // surviving replica instead of failing the
+                        // query.
+                        last_err = Some(e);
+                        continue;
+                    }
+                    Err(e) => return Err(e),
+                };
+                let standbys = survivors.len() - 1 - i;
+                if standbys > 0 {
+                    // Charge the modeled race minimum for the standbys
+                    // that were not re-executed. Under the default model
+                    // this is an *identity* — byte-identical replicas on
+                    // identical calibration respond in identical time —
+                    // and the call exists as the one seam where replica
+                    // skew would plug in without touching the execution
+                    // path.
+                    let cost = PlanCostModel::default();
+                    for o in &mut outcomes {
+                        o.stats.response_time =
+                            cost.replica_race(o.stats.response_time, standbys + 1);
+                    }
                 }
+                return Ok(outcomes);
             }
-            Ok(outcomes)
+            Err(last_err.unwrap_or(FvError::NodeDown { node: nodes[0].0 }))
         };
 
         // Scatter across the slots — concurrently on the fast path, with
         // a deterministic ordered join (slot order, not completion
-        // order), or serially for the reference route. Workers are
-        // capped at the host's available parallelism: each takes a
-        // contiguous run of slots, so extra threads never inflate the
-        // live working set (N concurrent episode sims) past what the
-        // CPUs can actually overlap.
+        // order), or serially for the reference route.
         let slots: Vec<_> = placement.shards().iter().zip(ft.shard_tables()).collect();
-        let workers = if parallel {
-            std::thread::available_parallelism()
-                .map(std::num::NonZero::get)
-                .unwrap_or(1)
-                .min(slots.len())
-        } else {
-            1
-        };
-        let per_shard: Vec<Vec<QueryOutcome>> = if workers > 1 {
-            let chunk = slots.len().div_ceil(workers);
-            std::thread::scope(|s| {
-                let handles: Vec<_> = slots
-                    .chunks(chunk)
-                    .map(|group| {
-                        let run_slot = &run_slot;
-                        s.spawn(move || {
-                            group
-                                .iter()
-                                .map(|(nodes, replicas)| run_slot(nodes, replicas))
-                                .collect::<Result<Vec<_>, FvError>>()
-                        })
-                    })
-                    .collect();
-                let mut all = Vec::with_capacity(slots.len());
-                for h in handles {
-                    all.extend(h.join().expect("shard scatter worker panicked")?);
-                }
-                Ok::<_, FvError>(all)
-            })?
-        } else {
-            slots
-                .iter()
-                .map(|(nodes, replicas)| run_slot(nodes, replicas))
-                .collect::<Result<Vec<_>, _>>()?
-        };
+        let per_shard: Vec<Vec<QueryOutcome>> =
+            scatter_slots(&slots, parallel, |(nodes, replicas)| {
+                run_slot(nodes, replicas)
+            })?;
 
         // Gather: merge query `i`'s per-shard outcomes client-side,
         // reading the shard payloads in place.
@@ -1212,6 +1219,75 @@ impl Executor {
     ) -> Result<FleetQueryOutcome, FvError> {
         let spec = plan.optimize(ft.schema())?.to_spec()?;
         Ok(Self::fleet(fqp, ft, std::slice::from_ref(&spec))?.remove(0))
+    }
+}
+
+/// Does the challenger replica's response beat the incumbent's in the
+/// replica race? Latency decides; a latency *tie* is broken by the
+/// smaller raw [`NodeId`](crate::topology::NodeId), so the race winner
+/// — and with it every cost report — is reproducible no matter which
+/// order the replicas were visited in.
+pub fn replica_beats(
+    challenger: (crate::topology::NodeId, SimDuration),
+    incumbent: (crate::topology::NodeId, SimDuration),
+) -> bool {
+    challenger.1 < incumbent.1 || (challenger.1 == incumbent.1 && challenger.0 .0 < incumbent.0 .0)
+}
+
+/// Run `run` over every slot — concurrently when `parallel` (workers
+/// capped at the host's available parallelism, each owning a contiguous
+/// run of slots so extra threads never inflate the live working set) —
+/// and join the results **in slot order**, so the output is
+/// byte-identical to the serial route.
+///
+/// A worker that panics is contained at the scatter boundary: the slot
+/// reports [`FvError::ScatterWorkerPanicked`] instead of poisoning the
+/// calling thread, so one bad shard episode cannot take down a client
+/// mid-fleet-read.
+fn scatter_slots<T, R>(
+    slots: &[T],
+    parallel: bool,
+    run: impl Fn(&T) -> Result<R, FvError> + Sync,
+) -> Result<Vec<R>, FvError>
+where
+    T: Sync,
+    R: Send,
+{
+    let guarded = |slot: &T| -> Result<R, FvError> {
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| run(slot)))
+            .unwrap_or(Err(FvError::ScatterWorkerPanicked))
+    };
+    let workers = if parallel {
+        std::thread::available_parallelism()
+            .map(std::num::NonZero::get)
+            .unwrap_or(1)
+            .min(slots.len())
+    } else {
+        1
+    };
+    if workers > 1 {
+        let chunk = slots.len().div_ceil(workers);
+        std::thread::scope(|s| {
+            let handles: Vec<_> = slots
+                .chunks(chunk)
+                .map(|group| {
+                    let guarded = &guarded;
+                    s.spawn(move || {
+                        group
+                            .iter()
+                            .map(guarded)
+                            .collect::<Result<Vec<_>, FvError>>()
+                    })
+                })
+                .collect();
+            let mut all = Vec::with_capacity(slots.len());
+            for h in handles {
+                all.extend(h.join().map_err(|_| FvError::ScatterWorkerPanicked)??);
+            }
+            Ok(all)
+        })
+    } else {
+        slots.iter().map(guarded).collect()
     }
 }
 
@@ -1546,5 +1622,50 @@ mod tests {
         assert_eq!(batch.len(), 2);
         assert_eq!(batch[0].payload, via_spec.payload);
         assert_eq!(batch[1].payload, via_spec.payload);
+    }
+
+    #[test]
+    fn scatter_worker_panic_is_a_typed_error() {
+        // Regression for the converted `join().expect("shard scatter
+        // worker panicked")`: a panicking slot must surface
+        // `ScatterWorkerPanicked` from both the parallel and the serial
+        // scatter, never poison the calling thread.
+        let slots: Vec<usize> = (0..8).collect();
+        for parallel in [true, false] {
+            let result = scatter_slots(&slots, parallel, |&slot| {
+                if slot == 5 {
+                    panic!("poisoned shard episode");
+                }
+                Ok(slot * 2)
+            });
+            assert_eq!(
+                result,
+                Err(FvError::ScatterWorkerPanicked),
+                "parallel={parallel}"
+            );
+            // And without the panic the scatter joins in slot order.
+            let ok = scatter_slots(&slots, parallel, |&slot| Ok(slot * 2)).unwrap();
+            assert_eq!(ok, vec![0, 2, 4, 6, 8, 10, 12, 14]);
+        }
+    }
+
+    #[test]
+    fn replica_race_ties_break_by_node_id() {
+        use crate::topology::NodeId;
+        let t = SimDuration::from_micros(10);
+        // Strictly faster wins regardless of id.
+        assert!(replica_beats(
+            (NodeId(9), SimDuration::from_micros(5)),
+            (NodeId(1), t)
+        ));
+        assert!(!replica_beats(
+            (NodeId(1), t),
+            (NodeId(9), SimDuration::from_micros(5))
+        ));
+        // A tie goes to the smaller raw node id, from either side.
+        assert!(replica_beats((NodeId(1), t), (NodeId(2), t)));
+        assert!(!replica_beats((NodeId(2), t), (NodeId(1), t)));
+        // Equal id + equal latency: the incumbent keeps the win.
+        assert!(!replica_beats((NodeId(3), t), (NodeId(3), t)));
     }
 }

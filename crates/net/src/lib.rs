@@ -25,11 +25,13 @@
 #![warn(rust_2018_idioms)]
 
 mod arbiter;
+mod fault;
 mod link;
 mod packet;
 mod qp;
 
 pub use arbiter::EgressArbiter;
+pub use fault::{FaultInjector, FaultPlan};
 pub use link::{LinkTiming, NicKind};
 pub use packet::{Packet, PacketKind, QpId, Verb};
 pub use qp::{CreditGate, DoorbellBatch, NetError, QueuePair, Reassembly};

@@ -16,6 +16,10 @@ use fv_sim::calib::{
 };
 use fv_sim::{BandwidthServer, SimDuration, SimTime};
 
+use crate::fault::{FaultInjector, FaultPlan};
+use crate::packet::QpId;
+use crate::qp::NetError;
+
 /// Which NIC serves the remote side of a link.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum NicKind {
@@ -69,22 +73,36 @@ impl NicKind {
     }
 }
 
-/// The serialized wire (egress direction) of one link, plus propagation.
+/// The serialized wire (egress direction) of one link, plus propagation
+/// and an optional deterministic fault injector.
 #[derive(Debug, Clone)]
 pub struct LinkTiming {
     kind: NicKind,
     wire: BandwidthServer,
     one_way: SimDuration,
+    faults: Option<FaultInjector>,
 }
 
 impl LinkTiming {
-    /// A link served by the given NIC kind.
+    /// A healthy link served by the given NIC kind.
     pub fn new(kind: NicKind) -> Self {
         LinkTiming {
             kind,
             wire: BandwidthServer::new(kind.peak_rate(), kind.per_packet()),
             one_way: WIRE_ONE_WAY,
+            faults: None,
         }
+    }
+
+    /// A link degraded per `plan`. A benign plan builds a healthy link
+    /// with no injector at all, so the fault path costs nothing when
+    /// chaos is off.
+    pub fn with_faults(kind: NicKind, plan: FaultPlan) -> Self {
+        let mut link = LinkTiming::new(kind);
+        if !plan.is_benign() {
+            link.faults = Some(FaultInjector::new(kind, plan));
+        }
+        link
     }
 
     /// The NIC personality.
@@ -97,11 +115,77 @@ impl LinkTiming {
         self.one_way
     }
 
+    /// The fault injector, when this link is degraded.
+    pub fn faults(&self) -> Option<&FaultInjector> {
+        self.faults.as_ref()
+    }
+
     /// Admit one packet of `wire_bytes` for transmission at `now`;
     /// returns the instant its last bit arrives at the far end
     /// (serialization queueing + propagation).
+    ///
+    /// # Panics
+    /// Panics if the link is degraded and the injector faults this
+    /// packet — callers on a path that can see injected faults must use
+    /// [`LinkTiming::try_transmit`] instead.
     pub fn transmit(&mut self, now: SimTime, wire_bytes: u64) -> SimTime {
-        self.wire.admit(now, wire_bytes) + self.one_way
+        self.try_transmit(0, now, wire_bytes)
+            .expect("fault injected on a link driven through the infallible transmit path")
+    }
+
+    /// Fault-aware transmission for `qp`'s packet of `wire_bytes`.
+    ///
+    /// On a healthy link this is exactly [`LinkTiming::transmit`]. On a
+    /// degraded link the injector decides, deterministically from the
+    /// plan's seed:
+    ///
+    /// * **partition** — fail immediately with
+    ///   [`NetError::LinkPartitioned`]; nothing occupies the wire.
+    /// * **loss** — each lost attempt still occupies the wire (the bits
+    ///   were sent) and adds exponential backoff before the retry; the
+    ///   retry budget running out is [`NetError::RetriesExhausted`].
+    /// * **bandwidth cap** — arrival is delayed to when a capped-rate
+    ///   server would have drained the packet.
+    /// * **delay spike** — a flat extra delay on unlucky packets.
+    pub fn try_transmit(
+        &mut self,
+        qp: QpId,
+        now: SimTime,
+        wire_bytes: u64,
+    ) -> Result<SimTime, NetError> {
+        let Some(inj) = &mut self.faults else {
+            return Ok(self.wire.admit(now, wire_bytes) + self.one_way);
+        };
+        if inj.plan().partitioned {
+            return Err(NetError::LinkPartitioned { qp });
+        }
+        // Retry loop: every attempt (lost or not) serializes onto the
+        // wire; lost attempts push the next try out by the backoff.
+        let max_retries = inj.plan().max_retries;
+        let mut attempt_start = now;
+        let mut attempts = 0u32;
+        let sent_at = loop {
+            attempts += 1;
+            let drained = self.wire.admit(attempt_start, wire_bytes);
+            if !inj.lost() {
+                break drained;
+            }
+            if attempts > max_retries {
+                inj.record_exhausted();
+                return Err(NetError::RetriesExhausted { qp, attempts });
+            }
+            attempt_start = drained + inj.backoff(attempts);
+        };
+        let mut arrival = sent_at + self.one_way;
+        if let Some(cap) = inj.cap_mut() {
+            // The capped spine drains the packet no earlier than the
+            // degraded rate allows.
+            arrival = arrival.max(cap.admit(now, wire_bytes) + self.one_way);
+        }
+        if inj.spiked() {
+            arrival += inj.plan().delay_spike;
+        }
+        Ok(arrival)
     }
 
     /// Bytes pushed through the wire so far.
@@ -109,9 +193,13 @@ impl LinkTiming {
         self.wire.bytes_served()
     }
 
-    /// Reset for a fresh episode.
+    /// Reset for a fresh episode; a degraded link replays its fault
+    /// plan from the seed.
     pub fn reset(&mut self) {
         self.wire.reset();
+        if let Some(inj) = &mut self.faults {
+            inj.reset();
+        }
     }
 }
 
@@ -158,5 +246,116 @@ mod tests {
         assert!(link.bytes_transmitted() > 0);
         link.reset();
         assert_eq!(link.bytes_transmitted(), 0);
+    }
+
+    #[test]
+    fn benign_plan_is_a_healthy_link() {
+        let mut faulted = LinkTiming::with_faults(NicKind::FarviewFpga, FaultPlan::default());
+        assert!(
+            faulted.faults().is_none(),
+            "benign plan installs no injector"
+        );
+        let mut healthy = LinkTiming::new(NicKind::FarviewFpga);
+        for i in 0..8 {
+            let t = SimTime::from_nanos(i * 100);
+            assert_eq!(
+                faulted.try_transmit(0, t, PACKET_BYTES).unwrap(),
+                healthy.transmit(t, PACKET_BYTES)
+            );
+        }
+    }
+
+    #[test]
+    fn partition_is_an_immediate_typed_error() {
+        let mut link =
+            LinkTiming::with_faults(NicKind::FarviewFpga, FaultPlan::default().partitioned());
+        assert_eq!(
+            link.try_transmit(3, SimTime::ZERO, PACKET_BYTES),
+            Err(NetError::LinkPartitioned { qp: 3 })
+        );
+        assert_eq!(link.bytes_transmitted(), 0, "nothing occupies the wire");
+    }
+
+    #[test]
+    fn loss_costs_latency_never_bytes() {
+        let plan = FaultPlan::default().with_seed(7).with_loss_retries(0.4, 16);
+        let mut lossy = LinkTiming::with_faults(NicKind::FarviewFpga, plan);
+        let mut clean = LinkTiming::new(NicKind::FarviewFpga);
+        let mut slower = false;
+        for i in 0..32 {
+            let t = SimTime::from_nanos(i * 10_000);
+            let a = lossy.try_transmit(0, t, PACKET_BYTES).unwrap();
+            let b = clean.transmit(t, PACKET_BYTES);
+            assert!(a >= b, "retries can only delay arrival");
+            slower |= a > b;
+        }
+        assert!(slower, "40% loss over 32 packets must retry at least once");
+        assert!(lossy.faults().unwrap().retries() > 0);
+    }
+
+    #[test]
+    fn retry_budget_exhaustion_is_typed() {
+        // High loss and a tiny budget: some packet must exhaust retries.
+        let plan = FaultPlan::default().with_seed(11).with_loss_retries(0.9, 1);
+        let mut link = LinkTiming::with_faults(NicKind::FarviewFpga, plan);
+        let mut saw_exhaustion = false;
+        for i in 0..64 {
+            match link.try_transmit(5, SimTime::from_nanos(i * 1000), PACKET_BYTES) {
+                Ok(_) => {}
+                Err(NetError::RetriesExhausted { qp: 5, attempts }) => {
+                    assert_eq!(attempts, 2, "1 original + 1 retry");
+                    saw_exhaustion = true;
+                }
+                Err(e) => panic!("unexpected error {e}"),
+            }
+        }
+        assert!(saw_exhaustion);
+        assert!(link.faults().unwrap().exhausted() > 0);
+    }
+
+    #[test]
+    fn bandwidth_cap_slows_back_to_back_packets() {
+        let plan = FaultPlan::default().with_bandwidth_cap(0.1);
+        let mut capped = LinkTiming::with_faults(NicKind::FarviewFpga, plan);
+        let mut clean = LinkTiming::new(NicKind::FarviewFpga);
+        let mut last_capped = SimTime::ZERO;
+        let mut last_clean = SimTime::ZERO;
+        for _ in 0..16 {
+            last_capped = capped.try_transmit(0, SimTime::ZERO, PACKET_BYTES).unwrap();
+            last_clean = clean.transmit(SimTime::ZERO, PACKET_BYTES);
+        }
+        assert!(
+            last_capped > last_clean,
+            "a 10% cap must drain a 16-packet burst later than the native rate"
+        );
+    }
+
+    #[test]
+    fn delay_spikes_replay_deterministically() {
+        let plan = FaultPlan::default()
+            .with_seed(3)
+            .with_delay_spikes(0.5, SimDuration::from_micros(10));
+        let mut a = LinkTiming::with_faults(NicKind::FarviewFpga, plan.clone());
+        let arrivals: Vec<SimTime> = (0..16)
+            .map(|i| {
+                a.try_transmit(0, SimTime::from_nanos(i * 50_000), PACKET_BYTES)
+                    .unwrap()
+            })
+            .collect();
+        a.reset();
+        let replay: Vec<SimTime> = (0..16)
+            .map(|i| {
+                a.try_transmit(0, SimTime::from_nanos(i * 50_000), PACKET_BYTES)
+                    .unwrap()
+            })
+            .collect();
+        assert_eq!(
+            arrivals, replay,
+            "reset replays the identical spike pattern"
+        );
+        assert!(
+            a.faults().unwrap().spikes() > 0,
+            "p=0.5 over 16 packets hits"
+        );
     }
 }

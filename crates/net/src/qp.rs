@@ -37,6 +37,30 @@ pub enum NetError {
         /// The unbound queue pair / stream id.
         qp: QpId,
     },
+    /// The link is fully partitioned: nothing gets through, transmission
+    /// fails immediately instead of hanging.
+    LinkPartitioned {
+        /// The queue pair whose transmission hit the partition.
+        qp: QpId,
+    },
+    /// A lossy link dropped the same packet more times than the retry
+    /// budget allows.
+    RetriesExhausted {
+        /// The queue pair.
+        qp: QpId,
+        /// Transmission attempts made (1 original + retries).
+        attempts: u32,
+    },
+    /// A doorbell batch was truncated in flight: the NIC fetched fewer
+    /// WQEs than the client posted.
+    TruncatedBatch {
+        /// The queue pair whose WQE was never fetched.
+        qp: QpId,
+        /// WQEs the client posted.
+        posted: u32,
+        /// WQEs the NIC actually fetched.
+        fetched: u32,
+    },
 }
 
 impl fmt::Display for NetError {
@@ -49,6 +73,22 @@ impl fmt::Display for NetError {
             }
             NetError::UnboundQp { qp } => {
                 write!(f, "qp {qp} is not bound to any egress slot")
+            }
+            NetError::LinkPartitioned { qp } => {
+                write!(f, "qp {qp}: link partitioned, nothing gets through")
+            }
+            NetError::RetriesExhausted { qp, attempts } => {
+                write!(f, "qp {qp}: packet lost after {attempts} attempts")
+            }
+            NetError::TruncatedBatch {
+                qp,
+                posted,
+                fetched,
+            } => {
+                write!(
+                    f,
+                    "qp {qp}: doorbell batch truncated ({fetched} of {posted} WQEs fetched)"
+                )
             }
         }
     }
@@ -124,6 +164,7 @@ impl CreditGate {
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct DoorbellBatch {
     wqes: u32,
+    fetched: u32,
 }
 
 impl DoorbellBatch {
@@ -134,12 +175,37 @@ impl DoorbellBatch {
     /// is a client bug.
     pub fn new(wqes: u32) -> Self {
         assert!(wqes > 0, "a doorbell batch needs at least one WQE");
-        DoorbellBatch { wqes }
+        DoorbellBatch {
+            wqes,
+            fetched: wqes,
+        }
+    }
+
+    /// A batch the NIC truncated in flight: `wqes` posted, but only the
+    /// first `fetched` actually left the send queue. WQEs past the
+    /// truncation point surface [`NetError::TruncatedBatch`] from
+    /// [`DoorbellBatch::try_issue_offset`] instead of an issue time.
+    ///
+    /// # Panics
+    /// Panics if `fetched` is zero or exceeds `wqes`.
+    pub fn truncated(wqes: u32, fetched: u32) -> Self {
+        assert!(wqes > 0, "a doorbell batch needs at least one WQE");
+        assert!(
+            fetched > 0 && fetched <= wqes,
+            "truncation must fetch between 1 and {wqes} WQEs, got {fetched}"
+        );
+        DoorbellBatch { wqes, fetched }
     }
 
     /// Number of WQEs in the batch (the queue depth).
     pub fn wqes(&self) -> u32 {
         self.wqes
+    }
+
+    /// WQEs the NIC actually fetched (equals [`DoorbellBatch::wqes`]
+    /// unless the batch was truncated).
+    pub fn fetched(&self) -> u32 {
+        self.fetched
     }
 
     /// Client-side instant (relative to the post) at which WQE `i`
@@ -151,6 +217,25 @@ impl DoorbellBatch {
     pub fn issue_offset(&self, i: u32) -> fv_sim::SimDuration {
         assert!(i < self.wqes, "WQE {i} outside batch of {}", self.wqes);
         fv_sim::calib::CLIENT_POST + fv_sim::calib::DOORBELL_WQE * u64::from(i)
+    }
+
+    /// Like [`DoorbellBatch::issue_offset`], but WQEs past a truncation
+    /// point return a typed [`NetError::TruncatedBatch`] instead of an
+    /// issue time — the fault-aware entry point for degraded links.
+    ///
+    /// # Panics
+    /// Still panics if `i` is outside the posted batch: asking for a
+    /// WQE that was never posted is a client bug, not a network fault.
+    pub fn try_issue_offset(&self, qp: QpId, i: u32) -> Result<fv_sim::SimDuration, NetError> {
+        assert!(i < self.wqes, "WQE {i} outside batch of {}", self.wqes);
+        if i >= self.fetched {
+            return Err(NetError::TruncatedBatch {
+                qp,
+                posted: self.wqes,
+                fetched: self.fetched,
+            });
+        }
+        Ok(self.issue_offset(i))
     }
 
     /// Posting time saved versus ringing one doorbell per verb.
@@ -389,6 +474,36 @@ mod tests {
             DoorbellBatch::new(1).amortized_saving(),
             fv_sim::SimDuration::ZERO
         );
+    }
+
+    #[test]
+    fn truncated_batch_surfaces_typed_error() {
+        let b = DoorbellBatch::truncated(4, 2);
+        assert_eq!(b.wqes(), 4);
+        assert_eq!(b.fetched(), 2);
+        // Fetched WQEs issue normally, at the untruncated offsets.
+        assert_eq!(b.try_issue_offset(9, 0).unwrap(), b.issue_offset(0));
+        assert_eq!(b.try_issue_offset(9, 1).unwrap(), b.issue_offset(1));
+        // Posted-but-unfetched WQEs are a typed error, not a panic.
+        assert_eq!(
+            b.try_issue_offset(9, 2),
+            Err(NetError::TruncatedBatch {
+                qp: 9,
+                posted: 4,
+                fetched: 2
+            })
+        );
+        // An untruncated batch never errors.
+        let full = DoorbellBatch::new(3);
+        for i in 0..3 {
+            assert!(full.try_issue_offset(1, i).is_ok());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "outside batch")]
+    fn try_issue_offset_still_rejects_unposted_wqes() {
+        let _ = DoorbellBatch::truncated(4, 2).try_issue_offset(0, 4);
     }
 
     #[test]

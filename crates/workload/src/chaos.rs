@@ -1,0 +1,413 @@
+//! Chaos scenario generator: faults composed with membership churn.
+//!
+//! [`ChurnScenarioGen`](crate::ChurnScenarioGen) exercises the fleet's
+//! membership machinery with a *clean* network — nodes join, drain and
+//! die tidily between query bursts. This module generalizes it: a
+//! [`ChaosScenario`] interleaves query bursts with membership events
+//! **and** link degradations — packet loss, delay spikes, bandwidth
+//! caps, full partitions, truncated doorbell batches — each described
+//! by an engine-independent [`FaultSpec`] the driver lowers onto a
+//! `FarviewFleet`'s fault hooks (`degrade_node` / `heal_node`).
+//!
+//! Like the churn generator, everything here is deterministic plain
+//! data: the same seed builds the same schedule, and the fault seeds
+//! embedded in the specs make the *link-level* behaviour replayable
+//! too. The replay driver and the byte-identity oracle live in
+//! `tests/chaos_props.rs`.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::churn::{ChurnEvent, ChurnScenario};
+use crate::TenantQuery;
+
+/// One link-degradation class, in engine-independent units (integer
+/// percentages so specs stay `Eq`-comparable and hashable). The bench
+/// crate lowers a spec onto an `fv_net::FaultPlan`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultSpec {
+    /// Per-packet loss of `loss_pct` percent with a bounded retry
+    /// budget: survivable loss costs latency only; exhaustion is a
+    /// typed network error.
+    Loss {
+        /// Loss probability in percent, `0..100`.
+        loss_pct: u8,
+        /// Retry budget per packet.
+        max_retries: u32,
+    },
+    /// Delay spikes: `spike_pct` percent of packets pick up an extra
+    /// `spike_us` microseconds.
+    DelaySpikes {
+        /// Spike probability in percent, `0..=100`.
+        spike_pct: u8,
+        /// Spike size in microseconds.
+        spike_us: u32,
+    },
+    /// Cap the link to `cap_pct` percent of its native peak rate.
+    BandwidthCap {
+        /// Remaining bandwidth in percent, `1..=100`.
+        cap_pct: u8,
+    },
+    /// Full partition: nothing gets through; queries against the node
+    /// fail typed (or fall back to a surviving replica).
+    Partition,
+    /// Doorbell batches truncated to their first `deliver` WQEs.
+    TruncateDoorbell {
+        /// WQEs the NIC fetches per batch.
+        deliver: u32,
+    },
+}
+
+impl FaultSpec {
+    /// Can a query against an *unreplicated* shard on the degraded node
+    /// still succeed under this fault? Partitions and truncations
+    /// always fail typed; the latency-only classes succeed.
+    pub fn survivable_unreplicated(&self) -> bool {
+        match self {
+            FaultSpec::Loss { .. }
+            | FaultSpec::DelaySpikes { .. }
+            | FaultSpec::BandwidthCap { .. } => true,
+            FaultSpec::Partition | FaultSpec::TruncateDoorbell { .. } => false,
+        }
+    }
+
+    /// Short stable name for reports and figures.
+    pub fn class_name(&self) -> &'static str {
+        match self {
+            FaultSpec::Loss { .. } => "loss",
+            FaultSpec::DelaySpikes { .. } => "delay_spike",
+            FaultSpec::BandwidthCap { .. } => "bandwidth_cap",
+            FaultSpec::Partition => "partition",
+            FaultSpec::TruncateDoorbell { .. } => "truncated_doorbell",
+        }
+    }
+
+    /// The default instance of each fault class, the matrix the
+    /// generator composes from.
+    pub fn all_classes() -> Vec<FaultSpec> {
+        vec![
+            FaultSpec::Loss {
+                loss_pct: 20,
+                max_retries: 32,
+            },
+            FaultSpec::DelaySpikes {
+                spike_pct: 50,
+                spike_us: 20,
+            },
+            FaultSpec::BandwidthCap { cap_pct: 25 },
+            FaultSpec::Partition,
+            FaultSpec::TruncateDoorbell { deliver: 1 },
+        ]
+    }
+}
+
+/// One step of a chaos schedule.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ChaosEvent {
+    /// A burst of queries issued against the current topology.
+    Queries(Vec<TenantQuery>),
+    /// Bring up one more node (the driver should rebalance afterwards).
+    AddNode,
+    /// Gracefully drain the `i`-th live node, then rebalance off it.
+    DrainNode(usize),
+    /// Abruptly kill the `i`-th live node — only survivable when the
+    /// schedule's tables are replicated.
+    KillNode(usize),
+    /// Degrade the `i`-th live node's link per the spec. The very next
+    /// query burst runs against the degraded fleet.
+    Degrade(usize, FaultSpec),
+    /// Heal the `i`-th live node's link back to native behaviour.
+    Heal(usize),
+}
+
+/// A deterministic schedule of query bursts, membership churn and link
+/// degradations.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChaosScenario {
+    /// Nodes the fleet starts with.
+    pub initial_nodes: usize,
+    /// Replication factor the driver should load tables with: 2
+    /// whenever the schedule contains kills or non-survivable faults
+    /// (partitions, truncations), else 1.
+    pub replicas: usize,
+    /// Events in issue order.
+    pub events: Vec<ChaosEvent>,
+}
+
+impl ChaosScenario {
+    /// Total queries across all bursts.
+    pub fn query_count(&self) -> usize {
+        self.events
+            .iter()
+            .map(|e| match e {
+                ChaosEvent::Queries(qs) => qs.len(),
+                _ => 0,
+            })
+            .sum()
+    }
+
+    /// Membership events (everything that bumps the epoch).
+    pub fn membership_events(&self) -> usize {
+        self.events
+            .iter()
+            .filter(|e| {
+                matches!(
+                    e,
+                    ChaosEvent::AddNode | ChaosEvent::DrainNode(_) | ChaosEvent::KillNode(_)
+                )
+            })
+            .count()
+    }
+
+    /// Link-degradation events (degrades; heals are their bookends).
+    pub fn fault_events(&self) -> usize {
+        self.events
+            .iter()
+            .filter(|e| matches!(e, ChaosEvent::Degrade(..)))
+            .count()
+    }
+}
+
+impl From<ChurnScenario> for ChaosScenario {
+    /// Every churn schedule is a chaos schedule with zero faults.
+    fn from(churn: ChurnScenario) -> Self {
+        ChaosScenario {
+            initial_nodes: churn.initial_nodes,
+            replicas: churn.replicas,
+            events: churn
+                .events
+                .into_iter()
+                .map(|e| match e {
+                    ChurnEvent::Queries(qs) => ChaosEvent::Queries(qs),
+                    ChurnEvent::AddNode => ChaosEvent::AddNode,
+                    ChurnEvent::DrainNode(i) => ChaosEvent::DrainNode(i),
+                    ChurnEvent::KillNode(i) => ChaosEvent::KillNode(i),
+                })
+                .collect(),
+        }
+    }
+}
+
+/// Generator for [`ChaosScenario`]s: `phases` query bursts, each
+/// optionally bracketed by a `Degrade`/`Heal` pair on a random node,
+/// separated by optional membership events.
+///
+/// Faults are always healed before the next membership event fires, so
+/// rebalances run against a clean network and the schedule replays
+/// deterministically — the *mid-rebalance* fault scenarios are driven
+/// explicitly by the property tests instead, where the assertion can
+/// distinguish "rolled back typed" from "completed".
+#[derive(Debug, Clone)]
+pub struct ChaosScenarioGen {
+    initial_nodes: usize,
+    phases: usize,
+    queries_per_phase: usize,
+    membership: bool,
+    faults: Vec<FaultSpec>,
+    seed: u64,
+}
+
+impl ChaosScenarioGen {
+    /// `phases` query bursts on a fleet starting at `initial_nodes`.
+    pub fn new(initial_nodes: usize, phases: usize) -> Self {
+        assert!(initial_nodes > 0, "need at least one starting node");
+        assert!(phases > 0, "need at least one query phase");
+        ChaosScenarioGen {
+            initial_nodes,
+            phases,
+            queries_per_phase: 8,
+            membership: false,
+            faults: Vec::new(),
+            seed: 0x00C4_A05C_4A05,
+        }
+    }
+
+    /// Queries per burst (default 8).
+    pub fn queries_per_phase(mut self, n: usize) -> Self {
+        assert!(n > 0, "bursts cannot be empty");
+        self.queries_per_phase = n;
+        self
+    }
+
+    /// Mix membership events (adds, drains, kills) between bursts.
+    pub fn with_membership(mut self) -> Self {
+        self.membership = true;
+        self
+    }
+
+    /// Add one fault class to the injection mix.
+    pub fn with_fault(mut self, spec: FaultSpec) -> Self {
+        self.faults.push(spec);
+        self
+    }
+
+    /// Inject every fault class ([`FaultSpec::all_classes`]).
+    pub fn with_all_faults(mut self) -> Self {
+        self.faults.extend(FaultSpec::all_classes());
+        self
+    }
+
+    /// Fix the RNG seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Build the schedule. Each phase degrades one random node with one
+    /// of the enabled fault classes (probability ½), runs its burst,
+    /// heals the node, and — when membership is enabled — fires one
+    /// membership event before the next phase, never shrinking the
+    /// serving roster below two nodes.
+    pub fn build(&self) -> ChaosScenario {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut events = Vec::new();
+        let mut nodes = self.initial_nodes;
+        let needs_replicas =
+            self.membership || self.faults.iter().any(|f| !f.survivable_unreplicated());
+        for phase in 0..self.phases {
+            let degraded = if !self.faults.is_empty() && rng.gen_bool(0.5) {
+                let victim = rng.gen_range(0..nodes);
+                let spec = self.faults[rng.gen_range(0..self.faults.len())];
+                // Reseed loss/spike draws per phase so two phases with
+                // the same class still see different packets fault.
+                events.push(ChaosEvent::Degrade(victim, spec));
+                Some(victim)
+            } else {
+                None
+            };
+            events.push(ChaosEvent::Queries(
+                (0..self.queries_per_phase)
+                    .map(|_| match rng.gen_range(0u32..4) {
+                        0 => TenantQuery::Select {
+                            selectivity: [0.25, 0.5, 0.75][rng.gen_range(0usize..3)],
+                        },
+                        1 => TenantQuery::Distinct,
+                        2 => TenantQuery::GroupBySum,
+                        _ => TenantQuery::GroupByAvg,
+                    })
+                    .collect(),
+            ));
+            if let Some(victim) = degraded {
+                events.push(ChaosEvent::Heal(victim));
+            }
+            if phase + 1 == self.phases || !self.membership {
+                continue;
+            }
+            let can_shrink = nodes > 2;
+            let event = match rng.gen_range(0u32..4) {
+                2 if can_shrink => ChaosEvent::DrainNode(rng.gen_range(0..nodes)),
+                3 if can_shrink => ChaosEvent::KillNode(rng.gen_range(0..nodes)),
+                _ => ChaosEvent::AddNode,
+            };
+            match event {
+                ChaosEvent::AddNode => nodes += 1,
+                ChaosEvent::DrainNode(_) | ChaosEvent::KillNode(_) => nodes -= 1,
+                _ => unreachable!(),
+            }
+            events.push(event);
+        }
+        ChaosScenario {
+            initial_nodes: self.initial_nodes,
+            replicas: if needs_replicas { 2 } else { 1 },
+            events,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ChurnScenarioGen;
+
+    #[test]
+    fn deterministic_and_shaped() {
+        let a = ChaosScenarioGen::new(3, 6)
+            .queries_per_phase(4)
+            .with_all_faults()
+            .seed(11)
+            .build();
+        let b = ChaosScenarioGen::new(3, 6)
+            .queries_per_phase(4)
+            .with_all_faults()
+            .seed(11)
+            .build();
+        assert_eq!(a, b);
+        assert_eq!(a.query_count(), 24);
+        assert!(a.fault_events() > 0, "six phases at p=1/2 degrade some");
+        let c = ChaosScenarioGen::new(3, 6)
+            .queries_per_phase(4)
+            .with_all_faults()
+            .seed(12)
+            .build();
+        assert_ne!(a, c, "seed must matter");
+    }
+
+    #[test]
+    fn degrades_are_always_healed_and_indexed_in_roster() {
+        let s = ChaosScenarioGen::new(2, 16)
+            .with_all_faults()
+            .with_membership()
+            .seed(5)
+            .build();
+        assert_eq!(s.replicas, 2, "non-survivable faults force replication");
+        let mut nodes = s.initial_nodes;
+        let mut degraded: Option<usize> = None;
+        for e in &s.events {
+            match e {
+                ChaosEvent::Degrade(i, _) => {
+                    assert!(degraded.is_none(), "one degradation at a time");
+                    assert!(*i < nodes, "victim indexes the live roster");
+                    degraded = Some(*i);
+                }
+                ChaosEvent::Heal(i) => {
+                    assert_eq!(degraded.take(), Some(*i), "heal bookends its degrade");
+                }
+                ChaosEvent::AddNode => {
+                    assert!(degraded.is_none(), "membership only on a healed fleet");
+                    nodes += 1;
+                }
+                ChaosEvent::DrainNode(i) | ChaosEvent::KillNode(i) => {
+                    assert!(degraded.is_none(), "membership only on a healed fleet");
+                    assert!(*i < nodes);
+                    nodes -= 1;
+                    assert!(nodes >= 2, "roster floor holds");
+                }
+                ChaosEvent::Queries(qs) => assert!(!qs.is_empty()),
+            }
+        }
+        assert!(degraded.is_none(), "every degrade is healed by the end");
+    }
+
+    #[test]
+    fn latency_only_faults_do_not_force_replication() {
+        let s = ChaosScenarioGen::new(2, 4)
+            .with_fault(FaultSpec::Loss {
+                loss_pct: 10,
+                max_retries: 16,
+            })
+            .with_fault(FaultSpec::DelaySpikes {
+                spike_pct: 30,
+                spike_us: 10,
+            })
+            .with_fault(FaultSpec::BandwidthCap { cap_pct: 50 })
+            .seed(9)
+            .build();
+        assert_eq!(s.replicas, 1, "latency-only chaos runs unreplicated");
+        assert!(s.membership_events() == 0);
+    }
+
+    #[test]
+    fn churn_schedules_lift_into_chaos() {
+        let churn = ChurnScenarioGen::new(2, 5)
+            .with_drains()
+            .with_kills()
+            .seed(23)
+            .build();
+        let chaos: ChaosScenario = churn.clone().into();
+        assert_eq!(chaos.initial_nodes, churn.initial_nodes);
+        assert_eq!(chaos.replicas, churn.replicas);
+        assert_eq!(chaos.query_count(), churn.query_count());
+        assert_eq!(chaos.membership_events(), churn.membership_events());
+        assert_eq!(chaos.fault_events(), 0, "churn carries no faults");
+    }
+}

@@ -10,10 +10,12 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod chaos;
 pub mod churn;
 pub mod closed_loop;
 pub mod fleet;
 
+pub use chaos::{ChaosEvent, ChaosScenario, ChaosScenarioGen, FaultSpec};
 pub use churn::{ChurnEvent, ChurnScenario, ChurnScenarioGen};
 pub use closed_loop::{ClosedLoopGen, ClosedLoopPlan};
 pub use fleet::{FleetScenarioGen, TenantQuery, TenantWorkload};

@@ -1,0 +1,72 @@
+//! Chaos harness walkthrough: kill a node mid-rebalance and watch the
+//! epoch flip roll back cleanly while the old handle keeps serving.
+//!
+//! A [`FaultPlan`] attached through `FarviewFleet::degrade_node` fully
+//! partitions the node the rebalancer is about to write new shard
+//! images to. The flip fails with a clean typed error, every new
+//! allocation is rolled back, and the old epoch stays authoritative —
+//! byte-identically. Healing the link lets the retried flip complete.
+//!
+//! ```text
+//! cargo run --example chaos_kill_mid_rebalance
+//! ```
+
+use farview::prelude::*;
+use fv_workload::TableGen;
+
+fn main() {
+    let table = TableGen::paper_default(2 << 20).seed(17).build();
+
+    // Two healthy nodes, one table at r = 1 (the rebalance itself is
+    // the thing under test — replication is not what saves us here).
+    let fleet = FarviewFleet::new(2, FarviewConfig::default());
+    let qp = fleet.connect().expect("a region on every node");
+    let (ft, _) = qp
+        .load_table(&table, Partitioning::RowRange)
+        .expect("buffer pool space");
+    let reference = qp.table_read(&ft).expect("scan").merged;
+    assert_eq!(reference.payload, table.bytes());
+
+    // Grow the roster; the new node is where the flip will write.
+    let target = fleet.add_node();
+    let pages_before = fleet.free_pages();
+
+    // Chaos: fully partition the new node's link *before* the flip.
+    // The seeded plan makes the failure exactly replayable.
+    fleet
+        .degrade_node(target, FaultPlan::none().with_seed(7).partitioned())
+        .expect("target is in the roster");
+    let err = qp.rebalance(&ft).expect_err("the flip cannot finish");
+    println!("mid-rebalance kill of {target}: typed error \"{err}\"");
+
+    // Rolled back, not wedged: no leaked pages, and the old epoch
+    // still answers byte-identically.
+    assert_eq!(fleet.free_pages(), pages_before, "allocations rolled back");
+    let during = qp.table_read(&ft).expect("old-epoch scan").merged;
+    assert_eq!(
+        during.payload, reference.payload,
+        "old handle keeps serving"
+    );
+    println!(
+        "old epoch {} still serves byte-identical results ({})",
+        ft.epoch(),
+        during.stats.response_time,
+    );
+
+    // Heal the link; the retried flip completes and lands the rows on
+    // the (formerly dead) third node.
+    fleet.heal_node(target).expect("heal");
+    let (new_ft, report) = qp.rebalance(&ft).expect("retried flip completes");
+    let after = qp.table_read(&new_ft).expect("new-epoch scan").merged;
+    assert_eq!(after.payload, reference.payload, "flip is invisible");
+    println!(
+        "healed {target}: epoch {} after moving {} rows in {}; scan {}",
+        new_ft.epoch(),
+        report.moved_rows,
+        report.total_time(),
+        after.stats.response_time,
+    );
+
+    qp.free_table(ft).expect("retire the old epoch");
+    qp.free_table(new_ft).expect("free");
+}

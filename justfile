@@ -26,8 +26,8 @@ figures:
     cargo run -q --release -p fv-bench --bin figures all
 
 # Every custom experiment (scaleout/qdepth/plan_ablation/elasticity/
-# hotpath) at its smallest config — the CI gate that keeps the harness
-# from rotting.
+# hotpath/chaos) at its smallest config — the CI gate that keeps the
+# harness from rotting.
 bench-smoke:
     cargo run -q --release -p fv-bench --bin figures smoke
 
@@ -36,6 +36,18 @@ bench-smoke:
 # replica-dedup win over the seed model. Rewrites BENCH_PR5.json.
 bench-hotpath:
     cargo run -q --release -p fv-bench --bin figures hotpath
+
+# Tail latency per fault class under deterministic fault injection.
+# Rewrites BENCH_PR6.json.
+bench-chaos:
+    cargo run -q --release -p fv-bench --bin figures chaos
+
+# The chaos suite over its fixed seed matrix (64 composed schedules +
+# every fault-class property), then one randomized seed — printed so a
+# failure can be replayed with `CHAOS_SEED=<n> just chaos`.
+chaos:
+    cargo test -q --test chaos_props --test topology_props
+    seed=${CHAOS_SEED:-$(date +%s)}; echo "randomized CHAOS_SEED=$seed"; CHAOS_SEED=$seed cargo test -q --test chaos_props chaos_scenario_replays_at_env_seed
 
 # Dump optimizer explain() output for the standard figure queries.
 explain:

@@ -195,7 +195,7 @@ fn churn_schedule_replays_byte_identically() {
         .load_table_replicated(&table, Partitioning::RowRange, scenario.replicas)
         .unwrap();
 
-    let mut rebalance = |ft: &mut FleetTable| {
+    let rebalance = |ft: &mut FleetTable| {
         let (new_ft, _) = qp.rebalance(ft).unwrap();
         let old = std::mem::replace(ft, new_ft);
         qp.free_table(old).unwrap();
@@ -228,6 +228,163 @@ fn churn_schedule_replays_byte_identically() {
                 fleet.remove_node(id).unwrap();
                 // Re-replicate: the rebalance sources from survivors and
                 // restores r copies of every shard on the new roster.
+                rebalance(&mut ft);
+            }
+        }
+    }
+    qp.free_table(ft).unwrap();
+}
+
+/// Zero-row tables ride the whole elastic lifecycle: load, query,
+/// rebalance after a grow, query again — empty shards everywhere, no
+/// panics, empty results.
+#[test]
+fn zero_row_table_survives_load_rebalance_and_query() {
+    let table = TableBuilder::with_capacity(Schema::uniform_u64(3), 0).build();
+    let fleet = FarviewFleet::new(2, FarviewConfig::tiny());
+    let qp = fleet.connect().unwrap();
+    let (ft, _) = qp.load_table(&table, Partitioning::RowRange).unwrap();
+    for payload in run_all(&qp, &ft) {
+        assert!(payload.is_empty(), "zero rows in, zero bytes out");
+    }
+    fleet.add_node();
+    let (new_ft, report) = qp.rebalance(&ft).unwrap();
+    assert_eq!(report.moved_rows, 0, "nothing to move");
+    for payload in run_all(&qp, &new_ft) {
+        assert!(payload.is_empty());
+    }
+    qp.free_table(ft).unwrap();
+    qp.free_table(new_ft).unwrap();
+}
+
+/// With every holder of a shard dead (`r = 1`, sole holder killed), a
+/// rebalance has nowhere to copy from: it must surface
+/// `FvError::NodeDown` — a typed error, not a panic.
+#[test]
+fn rebalance_with_all_source_holders_dead_is_typed_node_down() {
+    let table = TableGen::new(8, 128).seed(31).build();
+    let fleet = FarviewFleet::new(2, FarviewConfig::tiny());
+    let qp = fleet.connect().unwrap();
+    let (ft, _) = qp.load_table(&table, Partitioning::RowRange).unwrap();
+    let victim = fleet.node_ids()[0];
+    fleet.remove_node(victim).unwrap();
+    match qp.rebalance(&ft) {
+        Ok(_) => panic!("a shard with no surviving holder cannot be re-placed"),
+        Err(e) => assert!(
+            matches!(e, FvError::NodeDown { .. }),
+            "want NodeDown, got {e}"
+        ),
+    }
+}
+
+/// Back-to-back rebalances with no query in between: each flip chains
+/// off the previous epoch's handle, and the final epoch is
+/// byte-identical to a fresh fleet built directly at the target size.
+#[test]
+fn back_to_back_rebalances_with_no_query_between() {
+    let table = TableGen::new(8, 256)
+        .seed(37)
+        .distinct_column(0, 16)
+        .build();
+    let fleet = FarviewFleet::new(1, FarviewConfig::tiny());
+    let qp = fleet.connect().unwrap();
+    let (mut ft, _) = qp.load_table(&table, Partitioning::RowRange).unwrap();
+    for _ in 0..3 {
+        fleet.add_node();
+        let (new_ft, _) = qp.rebalance(&ft).unwrap();
+        let old = std::mem::replace(&mut ft, new_ft);
+        qp.free_table(old).unwrap();
+    }
+    assert_eq!(ft.epoch(), 3);
+    let fresh = fresh_fleet_results(4, &table, Partitioning::RowRange);
+    assert_eq!(run_all(&qp, &ft), fresh);
+    qp.free_table(ft).unwrap();
+}
+
+/// Kill interleaved at **every** phase boundary of a churn schedule,
+/// via the chaos fault hooks: at each boundary a rotating victim is
+/// fully partitioned ([`FarviewFleet::degrade_node`]), the query mix
+/// probes the fleet (replica failover must stay byte-identical to the
+/// single-node oracle), the victim heals, and only then does the
+/// membership event proceed.
+#[test]
+fn churn_survives_a_partition_probe_at_every_phase_boundary() {
+    use fv_workload::{ChurnEvent, ChurnScenarioGen, FaultSpec, TableGen};
+
+    let scenario = ChurnScenarioGen::new(2, 8)
+        .queries_per_phase(3)
+        .with_drains()
+        .with_kills()
+        .seed(41)
+        .build();
+    assert_eq!(scenario.replicas, 2, "kill schedules load replicated");
+
+    let table = TableGen::new(8, 512)
+        .seed(43)
+        .distinct_column(0, 16)
+        .selectivity_column(1, 0.5)
+        .sequential_column(2)
+        .build();
+    let single = FarviewCluster::new(FarviewConfig::tiny());
+    let sqp = single.connect().unwrap();
+    let (sft, _) = sqp.load_table(&table).unwrap();
+    let oracle: Vec<Vec<u8>> = specs()
+        .iter()
+        .map(|s| sqp.far_view(&sft, s).unwrap().payload)
+        .collect();
+
+    let fleet = FarviewFleet::new(scenario.initial_nodes, FarviewConfig::tiny());
+    let qp = fleet.connect().unwrap();
+    let (mut ft, _) = qp
+        .load_table_replicated(&table, Partitioning::RowRange, scenario.replicas)
+        .unwrap();
+
+    let rebalance = |ft: &mut FleetTable| {
+        let (new_ft, _) = qp.rebalance(ft).unwrap();
+        let old = std::mem::replace(ft, new_ft);
+        qp.free_table(old).unwrap();
+    };
+    for (boundary, event) in scenario.events.iter().enumerate() {
+        // The boundary probe: partition a rotating victim and demand
+        // byte-exact answers through replica failover.
+        let roster = fleet.node_ids();
+        let victim = roster[boundary % roster.len()];
+        fleet
+            .degrade_node(victim, fv_bench::fault_plan_for(&FaultSpec::Partition, 5))
+            .unwrap();
+        for (i, spec) in specs().iter().enumerate() {
+            let out = qp.far_view(&ft, spec).unwrap_or_else(|e| {
+                panic!("boundary {boundary}: probe under partition failed: {e}")
+            });
+            assert_eq!(
+                out.merged.payload, oracle[i],
+                "boundary {boundary}: partition probe diverged from the oracle"
+            );
+        }
+        fleet.heal_node(victim).unwrap();
+
+        match event {
+            ChurnEvent::Queries(qs) => {
+                for q in qs {
+                    let spec = fv_bench::tenant_query_spec(q);
+                    let out = qp.far_view(&ft, &spec).unwrap();
+                    let reference = sqp.far_view(&sft, &spec).unwrap();
+                    assert_eq!(out.merged.payload, reference.payload);
+                }
+            }
+            ChurnEvent::AddNode => {
+                fleet.add_node();
+                rebalance(&mut ft);
+            }
+            ChurnEvent::DrainNode(i) => {
+                let id = fleet.node_ids()[*i];
+                fleet.drain_node(id).unwrap();
+                rebalance(&mut ft);
+                fleet.remove_node(id).unwrap();
+            }
+            ChurnEvent::KillNode(i) => {
+                let id = fleet.node_ids()[*i];
+                fleet.remove_node(id).unwrap();
                 rebalance(&mut ft);
             }
         }
