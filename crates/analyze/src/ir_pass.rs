@@ -1,0 +1,368 @@
+//! Pass 3: IR verifier smoke corpus.
+//!
+//! Runs a fixed corpus of query plans through `QueryPlan::verify`,
+//! `optimize`, `to_spec` and `CompiledPipeline::compile`, asserting
+//! the static verdicts agree with the dynamic ones; then runs a corpus
+//! of seeded-bad plans that every layer must reject. A disagreement is
+//! a verifier bug and fails the analyze gate.
+
+use farview_core::{FvError, PlanTarget, QueryPlan};
+use fv_data::{Column, ColumnType, Schema, TableBuilder, Value};
+use fv_pipeline::{AggFunc, AggSpec, CompiledPipeline, JoinSmallSpec, PipelineSpec, PredicateExpr};
+
+/// One smoke-corpus failure.
+#[derive(Debug)]
+pub struct IrFailure {
+    /// Corpus entry name.
+    pub case: String,
+    /// What disagreed.
+    pub message: String,
+}
+
+/// The lineitem-flavoured base schema the corpus runs against.
+fn base_schema() -> Schema {
+    Schema::new(vec![
+        Column {
+            name: "a".into(),
+            ty: ColumnType::U64,
+        },
+        Column {
+            name: "b".into(),
+            ty: ColumnType::U64,
+        },
+        Column {
+            name: "c".into(),
+            ty: ColumnType::F64,
+        },
+        Column {
+            name: "d".into(),
+            ty: ColumnType::Bytes(16),
+        },
+        Column {
+            name: "e".into(),
+            ty: ColumnType::I64,
+        },
+    ])
+}
+
+fn build_side() -> JoinSmallSpec {
+    let schema = Schema::new(vec![
+        Column {
+            name: "k".into(),
+            ty: ColumnType::U64,
+        },
+        Column {
+            name: "v".into(),
+            ty: ColumnType::U64,
+        },
+    ]);
+    let mut b = TableBuilder::new(schema);
+    for i in 0..16u64 {
+        b.push_values(vec![Value::U64(i), Value::U64(i * 100)]);
+    }
+    JoinSmallSpec::new(0, &b.build(), 0)
+}
+
+/// Plans whose `verify` must succeed, and whose optimized form must
+/// also verify, lower and compile to the same output schema.
+fn good_corpus() -> Vec<(&'static str, QueryPlan)> {
+    vec![
+        ("passthrough", QueryPlan::new(PlanTarget::Single)),
+        (
+            "project-filter",
+            QueryPlan::new(PlanTarget::Single)
+                .filter(PredicateExpr::gt(0, Value::U64(10)))
+                .project(vec![0, 2]),
+        ),
+        (
+            "filter-after-project-pre-normalized",
+            // Filter refers to the *projected* schema — list order is
+            // the contract; the optimizer re-ranks and remaps.
+            QueryPlan::new(PlanTarget::Single)
+                .project(vec![2, 0])
+                .filter(PredicateExpr::lt(1, Value::U64(99))),
+        ),
+        (
+            "regex-project",
+            QueryPlan::new(PlanTarget::Single)
+                .regex_match(3, "ab*c")
+                .project(vec![3, 0]),
+        ),
+        (
+            "distinct",
+            QueryPlan::new(PlanTarget::Single).distinct(vec![1, 0]),
+        ),
+        (
+            "group-by-aggs",
+            QueryPlan::new(PlanTarget::Single).group_by(
+                vec![0],
+                vec![
+                    AggSpec {
+                        col: 1,
+                        func: AggFunc::Sum,
+                    },
+                    AggSpec {
+                        col: 2,
+                        func: AggFunc::Avg,
+                    },
+                    AggSpec {
+                        col: 3,
+                        func: AggFunc::Count,
+                    },
+                ],
+            ),
+        ),
+        (
+            // The join defines its own output tuples, so it cannot
+            // combine with a projection — verify and to_spec agree on
+            // the pure-join form.
+            "join",
+            QueryPlan::new(PlanTarget::Single).join_small(build_side()),
+        ),
+        (
+            "smart-addressing",
+            QueryPlan::from_spec(
+                &PipelineSpec::passthrough()
+                    .project(vec![4, 0])
+                    .with_smart_addressing(),
+                PlanTarget::Single,
+            ),
+        ),
+        (
+            "fleet-group-by",
+            QueryPlan::new(PlanTarget::Fleet {
+                shards: 4,
+                partitioning: farview_core::Partitioning::RowRange,
+            })
+            .group_by(
+                vec![0],
+                vec![AggSpec {
+                    col: 1,
+                    func: AggFunc::Max,
+                }],
+            ),
+        ),
+    ]
+}
+
+/// Plans whose `verify` must fail — each is a seeded mutation of a good
+/// plan (dropped column, skewed index, illegal type, illegal target).
+/// The third element says whether the defect is also visible to the
+/// target-independent `compile` (fleet-only restrictions are enforced
+/// at execution, not compilation).
+fn bad_corpus() -> Vec<(&'static str, QueryPlan, bool)> {
+    vec![
+        (
+            "project-out-of-bounds",
+            QueryPlan::new(PlanTarget::Single).project(vec![0, 5]),
+            true,
+        ),
+        (
+            "filter-after-project-dropped-column",
+            // Projection keeps 2 columns; the filter then asks for the
+            // third.
+            QueryPlan::new(PlanTarget::Single)
+                .project(vec![0, 1])
+                .filter(PredicateExpr::gt(2, Value::U64(0))),
+            true,
+        ),
+        (
+            "regex-on-u64",
+            QueryPlan::new(PlanTarget::Single).regex_match(0, "a+"),
+            true,
+        ),
+        (
+            "regex-bad-pattern",
+            QueryPlan::new(PlanTarget::Single).regex_match(3, "a(b"),
+            true,
+        ),
+        (
+            "sum-over-bytes",
+            QueryPlan::new(PlanTarget::Single).group_by(
+                vec![0],
+                vec![AggSpec {
+                    col: 3,
+                    func: AggFunc::Sum,
+                }],
+            ),
+            true,
+        ),
+        (
+            "distinct-empty",
+            QueryPlan::new(PlanTarget::Single).distinct(vec![]),
+            true,
+        ),
+        (
+            "join-key-type-mismatch",
+            // Probe key is F64, build key is U64.
+            QueryPlan::new(PlanTarget::Single).join_small(JoinSmallSpec {
+                probe_col: 2,
+                ..build_side()
+            }),
+            true,
+        ),
+        (
+            // Compression is fine for a single node; the *fleet* cannot
+            // merge compressed shard payloads. compile has no target, so
+            // only verify (and fleet execution) can reject this.
+            "fleet-compress",
+            QueryPlan::new(PlanTarget::Fleet {
+                shards: 2,
+                partitioning: farview_core::Partitioning::RowRange,
+            })
+            .compress(),
+            false,
+        ),
+        (
+            "smart-addressing-with-grouping",
+            QueryPlan::from_spec(
+                &PipelineSpec::passthrough()
+                    .project(vec![0])
+                    .with_smart_addressing()
+                    .distinct(vec![0]),
+                PlanTarget::Single,
+            ),
+            true,
+        ),
+    ]
+}
+
+/// Specs whose fingerprint must move when the spec is mutated — the
+/// fingerprint is what the fleet uses to prove every shard ran the
+/// same design.
+fn fingerprint_cases() -> Vec<(&'static str, PipelineSpec, PipelineSpec)> {
+    let base = PipelineSpec::passthrough()
+        .filter(PredicateExpr::gt(0, Value::U64(7)))
+        .project(vec![0, 1]);
+    vec![
+        (
+            "project-skew",
+            base.clone(),
+            PipelineSpec::passthrough()
+                .filter(PredicateExpr::gt(0, Value::U64(7)))
+                .project(vec![0, 2]),
+        ),
+        (
+            "predicate-constant",
+            base.clone(),
+            PipelineSpec::passthrough()
+                .filter(PredicateExpr::gt(0, Value::U64(8)))
+                .project(vec![0, 1]),
+        ),
+        (
+            "stage-dropped",
+            base,
+            PipelineSpec::passthrough().project(vec![0, 1]),
+        ),
+    ]
+}
+
+/// Run the whole smoke corpus. Returns all disagreements.
+pub fn run() -> Vec<IrFailure> {
+    let schema = base_schema();
+    let mut failures = Vec::new();
+    let mut fail = |case: &str, message: String| {
+        failures.push(IrFailure {
+            case: case.to_string(),
+            message,
+        });
+    };
+
+    for (name, plan) in good_corpus() {
+        let verified = match plan.verify(&schema) {
+            Ok(s) => s,
+            Err(e) => {
+                fail(name, format!("verify rejected a good plan: {e}"));
+                continue;
+            }
+        };
+        let optimized = match plan.optimize(&schema) {
+            Ok(p) => p,
+            Err(e) => {
+                fail(name, format!("optimize failed on a verified plan: {e}"));
+                continue;
+            }
+        };
+        match optimized.verify(&schema) {
+            Ok(s) if s == verified => {}
+            Ok(s) => fail(
+                name,
+                format!("optimizer changed the verified schema: {s:?} != {verified:?}"),
+            ),
+            Err(e) => fail(name, format!("optimized plan failed verify: {e}")),
+        }
+        // Lower and compile: the static schema must match the compiled
+        // one.
+        match optimized.to_spec() {
+            Ok(spec) => match CompiledPipeline::compile(spec, &schema) {
+                Ok(compiled) => {
+                    if compiled.out_schema() != &verified {
+                        fail(
+                            name,
+                            format!(
+                                "compile schema {:?} disagrees with verify {:?}",
+                                compiled.out_schema(),
+                                verified
+                            ),
+                        );
+                    }
+                }
+                Err(e) => fail(name, format!("compile rejected a verified plan: {e}")),
+            },
+            Err(e) => fail(name, format!("to_spec failed on a verified plan: {e}")),
+        }
+    }
+
+    for (name, plan, compile_sees_it) in bad_corpus() {
+        if let Ok(s) = plan.verify(&schema) {
+            fail(
+                name,
+                format!("verify accepted a seeded-bad plan (schema {s:?})"),
+            );
+        }
+        // For target-independent defects the dynamic layers must agree:
+        // lowering-then-compiling cannot succeed end-to-end. Producing
+        // the error must not panic either — a panic aborts this process
+        // and fails the gate loudly.
+        if compile_sees_it {
+            match lower_and_compile(&plan, &schema) {
+                Ok(()) => fail(
+                    name,
+                    "compile accepted a plan that verify rejected".to_string(),
+                ),
+                Err(_typed) => {}
+            }
+        }
+    }
+
+    for (name, a, b) in fingerprint_cases() {
+        if a.fingerprint() == b.fingerprint() {
+            fail(
+                &format!("fingerprint-{name}"),
+                "mutated spec kept the same fingerprint".to_string(),
+            );
+        }
+    }
+
+    failures
+}
+
+fn lower_and_compile(plan: &QueryPlan, schema: &Schema) -> Result<(), FvError> {
+    let spec = plan.to_spec()?;
+    CompiledPipeline::compile(spec, schema).map_err(FvError::Pipeline)?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_corpus_is_clean() {
+        let failures = run();
+        assert!(
+            failures.is_empty(),
+            "IR smoke corpus disagreements: {failures:?}"
+        );
+    }
+}

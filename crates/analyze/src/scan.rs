@@ -1,0 +1,712 @@
+//! Line-aware Rust source scanning.
+//!
+//! No external parser is available (the environment is offline), so the
+//! scanner tokenizes just enough of Rust to be reliable on this
+//! workspace: it strips comments, string/char literals and raw strings
+//! (carrying state across lines), tracks `#[cfg(test)]` / `#[test]`
+//! blocks by brace depth, and then looks for panic sites and
+//! stringly-typed `Result` returns in what remains. Inline waivers —
+//! `// fv:allow(panic): <reason>` and `// fv:allow(error): <reason>` —
+//! suppress a finding on their own line, or on the next code line when
+//! the waiver comment stands alone.
+
+use std::fmt;
+
+/// Kinds of panic site the ratchet counts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum SiteKind {
+    /// `.unwrap()` / `.unwrap_err()`.
+    Unwrap,
+    /// `.expect(..)` / `.expect_err(..)`.
+    Expect,
+    /// `panic!(..)`.
+    Panic,
+    /// `unreachable!(..)`.
+    Unreachable,
+    /// `todo!(..)` / `unimplemented!(..)`.
+    Todo,
+    /// `assert!` / `assert_eq!` / `assert_ne!` (debug_assert* are
+    /// excluded: they vanish in release builds and document invariants).
+    Assert,
+    /// Direct `container[index]` indexing (panics out of bounds).
+    Index,
+}
+
+impl SiteKind {
+    /// Every kind, in baseline-key order.
+    pub const ALL: [SiteKind; 7] = [
+        SiteKind::Unwrap,
+        SiteKind::Expect,
+        SiteKind::Panic,
+        SiteKind::Unreachable,
+        SiteKind::Todo,
+        SiteKind::Assert,
+        SiteKind::Index,
+    ];
+
+    /// Stable name used in baseline keys.
+    pub fn name(self) -> &'static str {
+        match self {
+            SiteKind::Unwrap => "unwrap",
+            SiteKind::Expect => "expect",
+            SiteKind::Panic => "panic",
+            SiteKind::Unreachable => "unreachable",
+            SiteKind::Todo => "todo",
+            SiteKind::Assert => "assert",
+            SiteKind::Index => "index",
+        }
+    }
+
+    /// Inverse of [`SiteKind::name`].
+    pub fn parse(s: &str) -> Option<SiteKind> {
+        SiteKind::ALL.iter().copied().find(|k| k.name() == s)
+    }
+}
+
+impl fmt::Display for SiteKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One panic site found in a file.
+#[derive(Debug, Clone)]
+pub struct Site {
+    /// 1-based source line.
+    pub line: usize,
+    /// What kind of site.
+    pub kind: SiteKind,
+    /// Trimmed source line, for reports.
+    pub snippet: String,
+}
+
+/// One stringly-typed `Result` return on a public function.
+#[derive(Debug, Clone)]
+pub struct ErrorViolation {
+    /// 1-based line of the `fn` keyword.
+    pub line: usize,
+    /// The offending error type as written.
+    pub error_type: String,
+    /// Trimmed signature, for reports.
+    pub snippet: String,
+}
+
+/// Everything one pass over a file finds.
+#[derive(Debug, Default)]
+pub struct FileScan {
+    /// Countable panic sites (non-test, not waived).
+    pub sites: Vec<Site>,
+    /// Panic sites suppressed by an `fv:allow(panic)` waiver.
+    pub waived: Vec<Site>,
+    /// Panic sites inside `#[cfg(test)]` / `#[test]` code (not counted).
+    pub test_sites: usize,
+    /// Stringly `Result` returns on public functions (non-test, not
+    /// waived by `fv:allow(error)`).
+    pub error_violations: Vec<ErrorViolation>,
+    /// Waivers whose reason is empty — a waiver must say why.
+    pub malformed_waivers: Vec<usize>,
+}
+
+/// String/comment stripping state carried across lines.
+#[derive(Debug, Default)]
+struct StripState {
+    /// Inside a `/* .. */` comment (nesting depth; Rust block comments
+    /// nest).
+    block_comment: usize,
+    /// Inside a raw string, with this many `#`s in its delimiter.
+    raw_string: Option<usize>,
+    /// Inside a normal `"` string continued across a line escape.
+    in_string: bool,
+}
+
+/// Strip one line: returns `(code, comment)` where removed literal and
+/// comment bytes are blanked with spaces in `code` (so columns keep
+/// their positions) and `comment` holds the concatenated comment text.
+fn strip_line(line: &str, st: &mut StripState) -> (String, String) {
+    let b = line.as_bytes();
+    let mut code = Vec::with_capacity(b.len());
+    let mut comment = String::new();
+    let mut i = 0;
+    while i < b.len() {
+        if st.block_comment > 0 {
+            if b[i] == b'*' && b.get(i + 1) == Some(&b'/') {
+                st.block_comment -= 1;
+                code.extend_from_slice(b"  ");
+                i += 2;
+            } else {
+                if b[i] == b'/' && b.get(i + 1) == Some(&b'*') {
+                    st.block_comment += 1;
+                }
+                comment.push(b[i] as char);
+                code.push(b' ');
+                i += 1;
+            }
+            continue;
+        }
+        if let Some(hashes) = st.raw_string {
+            // Look for the closing `"####` with the right hash count.
+            if b[i] == b'"'
+                && b[i + 1..]
+                    .iter()
+                    .take(hashes)
+                    .filter(|&&c| c == b'#')
+                    .count()
+                    == hashes
+            {
+                st.raw_string = None;
+                code.extend(std::iter::repeat_n(b' ', hashes + 1));
+                i += 1 + hashes;
+            } else {
+                code.push(b' ');
+                i += 1;
+            }
+            continue;
+        }
+        if st.in_string {
+            match b[i] {
+                b'\\' => {
+                    code.extend_from_slice(b"  ");
+                    i += 2;
+                }
+                b'"' => {
+                    st.in_string = false;
+                    code.push(b'"');
+                    i += 1;
+                }
+                _ => {
+                    code.push(b' ');
+                    i += 1;
+                }
+            }
+            continue;
+        }
+        match b[i] {
+            b'/' if b.get(i + 1) == Some(&b'/') => {
+                comment.push_str(&line[i + 2..]);
+                while code.len() < b.len() {
+                    code.push(b' ');
+                }
+                break;
+            }
+            b'/' if b.get(i + 1) == Some(&b'*') => {
+                st.block_comment = 1;
+                code.extend_from_slice(b"  ");
+                i += 2;
+            }
+            b'r' | b'b' if is_raw_string_start(b, i) => {
+                // r"..", r#"..."#, br".." etc.
+                let mut j = i + 1;
+                if b[j] == b'r' {
+                    j += 1;
+                }
+                let hashes = b[j..].iter().take_while(|&&c| c == b'#').count();
+                st.raw_string = Some(hashes);
+                code.extend(std::iter::repeat_n(b' ', j + hashes + 1 - i));
+                i = j + hashes + 1;
+            }
+            b'"' => {
+                st.in_string = true;
+                code.push(b'"');
+                i += 1;
+            }
+            b'\'' => {
+                // Char literal or lifetime. A literal is 'x' or '\..'.
+                if let Some(len) = char_literal_len(&line[i..]) {
+                    code.extend(std::iter::repeat_n(b' ', len));
+                    i += len;
+                } else {
+                    code.push(b'\'');
+                    i += 1;
+                }
+            }
+            c => {
+                code.push(c);
+                i += 1;
+            }
+        }
+    }
+    if st.in_string {
+        // A string can only continue past the line via `\` at EOL.
+        if !line.trim_end().ends_with('\\') {
+            st.in_string = false;
+        }
+    }
+    (String::from_utf8_lossy(&code).into_owned(), comment)
+}
+
+fn is_raw_string_start(b: &[u8], i: usize) -> bool {
+    let mut j = i;
+    if b[j] == b'b' {
+        j += 1;
+        if b.get(j) != Some(&b'r') {
+            return false;
+        }
+    }
+    if b.get(j) != Some(&b'r') {
+        return false;
+    }
+    j += 1;
+    while b.get(j) == Some(&b'#') {
+        j += 1;
+    }
+    b.get(j) == Some(&b'"')
+}
+
+/// Length in bytes of a char literal starting at `'`, or `None` for a
+/// lifetime.
+fn char_literal_len(s: &str) -> Option<usize> {
+    let b = s.as_bytes();
+    if b.len() < 3 {
+        return None;
+    }
+    if b[1] == b'\\' {
+        // '\n', '\'', '\u{..}', '\x41'
+        let close = s[2..].find('\'')?;
+        return Some(close + 3);
+    }
+    // One UTF-8 char then a closing quote — anything else is a lifetime.
+    let mut chars = s[1..].char_indices();
+    let (_, _first) = chars.next()?;
+    let (idx, next) = chars.next()?;
+    (next == '\'').then_some(idx + 2)
+}
+
+fn is_ident(c: u8) -> bool {
+    c.is_ascii_alphanumeric() || c == b'_'
+}
+
+/// Find the identifier token ending right before byte `end` (exclusive).
+fn token_before(code: &[u8], end: usize) -> &[u8] {
+    let mut start = end;
+    while start > 0 && is_ident(code[start - 1]) {
+        start -= 1;
+    }
+    &code[start..end]
+}
+
+/// Panic sites on one stripped code line.
+fn sites_on_line(code: &str) -> Vec<SiteKind> {
+    let b = code.as_bytes();
+    let mut found = Vec::new();
+    let mut i = 0;
+    while i < b.len() {
+        match b[i] {
+            b'(' if i > 0 => {
+                // `.unwrap(`, `.expect(` — method calls only.
+                let mut j = i;
+                while j > 0 && b[j - 1] == b' ' {
+                    j -= 1;
+                }
+                let tok = token_before(b, j);
+                let dot = {
+                    let ts = j - tok.len();
+                    ts > 0 && b[ts - 1] == b'.'
+                };
+                if dot {
+                    match tok {
+                        b"unwrap" | b"unwrap_err" => found.push(SiteKind::Unwrap),
+                        b"expect" | b"expect_err" => found.push(SiteKind::Expect),
+                        _ => {}
+                    }
+                }
+                i += 1;
+            }
+            b'!' if i > 0 => {
+                let tok = token_before(b, i);
+                match tok {
+                    b"panic" => found.push(SiteKind::Panic),
+                    b"unreachable" => found.push(SiteKind::Unreachable),
+                    b"todo" | b"unimplemented" => found.push(SiteKind::Todo),
+                    b"assert" | b"assert_eq" | b"assert_ne" => found.push(SiteKind::Assert),
+                    _ => {}
+                }
+                i += 1;
+            }
+            b'[' if i > 0 => {
+                // `expr[..]` indexing: `[` directly after an identifier,
+                // `)` or `]`. Types/arrays/attributes/slice patterns all
+                // have something else (space, `&`, `<`, `#`, `=`, `(`)
+                // before the bracket.
+                let prev = b[i - 1];
+                if prev == b')' || prev == b']' || is_ident(prev) {
+                    let tok = token_before(b, i);
+                    // `dyn [`, `mut [` can't index; an empty token means
+                    // prev was `)`/`]` which always can.
+                    let keyword = matches!(
+                        tok,
+                        b"mut" | b"dyn" | b"in" | b"as" | b"return" | b"else" | b"match" | b"box"
+                    );
+                    if !keyword {
+                        found.push(SiteKind::Index);
+                    }
+                }
+                i += 1;
+            }
+            _ => i += 1,
+        }
+    }
+    found
+}
+
+/// Waiver found in a comment: which pass it targets and whether it has a
+/// reason.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Waiver {
+    Panic { has_reason: bool },
+    Error { has_reason: bool },
+}
+
+fn waiver_in(comment: &str) -> Option<Waiver> {
+    for (tag, make) in [("fv:allow(panic):", 0u8), ("fv:allow(error):", 1u8)] {
+        if let Some(pos) = comment.find(tag) {
+            let has_reason = !comment[pos + tag.len()..].trim().is_empty();
+            return Some(if make == 0 {
+                Waiver::Panic { has_reason }
+            } else {
+                Waiver::Error { has_reason }
+            });
+        }
+    }
+    None
+}
+
+/// Scan one Rust source file.
+pub fn scan_source(src: &str) -> FileScan {
+    let mut out = FileScan::default();
+    let mut strip = StripState::default();
+
+    // First pass: strip every line, carrying literal/comment state.
+    let lines: Vec<(String, String)> = src.lines().map(|l| strip_line(l, &mut strip)).collect();
+
+    // Brace-depth walk for `#[cfg(test)]` / `#[test]` regions.
+    let mut depth: i64 = 0;
+    let mut pending_test_attr = false;
+    let mut test_region_depth: Option<i64> = None;
+
+    // A waiver on a code-less line applies to the next code line.
+    let mut pending_waiver: Option<Waiver> = None;
+
+    // Multi-line `fn` signature accumulation for the error pass.
+    let mut sig: Option<(usize, String)> = None;
+
+    for (idx, (code, comment)) in lines.iter().enumerate() {
+        let lineno = idx + 1;
+        let in_test = test_region_depth.is_some();
+
+        let line_waiver = waiver_in(comment);
+        if let Some(w) = line_waiver {
+            let has_reason = match w {
+                Waiver::Panic { has_reason } | Waiver::Error { has_reason } => has_reason,
+            };
+            if !has_reason && !in_test {
+                out.malformed_waivers.push(lineno);
+            }
+        }
+        let effective_waiver = line_waiver.or(pending_waiver);
+        // A standalone comment line carries its waiver forward; a code
+        // line consumes whatever waiver applies to it.
+        pending_waiver = if code.trim().is_empty() {
+            effective_waiver
+        } else {
+            None
+        };
+
+        // --- panic sites ---------------------------------------------------
+        for kind in sites_on_line(code) {
+            if in_test {
+                out.test_sites += 1;
+                continue;
+            }
+            let site = Site {
+                line: lineno,
+                kind,
+                snippet: src.lines().nth(idx).unwrap_or("").trim().to_string(),
+            };
+            match effective_waiver {
+                Some(Waiver::Panic { has_reason: true }) => out.waived.push(site),
+                _ => out.sites.push(site),
+            }
+        }
+
+        // --- error-taxonomy pass -------------------------------------------
+        if !in_test {
+            if sig.is_none() {
+                if let Some(fn_pos) = find_fn_token(code) {
+                    if code[..fn_pos].contains("pub") {
+                        sig = Some((lineno, String::new()));
+                    }
+                }
+            }
+            if let Some((fn_line, text)) = &mut sig {
+                text.push_str(code);
+                text.push(' ');
+                if code.contains('{') || code.trim_end().ends_with(';') {
+                    let fn_line = *fn_line;
+                    let text = std::mem::take(text);
+                    sig = None;
+                    let waived =
+                        matches!(effective_waiver, Some(Waiver::Error { has_reason: true }))
+                            || (fn_line == lineno
+                                && matches!(line_waiver, Some(Waiver::Error { has_reason: true })));
+                    if !waived {
+                        if let Some(err_ty) = stringly_result_error(&text) {
+                            out.error_violations.push(ErrorViolation {
+                                line: fn_line,
+                                error_type: err_ty,
+                                snippet: text.split_whitespace().collect::<Vec<_>>().join(" "),
+                            });
+                        }
+                    }
+                }
+            }
+        }
+
+        // --- test-region tracking ------------------------------------------
+        if code.contains("#[cfg(test)]") || code.contains("#[test]") {
+            pending_test_attr = true;
+        }
+        for c in code.bytes() {
+            match c {
+                b'{' => {
+                    if pending_test_attr && test_region_depth.is_none() {
+                        test_region_depth = Some(depth);
+                        pending_test_attr = false;
+                    }
+                    depth += 1;
+                }
+                b'}' => {
+                    depth -= 1;
+                    if test_region_depth == Some(depth) {
+                        test_region_depth = None;
+                    }
+                }
+                // `#[cfg(test)] mod tests;` — the module lives in
+                // another file.
+                b';' if pending_test_attr && !code.contains('{') => {
+                    pending_test_attr = false;
+                }
+                _ => {}
+            }
+        }
+    }
+    out
+}
+
+/// Position of a standalone `fn` token, if any.
+fn find_fn_token(code: &str) -> Option<usize> {
+    let b = code.as_bytes();
+    let mut from = 0;
+    while let Some(rel) = code[from..].find("fn") {
+        let i = from + rel;
+        let before_ok = i == 0 || !is_ident(b[i - 1]);
+        let after_ok = i + 2 >= b.len() || !is_ident(b[i + 2]);
+        if before_ok && after_ok {
+            return Some(i);
+        }
+        from = i + 2;
+    }
+    None
+}
+
+/// If the signature returns a `Result` with a stringly error type,
+/// return that error type.
+fn stringly_result_error(sig: &str) -> Option<String> {
+    let arrow = sig.find("->")?;
+    let mut ret = &sig[arrow + 2..];
+    if let Some(w) = ret.find(" where ") {
+        ret = &ret[..w];
+    }
+    if let Some(b) = ret.find('{') {
+        ret = &ret[..b];
+    }
+    let ret = ret.trim().trim_end_matches(';').trim();
+    let rpos = find_result_token(ret)?;
+    let after = &ret[rpos..];
+    let lt = after.find('<')?;
+    // Split the generic args at the top level.
+    let args_src = balanced_angle(&after[lt..])?;
+    let args = split_top_level(args_src);
+    if args.len() < 2 {
+        return None; // single-arg alias like io::Result<T>
+    }
+    let err = args[1].trim();
+    let stringly = err == "String"
+        || err.starts_with("Box<dyn")
+        || err.starts_with("Box< dyn")
+        || err.contains("&str")
+        || err.contains("&'static str")
+        || err.starts_with("anyhow");
+    stringly.then(|| err.to_string())
+}
+
+/// Position of a `Result` token in `ret`.
+fn find_result_token(ret: &str) -> Option<usize> {
+    let b = ret.as_bytes();
+    let mut from = 0;
+    while let Some(rel) = ret[from..].find("Result") {
+        let i = from + rel;
+        let before_ok = i == 0 || !is_ident(b[i - 1]) || ret[..i].ends_with("::");
+        let after = i + "Result".len();
+        let after_ok = after >= b.len() || !is_ident(b[after]);
+        if before_ok && after_ok {
+            return Some(i);
+        }
+        from = after;
+    }
+    None
+}
+
+/// The contents of a balanced `<...>` starting at `s[0] == '<'`.
+fn balanced_angle(s: &str) -> Option<&str> {
+    let mut depth = 0i32;
+    for (i, c) in s.char_indices() {
+        match c {
+            '<' => depth += 1,
+            '>' => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(&s[1..i]);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Split generic args on top-level commas.
+fn split_top_level(s: &str) -> Vec<&str> {
+    let mut parts = Vec::new();
+    let mut depth = 0i32;
+    let mut start = 0;
+    for (i, c) in s.char_indices() {
+        match c {
+            '<' | '(' | '[' => depth += 1,
+            '>' | ')' | ']' => depth -= 1,
+            ',' if depth == 0 => {
+                parts.push(&s[start..i]);
+                start = i + 1;
+            }
+            _ => {}
+        }
+    }
+    parts.push(&s[start..]);
+    parts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<SiteKind> {
+        scan_source(src).sites.iter().map(|s| s.kind).collect()
+    }
+
+    #[test]
+    fn finds_method_panics() {
+        assert_eq!(
+            kinds("fn f() { x.unwrap(); y.expect(\"m\"); }"),
+            vec![SiteKind::Unwrap, SiteKind::Expect]
+        );
+        // unwrap_or and friends are not panic sites.
+        assert_eq!(
+            kinds("fn f() { x.unwrap_or(0); x.unwrap_or_else(f); }"),
+            vec![]
+        );
+    }
+
+    #[test]
+    fn finds_macros_but_not_debug_asserts() {
+        assert_eq!(
+            kinds("panic!(\"x\"); unreachable!(); todo!(); assert!(a); assert_eq!(a, b);"),
+            vec![
+                SiteKind::Panic,
+                SiteKind::Unreachable,
+                SiteKind::Todo,
+                SiteKind::Assert,
+                SiteKind::Assert
+            ]
+        );
+        assert_eq!(kinds("debug_assert!(a); debug_assert_eq!(a, b);"), vec![]);
+    }
+
+    #[test]
+    fn finds_indexing_not_types() {
+        assert_eq!(kinds("let y = xs[i];"), vec![SiteKind::Index]);
+        assert_eq!(kinds("let y = self.0[i + 1];"), vec![SiteKind::Index]);
+        assert_eq!(kinds("f()[0]"), vec![SiteKind::Index]);
+        assert_eq!(kinds("let a: [u8; 16] = [0; 16];"), vec![]);
+        assert_eq!(kinds("fn g(b: &[u8]) -> Vec<[u8; 8]> {}"), vec![]);
+        assert_eq!(kinds("#[cfg(feature = \"x\")]"), vec![]);
+        assert_eq!(kinds("if let [a, b] = parts {}"), vec![]);
+    }
+
+    #[test]
+    fn strings_comments_and_chars_do_not_count() {
+        assert_eq!(kinds("let s = \"panic!( x.unwrap() xs[i]\";"), vec![]);
+        assert_eq!(
+            kinds("// x.unwrap()\nlet c = 'a'; let l: &'static str = s;"),
+            vec![]
+        );
+        assert_eq!(
+            kinds("/* x.unwrap()\n still comment xs[0]\n */ ok.unwrap();"),
+            vec![SiteKind::Unwrap]
+        );
+        assert_eq!(kinds("let r = r#\"xs[0].unwrap()\"#;"), vec![]);
+    }
+
+    #[test]
+    fn test_blocks_are_excluded() {
+        let src = "fn f() { x.unwrap(); }\n#[cfg(test)]\nmod tests {\n  fn g() { y.unwrap(); panic!(); }\n}\nfn h() { z.unwrap(); }";
+        let scan = scan_source(src);
+        assert_eq!(scan.sites.len(), 2);
+        assert_eq!(scan.test_sites, 2);
+    }
+
+    #[test]
+    fn waivers_suppress_with_reason() {
+        let scan = scan_source("x.unwrap(); // fv:allow(panic): held lock proves presence");
+        assert_eq!(scan.sites.len(), 0);
+        assert_eq!(scan.waived.len(), 1);
+
+        // Standalone waiver comment covers the next line.
+        let scan = scan_source("// fv:allow(panic): invariant\nx.unwrap();");
+        assert_eq!(scan.sites.len(), 0);
+        assert_eq!(scan.waived.len(), 1);
+
+        // No reason: not waived, and flagged as malformed.
+        let scan = scan_source("x.unwrap(); // fv:allow(panic):");
+        assert_eq!(scan.sites.len(), 1);
+        assert_eq!(scan.malformed_waivers, vec![1]);
+    }
+
+    #[test]
+    fn stringly_results_are_violations() {
+        let scan = scan_source("pub fn f() -> Result<u8, String> { Ok(0) }");
+        assert_eq!(scan.error_violations.len(), 1);
+        assert_eq!(scan.error_violations[0].error_type, "String");
+
+        let scan = scan_source(
+            "pub fn f(\n  x: u8,\n) -> Result<u8, Box<dyn std::error::Error>> { Ok(x) }",
+        );
+        assert_eq!(scan.error_violations.len(), 1);
+
+        // Typed enums and single-arg aliases pass.
+        assert!(scan_source("pub fn f() -> Result<u8, FvError> { Ok(0) }")
+            .error_violations
+            .is_empty());
+        assert!(scan_source("pub fn f() -> io::Result<u8> { Ok(0) }")
+            .error_violations
+            .is_empty());
+        // Private functions are out of scope.
+        assert!(scan_source("fn f() -> Result<u8, String> { Ok(0) }")
+            .error_violations
+            .is_empty());
+        // Waivered.
+        assert!(scan_source(
+            "// fv:allow(error): ffi boundary\npub fn f() -> Result<u8, String> { Ok(0) }"
+        )
+        .error_violations
+        .is_empty());
+    }
+}

@@ -1,0 +1,58 @@
+//! Analyzer fixture for the error-taxonomy pass. Not compiled by cargo.
+//!
+//! Expected violations: 3 (lines noted inline).
+
+pub struct FvError;
+
+// Violation 1: String error.
+pub fn stringly() -> Result<u8, String> {
+    Ok(0)
+}
+
+// Violation 2: boxed dyn error, multi-line signature.
+pub fn boxed(
+    x: u8,
+) -> Result<u8, Box<dyn std::error::Error>> {
+    Ok(x)
+}
+
+// Violation 3: &'static str error on a method.
+impl FvError {
+    pub fn stry(&self) -> Result<(), &'static str> {
+        Ok(())
+    }
+}
+
+// Clean: typed enum error.
+pub fn typed() -> Result<u8, FvError> {
+    Err(FvError)
+}
+
+// Clean: single-arg Result alias (error type fixed by the alias).
+pub fn aliased() -> std::io::Result<u8> {
+    Ok(0)
+}
+
+// Clean: private functions are out of scope.
+fn private_stringly() -> Result<u8, String> {
+    Ok(0)
+}
+
+// Clean: waived FFI-style boundary.
+// fv:allow(error): fixture boundary demonstration
+pub fn waived() -> Result<u8, String> {
+    Ok(0)
+}
+
+// Clean: no Result at all.
+pub fn plain() -> u8 {
+    0
+}
+
+#[cfg(test)]
+mod tests {
+    // Test code is out of scope even for public test helpers.
+    pub fn helper() -> Result<u8, String> {
+        Ok(0)
+    }
+}

@@ -1,0 +1,84 @@
+//! Analyzer fixture: every panic-site kind, with known exact counts.
+//! Not compiled by cargo — only scanned by `analyzer_fixtures.rs`.
+//!
+//! Expected counts (non-test, non-waived):
+//!   unwrap: 2, expect: 1, panic: 1, unreachable: 1, todo: 2,
+//!   assert: 3, index: 4
+
+fn unwraps(x: Option<u8>, r: Result<u8, u8>) -> u8 {
+    let a = x.unwrap();
+    let b = r.unwrap_err();
+    // Not panic sites: the non-panicking combinators.
+    let c = x.unwrap_or(0);
+    let d = x.unwrap_or_else(|| 0);
+    a + b + c + d
+}
+
+fn expects(x: Option<u8>) -> u8 {
+    x.expect("fixture")
+}
+
+fn macros(flag: bool) {
+    if flag {
+        panic!("fixture");
+    }
+    match flag {
+        true => unreachable!("fixture"),
+        false => {}
+    }
+    todo!();
+    unimplemented!();
+}
+
+fn asserts(a: u8, b: u8) {
+    assert!(a > 0);
+    assert_eq!(a, b);
+    assert_ne!(a, 0);
+    // debug_assert* document invariants and vanish in release builds.
+    debug_assert!(a > 0);
+    debug_assert_eq!(a, b);
+    debug_assert_ne!(a, 0);
+}
+
+fn indexing(xs: &[u8], i: usize) -> u8 {
+    let a = xs[i];
+    let b = xs[i + 1];
+    let pair = (xs, xs);
+    let c = pair.0[0];
+    let d = returns_slice()[0];
+    // Not panic sites: types, arrays, attributes, slice patterns.
+    let _arr: [u8; 4] = [0; 4];
+    let _v: Vec<[u8; 8]> = Vec::new();
+    // The slice pattern `[x, y]` is not a site; the `xs[..2]` slice is,
+    // and the inline waiver below suppresses it (waived count: 1).
+    if let [x, y] = &xs[..2] { // fv:allow(panic): fixture waiver
+        return *x + *y;
+    }
+    a + b + c + d
+}
+
+fn returns_slice() -> &'static [u8] {
+    &[1, 2, 3]
+}
+
+fn strings_and_comments() {
+    // x.unwrap() in a comment is not a site.
+    let _s = "panic!() .unwrap() xs[0]";
+    let _r = r#"assert!(false) ys[1]"#;
+    let _c = 'a';
+    let _l: &'static str = "lifetime 'x is not a char";
+    /* block comment with .unwrap()
+    still commented xs[2]
+    */
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_panics_freely() {
+        let xs = [1u8, 2];
+        assert_eq!(xs[0], 1);
+        Some(3u8).unwrap();
+        panic!("test code is exempt");
+    }
+}

@@ -19,6 +19,7 @@
 //! Figure 12 experiment.
 
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 #![warn(rust_2018_idioms)]
 
 mod cost;

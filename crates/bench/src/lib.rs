@@ -52,6 +52,7 @@
 //! [`FarviewFleet`]: farview_core::FarviewFleet
 
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 #![warn(rust_2018_idioms)]
 
 pub mod chaos;

@@ -132,7 +132,7 @@ impl QueryRun {
                 let consumed = idx * per_chunk;
                 per_chunk.min(self.q.data.len() - consumed)
             }
-            None => self.q.bursts[idx].bytes as usize,
+            None => self.q.bursts.get(idx).map_or(0, |b| b.bytes as usize),
         }
     }
 }
@@ -199,7 +199,10 @@ impl NodeActor {
     /// (unbound flow) is recorded and surfaced after the run instead of
     /// crashing the episode.
     fn admit_credited(&mut self, qp: u32) {
-        let run = self.runs.get_mut(&qp).expect("known qp");
+        let Some(run) = self.runs.get_mut(&qp) else {
+            self.failed.get_or_insert(NetError::UnboundQp { qp });
+            return;
+        };
         while run.outstanding < self.credit_budget {
             match run.ready_queue.pop_front() {
                 Some(pkt) => {
@@ -230,7 +233,10 @@ impl Actor<Msg> for NodeActor {
                 // serial portion is its occupancy, the rest of the parse
                 // latency overlaps with the next verb's handling.
                 let ingress_done = self.net_ingress.admit(ctx.now(), 0);
-                let run = self.runs.get_mut(&qp).expect("unknown qp in request");
+                let Some(run) = self.runs.get_mut(&qp) else {
+                    self.failed.get_or_insert(NetError::UnboundQp { qp });
+                    return;
+                };
                 // A join's build side rides with the request: it must
                 // cross the wire and land in on-chip memory before the
                 // probe stream starts (§7 extension).
@@ -300,22 +306,33 @@ impl Actor<Msg> for NodeActor {
                 // (slot) is one flow, so concurrent clients fair-share
                 // every channel -- the MMU's "arbitrators, crossbars, and
                 // dedicated credit-based queues" (§4.4).
-                let run = &self.runs[&qp];
+                let Some(run) = self.runs.get(&qp) else {
+                    self.failed.get_or_insert(NetError::UnboundQp { qp });
+                    return;
+                };
                 let slot = run.q.slot;
                 for (idx, b) in run.q.bursts.iter().enumerate() {
+                    // fv:allow(panic): prepare() assigns burst channels with
+                    // `% channel_queues.len()`, so the index is in range by
+                    // construction.
                     self.channel_queues[b.channel].push(slot, b.bytes, (qp, idx, b.bytes));
                 }
                 for ch in 0..self.channel_queues.len() {
+                    // fv:allow(panic): `ch` iterates 0..len of the very
+                    // vectors it indexes (busy/queues are built together).
                     if !self.channel_busy[ch] && !self.channel_queues[ch].is_empty() {
-                        self.channel_busy[ch] = true;
+                        self.channel_busy[ch] = true; // fv:allow(panic): same 0..len bound
+
                         ctx.send_self(SimDuration::ZERO, Msg::ChannelPump { ch });
                     }
                 }
             }
 
+            // fv:allow(panic): ChannelPump is only ever self-sent with a
+            // `ch` that came from iterating 0..channel_queues.len().
             Msg::ChannelPump { ch } => match self.channel_queues[ch].pop() {
                 None => {
-                    self.channel_busy[ch] = false;
+                    self.channel_busy[ch] = false; // fv:allow(panic): same bound
                 }
                 Some((_slot, (qp, idx, bytes))) => {
                     let done = self.dram.admit(ch, ctx.now(), bytes);
@@ -325,7 +342,10 @@ impl Actor<Msg> for NodeActor {
             },
 
             Msg::Burst { qp, idx } => {
-                let run = self.runs.get_mut(&qp).expect("unknown qp in burst");
+                let Some(run) = self.runs.get_mut(&qp) else {
+                    self.failed.get_or_insert(NetError::UnboundQp { qp });
+                    return;
+                };
                 if idx == usize::MAX {
                     // Empty-table FIN path.
                     run.q.pipeline.finish();
@@ -345,6 +365,8 @@ impl Actor<Msg> for NodeActor {
                 let mut ready = ctx.now();
                 let mut fed_any = false;
                 let mut finished = false;
+                // fv:allow(panic): prepare() assigns query slots with
+                // `% slot_pipelines.len()`, in range by construction.
                 let pipeline = &mut self.slot_pipelines[run.q.slot];
                 while run.arrived.remove(&run.next_feed) {
                     let chunk_len = run.chunk_len(run.next_feed);
@@ -358,6 +380,8 @@ impl Actor<Msg> for NodeActor {
                         data,
                         ..
                     } = &mut run.q;
+                    // fv:allow(panic): cursor advances by chunk_len, which
+                    // is clamped to the staged table image's length.
                     ops.push_bytes(&data[start..run.cursor]);
                     // The region's pipeline is a shared serialized
                     // resource; vector lanes divide the per-chunk cost.
@@ -394,8 +418,15 @@ impl Actor<Msg> for NodeActor {
 
             Msg::Stage { qp, batch } => {
                 {
-                    let run = self.runs.get_mut(&qp).expect("unknown qp in stage");
-                    let pkts = std::mem::take(&mut run.staged[batch]);
+                    let Some(run) = self.runs.get_mut(&qp) else {
+                        self.failed.get_or_insert(NetError::UnboundQp { qp });
+                        return;
+                    };
+                    let pkts = run
+                        .staged
+                        .get_mut(batch)
+                        .map(std::mem::take)
+                        .unwrap_or_default();
                     run.ready_queue.extend(pkts);
                 }
                 self.admit_credited(qp);
@@ -409,7 +440,11 @@ impl Actor<Msg> for NodeActor {
                     }
                     Some(pkt) => {
                         let qp = pkt.qp;
-                        let run = self.runs.get_mut(&qp).expect("unknown qp in egress");
+                        let Some(run) = self.runs.get_mut(&qp) else {
+                            self.failed.get_or_insert(NetError::UnboundQp { qp });
+                            self.egress_scheduled = false;
+                            return;
+                        };
                         run.packets_sent += 1;
                         run.wire_bytes += pkt.wire_bytes();
                         // The fault seam: a degraded link can delay this
@@ -426,7 +461,11 @@ impl Actor<Msg> for NodeActor {
                                 return;
                             }
                         };
-                        let client = *self.clients.get(&qp).expect("client actor");
+                        let Some(&client) = self.clients.get(&qp) else {
+                            self.failed.get_or_insert(NetError::UnboundQp { qp });
+                            self.egress_scheduled = false;
+                            return;
+                        };
                         ctx.send_at(client, arrival, Msg::Deliver(pkt));
                         // The wire is free again one propagation delay
                         // before the packet lands.
@@ -444,12 +483,18 @@ impl Actor<Msg> for NodeActor {
             }
 
             Msg::Credit { qp } => {
-                let run = self.runs.get_mut(&qp).expect("unknown qp in credit");
+                let Some(run) = self.runs.get_mut(&qp) else {
+                    self.failed.get_or_insert(NetError::UnboundQp { qp });
+                    return;
+                };
                 run.outstanding = run.outstanding.saturating_sub(1);
                 self.admit_credited(qp);
                 self.kick_egress(ctx);
             }
 
+            // fv:allow(panic): actor wiring invariant — episodes route
+            // Deliver exclusively to ClientActor ids; hitting this is a
+            // topology-construction bug, not a runtime input.
             Msg::Deliver(_) => unreachable!("node never receives Deliver"),
         }
     }
@@ -509,9 +554,15 @@ pub struct BatchRun {
 
 impl BatchRun {
     /// A batch over `queries` (at least one; all on one slot).
+    ///
+    /// # Panics
+    /// Panics when `queries` is empty or the queries span more than one
+    /// dynamic-region slot — both are caller bugs, not runtime inputs.
     pub fn new(queries: Vec<PreparedQuery>) -> Self {
+        // fv:allow(panic): documented constructor precondition.
         assert!(!queries.is_empty(), "a doorbell batch needs ≥ 1 query");
-        let slot = queries[0].slot;
+        let slot = queries[0].slot; // fv:allow(panic): non-empty checked above
+                                    // fv:allow(panic): documented constructor precondition.
         assert!(
             queries.iter().all(|q| q.slot == slot),
             "a batch rides one queue pair: all queries must share its slot"
@@ -597,6 +648,9 @@ pub fn run_batched_episodes(
                     q,
                 },
             );
+            // fv:allow(panic): documented API contract (`ids must be
+            // unique across the episode`) — duplicate stream ids would
+            // silently cross-wire two clients' payloads.
             assert!(prev.is_none(), "stream ids must be unique per episode");
         }
     }
@@ -637,7 +691,7 @@ pub fn run_batched_episodes(
         }
     }
     sim.actor_mut::<NodeActor>(node_id)
-        .expect("node actor")
+        .expect("node actor") // fv:allow(panic): id returned by add_actor above
         .clients = client_ids.clone();
 
     // Every batch rings one doorbell at t = 0; its WQEs stream onto the
@@ -645,6 +699,8 @@ pub fn run_batched_episodes(
     // NIC fetches only a prefix of each batch: unfetched WQEs never issue
     // and their streams surface as incomplete episodes.
     for qps in &batch_qps {
+        // fv:allow(panic): a doorbell batch deeper than u32::MAX cannot
+        // be constructed — WQE post order is a u32 on the wire.
         let posted = u32::try_from(qps.len()).expect("batch fits u32");
         let doorbell = match config.fault.truncate_doorbell {
             Some(n) => DoorbellBatch::truncated(posted, n.min(posted)),
@@ -659,14 +715,16 @@ pub fn run_batched_episodes(
     sim.run_to_quiescence(20_000_000);
     let events = sim.events_delivered();
 
+    // fv:allow(panic): id returned by add_actor above.
     if let Some(e) = &sim.actor::<NodeActor>(node_id).expect("node actor").failed {
         return Err(FvError::Net(e.clone()));
     }
     for qps in &batch_qps {
         for &qp in qps {
             let client = sim
+                // fv:allow(panic): one client actor per qp was added above.
                 .actor::<ClientActor>(client_ids[&qp])
-                .expect("client actor");
+                .expect("client actor"); // fv:allow(panic): same wiring
             if let Some(e) = &client.failed {
                 return Err(FvError::Net(e.clone()));
             }
@@ -678,15 +736,18 @@ pub fn run_batched_episodes(
         let mut batch_results = Vec::with_capacity(qps.len());
         for &qp in qps {
             let client = sim
+                // fv:allow(panic): one client actor per qp was added above.
                 .actor::<ClientActor>(client_ids[&qp])
-                .expect("client actor");
+                .expect("client actor"); // fv:allow(panic): same wiring
             let completed = client
                 .completed_at
                 .ok_or(FvError::IncompleteEpisode { qp })?;
             let payload = client.rx.assembled().to_vec();
             let packets = client.packets;
+            // fv:allow(panic): id returned by add_actor above.
             let node = sim.actor::<NodeActor>(node_id).expect("node actor");
-            let run = &node.runs[&qp];
+            let run = &node.runs[&qp]; // fv:allow(panic): every posted qp has a run
+
             if !run.fin_emitted {
                 return Err(FvError::IncompleteEpisode { qp });
             }
@@ -717,6 +778,8 @@ pub fn run_batched_episodes(
 /// failure — callers that can see injected faults must use
 /// [`try_write_time`].
 pub fn write_time(bytes: u64, config: &FarviewConfig) -> SimDuration {
+    // fv:allow(panic): documented above — fault-seeing callers must use
+    // try_write_time; the fault-free path cannot fail.
     try_write_time(bytes, config).expect("write episode failed under an injected fault")
 }
 
@@ -777,10 +840,13 @@ pub fn try_write_time(bytes: u64, config: &FarviewConfig) -> Result<SimDuration,
                         self.bursts_out += 1;
                         ctx.send_at(ctx.me(), done, WMsg::BurstDone);
                     }
-                    // A zero-byte write still acknowledges.
+                    // A zero-byte write still acknowledges. An unwired
+                    // client drops the ack and surfaces as an incomplete
+                    // episode — no panic mid-simulation.
                     if last && self.complete() {
-                        let client = self.client.expect("client wired");
-                        ctx.send(client, WIRE_ONE_WAY, WMsg::Ack);
+                        if let Some(client) = self.client {
+                            ctx.send(client, WIRE_ONE_WAY, WMsg::Ack);
+                        }
                     }
                 }
                 WMsg::BurstDone => {
@@ -788,10 +854,13 @@ pub fn try_write_time(bytes: u64, config: &FarviewConfig) -> Result<SimDuration,
                     // Bursts retire out of order across channels; the ack
                     // goes out only when the whole write has landed.
                     if self.complete() {
-                        let client = self.client.expect("client wired");
-                        ctx.send(client, WIRE_ONE_WAY, WMsg::Ack);
+                        if let Some(client) = self.client {
+                            ctx.send(client, WIRE_ONE_WAY, WMsg::Ack);
+                        }
                     }
                 }
+                // fv:allow(panic): actor wiring invariant — acks are
+                // addressed to the WriteClient id only.
                 WMsg::Ack => unreachable!("node never receives Ack"),
             }
         }
@@ -819,6 +888,7 @@ pub fn try_write_time(bytes: u64, config: &FarviewConfig) -> Result<SimDuration,
         client: None,
     }));
     let client = sim.add_actor(Box::new(WriteClient::default()));
+    // fv:allow(panic): id returned by add_actor above.
     sim.actor_mut::<WriteNode>(node).expect("node").client = Some(client);
 
     // The client's NIC serializes the data packets onto the wire; each
@@ -849,7 +919,7 @@ pub fn try_write_time(bytes: u64, config: &FarviewConfig) -> Result<SimDuration,
     }
     sim.run_to_quiescence(5_000_000);
     sim.actor::<WriteClient>(client)
-        .expect("client")
+        .expect("client") // fv:allow(panic): id returned by add_actor above
         .done_at
         .ok_or(FvError::IncompleteEpisode { qp: 0 })
         .map(|t| t.since(SimTime::ZERO))

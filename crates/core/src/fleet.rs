@@ -99,7 +99,11 @@ pub struct ShardAssignment {
 
 impl ShardMap {
     /// A map over `shards` slots.
+    ///
+    /// # Panics
+    /// Panics on `shards == 0` — a caller bug, not a runtime input.
     pub fn new(shards: usize) -> Self {
+        // fv:allow(panic): documented constructor precondition.
         assert!(shards > 0, "a fleet needs at least one shard");
         ShardMap { shards }
     }
@@ -115,6 +119,10 @@ impl ShardMap {
     }
 
     /// Assign every row of `(schema, data)` to a slot under `part`.
+    ///
+    /// # Panics
+    /// Panics when `data` is not a whole number of `schema` rows —
+    /// callers pass table images produced against the same schema.
     pub fn assign(
         &self,
         part: Partitioning,
@@ -122,6 +130,8 @@ impl ShardMap {
         data: &[u8],
     ) -> Result<ShardAssignment, FvError> {
         let row_bytes = schema.row_bytes();
+        // fv:allow(panic): documented precondition — table images are
+        // whole rows by construction.
         assert_eq!(data.len() % row_bytes, 0, "data is not whole rows");
         let rows = data.len() / row_bytes;
         let mut per_shard = vec![Vec::new(); self.shards];
@@ -145,9 +155,13 @@ impl ShardMap {
                 }
                 let range = schema.column_range(col);
                 for r in 0..rows {
+                    // fv:allow(panic): r < rows = data.len()/row_bytes,
+                    // so the slice is in bounds.
                     let row = &data[r * row_bytes..(r + 1) * row_bytes];
+                    // fv:allow(panic): column_range of a validated col
+                    // lies inside one row.
                     let shard = self.shard_of_key(&row[range.clone()]);
-                    per_shard[shard].push(r as u32);
+                    per_shard[shard].push(r as u32); // fv:allow(panic): shard_of_key mods by len
                 }
             }
         }
@@ -168,6 +182,10 @@ impl ShardAssignment {
 
     /// Split a full-table byte image into per-slot images (rows in
     /// ascending original order within each slot).
+    ///
+    /// # Panics
+    /// Panics when `data` is shorter than the image this assignment was
+    /// computed over — assignments and images travel together.
     pub fn scatter(&self, row_bytes: usize, data: &[u8]) -> Vec<Vec<u8>> {
         self.per_shard
             .iter()
@@ -175,6 +193,8 @@ impl ShardAssignment {
                 let mut shard = Vec::with_capacity(indices.len() * row_bytes);
                 for &r in indices {
                     let r = r as usize;
+                    // fv:allow(panic): documented precondition — row
+                    // indices were assigned over this very image.
                     shard.extend_from_slice(&data[r * row_bytes..(r + 1) * row_bytes]);
                 }
                 shard
@@ -199,7 +219,11 @@ static NEXT_FLEET_ID: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU6
 
 impl FarviewFleet {
     /// Bring up `nodes` identical Farview nodes at epoch 0.
+    ///
+    /// # Panics
+    /// Panics on `nodes == 0` — a caller bug, not a runtime input.
     pub fn new(nodes: usize, config: FarviewConfig) -> Self {
+        // fv:allow(panic): documented constructor precondition.
         assert!(nodes > 0, "a fleet needs at least one node");
         FarviewFleet {
             topology: Topology::with_nodes(nodes, &config),
@@ -765,16 +789,23 @@ impl FleetQPair {
             let holder = nodes
                 .iter()
                 .position(|&n| self.is_serving(n))
+                // fv:allow(panic): placement invariant — every slot's
+                // replica list is non-empty (replicas >= 1).
                 .ok_or(FvError::NodeDown { node: nodes[0].0 })?;
+            // fv:allow(panic): `holder` is a position into `nodes`, and
+            // shards/placement have one entry per slot by construction.
             let qp = self.node_qp(nodes[holder])?;
+            // fv:allow(panic): same placement invariant.
             let image = qp.peek_table(&ft.shards[slot][holder])?;
+            // fv:allow(panic): same placement invariant.
             for (k, &r) in ft.placement.assignment().per_shard()[slot]
                 .iter()
                 .enumerate()
             {
-                let r = r as usize;
-                full[r * row_bytes..(r + 1) * row_bytes]
-                    .copy_from_slice(&image[k * row_bytes..(k + 1) * row_bytes]);
+                let (dst, src) = (r as usize * row_bytes, k * row_bytes);
+                // fv:allow(panic): assignment row indices are < ft.rows
+                // and the shard image holds exactly its assigned rows.
+                full[dst..dst + row_bytes].copy_from_slice(&image[src..src + row_bytes]);
             }
         }
 
@@ -794,7 +825,11 @@ impl FleetQPair {
             std::collections::BTreeMap::new();
         for mv in &plan.moves {
             for &r in &mv.rows {
+                // fv:allow(panic): move plans index rows of this very
+                // table; slot_of_row has one entry per row.
                 let slot = slot_of_row[r as usize];
+                // fv:allow(panic): pos_in_slot was built from the same
+                // assignment the move plan was computed against.
                 let pos = pos_in_slot[slot as usize][&r];
                 reads.entry((mv.from, slot)).or_default().push(pos);
             }
@@ -808,11 +843,15 @@ impl FleetQPair {
             // source can die between planning and the copy. Surface it
             // typed — the rebalance aborts cleanly and the old epoch
             // keeps serving.
+            // fv:allow(panic): slots enumerate the placement's own shard
+            // list.
             let holder = ft.placement.shards()[slot as usize]
                 .iter()
                 .position(|&n| n == node)
                 .ok_or(FvError::NodeDown { node: node.0 })?;
             let qp = self.node_qp(node)?;
+            // fv:allow(panic): `holder` is a position into this slot's
+            // replica list; shards has one entry per slot.
             let (_, makespan) = qp.read_row_ranges(&ft.shards[slot as usize][holder], &ranges)?;
             *copy_per_node.entry(node).or_insert(SimDuration::ZERO) += makespan;
         }

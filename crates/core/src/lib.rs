@@ -34,6 +34,7 @@
 //! machine" (§6.2).
 
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 #![warn(rust_2018_idioms)]
 
 mod cluster;

@@ -45,6 +45,7 @@
 
 use fv_data::Schema;
 use fv_pipeline::merge::PartialAggPlan;
+use fv_pipeline::project::{ProjectionPlan, SmartAddressing};
 use fv_pipeline::{
     AggSpec, CryptoSpec, GroupingSpec, JoinSmallSpec, PipelineError, PipelineSpec, PredicateExpr,
     RegexFilter,
@@ -493,6 +494,130 @@ impl QueryPlan {
         Ok(spec)
     }
 
+    // --- the verifier -----------------------------------------------------
+
+    /// Semantically verify the plan against the base-table `schema`,
+    /// returning the schema of the result the client receives.
+    ///
+    /// The plan-level half of the IR verifier (pass 3 of `fv-analyze`).
+    /// Stages are checked in *list* order — each stage's column indices
+    /// refer to its input schema, so a filter written after a projection
+    /// is checked against the projected columns (exactly the plans
+    /// [`QueryPlan::optimize`] normalizes). Checks, stage by stage:
+    ///
+    /// * predicate / regex / join / aggregate column bounds and types
+    ///   against the schema flowing into that stage;
+    /// * output-name uniqueness wherever a stage defines new columns;
+    /// * smart addressing's structural constraints (pure projection);
+    /// * for [`PlanTarget::Fleet`], that the result stream merges
+    ///   order-preservingly (no compress/encrypt stage) and that every
+    ///   aggregate stage admits the partial/final split
+    ///   ([`PartialAggPlan`]) the gather reassembles shards with.
+    ///
+    /// `verify` does **not** check lowerability: a verifiable plan may
+    /// still need [`QueryPlan::optimize`] before [`QueryPlan::to_spec`]
+    /// accepts its stage order. Debug builds verify at plan
+    /// construction — [`QueryPlan::optimize`] asserts its output
+    /// verifies to the same schema as its input.
+    pub fn verify(&self, schema: &Schema) -> Result<Schema, FvError> {
+        let fleet = matches!(self.target, PlanTarget::Fleet { .. });
+        let mut current = schema.clone();
+        // Composed projection in base-column space under smart
+        // addressing, where the memory-side gather replaces the
+        // pack-side projection plan.
+        let mut smart_cols: Option<Vec<usize>> = None;
+        for stage in &self.stages {
+            if self.smart_addressing {
+                let conflict = match stage {
+                    LogicalStage::Filter(_) => Some("selection"),
+                    LogicalStage::Regex(_) => Some("regex"),
+                    LogicalStage::Aggregate { .. } => Some("grouping"),
+                    LogicalStage::Join(_) => Some("join"),
+                    _ => None,
+                };
+                if let Some(what) = conflict {
+                    return Err(FvError::Pipeline(PipelineError::SmartAddressingConflict(
+                        what,
+                    )));
+                }
+            }
+            match stage {
+                LogicalStage::Decrypt(_) => {}
+                LogicalStage::Filter(p) => p.validate(&current).map_err(PipelineError::from)?,
+                LogicalStage::Regex(r) => r.verify(&current)?,
+                LogicalStage::Join(j) => current = j.verify(&current)?,
+                LogicalStage::Aggregate {
+                    keys,
+                    aggs,
+                    distinct,
+                } => {
+                    let grouping = if *distinct && aggs.is_empty() {
+                        GroupingSpec::Distinct { cols: keys.clone() }
+                    } else {
+                        GroupingSpec::GroupBy {
+                            keys: keys.clone(),
+                            aggs: aggs.clone(),
+                        }
+                    };
+                    if fleet {
+                        // The gather must be able to reassemble shard
+                        // outcomes: the partial/final aggregate split has
+                        // to exist for this stage's input schema.
+                        match &grouping {
+                            GroupingSpec::Distinct { cols } => {
+                                PartialAggPlan::for_distinct(cols, &current)?;
+                            }
+                            GroupingSpec::GroupBy { keys, aggs } => {
+                                PartialAggPlan::new(keys, aggs, &current)?;
+                            }
+                        }
+                    }
+                    current = grouping.verify(&current)?;
+                }
+                LogicalStage::Project(cols) => {
+                    if self.smart_addressing {
+                        smart_cols = Some(match smart_cols.take() {
+                            None => cols.clone(),
+                            Some(prev) => remap_cols(cols, &prev)?,
+                        });
+                    } else {
+                        current = ProjectionPlan::new(&current, Some(cols))
+                            .map_err(FvError::Pipeline)?
+                            .out_schema()
+                            .clone();
+                    }
+                }
+                LogicalStage::Compress => {
+                    if fleet {
+                        return Err(FvError::FleetUnsupported {
+                            feature: "compressed",
+                        });
+                    }
+                }
+                LogicalStage::Encrypt(_) => {
+                    if fleet {
+                        return Err(FvError::FleetUnsupported {
+                            feature: "output-encrypted",
+                        });
+                    }
+                }
+            }
+        }
+        if self.smart_addressing {
+            let cols = smart_cols.ok_or(FvError::Pipeline(
+                PipelineError::SmartAddressingConflict("no projection"),
+            ))?;
+            // The gathered stream carries the projected bytes in
+            // ascending column order, deduplicated — same as compile.
+            SmartAddressing::plan(schema, &cols).map_err(FvError::Pipeline)?;
+            let mut sorted = cols;
+            sorted.sort_unstable();
+            sorted.dedup();
+            current = schema.project(&sorted);
+        }
+        Ok(current)
+    }
+
     // --- the optimizer ----------------------------------------------------
 
     /// Run the rule-based optimizer: normalize logical stage order into
@@ -519,6 +644,7 @@ impl QueryPlan {
             let mut changed = false;
             let mut i = 0;
             while i + 1 < plan.stages.len() {
+                // fv:allow(panic): the loop condition bounds i + 1.
                 let rewrite = match (&plan.stages[i], &plan.stages[i + 1]) {
                     // Predicate-before-projection: filter indices remap
                     // through the projection into base space.
@@ -613,7 +739,9 @@ impl QueryPlan {
         // margin keeps "optimized is never slower" true under the
         // event-level queueing the estimate does not model.)
         if !plan.smart_addressing && !plan.vectorize && plan.stages.len() == 1 {
+            // fv:allow(panic): len == 1 checked on the line above.
             if let LogicalStage::Project(cols) = &plan.stages[0] {
+                // fv:allow(panic): windows(2) yields exactly 2 elements.
                 let ascending = cols.windows(2).all(|w| w[0] < w[1]);
                 if ascending && !cols.is_empty() {
                     let cost = PlanCostModel::default();
@@ -624,6 +752,22 @@ impl QueryPlan {
                         plan.applied.push(rules::SMART_ADDRESSING);
                     }
                 }
+            }
+        }
+
+        // Debug builds run the IR verifier at plan construction: every
+        // rewrite must preserve semantic verifiability and the output
+        // schema (property-tested in `tests/ir_verifier_props.rs`).
+        #[cfg(debug_assertions)]
+        if let Ok(expected) = self.verify(schema) {
+            match plan.verify(schema) {
+                Ok(got) => debug_assert_eq!(
+                    got, expected,
+                    "optimizer must preserve the verified output schema"
+                ),
+                // fv:allow(panic): debug-only optimizer invariant — a rewrite
+                // that un-verifies a verifiable plan is a planner bug.
+                Err(e) => panic!("optimizer output failed to verify: {e}"),
             }
         }
 
@@ -927,6 +1071,8 @@ pub(crate) fn merge_gathered(
         MergeSpec::Concat => {
             // Concatenation in shard order. Under row-range partitioning
             // this *is* the single-node row order.
+            // fv:allow(panic): a fleet always scatters over >= 1 shard,
+            // so the gather sees >= 1 outcome.
             let schema = outcomes[0].schema.clone();
             let mut merged = Vec::with_capacity(input_bytes as usize);
             for p in &payloads {
@@ -1089,6 +1235,8 @@ impl Executor {
                 .map(|(&node, sft)| (node, sft))
                 .collect();
             if survivors.is_empty() {
+                // fv:allow(panic): placement invariant — every slot's
+                // replica list is non-empty (replicas >= 1).
                 return Err(FvError::NodeDown { node: nodes[0].0 });
             }
             // An error that means "this replica's datapath is degraded",
@@ -1130,6 +1278,7 @@ impl Executor {
                 }
                 return match best {
                     Some(won) => Ok(won.into_iter().map(|(_, o)| o).collect()),
+                    // fv:allow(panic): non-empty replica list (above).
                     None => Err(last_err.unwrap_or(FvError::NodeDown { node: nodes[0].0 })),
                 };
             }
@@ -1166,6 +1315,7 @@ impl Executor {
                 }
                 return Ok(outcomes);
             }
+            // fv:allow(panic): non-empty replica list (above).
             Err(last_err.unwrap_or(FvError::NodeDown { node: nodes[0].0 }))
         };
 
@@ -1185,6 +1335,8 @@ impl Executor {
             .enumerate()
             .map(|(i, (_, merge))| {
                 let outcomes: Vec<&QueryOutcome> =
+                    // fv:allow(panic): every slot ran the same `plans`
+                    // batch, so each shard batch has one outcome per i.
                     per_shard.iter().map(|batch| &batch[i]).collect();
                 merge_gathered(merge, fqp.merge_model(), &outcomes)
             })

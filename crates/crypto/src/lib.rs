@@ -18,6 +18,7 @@
 //! fully parallel — exactly the properties the paper's hardware exploits.
 
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 #![warn(rust_2018_idioms)]
 
 mod aes;

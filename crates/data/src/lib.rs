@@ -18,7 +18,8 @@
 //!   clients have local catalog information that is used to determine the
 //!   addresses of the tables to be accessed", §4.1).
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
 #![warn(rust_2018_idioms)]
 
 mod catalog;

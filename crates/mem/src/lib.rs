@@ -25,6 +25,7 @@
 //! simulator can charge time for precisely the bytes that move.
 
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 #![warn(rust_2018_idioms)]
 
 mod error;

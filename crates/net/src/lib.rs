@@ -21,7 +21,8 @@
 //! * [`LinkTiming`] — bandwidth/latency servers for the Farview wire and
 //!   the RNIC/PCIe path of the baselines.
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
 #![warn(rust_2018_idioms)]
 
 mod arbiter;

@@ -120,6 +120,14 @@ impl AggState {
     }
 }
 
+/// Output column type of `func` over an input column of type `ty` — the
+/// static mirror of `AggState::new(func, ty).out_type()` used by the
+/// plan/spec verifiers. Callers must reject byte-string aggregation
+/// (other than `COUNT`) first, exactly as compilation does.
+pub(crate) fn agg_out_type(func: AggFunc, ty: ColumnType) -> ColumnType {
+    AggState::new(func, ty).out_type()
+}
+
 /// Streaming GROUP BY with aggregation.
 pub struct GroupByOp {
     keys: ProjectionPlan,

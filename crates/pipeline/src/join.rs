@@ -69,6 +69,57 @@ impl JoinSmallSpec {
     pub fn upload_bytes(&self) -> u64 {
         self.build_rows.len() as u64
     }
+
+    /// Statically validate this join against `probe_schema` and compute
+    /// the joined output schema — every check [`JoinSmallOp::build`]
+    /// performs short of actually placing the build rows on chip (a
+    /// pathological key distribution can still overflow the cuckoo unit
+    /// at load time even under the byte budget).
+    pub fn verify(&self, probe_schema: &Schema) -> Result<Schema, PipelineError> {
+        if self.probe_col >= probe_schema.column_count() {
+            return Err(PipelineError::UnknownColumn {
+                col: self.probe_col,
+                arity: probe_schema.column_count(),
+            });
+        }
+        if self.build_key >= self.build_schema.column_count() {
+            return Err(PipelineError::UnknownColumn {
+                col: self.build_key,
+                arity: self.build_schema.column_count(),
+            });
+        }
+        let probe_ty = probe_schema.column(self.probe_col).ty;
+        let build_ty = self.build_schema.column(self.build_key).ty;
+        if probe_ty != build_ty {
+            return Err(PipelineError::JoinKeyTypeMismatch {
+                probe: probe_ty,
+                build: build_ty,
+            });
+        }
+        if self.build_rows.len() > MAX_BUILD_BYTES {
+            return Err(PipelineError::BuildSideTooLarge {
+                bytes: self.build_rows.len(),
+                limit: MAX_BUILD_BYTES,
+            });
+        }
+        let rb = self.build_schema.row_bytes();
+        if rb == 0 || !self.build_rows.len().is_multiple_of(rb) {
+            return Err(PipelineError::RaggedBuildSide);
+        }
+
+        // Output schema: probe columns, then build columns minus the key,
+        // prefixed to dodge name collisions.
+        let mut out_cols: Vec<Column> = probe_schema.columns().to_vec();
+        for (i, c) in self.build_schema.columns().iter().enumerate() {
+            if i != self.build_key {
+                out_cols.push(Column {
+                    name: format!("b_{}", c.name),
+                    ty: c.ty,
+                });
+            }
+        }
+        crate::pipeline::schema_from_unique_columns(out_cols)
+    }
 }
 
 /// The streaming probe operator.
@@ -94,49 +145,10 @@ impl std::fmt::Debug for JoinSmallOp {
 impl JoinSmallOp {
     /// Validate and load the build side.
     pub fn build(spec: &JoinSmallSpec, probe_schema: &Schema) -> Result<Self, PipelineError> {
-        if spec.probe_col >= probe_schema.column_count() {
-            return Err(PipelineError::UnknownColumn {
-                col: spec.probe_col,
-                arity: probe_schema.column_count(),
-            });
-        }
-        if spec.build_key >= spec.build_schema.column_count() {
-            return Err(PipelineError::UnknownColumn {
-                col: spec.build_key,
-                arity: spec.build_schema.column_count(),
-            });
-        }
-        let probe_ty = probe_schema.column(spec.probe_col).ty;
-        let build_ty = spec.build_schema.column(spec.build_key).ty;
-        if probe_ty != build_ty {
-            return Err(PipelineError::JoinKeyTypeMismatch {
-                probe: probe_ty,
-                build: build_ty,
-            });
-        }
-        if spec.build_rows.len() > MAX_BUILD_BYTES {
-            return Err(PipelineError::BuildSideTooLarge {
-                bytes: spec.build_rows.len(),
-                limit: MAX_BUILD_BYTES,
-            });
-        }
+        // The static verifier owns every shape check and computes the
+        // output schema; all that remains here is the dynamic load.
+        let out_schema = spec.verify(probe_schema)?;
         let rb = spec.build_schema.row_bytes();
-        if rb == 0 || !spec.build_rows.len().is_multiple_of(rb) {
-            return Err(PipelineError::RaggedBuildSide);
-        }
-
-        // Output schema: probe columns, then build columns minus the key,
-        // prefixed to dodge name collisions.
-        let mut out_cols: Vec<Column> = probe_schema.columns().to_vec();
-        for (i, c) in spec.build_schema.columns().iter().enumerate() {
-            if i != spec.build_key {
-                out_cols.push(Column {
-                    name: format!("b_{}", c.name),
-                    ty: c.ty,
-                });
-            }
-        }
-        let out_schema = Schema::new(out_cols);
 
         // Load the build side into the on-chip hash unit.
         let key_range = spec.build_schema.column_range(spec.build_key);

@@ -28,6 +28,7 @@
 //! tuple in each cycle" (§5.1).
 
 #![deny(missing_docs)]
+#![forbid(unsafe_code)]
 #![warn(rust_2018_idioms)]
 
 pub mod cuckoo;

@@ -207,7 +207,7 @@ impl PartialAggPlan {
                 ty,
             });
         }
-        let out_schema = Schema::new(out_cols);
+        let out_schema = crate::pipeline::schema_from_unique_columns(out_cols)?;
         let shard_row_bytes = key_bytes + 8 * shard_slots.len();
 
         Ok(PartialAggPlan {

@@ -1,6 +1,6 @@
 //! Compiled pipelines: framing, stage chaining, flushing, statistics.
 
-use fv_data::{ColumnType, Schema};
+use fv_data::{Column, ColumnType, Schema};
 use fv_sim::calib::{GROUP_FLUSH_CYCLES_PER_ENTRY, OP_FILL_CYCLES};
 
 use crate::compress::StreamCompressor;
@@ -13,7 +13,7 @@ use crate::pack::Packer;
 use crate::predicate::PredicateError;
 use crate::project::{ProjectionPlan, SmartAddressing};
 use crate::regex_op::RegexOp;
-use crate::spec::{AggFunc, GroupingSpec, PipelineSpec};
+use crate::spec::{GroupingSpec, PipelineSpec};
 
 /// Errors raised when compiling a [`PipelineSpec`] against a schema.
 #[derive(Debug, Clone, PartialEq)]
@@ -72,6 +72,13 @@ pub enum PipelineError {
     /// codec — user-supplied rows or constants that do not encode as
     /// their declared column type.
     Value(fv_data::ValueError),
+    /// Two output columns would share a name — a projection listing the
+    /// same column twice, or a grouping/join whose generated column
+    /// names collide with each other or with a base column.
+    DuplicateOutputColumn {
+        /// The colliding column name.
+        name: String,
+    },
 }
 
 impl std::fmt::Display for PipelineError {
@@ -115,6 +122,9 @@ impl std::fmt::Display for PipelineError {
                 write!(f, "small-table join cannot combine with {what}")
             }
             PipelineError::Value(e) => write!(f, "value codec: {e}"),
+            PipelineError::DuplicateOutputColumn { name } => {
+                write!(f, "two output columns would be named {name:?}")
+            }
         }
     }
 }
@@ -131,6 +141,22 @@ impl From<fv_data::ValueError> for PipelineError {
     fn from(e: fv_data::ValueError) -> Self {
         PipelineError::Value(e)
     }
+}
+
+/// Build a [`Schema`] from `cols`, turning a duplicate output name into
+/// a typed [`PipelineError::DuplicateOutputColumn`] instead of the
+/// `Schema::new` panic. Every place the pipeline derives an output
+/// schema from user input routes through this.
+pub(crate) fn schema_from_unique_columns(cols: Vec<Column>) -> Result<Schema, PipelineError> {
+    for (i, c) in cols.iter().enumerate() {
+        // fv:allow(panic): i < cols.len() from enumerate.
+        if cols[..i].iter().any(|prev| prev.name == c.name) {
+            return Err(PipelineError::DuplicateOutputColumn {
+                name: c.name.clone(),
+            });
+        }
+    }
+    Ok(Schema::new(cols))
 }
 
 /// Counters every pipeline keeps, reported in `QueryStats`.
@@ -171,7 +197,9 @@ impl<'a> TupleBlock<'a> {
     /// # Panics
     /// Panics if `data` is not a whole number of `tuple_bytes` tuples.
     pub fn new(data: &'a [u8], tuple_bytes: usize) -> Self {
+        // fv:allow(panic): documented constructor precondition.
         assert!(tuple_bytes > 0, "zero-width tuples");
+        // fv:allow(panic): documented constructor precondition.
         assert_eq!(
             data.len() % tuple_bytes,
             0,
@@ -202,9 +230,14 @@ impl<'a> TupleBlock<'a> {
     }
 
     /// The bytes of tuple `i`.
+    ///
+    /// # Panics
+    /// Panics when `i >= self.len()` — selection vectors carry indices
+    /// of the block they were built over.
     #[inline]
     pub fn tuple(&self, i: u32) -> &'a [u8] {
         let start = i as usize * self.tuple_bytes;
+        // fv:allow(panic): documented precondition, hot-loop bound.
         &self.data[start..start + self.tuple_bytes]
     }
 }
@@ -272,7 +305,10 @@ fn feed(ops: &mut [Box<dyn StreamOperator>], tuple: &[u8], sink: &mut dyn FnMut(
 fn flush_all(ops: &mut [Box<dyn StreamOperator>], sink: &mut dyn FnMut(&[u8])) {
     for i in 0..ops.len() {
         let (before, after) = ops.split_at_mut(i + 1);
-        let head = before.last_mut().expect("i < len");
+        let Some(head) = before.last_mut() else {
+            // split_at_mut(i + 1) with i < len leaves `before` non-empty.
+            continue;
+        };
         head.flush(&mut |t| feed(after, t, sink));
     }
 }
@@ -325,37 +361,10 @@ impl CompiledPipeline {
     /// Compile (load) `spec` for tables of `base_schema`.
     pub fn compile(spec: PipelineSpec, base_schema: &Schema) -> Result<Self, PipelineError> {
         // --- validation ---------------------------------------------------
-        if spec.smart_addressing {
-            if spec.projection.is_none() {
-                return Err(PipelineError::SmartAddressingConflict("no projection"));
-            }
-            if spec.selection.is_some() {
-                return Err(PipelineError::SmartAddressingConflict("selection"));
-            }
-            if spec.regex.is_some() {
-                return Err(PipelineError::SmartAddressingConflict("regex"));
-            }
-            if spec.grouping.is_some() {
-                return Err(PipelineError::SmartAddressingConflict("grouping"));
-            }
-            if spec.join.is_some() {
-                return Err(PipelineError::SmartAddressingConflict("join"));
-            }
-        }
-        if spec.grouping.is_some() && spec.projection.is_some() {
-            return Err(PipelineError::GroupingProjectionConflict);
-        }
-        if spec.join.is_some() {
-            if spec.grouping.is_some() {
-                return Err(PipelineError::JoinConflict("grouping"));
-            }
-            if spec.projection.is_some() {
-                return Err(PipelineError::JoinConflict("projection"));
-            }
-        }
-        if let Some(pred) = &spec.selection {
-            pred.validate(base_schema)?;
-        }
+        // The static verifier *is* the validation pass: every conflict,
+        // bounds, type and name check lives there, so a spec compiles if
+        // and only if it verifies (modulo dynamic build-side placement).
+        let verified_schema = spec.verify(base_schema)?;
 
         // Fused filter+project scan: a selection paired with a pack-time
         // projection and nothing between them collapses into one pass
@@ -370,15 +379,7 @@ impl CompiledPipeline {
             }
         }
         if let Some(rf) = &spec.regex {
-            if rf.col >= base_schema.column_count() {
-                return Err(PipelineError::UnknownColumn {
-                    col: rf.col,
-                    arity: base_schema.column_count(),
-                });
-            }
-            if !matches!(base_schema.column(rf.col).ty, ColumnType::Bytes(_)) {
-                return Err(PipelineError::RegexOnNonString { col: rf.col });
-            }
+            // Shape-checked by the verifier; compile the pattern for real.
             let re = fv_regex::Regex::compile(&rf.pattern)
                 .map_err(|e| PipelineError::Regex(e.to_string()))?;
             ops.push(Box::new(RegexOp::new(re, rf.col, base_schema.clone())));
@@ -389,30 +390,16 @@ impl CompiledPipeline {
             out_schema = op.out_schema().clone();
             ops.push(Box::new(op));
         }
+        // Bounds, types and output names are verifier-checked above;
+        // only operator construction remains.
         match &spec.grouping {
             Some(GroupingSpec::Distinct { cols }) => {
-                if cols.is_empty() {
-                    return Err(PipelineError::EmptyDistinct);
-                }
                 let plan = ProjectionPlan::new(base_schema, Some(cols))?;
                 out_schema = plan.out_schema().clone();
                 ops.push(Box::new(DistinctOp::new(plan)));
             }
             Some(GroupingSpec::GroupBy { keys, aggs }) => {
                 let key_plan = ProjectionPlan::new(base_schema, Some(keys))?;
-                for a in aggs {
-                    if a.col >= base_schema.column_count() {
-                        return Err(PipelineError::UnknownColumn {
-                            col: a.col,
-                            arity: base_schema.column_count(),
-                        });
-                    }
-                    if matches!(base_schema.column(a.col).ty, ColumnType::Bytes(_))
-                        && a.func != AggFunc::Count
-                    {
-                        return Err(PipelineError::AggOnBytes { col: a.col });
-                    }
-                }
                 let op = GroupByOp::new(key_plan, aggs.clone(), base_schema.clone());
                 out_schema = op.out_schema().clone();
                 ops.push(Box::new(op));
@@ -423,7 +410,11 @@ impl CompiledPipeline {
         // --- pack-side projection and framing -------------------------------
         let mut fused_gather = None;
         let (packer, in_tuple_bytes, smart_addressing) = if spec.smart_addressing {
-            let cols = spec.projection.as_deref().expect("validated above");
+            // verify() already rejected projection-less smart addressing;
+            // re-surface the same typed error rather than trusting it.
+            let Some(cols) = spec.projection.as_deref() else {
+                return Err(PipelineError::SmartAddressingConflict("no projection"));
+            };
             let sa = SmartAddressing::plan(base_schema, cols)?;
             // The gathered stream is already exactly the projected bytes,
             // in ascending column order.
@@ -435,8 +426,10 @@ impl CompiledPipeline {
         } else if spec.grouping.is_some() || spec.join.is_some() {
             // Grouping and join operators emit final-format tuples.
             (Packer::passthrough(), base_schema.row_bytes(), None)
-        } else if fuse {
-            let pred = spec.selection.clone().expect("fuse requires selection");
+        } else if let (true, Some(pred)) = (fuse, spec.selection.clone()) {
+            // fuses_filter_project() implies a selection; binding it here
+            // lets the (unreachable) None shape fall through to the plain
+            // projection packer instead of panicking.
             let plan = ProjectionPlan::new(base_schema, spec.projection.as_deref())?;
             let op = FusedFilterProject::new(pred, base_schema.clone(), plan.clone());
             out_schema = op.out_schema().clone();
@@ -452,6 +445,11 @@ impl CompiledPipeline {
         let decrypt = spec.decrypt_input.as_ref().map(StreamCrypto::new);
         let compress = spec.compress_output.then(StreamCompressor::new);
         let encrypt = spec.encrypt_output.as_ref().map(StreamCrypto::new);
+
+        debug_assert_eq!(
+            out_schema, verified_schema,
+            "PipelineSpec::verify must predict the compiled output schema"
+        );
 
         Ok(CompiledPipeline {
             spec,
@@ -539,6 +537,7 @@ impl CompiledPipeline {
     /// # Panics
     /// Panics if called after [`CompiledPipeline::finish`].
     pub fn push_bytes(&mut self, chunk: &[u8]) {
+        // fv:allow(panic): documented use-after-finish precondition.
         assert!(!self.finished, "pipeline already finished");
         self.stats.bytes_in += chunk.len() as u64;
 
@@ -569,8 +568,10 @@ impl CompiledPipeline {
                 self.decrypt_scratch = scratch;
                 return;
             }
+            // fv:allow(panic): rest.len() >= need checked just above.
             self.partial.extend_from_slice(&rest[..need]);
-            rest = &rest[need..];
+            rest = &rest[need..]; // fv:allow(panic): same bound
+
             let head = std::mem::take(&mut self.partial);
             self.process_frame(&head);
             self.partial = head;
@@ -578,9 +579,10 @@ impl CompiledPipeline {
         }
         let whole = rest.len() / tb * tb;
         if whole > 0 {
+            // fv:allow(panic): whole = len/tb*tb <= len.
             self.process_frame(&rest[..whole]);
         }
-        self.partial.extend_from_slice(&rest[whole..]);
+        self.partial.extend_from_slice(&rest[whole..]); // fv:allow(panic): whole <= len
         self.decrypt_scratch = scratch;
         self.refresh_op_stats();
     }
@@ -621,6 +623,7 @@ impl CompiledPipeline {
         // Leading selections mark survivors in place.
         let mut next = 0;
         while next < self.ops.len() && !sel.is_empty() {
+            // fv:allow(panic): the loop condition bounds next.
             if !self.ops[next].select_block(&block, &mut sel) {
                 break;
             }
@@ -637,22 +640,33 @@ impl CompiledPipeline {
             // Survivors continue into the stateful tail (at most one
             // grouping/join operator plus anything behind it).
             let (_, tail) = self.ops.split_at_mut(next);
-            let (head, rest) = tail.split_first_mut().expect("next < len");
-            head.push_block(&block, &sel, &mut |t| {
-                feed(rest, t, &mut |t| {
-                    stats.tuples_out += 1;
-                    packer.push_tuple(t);
+            // next < ops.len() here, so the tail is non-empty; the None
+            // shape would silently drop the block's survivors, which the
+            // tuples_out accounting in the tests would catch.
+            if let Some((head, rest)) = tail.split_first_mut() {
+                head.push_block(&block, &sel, &mut |t| {
+                    feed(rest, t, &mut |t| {
+                        stats.tuples_out += 1;
+                        packer.push_tuple(t);
+                    });
                 });
-            });
+            }
         }
         sel.clear();
         self.sel_scratch = sel;
     }
 
     /// End of stream: flush the grouping operators and the packer.
+    ///
+    /// # Panics
+    /// Panics on a second `finish`, or when the stream ended mid-tuple
+    /// (the feeder broke the whole-tuple framing contract).
     pub fn finish(&mut self) {
+        // fv:allow(panic): documented double-finish precondition.
         assert!(!self.finished, "pipeline finished twice");
         self.finished = true;
+        // fv:allow(panic): a mid-tuple stream end means the feeder broke
+        // the whole-tuple framing contract — corrupt output either way.
         assert!(
             self.partial.is_empty(),
             "stream ended mid-tuple: {} trailing bytes",

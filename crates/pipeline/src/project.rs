@@ -35,11 +35,18 @@ impl ProjectionPlan {
                 if c.is_empty() {
                     return Err(PipelineError::EmptyProjection);
                 }
-                for &idx in c {
+                for (i, &idx) in c.iter().enumerate() {
                     if idx >= schema.column_count() {
                         return Err(PipelineError::UnknownColumn {
                             col: idx,
                             arity: schema.column_count(),
+                        });
+                    }
+                    // A repeated index would duplicate an output column
+                    // name, which `Schema::new` rejects by panicking.
+                    if c[..i].contains(&idx) {
+                        return Err(PipelineError::DuplicateOutputColumn {
+                            name: schema.column(idx).name.clone(),
                         });
                     }
                 }

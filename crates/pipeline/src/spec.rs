@@ -6,8 +6,12 @@
 //! upon a request from a client" (§3.2). A [`PipelineSpec`] is that
 //! design's description; `CompiledPipeline::compile` is the load.
 
+use fv_data::{Column, ColumnType, Schema};
+
 use crate::join::JoinSmallSpec;
+use crate::pipeline::{schema_from_unique_columns, PipelineError};
 use crate::predicate::PredicateExpr;
+use crate::project::{ProjectionPlan, SmartAddressing};
 
 /// Aggregation functions ("Farview supports a range of standard
 /// aggregation operators like count, min, max, sum and average", §5.4).
@@ -59,6 +63,59 @@ pub enum GroupingSpec {
     },
 }
 
+impl GroupingSpec {
+    /// Statically validate this grouping against `base_schema` and
+    /// compute its output schema — the exact checks compilation performs
+    /// and the exact schema the operator emits (key columns followed by
+    /// one `{func}_{column}` column per aggregate).
+    pub fn verify(&self, base_schema: &Schema) -> Result<Schema, PipelineError> {
+        match self {
+            GroupingSpec::Distinct { cols } => {
+                if cols.is_empty() {
+                    return Err(PipelineError::EmptyDistinct);
+                }
+                Ok(ProjectionPlan::new(base_schema, Some(cols))?
+                    .out_schema()
+                    .clone())
+            }
+            GroupingSpec::GroupBy { keys, aggs } => {
+                let key_plan = ProjectionPlan::new(base_schema, Some(keys))?;
+                for a in aggs {
+                    if a.col >= base_schema.column_count() {
+                        return Err(PipelineError::UnknownColumn {
+                            col: a.col,
+                            arity: base_schema.column_count(),
+                        });
+                    }
+                    if matches!(base_schema.column(a.col).ty, ColumnType::Bytes(_))
+                        && a.func != AggFunc::Count
+                    {
+                        return Err(PipelineError::AggOnBytes { col: a.col });
+                    }
+                }
+                let mut out_cols: Vec<Column> = key_plan.out_schema().columns().to_vec();
+                for a in aggs {
+                    let func = match a.func {
+                        AggFunc::Count => "count",
+                        AggFunc::Sum => "sum",
+                        AggFunc::SumF64 => "sumf64",
+                        AggFunc::Min => "min",
+                        AggFunc::Max => "max",
+                        AggFunc::Avg => "avg",
+                    };
+                    out_cols.push(Column {
+                        name: format!("{func}_{}", base_schema.column(a.col).name),
+                        ty: crate::group_by::agg_out_type(a.func, base_schema.column(a.col).ty),
+                    });
+                }
+                // A repeated aggregate (or an agg name shadowing a key
+                // column) would duplicate an output name.
+                schema_from_unique_columns(out_cols)
+            }
+        }
+    }
+}
+
 /// Regex selection: keep tuples whose string column matches.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RegexFilter {
@@ -66,6 +123,24 @@ pub struct RegexFilter {
     pub col: usize,
     /// Pattern (compiled by `fv-regex`).
     pub pattern: String,
+}
+
+impl RegexFilter {
+    /// Statically validate this filter against `schema`: the column must
+    /// exist, hold byte strings, and the pattern must compile.
+    pub fn verify(&self, schema: &Schema) -> Result<(), PipelineError> {
+        if self.col >= schema.column_count() {
+            return Err(PipelineError::UnknownColumn {
+                col: self.col,
+                arity: schema.column_count(),
+            });
+        }
+        if !matches!(schema.column(self.col).ty, ColumnType::Bytes(_)) {
+            return Err(PipelineError::RegexOnNonString { col: self.col });
+        }
+        fv_regex::Regex::compile(&self.pattern).map_err(|e| PipelineError::Regex(e.to_string()))?;
+        Ok(())
+    }
 }
 
 /// AES-128-CTR key material for the de/encryption operators (§5.5).
@@ -200,6 +275,85 @@ impl PipelineSpec {
     pub fn vectorized(mut self) -> Self {
         self.vectorize = true;
         self
+    }
+
+    /// Statically verify this spec against `base_schema`, returning the
+    /// schema of the tuples the client will receive.
+    ///
+    /// This is the spec-level half of the IR verifier (pass 3 of
+    /// `fv-analyze`): every conflict, column-bounds, type and
+    /// output-name check `CompiledPipeline::compile` enforces, as a pure
+    /// function over the spec — a spec compiles against a schema **iff**
+    /// it verifies, with one dynamic exception (a join build side can
+    /// still fail cuckoo placement at load time even under the byte
+    /// budget). `compile` itself routes through this, and debug builds
+    /// assert the returned schema matches the compiled pipeline's.
+    pub fn verify(&self, base_schema: &Schema) -> Result<Schema, PipelineError> {
+        // Structural conflicts: combinations the hardware has no layout
+        // for, checked before any per-column work.
+        if self.smart_addressing {
+            if self.projection.is_none() {
+                return Err(PipelineError::SmartAddressingConflict("no projection"));
+            }
+            if self.selection.is_some() {
+                return Err(PipelineError::SmartAddressingConflict("selection"));
+            }
+            if self.regex.is_some() {
+                return Err(PipelineError::SmartAddressingConflict("regex"));
+            }
+            if self.grouping.is_some() {
+                return Err(PipelineError::SmartAddressingConflict("grouping"));
+            }
+            if self.join.is_some() {
+                return Err(PipelineError::SmartAddressingConflict("join"));
+            }
+        }
+        if self.grouping.is_some() && self.projection.is_some() {
+            return Err(PipelineError::GroupingProjectionConflict);
+        }
+        if self.join.is_some() {
+            if self.grouping.is_some() {
+                return Err(PipelineError::JoinConflict("grouping"));
+            }
+            if self.projection.is_some() {
+                return Err(PipelineError::JoinConflict("projection"));
+            }
+        }
+
+        // Per-stage column bounds, types, and output-schema flow, in
+        // physical pipeline order.
+        if let Some(pred) = &self.selection {
+            pred.validate(base_schema)?;
+        }
+        if let Some(rf) = &self.regex {
+            rf.verify(base_schema)?;
+        }
+        let mut out_schema = base_schema.clone();
+        if let Some(join) = &self.join {
+            out_schema = join.verify(base_schema)?;
+        }
+        if let Some(g) = &self.grouping {
+            out_schema = g.verify(base_schema)?;
+        }
+        if let Some(cols) = self.projection.as_deref() {
+            if self.smart_addressing {
+                // The gathered stream carries the projected bytes in
+                // ascending column order, deduplicated.
+                SmartAddressing::plan(base_schema, cols)?;
+                let mut sorted = cols.to_vec();
+                sorted.sort_unstable();
+                sorted.dedup();
+                out_schema = base_schema.project(&sorted);
+            } else {
+                // Grouping/join conflicts are already rejected, so the
+                // projection applies to the base schema at the pack
+                // stage.
+                out_schema = ProjectionPlan::new(base_schema, Some(cols))?
+                    .out_schema()
+                    .clone();
+            }
+        }
+        Ok(out_schema)
     }
 
     /// Whether `CompiledPipeline::compile` collapses this spec's

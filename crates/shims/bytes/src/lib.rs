@@ -7,6 +7,7 @@
 //! zero-allocation path for `&'static` data).
 
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 #![warn(rust_2018_idioms)]
 
 use std::ops::Deref;

@@ -10,6 +10,7 @@
 //! timing, so a plain mean is enough to keep the harness honest.
 
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 #![warn(rust_2018_idioms)]
 
 use std::fmt::Display;

@@ -6,6 +6,7 @@
 //! main closure's panic.
 
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 #![warn(rust_2018_idioms)]
 
 use std::panic::{catch_unwind, AssertUnwindSafe};

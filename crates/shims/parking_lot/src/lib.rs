@@ -10,6 +10,7 @@
 //! simulation.
 
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 #![warn(rust_2018_idioms)]
 
 use std::sync::PoisonError;

@@ -19,6 +19,7 @@
 //! * Only the strategy combinators used in this repository exist.
 
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 #![warn(rust_2018_idioms)]
 
 use std::collections::HashSet;

@@ -10,6 +10,7 @@
 //! bit-compatibility with upstream `rand`.
 
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 #![warn(rust_2018_idioms)]
 
 /// Seedable construction, mirroring `rand::SeedableRng`.

@@ -8,6 +8,7 @@
 //! also swallow `#[serde(...)]` helper attributes).
 
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 #![warn(rust_2018_idioms)]
 
 pub use serde_derive::{Deserialize, Serialize};

@@ -6,6 +6,7 @@
 //! including `#[serde(...)]` helper attributes. They expand to nothing.
 
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 
 use proc_macro::TokenStream;
 

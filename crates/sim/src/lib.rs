@@ -26,6 +26,7 @@
 //! `fv-net` and `farview-core` instantiate actors on top of it.
 
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 #![warn(rust_2018_idioms)]
 
 pub mod calib;

@@ -8,6 +8,7 @@
 //! all of them, deterministically from a seed.
 
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 #![warn(rust_2018_idioms)]
 
 pub mod chaos;

@@ -16,10 +16,16 @@ fmt-check:
 
 # Lint gate: warnings are errors.
 clippy:
-    cargo clippy --workspace -- -D warnings
+    cargo clippy --workspace -- -D warnings --force-warn clippy::unwrap_used --force-warn clippy::expect_used
+
+# Static analysis gate: the panic-freedom ratchet against
+# analyze/baseline.toml, the typed-error audit, and the IR verifier
+# smoke corpus. Improvements auto-tighten the baseline (commit it).
+analyze:
+    cargo run -q --release -p fv-analyze --bin fv-analyze
 
 # Everything CI runs.
-ci: verify doc fmt-check clippy
+ci: verify doc fmt-check clippy analyze
 
 # Reproduce every table/figure of the paper plus the scale-out sweep.
 figures:

@@ -39,6 +39,7 @@
 //! onto the modules.
 
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 #![warn(rust_2018_idioms)]
 
 pub use farview_core as core;

@@ -1,0 +1,160 @@
+//! Property-based IR verifier soundness (the static side of
+//! `fv-analyze` pass 3): for arbitrary well-formed specs,
+//! `QueryPlan::verify` must accept, the optimizer's output must verify
+//! to the *same* schema, and the verified schema must agree with what
+//! `CompiledPipeline::compile` actually builds. For seeded mutations
+//! (out-of-bounds projection, regex over a non-bytes column,
+//! out-of-bounds aggregate input) every layer must reject, and the
+//! spec fingerprint — what the fleet uses to prove each shard ran the
+//! same program — must move.
+
+use proptest::prelude::*;
+
+use farview_core::{AggFunc, AggSpec, Partitioning, PlanTarget, PredicateExpr, QueryPlan};
+use fv_data::Schema;
+use fv_pipeline::{CompiledPipeline, PipelineSpec};
+
+const COLS: usize = 8;
+
+/// Distinct in-bounds column lists.
+fn arb_cols(max: usize) -> impl Strategy<Value = Vec<usize>> {
+    prop::collection::vec(0usize..COLS, 1..=max).prop_map(|mut cols| {
+        let mut seen = std::collections::HashSet::new();
+        cols.retain(|c| seen.insert(*c));
+        cols
+    })
+}
+
+/// A random well-formed spec over the 8×u64 paper-default schema.
+fn arb_spec() -> impl Strategy<Value = PipelineSpec> {
+    let filter = (0usize..COLS, 0u64..64)
+        .prop_map(|(col, v)| PipelineSpec::passthrough().filter(PredicateExpr::lt(col, v)));
+    let project = arb_cols(4).prop_map(|cols| PipelineSpec::passthrough().project(cols));
+    let filter_project = (0usize..COLS, 0u64..64, arb_cols(4)).prop_map(|(col, v, cols)| {
+        PipelineSpec::passthrough()
+            .filter(PredicateExpr::lt(col, v))
+            .project(cols)
+    });
+    let distinct = arb_cols(2).prop_map(|cols| PipelineSpec::passthrough().distinct(cols));
+    let group_by = (
+        0usize..COLS,
+        0usize..COLS,
+        prop::sample::select(vec![
+            AggFunc::Count,
+            AggFunc::Sum,
+            AggFunc::Min,
+            AggFunc::Max,
+            AggFunc::Avg,
+        ]),
+    )
+        .prop_map(|(key, col, func)| {
+            PipelineSpec::passthrough().group_by(vec![key], vec![AggSpec { col, func }])
+        });
+    prop_oneof![filter, project, filter_project, distinct, group_by]
+}
+
+/// Every deployment shape the planner knows about.
+fn arb_target() -> impl Strategy<Value = PlanTarget> {
+    prop_oneof![
+        Just(PlanTarget::Single),
+        (1usize..5).prop_map(|depth| PlanTarget::Batch { depth }),
+        (2usize..5).prop_map(|shards| PlanTarget::Fleet {
+            shards,
+            partitioning: Partitioning::RowRange,
+        }),
+    ]
+}
+
+/// A seeded defect applied to a well-formed spec. Each returns a spec
+/// that is wrong in a way `verify` is specified to catch, and whose
+/// program bytes differ from the original's.
+fn mutate(spec: &PipelineSpec, which: usize, k: usize) -> (&'static str, PipelineSpec) {
+    match which {
+        0 => ("oob-projection", spec.clone().project(vec![COLS + k])),
+        1 => ("regex-on-u64", spec.clone().regex_match(k % COLS, "a+")),
+        _ => (
+            "oob-aggregate-input",
+            spec.clone().group_by(
+                vec![0],
+                vec![AggSpec {
+                    col: COLS + k,
+                    func: AggFunc::Sum,
+                }],
+            ),
+        ),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The optimizer can only move work around: its output must still
+    /// verify, to the same output schema, for every target shape.
+    #[test]
+    fn optimizer_output_always_verifies(
+        spec in arb_spec(),
+        target in arb_target(),
+    ) {
+        let schema = Schema::uniform_u64(COLS);
+        let plan = QueryPlan::from_spec(&spec, target);
+        let verified = plan.verify(&schema);
+        prop_assert!(verified.is_ok(), "verify rejected {spec:?}: {verified:?}");
+        let verified = verified.unwrap();
+        let opt = plan.optimize(&schema);
+        prop_assert!(opt.is_ok(), "optimize failed on {spec:?}: {opt:?}");
+        let re_verified = opt.unwrap().verify(&schema);
+        prop_assert_eq!(
+            re_verified.as_ref().ok(), Some(&verified),
+            "optimizer changed the verified schema for {:?}", spec
+        );
+    }
+
+    /// Static/dynamic agreement: the schema `verify` predicts is the
+    /// schema the compiled operator chain actually produces.
+    #[test]
+    fn verify_agrees_with_compile(spec in arb_spec()) {
+        let schema = Schema::uniform_u64(COLS);
+        let plan = QueryPlan::from_spec(&spec, PlanTarget::Single);
+        let verified = plan.verify(&schema).expect("well-formed spec verifies");
+        let lowered = plan.to_spec().expect("well-formed spec lowers");
+        let compiled = CompiledPipeline::compile(lowered, &schema)
+            .expect("verified spec compiles");
+        prop_assert_eq!(
+            compiled.out_schema(), &verified,
+            "compile disagreed with verify on {:?}", spec
+        );
+    }
+
+    /// Seeded defects are rejected by the spec verifier, the plan
+    /// verifier, and the compiler alike — and the mutation moves the
+    /// fingerprint, so a fleet shard running the mutated program would
+    /// be caught.
+    #[test]
+    fn seeded_mutations_are_rejected_and_move_the_fingerprint(
+        spec in arb_spec(),
+        which in 0usize..3,
+        k in 0usize..4,
+    ) {
+        let schema = Schema::uniform_u64(COLS);
+        let (name, bad) = mutate(&spec, which, k);
+        prop_assert!(
+            bad.verify(&schema).is_err(),
+            "spec verify accepted {name}: {bad:?}"
+        );
+        let plan = QueryPlan::from_spec(&bad, PlanTarget::Single);
+        prop_assert!(
+            plan.verify(&schema).is_err(),
+            "plan verify accepted {name}: {bad:?}"
+        );
+        if let Ok(lowered) = plan.to_spec() {
+            prop_assert!(
+                CompiledPipeline::compile(lowered, &schema).is_err(),
+                "compile accepted {name}: {bad:?}"
+            );
+        }
+        prop_assert!(
+            bad.fingerprint() != spec.fingerprint(),
+            "mutation {name} kept the fingerprint of {spec:?}"
+        );
+    }
+}
