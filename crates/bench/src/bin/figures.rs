@@ -41,6 +41,31 @@ fn one(id: &str) -> Option<Figure> {
     })
 }
 
+/// `figures smoke` gate: the committed hotpath baseline must exist and
+/// record a `speedup` for each of the four stateful operators whose
+/// batched block paths PR 8 introduced (plus their engagement
+/// counters). A line-oriented scan is enough — `to_json` emits one
+/// operator object per line.
+fn check_recorded_hotpath_baseline(path: &str) -> Result<(), String> {
+    let json = std::fs::read_to_string(path)
+        .map_err(|e| format!("{path} missing — run `just bench-hotpath` to record it ({e})"))?;
+    for op in ["regex", "distinct", "group_by", "join"] {
+        let line = json
+            .lines()
+            .find(|l| l.contains(&format!("\"op\": \"{op}\"")))
+            .ok_or_else(|| format!("{path}: no sample for operator {op:?}"))?;
+        if !line.contains("\"speedup\":") {
+            return Err(format!("{path}: operator {op:?} sample has no speedup"));
+        }
+        if !line.contains("\"batched_blocks\":") {
+            return Err(format!(
+                "{path}: operator {op:?} sample has no batched_blocks counter"
+            ));
+        }
+    }
+    Ok(())
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = env::args().skip(1).collect();
     let csv = args.iter().any(|a| a == "--csv");
@@ -68,9 +93,9 @@ fn main() -> ExitCode {
             let report = hotpath_report();
             render(&report.to_figure());
             let json = report.to_json();
-            match std::fs::write("BENCH_PR5.json", &json) {
-                Ok(()) => eprintln!("wrote BENCH_PR5.json"),
-                Err(e) => eprintln!("could not write BENCH_PR5.json: {e}"),
+            match std::fs::write("BENCH_PR8.json", &json) {
+                Ok(()) => eprintln!("wrote BENCH_PR8.json"),
+                Err(e) => eprintln!("could not write BENCH_PR8.json: {e}"),
             }
         }
         "chaos" => {
@@ -97,6 +122,14 @@ fn main() -> ExitCode {
             // gate (`just bench-smoke`) that keeps the harness honest.
             for f in smoke_figures() {
                 render(&f);
+            }
+            // The recorded perf baseline must carry a measured speedup
+            // for every stateful operator that grew a batched block
+            // path in PR 8 — a missing entry means `figures hotpath`
+            // was not re-run after an operator-suite change.
+            if let Err(missing) = check_recorded_hotpath_baseline("BENCH_PR8.json") {
+                eprintln!("{missing}");
+                return ExitCode::FAILURE;
             }
         }
         id => match one(id) {

@@ -37,7 +37,7 @@
 //! implementation itself — per-operator tuples/sec on the vectorized
 //! block datapath vs the per-tuple reference, and parallel vs serial
 //! fleet scatter at 1 → 8 nodes (`figures hotpath` also writes the
-//! machine-readable `BENCH_PR5.json` perf baseline).
+//! machine-readable `BENCH_PR8.json` perf baseline).
 //! [`chaos()`] degrades one node of a replicated fleet behind each
 //! seeded fault class (loss/retry, delay spikes, bandwidth cap,
 //! partition, truncated doorbell, raced slow replica), asserting

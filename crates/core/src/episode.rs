@@ -405,7 +405,7 @@ impl Actor<Msg> for NodeActor {
                 let mut output = run.q.pipeline.drain_output();
                 if finished {
                     run.q.pipeline.finish();
-                    output.extend(run.q.pipeline.drain_output());
+                    run.q.pipeline.drain_output_into(&mut output);
                     ready += SimDuration::for_cycles(run.q.pipeline.flush_cycles(), OP_CLOCK_HZ);
                 }
                 let pkts = NodeActor::packetize(run, &mut output, finished);

@@ -15,7 +15,7 @@
 
 use std::collections::VecDeque;
 
-use crate::cuckoo::{CuckooTable, ShiftRegisterLru};
+use crate::cuckoo::{hash_key, CuckooTable, ShiftRegisterLru};
 use crate::pipeline::{StreamOperator, TupleBlock};
 use crate::project::ProjectionPlan;
 
@@ -40,6 +40,12 @@ pub struct DistinctOp {
     /// Tuples processed (the write-pipeline clock).
     tick: u64,
     key_buf: Vec<u8>,
+    /// Batched-path scratch: all survivor keys of a block, gathered
+    /// contiguously (reused across blocks, so steady state is malloc-free).
+    block_keys: Vec<u8>,
+    /// Batched-path scratch: one primary hash per gathered key.
+    block_hashes: Vec<u64>,
+    batched_blocks: u64,
     emitted: u64,
     overflow: u64,
     hazard_catches: u64,
@@ -76,6 +82,9 @@ impl DistinctOp {
             in_flight: VecDeque::with_capacity(WRITE_LATENCY),
             tick: 0,
             key_buf: Vec::new(),
+            block_keys: Vec::new(),
+            block_hashes: Vec::new(),
+            batched_blocks: 0,
             emitted: 0,
             overflow: 0,
             hazard_catches: 0,
@@ -106,6 +115,72 @@ impl DistinctOp {
 
     fn visible_in_table(&self, key: &[u8]) -> bool {
         self.table.contains(key) && !self.in_flight.iter().any(|(k, _)| k.as_ref() == key)
+    }
+
+    /// One tuple of the batched path's hazard-window state machine, with
+    /// the key's primary hash already in hand. Bit-exact vs the scalar
+    /// [`DistinctOp::push`]: same probes in the same order against the
+    /// same table, LRU, and in-flight window. Forced inline: this is the
+    /// per-tuple body of the batched loops, and a real call here would
+    /// spill the loop state it shares with them.
+    ///
+    /// Returns the LRU slot the key occupies afterwards (`None` when it
+    /// was left out: hazard leak, or a depth-0 window) — the handle the
+    /// caller's run detection uses to re-promote a repeated key without
+    /// another scan.
+    #[inline(always)]
+    fn dedup_one(&mut self, h: u64, key: &[u8], out: &mut dyn FnMut(&[u8])) -> Option<usize> {
+        // Advance the write pipeline by one tuple (the hazard clock
+        // ticks per tuple, not per block).
+        self.tick += 1;
+        while matches!(self.in_flight.front(), Some((_, commit)) if *commit <= self.tick) {
+            self.in_flight.pop_front();
+        }
+        // LRU first — it exists to catch what the table can't see
+        // yet. One merged scan answers membership, refreshes recency
+        // on a hit (the scalar path's contains-then-touch pair), and
+        // on a miss already selects the victim slot the shift-in
+        // below will use — the whole LRU step is a single walk.
+        let slot = match self.lru.promote_or_victim(h, key) {
+            Ok(slot) => {
+                self.hazard_catches += 1;
+                return Some(slot);
+            }
+            Err(slot) => slot,
+        };
+        // One probe decides both the ordinary-duplicate and the
+        // hazard-leak branch (the scalar path probes twice; nothing
+        // mutates the table in between, so the answers are equal).
+        if self.table.contains_hashed(h, key) {
+            if self.in_flight.iter().any(|(k, _)| k.as_ref() == key) {
+                // In the table but still inside the invisible window
+                // and not caught by the LRU: the §5.4 data hazard. The
+                // key does NOT enter the LRU (the scalar path's touch
+                // never runs on this branch either).
+                self.hazard_leaks += 1;
+                self.emitted += 1;
+                out(key);
+                return None;
+            }
+            // Ordinary duplicate; the failed promote already
+            // proved the key absent, so shift it in scan-free.
+            self.lru.shift_in_at(slot, h, key);
+            return Some(slot);
+        }
+        // Genuinely new key: insert (entering the hazard window) and emit.
+        match self.table.insert_hashed(h, key.into(), ()) {
+            Ok(()) => {
+                self.in_flight
+                    .push_back((key.into(), self.tick + WRITE_LATENCY as u64));
+            }
+            Err(_homeless) => {
+                self.overflow += 1;
+            }
+        }
+        self.lru.shift_in_at(slot, h, key);
+        self.emitted += 1;
+        out(key);
+        Some(slot)
     }
 }
 
@@ -160,14 +235,102 @@ impl StreamOperator for DistinctOp {
         out(&self.key_buf);
     }
 
-    /// Block path: one dynamic dispatch per block; the hazard-window
-    /// state machine advances tuple by tuple inside (dedup is inherently
-    /// sequential), but without the scalar path's per-tuple virtual
-    /// call + closure chain.
+    /// Block path — hash-all-then-probe-all. Pass 1 gathers every
+    /// survivor key into one contiguous scratch; pass 2 computes every
+    /// primary hash in a tight loop; pass 3 runs the hazard-window state
+    /// machine tuple by tuple (dedup is inherently sequential, and the
+    /// hazard clock must tick per tuple) but with the hash already in
+    /// hand — no per-tuple virtual call, closure chain, or rehash per
+    /// probe. Bit-exact vs the scalar path: same probes in the same
+    /// order against the same table, LRU, and in-flight window.
     fn push_block(&mut self, block: &TupleBlock<'_>, sel: &[u32], out: &mut dyn FnMut(&[u8])) {
-        for &i in sel {
-            self.push(block.tuple(i), out);
+        if sel.is_empty() {
+            return;
         }
+        let kw = self.keys.out_row_bytes();
+        if kw == 0 {
+            // Degenerate empty-key plan (rejected upstream; stay safe).
+            for &i in sel {
+                self.push(block.tuple(i), out);
+            }
+            return;
+        }
+        self.batched_blocks += 1;
+        let mut hashes = std::mem::take(&mut self.block_hashes);
+        hashes.clear();
+        if let Some(range) = self.keys.contiguous_range() {
+            // The key is one contiguous slice of the row (single key
+            // column, or adjacent columns in schema order): hash and
+            // probe straight off the block bytes, no gather pass at all.
+            if sel.len() == block.len() {
+                let tb = block.tuple_bytes();
+                // Clustered inputs (fact tables physically ordered on
+                // the key) arrive as runs of equal keys. The first
+                // tuple of a run takes the full state machine; every
+                // repeat is provably still resident in the LRU at the
+                // slot the first occurrence reported, so it reduces to
+                // exactly what the scalar path would do — clock tick,
+                // in-flight retirement, stamp refresh, hazard-catch
+                // count — with the hash and both scans skipped. The
+                // memo is invalid when the key was left out of the LRU
+                // (hazard leak, or a depth-0 window).
+                let memo_on = self.lru.depth() > 0;
+                let mut prev: Option<(&[u8], usize)> = None;
+                for tuple in block.bytes().chunks_exact(tb) {
+                    let key = &tuple[range.clone()];
+                    if let Some((prev_key, slot)) = prev {
+                        if prev_key == key {
+                            self.tick += 1;
+                            while matches!(self.in_flight.front(),
+                                Some((_, commit)) if *commit <= self.tick)
+                            {
+                                self.in_flight.pop_front();
+                            }
+                            self.lru.promote_at(slot);
+                            self.hazard_catches += 1;
+                            continue;
+                        }
+                    }
+                    let h = hash_key(key);
+                    prev = self
+                        .dedup_one(h, key, out)
+                        .filter(|_| memo_on)
+                        .map(|slot| (key, slot));
+                }
+            } else {
+                hashes.extend(
+                    sel.iter()
+                        .map(|&i| hash_key(&block.tuple(i)[range.clone()])),
+                );
+                for (&i, &h) in sel.iter().zip(hashes.iter()) {
+                    self.dedup_one(h, &block.tuple(i)[range.clone()], out);
+                }
+            }
+            self.block_hashes = hashes;
+            return;
+        }
+        let mut keys_buf = std::mem::take(&mut self.block_keys);
+        keys_buf.clear();
+        keys_buf.reserve(sel.len() * kw);
+        if sel.len() == block.len() {
+            // Identity selection (no leading filter): gather straight
+            // off the block bytes, no per-tuple index math.
+            for tuple in block.bytes().chunks_exact(block.tuple_bytes()) {
+                self.keys.write_projected(tuple, &mut keys_buf);
+            }
+        } else {
+            for &i in sel {
+                self.keys.write_projected(block.tuple(i), &mut keys_buf);
+            }
+        }
+        hashes.extend(keys_buf.chunks_exact(kw).map(hash_key));
+
+        for (key, &h) in keys_buf.chunks_exact(kw).zip(hashes.iter()) {
+            self.dedup_one(h, key, out);
+        }
+
+        self.block_keys = keys_buf;
+        self.block_hashes = hashes;
     }
 
     fn overflow_tuples(&self) -> u64 {
@@ -176,6 +339,10 @@ impl StreamOperator for DistinctOp {
 
     fn hazard_catches(&self) -> u64 {
         self.hazard_catches
+    }
+
+    fn batched_blocks(&self) -> u64 {
+        self.batched_blocks
     }
 }
 

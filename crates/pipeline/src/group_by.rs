@@ -13,9 +13,11 @@
 //! Homeless cuckoo entries ship the raw tuple to the client for software
 //! aggregation (the overflow path).
 
+use std::ops::Range;
+
 use fv_data::{Column, ColumnType, RowView, Schema, Value};
 
-use crate::cuckoo::CuckooTable;
+use crate::cuckoo::{hash_key, CuckooTable};
 use crate::pipeline::{StreamOperator, TupleBlock};
 use crate::project::ProjectionPlan;
 use crate::spec::{AggFunc, AggSpec};
@@ -86,6 +88,45 @@ impl AggState {
         }
     }
 
+    /// `update`, but from the raw little-endian column bytes — the
+    /// batched block path skips the `Value` materialization and decodes
+    /// in place. Arithmetic mirrors [`AggState::update`] exactly
+    /// (wrapping integer sums, the same `as f64` conversions), so the
+    /// two entry points are bit-equivalent.
+    #[inline]
+    fn update_raw(&mut self, field: &[u8], ty: ColumnType) {
+        if let AggState::Count(n) = self {
+            *n += 1;
+            return;
+        }
+        // fv:allow(panic): non-COUNT aggregates are restricted to 8-byte
+        // scalar columns by spec verification (the same invariant
+        // `update` relies on through `Value`).
+        let bits = u64::from_le_bytes(field.try_into().expect("8-byte scalar agg column"));
+        let as_f64 = |bits: u64| match ty {
+            ColumnType::U64 => bits as f64,
+            ColumnType::I64 => (bits as i64) as f64,
+            ColumnType::F64 => f64::from_bits(bits),
+            ColumnType::Bytes(_) => unreachable!("float agg over bytes rejected at compile"),
+        };
+        match self {
+            AggState::Count(_) => unreachable!("handled above"),
+            AggState::SumU(s) => *s = s.wrapping_add(bits),
+            AggState::SumI(s) => *s = s.wrapping_add(bits as i64),
+            AggState::SumF(s) => *s += as_f64(bits),
+            AggState::MinU(m) => *m = (*m).min(bits),
+            AggState::MinI(m) => *m = (*m).min(bits as i64),
+            AggState::MinF(m) => *m = m.min(f64::from_bits(bits)),
+            AggState::MaxU(m) => *m = (*m).max(bits),
+            AggState::MaxI(m) => *m = (*m).max(bits as i64),
+            AggState::MaxF(m) => *m = m.max(f64::from_bits(bits)),
+            AggState::Avg { sum, n } => {
+                *sum += as_f64(bits);
+                *n += 1;
+            }
+        }
+    }
+
     /// 8-byte little-endian emission.
     fn emit(&self) -> [u8; 8] {
         match self {
@@ -139,7 +180,18 @@ pub struct GroupByOp {
     /// into a separate queue" (§5.4) — so flush order is deterministic.
     queue: Vec<Box<[u8]>>,
     out_schema: Schema,
+    /// Per-aggregate input cell: byte range + type in the base schema —
+    /// lets the batched path slice raw columns instead of materializing
+    /// `Value`s through `RowView`.
+    agg_cells: Vec<(Range<usize>, ColumnType)>,
+    /// True when every key column is word-sized: flush can emit packed
+    /// rows with fixed 8-byte copies (the `write_projected` discipline).
+    word_keys: bool,
     key_buf: Vec<u8>,
+    /// Batched-path scratch, reused across blocks.
+    block_keys: Vec<u8>,
+    block_hashes: Vec<u64>,
+    batched_blocks: u64,
     overflow: u64,
     flushed: u64,
 }
@@ -191,6 +243,16 @@ impl GroupByOp {
             });
         }
         let out_schema = Schema::new(out_cols);
+        let agg_cells = aggs
+            .iter()
+            .map(|a| {
+                (
+                    base_schema.column_range(a.col),
+                    base_schema.column(a.col).ty,
+                )
+            })
+            .collect();
+        let word_keys = keys.all_word_cols();
         GroupByOp {
             keys,
             aggs,
@@ -199,7 +261,12 @@ impl GroupByOp {
             table,
             queue: Vec::new(),
             out_schema,
+            agg_cells,
+            word_keys,
             key_buf: Vec::new(),
+            block_keys: Vec::new(),
+            block_hashes: Vec::new(),
+            batched_blocks: 0,
             overflow: 0,
             flushed: 0,
         }
@@ -272,7 +339,18 @@ impl StreamOperator for GroupByOp {
             // later cuckoo kicks; guard rather than unwrap.
             if let Some(states) = self.table.get(key) {
                 row_buf.clear();
-                row_buf.extend_from_slice(key);
+                if self.word_keys {
+                    // Word-specialized packed emission: the same fixed
+                    // 8-byte copy discipline as `write_projected` on the
+                    // pack path, instead of a variable-length memcpy.
+                    for w in key.chunks_exact(8) {
+                        // fv:allow(panic): chunks_exact(8) yields 8 bytes.
+                        let word: [u8; 8] = w.try_into().expect("word key column");
+                        row_buf.extend_from_slice(&word);
+                    }
+                } else {
+                    row_buf.extend_from_slice(key);
+                }
                 for st in states {
                     row_buf.extend_from_slice(&st.emit());
                 }
@@ -282,12 +360,76 @@ impl StreamOperator for GroupByOp {
         }
     }
 
-    /// Block path: consume every marked survivor in one dynamic call
-    /// (the aggregation itself is a per-tuple hash update either way).
+    /// Block path — hash-all-then-probe-all. Pass 1 gathers every
+    /// survivor's key into one contiguous scratch; pass 2 computes all
+    /// primary hashes in a tight loop; pass 3 probes/updates the group
+    /// table with the hash in hand, slicing aggregate inputs straight
+    /// from the block's raw bytes (no `RowView`/`Value` per tuple).
+    /// Update order is tuple order, so results are bit-identical to the
+    /// scalar path.
     fn push_block(&mut self, block: &TupleBlock<'_>, sel: &[u32], out: &mut dyn FnMut(&[u8])) {
-        for &i in sel {
-            self.push(block.tuple(i), out);
+        if sel.is_empty() {
+            return;
         }
+        let kw = self.keys.out_row_bytes();
+        if kw == 0 {
+            // Degenerate empty-key plan (rejected upstream; stay safe).
+            for &i in sel {
+                self.push(block.tuple(i), out);
+            }
+            return;
+        }
+        self.batched_blocks += 1;
+        let mut keys_buf = std::mem::take(&mut self.block_keys);
+        let mut hashes = std::mem::take(&mut self.block_hashes);
+        keys_buf.clear();
+        keys_buf.reserve(sel.len() * kw);
+        for &i in sel {
+            self.keys.write_projected(block.tuple(i), &mut keys_buf);
+        }
+        hashes.clear();
+        hashes.extend(keys_buf.chunks_exact(kw).map(hash_key));
+
+        for (j, key) in keys_buf.chunks_exact(kw).enumerate() {
+            // fv:allow(panic): hashes has one entry per key chunk.
+            let h = hashes[j];
+            // fv:allow(panic): j < sel.len() by construction.
+            let tuple = block.tuple(sel[j]);
+            if let Some(states) = self.table.get_mut_hashed(h, key) {
+                for ((range, ty), st) in self.agg_cells.iter().zip(states.iter_mut()) {
+                    st.update_raw(&tuple[range.clone()], *ty);
+                }
+                continue;
+            }
+            // New group.
+            let mut states = self.template.clone();
+            for ((range, ty), st) in self.agg_cells.iter().zip(states.iter_mut()) {
+                st.update_raw(&tuple[range.clone()], *ty);
+            }
+            let key_box: Box<[u8]> = key.into();
+            match self.table.insert_hashed(h, key_box.clone(), states) {
+                Ok(()) => self.queue.push(key_box),
+                Err((hkey, hstates)) => {
+                    // Same homeless handling as the scalar path.
+                    self.overflow += 1;
+                    if hkey != key_box {
+                        self.queue.push(key_box);
+                        if let Some(pos) = self.queue.iter().position(|k| *k == hkey) {
+                            self.queue.remove(pos);
+                        }
+                    }
+                    let mut row_buf = Vec::with_capacity(self.out_schema.row_bytes());
+                    row_buf.extend_from_slice(&hkey);
+                    for st in &hstates {
+                        row_buf.extend_from_slice(&st.emit());
+                    }
+                    out(&row_buf);
+                }
+            }
+        }
+
+        self.block_keys = keys_buf;
+        self.block_hashes = hashes;
     }
 
     fn overflow_tuples(&self) -> u64 {
@@ -296,6 +438,10 @@ impl StreamOperator for GroupByOp {
 
     fn flushed_entries(&self) -> u64 {
         self.flushed
+    }
+
+    fn batched_blocks(&self) -> u64 {
+        self.batched_blocks
     }
 }
 

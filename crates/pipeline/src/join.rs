@@ -15,7 +15,8 @@
 
 use fv_data::{Column, Schema, Table};
 
-use crate::cuckoo::CuckooTable;
+use crate::cuckoo::{hash_key, CuckooTable};
+use crate::pack::Packer;
 use crate::pipeline::{PipelineError, StreamOperator, TupleBlock};
 
 /// On-chip budget for the build side. A dynamic region's BRAM share is
@@ -122,15 +123,29 @@ impl JoinSmallSpec {
     }
 }
 
+/// Build rows sharing one key: a match count plus the non-key payload
+/// bytes packed back to back (fixed stride, known from the build
+/// schema). One flat allocation per key keeps the probe hit path to a
+/// single pointer chase — the `Vec<Vec<u8>>` shape it replaces cost two.
+struct BuildPayloads {
+    rows: u32,
+    bytes: Vec<u8>,
+}
+
 /// The streaming probe operator.
 pub struct JoinSmallOp {
     probe_range: std::ops::Range<usize>,
-    /// key -> concatenated non-key build payloads (one entry per match).
-    table: CuckooTable<Vec<Vec<u8>>>,
+    /// key -> that key's build matches, payloads flattened.
+    table: CuckooTable<BuildPayloads>,
+    /// Byte width of one build payload (build row minus the key column).
+    payload_bytes: usize,
     out_schema: Schema,
     probed: u64,
     emitted: u64,
     row_buf: Vec<u8>,
+    /// Batched-path scratch: one primary hash per survivor (reused).
+    block_hashes: Vec<u64>,
+    batched_blocks: u64,
 }
 
 impl std::fmt::Debug for JoinSmallOp {
@@ -152,32 +167,132 @@ impl JoinSmallOp {
 
         // Load the build side into the on-chip hash unit.
         let key_range = spec.build_schema.column_range(spec.build_key);
-        let mut table: CuckooTable<Vec<Vec<u8>>> = CuckooTable::with_default_geometry();
+        let payload_bytes = rb - key_range.len();
+        // Size the hash unit from the known build row count instead of
+        // allocating the full default geometry for a 64-row build side.
+        let mut table: CuckooTable<BuildPayloads> =
+            CuckooTable::with_capacity_hint(spec.build_rows.len() / rb);
         for row in spec.build_rows.chunks_exact(rb) {
             let key = &row[key_range.clone()];
-            let mut payload = Vec::with_capacity(rb - key_range.len());
-            payload.extend_from_slice(&row[..key_range.start]);
-            payload.extend_from_slice(&row[key_range.end..]);
             if let Some(matches) = table.get_mut(key) {
-                matches.push(payload);
-            } else if table.insert(key.into(), vec![payload]).is_err() {
-                // The build side must fit; a homeless entry would
-                // silently drop join matches.
-                return Err(PipelineError::BuildSideTooLarge {
-                    bytes: spec.build_rows.len(),
-                    limit: MAX_BUILD_BYTES,
-                });
+                matches.rows += 1;
+                matches.bytes.extend_from_slice(&row[..key_range.start]);
+                matches.bytes.extend_from_slice(&row[key_range.end..]);
+            } else {
+                let mut bytes = Vec::with_capacity(payload_bytes);
+                bytes.extend_from_slice(&row[..key_range.start]);
+                bytes.extend_from_slice(&row[key_range.end..]);
+                if table
+                    .insert(key.into(), BuildPayloads { rows: 1, bytes })
+                    .is_err()
+                {
+                    // The build side must fit; a homeless entry would
+                    // silently drop join matches.
+                    return Err(PipelineError::BuildSideTooLarge {
+                        bytes: spec.build_rows.len(),
+                        limit: MAX_BUILD_BYTES,
+                    });
+                }
             }
         }
 
         Ok(JoinSmallOp {
             probe_range: probe_schema.column_range(spec.probe_col),
             table,
+            payload_bytes,
             out_schema,
             probed: 0,
             emitted: 0,
             row_buf: Vec::new(),
+            block_hashes: Vec::new(),
+            batched_blocks: 0,
         })
+    }
+
+    /// Batched probe over a block's survivors, handing each match to
+    /// `emit(probe_tuple, build_payload)` — shared by the two block
+    /// entry points so the closure-free packed path stays in sync with
+    /// the generic one. The full-block walk detects key runs and reuses
+    /// one lookup per run; the post-filter path hashes all survivors in
+    /// one pass, then probes with the hash in hand.
+    fn probe_block<F: FnMut(&[u8], &[u8])>(
+        &mut self,
+        block: &TupleBlock<'_>,
+        sel: &[u32],
+        mut emit: F,
+    ) {
+        self.batched_blocks += 1;
+        let range = self.probe_range.clone();
+        let pb = self.payload_bytes;
+        let mut hashes = std::mem::take(&mut self.block_hashes);
+        hashes.clear();
+        self.probed += sel.len() as u64;
+        let mut emitted = self.emitted;
+        if sel.len() == block.len() {
+            // Identity selection (no leading filter): walk the block's
+            // bytes directly — no per-tuple index math or bounds checks.
+            // Fact tables are routinely clustered on the dimension key
+            // they join through, so consecutive probe keys repeat in
+            // runs; the walk hashes and probes once per run and reuses
+            // the lookup while the key bytes repeat. The scalar path
+            // sees one tuple at a time and cannot.
+            let tb = block.tuple_bytes();
+            let mut prev: Option<(&[u8], Option<&BuildPayloads>)> = None;
+            for tuple in block.bytes().chunks_exact(tb) {
+                let key = &tuple[range.clone()];
+                let hit = match prev {
+                    Some((prev_key, m)) if prev_key == key => m,
+                    _ => {
+                        let m = self.table.get_hashed(hash_key(key), key);
+                        prev = Some((key, m));
+                        m
+                    }
+                };
+                let Some(matches) = hit else { continue };
+                emitted += u64::from(matches.rows);
+                if matches.rows == 1 {
+                    emit(tuple, &matches.bytes);
+                } else if pb == 0 {
+                    for _ in 0..matches.rows {
+                        emit(tuple, &[]);
+                    }
+                } else {
+                    for payload in matches.bytes.chunks_exact(pb) {
+                        emit(tuple, payload);
+                    }
+                }
+            }
+        } else {
+            // Post-filter survivors: hash every key in one tight pass,
+            // then probe with the hash in hand.
+            hashes.extend(
+                sel.iter()
+                    .map(|&i| hash_key(&block.tuple(i)[range.clone()])),
+            );
+            for (&i, &h) in sel.iter().zip(hashes.iter()) {
+                let tuple = block.tuple(i);
+                let key = &tuple[range.clone()];
+                let Some(matches) = self.table.get_hashed(h, key) else {
+                    continue;
+                };
+                emitted += u64::from(matches.rows);
+                if matches.rows == 1 {
+                    // Unique build key — the overwhelmingly common case.
+                    emit(tuple, &matches.bytes);
+                } else if pb == 0 {
+                    // Key-only build schema: every payload is empty.
+                    for _ in 0..matches.rows {
+                        emit(tuple, &[]);
+                    }
+                } else {
+                    for payload in matches.bytes.chunks_exact(pb) {
+                        emit(tuple, payload);
+                    }
+                }
+            }
+        }
+        self.emitted = emitted;
+        self.block_hashes = hashes;
     }
 
     /// Schema of the joined output tuples.
@@ -200,7 +315,13 @@ impl StreamOperator for JoinSmallOp {
         self.probed += 1;
         let key = &tuple[self.probe_range.clone()];
         if let Some(matches) = self.table.get(key) {
-            for payload in matches {
+            let rows = matches.rows as usize;
+            for r in 0..rows {
+                let payload = if self.payload_bytes == 0 {
+                    &[][..]
+                } else {
+                    &matches.bytes[r * self.payload_bytes..(r + 1) * self.payload_bytes]
+                };
                 self.row_buf.clear();
                 self.row_buf.extend_from_slice(tuple);
                 self.row_buf.extend_from_slice(payload);
@@ -210,12 +331,35 @@ impl StreamOperator for JoinSmallOp {
         }
     }
 
-    /// Block path: probe every marked survivor in one dynamic call; the
-    /// probe itself stays a per-tuple hash lookup.
+    /// Block path: hash every survivor key in one pass, then probe with
+    /// the hash in hand — no per-tuple dispatch or rehash per way.
     fn push_block(&mut self, block: &TupleBlock<'_>, sel: &[u32], out: &mut dyn FnMut(&[u8])) {
-        for &i in sel {
-            self.push(block.tuple(i), out);
-        }
+        let mut row_buf = std::mem::take(&mut self.row_buf);
+        self.probe_block(block, sel, |tuple, payload| {
+            row_buf.clear();
+            row_buf.extend_from_slice(tuple);
+            row_buf.extend_from_slice(payload);
+            out(&row_buf);
+        });
+        self.row_buf = row_buf;
+    }
+
+    /// Terminal fast path: matches go straight into the packer as
+    /// `probe ++ payload` halves — one copy, no intermediate row buffer
+    /// or per-row closure hop.
+    fn push_block_packed(&mut self, block: &TupleBlock<'_>, sel: &[u32], packer: &mut Packer) {
+        // Size the pack buffer for the block's every-probe-matches-once
+        // case up front (a hint — build-side fan-out can exceed it):
+        // per-match pushes then extend into reserved space instead of
+        // regrowing the buffer match by match.
+        packer.reserve(sel.len() * self.out_schema.row_bytes());
+        self.probe_block(block, sel, |tuple, payload| {
+            packer.push_split_tuple(tuple, payload);
+        });
+    }
+
+    fn batched_blocks(&self) -> u64 {
+        self.batched_blocks
     }
 }
 

@@ -56,6 +56,30 @@ impl Packer {
         self.tuples_packed += 1;
     }
 
+    /// Pack one logical tuple supplied as two contiguous halves (the
+    /// join's `probe ++ build_payload` shape): the halves copy straight
+    /// into the pack buffer, skipping the intermediate row buffer the
+    /// per-tuple path would need to concatenate them first.
+    pub fn push_split_tuple(&mut self, head: &[u8], tail: &[u8]) {
+        match &self.projection {
+            None => {
+                self.buf.extend_from_slice(head);
+                self.buf.extend_from_slice(tail);
+                self.bytes_packed += (head.len() + tail.len()) as u64;
+                self.tuples_packed += 1;
+            }
+            Some(_) => {
+                // Pack-time projection needs the contiguous tuple. Join
+                // pipelines always pack passthrough, so this shape exists
+                // only defensively.
+                let mut tuple = Vec::with_capacity(head.len() + tail.len());
+                tuple.extend_from_slice(head);
+                tuple.extend_from_slice(tail);
+                self.push_tuple(&tuple);
+            }
+        }
+    }
+
     /// Vectorized pack: gather the `sel`-marked tuples of `block` in one
     /// pass. `fused` overrides the packer's own projection (the fused
     /// filter+project scan marks survivors and projects here, at pack
@@ -119,9 +143,29 @@ impl Packer {
         self.tuples_packed += sel.len() as u64;
     }
 
+    /// Pre-size the pack buffer for `additional` more bytes. Batched
+    /// emitters call this once per block so the per-match pushes never
+    /// regrow the buffer mid-block (the vectorized [`Packer::push_block`]
+    /// reserves internally; the split-tuple path cannot know the batch
+    /// size on its own).
+    pub fn reserve(&mut self, additional: usize) {
+        self.buf.reserve(additional);
+    }
+
     /// Drain everything packed so far (streamed to the sender).
     pub fn drain(&mut self) -> Vec<u8> {
         std::mem::take(&mut self.buf)
+    }
+
+    /// Append everything packed so far to `out` and retain the internal
+    /// buffer's capacity — the zero-alloc steady-state drain (the
+    /// [`Packer::drain`] path surrenders its allocation and regrows it
+    /// from empty on every chunk). Returns the bytes appended.
+    pub fn drain_into(&mut self, out: &mut Vec<u8>) -> usize {
+        let n = self.buf.len();
+        out.extend_from_slice(&self.buf);
+        self.buf.clear();
+        n
     }
 
     /// Total payload bytes packed.

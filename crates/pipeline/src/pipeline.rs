@@ -277,10 +277,32 @@ pub trait StreamOperator {
             self.push(block.tuple(i), out);
         }
     }
+    /// Vectorized entry for a *terminal* stateful operator: process the
+    /// `sel`-marked tuples and deliver every output row straight into
+    /// `packer`. The default routes through
+    /// [`StreamOperator::push_block`]; high-emit-rate operators (join)
+    /// override it to skip the per-row closure hop and pack each output
+    /// with a single copy.
+    fn push_block_packed(
+        &mut self,
+        block: &TupleBlock<'_>,
+        sel: &[u32],
+        packer: &mut crate::pack::Packer,
+    ) {
+        self.push_block(block, sel, &mut |t| packer.push_tuple(t));
+    }
     /// End of stream: emit any held state (e.g. group-by results).
     fn flush(&mut self, _out: &mut dyn FnMut(&[u8])) {}
     /// Overflow tuples emitted so far (cuckoo homeless entries).
     fn overflow_tuples(&self) -> u64 {
+        0
+    }
+    /// Blocks this operator processed through a batched fast path
+    /// (hash-all-then-probe-all, DFA prefilter scan). Zero for operators
+    /// without one — and on the scalar reference route, which is why
+    /// this lives outside [`PipelineStats`] (the two routes must agree
+    /// on every stat they share).
+    fn batched_blocks(&self) -> u64 {
         0
     }
     /// Hazard catches by the LRU shift register.
@@ -644,12 +666,22 @@ impl CompiledPipeline {
             // shape would silently drop the block's survivors, which the
             // tuples_out accounting in the tests would catch.
             if let Some((head, rest)) = tail.split_first_mut() {
-                head.push_block(&block, &sel, &mut |t| {
-                    feed(rest, t, &mut |t| {
-                        stats.tuples_out += 1;
-                        packer.push_tuple(t);
+                if rest.is_empty() {
+                    // Terminal stateful operator (the common shape: spec
+                    // conflict rules allow at most one grouping/join op,
+                    // and it packs passthrough): emit straight into the
+                    // packer, skipping the per-row feed/closure chain.
+                    let before = packer.tuples_packed();
+                    head.push_block_packed(&block, &sel, packer);
+                    stats.tuples_out += packer.tuples_packed() - before;
+                } else {
+                    head.push_block(&block, &sel, &mut |t| {
+                        feed(rest, t, &mut |t| {
+                            stats.tuples_out += 1;
+                            packer.push_tuple(t);
+                        });
                     });
-                });
+                }
             }
         }
         sel.clear();
@@ -709,6 +741,22 @@ impl CompiledPipeline {
         out
     }
 
+    /// [`CompiledPipeline::drain_output`] into a caller-supplied buffer:
+    /// on the plain path (no compression or encryption) the packed bytes
+    /// append directly and the packer keeps its allocation, so a
+    /// steady-state stream never re-allocates per chunk. Returns the
+    /// bytes appended.
+    pub fn drain_output_into(&mut self, out: &mut Vec<u8>) -> usize {
+        if self.compress.is_none() && self.encrypt.is_none() {
+            let n = self.packer.drain_into(out);
+            self.stats.bytes_out += n as u64;
+            return n;
+        }
+        let v = self.drain_output();
+        out.extend_from_slice(&v);
+        v.len()
+    }
+
     /// `(raw, compressed)` byte totals of the compression operator, if
     /// one is configured.
     pub fn compression_totals(&self) -> Option<(u64, u64)> {
@@ -718,6 +766,16 @@ impl CompiledPipeline {
     /// Counters.
     pub fn stats(&self) -> PipelineStats {
         self.stats
+    }
+
+    /// Blocks the operators processed through their batched fast paths
+    /// (hash-all-then-probe-all, DFA prefilter scan). Outside
+    /// [`PipelineStats`] on purpose: the scalar reference route
+    /// legitimately reports zero here while agreeing on every shared
+    /// stat, and the bench harness uses this to prove the block route
+    /// did not silently fall back to scalar execution.
+    pub fn batched_blocks(&self) -> u64 {
+        self.ops.iter().map(|o| o.batched_blocks()).sum()
     }
 
     /// 64-byte words the packer produced (wire framing, §5.5).

@@ -81,6 +81,12 @@ impl ProjectionPlan {
         self.out_row_bytes
     }
 
+    /// True when every kept column is exactly one 8-byte word — callers
+    /// (group-by flush, the packer) specialize their copies on this.
+    pub fn all_word_cols(&self) -> bool {
+        self.all_word_cols
+    }
+
     /// The paper's `projection_flags` bitmask annotation.
     pub fn projection_mask(&self) -> u64 {
         self.cols.iter().fold(0u64, |m, &c| m | (1u64 << (c % 64)))
@@ -106,6 +112,23 @@ impl ProjectionPlan {
     /// Is `col` part of the projection?
     pub fn keeps(&self, col: usize) -> bool {
         self.cols.contains(&col)
+    }
+
+    /// When the projected columns form one contiguous ascending byte
+    /// range of the input row (a single column, or adjacent columns in
+    /// schema order), that range — the projected bytes can then be
+    /// sliced straight out of the tuple instead of gathered into a
+    /// scratch buffer.
+    pub fn contiguous_range(&self) -> Option<std::ops::Range<usize>> {
+        let first = self.ranges.first()?;
+        let mut end = first.start;
+        for r in &self.ranges {
+            if r.start != end {
+                return None;
+            }
+            end = r.end;
+        }
+        Some(first.start..end)
     }
 }
 

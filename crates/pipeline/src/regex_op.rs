@@ -10,7 +10,7 @@
 //! before matching (the hardware engines see a length-delimited stream).
 
 use fv_data::Schema;
-use fv_regex::Regex;
+use fv_regex::{Prefilter, Regex};
 
 use crate::pipeline::{StreamOperator, TupleBlock};
 
@@ -19,8 +19,14 @@ use crate::pipeline::{StreamOperator, TupleBlock};
 pub struct RegexOp {
     re: Regex,
     range: std::ops::Range<usize>,
+    /// Start-state prefilter for the block scan: present only when the
+    /// pattern is not end-anchored and its DFA has a usable skip set
+    /// (see [`fv_regex::Dfa::prefilter`]); `None` falls back to the
+    /// plain per-tuple walk.
+    prefilter: Option<Prefilter>,
     matched: u64,
     evaluated: u64,
+    batched_blocks: u64,
 }
 
 impl RegexOp {
@@ -29,11 +35,18 @@ impl RegexOp {
     /// # Panics
     /// Panics if `col` is out of range (validated by pipeline compile).
     pub fn new(re: Regex, col: usize, schema: Schema) -> Self {
+        let prefilter = if re.anchored_end() {
+            None
+        } else {
+            re.dfa().prefilter()
+        };
         RegexOp {
             range: schema.column_range(col),
+            prefilter,
             re,
             matched: 0,
             evaluated: 0,
+            batched_blocks: 0,
         }
     }
 
@@ -44,8 +57,24 @@ impl RegexOp {
 }
 
 /// Strip trailing zero padding from a fixed-width string field.
+/// Word-at-a-time from the tail: mostly-padding fields (wide columns,
+/// short strings) cost a few u64 loads instead of a byte-wise scan.
 fn strip_padding(field: &[u8]) -> &[u8] {
-    let end = field.iter().rposition(|&b| b != 0).map_or(0, |p| p + 1);
+    let mut end = field.len();
+    while end >= 8 {
+        // fv:allow(panic): the slice is exactly 8 bytes.
+        let w = u64::from_le_bytes(field[end - 8..end].try_into().expect("8-byte chunk"));
+        if w == 0 {
+            end -= 8;
+        } else {
+            // Little-endian: the slice's trailing zero bytes are the
+            // word's leading zero bytes.
+            return &field[..end - w.leading_zeros() as usize / 8];
+        }
+    }
+    while end > 0 && field[end - 1] == 0 {
+        end -= 1;
+    }
     &field[..end]
 }
 
@@ -65,17 +94,36 @@ impl StreamOperator for RegexOp {
 
     /// Block path: the column range is fixed for the whole block, so
     /// matching marks survivors with a direct slice per tuple — no
-    /// dispatch, no copies.
+    /// dispatch, no copies. With a [`Prefilter`] the DFA only runs from
+    /// candidate byte positions; runs of bytes that cannot leave the
+    /// start state are skipped word-at-a-time (exact, not approximate —
+    /// skipped bytes provably keep the automaton in place).
     fn select_block(&mut self, block: &TupleBlock<'_>, sel: &mut Vec<u32>) -> bool {
         self.evaluated += sel.len() as u64;
         let range = self.range.clone();
-        let re = &self.re;
-        sel.retain(|&i| {
-            let field = strip_padding(&block.tuple(i)[range.clone()]);
-            re.is_match(field)
-        });
+        match &self.prefilter {
+            Some(pf) => {
+                self.batched_blocks += 1;
+                let dfa = self.re.dfa();
+                sel.retain(|&i| {
+                    let field = strip_padding(&block.tuple(i)[range.clone()]);
+                    dfa.matches_prefix_free_with(field, pf)
+                });
+            }
+            None => {
+                let re = &self.re;
+                sel.retain(|&i| {
+                    let field = strip_padding(&block.tuple(i)[range.clone()]);
+                    re.is_match(field)
+                });
+            }
+        }
         self.matched += sel.len() as u64;
         true
+    }
+
+    fn batched_blocks(&self) -> u64 {
+        self.batched_blocks
     }
 }
 
@@ -125,6 +173,41 @@ mod tests {
         let mut hits = 0;
         op.push(&bytes, &mut |_| hits += 1);
         assert_eq!(hits, 1, "zero padding must be invisible to `$`");
+    }
+
+    #[test]
+    fn block_scan_agrees_with_scalar_push() {
+        // One pattern with a usable prefilter, one end-anchored (no
+        // prefilter), one start-anchored (empty skip set): block and
+        // scalar routes must keep identical survivors either way.
+        let schema = string_schema(16);
+        let samples = ["the cat", "a dog", "cut here", "cot", "ct", "", "tac"];
+        let mut data = Vec::new();
+        for (i, s) in samples.iter().enumerate() {
+            data.extend(Row(vec![Value::U64(i as u64), Value::from(*s)]).encode(&schema));
+        }
+        let block = TupleBlock::new(&data, schema.row_bytes());
+        for (pattern, wants_prefilter) in [("c[aou]t", true), ("cat$", false), ("^cu", false)] {
+            let re = Regex::compile(pattern).unwrap();
+            let mut block_op = RegexOp::new(re.clone(), 1, schema.clone());
+            let mut scalar_op = RegexOp::new(re, 1, schema.clone());
+            let mut sel: Vec<u32> = (0..samples.len() as u32).collect();
+            assert!(block_op.select_block(&block, &mut sel));
+            assert_eq!(
+                block_op.batched_blocks() > 0,
+                wants_prefilter,
+                "{pattern}: prefilter engagement"
+            );
+            let mut scalar_survivors = Vec::new();
+            for i in 0..samples.len() as u32 {
+                let mut hit = false;
+                scalar_op.push(block.tuple(i), &mut |_| hit = true);
+                if hit {
+                    scalar_survivors.push(i);
+                }
+            }
+            assert_eq!(sel, scalar_survivors, "{pattern}: survivors must agree");
+        }
     }
 
     #[test]

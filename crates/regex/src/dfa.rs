@@ -164,6 +164,80 @@ impl Dfa {
         None
     }
 
+    /// Derive a start-state [`Prefilter`], or `None` when skipping
+    /// cannot pay:
+    ///
+    /// * the start state accepts (the empty match is everywhere), or
+    /// * too few bytes loop on the start state — e.g. start-anchored
+    ///   patterns, where a non-matching byte goes [`DEAD`] rather than
+    ///   back to start, so the skip set is empty.
+    ///
+    /// The filter is *exact*, not approximate: a byte `b` with
+    /// `step(start, b) == start` makes no progress, so jumping over a run
+    /// of such bytes visits exactly the states the plain walk would.
+    pub fn prefilter(&self) -> Option<Prefilter> {
+        if self.is_accepting(self.start) {
+            return None;
+        }
+        let mut skip = [false; 256];
+        let mut progress: Option<u8> = None;
+        let mut progress_count = 0usize;
+        for byte in 0u16..256 {
+            let b = byte as u8;
+            if self.step(self.start, b) == self.start {
+                skip[b as usize] = true;
+            } else {
+                progress = Some(b);
+                progress_count += 1;
+            }
+        }
+        // Fewer than 3/4 skippable bytes: the scan loop beats the skip
+        // loop only marginally; fall back to the plain walk.
+        if progress_count > 64 {
+            return None;
+        }
+        Some(Prefilter {
+            skip,
+            single: if progress_count == 1 { progress } else { None },
+        })
+    }
+
+    /// [`Dfa::matches_prefix_free`] accelerated by a [`Prefilter`]
+    /// derived from this DFA — identical result, but runs of
+    /// non-progress bytes are skipped word-at-a-time instead of stepped
+    /// through the transition table.
+    pub fn matches_prefix_free_with(&self, haystack: &[u8], pf: &Prefilter) -> bool {
+        let mut i = 0usize;
+        loop {
+            let Some(p) = pf.find_progress(haystack, i) else {
+                return false;
+            };
+            // fv:allow(panic): find_progress returns in-bounds indices.
+            let mut state = self.step(self.start, haystack[p]);
+            i = p + 1;
+            loop {
+                if state == DEAD {
+                    // Only reachable for start-anchored patterns, which
+                    // never produce a prefilter; kept for exactness.
+                    return false;
+                }
+                if self.is_accepting(state) {
+                    return true;
+                }
+                if state == self.start {
+                    // Back at start: resume skipping.
+                    break;
+                }
+                if i >= haystack.len() {
+                    return false;
+                }
+                // fv:allow(panic): i < haystack.len() checked just above.
+                state = self.step(state, haystack[i]);
+                i += 1;
+            }
+        }
+    }
+
     /// End-anchored match: run the whole haystack and test acceptance at
     /// the final position only.
     pub fn accepts_at_end(&self, haystack: &[u8]) -> bool {
@@ -176,6 +250,78 @@ impl Dfa {
         }
         self.is_accepting(state)
     }
+}
+
+/// A scan accelerator derived from a DFA's start state (see
+/// [`Dfa::prefilter`]): the set of bytes that keep the start state in
+/// place, plus — when exactly one byte makes progress — that byte, which
+/// enables a memchr-style word-at-a-time skip.
+#[derive(Clone)]
+pub struct Prefilter {
+    /// `skip[b]`: consuming `b` in the start state stays in the start
+    /// state.
+    skip: [bool; 256],
+    /// The single progress byte, when only one exists (e.g. `'s'` for
+    /// `smartmem[0-9]+`).
+    single: Option<u8>,
+}
+
+impl std::fmt::Debug for Prefilter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Prefilter")
+            .field("skippable", &self.skip.iter().filter(|&&s| s).count())
+            .field("single", &self.single)
+            .finish()
+    }
+}
+
+impl Prefilter {
+    /// Index of the first byte at or after `from` that advances the DFA
+    /// out of its start state, or `None` if the rest of the haystack is
+    /// all skippable.
+    #[inline]
+    pub fn find_progress(&self, haystack: &[u8], from: usize) -> Option<usize> {
+        let hay = haystack.get(from..)?;
+        match self.single {
+            Some(b) => find_byte(hay, b).map(|p| from + p),
+            None => hay
+                .iter()
+                .position(|&x| !self.skip[x as usize])
+                .map(|p| from + p),
+        }
+    }
+
+    /// The single progress byte, if the skip set has exactly one hole.
+    pub fn single_byte(&self) -> Option<u8> {
+        self.single
+    }
+}
+
+/// SWAR memchr: scan for `needle` eight bytes at a time using the
+/// classic `(x - 0x01…) & !x & 0x80…` zero-byte trick (no `unsafe`, no
+/// platform intrinsics; the workspace forbids unsafe code).
+fn find_byte(hay: &[u8], needle: u8) -> Option<usize> {
+    const LO: u64 = 0x0101_0101_0101_0101;
+    const HI: u64 = 0x8080_8080_8080_8080;
+    let broadcast = LO.wrapping_mul(needle as u64);
+    let mut chunks = hay.chunks_exact(8);
+    let mut base = 0usize;
+    for c in &mut chunks {
+        // fv:allow(panic): chunks_exact(8) yields exactly 8 bytes.
+        let word = u64::from_le_bytes(c.try_into().expect("8-byte chunk"));
+        let x = word ^ broadcast;
+        let hit = x.wrapping_sub(LO) & !x & HI;
+        if hit != 0 {
+            // from_le_bytes + trailing_zeros keeps this endian-correct.
+            return Some(base + (hit.trailing_zeros() / 8) as usize);
+        }
+        base += 8;
+    }
+    chunks
+        .remainder()
+        .iter()
+        .position(|&x| x == needle)
+        .map(|p| base + p)
 }
 
 #[cfg(test)]
@@ -215,6 +361,76 @@ mod tests {
         let (dfa, _) = dfa_for("^abc");
         assert!(dfa.matches_prefix_free(b"abcdef"));
         assert!(!dfa.matches_prefix_free(b"zabc"));
+    }
+
+    #[test]
+    fn prefilter_exists_for_rare_first_byte() {
+        let (dfa, _) = dfa_for("smartmem[0-9]+");
+        let pf = dfa.prefilter().expect("one progress byte");
+        assert_eq!(pf.single_byte(), Some(b's'));
+        assert_eq!(pf.find_progress(b"aaasaaa", 0), Some(3));
+        assert_eq!(pf.find_progress(b"aaasaaa", 4), None);
+        assert_eq!(pf.find_progress(b"", 0), None);
+    }
+
+    #[test]
+    fn prefilter_absent_when_it_cannot_pay() {
+        // Start-anchored: non-progress bytes go DEAD, not back to start.
+        let (dfa, _) = dfa_for("^abc");
+        assert!(dfa.prefilter().is_none(), "anchored start has no skip set");
+        // Empty pattern: start accepts.
+        let (dfa, _) = dfa_for("");
+        assert!(dfa.prefilter().is_none(), "accepting start never skips");
+        // `.` makes every byte a progress byte.
+        let (dfa, _) = dfa_for(".x");
+        assert!(dfa.prefilter().is_none(), "dense progress set never skips");
+    }
+
+    #[test]
+    fn prefiltered_match_agrees_with_plain_walk() {
+        for pattern in ["smartmem[0-9]+", "ab+c", "x(y|z)", "needle"] {
+            let (dfa, _) = dfa_for(pattern);
+            let Some(pf) = dfa.prefilter() else {
+                panic!("{pattern} should produce a prefilter");
+            };
+            let haystacks: Vec<&[u8]> = vec![
+                b"",
+                b"smartmem42",
+                b"zzzzzzzzzzzzzzzzsmartmem7zz",
+                b"smartmem",
+                b"abbbbc",
+                b"xy xz",
+                b"a needle in a haystack",
+                b"nnneeedle",
+                b"\0\0\0\0\0\0\0\0\0\0\0\0\0\0\0\0",
+                b"sssssssssssssssss",
+                b"ending in s",
+            ];
+            for hay in haystacks {
+                assert_eq!(
+                    dfa.matches_prefix_free_with(hay, &pf),
+                    dfa.matches_prefix_free(hay),
+                    "pattern {pattern:?} haystack {hay:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn find_byte_matches_naive_scan() {
+        // Cross every alignment/length against the naive position().
+        let hay: Vec<u8> = (0..64u8).map(|i| i % 7).collect();
+        for start in 0..hay.len() {
+            for needle in 0..7u8 {
+                assert_eq!(
+                    find_byte(&hay[start..], needle),
+                    hay[start..].iter().position(|&x| x == needle),
+                    "start {start} needle {needle}"
+                );
+            }
+        }
+        assert_eq!(find_byte(b"", 0), None);
+        assert_eq!(find_byte(b"abc", b'q'), None);
     }
 
     #[test]

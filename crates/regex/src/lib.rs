@@ -38,7 +38,7 @@ pub mod parser;
 use std::fmt;
 
 pub use ast::{Ast, ByteSet};
-pub use dfa::Dfa;
+pub use dfa::{Dfa, Prefilter};
 
 /// Errors produced when compiling a pattern.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -104,6 +104,18 @@ impl Regex {
     /// Number of DFA states (a proxy for the FPGA engine size).
     pub fn state_count(&self) -> usize {
         self.dfa.state_count()
+    }
+
+    /// The underlying DFA — block-scanning engines derive their
+    /// [`Prefilter`] from it.
+    pub fn dfa(&self) -> &Dfa {
+        &self.dfa
+    }
+
+    /// Is the pattern end-anchored (`$`)? End-anchored matching cannot
+    /// use the prefix-free scan (or its prefilter).
+    pub fn anchored_end(&self) -> bool {
+        self.anchored_end
     }
 
     /// Does the pattern match anywhere in `haystack` (respecting

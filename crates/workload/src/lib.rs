@@ -53,6 +53,15 @@ pub enum ColMode {
     Sequential,
     /// A constant.
     Constant(u64),
+    /// Uniform over `0..n`, but each drawn value repeats for `run`
+    /// consecutive rows — the clustered foreign-key layout of a fact
+    /// table physically ordered by a dimension key.
+    Clustered {
+        /// Number of distinct values.
+        n: u64,
+        /// Consecutive rows sharing one drawn value.
+        run: u64,
+    },
 }
 
 /// Generator for the paper's numeric row-format tables.
@@ -112,16 +121,27 @@ impl TableGen {
         self.mode(col, ColMode::Sequential)
     }
 
+    /// Give `col` `n` distinct values in runs of `run` consecutive rows
+    /// (a fact table clustered by a dimension key).
+    pub fn clustered_column(self, col: usize, n: u64, run: u64) -> Self {
+        assert!(n > 0, "need at least one distinct value");
+        assert!(run > 0, "runs must cover at least one row");
+        self.mode(col, ColMode::Clustered { n, run })
+    }
+
     /// Build the table.
     pub fn build(&self) -> Table {
         let schema = Schema::uniform_u64(self.cols);
         let mut rng = StdRng::seed_from_u64(self.seed);
         let mut b = TableBuilder::with_capacity(schema, self.rows);
+        // Clustered columns hold their drawn value across a run of rows.
+        let mut held = vec![0u64; self.cols];
         for row in 0..self.rows {
             let values = self
                 .modes
                 .iter()
-                .map(|mode| {
+                .enumerate()
+                .map(|(c, mode)| {
                     Value::U64(match *mode {
                         ColMode::Uniform => rng.gen_range(0..(1u64 << 63)),
                         ColMode::Selectivity(f) => {
@@ -134,6 +154,12 @@ impl TableGen {
                         ColMode::Distinct(n) => rng.gen_range(0..n),
                         ColMode::Sequential => row as u64,
                         ColMode::Constant(c) => c,
+                        ColMode::Clustered { n, run } => {
+                            if (row as u64).is_multiple_of(run) {
+                                held[c] = rng.gen_range(0..n);
+                            }
+                            held[c]
+                        }
                     })
                 })
                 .collect();

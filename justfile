@@ -39,7 +39,7 @@ bench-smoke:
 
 # Wall-clock microbench of the host hot path: vectorized block datapath
 # vs the per-tuple reference, parallel vs serial fleet scatter, and the
-# replica-dedup win over the seed model. Rewrites BENCH_PR5.json.
+# replica-dedup win over the seed model. Rewrites BENCH_PR8.json.
 bench-hotpath:
     cargo run -q --release -p fv-bench --bin figures hotpath
 

@@ -10,7 +10,8 @@ use proptest::prelude::*;
 
 use farview::prelude::*;
 use farview_core::{AggFunc, AggSpec, PredicateExpr};
-use fv_data::{Schema, Table, TableBuilder, Value};
+use fv_data::{Column, ColumnType, Schema, Table, TableBuilder, Value};
+use fv_pipeline::JoinSmallSpec;
 
 /// A random small table: `cols` u64 columns, bounded values so groups
 /// and predicates are non-degenerate, and sums stay exactly
@@ -126,4 +127,87 @@ proptest! {
         prop_assert_eq!(sorted_rows(&out.merged), sorted_rows(&single));
         prop_assert_eq!(out.merged.stats.groups_flushed, single.stats.groups_flushed);
     }
+}
+
+/// The batched hash operators and the DFA-prefiltered regex scan ride
+/// through a **replicated** fleet read unchanged: with `r = 2` under
+/// row-range partitioning, DISTINCT, GROUP BY, the broadcast join and a
+/// regex selection over a run-heavy (clustered) fact table must each be
+/// byte-identical to the single node. Clustered keys matter here — they
+/// are what drives the block path's run memoization on every shard.
+#[test]
+fn replicated_fleet_matches_single_node_for_stateful_ops() {
+    // A fact table physically clustered on the col-0 foreign key: runs
+    // of 8 equal keys, 13 distinct dimension keys.
+    let mut b = TableBuilder::with_capacity(Schema::uniform_u64(3), 600);
+    for i in 0..600u64 {
+        b.push_values(vec![
+            Value::U64((i / 8) % 13),
+            Value::U64(i),
+            Value::U64(i % 5),
+        ]);
+    }
+    let fact = b.build();
+    let mut bb = TableBuilder::new(Schema::uniform_u64(2));
+    for k in 0..13u64 {
+        bb.push_values(vec![Value::U64(k), Value::U64(7000 + k)]);
+    }
+    let dim = bb.build();
+
+    let specs = [
+        PipelineSpec::passthrough().distinct(vec![0]),
+        PipelineSpec::passthrough().group_by(
+            vec![0],
+            vec![AggSpec {
+                col: 1,
+                func: AggFunc::Sum,
+            }],
+        ),
+        PipelineSpec::passthrough().join_small(JoinSmallSpec::new(0, &dim, 0)),
+    ];
+
+    let f = FarviewFleet::new(3, FarviewConfig::tiny());
+    let qp = f.connect().unwrap();
+    let (ft, _) = qp
+        .load_table_replicated(&fact, Partitioning::RowRange, 2)
+        .unwrap();
+    assert_eq!(ft.replicas(), 2);
+    for spec in &specs {
+        let single = single_node(&fact, spec);
+        let merged = qp.far_view(&ft, spec).unwrap().merged;
+        assert_eq!(
+            merged.payload, single.payload,
+            "r=2 fleet must match single node for {spec:?}"
+        );
+        assert_eq!(merged.schema, single.schema);
+    }
+
+    // Regex needs a string column; same r=2 replication discipline.
+    let schema = Schema::new(vec![
+        Column {
+            name: "k".into(),
+            ty: ColumnType::U64,
+        },
+        Column {
+            name: "s".into(),
+            ty: ColumnType::Bytes(8),
+        },
+    ]);
+    let mut sb = TableBuilder::with_capacity(schema, 300);
+    let alphabet = b"abcx";
+    for i in 0..300u64 {
+        let s: Vec<u8> = (0..6).map(|j| alphabet[((i >> j) & 3) as usize]).collect();
+        sb.push_values(vec![Value::U64(i), Value::Bytes(s)]);
+    }
+    let strings = sb.build();
+    let spec = PipelineSpec::passthrough().regex_match(1, "a+b");
+    let single = single_node(&strings, &spec);
+    let (sft, _) = qp
+        .load_table_replicated(&strings, Partitioning::RowRange, 2)
+        .unwrap();
+    let merged = qp.far_view(&sft, &spec).unwrap().merged;
+    assert_eq!(
+        merged.payload, single.payload,
+        "r=2 fleet regex selection must match single node"
+    );
 }

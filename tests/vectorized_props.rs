@@ -14,7 +14,13 @@ use proptest::prelude::*;
 
 use farview::prelude::*;
 use farview_core::{AggFunc, AggSpec, Executor, PredicateExpr};
-use fv_pipeline::{CompiledPipeline, CryptoSpec, JoinSmallSpec, PipelineStats};
+use fv_pipeline::cuckoo::CuckooTable;
+use fv_pipeline::distinct::{DistinctOp, DEFAULT_LRU_DEPTH};
+use fv_pipeline::project::ProjectionPlan;
+use fv_pipeline::{
+    CompiledPipeline, CryptoSpec, JoinSmallSpec, PipelineStats, StreamOperator, TupleBlock,
+};
+use fv_regex::Regex;
 
 use fv_data::{Column, ColumnType, Schema, Table, TableBuilder};
 
@@ -245,6 +251,46 @@ proptest! {
         }
     }
 
+    /// Run-heavy (clustered) key columns — fact tables physically
+    /// ordered on a foreign key — drive the batched hash operators'
+    /// run-memoization: repeated keys inside a block reuse the previous
+    /// tuple's lookup (join) or LRU slot (distinct). Every memoized
+    /// shortcut must stay byte- and counter-identical to the per-tuple
+    /// reference, including hazard-window duplicates inside a run.
+    #[test]
+    fn clustered_keys_are_route_invariant(
+        runs in prop::collection::vec((0u64..12, 1usize..10), 1..40),
+        build_rows in prop::collection::vec(0u64..12, 1..16),
+        chunks in arb_chunks(),
+    ) {
+        let schema = Schema::uniform_u64(3);
+        let mut b = TableBuilder::new(schema);
+        let mut row = 0u64;
+        for &(key, len) in &runs {
+            for _ in 0..len {
+                b.push_values(vec![Value::U64(key), Value::U64(row), Value::U64(row / 2)]);
+                row += 1;
+            }
+        }
+        let table = b.build();
+        let mut bb = TableBuilder::new(Schema::uniform_u64(2));
+        for (i, &k) in build_rows.iter().enumerate() {
+            bb.push_values(vec![Value::U64(k), Value::U64(900 + i as u64)]);
+        }
+        let build = bb.build();
+        let specs = [
+            PipelineSpec::passthrough().distinct(vec![0]),
+            PipelineSpec::passthrough().group_by(
+                vec![0],
+                vec![AggSpec { col: 1, func: AggFunc::Sum }],
+            ),
+            PipelineSpec::passthrough().join_small(JoinSmallSpec::new(0, &build, 0)),
+        ];
+        for spec in &specs {
+            assert_equivalent(spec, table.schema(), table.bytes(), &chunks);
+        }
+    }
+
     /// Compression and both crypto directions around a data-reducing
     /// pipeline (the decrypt scratch path and the compressor tail frame
     /// must behave identically on both routes).
@@ -320,6 +366,171 @@ proptest! {
             prop_assert_eq!(p.merged.stats, s.merged.stats);
             prop_assert_eq!(&p.per_shard, &s.per_shard);
         }
+    }
+}
+
+/// Feed `stream` through a fresh `DistinctOp` per route — per-tuple
+/// `push` vs `push_block` over ragged identity blocks — and assert the
+/// emitted bytes and every hazard/overflow counter agree.
+fn assert_distinct_routes_agree(make_op: impl Fn() -> DistinctOp, stream: &[u8], tb: usize) {
+    let mut scalar_op = make_op();
+    let mut scalar_out = Vec::new();
+    for tuple in stream.chunks_exact(tb) {
+        scalar_op.push(tuple, &mut |t| scalar_out.extend_from_slice(t));
+    }
+
+    let mut block_op = make_op();
+    let mut block_out = Vec::new();
+    // Ragged block boundaries, including mid-run splits (a key run that
+    // straddles two blocks must re-seed the memo without skew).
+    let mut off = 0usize;
+    let mut sel: Vec<u32> = Vec::new();
+    for lens in [5usize, 1, 9, 2, 17, 3].iter().cycle() {
+        if off >= stream.len() {
+            break;
+        }
+        let take = (lens * tb).min(stream.len() - off);
+        let block = TupleBlock::new(&stream[off..off + take], tb);
+        off += take;
+        sel.clear();
+        sel.extend(0..block.len() as u32);
+        block_op.push_block(&block, &sel, &mut |t| block_out.extend_from_slice(t));
+    }
+
+    assert_eq!(
+        scalar_out, block_out,
+        "distinct routes must be byte-identical"
+    );
+    assert_eq!(scalar_op.emitted(), block_op.emitted());
+    assert_eq!(scalar_op.hazard_leaks(), block_op.hazard_leaks());
+    assert_eq!(scalar_op.hazard_catches(), block_op.hazard_catches());
+    assert_eq!(scalar_op.overflow_tuples(), block_op.overflow_tuples());
+}
+
+/// A key stream dense in duplicate runs: every run shorter than the
+/// write latency, so most repeats land inside the §5.4 hazard window
+/// where only the LRU (or a leak) can answer.
+fn hazard_heavy_stream() -> Vec<u8> {
+    let mut stream = Vec::new();
+    for i in 0..512u64 {
+        // Runs of 1..=5 copies of each key, keys recycled mod 19 so
+        // earlier keys return both inside and outside the window.
+        let key = (i * i) % 19;
+        for rep in 0..=(i % 5) {
+            stream.extend_from_slice(&key.to_le_bytes());
+            stream.extend_from_slice(&(i + rep).to_le_bytes());
+        }
+    }
+    stream
+}
+
+/// Hazard-window duplicate runs, with the LRU shift register both
+/// disabled (depth 0: every in-window duplicate leaks, exactly as the
+/// paper's unguarded design would) and at its default depth (duplicates
+/// are caught). The batched path's run memo must not change a byte or a
+/// counter in either geometry.
+#[test]
+fn hazard_window_duplicate_runs_match_scalar_at_depth_0_and_default() {
+    let schema = Schema::uniform_u64(2);
+    let tb = schema.row_bytes();
+    let stream = hazard_heavy_stream();
+    for depth in [0usize, DEFAULT_LRU_DEPTH] {
+        let make_op = || {
+            let keys = ProjectionPlan::new(&Schema::uniform_u64(2), Some(&[0])).expect("plan");
+            DistinctOp::with_geometry(keys, CuckooTable::with_default_geometry(), depth)
+        };
+        assert_distinct_routes_agree(make_op, &stream, tb);
+        // Sanity on the fixture itself: depth 0 must actually leak.
+        let mut op = make_op();
+        for tuple in stream.chunks_exact(tb) {
+            op.push(tuple, &mut |_| {});
+        }
+        if depth == 0 {
+            assert!(op.hazard_leaks() > 0, "depth-0 fixture must exercise leaks");
+        } else {
+            assert!(
+                op.hazard_catches() > 0,
+                "default depth must catch in-window dups"
+            );
+        }
+    }
+}
+
+/// A deliberately tiny cuckoo table (2 ways × 8 buckets) overflowing
+/// under hundreds of distinct keys: the spill counter and the emitted
+/// bytes must agree between routes (an overflowed key is dropped from
+/// the table but still deduplicated best-effort by the LRU).
+#[test]
+fn cuckoo_overflow_spills_identically_on_both_routes() {
+    let schema = Schema::uniform_u64(2);
+    let tb = schema.row_bytes();
+    let mut stream = Vec::new();
+    for i in 0..400u64 {
+        // Mostly-distinct keys with periodic repeats, so the overflowed
+        // table still sees duplicate probes.
+        let key = if i % 7 == 0 { i / 2 } else { i * 31 };
+        stream.extend_from_slice(&key.to_le_bytes());
+        stream.extend_from_slice(&i.to_le_bytes());
+    }
+    let make_op = || {
+        let keys = ProjectionPlan::new(&Schema::uniform_u64(2), Some(&[0])).expect("plan");
+        DistinctOp::with_geometry(keys, CuckooTable::new(2, 8), DEFAULT_LRU_DEPTH)
+    };
+    assert_distinct_routes_agree(make_op, &stream, tb);
+    let mut op = make_op();
+    for tuple in stream.chunks_exact(tb) {
+        op.push(tuple, &mut |_| {});
+    }
+    assert!(op.overflow_tuples() > 0, "fixture must actually overflow");
+}
+
+/// The DFA prefilter block scan and the plain per-tuple walk are the
+/// same predicate: one pattern that derives a skip set and one that
+/// cannot (start-anchored) must both be route-invariant, so the smoke
+/// here pins that the two select_block code paths are actually the ones
+/// exercised.
+#[test]
+fn regex_prefilter_and_fallback_are_route_invariant() {
+    let with_pf = "a+b";
+    let without_pf = "^ab*c";
+    assert!(
+        Regex::compile(with_pf)
+            .expect("compiles")
+            .dfa()
+            .prefilter()
+            .is_some(),
+        "{with_pf} must derive a required-progress-byte prefilter"
+    );
+    assert!(
+        Regex::compile(without_pf)
+            .expect("compiles")
+            .dfa()
+            .prefilter()
+            .is_none(),
+        "{without_pf} is start-anchored and must take the fallback walk"
+    );
+
+    let schema = Schema::new(vec![
+        Column {
+            name: "k".into(),
+            ty: ColumnType::U64,
+        },
+        Column {
+            name: "s".into(),
+            ty: ColumnType::Bytes(8),
+        },
+    ]);
+    let mut b = TableBuilder::with_capacity(schema, 256);
+    let alphabet = b"abcx";
+    for i in 0..256u64 {
+        let s: Vec<u8> = (0..6).map(|j| alphabet[((i >> j) & 3) as usize]).collect();
+        b.push_values(vec![Value::U64(i), Value::Bytes(s)]);
+    }
+    let table = b.build();
+    let chunks = [96usize, 7, 33];
+    for pattern in [with_pf, without_pf] {
+        let spec = PipelineSpec::passthrough().regex_match(1, pattern);
+        assert_equivalent(&spec, table.schema(), table.bytes(), &chunks);
     }
 }
 
