@@ -1,0 +1,714 @@
+//! The `coldpath` experiment: **wall-clock** microbenchmarks of the
+//! columnar staging path PR 9 introduced.
+//!
+//! Two sections, both measuring the host implementation itself (like
+//! [`hotpath`](mod@crate::hotpath), not the discrete-event model):
+//!
+//! * **Restage, row image vs column image** — a cold query against a
+//!   staged table must first make something queryable, and that
+//!   restage phase is timed separately from the query stream. The
+//!   row-image path (the pre-PR tier) copies the stored bytes out of
+//!   the store, rehydrates a row [`Table`], and stages it resident
+//!   before the pipeline can consume a byte; its query phase then
+//!   streams the resident bytes in 4 KiB chunks. The column-image path
+//!   opens the stored [`ColumnImage`] **zero-copy** (one
+//!   checksum+bounds validation pass, no byte moved) and its query
+//!   phase feeds the pipeline straight off the column slices via
+//!   [`CompiledPipeline::push_columns`]. The headline `speedup` is the
+//!   restage-phase ratio (what the zero-copy open replaces);
+//!   `cold_query_speedup` reports the end-to-end ratio with the query
+//!   stream folded in. Byte-identical output, asserted per query.
+//! * **Operators, column-slice vs row-block input** — the same staged
+//!   table streams through each operator pipeline twice: once on the
+//!   row-block route (`push_bytes`, the PR 8 fast path) and once
+//!   slice-native (`push_columns`), where predicates, the regex DFA,
+//!   and the stateful operators' key passes read directly from the
+//!   contiguous column slice — no key gather, no materialization of
+//!   non-surviving rows.
+//!
+//! `figures coldpath` renders the figure **and** writes the machine-
+//! readable `BENCH_PR9.json` so future PRs have a perf baseline to
+//! beat.
+
+use std::time::Instant;
+
+use farview_core::{AggFunc, AggSpec, JoinSmallSpec, PipelineSpec, PredicateExpr};
+use fv_data::{ColumnImage, Schema, Table};
+use fv_pipeline::{ColumnBlock, CompiledPipeline};
+use fv_workload::{StringTableGen, TableGen, REGEX_PATTERN};
+
+use crate::figure::Figure;
+
+/// One query's cold-restage measurement, phase-split: the **restage**
+/// phase is everything that must happen before the pipeline can consume
+/// the staged bytes (row image: store copy + `Table::from_bytes` +
+/// resident staging write; column image: the validated zero-copy open —
+/// no byte moved), the **query** phase is the pipeline stream itself.
+#[derive(Debug, Clone)]
+pub struct RestageSample {
+    /// Query pipeline name.
+    pub query: String,
+    /// Milliseconds to make a cold row image queryable (store copy +
+    /// rehydrate + resident staging write).
+    pub row_restage_ms: f64,
+    /// Milliseconds to stream the resident row table through the
+    /// pipeline (chunked `push_bytes`).
+    pub row_query_ms: f64,
+    /// Milliseconds to make a cold column image queryable (validated
+    /// zero-copy open).
+    pub column_restage_ms: f64,
+    /// Milliseconds for the slice-native pipeline pass
+    /// (`push_columns`).
+    pub column_query_ms: f64,
+}
+
+impl RestageSample {
+    /// Restage-latency speedup: validated zero-copy open vs the
+    /// row-image path's materialize-before-query work.
+    pub fn speedup(&self) -> f64 {
+        self.row_restage_ms / self.column_restage_ms
+    }
+
+    /// End-to-end cold-query speedup (restage + query, both routes).
+    pub fn cold_query_speedup(&self) -> f64 {
+        (self.row_restage_ms + self.row_query_ms) / (self.column_restage_ms + self.column_query_ms)
+    }
+}
+
+/// One operator's row-block vs column-slice measurement.
+#[derive(Debug, Clone)]
+pub struct ColumnOpSample {
+    /// Operator pipeline name.
+    pub op: String,
+    /// Tuples/second on the row-block route (`push_bytes`).
+    pub row_block_tuples_per_s: f64,
+    /// Tuples/second on the slice-native route (`push_columns`).
+    pub column_tuples_per_s: f64,
+    /// Blocks the columnar route handled on a batched operator fast
+    /// path (`select_columns` does not count; this is the stateful
+    /// operators' `push_columns_packed` plus the regex prefilter).
+    pub batched_blocks: u64,
+}
+
+impl ColumnOpSample {
+    /// Slice-native speedup over the row-block route.
+    pub fn speedup(&self) -> f64 {
+        self.column_tuples_per_s / self.row_block_tuples_per_s
+    }
+}
+
+/// The full coldpath measurement: what `BENCH_PR9.json` records.
+#[derive(Debug, Clone)]
+pub struct ColdpathReport {
+    /// Rows per table.
+    pub rows: usize,
+    /// Timed repetitions per measurement.
+    pub reps: usize,
+    /// Per-query restage samples.
+    pub restage: Vec<RestageSample>,
+    /// Per-operator input-route samples.
+    pub operators: Vec<ColumnOpSample>,
+}
+
+impl ColdpathReport {
+    /// Serialize as pretty JSON (hand-rolled — the offline build has no
+    /// `serde_json`).
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str("  \"bench\": \"coldpath\",\n");
+        out.push_str(
+            "  \"units\": {\"restage\": \"ms, phase-split: restage = to-queryable, query = pipeline stream (wall-clock)\", \"operators\": \"tuples/s (wall-clock)\"},\n",
+        );
+        out.push_str(&format!("  \"rows\": {},\n", self.rows));
+        out.push_str(&format!("  \"reps\": {},\n", self.reps));
+        out.push_str("  \"restage\": [\n");
+        for (i, s) in self.restage.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"query\": \"{}\", \"row_restage_ms\": {:.4}, \"row_query_ms\": {:.4}, \"column_restage_ms\": {:.4}, \"column_query_ms\": {:.4}, \"speedup\": {:.2}, \"cold_query_speedup\": {:.2}}}{}\n",
+                s.query,
+                s.row_restage_ms,
+                s.row_query_ms,
+                s.column_restage_ms,
+                s.column_query_ms,
+                s.speedup(),
+                s.cold_query_speedup(),
+                if i + 1 == self.restage.len() { "" } else { "," }
+            ));
+        }
+        out.push_str("  ],\n");
+        out.push_str("  \"operators\": [\n");
+        for (i, s) in self.operators.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"op\": \"{}\", \"row_block_tuples_per_s\": {:.0}, \"column_tuples_per_s\": {:.0}, \"speedup\": {:.2}, \"batched_blocks\": {}}}{}\n",
+                s.op,
+                s.row_block_tuples_per_s,
+                s.column_tuples_per_s,
+                s.speedup(),
+                s.batched_blocks,
+                if i + 1 == self.operators.len() { "" } else { "," }
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    /// Render as a [`Figure`] (x = query index for the restage series,
+    /// x = operator index for the operator series).
+    pub fn to_figure(&self) -> Figure {
+        let restage_names: Vec<String> = self
+            .restage
+            .iter()
+            .enumerate()
+            .map(|(i, s)| format!("{i}={}", s.query))
+            .collect();
+        let op_names: Vec<String> = self
+            .operators
+            .iter()
+            .enumerate()
+            .map(|(i, s)| format!("{i}={}", s.op))
+            .collect();
+        let mut f = Figure::new(
+            "coldpath",
+            &format!(
+                "Wall-clock cold path: restage row vs column image ({}), operators row-block vs column-slice ({})",
+                restage_names.join(" "),
+                op_names.join(" ")
+            ),
+            "query index · operator index",
+            "ms/cold query · tuples/s",
+        );
+        f.push_series(
+            "restage row image [ms]",
+            self.restage
+                .iter()
+                .enumerate()
+                .map(|(i, s)| (i as f64, s.row_restage_ms))
+                .collect(),
+        );
+        f.push_series(
+            "restage column image [ms]",
+            self.restage
+                .iter()
+                .enumerate()
+                .map(|(i, s)| (i as f64, s.column_restage_ms))
+                .collect(),
+        );
+        f.push_series(
+            "restage speedup [x]",
+            self.restage
+                .iter()
+                .enumerate()
+                .map(|(i, s)| (i as f64, s.speedup()))
+                .collect(),
+        );
+        f.push_series(
+            "cold query row image [ms]",
+            self.restage
+                .iter()
+                .enumerate()
+                .map(|(i, s)| (i as f64, s.row_restage_ms + s.row_query_ms))
+                .collect(),
+        );
+        f.push_series(
+            "cold query column image [ms]",
+            self.restage
+                .iter()
+                .enumerate()
+                .map(|(i, s)| (i as f64, s.column_restage_ms + s.column_query_ms))
+                .collect(),
+        );
+        f.push_series(
+            "op row-block [tuples/s]",
+            self.operators
+                .iter()
+                .enumerate()
+                .map(|(i, s)| (i as f64, s.row_block_tuples_per_s))
+                .collect(),
+        );
+        f.push_series(
+            "op column-slice [tuples/s]",
+            self.operators
+                .iter()
+                .enumerate()
+                .map(|(i, s)| (i as f64, s.column_tuples_per_s))
+                .collect(),
+        );
+        f.push_series(
+            "op column speedup [x]",
+            self.operators
+                .iter()
+                .enumerate()
+                .map(|(i, s)| (i as f64, s.speedup()))
+                .collect(),
+        );
+        f
+    }
+}
+
+/// Restage + query on the row-image path, exactly what the pre-PR tier
+/// did on a cold query: copy the stored bytes out (the old
+/// `BlockStore::get` cloned), rehydrate a row table, stage it resident
+/// (the DRAM buffer-pool write the old `load_table` paid before any
+/// query could run), and stream the resident bytes through the
+/// pipeline in 4 KiB chunks. Returns the output.
+fn row_restage_once(spec: &PipelineSpec, schema: &Schema, row_image: &[u8]) -> Vec<u8> {
+    let mut p = CompiledPipeline::compile(spec.clone(), schema).expect("spec compiles");
+    let t = Table::from_bytes(schema.clone(), row_image.to_vec());
+    let resident = t.bytes().to_vec();
+    let mut out = Vec::new();
+    for chunk in resident.chunks(4096) {
+        p.push_bytes(chunk);
+        out.extend(p.drain_output());
+    }
+    p.finish();
+    out.extend(p.drain_output());
+    out
+}
+
+/// Restage + query on the column-image path: validated zero-copy open,
+/// then one slice-native push. Returns the output and the columnar
+/// batched-block count.
+fn col_restage_once(spec: &PipelineSpec, schema: &Schema, image: &[u8]) -> (Vec<u8>, u64) {
+    let mut p = CompiledPipeline::compile(spec.clone(), schema).expect("spec compiles");
+    let img = ColumnImage::open(image, schema).expect("image validates");
+    let block = ColumnBlock::from_image(&img);
+    p.push_columns(&block);
+    p.finish();
+    (p.drain_output(), p.batched_blocks())
+}
+
+/// Timed row-image cold query, phase-split (compile outside the
+/// window). Returns `(restage, query)` seconds: the restage phase is
+/// the store copy, rehydration, and resident staging write — the
+/// materialize-before-query work the pre-PR tier paid — and the query
+/// phase is the chunked stream over the resident bytes.
+fn row_restage_secs(spec: &PipelineSpec, schema: &Schema, row_image: &[u8]) -> (f64, f64) {
+    let mut p = CompiledPipeline::compile(spec.clone(), schema).expect("spec compiles");
+    let start = Instant::now();
+    let t = Table::from_bytes(schema.clone(), row_image.to_vec());
+    let resident = t.bytes().to_vec();
+    let staged = start.elapsed().as_secs_f64();
+    let qstart = Instant::now();
+    for chunk in resident.chunks(4096) {
+        p.push_bytes(chunk);
+        std::hint::black_box(p.drain_output().len());
+    }
+    p.finish();
+    std::hint::black_box(p.drain_output().len());
+    (staged, qstart.elapsed().as_secs_f64())
+}
+
+/// Timed column-image cold query, phase-split (compile outside the
+/// window). Returns `(restage, query)` seconds: the restage phase is
+/// the validated zero-copy open — after it the slices are queryable
+/// with no byte moved — and the query phase is the slice-native push.
+fn col_restage_secs(spec: &PipelineSpec, schema: &Schema, image: &[u8]) -> (f64, f64) {
+    let mut p = CompiledPipeline::compile(spec.clone(), schema).expect("spec compiles");
+    let start = Instant::now();
+    let img = ColumnImage::open(image, schema).expect("image validates");
+    let block = ColumnBlock::from_image(&img);
+    let staged = start.elapsed().as_secs_f64();
+    let qstart = Instant::now();
+    p.push_columns(&block);
+    std::hint::black_box(p.drain_output().len());
+    p.finish();
+    std::hint::black_box(p.drain_output().len());
+    (staged, qstart.elapsed().as_secs_f64())
+}
+
+/// Timed row-block operator stream over resident bytes (4 KiB chunks,
+/// per-chunk drain — the PR 8 block route).
+fn block_route_secs(spec: &PipelineSpec, table: &Table) -> f64 {
+    let mut p = CompiledPipeline::compile(spec.clone(), table.schema()).expect("spec compiles");
+    let start = Instant::now();
+    for chunk in table.bytes().chunks(4096) {
+        p.push_bytes(chunk);
+        std::hint::black_box(p.drain_output().len());
+    }
+    p.finish();
+    std::hint::black_box(p.drain_output().len());
+    start.elapsed().as_secs_f64()
+}
+
+/// Rows per window of the slice-native operator stream: like the
+/// row-block route's 4 KiB chunks, the columnar route consumes a staged
+/// image in row windows — each window's key and payload slices and the
+/// pipeline's output for it stay cache-resident, while the batched
+/// hash/DFA passes still run whole-window. 128 rows keeps the join's
+/// emitted `probe ++ payload` rows inside the L1-resident recycled
+/// output buffer (the window sweep put the join's knee there, with the
+/// grouping operators flat from 128 up).
+const COLUMN_WINDOW_ROWS: usize = 128;
+
+/// Slice-native operator stream over an opened image, windowed, with
+/// per-window drain. Returns the output and the columnar batched-block
+/// count.
+fn columnar_route_once(spec: &PipelineSpec, schema: &Schema, image: &[u8]) -> (Vec<u8>, u64) {
+    let img = ColumnImage::open(image, schema).expect("image validates");
+    let block = ColumnBlock::from_image(&img);
+    let mut p = CompiledPipeline::compile(spec.clone(), schema).expect("spec compiles");
+    let mut out = Vec::new();
+    let mut lo = 0;
+    while lo < block.rows() {
+        let hi = (lo + COLUMN_WINDOW_ROWS).min(block.rows());
+        p.push_columns(&block.slice_rows(lo, hi));
+        out.extend(p.drain_output());
+        lo = hi;
+    }
+    p.finish();
+    out.extend(p.drain_output());
+    (out, p.batched_blocks())
+}
+
+/// Timed slice-native operator stream over an already-opened image
+/// (the open is charged in the restage section, not here), windowed
+/// exactly as [`columnar_route_once`].
+fn columnar_route_secs(spec: &PipelineSpec, schema: &Schema, image: &[u8]) -> f64 {
+    let img = ColumnImage::open(image, schema).expect("image validates");
+    let block = ColumnBlock::from_image(&img);
+    let mut p = CompiledPipeline::compile(spec.clone(), schema).expect("spec compiles");
+    let start = Instant::now();
+    let mut lo = 0;
+    while lo < block.rows() {
+        let hi = (lo + COLUMN_WINDOW_ROWS).min(block.rows());
+        p.push_columns(&block.slice_rows(lo, hi));
+        std::hint::black_box(p.drain_output().len());
+        lo = hi;
+    }
+    p.finish();
+    std::hint::black_box(p.drain_output().len());
+    start.elapsed().as_secs_f64()
+}
+
+/// Interleaved min-of-`reps` timing of two routes (the same
+/// drift-cancelling scheme as the hotpath bench: shared hosts only ever
+/// slow a sample down, so the minimum is the robust estimator).
+fn time_pair(
+    mut route_a: impl FnMut() -> f64,
+    mut route_b: impl FnMut() -> f64,
+    reps: usize,
+) -> (f64, f64) {
+    let _ = route_a();
+    let _ = route_b();
+    let mut best = [f64::INFINITY; 2];
+    for rep in 0..reps {
+        if rep % 2 == 0 {
+            best[0] = best[0].min(route_a());
+            best[1] = best[1].min(route_b());
+        } else {
+            best[1] = best[1].min(route_b());
+            best[0] = best[0].min(route_a());
+        }
+    }
+    (best[0], best[1])
+}
+
+/// [`time_pair`] for phase-split routes: the per-phase minima are kept
+/// independently (each phase is its own min-estimated measurement).
+#[allow(clippy::type_complexity)]
+fn time_pair_phased(
+    mut route_a: impl FnMut() -> (f64, f64),
+    mut route_b: impl FnMut() -> (f64, f64),
+    reps: usize,
+) -> ((f64, f64), (f64, f64)) {
+    let _ = route_a();
+    let _ = route_b();
+    let mut best = [(f64::INFINITY, f64::INFINITY); 2];
+    let take = |slot: &mut (f64, f64), sample: (f64, f64)| {
+        slot.0 = slot.0.min(sample.0);
+        slot.1 = slot.1.min(sample.1);
+    };
+    for rep in 0..reps {
+        if rep % 2 == 0 {
+            let s = route_a();
+            take(&mut best[0], s);
+            let s = route_b();
+            take(&mut best[1], s);
+        } else {
+            let s = route_b();
+            take(&mut best[1], s);
+            let s = route_a();
+            take(&mut best[0], s);
+        }
+    }
+    (best[0], best[1])
+}
+
+/// The restage queries measured, in figure order.
+fn restage_suite(rows: usize) -> (Table, Vec<(String, PipelineSpec)>) {
+    let table = TableGen::new(8, rows)
+        .seed(57)
+        .selectivity_column(1, 0.5)
+        .build();
+    let pivot = fv_workload::SELECTIVITY_PIVOT;
+    let specs = vec![
+        ("passthrough".into(), PipelineSpec::passthrough()),
+        (
+            "filter".into(),
+            PipelineSpec::passthrough().filter(PredicateExpr::lt(1, pivot)),
+        ),
+        (
+            "filter+project".into(),
+            PipelineSpec::passthrough()
+                .project(vec![0, 3, 5])
+                .filter(PredicateExpr::lt(1, pivot)),
+        ),
+    ];
+    (table, specs)
+}
+
+/// The operator pipelines measured slice-native, in figure order — the
+/// same workloads as the hotpath suite's stateful half, so the two
+/// reports are comparable row for row.
+fn column_op_suite(rows: usize) -> Vec<(String, PipelineSpec, Table)> {
+    let table = TableGen::new(8, rows)
+        .seed(55)
+        .distinct_column(0, 64)
+        .selectivity_column(1, 0.5)
+        .sequential_column(2)
+        .build();
+    let strings = StringTableGen::new(rows.min(4096), 64)
+        .match_fraction(0.5)
+        .build();
+    let fact = TableGen::new(8, rows)
+        .seed(91)
+        .clustered_column(0, 64, 8)
+        .build();
+    let mut build = fv_data::TableBuilder::new(fv_data::Schema::uniform_u64(16));
+    for k in 0..64u64 {
+        build.push_values(
+            (0..16u64)
+                .map(|c| fv_data::Value::U64(k.wrapping_mul(c + 1)))
+                .collect(),
+        );
+    }
+    let build = build.build();
+    let pivot = fv_workload::SELECTIVITY_PIVOT;
+
+    vec![
+        (
+            "filter".into(),
+            PipelineSpec::passthrough().filter(PredicateExpr::lt(1, pivot)),
+            table.clone(),
+        ),
+        (
+            "filter+project".into(),
+            PipelineSpec::passthrough()
+                .project(vec![0, 3, 5])
+                .filter(PredicateExpr::lt(1, pivot)),
+            table.clone(),
+        ),
+        (
+            "regex".into(),
+            PipelineSpec::passthrough().regex_match(1, REGEX_PATTERN),
+            strings,
+        ),
+        (
+            "distinct".into(),
+            PipelineSpec::passthrough().distinct(vec![0]),
+            fact.clone(),
+        ),
+        (
+            "group_by".into(),
+            PipelineSpec::passthrough().group_by(
+                vec![0],
+                vec![
+                    AggSpec {
+                        col: 2,
+                        func: AggFunc::Sum,
+                    },
+                    AggSpec {
+                        col: 2,
+                        func: AggFunc::Avg,
+                    },
+                ],
+            ),
+            table.clone(),
+        ),
+        (
+            "join".into(),
+            PipelineSpec::passthrough().join_small(JoinSmallSpec::new(0, &build, 0)),
+            fact,
+        ),
+    ]
+}
+
+/// Run the full measurement at the given scale.
+pub fn coldpath_report_at(rows: usize, reps: usize) -> ColdpathReport {
+    // --- restage: row image vs column image --------------------------
+    let (table, restage_specs) = restage_suite(rows);
+    let schema = table.schema().clone();
+    let row_image = table.bytes().to_vec();
+    let col_image = ColumnImage::encode(&table);
+    let mut restage = Vec::new();
+    for (query, spec) in restage_specs {
+        let row_out = row_restage_once(&spec, &schema, &row_image);
+        let (col_out, _) = col_restage_once(&spec, &schema, &col_image);
+        assert_eq!(
+            row_out, col_out,
+            "{query}: row-image and column-image restage must be byte-identical"
+        );
+        let ((row_stage_s, row_query_s), (col_stage_s, col_query_s)) = time_pair_phased(
+            || row_restage_secs(&spec, &schema, &row_image),
+            || col_restage_secs(&spec, &schema, &col_image),
+            reps,
+        );
+        restage.push(RestageSample {
+            query,
+            row_restage_ms: row_stage_s * 1e3,
+            row_query_ms: row_query_s * 1e3,
+            column_restage_ms: col_stage_s * 1e3,
+            column_query_ms: col_query_s * 1e3,
+        });
+    }
+
+    // --- operators: row-block vs column-slice input ------------------
+    // The slice-native route must actually engage the columnar batched
+    // paths: a zero counter on a stateful op means push_columns fell
+    // back to row materialization and the comparison is vacuous.
+    const BATCHED_OPS: [&str; 4] = ["regex", "distinct", "group_by", "join"];
+    let mut operators = Vec::new();
+    for (op, spec, table) in column_op_suite(rows) {
+        let schema = table.schema().clone();
+        let image = ColumnImage::encode(&table);
+        let mut block_out = Vec::new();
+        {
+            let mut p = CompiledPipeline::compile(spec.clone(), &schema).expect("spec compiles");
+            for chunk in table.bytes().chunks(4096) {
+                p.push_bytes(chunk);
+                block_out.extend(p.drain_output());
+            }
+            p.finish();
+            block_out.extend(p.drain_output());
+        }
+        let (col_out, batched_blocks) = columnar_route_once(&spec, &schema, &image);
+        assert_eq!(
+            block_out, col_out,
+            "{op}: row-block and column-slice routes must be byte-identical"
+        );
+        if BATCHED_OPS.contains(&op.as_str()) {
+            assert!(
+                batched_blocks > 0,
+                "{op}: columnar batched path never engaged"
+            );
+        }
+        let (block_s, col_s) = time_pair(
+            || block_route_secs(&spec, &table),
+            || columnar_route_secs(&spec, &schema, &image),
+            reps,
+        );
+        let rate = |t: f64| table.row_count() as f64 / t.max(1e-9);
+        operators.push(ColumnOpSample {
+            op,
+            row_block_tuples_per_s: rate(block_s),
+            column_tuples_per_s: rate(col_s),
+            batched_blocks,
+        });
+    }
+
+    ColdpathReport {
+        rows,
+        reps,
+        restage,
+        operators,
+    }
+}
+
+/// The full-size coldpath measurement (what `figures coldpath` runs and
+/// records into `BENCH_PR9.json`).
+pub fn coldpath_report() -> ColdpathReport {
+    coldpath_report_at(32_768, 15)
+}
+
+/// `coldpath` as a figure.
+pub fn coldpath() -> Figure {
+    coldpath_report().to_figure()
+}
+
+/// [`coldpath`] at its smallest config (part of the `figures smoke`
+/// gate — correctness cross-checks at full coverage, timings at token
+/// scale).
+pub fn coldpath_smoke() -> Figure {
+    let report = coldpath_report_at(2_048, 2);
+    // Timing ratios are host-dependent and asserted nowhere in CI, but
+    // the emitted JSON must carry a speedup sample for every restage
+    // query and every column-keyed operator — the release-run
+    // BENCH_PR9.json is the perf record, and this pins its shape.
+    let json = report.to_json();
+    for op in ["distinct", "group_by", "join", "regex"] {
+        assert!(
+            json.contains(&format!("\"op\": \"{op}\"")),
+            "smoke JSON missing column-keyed operator {op}"
+        );
+    }
+    assert_eq!(
+        json.matches("\"speedup\":").count(),
+        report.restage.len() + report.operators.len(),
+        "every restage and operator row must record a speedup"
+    );
+    report.to_figure()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Structural shape of the smoke-scale report: every restage query
+    /// and operator sampled, all rates positive, the columnar batched
+    /// paths engaged, JSON well-formed enough to name every series.
+    /// (Timing ratios are asserted nowhere in tier-1 — debug builds
+    /// distort them — the release-run `BENCH_PR9.json` records the
+    /// measured speedups.)
+    #[test]
+    fn coldpath_report_is_complete() {
+        let r = coldpath_report_at(512, 1);
+        assert_eq!(r.restage.len(), 3);
+        assert_eq!(r.operators.len(), 6);
+        for s in &r.restage {
+            assert!(s.row_restage_ms > 0.0, "{}: no row restage time", s.query);
+            assert!(s.row_query_ms > 0.0, "{}: no row query time", s.query);
+            assert!(
+                s.column_restage_ms > 0.0,
+                "{}: no column restage time",
+                s.query
+            );
+            assert!(s.column_query_ms > 0.0, "{}: no column query time", s.query);
+        }
+        for s in &r.operators {
+            assert!(s.row_block_tuples_per_s > 0.0, "{}: no block rate", s.op);
+            assert!(s.column_tuples_per_s > 0.0, "{}: no columnar rate", s.op);
+            let stateful = matches!(s.op.as_str(), "regex" | "distinct" | "group_by" | "join");
+            assert_eq!(
+                s.batched_blocks > 0,
+                stateful,
+                "{}: columnar batched engagement",
+                s.op
+            );
+        }
+        let json = r.to_json();
+        for needle in [
+            "\"bench\": \"coldpath\"",
+            "\"query\": \"filter+project\"",
+            "\"row_restage_ms\"",
+            "\"row_query_ms\"",
+            "\"column_restage_ms\"",
+            "\"column_query_ms\"",
+            "\"op\": \"join\"",
+            "\"speedup\"",
+            "\"cold_query_speedup\"",
+            "\"batched_blocks\"",
+        ] {
+            assert!(json.contains(needle), "JSON missing {needle}");
+        }
+        let fig = r.to_figure();
+        for series in [
+            "restage row image [ms]",
+            "restage column image [ms]",
+            "op row-block [tuples/s]",
+            "op column-slice [tuples/s]",
+        ] {
+            assert!(fig.series(series).is_some(), "figure missing {series}");
+        }
+    }
+}

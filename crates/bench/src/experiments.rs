@@ -3,6 +3,7 @@
 use farview_core::{
     microbench, resources, AggFunc, AggSpec, CryptoSpec, FTable, FarviewCluster, FarviewConfig,
     FarviewFleet, Partitioning, PipelineSpec, PlanTarget, PredicateExpr, QPair, QueryPlan,
+    TierLevel,
 };
 use fv_baseline::{rnic_read_response_time, BaselineKind, CpuEngine};
 use fv_data::{Schema, Table};
@@ -991,6 +992,7 @@ pub fn smoke_figures() -> Vec<Figure> {
         plan_ablation_smoke(),
         elasticity_smoke(),
         crate::hotpath::hotpath_smoke(),
+        crate::coldpath::coldpath_smoke(),
         crate::chaos::chaos_smoke(),
     ]
 }
@@ -1093,7 +1095,9 @@ pub fn explain_figures() -> String {
         "tiered: cold passthrough read staged from storage",
         &QueryPlan::from_spec(
             &PipelineSpec::passthrough(),
-            PlanTarget::Tiered { resident: false },
+            PlanTarget::Tiered {
+                residency: TierLevel::Disk,
+            },
         ),
         &paper,
         16_384,
@@ -1345,6 +1349,7 @@ mod tests {
             "plan_ablation",
             "elasticity",
             "hotpath",
+            "coldpath",
             "chaos",
         ] {
             assert!(names.iter().any(|n| n == needle), "smoke missing {needle}");
@@ -1360,7 +1365,7 @@ mod tests {
             "fused into one scan pass",
             "fleet[8 shards",
             "batch[depth=8]",
-            "tiered[cold]",
+            "tiered[disk]",
             "rules applied",
         ] {
             assert!(text.contains(needle), "explain output missing {needle:?}");

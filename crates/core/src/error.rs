@@ -39,6 +39,16 @@ pub enum FvError {
         /// The missing object name.
         name: String,
     },
+    /// A table the storage tier cannot stage as a columnar image.
+    Unstageable {
+        /// The object name the caller tried to register.
+        name: String,
+        /// Why the table cannot be staged.
+        reason: &'static str,
+    },
+    /// A staged columnar image failed validation when reopened from the
+    /// storage tier (corrupted, truncated, or schema-mismatched bytes).
+    Codec(fv_data::CodecError),
     /// The requested pipeline feature cannot fan out across a fleet:
     /// its per-shard outputs are not mergeable client-side (e.g. a
     /// compressed or encrypted result stream has no order-preserving
@@ -120,6 +130,10 @@ impl fmt::Display for FvError {
             FvError::NotInStorage { name } => {
                 write!(f, "object {name:?} is not in the storage tier")
             }
+            FvError::Unstageable { name, reason } => {
+                write!(f, "cannot stage {name:?} as a column image: {reason}")
+            }
+            FvError::Codec(e) => write!(f, "staged column image: {e}"),
             FvError::FleetUnsupported { feature } => {
                 write!(f, "{feature} results cannot be merged across fleet shards")
             }
@@ -175,5 +189,11 @@ impl From<PipelineError> for FvError {
 impl From<NetError> for FvError {
     fn from(e: NetError) -> Self {
         FvError::Net(e)
+    }
+}
+
+impl From<fv_data::CodecError> for FvError {
+    fn from(e: fv_data::CodecError) -> Self {
+        FvError::Codec(e)
     }
 }

@@ -58,7 +58,10 @@ pub use fleet::{
     ShardMap,
 };
 pub use plan::{replica_beats, Executor, Explain, LogicalStage, MergeSpec, PlanTarget, QueryPlan};
-pub use tiered::{BlockStore, FleetTierOutcome, FleetTieredPool, StorageParams, TieredPool};
+pub use tiered::{
+    BlockStore, FleetTierOutcome, FleetTieredPool, StorageParams, TierLevel, TierOutcome,
+    TieredPool,
+};
 pub use topology::{
     MovePlan, NodeHealth, NodeId, Placement, RebalanceReport, ShardMove, Topology, TopologySnapshot,
 };

@@ -55,7 +55,7 @@ use fv_sim::{MergeCostModel, PlanCostModel, SimDuration};
 use crate::cluster::{FTable, QPair, QueryOutcome, QueryStats};
 use crate::error::FvError;
 use crate::fleet::{FleetQPair, FleetQueryOutcome, FleetTable, Partitioning};
-use crate::tiered::StorageParams;
+use crate::tiered::{StorageParams, TierLevel};
 
 // ---------------------------------------------------------------------------
 // The IR
@@ -170,9 +170,12 @@ pub enum PlanTarget {
     },
     /// A tiered buffer pool in front of block storage.
     Tiered {
-        /// Whether the table is expected resident in disaggregated DRAM
-        /// (a miss pays the storage staging cost).
-        resident: bool,
+        /// Which rung of the disk → far-memory → DRAM ladder the table
+        /// is expected on. [`TierLevel::Dram`] costs no staging,
+        /// [`TierLevel::FarMemory`] pays only the DRAM write (zero-copy
+        /// image restage), [`TierLevel::Disk`] additionally pays the
+        /// device read.
+        residency: TierLevel,
     },
 }
 
@@ -185,9 +188,7 @@ impl std::fmt::Display for PlanTarget {
                 shards,
                 partitioning,
             } => write!(f, "fleet[{shards} shards, {partitioning:?}]"),
-            PlanTarget::Tiered { resident } => {
-                write!(f, "tiered[{}]", if *resident { "resident" } else { "cold" })
-            }
+            PlanTarget::Tiered { residency } => write!(f, "tiered[{residency}]"),
         }
     }
 }
@@ -913,14 +914,18 @@ fn estimate(plan: &QueryPlan, schema: &Schema, rows: u64) -> SimDuration {
             };
             cost.fan_out(shard_episode, merge)
         }
-        PlanTarget::Tiered { resident } => {
-            let staging = if resident {
-                SimDuration::ZERO
-            } else {
-                let dev = StorageParams::default();
-                dev.access_latency
-                    + fv_sim::calib::transfer(in_bytes_total, dev.bandwidth)
-                    + cost.stream_scan(in_bytes_total)
+        PlanTarget::Tiered { residency } => {
+            let staging = match residency {
+                TierLevel::Dram => SimDuration::ZERO,
+                // Far-resident image: zero-copy open, only the write
+                // into the disaggregated buffer pool is paid.
+                TierLevel::FarMemory => cost.stream_scan(in_bytes_total),
+                TierLevel::Disk => {
+                    let dev = StorageParams::default();
+                    dev.access_latency
+                        + fv_sim::calib::transfer(in_bytes_total, dev.bandwidth)
+                        + cost.stream_scan(in_bytes_total)
+                }
             };
             staging + cost.episode(in_bytes_total, gather, out_bytes_total)
         }

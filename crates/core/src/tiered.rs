@@ -5,23 +5,43 @@
 //! cache management strategies to move data back and forth to persistent
 //! storage" (§7). The buffer pool in disaggregated DRAM then behaves the
 //! way §3 describes ("can be used as regular memory, with blocks/pages
-//! being loaded from storage as needed"):
+//! being loaded from storage as needed"), across a **three-rung ladder**:
+//!
+//! ```text
+//!   disk (BlockStore)  →  far memory (column images)  →  DRAM (FTable)
+//!   authoritative          Arc<[u8]> per table,           staged rows the
+//!   columnar images        per-COLUMN residency           pipeline queries
+//! ```
 //!
 //! * [`BlockStore`] — a calibrated NVMe-class storage model holding the
-//!   cold table images (functional bytes + read/write timing).
+//!   cold **columnar table images** ([`fv_data::ColumnImage`] bytes +
+//!   read/write timing). Objects are shared out as `Arc<[u8]>`, so a
+//!   read never copies the image.
+//! * The **far-memory image tier** (internal to both pools) keeps
+//!   recently staged images resident as zero-copy `Arc<[u8]>` buffers
+//!   under their own byte budget. Pressure evicts cold *column slices*,
+//!   not whole tables: a partially spilled image repays only the disk
+//!   reads for its missing slices on the next staging, each costed
+//!   per-slice through [`StorageParams`].
 //! * [`TieredPool`] — an LRU cache manager over one connection's slice
 //!   of the disaggregated memory: queries against cold tables stage them
-//!   in from storage (evicting least-recently-used residents when the
-//!   DRAM budget is exceeded) and then run the offloaded pipeline.
+//!   in (evicting least-recently-used DRAM residents when the budget is
+//!   exceeded) and then run the offloaded pipeline.
 //! * [`FleetTieredPool`] — the same manager at **fleet** scope: staged
 //!   tables scatter across the fleet under the topology's *current*
 //!   epoch, and a resident staged before a membership change is
-//!   restaged into the new placement the next time it is queried (cold
-//!   data always lands on the shard set that exists *now*, not the one
-//!   that existed when it was first registered).
+//!   restaged into the new placement the next time it is queried. The
+//!   restage sources from the far-memory image — only slices that were
+//!   spilled to disk in the meantime are re-read.
 //!
-//! Query results are identical whether a table was hot or cold; only the
-//! reported time differs (staging cost surfaces in [`TierOutcome`] /
+//! Any fixed-stride schema stages (the image records the schema
+//! fingerprint; the pool keeps a per-object schema catalog). Image
+//! validation happens once, at [`ColumnImage::open`]: corrupted or
+//! truncated storage bytes surface as a typed [`FvError::Codec`], never
+//! a panic.
+//!
+//! Query results are identical hot or cold; only the reported time
+//! differs (staging cost surfaces in [`TierOutcome`] /
 //! [`FleetTierOutcome`]).
 //!
 //! Budgets are best-effort admission bounds: a table larger than the
@@ -30,8 +50,9 @@
 //! victim once the next staging needs room.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
-use fv_data::Table;
+use fv_data::{slice_len, ColumnImage, Schema, Table};
 use fv_sim::{calib, SimDuration};
 
 use crate::cluster::{FTable, QPair, QueryOutcome};
@@ -60,11 +81,42 @@ impl Default for StorageParams {
     }
 }
 
-/// A named block store holding cold table images.
+/// Where a staged table was found when a query had to promote it into
+/// DRAM. Also the residency assumption a
+/// [`PlanTarget::Tiered`](crate::plan::PlanTarget) cost estimate runs
+/// under.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TierLevel {
+    /// Resident in disaggregated DRAM — queries run immediately.
+    Dram,
+    /// Image resident in far memory — staging pays only the DRAM write,
+    /// no device I/O.
+    FarMemory,
+    /// On disk (fully, or as spilled slices) — staging pays device
+    /// reads before the DRAM write.
+    Disk,
+}
+
+impl std::fmt::Display for TierLevel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TierLevel::Dram => write!(f, "dram"),
+            TierLevel::FarMemory => write!(f, "far"),
+            TierLevel::Disk => write!(f, "disk"),
+        }
+    }
+}
+
+/// A named block store holding cold columnar table images.
+///
+/// Objects are immutable once written and shared out as `Arc<[u8]>`:
+/// `get` hands back a reference-counted view of the stored image, so
+/// the far-memory tier, the opener, and the store itself all alias one
+/// buffer — no copy is made anywhere on the read path.
 #[derive(Debug, Default)]
 pub struct BlockStore {
     params: StorageParams,
-    objects: HashMap<String, Vec<u8>>,
+    objects: HashMap<String, Arc<[u8]>>,
     reads: u64,
     writes: u64,
 }
@@ -78,25 +130,51 @@ impl BlockStore {
         }
     }
 
-    /// Persist an object; returns the simulated write time.
+    /// Persist an object; returns the simulated write time. The vector
+    /// is moved into a shared buffer, not copied.
     pub fn put(&mut self, name: &str, bytes: Vec<u8>) -> SimDuration {
         self.writes += 1;
         let t = self.params.access_latency
             + calib::transfer(bytes.len().max(1) as u64, self.params.bandwidth);
-        self.objects.insert(name.to_string(), bytes);
+        self.objects.insert(name.to_string(), bytes.into());
         t
     }
 
-    /// Fetch an object; returns the bytes and the simulated read time.
-    pub fn get(&mut self, name: &str) -> Option<(Vec<u8>, SimDuration)> {
-        let bytes = self.objects.get(name)?.clone();
+    /// Fetch an object; returns a zero-copy view of the bytes and the
+    /// simulated read time for the full image.
+    pub fn get(&mut self, name: &str) -> Option<(Arc<[u8]>, SimDuration)> {
+        let bytes = Arc::clone(self.objects.get(name)?);
         self.reads += 1;
         let t = self.params.access_latency
             + calib::transfer(bytes.len().max(1) as u64, self.params.bandwidth);
         Some((bytes, t))
     }
 
-    /// `(reads, writes)` served.
+    /// Charge one partial read of `len` bytes (a single column slice
+    /// re-fetched after a spill) without re-reading the whole object.
+    pub fn read_partial(&mut self, len: u64) -> SimDuration {
+        self.reads += 1;
+        self.params.access_latency + calib::transfer(len.max(1), self.params.bandwidth)
+    }
+
+    /// Flip every bit of one byte of a stored object — a fault-injection
+    /// hook for exercising the typed [`CodecError`](fv_data::CodecError)
+    /// path (the chaos suite's storage-corruption fault). Returns false
+    /// when the object does not exist or `byte` is out of range.
+    pub fn corrupt_object(&mut self, name: &str, byte: usize) -> bool {
+        match self.objects.get_mut(name) {
+            Some(obj) if byte < obj.len() => {
+                let mut v = obj.to_vec();
+                v[byte] ^= 0xFF;
+                *obj = v.into();
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// `(reads, writes)` served. Partial (per-slice) reads count one
+    /// read each, like any other device request.
     pub fn io_counts(&self) -> (u64, u64) {
         (self.reads, self.writes)
     }
@@ -112,6 +190,181 @@ impl BlockStore {
     }
 }
 
+/// One table's far-memory image: the shared bytes plus per-column
+/// residency. A spilled slice keeps its bytes alive in the `Arc` (the
+/// simulation is functional), but cost-wise it must be re-read from
+/// disk before the image can be staged again.
+struct FarImage {
+    image: Arc<[u8]>,
+    /// Per-column: is this slice resident in far memory (true) or
+    /// spilled to disk (false)?
+    slice_resident: Vec<bool>,
+    /// Per-column slice length in bytes (directory-exact).
+    slice_bytes: Vec<u64>,
+    /// LRU stamp.
+    last_use: u64,
+}
+
+/// What a far-tier fetch resolved to: the image bytes ready to open,
+/// the schema to open them with, and what the fetch cost.
+struct FarFetch {
+    bytes: Arc<[u8]>,
+    schema: Schema,
+    read_time: SimDuration,
+    slices_fetched: usize,
+    source: TierLevel,
+}
+
+/// The disk + far-memory rungs of the ladder, shared by both pools:
+/// a [`BlockStore`] of column images, a per-object schema catalog, and
+/// the far-memory image cache with column-granular spill.
+struct FarTier {
+    store: BlockStore,
+    catalog: HashMap<String, Schema>,
+    images: HashMap<String, FarImage>,
+    resident_bytes: u64,
+    capacity: u64,
+    spills: u64,
+}
+
+impl FarTier {
+    fn new(store: BlockStore, capacity: u64) -> Self {
+        FarTier {
+            store,
+            catalog: HashMap::new(),
+            images: HashMap::new(),
+            resident_bytes: 0,
+            capacity,
+            spills: 0,
+        }
+    }
+
+    /// Encode `table` as a columnar image and persist it. Any
+    /// fixed-stride schema is accepted; the schema is recorded in the
+    /// catalog so the image can be reopened without out-of-band
+    /// knowledge. Re-inserting a name invalidates any cached far copy.
+    fn insert(&mut self, name: &str, table: &Table) -> Result<SimDuration, FvError> {
+        if name.is_empty() {
+            return Err(FvError::Unstageable {
+                name: name.to_string(),
+                reason: "object names must be non-empty",
+            });
+        }
+        self.catalog
+            .insert(name.to_string(), table.schema().clone());
+        if let Some(old) = self.images.remove(name) {
+            self.resident_bytes -= resident_total(&old);
+        }
+        Ok(self.store.put(name, ColumnImage::encode(table)))
+    }
+
+    /// Resolve `name` to openable image bytes, paying per-slice disk
+    /// reads for whatever is not already far-resident: nothing on a
+    /// full far hit, only the spilled slices on a partial hit, the
+    /// whole image on a cold miss.
+    fn fetch(&mut self, name: &str, clock: u64) -> Result<FarFetch, FvError> {
+        let schema = self
+            .catalog
+            .get(name)
+            .cloned()
+            .ok_or_else(|| FvError::NotInStorage {
+                name: name.to_string(),
+            })?;
+        if let Some(img) = self.images.get_mut(name) {
+            img.last_use = clock;
+            let mut read_time = SimDuration::ZERO;
+            let mut fetched = 0usize;
+            for (res, len) in img.slice_resident.iter_mut().zip(&img.slice_bytes) {
+                if !*res {
+                    read_time += self.store.read_partial(*len);
+                    *res = true;
+                    self.resident_bytes += *len;
+                    fetched += 1;
+                }
+            }
+            let source = if fetched == 0 {
+                TierLevel::FarMemory
+            } else {
+                TierLevel::Disk
+            };
+            return Ok(FarFetch {
+                bytes: Arc::clone(&img.image),
+                schema,
+                read_time,
+                slices_fetched: fetched,
+                source,
+            });
+        }
+        // Cold miss: one sequential read of the full image, then install
+        // it in far memory with every slice resident.
+        let (bytes, read_time) = self.store.get(name).ok_or_else(|| FvError::NotInStorage {
+            name: name.to_string(),
+        })?;
+        let rows = ColumnImage::open(&bytes, &schema)?.row_count();
+        let slice_bytes: Vec<u64> = (0..schema.column_count())
+            .map(|c| slice_len(&schema, rows, c) as u64)
+            .collect();
+        self.resident_bytes += slice_bytes.iter().sum::<u64>();
+        let cols = slice_bytes.len();
+        self.images.insert(
+            name.to_string(),
+            FarImage {
+                image: Arc::clone(&bytes),
+                slice_resident: vec![true; cols],
+                slice_bytes,
+                last_use: clock,
+            },
+        );
+        Ok(FarFetch {
+            bytes,
+            schema,
+            read_time,
+            slices_fetched: cols,
+            source: TierLevel::Disk,
+        })
+    }
+
+    /// Spill cold column slices until the far tier fits its budget.
+    /// Victims are chosen column-by-column from the least-recently-used
+    /// image — a warm table loses nothing because a cold one is huge,
+    /// and a partially spilled table restages cheaper than a fully
+    /// spilled one. Spills are free: the tier is read-only, the disk
+    /// copy is authoritative. Returns the number of slices spilled.
+    fn enforce_budget(&mut self) -> u64 {
+        let mut spilled = 0u64;
+        while self.resident_bytes > self.capacity {
+            let victim = self
+                .images
+                .iter()
+                .filter(|(_, i)| i.slice_resident.iter().any(|r| *r))
+                .min_by(|(an, ai), (bn, bi)| ai.last_use.cmp(&bi.last_use).then_with(|| an.cmp(bn)))
+                .map(|(n, _)| n.clone());
+            let Some(victim) = victim else { break };
+            let Some(img) = self.images.get_mut(&victim) else {
+                break;
+            };
+            let Some(idx) = img.slice_resident.iter().position(|r| *r) else {
+                break;
+            };
+            img.slice_resident[idx] = false;
+            self.resident_bytes -= img.slice_bytes[idx];
+            self.spills += 1;
+            spilled += 1;
+        }
+        spilled
+    }
+}
+
+/// Sum of a far image's currently resident slice bytes.
+fn resident_total(img: &FarImage) -> u64 {
+    img.slice_resident
+        .iter()
+        .zip(&img.slice_bytes)
+        .filter(|(r, _)| **r)
+        .map(|(_, b)| *b)
+        .sum()
+}
+
 /// Outcome of a tiered query: the query result plus the tier activity
 /// that preceded it.
 #[derive(Debug)]
@@ -120,11 +373,21 @@ pub struct TierOutcome {
     pub outcome: QueryOutcome,
     /// Whether the table was already resident in disaggregated DRAM.
     pub buffer_hit: bool,
-    /// Time spent staging the table in from storage (device read + write
+    /// Which tier the staging sourced from (`None` on a DRAM hit):
+    /// [`TierLevel::FarMemory`] when the image was fully far-resident,
+    /// [`TierLevel::Disk`] when any slice had to come off the device.
+    pub staged_from: Option<TierLevel>,
+    /// Column slices read from disk during this staging (0 on a DRAM
+    /// or full far-memory hit; the column count on a cold miss).
+    pub slices_fetched: usize,
+    /// Time spent staging the table in (device reads, if any, + write
     /// into the disaggregated buffer pool). Zero on a hit.
     pub stage_in_time: SimDuration,
-    /// Tables evicted to make room.
+    /// Tables evicted from DRAM to make room. Their far-memory images
+    /// survive, so re-querying them repays only the DRAM write.
     pub evictions: Vec<String>,
+    /// Column slices spilled from far memory to disk by this staging.
+    pub spilled_slices: u64,
 }
 
 impl TierOutcome {
@@ -142,10 +405,10 @@ struct Resident {
 }
 
 /// An LRU-managed slice of the disaggregated buffer pool backed by a
-/// [`BlockStore`].
+/// far-memory image tier and a [`BlockStore`].
 pub struct TieredPool<'a> {
     qp: &'a QPair,
-    store: BlockStore,
+    far: FarTier,
     /// DRAM budget this pool may occupy, in bytes.
     capacity: u64,
     resident: HashMap<String, Resident>,
@@ -161,6 +424,8 @@ impl std::fmt::Debug for TieredPool<'_> {
             .field("capacity", &self.capacity)
             .field("resident_bytes", &self.resident_bytes)
             .field("resident", &self.resident.len())
+            .field("far_capacity", &self.far.capacity)
+            .field("far_resident_bytes", &self.far.resident_bytes)
             .field("hits", &self.hits)
             .field("misses", &self.misses)
             .finish()
@@ -171,10 +436,12 @@ impl<'a> TieredPool<'a> {
     /// A pool over `qp`'s connection with the given DRAM budget. A zero
     /// budget is legal: every staged table then exceeds the budget, so
     /// each new staging evicts whatever the previous one brought in.
+    /// The far-memory image tier defaults to 4× the DRAM budget; tune
+    /// it with [`TieredPool::with_far_capacity`].
     pub fn new(qp: &'a QPair, capacity_bytes: u64, store: BlockStore) -> Self {
         TieredPool {
             qp,
-            store,
+            far: FarTier::new(store, capacity_bytes.saturating_mul(4)),
             capacity: capacity_bytes,
             resident: HashMap::new(),
             resident_bytes: 0,
@@ -184,16 +451,22 @@ impl<'a> TieredPool<'a> {
         }
     }
 
-    /// Register a table: persisted to storage, *not* staged into DRAM
-    /// until first use ("blocks/pages being loaded from storage as
-    /// needed", §3).
+    /// Set the far-memory image tier's byte budget.
+    pub fn with_far_capacity(mut self, bytes: u64) -> Self {
+        self.far.capacity = bytes;
+        self
+    }
+
+    /// Register a table: encoded as a columnar image and persisted to
+    /// storage, *not* staged into DRAM until first use ("blocks/pages
+    /// being loaded from storage as needed", §3). Any fixed-stride
+    /// schema is accepted.
     ///
-    /// # Panics
-    /// Panics unless `table` uses the paper-default staged schema
-    /// (8 × 8-byte attributes) — see [`staged_schema`].
-    pub fn insert(&mut self, name: &str, table: &Table) -> SimDuration {
-        check_staged_schema(table);
-        self.store.put(name, table.bytes().to_vec())
+    /// # Errors
+    /// [`FvError::Unstageable`] when the object cannot be registered
+    /// (e.g. an empty object name).
+    pub fn insert(&mut self, name: &str, table: &Table) -> Result<SimDuration, FvError> {
+        self.far.insert(name, table)
     }
 
     /// Is `name` currently resident in disaggregated DRAM?
@@ -206,9 +479,36 @@ impl<'a> TieredPool<'a> {
         (self.hits, self.misses)
     }
 
-    /// Bytes currently resident.
+    /// Bytes currently resident in DRAM.
     pub fn resident_bytes(&self) -> u64 {
         self.resident_bytes
+    }
+
+    /// Bytes of column-image slices currently resident in far memory.
+    pub fn far_resident_bytes(&self) -> u64 {
+        self.far.resident_bytes
+    }
+
+    /// Column slices spilled from far memory to disk so far.
+    pub fn far_spills(&self) -> u64 {
+        self.far.spills
+    }
+
+    /// `(reads, writes)` served by the backing store.
+    pub fn io_counts(&self) -> (u64, u64) {
+        self.far.store.io_counts()
+    }
+
+    /// Fault-injection hook: corrupt one byte of a stored image — the
+    /// next cold staging of `name` fails with a typed
+    /// [`FvError::Codec`].
+    pub fn corrupt_stored(&mut self, name: &str, byte: usize) -> bool {
+        // Invalidate the cached far copy so the corrupted bytes are
+        // actually re-read and re-validated.
+        if let Some(old) = self.far.images.remove(name) {
+            self.far.resident_bytes -= resident_total(&old);
+        }
+        self.far.store.corrupt_object(name, byte)
     }
 
     /// Evict the least-recently-used resident table; returns its name.
@@ -222,12 +522,16 @@ impl<'a> TieredPool<'a> {
         let r = self.resident.remove(&victim).expect("victim resident");
         self.resident_bytes -= r.bytes;
         // Read-only buffer pool (§4.2): no write-back needed, the
-        // storage copy is authoritative.
+        // storage copy is authoritative — and the far-memory image
+        // keeps the demoted table one cheap restage away.
         self.qp.free_table(r.ft)?;
         Ok(victim)
     }
 
-    /// Run `spec` against `name`, staging it in from storage if cold.
+    /// Run `spec` against `name`, staging it in if cold. A DRAM miss
+    /// resolves down the ladder: a far-resident image restages with a
+    /// zero-copy open (no device I/O), a partially spilled one re-reads
+    /// only its missing slices, a cold one pays the full image read.
     /// Residency management lives here; the query itself runs through
     /// the shared [`Executor`] like every other entry point.
     pub fn query(&mut self, name: &str, spec: &PipelineSpec) -> Result<TierOutcome, FvError> {
@@ -240,15 +544,19 @@ impl<'a> TieredPool<'a> {
             return Ok(TierOutcome {
                 outcome,
                 buffer_hit: true,
+                staged_from: None,
+                slices_fetched: 0,
                 stage_in_time: SimDuration::ZERO,
                 evictions: Vec::new(),
+                spilled_slices: 0,
             });
         }
         self.misses += 1;
-        let (bytes, read_time) = self.store.get(name).ok_or_else(|| FvError::NotInStorage {
-            name: name.to_string(),
-        })?;
-        let table = Table::from_bytes(staged_schema(), bytes);
+        let fetch = self.far.fetch(name, self.clock)?;
+        let spilled = self.far.enforce_budget();
+        // Validation happened once, at open; everything below works on
+        // proven-in-bounds slices.
+        let table = ColumnImage::open(&fetch.bytes, &fetch.schema)?.to_table();
 
         // Make room under the DRAM budget.
         let need = table.byte_len() as u64;
@@ -272,29 +580,13 @@ impl<'a> TieredPool<'a> {
         Ok(TierOutcome {
             outcome,
             buffer_hit: false,
-            stage_in_time: read_time + write_time,
+            staged_from: Some(fetch.source),
+            slices_fetched: fetch.slices_fetched,
+            stage_in_time: fetch.read_time + write_time,
             evictions,
+            spilled_slices: spilled,
         })
     }
-}
-
-/// The one schema cold images are staged with: the paper's default row
-/// format (8 × 8-byte attributes, §6.2). Both tier pools rehydrate
-/// storage bytes through this; generalizing to a persisted per-object
-/// schema catalog is mechanical but not needed by any experiment.
-pub fn staged_schema() -> fv_data::Schema {
-    fv_data::Schema::uniform_u64(8)
-}
-
-/// Reject tables the tier cannot rehydrate — catching the mismatch at
-/// `insert` time instead of panicking (or silently mis-decoding rows)
-/// at first query.
-fn check_staged_schema(table: &Table) {
-    assert_eq!(
-        table.schema(),
-        &staged_schema(),
-        "tiered pools stage the paper-default 8 x u64 schema only"
-    );
 }
 
 /// Outcome of one fleet-tier query: the merged fleet result plus the
@@ -309,11 +601,19 @@ pub struct FleetTierOutcome {
     /// Whether a resident copy existed but its placement had gone
     /// stale and it was re-scattered into the current shard set.
     pub restaged: bool,
-    /// Time spent staging the table in from storage (device read + the
+    /// Which tier the staging sourced from (`None` on a hit). An
+    /// epoch-stale restage typically reports [`TierLevel::FarMemory`]:
+    /// the rebalance ships only slices that were spilled to disk.
+    pub staged_from: Option<TierLevel>,
+    /// Column slices read from disk during this staging.
+    pub slices_fetched: usize,
+    /// Time spent staging the table in (device reads, if any, + the
     /// slowest shard's scatter write). Zero on a hit.
     pub stage_in_time: SimDuration,
-    /// Tables evicted to make room.
+    /// Tables evicted from fleet DRAM to make room.
     pub evictions: Vec<String>,
+    /// Column slices spilled from far memory to disk by this staging.
+    pub spilled_slices: u64,
 }
 
 impl FleetTierOutcome {
@@ -330,19 +630,23 @@ struct FleetResident {
     last_use: u64,
 }
 
-/// An LRU-managed tier over a whole fleet connection, backed by a
-/// [`BlockStore`]. The elastic-topology twist: residency is checked
+/// An LRU-managed tier over a whole fleet connection, backed by the
+/// same far-memory image tier and [`BlockStore`] ladder as
+/// [`TieredPool`]. The elastic-topology twist: residency is checked
 /// against the topology **epoch**, so a table staged before an
 /// `add_node`/`drain_node`/`remove_node` is transparently restaged into
 /// the *current* placement on its next query — cold data always lands
-/// on the shard set that exists now.
+/// on the shard set that exists now, and the restage ships only slices
+/// the far tier no longer holds.
 pub struct FleetTieredPool<'a> {
     fqp: &'a FleetQPair,
-    store: BlockStore,
+    far: FarTier,
     /// DRAM budget this pool may occupy across the fleet, in bytes.
     capacity: u64,
     /// Partitioning for every staged table.
     partitioning: Partitioning,
+    /// Replica count per shard for every staged table.
+    replicas: usize,
     resident: HashMap<String, FleetResident>,
     resident_bytes: u64,
     clock: u64,
@@ -357,6 +661,8 @@ impl std::fmt::Debug for FleetTieredPool<'_> {
             .field("capacity", &self.capacity)
             .field("resident_bytes", &self.resident_bytes)
             .field("resident", &self.resident.len())
+            .field("far_capacity", &self.far.capacity)
+            .field("far_resident_bytes", &self.far.resident_bytes)
             .field("hits", &self.hits)
             .field("misses", &self.misses)
             .field("restages", &self.restages)
@@ -366,7 +672,8 @@ impl std::fmt::Debug for FleetTieredPool<'_> {
 
 impl<'a> FleetTieredPool<'a> {
     /// A pool over `fqp` with the given fleet-wide DRAM budget; every
-    /// staged table scatters under `partitioning`.
+    /// staged table scatters under `partitioning`. The far-memory image
+    /// tier defaults to 4× the DRAM budget.
     pub fn new(
         fqp: &'a FleetQPair,
         capacity_bytes: u64,
@@ -375,9 +682,10 @@ impl<'a> FleetTieredPool<'a> {
     ) -> Self {
         FleetTieredPool {
             fqp,
-            store,
+            far: FarTier::new(store, capacity_bytes.saturating_mul(4)),
             capacity: capacity_bytes,
             partitioning,
+            replicas: 1,
             resident: HashMap::new(),
             resident_bytes: 0,
             clock: 0,
@@ -387,15 +695,31 @@ impl<'a> FleetTieredPool<'a> {
         }
     }
 
-    /// Register a table: persisted to storage, *not* staged into DRAM
-    /// until first use.
+    /// Set the far-memory image tier's byte budget.
+    pub fn with_far_capacity(mut self, bytes: u64) -> Self {
+        self.far.capacity = bytes;
+        self
+    }
+
+    /// Stage every table with `replicas` copies per shard on distinct
+    /// nodes — reads race the replicas and survive any `replicas − 1`
+    /// node losses, exactly as
+    /// [`FleetQPair::load_table_replicated`](crate::fleet::FleetQPair::load_table_replicated)
+    /// documents.
+    pub fn with_replication(mut self, replicas: usize) -> Self {
+        self.replicas = replicas;
+        self
+    }
+
+    /// Register a table: encoded as a columnar image and persisted to
+    /// storage, *not* staged into DRAM until first use. Any
+    /// fixed-stride schema is accepted.
     ///
-    /// # Panics
-    /// Panics unless `table` uses the paper-default staged schema
-    /// (8 × 8-byte attributes) — see [`staged_schema`].
-    pub fn insert(&mut self, name: &str, table: &Table) -> SimDuration {
-        check_staged_schema(table);
-        self.store.put(name, table.bytes().to_vec())
+    /// # Errors
+    /// [`FvError::Unstageable`] when the object cannot be registered
+    /// (e.g. an empty object name).
+    pub fn insert(&mut self, name: &str, table: &Table) -> Result<SimDuration, FvError> {
+        self.far.insert(name, table)
     }
 
     /// Is `name` currently resident (at any epoch)?
@@ -418,6 +742,11 @@ impl<'a> FleetTieredPool<'a> {
         self.restages
     }
 
+    /// Column slices spilled from far memory to disk so far.
+    pub fn far_spills(&self) -> u64 {
+        self.far.spills
+    }
+
     /// Evict the least-recently-used resident; returns its name.
     fn evict_one(&mut self) -> Result<String, FvError> {
         let victim = self
@@ -434,12 +763,13 @@ impl<'a> FleetTieredPool<'a> {
         Ok(victim)
     }
 
-    /// Run `spec` against `name`, staging it in from storage if cold —
-    /// or **restaging** it if its resident placement no longer matches
+    /// Run `spec` against `name`, staging it in if cold — or
+    /// **restaging** it if its resident placement no longer matches
     /// what the current Active set computes. Staleness is a property of
     /// the *placement*, not the raw epoch: membership changes that
     /// cancelled out (a node added and removed again) leave residents
-    /// hot.
+    /// hot. A restage sources from the far-memory image, so only slices
+    /// spilled to disk since the original staging are re-read.
     pub fn query(&mut self, name: &str, spec: &PipelineSpec) -> Result<FleetTierOutcome, FvError> {
         self.clock += 1;
         let mut restaged = false;
@@ -453,8 +783,11 @@ impl<'a> FleetTieredPool<'a> {
                     outcome,
                     buffer_hit: true,
                     restaged: false,
+                    staged_from: None,
+                    slices_fetched: 0,
                     stage_in_time: SimDuration::ZERO,
                     evictions: Vec::new(),
+                    spilled_slices: 0,
                 });
             }
             // Stale placement: drop the old copy and fall through to
@@ -467,10 +800,9 @@ impl<'a> FleetTieredPool<'a> {
             self.fqp.free_table(r.ft)?;
         }
         self.misses += 1;
-        let (bytes, read_time) = self.store.get(name).ok_or_else(|| FvError::NotInStorage {
-            name: name.to_string(),
-        })?;
-        let table = Table::from_bytes(staged_schema(), bytes);
+        let fetch = self.far.fetch(name, self.clock)?;
+        let spilled = self.far.enforce_budget();
+        let table = ColumnImage::open(&fetch.bytes, &fetch.schema)?.to_table();
 
         // Make room under the fleet-wide DRAM budget.
         let need = table.byte_len() as u64;
@@ -479,7 +811,9 @@ impl<'a> FleetTieredPool<'a> {
             evictions.push(self.evict_one()?);
         }
 
-        let (ft, write_time) = self.fqp.load_table(&table, self.partitioning)?;
+        let (ft, write_time) =
+            self.fqp
+                .load_table_replicated(&table, self.partitioning, self.replicas)?;
         self.resident.insert(
             name.to_string(),
             FleetResident {
@@ -495,8 +829,11 @@ impl<'a> FleetTieredPool<'a> {
             outcome,
             buffer_hit: false,
             restaged,
-            stage_in_time: read_time + write_time,
+            staged_from: Some(fetch.source),
+            slices_fetched: fetch.slices_fetched,
+            stage_in_time: fetch.read_time + write_time,
             evictions,
+            spilled_slices: spilled,
         })
     }
 }
@@ -519,17 +856,20 @@ mod tests {
         let qp = cluster.connect().unwrap();
         let mut pool = TieredPool::new(&qp, 8 << 20, BlockStore::new(StorageParams::default()));
         let t = table(1, 256 << 10);
-        pool.insert("orders", &t);
+        pool.insert("orders", &t).unwrap();
         assert!(!pool.is_resident("orders"));
 
         let cold = pool.query("orders", &PipelineSpec::passthrough()).unwrap();
         assert!(!cold.buffer_hit);
+        assert_eq!(cold.staged_from, Some(TierLevel::Disk));
+        assert_eq!(cold.slices_fetched, 8, "all 8 column slices came off disk");
         assert!(cold.stage_in_time > SimDuration::from_micros(80));
         assert_eq!(cold.outcome.payload, t.bytes());
         assert!(pool.is_resident("orders"));
 
         let hot = pool.query("orders", &PipelineSpec::passthrough()).unwrap();
         assert!(hot.buffer_hit);
+        assert_eq!(hot.staged_from, None);
         assert_eq!(hot.stage_in_time, SimDuration::ZERO);
         assert_eq!(hot.outcome.payload, t.bytes());
         assert!(hot.total_time() < cold.total_time());
@@ -543,7 +883,7 @@ mod tests {
         // Budget for two 1 MB tables.
         let mut pool = TieredPool::new(&qp, 2 << 20, BlockStore::default());
         for (i, name) in ["a", "b", "c"].iter().enumerate() {
-            pool.insert(name, &table(i as u64, 1 << 20));
+            pool.insert(name, &table(i as u64, 1 << 20)).unwrap();
         }
         pool.query("a", &PipelineSpec::passthrough()).unwrap();
         pool.query("b", &PipelineSpec::passthrough()).unwrap();
@@ -556,9 +896,12 @@ mod tests {
         assert!(pool.is_resident("c"));
         assert!(pool.resident_bytes() <= 2 << 20);
 
-        // "b" stages back in, evicting the now-LRU "a".
+        // "b" stages back in, evicting the now-LRU "a". Its image is
+        // still far-resident, so no device read happens.
         let back = pool.query("b", &PipelineSpec::passthrough()).unwrap();
         assert!(!back.buffer_hit);
+        assert_eq!(back.staged_from, Some(TierLevel::FarMemory));
+        assert_eq!(back.slices_fetched, 0);
         assert_eq!(back.evictions, vec!["a".to_string()]);
     }
 
@@ -568,7 +911,7 @@ mod tests {
         let qp = cluster.connect().unwrap();
         let mut pool = TieredPool::new(&qp, 4 << 20, BlockStore::default());
         let t = table(9, 512 << 10);
-        pool.insert("t", &t);
+        pool.insert("t", &t).unwrap();
         let spec = PipelineSpec::passthrough().filter(PredicateExpr::lt(0, 1u64 << 62));
         let cold = pool.query("t", &spec).unwrap();
         let hot = pool.query("t", &spec).unwrap();
@@ -585,8 +928,8 @@ mod tests {
         let qp = cluster.connect().unwrap();
         let baseline = cluster.free_pages();
         let mut pool = TieredPool::new(&qp, 1 << 20, BlockStore::default());
-        pool.insert("x", &table(1, 1 << 20));
-        pool.insert("y", &table(2, 1 << 20));
+        pool.insert("x", &table(1, 1 << 20)).unwrap();
+        pool.insert("y", &table(2, 1 << 20)).unwrap();
         pool.query("x", &PipelineSpec::passthrough()).unwrap();
         pool.query("y", &PipelineSpec::passthrough()).unwrap(); // evicts x
         assert_eq!(
@@ -604,8 +947,8 @@ mod tests {
         let mut pool = TieredPool::new(&qp, 0, BlockStore::default());
         let a = table(1, 256 << 10);
         let b = table(2, 256 << 10);
-        pool.insert("a", &a);
-        pool.insert("b", &b);
+        pool.insert("a", &a).unwrap();
+        pool.insert("b", &b).unwrap();
 
         let out_a = pool.query("a", &PipelineSpec::passthrough()).unwrap();
         assert!(!out_a.buffer_hit);
@@ -637,8 +980,8 @@ mod tests {
         let mut pool = TieredPool::new(&qp, 256 << 10, BlockStore::default());
         let big = table(3, 1 << 20);
         let small = table(4, 256 << 10);
-        pool.insert("big", &big);
-        pool.insert("small", &small);
+        pool.insert("big", &big).unwrap();
+        pool.insert("small", &small).unwrap();
 
         let out = pool.query("big", &PipelineSpec::passthrough()).unwrap();
         assert!(!out.buffer_hit);
@@ -653,32 +996,145 @@ mod tests {
     }
 
     #[test]
-    fn requery_after_eviction_is_byte_identical_and_repays_staging() {
+    fn requery_after_eviction_restages_cheap_from_far_memory() {
         let cluster = FarviewCluster::new(FarviewConfig::tiny());
         let qp = cluster.connect().unwrap();
         let mut pool = TieredPool::new(&qp, 1 << 20, BlockStore::default());
         let a = table(5, 1 << 20);
         let b = table(6, 1 << 20);
-        pool.insert("a", &a);
-        pool.insert("b", &b);
+        pool.insert("a", &a).unwrap();
+        pool.insert("b", &b).unwrap();
         let spec = PipelineSpec::passthrough().filter(PredicateExpr::lt(0, 1u64 << 62));
 
         let first = pool.query("a", &spec).unwrap();
         assert!(first.stage_in_time > SimDuration::ZERO);
-        pool.query("b", &spec).unwrap(); // evicts a
+        assert_eq!(first.staged_from, Some(TierLevel::Disk));
+        pool.query("b", &spec).unwrap(); // evicts a from DRAM
         assert!(!pool.is_resident("a"));
 
         let again = pool.query("a", &spec).unwrap();
         assert!(!again.buffer_hit, "evicted table must re-stage");
         assert_eq!(
-            again.stage_in_time, first.stage_in_time,
-            "staging cost is re-paid in full"
+            again.staged_from,
+            Some(TierLevel::FarMemory),
+            "the demoted table's image is still in far memory"
+        );
+        assert_eq!(again.slices_fetched, 0, "no device I/O on a far hit");
+        assert!(
+            again.stage_in_time > SimDuration::ZERO,
+            "the DRAM write is still paid"
+        );
+        assert!(
+            again.stage_in_time < first.stage_in_time,
+            "zero-copy far restage must beat the cold disk path"
         );
         assert_eq!(
             again.outcome.payload, first.outcome.payload,
             "results stay byte-identical across evict + restage"
         );
         assert_eq!(pool.hit_stats(), (0, 3));
+    }
+
+    #[test]
+    fn far_pressure_spills_cold_columns_and_repays_per_slice() {
+        let cluster = FarviewCluster::new(FarviewConfig::tiny());
+        let qp = cluster.connect().unwrap();
+        // DRAM fits one 1 MB table; far memory fits one and a half, so
+        // staging "b" spills half of "a"'s column slices.
+        let mut pool = TieredPool::new(&qp, 1 << 20, BlockStore::default())
+            .with_far_capacity((1 << 20) + (1 << 19));
+        let a = table(11, 1 << 20);
+        let b = table(12, 1 << 20);
+        pool.insert("a", &a).unwrap();
+        pool.insert("b", &b).unwrap();
+
+        pool.query("a", &PipelineSpec::passthrough()).unwrap();
+        let out_b = pool.query("b", &PipelineSpec::passthrough()).unwrap();
+        assert_eq!(
+            out_b.spilled_slices, 4,
+            "half of a's 8 equal-width slices must spill"
+        );
+        assert!(pool.far_resident_bytes() <= (1 << 20) + (1 << 19));
+
+        // Re-querying "a" repays exactly the spilled slices, not the
+        // whole image.
+        let again = pool.query("a", &PipelineSpec::passthrough()).unwrap();
+        assert_eq!(again.staged_from, Some(TierLevel::Disk));
+        assert_eq!(again.slices_fetched, 4, "only the missing slices re-read");
+        assert_eq!(again.outcome.payload, a.bytes());
+        assert_eq!(pool.far_spills(), 4 + 4, "staging a re-spills b's slices");
+    }
+
+    #[test]
+    fn any_fixed_stride_schema_stages_and_queries() {
+        use fv_data::{Column, ColumnType, TableBuilder, Value};
+        let schema = Schema::new(vec![
+            Column {
+                name: "id".into(),
+                ty: ColumnType::U64,
+            },
+            Column {
+                name: "bal".into(),
+                ty: ColumnType::I64,
+            },
+            Column {
+                name: "price".into(),
+                ty: ColumnType::F64,
+            },
+            Column {
+                name: "tag".into(),
+                ty: ColumnType::Bytes(6),
+            },
+        ]);
+        let mut b = TableBuilder::with_capacity(schema, 64);
+        for i in 0..64u64 {
+            b.push_values(vec![
+                Value::U64(i),
+                Value::I64(-(i as i64)),
+                Value::F64(i as f64 * 0.25),
+                Value::Bytes(vec![b'a' + (i % 26) as u8; 6]),
+            ]);
+        }
+        let t = b.build();
+
+        let cluster = FarviewCluster::new(FarviewConfig::tiny());
+        let qp = cluster.connect().unwrap();
+        let mut pool = TieredPool::new(&qp, 1 << 20, BlockStore::default());
+        pool.insert("mixed", &t).unwrap();
+        let cold = pool.query("mixed", &PipelineSpec::passthrough()).unwrap();
+        assert_eq!(cold.outcome.payload, t.bytes());
+        let hot = pool
+            .query(
+                "mixed",
+                &PipelineSpec::passthrough().filter(PredicateExpr::lt(0, 32u64)),
+            )
+            .unwrap();
+        assert!(hot.buffer_hit);
+        assert_eq!(hot.outcome.payload.len(), 32 * t.schema().row_bytes());
+    }
+
+    #[test]
+    fn empty_object_name_is_a_typed_error() {
+        let cluster = FarviewCluster::new(FarviewConfig::tiny());
+        let qp = cluster.connect().unwrap();
+        let mut pool = TieredPool::new(&qp, 1 << 20, BlockStore::default());
+        let err = pool.insert("", &table(1, 64 << 10)).unwrap_err();
+        assert!(matches!(err, FvError::Unstageable { .. }), "{err}");
+    }
+
+    #[test]
+    fn corrupted_image_is_a_typed_error_not_a_panic() {
+        let cluster = FarviewCluster::new(FarviewConfig::tiny());
+        let qp = cluster.connect().unwrap();
+        let mut pool = TieredPool::new(&qp, 1 << 20, BlockStore::default());
+        pool.insert("t", &table(2, 64 << 10)).unwrap();
+        // Flip a payload byte: the open-time checksum must catch it.
+        assert!(pool.corrupt_stored("t", 4096));
+        let err = pool.query("t", &PipelineSpec::passthrough()).unwrap_err();
+        assert!(matches!(err, FvError::Codec(_)), "{err}");
+        // Re-inserting clean bytes recovers the object.
+        pool.insert("t", &table(2, 64 << 10)).unwrap();
+        assert!(pool.query("t", &PipelineSpec::passthrough()).is_ok());
     }
 
     #[test]
@@ -689,11 +1145,12 @@ mod tests {
         let mut pool =
             FleetTieredPool::new(&qp, 8 << 20, Partitioning::RowRange, BlockStore::default());
         let t = table(7, 512 << 10);
-        pool.insert("orders", &t);
+        pool.insert("orders", &t).unwrap();
 
         let cold = pool.query("orders", &PipelineSpec::passthrough()).unwrap();
         assert!(!cold.buffer_hit);
         assert!(!cold.restaged);
+        assert_eq!(cold.staged_from, Some(TierLevel::Disk));
         assert_eq!(cold.outcome.merged.payload, t.bytes());
         assert_eq!(cold.outcome.per_shard.len(), 2);
         assert_eq!(pool.resident_epoch("orders"), Some(0));
@@ -711,15 +1168,21 @@ mod tests {
 
         // Grow the fleet for real: the resident's placement goes stale,
         // so the next query restages into the *current* 4-node
-        // placement.
+        // placement — sourced from far memory, no device reads.
         fleet.add_node();
         fleet.add_node();
         let restaged = pool.query("orders", &PipelineSpec::passthrough()).unwrap();
         assert!(restaged.restaged, "stale epoch must trigger a restage");
         assert!(!restaged.buffer_hit);
+        assert_eq!(
+            restaged.staged_from,
+            Some(TierLevel::FarMemory),
+            "the rebalance restage must not re-read the device"
+        );
+        assert_eq!(restaged.slices_fetched, 0);
         assert!(
             restaged.stage_in_time > SimDuration::ZERO,
-            "staging re-paid"
+            "the scatter write is re-paid"
         );
         assert_eq!(
             restaged.outcome.per_shard.len(),
@@ -730,23 +1193,6 @@ mod tests {
         assert_eq!(pool.resident_epoch("orders"), Some(fleet.epoch()));
         assert_eq!(pool.restages(), 1);
         assert_eq!(pool.hit_stats(), (2, 2));
-    }
-
-    #[test]
-    #[should_panic(expected = "paper-default 8 x u64 schema")]
-    fn non_default_schema_is_rejected_at_insert() {
-        let cluster = FarviewCluster::new(FarviewConfig::tiny());
-        let qp = cluster.connect().unwrap();
-        let mut pool = TieredPool::new(&qp, 1 << 20, BlockStore::default());
-        // A 3-column table cannot be rehydrated by the tier's staged
-        // schema — insert must reject it up front.
-        let mut b = fv_data::TableBuilder::new(fv_data::Schema::uniform_u64(3));
-        b.push_values(vec![
-            fv_data::Value::U64(1),
-            fv_data::Value::U64(2),
-            fv_data::Value::U64(3),
-        ]);
-        pool.insert("bad", &b.build());
     }
 
     #[test]
@@ -761,7 +1207,11 @@ mod tests {
         let (bytes, rt) = store.get("obj").unwrap();
         assert_eq!(bytes.len(), 1_000_000);
         assert_eq!(rt, wt);
-        assert_eq!(store.io_counts(), (1, 1));
+        // A partial read of one 125 kB slice costs latency + its
+        // transfer share.
+        let pt = store.read_partial(125_000);
+        assert_eq!(pt.as_nanos(), 100_000 + 125_000);
+        assert_eq!(store.io_counts(), (2, 1));
         assert!(store.get("missing").is_none());
     }
 }

@@ -1,0 +1,93 @@
+//! Zero-copy views over one column slice of a [`ColumnImage`].
+//!
+//! [`ColumnImage`]: crate::ColumnImage
+
+use crate::value::ColumnType;
+
+/// A borrowed, validated view of one column's contiguous slice inside a
+/// columnar table image.
+///
+/// The slice is cut and bounds-checked **once**, when
+/// [`ColumnImage::open`](crate::ColumnImage::open) validates the image;
+/// every accessor here operates on a slice whose length is known to be
+/// exactly `rows * width`, so per-row accesses need no further
+/// validation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ColumnSlice<'a> {
+    bytes: &'a [u8],
+    width: usize,
+    ty: ColumnType,
+}
+
+impl<'a> ColumnSlice<'a> {
+    /// Wrap a validated slice. Internal: only
+    /// [`ColumnImage::open`](crate::ColumnImage::open) (which proves
+    /// `bytes.len() == rows * width`) and tests construct these.
+    pub(crate) fn new(bytes: &'a [u8], ty: ColumnType) -> Self {
+        ColumnSlice {
+            bytes,
+            width: ty.width(),
+            ty,
+        }
+    }
+
+    /// The column's physical type.
+    pub fn ty(&self) -> ColumnType {
+        self.ty
+    }
+
+    /// Width of one value in bytes.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Number of rows in the slice.
+    pub fn rows(&self) -> usize {
+        self.bytes.len() / self.width
+    }
+
+    /// The whole slice, column-major (all of row 0's value, then row
+    /// 1's, ...).
+    pub fn bytes(&self) -> &'a [u8] {
+        self.bytes
+    }
+
+    /// The raw bytes of `row`'s value.
+    ///
+    /// # Panics
+    /// Panics if `row >= rows()` — the only bound left to check; the
+    /// slice itself was validated at open time.
+    pub fn raw(&self, row: usize) -> &'a [u8] {
+        // fv:allow(panic): slice length proven rows*width at open; only the row bound remains
+        &self.bytes[row * self.width..(row + 1) * self.width]
+    }
+
+    /// Decode `row`'s value as a little-endian `u64` word.
+    ///
+    /// # Panics
+    /// Panics if `row` is out of range or the column is not 8 bytes
+    /// wide.
+    pub fn word(&self, row: usize) -> u64 {
+        let mut w = [0u8; 8];
+        w.copy_from_slice(self.raw(row));
+        u64::from_le_bytes(w)
+    }
+
+    /// Iterate the column's values in row order.
+    pub fn iter(&self) -> impl ExactSizeIterator<Item = &'a [u8]> {
+        self.bytes.chunks_exact(self.width)
+    }
+
+    /// A view of rows `lo..hi` (half-open) of this column. The
+    /// validated `len == rows × width` invariant carries over by
+    /// construction, so windowed consumers (streaming a staged image
+    /// through a pipeline one row range at a time) need no re-check.
+    ///
+    /// # Panics
+    /// Panics when `lo > hi` or `hi > rows()`.
+    pub fn slice_rows(&self, lo: usize, hi: usize) -> ColumnSlice<'a> {
+        // fv:allow(panic): documented precondition; the byte range is
+        // exactly the row range scaled by the validated width.
+        ColumnSlice::new(&self.bytes[lo * self.width..hi * self.width], self.ty)
+    }
+}

@@ -1,0 +1,314 @@
+//! Column-sliced input blocks — the slice-native half of the vectorized
+//! datapath.
+//!
+//! A [`ColumnBlock`] presents one table's tuples column-wise: one
+//! contiguous, already-validated [`ColumnSlice`] per column, all sharing
+//! a row count. It is what a staged columnar table image
+//! ([`fv_data::ColumnImage`]) looks like to the pipeline: operators read
+//! the columns they touch straight out of the slices — a predicate scans
+//! only its column, a keyed operator takes its key pass directly off the
+//! key column slice — and rows are only ever materialized for the tuples
+//! that survive, at the packer (or at a join match emit).
+//!
+//! Contrast with [`TupleBlock`](crate::pipeline::TupleBlock), the
+//! row-major block: there the gather for a non-contiguous key set costs
+//! a `ProjectionPlan` pass per block; here the gather does not exist.
+
+use fv_data::{ColumnImage, ColumnSlice};
+
+/// Destination-tile byte budget of the cache-blocked transpose kernels:
+/// 32 KiB is L1-sized on every host we run on, so the column-at-a-time
+/// passes revisit hot lines instead of streaming the whole destination
+/// once per column. The row count per tile derives from the row width
+/// (512 rows at the paper-default 64-byte row).
+const TRANSPOSE_TILE_BYTES: usize = 32 * 1024;
+
+/// Rows per transpose tile for a `row_bytes`-wide destination row.
+fn tile_rows(row_bytes: usize) -> usize {
+    (TRANSPOSE_TILE_BYTES / row_bytes.max(1)).max(1)
+}
+
+/// Scatter `sel`-marked cells of a `w`-wide column into `dst` rows of
+/// `stride` bytes, the cell landing at `off` within each row. The
+/// width-8 arm pins the copy length at compile time (one 8-byte move,
+/// no memcpy dispatch) — fixed 8-byte fields are every hot schema.
+pub(crate) fn strided_gather(
+    src: &[u8],
+    w: usize,
+    sel: &[u32],
+    dst: &mut [u8],
+    off: usize,
+    stride: usize,
+) {
+    let mut pos = off;
+    if w == 8 {
+        for &i in sel {
+            let s = i as usize * 8;
+            dst[pos..pos + 8].copy_from_slice(&src[s..s + 8]);
+            pos += stride;
+        }
+    } else {
+        for &i in sel {
+            let s = i as usize * w;
+            dst[pos..pos + w].copy_from_slice(&src[s..s + w]);
+            pos += stride;
+        }
+    }
+}
+
+/// [`strided_gather`] for the identity selection: the source cells are
+/// consumed sequentially (`chunks_exact` — no per-row index math, no
+/// per-cell source bounds check).
+pub(crate) fn strided_fill(src: &[u8], w: usize, dst: &mut [u8], off: usize, stride: usize) {
+    let mut pos = off;
+    if w == 8 {
+        for cell in src.chunks_exact(8) {
+            dst[pos..pos + 8].copy_from_slice(cell);
+            pos += stride;
+        }
+    } else {
+        for cell in src.chunks_exact(w) {
+            dst[pos..pos + w].copy_from_slice(cell);
+            pos += stride;
+        }
+    }
+}
+
+/// A block of tuples presented as per-column slices.
+///
+/// All slices share one row count (asserted at construction); `row i` of
+/// the logical table is `cols[0].raw(i) ++ cols[1].raw(i) ++ ...` in
+/// schema order.
+#[derive(Debug, Clone)]
+pub struct ColumnBlock<'a> {
+    cols: Vec<ColumnSlice<'a>>,
+    rows: usize,
+    row_bytes: usize,
+}
+
+impl<'a> ColumnBlock<'a> {
+    /// View an opened columnar table image as a block — zero-copy; the
+    /// image's validated slices are the block's columns.
+    pub fn from_image(image: &ColumnImage<'a>) -> Self {
+        Self::from_slices(image.cols().to_vec())
+    }
+
+    /// Build a block from per-column slices in schema order.
+    ///
+    /// # Panics
+    /// Panics when the slices disagree on row count (they would not
+    /// describe a rectangular table).
+    pub fn from_slices(cols: Vec<ColumnSlice<'a>>) -> Self {
+        let rows = cols.first().map_or(0, ColumnSlice::rows);
+        // fv:allow(panic): documented constructor precondition — ragged
+        // slices cannot frame a table.
+        assert!(
+            cols.iter().all(|c| c.rows() == rows),
+            "column slices disagree on row count"
+        );
+        let row_bytes = cols.iter().map(|c| c.width()).sum();
+        ColumnBlock {
+            cols,
+            rows,
+            row_bytes,
+        }
+    }
+
+    /// Number of tuples in the block.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// True when the block holds no tuples.
+    pub fn is_empty(&self) -> bool {
+        self.rows == 0
+    }
+
+    /// Width of one materialized row (sum of the column widths).
+    pub fn row_bytes(&self) -> usize {
+        self.row_bytes
+    }
+
+    /// The slice of column `c`.
+    ///
+    /// # Panics
+    /// Panics when `c` is out of range — operators address columns the
+    /// pipeline compiler validated against the same schema.
+    #[inline]
+    pub fn col(&self, c: usize) -> ColumnSlice<'a> {
+        // fv:allow(panic): documented precondition, hot-loop bound.
+        self.cols[c]
+    }
+
+    /// All column slices, in schema order.
+    pub fn cols(&self) -> &[ColumnSlice<'a>] {
+        &self.cols
+    }
+
+    /// A view of rows `lo..hi` (half-open) across every column — the
+    /// unit of windowed streaming: pushing a staged image through a
+    /// pipeline one row window at a time keeps the window's key and
+    /// payload slices (and the pipeline's output for it) cache-resident,
+    /// exactly as the row-block route's chunked `push_bytes` does.
+    ///
+    /// # Panics
+    /// Panics when `lo > hi` or `hi > rows()` (propagated from
+    /// [`ColumnSlice::slice_rows`]).
+    pub fn slice_rows(&self, lo: usize, hi: usize) -> ColumnBlock<'a> {
+        ColumnBlock::from_slices(self.cols.iter().map(|c| c.slice_rows(lo, hi)).collect())
+    }
+
+    /// Materialize `row` in row format, appending to `out`.
+    ///
+    /// # Panics
+    /// Panics when `row >= rows()`.
+    #[inline]
+    pub fn write_row(&self, row: usize, out: &mut Vec<u8>) {
+        for c in &self.cols {
+            out.extend_from_slice(c.raw(row));
+        }
+    }
+
+    /// Materialize **every** row densely into `out` (append): the full
+    /// column→row transpose. All-8-byte-wide schemas (every hot schema)
+    /// take a row-major typed kernel — sequential destination writes,
+    /// one 8-byte move per cell; mixed widths fall back to the
+    /// cache-blocked column-at-a-time scheme.
+    pub fn write_all_rows(&self, out: &mut Vec<u8>) {
+        let rb = self.row_bytes;
+        let before = out.len();
+        out.resize(before + self.rows * rb, 0);
+        let dst = &mut out[before..];
+        if self.fill_rows_u64(dst, None) {
+            return;
+        }
+        let step = tile_rows(rb);
+        let mut lo = 0usize;
+        while lo < self.rows {
+            let hi = (lo + step).min(self.rows);
+            let tile = &mut dst[lo * rb..hi * rb];
+            let mut off = 0usize;
+            for c in &self.cols {
+                let w = c.width();
+                strided_fill(&c.bytes()[lo * w..hi * w], w, tile, off, rb);
+                off += w;
+            }
+            lo = hi;
+        }
+    }
+
+    /// Materialize the `sel`-marked rows densely into `out` (append),
+    /// same kernel choice as [`ColumnBlock::write_all_rows`].
+    /// Non-surviving rows' bytes are never touched. `sel` entries must
+    /// be in range; repeats are allowed (the join emits one output row
+    /// per match).
+    pub fn gather_rows(&self, sel: &[u32], out: &mut Vec<u8>) {
+        let rb = self.row_bytes;
+        let before = out.len();
+        out.resize(before + sel.len() * rb, 0);
+        let dst = &mut out[before..];
+        if self.fill_rows_u64(dst, Some(sel)) {
+            return;
+        }
+        let step = tile_rows(rb);
+        for (t, tile_sel) in sel.chunks(step).enumerate() {
+            let base = t * step * rb;
+            let tile = &mut dst[base..base + tile_sel.len() * rb];
+            let mut off = 0usize;
+            for c in &self.cols {
+                strided_gather(c.bytes(), c.width(), tile_sel, tile, off, rb);
+                off += c.width();
+            }
+        }
+    }
+
+    /// Row-major typed transpose for blocks whose columns are all eight
+    /// bytes wide: each destination row is written left-to-right as one
+    /// `[u8; 8]` move per column, so the destination streams
+    /// sequentially and the per-cell copy is a single 8-byte store (no
+    /// strided write-allocate churn, no memcpy dispatch). Returns false
+    /// — having written nothing — when any column has another width and
+    /// the caller must take the generic tiled kernels instead. `dst`
+    /// must already be sized for every (selected) row.
+    fn fill_rows_u64(&self, dst: &mut [u8], sel: Option<&[u32]>) -> bool {
+        if self.cols.is_empty() {
+            return true;
+        }
+        if self.cols.iter().any(|c| c.width() != 8) {
+            return false;
+        }
+        let srcs: Vec<&[[u8; 8]]> = self
+            .cols
+            .iter()
+            .map(|c| c.bytes().as_chunks::<8>().0)
+            .collect();
+        let (d, _) = dst.as_chunks_mut::<8>();
+        let nc = self.cols.len();
+        match sel {
+            None => {
+                for (r, drow) in d.chunks_exact_mut(nc).enumerate() {
+                    for (dcell, s) in drow.iter_mut().zip(&srcs) {
+                        *dcell = s[r];
+                    }
+                }
+            }
+            Some(sel) => {
+                for (&i, drow) in sel.iter().zip(d.chunks_exact_mut(nc)) {
+                    for (dcell, s) in drow.iter_mut().zip(&srcs) {
+                        *dcell = s[i as usize];
+                    }
+                }
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fv_data::{Row, Schema, Table, TableBuilder, Value};
+
+    fn table(rows: u64) -> Table {
+        let schema = Schema::uniform_u64(4);
+        let mut b = TableBuilder::with_capacity(schema, rows as usize);
+        for i in 0..rows {
+            b.push(&Row((0..4).map(|c| Value::U64(i * 4 + c)).collect()));
+        }
+        b.build()
+    }
+
+    #[test]
+    fn block_views_an_image_zero_copy() {
+        let t = table(16);
+        let image = ColumnImage::encode(&t);
+        let opened = ColumnImage::open(&image, t.schema()).unwrap();
+        let block = ColumnBlock::from_image(&opened);
+        assert_eq!(block.rows(), 16);
+        assert_eq!(block.row_bytes(), 32);
+        assert_eq!(block.col(2).word(5), 5 * 4 + 2);
+    }
+
+    #[test]
+    fn write_row_round_trips_to_row_format() {
+        let t = table(8);
+        let image = ColumnImage::encode(&t);
+        let opened = ColumnImage::open(&image, t.schema()).unwrap();
+        let block = ColumnBlock::from_image(&opened);
+        let mut rows = Vec::new();
+        for r in 0..block.rows() {
+            block.write_row(r, &mut rows);
+        }
+        assert_eq!(rows, t.bytes(), "transpose must invert the encode");
+    }
+
+    #[test]
+    fn empty_block() {
+        let t = table(0);
+        let image = ColumnImage::encode(&t);
+        let opened = ColumnImage::open(&image, t.schema()).unwrap();
+        let block = ColumnBlock::from_image(&opened);
+        assert!(block.is_empty());
+        assert_eq!(block.rows(), 0);
+    }
+}

@@ -15,6 +15,7 @@
 
 use fv_data::{Column, Schema, Table};
 
+use crate::colblock::ColumnBlock;
 use crate::cuckoo::{hash_key, CuckooTable};
 use crate::pack::Packer;
 use crate::pipeline::{PipelineError, StreamOperator, TupleBlock};
@@ -132,9 +133,39 @@ struct BuildPayloads {
     bytes: Vec<u8>,
 }
 
+/// Record one probe hit for the batched columnar emit: one
+/// `(probe row, payload)` pair per build match, payloads split out of
+/// the flattened per-key buffer (`pb == 0` means the build side had no
+/// payload columns at all).
+fn record_matches<'t>(
+    row: u32,
+    matches: &'t BuildPayloads,
+    pb: usize,
+    emit: &mut Vec<u32>,
+    tails: &mut Vec<&'t [u8]>,
+) {
+    if pb == 0 {
+        for _ in 0..matches.rows {
+            emit.push(row);
+            tails.push(&[]);
+        }
+    } else if matches.rows == 1 {
+        emit.push(row);
+        tails.push(&matches.bytes);
+    } else {
+        for payload in matches.bytes.chunks_exact(pb) {
+            emit.push(row);
+            tails.push(payload);
+        }
+    }
+}
+
 /// The streaming probe operator.
 pub struct JoinSmallOp {
     probe_range: std::ops::Range<usize>,
+    /// Column index of `probe_range` — the columnar path probes the key
+    /// column's slice directly instead of slicing each row.
+    probe_col: usize,
     /// key -> that key's build matches, payloads flattened.
     table: CuckooTable<BuildPayloads>,
     /// Byte width of one build payload (build row minus the key column).
@@ -145,6 +176,16 @@ pub struct JoinSmallOp {
     row_buf: Vec<u8>,
     /// Batched-path scratch: one primary hash per survivor (reused).
     block_hashes: Vec<u64>,
+    /// Columnar-path scratch: one probe-row index per emitted match
+    /// (reused; repeats mark multi-match keys).
+    emit_rows: Vec<u32>,
+    /// Columnar-path scratch: one `(start, end)` probe-row run per
+    /// matched key run (reused by the run-batched emit).
+    run_bounds: Vec<(u32, u32)>,
+    /// True when no build key holds more than one row — the common
+    /// dimension-table shape, and the precondition for run-batched
+    /// emit (one payload per matched run).
+    unique_build: bool,
     batched_blocks: u64,
 }
 
@@ -172,9 +213,11 @@ impl JoinSmallOp {
         // allocating the full default geometry for a 64-row build side.
         let mut table: CuckooTable<BuildPayloads> =
             CuckooTable::with_capacity_hint(spec.build_rows.len() / rb);
+        let mut unique_build = true;
         for row in spec.build_rows.chunks_exact(rb) {
             let key = &row[key_range.clone()];
             if let Some(matches) = table.get_mut(key) {
+                unique_build = false;
                 matches.rows += 1;
                 matches.bytes.extend_from_slice(&row[..key_range.start]);
                 matches.bytes.extend_from_slice(&row[key_range.end..]);
@@ -198,6 +241,7 @@ impl JoinSmallOp {
 
         Ok(JoinSmallOp {
             probe_range: probe_schema.column_range(spec.probe_col),
+            probe_col: spec.probe_col,
             table,
             payload_bytes,
             out_schema,
@@ -205,6 +249,9 @@ impl JoinSmallOp {
             emitted: 0,
             row_buf: Vec::new(),
             block_hashes: Vec::new(),
+            emit_rows: Vec::new(),
+            run_bounds: Vec::new(),
+            unique_build,
             batched_blocks: 0,
         })
     }
@@ -356,6 +403,109 @@ impl StreamOperator for JoinSmallOp {
         self.probe_block(block, sel, |tuple, payload| {
             packer.push_split_tuple(tuple, payload);
         });
+    }
+
+    /// Columnar terminal fast path: the probe key pass runs straight off
+    /// the key column slice — no gather, no row slicing per probe — and
+    /// matches are emitted **batched**: the probe pass only records each
+    /// match's row index and payload slice, then one
+    /// [`Packer::push_columns_tails`] call gathers every matched probe
+    /// row column-at-a-time and appends the payloads. Misses never touch
+    /// any column but the key, and no per-match row buffer exists.
+    fn push_columns_packed(
+        &mut self,
+        cols: &ColumnBlock<'_>,
+        sel: &[u32],
+        packer: &mut Packer,
+    ) -> bool {
+        self.batched_blocks += 1;
+        self.probed += sel.len() as u64;
+        let slice = cols.col(self.probe_col);
+        let pb = self.payload_bytes;
+        let mut emit = std::mem::take(&mut self.emit_rows);
+        let mut hashes = std::mem::take(&mut self.block_hashes);
+        emit.clear();
+        let mut tails: Vec<&[u8]> = Vec::with_capacity(sel.len());
+        if sel.len() == cols.rows()
+            && self.unique_build
+            && slice.width() == 8
+            && pb.is_multiple_of(8)
+            && cols.cols().iter().all(|c| c.width() == 8)
+        {
+            // Identity selection over a word-wide key with a unique
+            // build side (the dimension-table shape): probe **runs** of
+            // equal keys — one typed compare per row, one hash lookup
+            // and one recorded `(start, end) + payload` triple per run —
+            // then emit every run in one batched pass. Nothing is
+            // recorded per probe row at all.
+            let mut runs = std::mem::take(&mut self.run_bounds);
+            runs.clear();
+            let words = slice.bytes().as_chunks::<8>().0;
+            let mut emitted = 0u64;
+            let mut r = 0usize;
+            while r < words.len() {
+                let k = words[r];
+                let mut end = r + 1;
+                while end < words.len() && words[end] == k {
+                    end += 1;
+                }
+                if let Some(m) = self
+                    .table
+                    .get_hashed(crate::cuckoo::hash_key_word(u64::from_le_bytes(k)), &k)
+                {
+                    runs.push((r as u32, end as u32));
+                    tails.push(&m.bytes);
+                    emitted += (end - r) as u64;
+                }
+                r = end;
+            }
+            packer.push_columns_run_tails(cols, &runs, &tails, pb);
+            drop(tails);
+            self.emitted += emitted;
+            runs.clear();
+            self.run_bounds = runs;
+            self.emit_rows = emit;
+            self.block_hashes = hashes;
+            return true;
+        }
+        if sel.len() == cols.rows() {
+            // Identity selection: runs of equal probe keys (fact tables
+            // clustered on the dimension key) reuse one lookup per run,
+            // same as the row block walk.
+            let mut prev: Option<(&[u8], Option<&BuildPayloads>)> = None;
+            for (row, key) in slice.iter().enumerate() {
+                let hit = match prev {
+                    Some((prev_key, m)) if prev_key == key => m,
+                    _ => {
+                        let m = self.table.get_hashed(hash_key(key), key);
+                        prev = Some((key, m));
+                        m
+                    }
+                };
+                if let Some(matches) = hit {
+                    record_matches(row as u32, matches, pb, &mut emit, &mut tails);
+                }
+            }
+        } else {
+            // Post-filter survivors: hash every key off the slice in one
+            // pass, then probe with the hash in hand.
+            hashes.clear();
+            hashes.extend(sel.iter().map(|&i| hash_key(slice.raw(i as usize))));
+            for (&i, &h) in sel.iter().zip(hashes.iter()) {
+                let key = slice.raw(i as usize);
+                if let Some(matches) = self.table.get_hashed(h, key) {
+                    record_matches(i, matches, pb, &mut emit, &mut tails);
+                }
+            }
+        }
+        packer.push_columns_tails(cols, &emit, &tails, pb);
+        let emitted = emit.len() as u64;
+        drop(tails);
+        self.emitted += emitted;
+        emit.clear();
+        self.emit_rows = emit;
+        self.block_hashes = hashes;
+        true
     }
 
     fn batched_blocks(&self) -> u64 {

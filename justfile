@@ -43,6 +43,12 @@ bench-smoke:
 bench-hotpath:
     cargo run -q --release -p fv-bench --bin figures hotpath
 
+# Wall-clock microbench of the columnar staging path: cold-query
+# restage on a row image vs a zero-copy column-image open, and each
+# operator on row-block vs slice-native input. Rewrites BENCH_PR9.json.
+bench-coldpath:
+    cargo run -q --release -p fv-bench --bin figures coldpath
+
 # Tail latency per fault class under deterministic fault injection.
 # Rewrites BENCH_PR6.json.
 bench-chaos:

@@ -10,11 +10,11 @@
 use proptest::prelude::*;
 
 use farview::prelude::*;
-use farview_core::{AggFunc, AggSpec, BlockStore, PredicateExpr, TieredPool};
+use farview_core::{AggFunc, AggSpec, BlockStore, PredicateExpr, TierLevel, TieredPool};
 use fv_data::TableBuilder;
 
-/// A random table: 8 u64 columns (the paper-default row shape, which is
-/// also what the tiered pool stages), bounded values.
+/// A random table: 8 u64 columns (the paper-default row shape), bounded
+/// values.
 fn arb_table(max_rows: usize) -> impl Strategy<Value = Table> {
     prop::collection::vec(prop::collection::vec(0..64u64, 8), 1..=max_rows).prop_map(|rows| {
         let schema = Schema::uniform_u64(8);
@@ -131,11 +131,11 @@ proptest! {
         table in arb_table(100),
         spec in arb_spec(),
     ) {
-        let opt = optimized(&spec, table.schema(), PlanTarget::Tiered { resident: false });
+        let opt = optimized(&spec, table.schema(), PlanTarget::Tiered { residency: TierLevel::Disk });
         let c = FarviewCluster::new(FarviewConfig::tiny());
         let qp = c.connect().unwrap();
         let mut pool = TieredPool::new(&qp, 8 << 20, BlockStore::default());
-        pool.insert("t", &table);
+        pool.insert("t", &table).unwrap();
         let cold_naive = pool.query("t", &spec).unwrap();
         let hot_opt = pool.query("t", &opt).unwrap();
         prop_assert_eq!(&hot_opt.outcome.payload, &cold_naive.outcome.payload);
