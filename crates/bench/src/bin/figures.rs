@@ -12,11 +12,11 @@ use std::process::ExitCode;
 
 use fv_bench::{
     all_figures, chaos_report, coldpath_report, elasticity, explain_figures, fig10, fig11a, fig11b,
-    fig12, fig6a, fig6b, fig7, fig8, fig9a, fig9b, fig9c, hotpath_report, plan_ablation, qdepth,
-    scaleout, smoke_figures, table1, Figure,
+    fig12, fig6a, fig6b, fig7, fig8, fig9a, fig9b, fig9c, hotpath_report, overload_report,
+    plan_ablation, qdepth, scaleout, smoke_figures, table1, Figure,
 };
 
-const USAGE: &str = "usage: figures <table1|fig6a|fig6b|fig7|fig8a|fig8b|fig8c|fig9a|fig9b|fig9c|fig10|fig11a|fig11b|fig12|scaleout|qdepth|plan_ablation|elasticity|hotpath|coldpath|chaos|explain|all|smoke> [--csv]";
+const USAGE: &str = "usage: figures <table1|fig6a|fig6b|fig7|fig8a|fig8b|fig8c|fig9a|fig9b|fig9c|fig10|fig11a|fig11b|fig12|scaleout|qdepth|plan_ablation|elasticity|hotpath|coldpath|chaos|overload|explain|all|smoke> [--csv]";
 
 fn one(id: &str) -> Option<Figure> {
     Some(match id {
@@ -99,6 +99,55 @@ fn check_recorded_coldpath_baseline(path: &str) -> Result<(), String> {
     Ok(())
 }
 
+/// `figures smoke` gate for the overload baseline (`BENCH_PR10.json`):
+/// every swept load point must record goodput, rejection rate,
+/// fairness, and a non-zero starvation sentinel — a missing or stale
+/// file means `figures overload` was not re-run after a serving-layer
+/// change.
+fn check_recorded_overload_baseline(path: &str) -> Result<(), String> {
+    let json = std::fs::read_to_string(path)
+        .map_err(|e| format!("{path} missing — run `just bench-overload` to record it ({e})"))?;
+    if !json.contains("\"bench\": \"overload\"") {
+        return Err(format!("{path}: not an overload baseline"));
+    }
+    for load in fv_bench::OVERLOAD_LOADS {
+        let line = json
+            .lines()
+            .find(|l| l.contains(&format!("\"load\": {load}")))
+            .ok_or_else(|| format!("{path}: no point for load {load}"))?;
+        for field in [
+            "\"goodput_qps\":",
+            "\"rejection_rate\":",
+            "\"fairness_index\":",
+            "\"min_completed\":",
+            "\"gold_p99_us\":",
+        ] {
+            if !line.contains(field) {
+                return Err(format!("{path}: load {load} point has no {field}"));
+            }
+        }
+        // The starvation sentinel must be non-zero at every point.
+        if line.contains("\"min_completed\": 0,") || line.contains("\"min_completed\": 0}") {
+            return Err(format!("{path}: a tenant starved at load {load}"));
+        }
+    }
+    // The shed ladder must be engaged at the top of the sweep — a
+    // highest-load point with zero preemptions means the recorded
+    // baseline never actually exercised graceful degradation.
+    if let Some(last) = fv_bench::OVERLOAD_LOADS.last() {
+        let line = json
+            .lines()
+            .find(|l| l.contains(&format!("\"load\": {last}")))
+            .ok_or_else(|| format!("{path}: no point for load {last}"))?;
+        if line.contains("\"shed\": 0,") {
+            return Err(format!(
+                "{path}: shed ladder never engaged at peak load {last}"
+            ));
+        }
+    }
+    Ok(())
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = env::args().skip(1).collect();
     let csv = args.iter().any(|a| a == "--csv");
@@ -154,6 +203,17 @@ fn main() -> ExitCode {
                 Err(e) => eprintln!("could not write BENCH_PR6.json: {e}"),
             }
         }
+        "overload" => {
+            // Graceful degradation past saturation: render the sweep
+            // and record the machine-readable overload baseline.
+            let report = overload_report();
+            render(&report.to_figure());
+            let json = report.to_json();
+            match std::fs::write("BENCH_PR10.json", &json) {
+                Ok(()) => eprintln!("wrote BENCH_PR10.json"),
+                Err(e) => eprintln!("could not write BENCH_PR10.json: {e}"),
+            }
+        }
         "explain" => print!("{}", explain_figures()),
         "all" => {
             print!("{}", table1());
@@ -180,6 +240,12 @@ fn main() -> ExitCode {
             // restage and column-keyed operator rows must be present
             // and complete.
             if let Err(missing) = check_recorded_coldpath_baseline("BENCH_PR9.json") {
+                eprintln!("{missing}");
+                return ExitCode::FAILURE;
+            }
+            // And for the overload baseline: every swept load point
+            // complete, no tenant starved.
+            if let Err(missing) = check_recorded_overload_baseline("BENCH_PR10.json") {
                 eprintln!("{missing}");
                 return ExitCode::FAILURE;
             }

@@ -994,6 +994,7 @@ pub fn smoke_figures() -> Vec<Figure> {
         crate::hotpath::hotpath_smoke(),
         crate::coldpath::coldpath_smoke(),
         crate::chaos::chaos_smoke(),
+        crate::overload::overload_smoke(),
     ]
 }
 
@@ -1351,6 +1352,7 @@ mod tests {
             "hotpath",
             "coldpath",
             "chaos",
+            "overload",
         ] {
             assert!(names.iter().any(|n| n == needle), "smoke missing {needle}");
         }

@@ -48,6 +48,12 @@
 //! byte-identical results or clean typed errors and reporting p50/p99
 //! tail latency per class (`figures chaos` also writes the
 //! machine-readable `BENCH_PR6.json`).
+//! [`overload()`] sweeps a heavy-tailed multi-tenant mix (with 4×
+//! over-demanders) past saturation through the serving front end,
+//! asserting graceful degradation at every point — goodput within 20 %
+//! of peak past the knee, monotone rejections, bounded gold p99, no
+//! starved tenant, fairness never falling with load (`figures
+//! overload` also writes the machine-readable `BENCH_PR10.json`).
 //! [`explain_figures`] renders the planner's `explain()` report for
 //! every standard figure query (`figures explain` / `just explain`),
 //! and [`smoke_figures`] runs every custom experiment at its smallest
@@ -64,6 +70,7 @@ pub mod coldpath;
 pub mod experiments;
 pub mod figure;
 pub mod hotpath;
+pub mod overload;
 
 pub use chaos::{
     chaos, chaos_report, chaos_report_at, chaos_smoke, fault_plan_for, ChaosClassStats,
@@ -78,4 +85,8 @@ pub use figure::{Figure, Series};
 pub use hotpath::{
     hotpath, hotpath_report, hotpath_report_at, hotpath_smoke, HotpathReport, OperatorSample,
     ScatterSample, HOTPATH_FLEET_SIZES,
+};
+pub use overload::{
+    overload, overload_backend, overload_report, overload_report_at, overload_smoke, serve_class,
+    serve_tenants, OverloadPoint, OverloadReport, OVERLOAD_BENCH_SEED, OVERLOAD_LOADS,
 };

@@ -34,6 +34,15 @@ const QP_STREAM_BITS: u32 = 10;
 /// bounded so batched stream ids never collide across queue pairs.
 pub const MAX_QUEUE_DEPTH: usize = 1 << QP_STREAM_BITS;
 
+/// Backoff hint attached to [`FvError::NoFreeRegion`]: a region frees
+/// when some holder disconnects, which the node cannot predict, so the
+/// hint is a few typical episode times — long enough that a polling
+/// client does not hammer the connection path, short enough that a
+/// freed region is picked up promptly. Connection open under region
+/// exhaustion is thereby a *retryable backpressure signal* with the
+/// same `retry_after` shape as the serving layer's admission control.
+pub const CONNECT_RETRY_AFTER: SimDuration = SimDuration::from_micros(50);
+
 /// Per-query statistics, the unit every figure in `EXPERIMENTS.md` is
 /// built from.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -285,6 +294,13 @@ impl FarviewCluster {
     }
 
     /// `openConnection`: bind a new queue pair to a free dynamic region.
+    ///
+    /// # Errors
+    /// Under region exhaustion returns the retryable
+    /// [`FvError::NoFreeRegion`] backpressure signal — its
+    /// `retry_after` ([`CONNECT_RETRY_AFTER`]) tells the client when to
+    /// try again; a waiting tenant eventually connects once any holder
+    /// disconnects.
     pub fn connect(&self) -> Result<QPair, FvError> {
         let mut inner = self.inner.lock();
         let slot = inner
@@ -293,6 +309,7 @@ impl FarviewCluster {
             .position(Option::is_none)
             .ok_or(FvError::NoFreeRegion {
                 regions: inner.config.regions,
+                retry_after: CONNECT_RETRY_AFTER,
             })?;
         let qp = inner.next_qp;
         inner.next_qp += 1;
@@ -875,13 +892,52 @@ mod tests {
         let a = c.connect().unwrap();
         let b = c.connect().unwrap();
         assert_ne!(a.region_slot(), b.region_slot());
-        assert!(matches!(
-            c.connect(),
-            Err(FvError::NoFreeRegion { regions: 2 })
-        ));
+        let err = c.connect().expect_err("both regions taken");
+        assert!(matches!(err, FvError::NoFreeRegion { regions: 2, .. }));
+        assert_eq!(
+            err.retry_after(),
+            Some(CONNECT_RETRY_AFTER),
+            "region exhaustion is a retryable backpressure signal"
+        );
+        assert!(err.is_retryable());
         drop(a);
         assert!(c.connect().is_ok(), "dropped QPair frees its region");
         let _ = b;
+    }
+
+    /// The satellite regression: a tenant that *waits out* the
+    /// backpressure signal eventually connects once a region frees —
+    /// the `NoFreeRegion` dead end is a retry loop, not a hard error.
+    #[test]
+    fn waiting_tenant_connects_when_a_region_frees() {
+        let c = cluster();
+        let holders = vec![c.connect().unwrap(), c.connect().unwrap()];
+        // The waiting tenant polls on the advertised retry_after; a
+        // holder disconnects after three backoff periods.
+        let mut waited = SimDuration::ZERO;
+        let mut holders = holders;
+        let mut attempts = 0u32;
+        let qp = loop {
+            match c.connect() {
+                Ok(qp) => break qp,
+                Err(e) => {
+                    let backoff = e.retry_after().expect("exhaustion is retryable");
+                    assert!(backoff > SimDuration::ZERO);
+                    waited += backoff;
+                    attempts += 1;
+                    assert!(attempts < 100, "tenant starved waiting for a region");
+                    if attempts == 3 {
+                        drop(holders.pop());
+                    }
+                }
+            }
+        };
+        assert_eq!(attempts, 3, "connects on the first retry after the free");
+        assert_eq!(waited, CONNECT_RETRY_AFTER * 3);
+        // The freed region is genuinely usable.
+        let t = make_table(8);
+        let (ft, _) = qp.load_table(&t).unwrap();
+        assert_eq!(qp.table_read(&ft).unwrap().payload, t.bytes());
     }
 
     #[test]

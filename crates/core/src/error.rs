@@ -5,6 +5,7 @@ use std::fmt;
 use fv_mem::MemError;
 use fv_net::NetError;
 use fv_pipeline::PipelineError;
+use fv_sim::SimDuration;
 
 /// Errors surfaced by the Farview client API.
 #[derive(Debug, Clone, PartialEq)]
@@ -12,10 +13,56 @@ pub enum FvError {
     /// All dynamic regions are occupied — no connection slot free
     /// ("Clients access the disaggregated memory by opening a connection
     /// with Farview, which results in the assignment of a dynamic
-    /// region", §4.1).
+    /// region", §4.1). This is a *backpressure signal*, not a dead end:
+    /// `retry_after` tells the client when a region is plausibly free
+    /// again, the same shape admission control uses for overload
+    /// rejections.
     NoFreeRegion {
         /// Regions configured on the node.
         regions: usize,
+        /// Suggested backoff before the next connection attempt.
+        retry_after: SimDuration,
+    },
+    /// The serving layer refused to admit a query: the tenant is over
+    /// its token-bucket rate or the global queue watermark is breached.
+    /// Overload surfaces as this typed, retryable rejection instead of
+    /// unbounded queueing.
+    AdmissionRejected {
+        /// The tenant whose query was refused.
+        tenant: u32,
+        /// Suggested backoff before the retry.
+        retry_after: SimDuration,
+    },
+    /// A query ran out of its deadline before (or while) being served —
+    /// the serving layer drops it typed instead of delivering a stale
+    /// or partial result.
+    DeadlineExceeded {
+        /// The tenant whose query expired.
+        tenant: u32,
+        /// The deadline that was missed.
+        deadline: SimDuration,
+    },
+    /// The serving layer shed this queued query to keep a higher-priority
+    /// class inside the watermark during sustained overload. Shedding
+    /// drops whole queries, never parts of results.
+    LoadShed {
+        /// The tenant whose query was shed.
+        tenant: u32,
+        /// Suggested backoff before resubmission.
+        retry_after: SimDuration,
+    },
+    /// A serving-layer query named a tenant the backend has no table
+    /// bound for — a wiring bug in the harness, surfaced typed instead
+    /// of panicking on a missing map entry.
+    UnknownTenant {
+        /// The unbound tenant id.
+        tenant: u32,
+    },
+    /// A [`ServeConfig`](crate::serve::ServeConfig) that cannot run
+    /// (zero servers, zero queue capacity, non-positive load, ...).
+    BadServeConfig {
+        /// What was wrong.
+        reason: &'static str,
     },
     /// The queue pair was already disconnected.
     Disconnected,
@@ -111,11 +158,65 @@ pub enum FvError {
     ScatterWorkerPanicked,
 }
 
+impl FvError {
+    /// The backoff hint carried by retryable rejections —
+    /// [`FvError::NoFreeRegion`], [`FvError::AdmissionRejected`] and
+    /// [`FvError::LoadShed`] all share the same `retry_after` shape, so
+    /// one client retry loop handles every backpressure signal.
+    pub fn retry_after(&self) -> Option<SimDuration> {
+        match self {
+            FvError::NoFreeRegion { retry_after, .. }
+            | FvError::AdmissionRejected { retry_after, .. }
+            | FvError::LoadShed { retry_after, .. } => Some(*retry_after),
+            _ => None,
+        }
+    }
+
+    /// True for transient rejections a client should retry with backoff
+    /// (the condition clears when load drains or a region frees).
+    pub fn is_retryable(&self) -> bool {
+        self.retry_after().is_some()
+    }
+}
+
 impl fmt::Display for FvError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            FvError::NoFreeRegion { regions } => {
-                write!(f, "all {regions} dynamic regions are assigned")
+            FvError::NoFreeRegion {
+                regions,
+                retry_after,
+            } => {
+                write!(
+                    f,
+                    "all {regions} dynamic regions are assigned; retry after {retry_after}"
+                )
+            }
+            FvError::AdmissionRejected {
+                tenant,
+                retry_after,
+            } => {
+                write!(
+                    f,
+                    "tenant {tenant} over admission limits; retry after {retry_after}"
+                )
+            }
+            FvError::DeadlineExceeded { tenant, deadline } => {
+                write!(f, "tenant {tenant} query missed its {deadline} deadline")
+            }
+            FvError::LoadShed {
+                tenant,
+                retry_after,
+            } => {
+                write!(
+                    f,
+                    "tenant {tenant} query shed under overload; retry after {retry_after}"
+                )
+            }
+            FvError::UnknownTenant { tenant } => {
+                write!(f, "no table bound for tenant {tenant}")
+            }
+            FvError::BadServeConfig { reason } => {
+                write!(f, "serving configuration cannot run: {reason}")
             }
             FvError::Disconnected => write!(f, "queue pair is disconnected"),
             FvError::Mem(e) => write!(f, "memory stack: {e}"),

@@ -24,6 +24,12 @@
 //!   ([`FarviewFleet::add_node`] / [`FarviewFleet::drain_node`] /
 //!   [`FarviewFleet::remove_node`]), optional per-table replication,
 //!   and the live rebalancer ([`FleetQPair::rebalance`]).
+//! * [`serve`] — the overload-safe multi-tenant serving front end
+//!   above the queue pairs: per-tenant token buckets and a watermark
+//!   ladder convert overload into typed retryable rejections, a
+//!   weighted deficit round robin keeps service tenant-fair, and at
+//!   capacity the shed ladder preempts lowest-priority work — every
+//!   admitted query byte-identical to an unloaded oracle.
 //! * [`resources`] — the FPGA resource model behind Table 1.
 //! * [`microbench`] — the pipelined-read throughput model of Figure 6(a).
 //!
@@ -45,11 +51,13 @@ pub mod fleet;
 pub mod microbench;
 pub mod plan;
 pub mod resources;
+pub mod serve;
 pub mod tiered;
 pub mod topology;
 
 pub use cluster::{
-    FTable, FarviewCluster, QPair, QueryOutcome, QueryStats, SelectQuery, MAX_QUEUE_DEPTH,
+    FTable, FarviewCluster, QPair, QueryOutcome, QueryStats, SelectQuery, CONNECT_RETRY_AFTER,
+    MAX_QUEUE_DEPTH,
 };
 pub use config::FarviewConfig;
 pub use error::FvError;
@@ -58,6 +66,10 @@ pub use fleet::{
     ShardMap,
 };
 pub use plan::{replica_beats, Executor, Explain, LogicalStage, MergeSpec, PlanTarget, QueryPlan};
+pub use serve::{
+    ClassServeStats, Completion, FleetBackend, ServeBackend, ServeClass, ServeConfig, ServeEngine,
+    ServeReport, ServeTenant, SingleNodeBackend, TenantServeStats,
+};
 pub use tiered::{
     BlockStore, FleetTierOutcome, FleetTieredPool, StorageParams, TierLevel, TierOutcome,
     TieredPool,

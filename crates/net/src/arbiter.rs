@@ -55,9 +55,16 @@ impl EgressArbiter {
         self.slots[slot].push(qp);
     }
 
-    /// Release a slot and every stream bound to it (at disconnect).
-    pub fn unbind(&mut self, slot: usize) {
+    /// Release a slot and every stream bound to it (at disconnect),
+    /// draining any packets still queued for the slot. Without the
+    /// drain those packets linger in the DRR after their owner is gone:
+    /// they burn the dead flow's wire share and the slot's next
+    /// occupant inherits a stranger's bytes ahead of its own. The
+    /// caller decides their fate — requeue onto the departing flow's
+    /// replacement, count them as dropped, or just let them fall.
+    pub fn unbind(&mut self, slot: usize) -> Vec<Packet> {
         self.slots[slot].clear();
+        self.drr.drain_flow(slot)
     }
 
     /// The slot a QP is bound to, if any.
@@ -203,5 +210,40 @@ mod tests {
         // Re-binding the same id is idempotent.
         arb.bind(0, 6);
         assert_eq!(arb.bound_count(0), 1);
+    }
+
+    #[test]
+    fn unbind_drains_queued_packets() {
+        let mut arb = EgressArbiter::new(2);
+        arb.bind(0, 10);
+        arb.bind(1, 20);
+        for s in 0..3 {
+            arb.push(pkt(10, s)).unwrap();
+        }
+        arb.push(pkt(20, 0)).unwrap();
+
+        // Disconnect flow 10 with three packets still queued: they must
+        // come back to the caller, in order, and leave the DRR.
+        let drained = arb.unbind(0);
+        assert_eq!(drained.len(), 3, "queued packets must be drained");
+        assert!(drained.iter().all(|p| p.qp == 10));
+        assert_eq!(
+            drained.iter().map(|p| p.seq).collect::<Vec<_>>(),
+            vec![0, 1, 2],
+            "drain preserves arrival order"
+        );
+        assert_eq!(arb.len(), 1, "the live flow's packet stays queued");
+
+        // The slot's next occupant must not inherit the dead flow's
+        // bytes or banked deficit: only its own traffic comes out.
+        arb.bind(0, 30);
+        arb.push(pkt(30, 7)).unwrap();
+        let order: Vec<u32> = std::iter::from_fn(|| arb.pop()).map(|p| p.qp).collect();
+        assert_eq!(order.len(), 2);
+        assert!(!order.contains(&10), "ghost packets served after unbind");
+        assert!(order.contains(&20) && order.contains(&30));
+
+        // Unbinding an empty slot drains nothing.
+        assert!(arb.unbind(1).is_empty());
     }
 }

@@ -175,6 +175,25 @@ impl<T> DrrScheduler<T> {
         self.queued += 1;
     }
 
+    /// Remove every job queued on `flow`, returning the payloads in
+    /// arrival order. The flow's deficit is forfeited, so a later
+    /// occupant of the slot starts with no banked credit. Used when a
+    /// flow's owner goes away (disconnect) and its in-flight work must
+    /// be drained or re-routed instead of sitting unpoppable.
+    ///
+    /// # Panics
+    /// Panics if `flow` is out of range (flows are fixed at setup).
+    pub fn drain_flow(&mut self, flow: usize) -> Vec<T> {
+        // fv:allow(panic): documented precondition, same contract as push().
+        assert!(flow < self.flows.len(), "unknown DRR flow {flow}");
+        // fv:allow(panic): bounds asserted on the line above.
+        let f = &mut self.flows[flow];
+        f.deficit = 0;
+        let drained: Vec<T> = f.queue.drain(..).map(|j| j.payload).collect();
+        self.queued -= drained.len();
+        drained
+    }
+
     /// Dequeue the next job in DRR order, returning `(flow, payload)`.
     pub fn pop(&mut self) -> Option<(usize, T)> {
         if self.queued == 0 {
@@ -306,6 +325,35 @@ mod tests {
     fn drr_rejects_oversized_jobs() {
         let mut drr = DrrScheduler::new(1, 64);
         drr.push(0, 65, ());
+    }
+
+    #[test]
+    fn drr_drain_flow_removes_jobs_and_deficit() {
+        let mut drr = DrrScheduler::new(3, 1024);
+        for i in 0..4 {
+            drr.push(1, 512, format!("doomed{i}"));
+        }
+        drr.push(2, 512, "live".to_string());
+        // Serve one job so flow 1 has a live deficit balance.
+        let (flow, _) = drr.pop().unwrap();
+        assert_eq!(flow, 1);
+
+        let drained = drr.drain_flow(1);
+        assert_eq!(drained, vec!["doomed1", "doomed2", "doomed3"]);
+        assert_eq!(drr.len(), 1, "other flows keep their jobs");
+        assert_eq!(drr.pop(), Some((2, "live".to_string())));
+        assert!(drr.is_empty());
+
+        // A drained flow starts from zero credit: no burst ahead of a
+        // competitor when it is reused.
+        drr.push(1, 1024, "a".to_string());
+        drr.push(2, 1024, "b".to_string());
+        let mut served = [drr.pop().unwrap().0, drr.pop().unwrap().0];
+        served.sort_unstable();
+        assert_eq!(served, [1, 2]);
+
+        // Draining an empty flow is a no-op.
+        assert!(drr.drain_flow(0).is_empty());
     }
 
     #[test]

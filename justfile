@@ -54,6 +54,12 @@ bench-coldpath:
 bench-chaos:
     cargo run -q --release -p fv-bench --bin figures chaos
 
+# Graceful degradation past saturation: the multi-tenant serving sweep
+# (admission control, weighted DRR, shed ladder, bounded retry).
+# Rewrites BENCH_PR10.json.
+bench-overload:
+    cargo run -q --release -p fv-bench --bin figures overload
+
 # The chaos suite over its fixed seed matrix (64 composed schedules +
 # every fault-class property), then one randomized seed — printed so a
 # failure can be replayed with `CHAOS_SEED=<n> just chaos`.

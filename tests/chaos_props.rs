@@ -499,3 +499,82 @@ fn query_after_sole_holder_killed_is_typed_node_down() {
         }
     }
 }
+
+/// Chaos × overload composition: every fault class a composed
+/// [`ChaosScenarioGen`] schedule degrades a node with is replayed under
+/// the multi-tenant serving layer on an `r = 2` fleet. The serving
+/// invariants hold behind every degradation: no tenant starves, the
+/// weight-normalized fairness index keeps its DRR floor, gold is never
+/// shed, and every failure is a counted typed outcome — never a panic.
+#[test]
+fn serving_invariants_hold_under_scenario_faults() {
+    use farview_core::{FleetBackend, ServeClass, ServeConfig, ServeEngine};
+
+    let seed = 0x5E7E_u64;
+    let scenario = ChaosScenarioGen::new(3, 8)
+        .queries_per_phase(1)
+        .with_all_faults()
+        .seed(seed)
+        .build();
+    let mix = fv_workload::TenantMixGen::new(8)
+        .queries_per_tenant(4)
+        .overdemand(3, 4)
+        .seed(seed)
+        .build();
+    let tenants = fv_bench::serve_tenants(&mix);
+    let mut exercised = 0usize;
+    for event in &scenario.events {
+        let ChaosEvent::Degrade(node, spec) = event else {
+            continue;
+        };
+        exercised += 1;
+        let fleet = FarviewFleet::new(3, FarviewConfig::default());
+        let qp = fleet.connect().unwrap();
+        let mut backend = FleetBackend::new(qp);
+        for t in &mix.tenants {
+            let table = chaos_table(seed ^ (t.id as u64 + 1));
+            let (ft, _) = backend
+                .load_table_replicated(&table, Partitioning::RowRange, 2)
+                .unwrap();
+            backend.bind_tenant(t.id as u32, ft, table.byte_len() as u64);
+        }
+        let victim = fleet.node_ids()[node % fleet.node_ids().len()];
+        fleet
+            .degrade_node(victim, fault_plan_for(spec, seed))
+            .unwrap();
+        let config = ServeConfig {
+            servers: 2,
+            queue_capacity: 8,
+            bucket_qps_per_weight: 100_000.0,
+            load: 8.0,
+            seed,
+            horizon: SimDuration::from_millis(3),
+            ..ServeConfig::default()
+        };
+        let report = ServeEngine::new(&tenants, config, backend).unwrap().run();
+        let class = spec.class_name();
+        assert!(
+            report.min_completed > 0,
+            "{class}: a degraded replica starved a tenant"
+        );
+        assert!(
+            report.fairness_index >= 0.5,
+            "{class}: fairness {} broke the DRR bound behind a fault",
+            report.fairness_index
+        );
+        assert!(
+            report.completed + report.deadline_missed + report.abandoned + report.exec_failed
+                <= report.offered,
+            "{class}: final outcomes exceed offered work"
+        );
+        for t in &report.tenants {
+            if t.class == ServeClass::Gold {
+                assert_eq!(t.shed, 0, "{class}: gold tenant {} was shed", t.tenant);
+            }
+        }
+    }
+    assert!(
+        exercised >= 3,
+        "schedule composed too few degrade events ({exercised})"
+    );
+}

@@ -41,10 +41,12 @@ fn full_lifecycle_alloc_write_query_free() {
 fn all_regions_assignable_and_recyclable() {
     let cluster = FarviewCluster::new(FarviewConfig::default());
     let qps: Vec<_> = (0..6).map(|_| cluster.connect().unwrap()).collect();
-    assert!(matches!(
-        cluster.connect(),
-        Err(FvError::NoFreeRegion { regions: 6 })
-    ));
+    let err = cluster.connect().expect_err("all six regions taken");
+    assert!(matches!(err, FvError::NoFreeRegion { regions: 6, .. }));
+    assert!(
+        err.is_retryable(),
+        "region exhaustion must carry a retry_after backpressure hint"
+    );
     drop(qps);
     // All six come back.
     let again: Vec<_> = (0..6).map(|_| cluster.connect().unwrap()).collect();
